@@ -1,0 +1,115 @@
+package errprop_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	errprop "github.com/scidata/errprop"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/experiments"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. They
+// report their findings via b.ReportMetric / b.Log so a -bench run
+// doubles as an ablation study.
+
+// BenchmarkAblationPSNTightness quantifies what parameterized spectral
+// normalization buys: the bound/achieved ratio per training variant on
+// the Borghesi task (deep MLP — the regime where PSN matters most).
+func BenchmarkAblationPSNTightness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, v := range []experiments.Variant{experiments.PSN, experiments.Plain, experiments.WeightDecay} {
+			task := experiments.Borghesi(v)
+			an, err := core.AnalyzeNetwork(task.Net, numfmt.FP32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("variant %-5s: Lipschitz bound %.4g", v, an.Lipschitz())
+			}
+		}
+	}
+}
+
+// BenchmarkAblationGroupedINT8 compares the quantization bound across
+// granularities on the H2 model.
+func BenchmarkAblationGroupedINT8(b *testing.B) {
+	task := experiments.H2(experiments.PSN)
+	for i := 0; i < b.N; i++ {
+		for _, g := range []errprop.Granularity{errprop.PerTensor, errprop.PerRow, errprop.PerColumn, errprop.PerBlock} {
+			an, err := errprop.AnalyzeGroupedINT8(task.Net, g, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("%-10s bound %.4g", g, an.QuantizationBound())
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAllocation sweeps the quantization allocation fraction
+// finely on H2 to show where each format engages.
+func BenchmarkAblationAllocation(b *testing.B) {
+	task := experiments.H2(experiments.PSN)
+	for i := 0; i < b.N; i++ {
+		for _, frac := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			plan, err := errprop.Plan(task.Net, errprop.PlanRequest{
+				Tol: 1e-2 * task.QoIScaleLinf, Norm: errprop.NormLinf, QuantFraction: frac})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("alloc %.2f -> %s (quant bound %.3g, input tol %.3g)",
+					frac, plan.Format, plan.QuantBound, plan.InputTolLinf)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationCodecRatio compares the three codecs' compression
+// ratios on the same H2 field across tolerances — the raw material
+// behind Figs. 7 and 11-15.
+func BenchmarkAblationCodecRatio(b *testing.B) {
+	d := dataset.H2Combustion(96, 7)
+	field, dims := d.FieldData(), d.FieldDims
+	for i := 0; i < b.N; i++ {
+		for _, codec := range errprop.Codecs() {
+			for _, tol := range []float64{1e-3, 1e-6} {
+				blob, err := errprop.Compress(codec, field, dims, errprop.AbsLinf, tol)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("%-6s tol %g: ratio %.1f", codec, tol, float64(len(field)*8)/float64(len(blob)))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationNormConversion measures how much of the Linf bound's
+// looseness comes from the sqrt(n0) norm conversion versus the Lipschitz
+// product, per task.
+func BenchmarkAblationNormConversion(b *testing.B) {
+	names := []string{"H2Combustion(9)", "Borghesi(13)", "EuroSAT(832)"}
+	tasks := []interface {
+		InputDim() int
+		Lipschitz() float64
+	}{}
+	h2, _ := core.AnalyzeNetwork(experiments.H2(experiments.PSN).Net, numfmt.FP32)
+	bf, _ := core.AnalyzeNetwork(experiments.Borghesi(experiments.PSN).Net, numfmt.FP32)
+	es, _ := core.AnalyzeNetwork(experiments.EuroSAT(experiments.PSN).FeatureNet, numfmt.FP32)
+	tasks = append(tasks, h2, bf, es)
+	for i := 0; i < b.N; i++ {
+		for k, an := range tasks {
+			if i == 0 {
+				b.Log(fmt.Sprintf("%-16s sqrt(n0)=%.1f lipschitz=%.3g",
+					names[k], math.Sqrt(float64(an.InputDim())), an.Lipschitz()))
+			}
+		}
+	}
+}

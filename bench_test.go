@@ -1,0 +1,56 @@
+package errprop_test
+
+import (
+	"testing"
+
+	"github.com/scidata/errprop/internal/experiments"
+)
+
+// One benchmark per table/figure of the paper's evaluation. Each
+// iteration regenerates the full table; run with
+//
+//	go test -bench 'BenchmarkFig|BenchmarkTable' -benchtime 1x
+//
+// to print every experiment once (the harness logs the table on the
+// first iteration so `go test -bench . -v` doubles as a report).
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Table.NumRows() == 0 {
+			b.Fatalf("%s produced an empty table", id)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+
+// Extensions (the paper's future-work items, implemented here).
+func BenchmarkExtGroupedINT8(b *testing.B)     { benchExperiment(b, "ext1") }
+func BenchmarkExtActivationQuant(b *testing.B) { benchExperiment(b, "ext2") }
+func BenchmarkExtMixedPrecision(b *testing.B)  { benchExperiment(b, "ext3") }
+func BenchmarkExtAutotune(b *testing.B)        { benchExperiment(b, "ext4") }
+func BenchmarkExtUNet(b *testing.B)            { benchExperiment(b, "ext5") }
+func BenchmarkExtAttention(b *testing.B)       { benchExperiment(b, "ext6") }
+func BenchmarkExtFP8(b *testing.B)             { benchExperiment(b, "ext7") }

@@ -1,0 +1,257 @@
+// Command errprop is the front door to the error-propagation framework:
+// it reruns the paper's experiments, analyzes saved models, and runs the
+// tolerance planner.
+//
+// Usage:
+//
+//	errprop run <experiment|all>     rerun a table/figure (see `errprop list`)
+//	errprop list                     list experiment ids
+//	errprop bound -model m.model -einf 1e-5 -format fp16
+//	errprop plan  -model m.model -tol 1e-3 -norm linf -alloc 0.5
+//
+// Set ERRPROP_MODEL_DIR to cache trained task models between runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"encoding/binary"
+	"math"
+
+	"github.com/scidata/errprop/internal/autotune"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/experiments"
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case "bound":
+		err = boundCmd(os.Args[2:])
+	case "plan":
+		err = planCmd(os.Args[2:])
+	case "autotune":
+		err = autotuneCmd(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "errprop:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `errprop — error propagation analysis for reduced-precision scientific inference
+
+commands:
+  run <id|all>   rerun one of the paper's experiments (errprop list)
+  list           list experiment ids
+  bound          predict QoI error bounds for a saved model
+  plan           split a QoI tolerance between compression and quantization
+  autotune       search allocations for the fastest configuration on a data file
+
+environment:
+  ERRPROP_MODEL_DIR   cache directory for the trained task models
+`)
+}
+
+func runCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: errprop run <experiment|all>")
+	}
+	ids := []string{args[0]}
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	return nil
+}
+
+func loadModel(path string) (*nn.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nn.Load(f)
+}
+
+func boundCmd(args []string) error {
+	fs := flag.NewFlagSet("bound", flag.ContinueOnError)
+	model := fs.String("model", "", "path to a saved model (nn.Save format)")
+	einf := fs.Float64("einf", 1e-5, "pointwise (L-infinity) input error bound")
+	format := fs.String("format", "fp32", "weight quantization format (fp32|tf32|fp16|bf16|int8)")
+	verbose := fs.Bool("v", false, "print the per-layer error-budget breakdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("bound: -model is required")
+	}
+	net, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	f, err := numfmt.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	an, err := core.AnalyzeNetwork(net, f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s (input dim %d)\n", *model, an.InputDim())
+	fmt.Printf("lipschitz (orig weights):      %.6g\n", an.Lipschitz())
+	fmt.Printf("lipschitz (quantized, infl.):  %.6g\n", an.LipschitzQuantized())
+	fmt.Printf("compression bound  |dx|inf=%.3g: %.6g\n", *einf, an.CompressionBoundLinf(*einf))
+	fmt.Printf("quantization bound (%s):       %.6g\n", f, an.QuantizationBound())
+	fmt.Printf("combined bound (Linf):          %.6g\n", an.BoundLinf(*einf))
+	if pf, err := an.PerFeatureBoundsLinf(*einf); err == nil {
+		fmt.Println("per-feature bounds:")
+		for k, b := range pf {
+			fmt.Printf("  feature %2d: %.6g\n", k, b)
+		}
+	}
+	if *verbose {
+		fmt.Println("\nper-layer breakdown:")
+		fmt.Print(an.FormatReport())
+	}
+	return nil
+}
+
+func planCmd(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	model := fs.String("model", "", "path to a saved model")
+	tol := fs.Float64("tol", 1e-3, "total QoI tolerance (absolute)")
+	norm := fs.String("norm", "linf", "tolerance norm: linf or l2")
+	alloc := fs.Float64("alloc", 0.5, "fraction of tolerance offered to quantization")
+	conservative := fs.Bool("conservative", false, "propagate compression budget through quantized sigmas")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("plan: -model is required")
+	}
+	net, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	n := core.NormLinf
+	if *norm == "l2" {
+		n = core.NormL2
+	} else if *norm != "linf" {
+		return fmt.Errorf("plan: unknown norm %q", *norm)
+	}
+	plan, err := core.PlanNetwork(net, core.PlanRequest{
+		Tol: *tol, Norm: n, QuantFraction: *alloc, Conservative: *conservative})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("format:            %s\n", plan.Format)
+	fmt.Printf("quant bound:       %.6g\n", plan.QuantBound)
+	fmt.Printf("compress budget:   %.6g\n", plan.CompressBudget)
+	fmt.Printf("input tol (L2):    %.6g\n", plan.InputTolL2)
+	fmt.Printf("input tol (Linf):  %.6g\n", plan.InputTolLinf)
+	fmt.Printf("predicted bound:   %.6g (<= tol %.6g)\n", plan.TotalBound, *tol)
+	return nil
+}
+
+func autotuneCmd(args []string) error {
+	fs := flag.NewFlagSet("autotune", flag.ContinueOnError)
+	model := fs.String("model", "", "path to a saved model")
+	dataPath := fs.String("data", "", "path to a raw little-endian float64 field file")
+	dimsS := fs.String("dims", "", "field dims, e.g. 9x384x384 (first dim = features)")
+	tol := fs.Float64("tol", 1e-3, "total QoI tolerance (absolute, Linf)")
+	codec := fs.String("codec", "sz", "compression backend")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" || *dataPath == "" || *dimsS == "" {
+		return fmt.Errorf("autotune: -model, -data and -dims are required")
+	}
+	net, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*dataPath)
+	if err != nil {
+		return err
+	}
+	if len(raw)%8 != 0 {
+		return fmt.Errorf("autotune: %s is not a float64 file", *dataPath)
+	}
+	field := make([]float64, len(raw)/8)
+	for i := range field {
+		field[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	var dims []int
+	for _, p := range splitDims(*dimsS) {
+		dims = append(dims, p)
+	}
+	res, err := autotune.Optimize(net, field, dims, autotune.Options{
+		Tol: *tol, Norm: core.NormLinf, Codec: *codec})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-7s %-10s %-12s %-12s %-12s\n",
+		"alloc", "format", "est ratio", "IO GB/s", "exec GB/s", "total GB/s")
+	for _, c := range res.Candidates {
+		marker := " "
+		if c.Fraction == res.Best.Fraction {
+			marker = "*"
+		}
+		fmt.Printf("%-7.2f%s %-7s %-10.1f %-12.2f %-12.2f %-12.2f\n",
+			c.Fraction, marker, c.Plan.Format, c.EstRatio,
+			c.PredIO/1e9, c.PredExec/1e9, c.PredTotal/1e9)
+	}
+	fmt.Printf("\nbest: allocation %.2f, format %s, input tol (Linf) %.3g\n",
+		res.Best.Fraction, res.Best.Plan.Format, res.Best.Plan.InputTolLinf)
+	return nil
+}
+
+// splitDims parses "9x384x384" into ints; invalid segments are skipped
+// by strconv failing upstream (Optimize validates dims against data).
+func splitDims(s string) []int {
+	var out []int
+	cur := 0
+	has := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			cur = cur*10 + int(r-'0')
+			has = true
+		} else {
+			if has {
+				out = append(out, cur)
+			}
+			cur, has = 0, false
+		}
+	}
+	if has {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestSplitDims(t *testing.T) {
+	cases := map[string][]int{
+		"9x384x384": {9, 384, 384},
+		"100":       {100},
+		"2x3":       {2, 3},
+	}
+	for in, want := range cases {
+		got := splitDims(in)
+		if len(got) != len(want) {
+			t.Fatalf("splitDims(%q) = %v", in, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("splitDims(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	if len(splitDims("")) != 0 {
+		t.Fatal("empty dims should parse to nothing")
+	}
+}

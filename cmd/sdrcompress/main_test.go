@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+)
+
+func TestParseMode(t *testing.T) {
+	for _, s := range []string{"abs-linf", "rel-linf", "l2", "rel-l2"} {
+		if _, err := parseMode(s); err != nil {
+			t.Fatalf("parseMode(%q): %v", s, err)
+		}
+	}
+	if _, err := parseMode("linf"); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+}
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("512x512")
+	if err != nil || len(d) != 2 || d[0] != 512 {
+		t.Fatalf("parseDims: %v, %v", d, err)
+	}
+	if _, err := parseDims("0x4"); err == nil {
+		t.Fatal("zero dim should error")
+	}
+	if _, err := parseDims("axb"); err == nil {
+		t.Fatal("garbage dims should error")
+	}
+}
+
+func TestF64FileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.f64")
+	data := []float64{1.5, -2.25, 0, 1e-300}
+	if err := writeF64(path, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readF64(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+	// Truncated file must error.
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readF64(path); err == nil {
+		t.Fatal("non-multiple-of-8 file should error")
+	}
+}
+
+func TestCompressDecompressCommands(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	out := filepath.Join(dir, "out.sdrc")
+	back := filepath.Join(dir, "back.f64")
+	data := make([]float64, 1024)
+	for i := range data {
+		data[i] = float64(i%37) / 37
+	}
+	if err := writeF64(in, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := compressCmd([]string{"-codec", "sz", "-tol", "1e-6", in, out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := decompressCmd([]string{out, back}); err != nil {
+		t.Fatal(err)
+	}
+	recon, err := readF64(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linf, _ := compress.MeasureError(data, recon)
+	if linf > 1e-6 {
+		t.Fatalf("file-level roundtrip error %v", linf)
+	}
+	if err := infoCmd([]string{out}); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths.
+	if err := compressCmd([]string{in}); err == nil {
+		t.Fatal("missing output arg should error")
+	}
+	if err := decompressCmd([]string{in, back}); err == nil {
+		t.Fatal("decompressing raw data should error")
+	}
+}

@@ -1,0 +1,63 @@
+// Command train fits the three task models (H2 combustion, Borghesi
+// flame, EuroSAT) with their paper-faithful recipes — including the PSN,
+// plain, and weight-decay variants used by Figs. 3-4 — and caches them in
+// a model directory so later errprop runs skip training.
+//
+// Usage:
+//
+//	train [-dir models] [-variants psn,plain,wd]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/scidata/errprop/internal/experiments"
+)
+
+func main() {
+	dir := flag.String("dir", "models", "directory to store trained models")
+	variants := flag.String("variants", "psn,plain,wd", "comma-separated training variants")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	// The registry trains on first use and persists through this env var.
+	os.Setenv("ERRPROP_MODEL_DIR", *dir)
+
+	var vs []experiments.Variant
+	for _, name := range strings.Split(*variants, ",") {
+		switch strings.TrimSpace(name) {
+		case "psn":
+			vs = append(vs, experiments.PSN)
+		case "plain":
+			vs = append(vs, experiments.Plain)
+		case "wd":
+			vs = append(vs, experiments.WeightDecay)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "train: unknown variant %q (want psn, plain, wd)\n", name)
+			os.Exit(2)
+		}
+	}
+
+	for _, v := range vs {
+		start := time.Now()
+		h2 := experiments.H2(v)
+		fmt.Printf("h2comb/%-5s  trained in %6.1fs  test MSE %.5f\n", v, time.Since(start).Seconds(), h2.TestMSE())
+
+		start = time.Now()
+		bf := experiments.Borghesi(v)
+		fmt.Printf("borghesi/%-5s trained in %6.1fs  test MSE %.5f\n", v, time.Since(start).Seconds(), bf.TestMSE())
+
+		start = time.Now()
+		es := experiments.EuroSAT(v)
+		fmt.Printf("eurosat/%-5s  trained in %6.1fs  test acc %.2f\n", v, time.Since(start).Seconds(), es.TestAccuracy())
+	}
+	fmt.Println("models cached in", *dir, "— export ERRPROP_MODEL_DIR to reuse them")
+}

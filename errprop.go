@@ -1,0 +1,259 @@
+// Package errprop is the public facade of the error-propagation
+// framework from "Understanding and Estimating Error Propagation in
+// Neural Networks for Scientific Data Analysis" (ICDE 2025): build or
+// load a network, analyze how compression and quantization errors flow
+// through it, plan a reduction configuration for a QoI tolerance, and run
+// the resulting error-bounded inference pipeline.
+//
+// A minimal session:
+//
+//	spec := errprop.MLPSpec("demo", []int{9, 50, 50, 9}, errprop.ActTanh, true)
+//	net, _ := spec.Build(1)
+//	// ... train net (see examples/quickstart) ...
+//	an, _ := errprop.Analyze(net, errprop.FP16)
+//	fmt.Println(an.BoundLinf(1e-5)) // predicted QoI error bound
+//
+//	plan, _ := errprop.Plan(net, errprop.PlanRequest{
+//	    Tol: 1e-3, Norm: errprop.NormLinf, QuantFraction: 0.5})
+//	pipe, _ := errprop.NewPipeline(net, plan, "sz", errprop.NormLinf)
+//
+// The heavy lifting lives in the internal packages; this package
+// re-exports the types a downstream user needs so the import surface
+// stays a single path.
+package errprop
+
+import (
+	"io"
+
+	"github.com/scidata/errprop/internal/autotune"
+	"github.com/scidata/errprop/internal/compress"
+	_ "github.com/scidata/errprop/internal/compress/mgard" // register codecs
+	_ "github.com/scidata/errprop/internal/compress/sz"
+	_ "github.com/scidata/errprop/internal/compress/zfp"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/gpusim"
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/pipeline"
+	"github.com/scidata/errprop/internal/quant"
+)
+
+// Network is a neural network (see internal/nn for the full API surface
+// on the type itself: Forward, Save, Params, ...).
+type Network = nn.Network
+
+// Spec describes a network architecture and builds Networks.
+type Spec = nn.Spec
+
+// LayerSpec is one layer of a Spec.
+type LayerSpec = nn.LayerSpec
+
+// Activation kind names accepted by MLPSpec / LayerSpec.
+const (
+	ActIdentity = nn.ActIdentity
+	ActTanh     = nn.ActTanh
+	ActReLU     = nn.ActReLU
+	ActLeaky    = nn.ActLeaky
+	ActPReLU    = nn.ActPReLU
+	ActGELU     = nn.ActGELU
+	ActSigmoid  = nn.ActSigmoid
+)
+
+// MLPSpec builds a multilayer-perceptron architecture; psn enables the
+// paper's parameterized spectral normalization on every dense layer.
+func MLPSpec(name string, dims []int, act string, psn bool) *Spec {
+	return nn.MLPSpec(name, dims, act, psn)
+}
+
+// ResNetSpec builds a ResNet-style architecture of basic residual blocks.
+func ResNetSpec(name string, inC, h, w, numClasses int, blocks, channels []int, act string, psn bool) *Spec {
+	return nn.ResNetSpec(name, inC, h, w, numClasses, blocks, channels, act, psn)
+}
+
+// LoadNetwork reads a network serialized with Network.Save.
+func LoadNetwork(r io.Reader) (*Network, error) { return nn.Load(r) }
+
+// Format is a weight quantization format.
+type Format = numfmt.Format
+
+// Quantization formats (Table I).
+const (
+	FP32 = numfmt.FP32
+	TF32 = numfmt.TF32
+	FP16 = numfmt.FP16
+	BF16 = numfmt.BF16
+	INT8 = numfmt.INT8
+)
+
+// Formats lists the quantization targets the paper evaluates.
+var Formats = numfmt.Formats
+
+// StepSize returns the Table I average quantization step size q(W).
+func StepSize(f Format, weights []float64) float64 { return numfmt.StepSize(f, weights) }
+
+// Quantize returns an inference copy of net with weights rounded to f.
+func Quantize(net *Network, f Format) (*Network, error) { return quant.Quantize(net, f) }
+
+// Analysis exposes the paper's error bounds for a network.
+type Analysis = core.Analysis
+
+// Analyze builds the error-flow analysis of net under weight format f
+// (FP32 for compression-only analysis).
+func Analyze(net *Network, f Format) (*Analysis, error) { return core.AnalyzeNetwork(net, f) }
+
+// Norm selects the norm a tolerance is stated in.
+type Norm = core.Norm
+
+// Tolerance norms.
+const (
+	NormL2   = core.NormL2
+	NormLinf = core.NormLinf
+)
+
+// PlanRequest asks the planner for a reduction configuration.
+type PlanRequest = core.PlanRequest
+
+// PlanResult is the planner's decision.
+type PlanResult = core.Plan
+
+// Plan splits a QoI tolerance between quantization and compression
+// (Fig. 1): it picks the fastest admissible format and hands the unused
+// tolerance to the compressor.
+func Plan(net *Network, req PlanRequest) (*PlanResult, error) { return core.PlanNetwork(net, req) }
+
+// Mode is a compression error mode.
+type Mode = compress.Mode
+
+// Compression error modes.
+const (
+	AbsLinf = compress.AbsLinf
+	RelLinf = compress.RelLinf
+	L2      = compress.L2
+	RelL2   = compress.RelL2
+)
+
+// Codecs lists the registered compressor names ("mgard", "sz", "zfp").
+func Codecs() []string { return compress.Names() }
+
+// Compress encodes data (with grid dims, rank 1-3) under an error bound
+// using the named codec, returning a self-describing blob.
+func Compress(codec string, data []float64, dims []int, mode Mode, tol float64) ([]byte, error) {
+	return compress.Encode(codec, data, dims, mode, tol)
+}
+
+// Decompress reverses Compress.
+func Decompress(blob []byte) ([]float64, error) {
+	data, _, err := compress.Decode(blob)
+	return data, err
+}
+
+// Pipeline is an end-to-end error-bounded inference pipeline.
+type Pipeline = pipeline.Pipeline
+
+// PipelineConfig configures a Pipeline directly.
+type PipelineConfig = pipeline.Config
+
+// PipelineResult reports one pipeline run.
+type PipelineResult = pipeline.Result
+
+// NewPipeline builds a pipeline executing a planner decision with the
+// given codec.
+func NewPipeline(net *Network, plan *PlanResult, codec string, norm Norm) (*Pipeline, error) {
+	return pipeline.FromPlan(net, plan, codec, norm, pipeline.Config{})
+}
+
+// NewPipelineConfig builds a pipeline from an explicit configuration.
+func NewPipelineConfig(net *Network, cfg PipelineConfig) (*Pipeline, error) {
+	return pipeline.New(net, cfg)
+}
+
+// Device is a simulated accelerator for execution-throughput modeling.
+type Device = gpusim.Device
+
+// Simulated devices from the paper's testbed.
+var (
+	V100      = gpusim.V100
+	RTX3080Ti = gpusim.RTX3080Ti
+	MI250X    = gpusim.MI250X
+)
+
+// ExecThroughput simulates model-execution throughput (bytes of input
+// per second) for a network at a batch size and weight format.
+func ExecThroughput(net *Network, d *Device, f Format, batch int) float64 {
+	return gpusim.Throughput(net, d, f, batch)
+}
+
+// Granularity selects the grouping scheme for grouped INT8 quantization
+// (the paper's future-work extension).
+type Granularity = numfmt.Granularity
+
+// Grouped INT8 granularities.
+const (
+	PerTensor = numfmt.PerTensor
+	PerRow    = numfmt.PerRow
+	PerColumn = numfmt.PerColumn
+	PerBlock  = numfmt.PerBlock
+)
+
+// QuantizeGroupedINT8 quantizes net's weights to INT8 with per-group
+// affine scales, tightening both bound and achieved error versus the
+// uniform Table I scheme.
+func QuantizeGroupedINT8(net *Network, g Granularity, blockSize int) (*Network, error) {
+	return quant.QuantizeGroupedINT8(net, g, blockSize)
+}
+
+// AnalyzeGroupedINT8 builds the error-flow analysis for grouped INT8
+// quantization.
+func AnalyzeGroupedINT8(net *Network, g Granularity, blockSize int) (*Analysis, error) {
+	return core.AnalyzeNetworkGroupedINT8(net, g, blockSize)
+}
+
+// QuantizeActivations additionally rounds activation outputs to actFmt
+// (float formats only) on top of weightFmt weights; bound the extra
+// error with Analysis.ActivationQuantBound.
+func QuantizeActivations(net *Network, weightFmt, actFmt Format) (*Network, error) {
+	return quant.QuantizeActivations(net, weightFmt, actFmt)
+}
+
+// FoldBatchNorm folds inference-mode batch normalization into preceding
+// convolutions so the folded network is exactly analyzable.
+func FoldBatchNorm(net *Network) (*Network, error) { return nn.FoldBatchNorm(net) }
+
+// MixedAssignment is a per-layer format assignment (forward order over
+// linear layers).
+type MixedAssignment = core.Assignment
+
+// MixedPlan is the mixed-precision planner's output.
+type MixedPlan = core.MixedPlan
+
+// PlanMixedPrecision greedily assigns per-layer formats: the fastest
+// assignment whose predicted quantization bound fits the budget (the
+// paper's per-layer-format future work).
+func PlanMixedPrecision(net *Network, budget float64) (*MixedPlan, error) {
+	return core.PlanMixed(net, budget, nil)
+}
+
+// QuantizeMixed quantizes each linear layer to its assigned format.
+func QuantizeMixed(net *Network, a MixedAssignment) (*Network, error) {
+	return quant.QuantizeMixed(net, a)
+}
+
+// EstimateRatio predicts a codec's compression ratio from a sampled
+// compression pass (sampleFrac of the slowest dimension).
+func EstimateRatio(codec string, data []float64, dims []int, mode Mode, tol, sampleFrac float64) (float64, error) {
+	return compress.EstimateRatio(codec, data, dims, mode, tol, sampleFrac)
+}
+
+// AutotuneOptions configures the automated allocation search.
+type AutotuneOptions = autotune.Options
+
+// AutotuneResult is the search outcome.
+type AutotuneResult = autotune.Result
+
+// Autotune searches quantization-allocation fractions for the
+// configuration with the highest predicted end-to-end throughput that
+// still meets the QoI tolerance — the optimization algorithm the paper
+// names as future work.
+func Autotune(net *Network, field []float64, dims []int, opt AutotuneOptions) (*AutotuneResult, error) {
+	return autotune.Optimize(net, field, dims, opt)
+}

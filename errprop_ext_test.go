@@ -1,0 +1,153 @@
+package errprop_test
+
+import (
+	"math"
+	"testing"
+
+	errprop "github.com/scidata/errprop"
+	"github.com/scidata/errprop/internal/autotune"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func TestFacadeGroupedINT8(t *testing.T) {
+	net := buildTrained(t)
+	an, err := errprop.AnalyzeGroupedINT8(net, errprop.PerRow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anPT, err := errprop.AnalyzeGroupedINT8(net, errprop.PerTensor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.QuantizationBound() >= anPT.QuantizationBound() {
+		t.Fatalf("per-row bound %v should beat per-tensor %v",
+			an.QuantizationBound(), anPT.QuantizationBound())
+	}
+	qnet, err := errprop.QuantizeGroupedINT8(net, errprop.PerRow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector{0.3, -0.2, 0.5, 0.1}
+	y := net.ForwardVec(x.Clone())
+	yq := qnet.ForwardVec(x.Clone())
+	if d := y.Sub(yq).Norm2(); d > an.QuantizationBound() {
+		t.Fatalf("achieved %v > grouped bound %v", d, an.QuantizationBound())
+	}
+}
+
+func TestFacadeActivationQuant(t *testing.T) {
+	net := buildTrained(t)
+	an, err := errprop.Analyze(net, errprop.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := an.ActivationQuantBound(errprop.FP16)
+	if bound <= 0 {
+		t.Fatal("degenerate activation-quant bound")
+	}
+	qnet, err := errprop.QuantizeActivations(net, errprop.FP32, errprop.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector{0.1, 0.9, -0.4, 0.2}
+	y := net.ForwardVec(x.Clone())
+	yq := qnet.ForwardVec(x.Clone())
+	// Allow the copy's FP32 weight-storage rounding on top.
+	if d := y.Sub(yq).Norm2(); d > bound+1e-6 {
+		t.Fatalf("achieved %v > activation bound %v", d, bound)
+	}
+}
+
+func TestFacadeMixedPrecision(t *testing.T) {
+	net := buildTrained(t)
+	an, err := errprop.Analyze(net, errprop.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := errprop.PlanMixedPrecision(net, an.QuantizationBound()*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.QuantBound > an.QuantizationBound()*2 {
+		t.Fatalf("mixed plan bound %v exceeds budget", plan.QuantBound)
+	}
+	qnet, err := errprop.QuantizeMixed(net, plan.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector{-0.3, 0.7, 0.2, -0.5}
+	y := net.ForwardVec(x.Clone())
+	yq := qnet.ForwardVec(x.Clone())
+	if d := y.Sub(yq).Norm2(); d > plan.QuantBound {
+		t.Fatalf("achieved %v > mixed bound %v", d, plan.QuantBound)
+	}
+}
+
+func TestFacadeEstimateRatioAndAutotune(t *testing.T) {
+	net := buildTrained(t)
+	field := make([]float64, 4*1024)
+	for f := 0; f < 4; f++ {
+		for i := 0; i < 1024; i++ {
+			field[f*1024+i] = math.Sin(float64(i)/17 + float64(f))
+		}
+	}
+	dims := []int{4, 32, 32}
+	est, err := errprop.EstimateRatio("sz", field, dims, errprop.AbsLinf, 1e-4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 1 {
+		t.Fatalf("estimated ratio %v", est)
+	}
+	res, err := errprop.Autotune(net, field, dims, autotune.Options{
+		Tol: 1e-2, Norm: errprop.NormLinf, Codec: "sz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.PredTotal <= 0 {
+		t.Fatalf("autotune returned degenerate result: %+v", res.Best)
+	}
+}
+
+func TestFacadeFoldBatchNorm(t *testing.T) {
+	spec := &errprop.Spec{Name: "f", InputDim: 2 * 4 * 4, Layers: []errprop.LayerSpec{
+		{Type: "conv", Name: "c", C: 2, H: 4, W: 4, OutC: 3, K: 3, Stride: 1, Pad: 1},
+		{Type: "bn", Name: "bn", C: 3, H: 4, W: 4},
+		{Type: "act", Act: errprop.ActReLU},
+	}}
+	net, err := spec.Build(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := errprop.FoldBatchNorm(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folded.Layers) != 2 { // conv+bn merged, act kept
+		t.Fatalf("folded layers = %d, want 2", len(folded.Layers))
+	}
+	// Folded network must be analyzable.
+	if _, err := errprop.Analyze(folded, errprop.FP16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadePipelineConfigDirect(t *testing.T) {
+	net := buildTrained(t)
+	pipe, err := errprop.NewPipelineConfig(net, errprop.PipelineConfig{
+		Codec: "zfp", Mode: errprop.AbsLinf, InputTol: 1e-4, Format: errprop.FP16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := make([]float64, 4*64)
+	for i := range field {
+		field[i] = math.Cos(float64(i) / 13)
+	}
+	res, err := pipe.Infer(field, []int{4, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InputLinf > 1e-4 {
+		t.Fatalf("input error %v exceeds codec tolerance", res.InputLinf)
+	}
+}

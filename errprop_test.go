@@ -1,0 +1,176 @@
+package errprop_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	errprop "github.com/scidata/errprop"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// buildTrained returns a small PSN MLP fitted to a smooth function, the
+// kind of model a downstream user would bring to the facade.
+func buildTrained(t testing.TB) *errprop.Network {
+	t.Helper()
+	spec := errprop.MLPSpec("facade", []int{4, 24, 24, 2}, errprop.ActTanh, true)
+	net, err := spec.Build(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	x := tensor.NewMatrix(4, 128)
+	y := tensor.NewMatrix(2, 128)
+	for c := 0; c < 128; c++ {
+		var s float64
+		for r := 0; r < 4; r++ {
+			v := rng.Float64()*2 - 1
+			x.Set(r, c, v)
+			s += v
+		}
+		y.Set(0, c, math.Sin(s))
+		y.Set(1, c, 0.5*math.Cos(2*s))
+	}
+	// Minimal training loop through the exported surface.
+	for epoch := 0; epoch < 200; epoch++ {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		grad := tensor.NewMatrix(2, 128)
+		for i := range grad.Data {
+			grad.Data[i] = (out.Data[i] - y.Data[i]) / 128
+		}
+		net.AddRegGrad(1e-4)
+		net.Backward(grad)
+		for _, p := range net.Params() {
+			for i := range p.Data {
+				p.Data[i] -= 0.1 * p.Grad[i]
+			}
+		}
+	}
+	net.RefreshSigmas()
+	return net
+}
+
+func TestFacadeAnalyzeBoundHolds(t *testing.T) {
+	net := buildTrained(t)
+	an, err := errprop.Analyze(net, errprop.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qnet, err := errprop.Quantize(net, errprop.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	einf := 1e-4
+	bound := an.BoundLinf(einf)
+	for trial := 0; trial < 20; trial++ {
+		x := make(tensor.Vector, 4)
+		xp := make(tensor.Vector, 4)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+			xp[i] = x[i] + (rng.Float64()*2-1)*einf
+		}
+		y := net.ForwardVec(x.Clone())
+		yq := qnet.ForwardVec(xp)
+		if d := y.Sub(yq).NormInf(); d > bound {
+			t.Fatalf("achieved %v > facade bound %v", d, bound)
+		}
+	}
+}
+
+func TestFacadePlanAndPipeline(t *testing.T) {
+	net := buildTrained(t)
+	plan, err := errprop.Plan(net, errprop.PlanRequest{
+		Tol: 1e-2, Norm: errprop.NormLinf, QuantFraction: 0.5, Conservative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalBound > 1e-2 {
+		t.Fatalf("plan bound %v exceeds tolerance", plan.TotalBound)
+	}
+	pipe, err := errprop.NewPipeline(net, plan, "sz", errprop.NormLinf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4-feature field on a 16x16 grid.
+	rng := rand.New(rand.NewSource(14))
+	field := make([]float64, 4*256)
+	for f := 0; f < 4; f++ {
+		for i := 0; i < 256; i++ {
+			field[f*256+i] = math.Sin(float64(i)/9+float64(f)) + 0.01*rng.NormFloat64()
+		}
+	}
+	res, err := pipe.Infer(field, []int{4, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 256 || res.Output.Rows != 2 {
+		t.Fatalf("pipeline output %dx%d for %d samples", res.Output.Rows, res.Output.Cols, res.Samples)
+	}
+	// End-to-end QoI guarantee.
+	ref := net.Forward(tensor.NewMatrixFrom(4, 256, field), false)
+	var worst float64
+	for i := range ref.Data {
+		if d := math.Abs(res.Output.Data[i] - ref.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-2 {
+		t.Fatalf("end-to-end QoI error %v exceeds planned tolerance", worst)
+	}
+}
+
+func TestFacadeCompressRoundTrip(t *testing.T) {
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 11)
+	}
+	for _, codec := range errprop.Codecs() {
+		blob, err := errprop.Compress(codec, data, []int{500}, errprop.AbsLinf, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, err := errprop.Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if math.Abs(recon[i]-data[i]) > 1e-5 {
+				t.Fatalf("%s: error %v", codec, math.Abs(recon[i]-data[i]))
+			}
+		}
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	net := buildTrained(t)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := errprop.LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector{0.1, -0.2, 0.3, 0.4}
+	a := net.ForwardVec(x.Clone())
+	b := loaded.ForwardVec(x.Clone())
+	if a.Sub(b).NormInf() > 1e-9 {
+		t.Fatal("loaded network diverges")
+	}
+}
+
+func TestFacadeStepSizesAndThroughput(t *testing.T) {
+	w := []float64{0.5, -0.25, 0.125, 1}
+	if errprop.StepSize(errprop.BF16, w) <= errprop.StepSize(errprop.FP16, w) {
+		t.Fatal("BF16 step should exceed FP16")
+	}
+	net := buildTrained(t)
+	fp32 := errprop.ExecThroughput(net, errprop.RTX3080Ti, errprop.FP32, 256)
+	fp16 := errprop.ExecThroughput(net, errprop.RTX3080Ti, errprop.FP16, 256)
+	if fp16 < fp32 {
+		t.Fatal("FP16 throughput below FP32")
+	}
+}

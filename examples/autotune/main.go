@@ -1,0 +1,91 @@
+// Autotune: the optimization step the paper names as future work —
+// automatically pick the tolerance split between quantization and
+// compression that maximizes predicted end-to-end throughput. Trains the
+// H2 surrogate, then compares the optimizer's choice against the fixed
+// 10%/50%/90% allocations of Figs. 11-15, and finally verifies the
+// chosen configuration's QoI guarantee by running the real pipeline.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"math"
+
+	errprop "github.com/scidata/errprop"
+	"github.com/scidata/errprop/internal/autotune"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/nn"
+)
+
+func main() {
+	train := dataset.H2Combustion(32, 101)
+	spec := errprop.MLPSpec("h2", []int{9, 50, 50, 9}, errprop.ActTanh, true)
+	net, err := spec.Build(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("training the H2 surrogate...")
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	for epoch := 0; epoch < 150; epoch++ {
+		for lo := 0; lo < train.N(); lo += 256 {
+			hi := lo + 256
+			if hi > train.N() {
+				hi = train.N()
+			}
+			x, y := train.Batch(lo, hi)
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			_, grad := nn.MSELoss(out, y)
+			net.AddRegGrad(1e-4)
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+	}
+	net.RefreshSigmas()
+
+	// A production-scale input block (384x384 grid, ~10 MB).
+	big := dataset.H2Combustion(384, 777)
+	field, dims := big.FieldData(), big.FieldDims
+
+	tol := 1e-2
+	fmt.Printf("\nsearching allocations for QoI tolerance %g (Linf), codec sz:\n\n", tol)
+	res, err := errprop.Autotune(net, field, dims, autotune.Options{
+		Tol: tol, Norm: core.NormLinf, Codec: "sz"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-8s %-7s %-10s %-12s %-12s %-12s\n",
+		"alloc", "format", "est ratio", "IO GB/s", "exec GB/s", "total GB/s")
+	for _, c := range res.Candidates {
+		marker := " "
+		if c.Fraction == res.Best.Fraction {
+			marker = "*"
+		}
+		fmt.Printf("%-7.2f%s %-7s %-10.1f %-12.2f %-12.2f %-12.2f\n",
+			c.Fraction, marker, c.Plan.Format, c.EstRatio,
+			c.PredIO/1e9, c.PredExec/1e9, c.PredTotal/1e9)
+	}
+	fmt.Printf("\noptimizer picks allocation %.2f (%s) at %.2f GB/s predicted\n",
+		res.Best.Fraction, res.Best.Plan.Format, res.Best.PredTotal/1e9)
+
+	// Execute the chosen configuration and verify the guarantee.
+	pipe, err := errprop.NewPipeline(net, res.Best.Plan, "sz", errprop.NormLinf)
+	if err != nil {
+		panic(err)
+	}
+	out, err := pipe.Infer(field, dims)
+	if err != nil {
+		panic(err)
+	}
+	ref := net.Forward(big.FromFieldData(field), false)
+	var worst float64
+	for i := range ref.Data {
+		if d := math.Abs(out.Output.Data[i] - ref.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("\nexecuted: ratio %.1fx, measured total %.2f GB/s\n", out.Ratio, out.TotalThroughput/1e9)
+	fmt.Printf("achieved QoI error %.2e <= tolerance %g: %v\n", worst, tol, worst <= tol)
+}

@@ -1,0 +1,98 @@
+// Combustion: the paper's headline scenario end to end. Train the
+// 9-species hydrogen reaction-rate surrogate (two hidden layers of 50,
+// Tanh, SGD — the architecture from the paper's introduction), hand the
+// planner a QoI tolerance, and run the resulting compressed + quantized
+// inference pipeline, reporting phase throughputs and the verified QoI
+// error.
+//
+//	go run ./examples/combustion
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	errprop "github.com/scidata/errprop"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/nn"
+)
+
+func main() {
+	// Synthetic single-vortex H2 data (see DESIGN.md for the substitution
+	// rationale): 9 species mass fractions -> 9 reaction rates.
+	train := dataset.H2Combustion(32, 101)
+	test := dataset.H2Combustion(24, 707)
+
+	spec := errprop.MLPSpec("h2", []int{9, 50, 50, 9}, errprop.ActTanh, true)
+	net, err := spec.Build(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("training the reaction-rate surrogate...")
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	for epoch := 0; epoch < 150; epoch++ {
+		for lo := 0; lo < train.N(); lo += 256 {
+			hi := min(lo+256, train.N())
+			x, y := train.Batch(lo, hi)
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			_, grad := nn.MSELoss(out, y)
+			net.AddRegGrad(1e-4)
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+	}
+	net.RefreshSigmas()
+	x, y := test.Batch(0, test.N())
+	mse, _ := nn.MSELoss(net.Forward(x, false), y)
+	fmt.Printf("test MSE: %.5f\n\n", mse)
+
+	// Plan for a 1e-3 QoI tolerance (the paper's turning point), giving
+	// quantization half the budget.
+	tol := 1e-3
+	plan, err := errprop.Plan(net, errprop.PlanRequest{
+		Tol: tol, Norm: errprop.NormLinf, QuantFraction: 0.5, Conservative: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("planner decision for QoI tolerance %g (Linf):\n", tol)
+	fmt.Printf("  quantization format: %s (predicted bound %.2e)\n", plan.Format, plan.QuantBound)
+	fmt.Printf("  compression budget:  %.2e -> input tol %.2e\n\n", plan.CompressBudget, plan.InputTolLinf)
+
+	pipe, err := errprop.NewPipeline(net, plan, "sz", errprop.NormLinf)
+	if err != nil {
+		panic(err)
+	}
+	res, err := pipe.Infer(test.FieldData(), test.FieldDims)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pipeline over %d grid points:\n", res.Samples)
+	fmt.Printf("  compression ratio: %.1fx\n", res.Ratio)
+	fmt.Printf("  I/O phase:         %v (%.2f GB/s)\n", res.IO, res.IOThroughput/1e9)
+	fmt.Printf("  preprocess phase:  %v (%.2f GB/s)\n", res.Preprocess, res.PreprocessThroughput/1e9)
+	fmt.Printf("  execution phase:   %v (%.2f GB/s)\n", res.Exec, res.ExecThroughput/1e9)
+	fmt.Printf("  total throughput:  %.2f GB/s\n\n", res.TotalThroughput/1e9)
+
+	// Verify the end-to-end guarantee against full-precision inference on
+	// pristine inputs.
+	ref := net.Forward(test.FromFieldData(test.FieldData()), false)
+	var worst float64
+	for i := range ref.Data {
+		if d := math.Abs(res.Output.Data[i] - ref.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("achieved QoI error: %.2e (tolerance %g) -> within bound: %v\n", worst, tol, worst <= tol)
+	if worst > tol {
+		os.Exit(1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

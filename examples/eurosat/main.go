@@ -1,0 +1,129 @@
+// EuroSAT: multispectral land-cover classification with compressed
+// inputs and quantized weights. The QoI is the final feature map (as in
+// the paper); the example shows that classification accuracy survives
+// reduction chosen by the error analysis, and that the feature-map
+// perturbation stays within the predicted bound.
+//
+//	go run ./examples/eurosat
+package main
+
+import (
+	"fmt"
+	"math"
+
+	errprop "github.com/scidata/errprop"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+const size = 8
+
+func main() {
+	train := dataset.EuroSAT(80, size, 505)
+	test := dataset.EuroSAT(40, size, 909)
+
+	// A reduced ResNet-18 topology (two stages of basic blocks) with PSN.
+	spec := errprop.ResNetSpec("eurosat", dataset.EuroSATBands, size, size, 10,
+		[]int{1, 1}, []int{8, 16}, errprop.ActReLU, true)
+	net, err := spec.Build(4321)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range net.Params() { // PSN recipe: start alphas near 1
+		if len(p.Data) == 1 && p.Name[len(p.Name)-5:] == "alpha" {
+			p.Data[0] = 1.5
+		}
+	}
+	fmt.Println("training the land-cover classifier...")
+	opt := nn.NewSGD(0.01, 0.9, 0)
+	for epoch := 0; epoch < 60; epoch++ {
+		for lo := 0; lo < train.N(); lo += 20 {
+			hi := min(lo+20, train.N())
+			x, labels := train.BatchMatrix(lo, hi)
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			_, grad := nn.CrossEntropyLoss(out, labels)
+			net.AddRegGrad(1e-3)
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+	}
+	net.RefreshSigmas()
+
+	x, labels := test.BatchMatrix(0, test.N())
+	baseAcc := nn.Accuracy(net.Forward(x, false), labels)
+	fmt.Printf("clean FP32 accuracy: %.2f\n\n", baseAcc)
+
+	// Analyze the feature-map QoI under FP16 weights.
+	feat := net.FeatureNetwork()
+	an, err := errprop.Analyze(feat, errprop.FP16)
+	if err != nil {
+		panic(err)
+	}
+	einf := 1e-3 // pointwise tolerance handed to the image compressor
+	bound := an.BoundLinf(einf)
+	fmt.Printf("feature-map QoI bound at input tol %g + fp16: %.3e\n\n", einf, bound)
+
+	// Compress every test image with ZFP, quantize the model to FP16,
+	// and compare accuracy and feature drift.
+	qnet, err := errprop.Quantize(net, errprop.FP16)
+	if err != nil {
+		panic(err)
+	}
+	qfeat := qnet.FeatureNetwork()
+	correct, worstDrift := 0, 0.0
+	var totalRatio float64
+	for i := 0; i < test.N(); i++ {
+		field, dims := test.ImageField(i)
+		blob, err := errprop.Compress("zfp", field, dims, errprop.AbsLinf, einf)
+		if err != nil {
+			panic(err)
+		}
+		recon, err := errprop.Decompress(blob)
+		if err != nil {
+			panic(err)
+		}
+		totalRatio += float64(len(field)*8) / float64(len(blob))
+
+		xi := tensor.NewMatrixFrom(len(field), 1, recon)
+		logits := qnet.Forward(xi, false)
+		if argmax(logits) == test.Labels[i] {
+			correct++
+		}
+		// Feature drift vs full-precision features of the pristine image.
+		ref := feat.Forward(tensor.NewMatrixFrom(len(field), 1, field), false)
+		got := qfeat.Forward(xi, false)
+		drift := tensor.Vector(got.Data).Sub(tensor.Vector(ref.Data)).Norm2()
+		if drift > worstDrift {
+			worstDrift = drift
+		}
+	}
+	fmt.Printf("zfp ratio (avg):          %.1fx\n", totalRatio/float64(test.N()))
+	fmt.Printf("reduced-pipeline accuracy: %.2f (clean %.2f)\n",
+		float64(correct)/float64(test.N()), baseAcc)
+	fmt.Printf("worst feature drift:       %.3e (bound %.3e) within: %v\n",
+		worstDrift, bound, worstDrift <= bound)
+
+	// Simulated execution speedup from FP16 on the Ampere card.
+	s := errprop.ExecThroughput(net, errprop.RTX3080Ti, errprop.FP16, 64) /
+		errprop.ExecThroughput(net, errprop.RTX3080Ti, errprop.FP32, 64)
+	fmt.Printf("fp16 execution speedup:    %.2fx (simulated RTX 3080 Ti)\n", s)
+}
+
+func argmax(m *tensor.Matrix) int {
+	best, idx := math.Inf(-1), -1
+	for r := 0; r < m.Rows; r++ {
+		if v := m.At(r, 0); v > best {
+			best, idx = v, r
+		}
+	}
+	return idx
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+// Planner: sweep user QoI tolerances and allocation strategies on the
+// Borghesi dissipation-rate task and print the planner's decisions — the
+// scenario behind Figs. 11-15. Shows how the chosen quantization format
+// climbs the speed ladder as the tolerance loosens, and how unused
+// quantization budget is recycled into compression.
+//
+//	go run ./examples/planner
+package main
+
+import (
+	"fmt"
+	"math"
+
+	errprop "github.com/scidata/errprop"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/nn"
+)
+
+func main() {
+	train := dataset.BorghesiFlame(32, 303)
+	dims := []int{13, 32, 32, 32, 32, 32, 32, 32, 32, 3}
+	spec := errprop.MLPSpec("borghesi", dims, errprop.ActPReLU, true)
+	net, err := spec.Build(1234)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range net.Params() { // deep-net PSN recipe
+		if len(p.Data) == 1 && p.Name[len(p.Name)-5:] == "alpha" {
+			p.Data[0] = 1.15
+		}
+	}
+	fmt.Println("training the dissipation-rate surrogate (8 hidden layers, Adam)...")
+	opt := nn.NewAdam(2e-3)
+	for epoch := 0; epoch < 160; epoch++ {
+		for lo := 0; lo < train.N(); lo += 256 {
+			hi := lo + 256
+			if hi > train.N() {
+				hi = train.N()
+			}
+			x, y := train.Batch(lo, hi)
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			_, grad := nn.MSELoss(out, y)
+			net.AddRegGrad(1e-2)
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+	}
+	net.RefreshSigmas()
+
+	an, err := errprop.Analyze(net, errprop.FP32)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trained Lipschitz bound: %.3f\n\n", an.Lipschitz())
+
+	fmt.Printf("%-10s %-6s %-7s %-12s %-13s %-12s\n",
+		"tolerance", "alloc", "format", "quant bound", "input tol", "pred bound")
+	for _, tol := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1} {
+		for _, frac := range []float64{0.1, 0.5, 0.9} {
+			plan, err := errprop.Plan(net, errprop.PlanRequest{
+				Tol: tol, Norm: errprop.NormLinf, QuantFraction: frac})
+			if err != nil {
+				panic(err)
+			}
+			inputTol := fmt.Sprintf("%.3e", plan.InputTolLinf)
+			if math.IsInf(plan.InputTolLinf, 0) {
+				inputTol = "uncompressed"
+			}
+			fmt.Printf("%-10.0e %-6.1f %-7s %-12.3e %-13s %-12.3e\n",
+				tol, frac, plan.Format, plan.QuantBound, inputTol, plan.TotalBound)
+		}
+	}
+	fmt.Println("\nnote: rows with the same format within a tolerance coincide when the")
+	fmt.Println("allocation differences fall between two discrete format bounds —")
+	fmt.Println("the overlap the paper points out in Figs. 11-15.")
+}

@@ -1,0 +1,101 @@
+// Quickstart: build a small PSN network, train it on a toy regression,
+// predict error bounds for compression + quantization, then verify
+// empirically that the achieved errors stay inside the bounds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	errprop "github.com/scidata/errprop"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func main() {
+	// 1. A 4-input, 2-output MLP with parameterized spectral
+	//    normalization (Eq. 6 of the paper) on every layer.
+	spec := errprop.MLPSpec("quickstart", []int{4, 32, 32, 2}, errprop.ActTanh, true)
+	net, err := spec.Build(1)
+	if err != nil {
+		panic(err)
+	}
+
+	// 2. Train on a smooth target with the spectral penalty.
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.NewMatrix(4, 256)
+	y := tensor.NewMatrix(2, 256)
+	for c := 0; c < 256; c++ {
+		var s float64
+		for r := 0; r < 4; r++ {
+			v := rng.Float64()*2 - 1
+			x.Set(r, c, v)
+			s += v
+		}
+		y.Set(0, c, math.Sin(2*s))
+		y.Set(1, c, math.Exp(-s*s))
+	}
+	for epoch := 0; epoch < 400; epoch++ {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		grad := tensor.NewMatrix(2, 256)
+		var loss float64
+		for i := range grad.Data {
+			d := out.Data[i] - y.Data[i]
+			loss += d * d
+			grad.Data[i] = d / 256
+		}
+		net.AddRegGrad(1e-4) // PSN spectral penalty
+		net.Backward(grad)
+		for _, p := range net.Params() {
+			for i := range p.Data {
+				p.Data[i] -= 0.1 * p.Grad[i]
+			}
+		}
+		if epoch%100 == 0 {
+			fmt.Printf("epoch %3d  loss %.5f\n", epoch, loss/512)
+		}
+	}
+	net.RefreshSigmas()
+
+	// 3. Predict bounds before touching the data or the weights.
+	an, err := errprop.Analyze(net, errprop.FP16)
+	if err != nil {
+		panic(err)
+	}
+	einf := 1e-4 // pointwise input error the compressor will be allowed
+	fmt.Printf("\nLipschitz bound:            %.4f\n", an.Lipschitz())
+	fmt.Printf("compression bound (Linf):   %.3e\n", an.CompressionBoundLinf(einf))
+	fmt.Printf("quantization bound (fp16):  %.3e\n", an.QuantizationBound())
+	fmt.Printf("combined bound (Ineq. 3):   %.3e\n", an.BoundLinf(einf))
+
+	// 4. Actually compress the inputs (SZ) and quantize the weights
+	//    (FP16), then measure what really happened.
+	field := make([]float64, 4*256)
+	copy(field, x.Data)
+	blob, err := errprop.Compress("sz", field, []int{4, 16, 16}, errprop.AbsLinf, einf)
+	if err != nil {
+		panic(err)
+	}
+	recon, err := errprop.Decompress(blob)
+	if err != nil {
+		panic(err)
+	}
+	qnet, err := errprop.Quantize(net, errprop.FP16)
+	if err != nil {
+		panic(err)
+	}
+	ref := net.Forward(x, false)
+	got := qnet.Forward(tensor.NewMatrixFrom(4, 256, recon), false)
+	var worst float64
+	for i := range ref.Data {
+		if d := math.Abs(got.Data[i] - ref.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("\nachieved QoI error (Linf):  %.3e\n", worst)
+	fmt.Printf("bound holds:                %v (gap %.1fx)\n",
+		worst <= an.BoundLinf(einf), an.BoundLinf(einf)/worst)
+}

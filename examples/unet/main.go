@@ -1,0 +1,98 @@
+// UNet: error-bounded inference through a U-Net — the architecture
+// family the paper's future work targets. Trains a small U-Net to map
+// mixture-fraction patches to dissipation-rate patches (field-to-field),
+// then shows the skip-concatenation error-flow rule in action: predicted
+// bounds versus achieved errors for compressed inputs and quantized
+// weights.
+//
+//	go run ./examples/unet
+package main
+
+import (
+	"fmt"
+	"math"
+
+	errprop "github.com/scidata/errprop"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+const patch = 16
+
+func main() {
+	// Cut 16x16 patches from a Borghesi field: channel 0 of X -> output
+	// 0 of Y (mixture fraction -> chi_Z).
+	d := dataset.BorghesiFlame(64, 1001)
+	grid := 64
+	per := grid / patch
+	n := per * per
+	x := tensor.NewMatrix(patch*patch, n)
+	y := tensor.NewMatrix(patch*patch, n)
+	idx := 0
+	for py := 0; py < per; py++ {
+		for px := 0; px < per; px++ {
+			for i := 0; i < patch; i++ {
+				for j := 0; j < patch; j++ {
+					g := (py*patch+i)*grid + px*patch + j
+					x.Set(i*patch+j, idx, d.X.At(0, g))
+					y.Set(i*patch+j, idx, d.Y.At(0, g))
+				}
+			}
+			idx++
+		}
+	}
+
+	spec := nn.UNetSpec("unet", 1, patch, patch, 1, 6, errprop.ActTanh, true)
+	net, err := spec.Build(7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("training the field-to-field U-Net surrogate...")
+	opt := nn.NewAdam(3e-3)
+	var loss float64
+	for epoch := 0; epoch < 250; epoch++ {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		var grad *tensor.Matrix
+		loss, grad = nn.MSELoss(out, y)
+		net.AddRegGrad(1e-3)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	net.RefreshSigmas()
+	fmt.Printf("final training MSE: %.5f\n\n", loss)
+
+	an, err := errprop.Analyze(net, errprop.FP16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("U-Net Lipschitz bound (with the sqrt(1+L^2) concat rule): %.3f\n", an.Lipschitz())
+	fmt.Printf("FP16 quantization bound: %.3e\n\n", an.QuantizationBound())
+
+	// Compress the input patches and quantize the weights; verify.
+	einf := 1e-4
+	blob, err := errprop.Compress("zfp", x.Data, []int{x.Rows, x.Cols}, errprop.AbsLinf, einf)
+	if err != nil {
+		panic(err)
+	}
+	recon, err := errprop.Decompress(blob)
+	if err != nil {
+		panic(err)
+	}
+	qnet, err := errprop.Quantize(net, errprop.FP16)
+	if err != nil {
+		panic(err)
+	}
+	ref := net.Forward(x, false)
+	got := qnet.Forward(tensor.NewMatrixFrom(x.Rows, x.Cols, recon), false)
+	var worst float64
+	for i := range ref.Data {
+		if dd := math.Abs(got.Data[i] - ref.Data[i]); dd > worst {
+			worst = dd
+		}
+	}
+	bound := an.BoundLinf(einf)
+	fmt.Printf("zfp@%.0e + fp16: achieved QoI error %.3e, bound %.3e -> holds: %v (gap %.0fx)\n",
+		einf, worst, bound, worst <= bound, bound/worst)
+}

@@ -1,0 +1,3 @@
+module github.com/scidata/errprop
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package autotune implements the optimization step the paper leaves as
+// future work: "an optimization algorithm to automate the determination
+// of the optimal strategy" for splitting a QoI tolerance between
+// quantization and compression. It searches candidate allocation
+// fractions, predicts each configuration's end-to-end throughput from a
+// *sampled* compression-ratio estimate plus the storage and roofline
+// models, and returns the fastest configuration whose predicted bound
+// meets the tolerance.
+package autotune
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/gpusim"
+	"github.com/scidata/errprop/internal/hpcio"
+	"github.com/scidata/errprop/internal/nn"
+)
+
+// Options configures the search.
+type Options struct {
+	// Tol is the total QoI tolerance (absolute, in Norm).
+	Tol float64
+	// Norm states the tolerance norm.
+	Norm core.Norm
+	// Codec names the compression backend.
+	Codec string
+	// Fractions are the candidate quantization allocations (default
+	// 0.05..0.95 in steps of 0.15).
+	Fractions []float64
+	// SampleFrac is the ratio-estimation sample size (default 0.1).
+	SampleFrac float64
+	// Device, Storage, Decode: simulation models (defaults as in
+	// internal/pipeline).
+	Device  *gpusim.Device
+	Storage *hpcio.Storage
+	Decode  hpcio.DecodeModel
+	// Batch is the execution batch size (default 256).
+	Batch int
+	// Conservative routes the compression budget through sigma~.
+	Conservative bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.Fractions == nil {
+		o.Fractions = []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}
+	}
+	if o.SampleFrac == 0 {
+		o.SampleFrac = 0.1
+	}
+	if o.Device == nil {
+		o.Device = gpusim.RTX3080Ti
+	}
+	if o.Storage == nil {
+		o.Storage = hpcio.DefaultStorage()
+	}
+	if o.Decode == nil {
+		o.Decode = hpcio.DefaultDecodeModel()
+	}
+	if o.Batch == 0 {
+		o.Batch = 256
+	}
+}
+
+// Choice is one evaluated configuration.
+type Choice struct {
+	Fraction float64
+	Plan     *core.Plan
+	// EstRatio is the sampled compression-ratio estimate (1 if the plan
+	// leaves the data uncompressed).
+	EstRatio float64
+	// Predicted phase and total throughputs, bytes of scientific data/s.
+	PredIO, PredExec, PredTotal float64
+}
+
+// Result is the search outcome: the best choice plus every candidate
+// evaluated (for reporting).
+type Result struct {
+	Best       *Choice
+	Candidates []Choice
+}
+
+// Optimize searches the allocation fractions for the configuration with
+// the highest predicted end-to-end throughput on the given input block.
+func Optimize(net *nn.Network, field []float64, dims []int, opt Options) (*Result, error) {
+	opt.fillDefaults()
+	if opt.Tol <= 0 || math.IsNaN(opt.Tol) {
+		return nil, fmt.Errorf("autotune: invalid tolerance %v", opt.Tol)
+	}
+	if _, err := compress.ByName(opt.Codec); err != nil {
+		return nil, err
+	}
+	root, err := core.FromNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	rawBytes := float64(len(field) * 8)
+
+	var res Result
+	for _, frac := range opt.Fractions {
+		plan, err := core.PlanGraph(root, core.PlanRequest{
+			Tol: opt.Tol, Norm: opt.Norm, QuantFraction: frac, Conservative: opt.Conservative})
+		if err != nil {
+			return nil, err
+		}
+		c := Choice{Fraction: frac, Plan: plan, EstRatio: 1}
+
+		// Predict the I/O phase from a sampled ratio estimate.
+		mode, inputTol := compress.AbsLinf, plan.InputTolLinf
+		if opt.Norm == core.NormL2 {
+			mode, inputTol = compress.L2, plan.InputTolL2
+		}
+		var stored int64
+		if math.IsInf(inputTol, 0) {
+			stored = int64(rawBytes)
+		} else {
+			stored, err = compress.EstimateStoredBytes(opt.Codec, field, dims, mode, inputTol, opt.SampleFrac)
+			if err != nil {
+				return nil, err
+			}
+			c.EstRatio = rawBytes / float64(stored)
+		}
+		readT := opt.Storage.ReadTime(stored)
+		decT, err := opt.Decode.DecodeTime(opt.Codec, stored, int64(rawBytes))
+		if err != nil {
+			return nil, err
+		}
+		if c.EstRatio == 1 {
+			decT = 0 // uncompressed path skips decode
+		}
+		c.PredIO = rawBytes / (readT + decT).Seconds()
+		c.PredExec = gpusim.Throughput(net, opt.Device, plan.Format, opt.Batch)
+		c.PredTotal = math.Min(c.PredIO, c.PredExec)
+		res.Candidates = append(res.Candidates, c)
+		if res.Best == nil || c.PredTotal > res.Best.PredTotal {
+			best := c
+			res.Best = &best
+		}
+	}
+	return &res, nil
+}

@@ -1,0 +1,94 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+
+	_ "github.com/scidata/errprop/internal/compress/mgard"
+	_ "github.com/scidata/errprop/internal/compress/sz"
+	_ "github.com/scidata/errprop/internal/compress/zfp"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/nn"
+)
+
+func tunedNet(t testing.TB) (*nn.Network, *dataset.Regression) {
+	t.Helper()
+	d := dataset.H2Combustion(48, 21)
+	spec := nn.MLPSpec("m", []int{9, 50, 50, 9}, nn.ActTanh, true)
+	net, err := spec.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RefreshSigmas()
+	return net, d
+}
+
+func TestOptimizeFindsBest(t *testing.T) {
+	net, d := tunedNet(t)
+	res, err := Optimize(net, d.FieldData(), d.FieldDims, Options{
+		Tol: 1e-2, Norm: core.NormLinf, Codec: "sz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.Candidates) != 7 {
+		t.Fatalf("result malformed: %+v", res)
+	}
+	for _, c := range res.Candidates {
+		if c.PredTotal > res.Best.PredTotal {
+			t.Fatalf("candidate %v beats reported best %v", c.PredTotal, res.Best.PredTotal)
+		}
+		if c.Plan.TotalBound > 1e-2*(1+1e-9) {
+			t.Fatalf("candidate at frac %v violates tolerance: %v", c.Fraction, c.Plan.TotalBound)
+		}
+		if c.PredIO <= 0 || c.PredExec <= 0 {
+			t.Fatalf("degenerate prediction: %+v", c)
+		}
+	}
+}
+
+func TestOptimizeTighterToleranceSlower(t *testing.T) {
+	net, d := tunedNet(t)
+	loose, err := Optimize(net, d.FieldData(), d.FieldDims, Options{
+		Tol: 1e-1, Norm: core.NormLinf, Codec: "sz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Optimize(net, d.FieldData(), d.FieldDims, Options{
+		Tol: 1e-6, Norm: core.NormLinf, Codec: "sz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Best.PredTotal > loose.Best.PredTotal*(1+1e-9) {
+		t.Fatalf("tighter tolerance predicted faster: %v vs %v",
+			tight.Best.PredTotal, loose.Best.PredTotal)
+	}
+}
+
+func TestOptimizeL2(t *testing.T) {
+	net, d := tunedNet(t)
+	res, err := Optimize(net, d.FieldData(), d.FieldDims, Options{
+		Tol: 1e-3, Norm: core.NormL2, Codec: "mgard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.EstRatio < 1 {
+		t.Fatalf("estimated ratio %v < 1", res.Best.EstRatio)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	net, d := tunedNet(t)
+	if _, err := Optimize(net, d.FieldData(), d.FieldDims, Options{
+		Tol: 0, Norm: core.NormLinf, Codec: "sz"}); err == nil {
+		t.Fatal("zero tolerance should error")
+	}
+	if _, err := Optimize(net, d.FieldData(), d.FieldDims, Options{
+		Tol: math.NaN(), Norm: core.NormLinf, Codec: "sz"}); err == nil {
+		t.Fatal("NaN tolerance should error")
+	}
+	if _, err := Optimize(net, d.FieldData(), d.FieldDims, Options{
+		Tol: 1e-3, Norm: core.NormLinf, Codec: "nope"}); err == nil {
+		t.Fatal("unknown codec should error")
+	}
+}

@@ -1,0 +1,117 @@
+// Package bitstream provides bit-granular writers and readers used by the
+// lossy codecs (SZ-style Huffman streams, ZFP-style bit-plane coding).
+// Bits are packed LSB-first within bytes; multi-bit writes emit the least
+// significant bit first, and reads mirror that order exactly.
+package bitstream
+
+import (
+	"errors"
+)
+
+// ErrShortStream is returned when a read runs past the end of the stream.
+var ErrShortStream = errors.New("bitstream: read past end of stream")
+
+// Writer accumulates bits into a byte slice.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, LSB-first
+	nbit uint   // number of pending bits in cur (< 8 after flushing)
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.cur |= uint64(b&1) << w.nbit
+	w.nbit++
+	if w.nbit == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, least significant bit first.
+// n may be 0..64.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	for n > 0 {
+		take := 8 - w.nbit
+		if take > n {
+			take = n
+		}
+		w.cur |= (v & ((1 << take) - 1)) << w.nbit
+		w.nbit += take
+		v >>= take
+		n -= take
+		if w.nbit == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.nbit = 0, 0
+		}
+	}
+}
+
+// Bytes flushes any pending partial byte (zero-padded) and returns the
+// accumulated buffer. The Writer remains usable; further writes continue
+// on a fresh byte boundary.
+func (w *Writer) Bytes() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// BitLen returns the total number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nbit) }
+
+// Reader consumes bits from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bit position within buf[pos]
+}
+
+// NewReader returns a Reader over data. The slice is not copied.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrShortStream
+	}
+	b := uint(r.buf[r.pos]>>r.bit) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+// ReadBits reads n bits (0..64), LSB-first, mirroring WriteBits.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	var got uint
+	for got < n {
+		if r.pos >= len(r.buf) {
+			return 0, ErrShortStream
+		}
+		avail := 8 - r.bit
+		take := n - got
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.buf[r.pos]>>r.bit) & ((1 << take) - 1)
+		v |= chunk << got
+		got += take
+		r.bit += take
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return (len(r.buf)-r.pos)*8 - int(r.bit) }

@@ -1,0 +1,136 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBits(t *testing.T) {
+	w := NewWriter()
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil || got != want {
+			t.Fatalf("bit %d = %d (err %v), want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestWriteBitsRoundTrip(t *testing.T) {
+	w := NewWriter()
+	vals := []struct {
+		v uint64
+		n uint
+	}{
+		{0x5, 3}, {0xFFFF, 16}, {0, 1}, {0x123456789ABCDEF0, 64}, {1, 1}, {0x7F, 7},
+	}
+	for _, c := range vals {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range vals {
+		got, err := r.ReadBits(c.n)
+		if err != nil || got != c.v {
+			t.Fatalf("field %d = %#x (err %v), want %#x", i, got, err, c.v)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0, 13)
+	if w.BitLen() != 13 {
+		t.Fatalf("BitLen = %d, want 13", w.BitLen())
+	}
+	b := w.Bytes()
+	if len(b) != 2 {
+		t.Fatalf("Bytes len = %d, want 2", len(b))
+	}
+}
+
+func TestShortStream(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrShortStream {
+		t.Fatalf("err = %v, want ErrShortStream", err)
+	}
+	if _, err := NewReader(nil).ReadBits(3); err != ErrShortStream {
+		t.Fatalf("err = %v, want ErrShortStream", err)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 11 {
+		t.Fatalf("Remaining after 5 = %d", r.Remaining())
+	}
+}
+
+func TestZeroWidthWrite(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFF, 0)
+	w.WriteBit(1)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(0); v != 0 {
+		t.Fatal("zero-width read should return 0")
+	}
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("bit after zero-width write lost")
+	}
+}
+
+// Property: arbitrary sequences of variable-width writes round-trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%64) + 1
+		type field struct {
+			v uint64
+			n uint
+		}
+		fields := make([]field, n)
+		w := NewWriter()
+		for i := range fields {
+			width := uint(rng.Intn(64) + 1)
+			v := rng.Uint64() & ((1 << width) - 1)
+			if width == 64 {
+				v = rng.Uint64()
+			}
+			fields[i] = field{v, width}
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for _, fl := range fields {
+			got, err := r.ReadBits(fl.n)
+			if err != nil || got != fl.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter()
+		for j := 0; j < 1024; j++ {
+			w.WriteBits(uint64(j), 11)
+		}
+		w.Bytes()
+	}
+}

@@ -1,0 +1,288 @@
+// Package compress defines the error-bounded lossy-compression interface
+// shared by the three scientific codecs the paper evaluates — SZ-style
+// prediction coding, ZFP-style transform coding and MGARD-style multilevel
+// decomposition — together with a self-describing container format so any
+// registered codec's output can be decompressed without out-of-band
+// metadata.
+//
+// The error modes mirror the tolerances the paper drives its experiments
+// with: an absolute pointwise (L-infinity) bound, a relative pointwise
+// bound (scaled by the data's value range), and a bound on the L2 norm of
+// the whole error vector. As in the paper, ZFP supports only the
+// L-infinity modes.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mode selects how the tolerance argument of Compress is interpreted.
+type Mode int
+
+const (
+	// AbsLinf bounds max_i |x_i - x~_i| <= tol.
+	AbsLinf Mode = iota
+	// RelLinf bounds max_i |x_i - x~_i| <= tol * (max x - min x).
+	RelLinf
+	// L2 bounds ||x - x~||_2 <= tol (absolute, whole-vector).
+	L2
+	// RelL2 bounds ||x - x~||_2 <= tol * ||x||_2.
+	RelL2
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case AbsLinf:
+		return "abs-linf"
+	case RelLinf:
+		return "rel-linf"
+	case L2:
+		return "l2"
+	case RelL2:
+		return "rel-l2"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ErrUnsupportedMode is returned when a codec does not implement the
+// requested error mode (e.g. ZFP with an L2 tolerance).
+var ErrUnsupportedMode = errors.New("compress: unsupported error mode for this codec")
+
+// ErrCorrupt is returned when a blob cannot be decoded.
+var ErrCorrupt = errors.New("compress: corrupt stream")
+
+// Codec is an error-bounded lossy compressor. Implementations must
+// guarantee the requested bound exactly (encoder-side verification is
+// acceptable and used by the bundled codecs as a safety net).
+type Codec interface {
+	// Name returns the registry key ("sz", "zfp", "mgard").
+	Name() string
+	// SupportsMode reports whether the codec honours the given mode.
+	SupportsMode(m Mode) bool
+	// Compress encodes data interpreted with the given dimensions
+	// (len(dims) in 1..3, product == len(data)) under the tolerance.
+	Compress(data []float64, dims []int, mode Mode, tol float64) ([]byte, error)
+	// Decompress decodes a payload produced by Compress.
+	Decompress(payload []byte, dims []int) ([]float64, error)
+}
+
+var registry = map[string]Codec{}
+
+// Register adds a codec to the global registry; it panics on duplicate
+// names, which would indicate a programmer error at init time.
+func Register(c Codec) {
+	if _, dup := registry[c.Name()]; dup {
+		panic("compress: duplicate codec " + c.Name())
+	}
+	registry[c.Name()] = c
+}
+
+// ByName returns a registered codec.
+func ByName(name string) (Codec, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Names lists registered codecs in deterministic (sorted) order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	// insertion sort; tiny slice
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+const magic = 0x53445243 // "SDRC"
+
+// Blob is a self-describing compressed buffer: container header + payload.
+type Blob struct {
+	CodecName string
+	Mode      Mode
+	Tol       float64
+	Dims      []int
+	Payload   []byte
+}
+
+// Encode compresses data with the named codec and wraps the result in the
+// container format. AbsTol resolves relative modes against the data before
+// the codec runs, so payloads always carry the absolute tolerance actually
+// enforced.
+func Encode(codecName string, data []float64, dims []int, mode Mode, tol float64) ([]byte, error) {
+	c, err := ByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	if !c.SupportsMode(mode) {
+		return nil, fmt.Errorf("%w: %s does not support %s", ErrUnsupportedMode, codecName, mode)
+	}
+	if err := checkDims(data, dims); err != nil {
+		return nil, err
+	}
+	if tol <= 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+		return nil, fmt.Errorf("compress: invalid tolerance %v", tol)
+	}
+	payload, err := c.Compress(data, dims, mode, tol)
+	if err != nil {
+		return nil, err
+	}
+	return marshal(Blob{CodecName: codecName, Mode: mode, Tol: tol, Dims: dims, Payload: payload}), nil
+}
+
+// Decode decompresses a container produced by Encode.
+func Decode(blob []byte) ([]float64, *Blob, error) {
+	b, err := unmarshal(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := ByName(b.CodecName)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := c.Decompress(b.Payload, b.Dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, b, nil
+}
+
+// AbsTol converts a (mode, tol) pair into the absolute tolerance implied
+// for the given data: pointwise for the Linf modes, whole-vector for L2.
+func AbsTol(data []float64, mode Mode, tol float64) float64 {
+	switch mode {
+	case AbsLinf, L2:
+		return tol
+	case RelLinf:
+		min, max := minMax(data)
+		return tol * (max - min)
+	case RelL2:
+		var ss float64
+		for _, x := range data {
+			ss += x * x
+		}
+		return tol * math.Sqrt(ss)
+	}
+	panic("compress: unknown mode")
+}
+
+// MeasureError returns the achieved pointwise L-infinity error and the
+// whole-vector L2 error between original and reconstructed data.
+func MeasureError(orig, recon []float64) (linf, l2 float64) {
+	if len(orig) != len(recon) {
+		panic("compress: MeasureError length mismatch")
+	}
+	var ss float64
+	for i := range orig {
+		d := math.Abs(orig[i] - recon[i])
+		if d > linf {
+			linf = d
+		}
+		ss += d * d
+	}
+	return linf, math.Sqrt(ss)
+}
+
+// Ratio returns the compression ratio original/compressed in bytes,
+// treating the original as float64 storage.
+func Ratio(n int, blob []byte) float64 {
+	if len(blob) == 0 {
+		return 0
+	}
+	return float64(n*8) / float64(len(blob))
+}
+
+func checkDims(data []float64, dims []int) error {
+	if len(dims) == 0 || len(dims) > 3 {
+		return fmt.Errorf("compress: dims rank %d not in 1..3", len(dims))
+	}
+	p := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("compress: non-positive dim %d", d)
+		}
+		p *= d
+	}
+	if p != len(data) {
+		return fmt.Errorf("compress: dims product %d != data length %d", p, len(data))
+	}
+	return nil
+}
+
+func minMax(data []float64) (min, max float64) {
+	if len(data) == 0 {
+		return 0, 0
+	}
+	min, max = data[0], data[0]
+	for _, x := range data[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+func marshal(b Blob) []byte {
+	name := []byte(b.CodecName)
+	out := make([]byte, 0, 4+1+len(name)+1+8+1+8*len(b.Dims)+4+len(b.Payload))
+	out = binary.LittleEndian.AppendUint32(out, magic)
+	out = append(out, byte(len(name)))
+	out = append(out, name...)
+	out = append(out, byte(b.Mode))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(b.Tol))
+	out = append(out, byte(len(b.Dims)))
+	for _, d := range b.Dims {
+		out = binary.LittleEndian.AppendUint64(out, uint64(d))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Payload)))
+	out = append(out, b.Payload...)
+	return out
+}
+
+func unmarshal(blob []byte) (*Blob, error) {
+	if len(blob) < 6 || binary.LittleEndian.Uint32(blob) != magic {
+		return nil, ErrCorrupt
+	}
+	p := 4
+	nameLen := int(blob[p])
+	p++
+	if p+nameLen+1+8+1 > len(blob) {
+		return nil, ErrCorrupt
+	}
+	name := string(blob[p : p+nameLen])
+	p += nameLen
+	mode := Mode(blob[p])
+	p++
+	tol := math.Float64frombits(binary.LittleEndian.Uint64(blob[p:]))
+	p += 8
+	rank := int(blob[p])
+	p++
+	if rank == 0 || rank > 3 || p+8*rank+4 > len(blob) {
+		return nil, ErrCorrupt
+	}
+	dims := make([]int, rank)
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(blob[p:]))
+		p += 8
+	}
+	plen := int(binary.LittleEndian.Uint32(blob[p:]))
+	p += 4
+	if p+plen > len(blob) {
+		return nil, ErrCorrupt
+	}
+	return &Blob{CodecName: name, Mode: mode, Tol: tol, Dims: dims, Payload: blob[p : p+plen]}, nil
+}

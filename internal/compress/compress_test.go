@@ -1,0 +1,386 @@
+package compress_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+	_ "github.com/scidata/errprop/internal/compress/mgard"
+	_ "github.com/scidata/errprop/internal/compress/sz"
+	_ "github.com/scidata/errprop/internal/compress/zfp"
+)
+
+// smooth2D generates a smooth 2-D field (sum of low-frequency sinusoids),
+// representative of the scientific data the codecs are designed for.
+func smooth2D(rows, cols int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	p1, p2, p3 := rng.Float64()*6, rng.Float64()*6, rng.Float64()*2*math.Pi
+	data := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x, y := float64(c)/float64(cols), float64(r)/float64(rows)
+			data[r*cols+c] = math.Sin(p1*x+p3)*math.Cos(p2*y) + 0.3*math.Sin(7*x*y)
+		}
+	}
+	return data
+}
+
+func noisy1D(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n)
+	v := 0.0
+	for i := range data {
+		v += rng.NormFloat64() * 0.1
+		data[i] = v + rng.NormFloat64()*0.01
+	}
+	return data
+}
+
+func TestRegistry(t *testing.T) {
+	names := compress.Names()
+	want := []string{"mgard", "sz", "zfp"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for _, n := range want {
+		if _, err := compress.ByName(n); err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := compress.ByName("lz77"); err == nil {
+		t.Fatal("ByName should reject unknown codec")
+	}
+}
+
+func TestLinfBoundAllCodecs(t *testing.T) {
+	data := smooth2D(37, 53, 1) // deliberately non-multiple-of-4 dims
+	dims := []int{37, 53}
+	for _, name := range compress.Names() {
+		for _, tol := range []float64{1e-1, 1e-3, 1e-5, 1e-8} {
+			blob, err := compress.Encode(name, data, dims, compress.AbsLinf, tol)
+			if err != nil {
+				t.Fatalf("%s tol=%v: %v", name, tol, err)
+			}
+			recon, meta, err := compress.Decode(blob)
+			if err != nil {
+				t.Fatalf("%s tol=%v decode: %v", name, tol, err)
+			}
+			if meta.CodecName != name || meta.Tol != tol {
+				t.Fatalf("%s metadata roundtrip wrong: %+v", name, meta)
+			}
+			linf, _ := compress.MeasureError(data, recon)
+			if linf > tol {
+				t.Fatalf("%s tol=%v: achieved Linf %v exceeds bound", name, tol, linf)
+			}
+		}
+	}
+}
+
+func TestRelLinfBound(t *testing.T) {
+	data := smooth2D(20, 20, 2)
+	for i := range data {
+		data[i] = data[i]*50 + 100 // shift/scale so rel != abs
+	}
+	dims := []int{20, 20}
+	min, max := data[0], data[0]
+	for _, x := range data {
+		min, max = math.Min(min, x), math.Max(max, x)
+	}
+	tol := 1e-4
+	for _, name := range compress.Names() {
+		blob, err := compress.Encode(name, data, dims, compress.RelLinf, tol)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		recon, _, err := compress.Decode(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		linf, _ := compress.MeasureError(data, recon)
+		if linf > tol*(max-min) {
+			t.Fatalf("%s: rel Linf %v exceeds %v", name, linf, tol*(max-min))
+		}
+	}
+}
+
+func TestL2Bound(t *testing.T) {
+	data := smooth2D(30, 40, 3)
+	dims := []int{30, 40}
+	for _, name := range []string{"sz", "mgard"} {
+		for _, tol := range []float64{1e-1, 1e-3, 1e-6} {
+			blob, err := compress.Encode(name, data, dims, compress.L2, tol)
+			if err != nil {
+				t.Fatalf("%s tol=%v: %v", name, tol, err)
+			}
+			recon, _, err := compress.Decode(blob)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			_, l2 := compress.MeasureError(data, recon)
+			if l2 > tol {
+				t.Fatalf("%s tol=%v: achieved L2 %v exceeds bound", name, tol, l2)
+			}
+		}
+	}
+}
+
+func TestZFPRejectsL2(t *testing.T) {
+	data := smooth2D(8, 8, 4)
+	if _, err := compress.Encode("zfp", data, []int{8, 8}, compress.L2, 1e-3); err == nil {
+		t.Fatal("zfp must reject L2 mode, as in the paper")
+	}
+	c, _ := compress.ByName("zfp")
+	if c.SupportsMode(compress.L2) || c.SupportsMode(compress.RelL2) {
+		t.Fatal("zfp SupportsMode(L2) should be false")
+	}
+	if !c.SupportsMode(compress.AbsLinf) || !c.SupportsMode(compress.RelLinf) {
+		t.Fatal("zfp should support Linf modes")
+	}
+}
+
+func TestSmoothDataCompresses(t *testing.T) {
+	// At a loose tolerance, all codecs should beat 8x on smooth data
+	// (the premise of the paper's I/O speedups).
+	data := smooth2D(128, 128, 5)
+	dims := []int{128, 128}
+	for _, name := range compress.Names() {
+		blob, err := compress.Encode(name, data, dims, compress.AbsLinf, 1e-3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ratio := compress.Ratio(len(data), blob)
+		if ratio < 8 {
+			t.Errorf("%s: ratio %.1f < 8 on smooth data at 1e-3", name, ratio)
+		}
+	}
+}
+
+func TestRatioMonotoneInTolerance(t *testing.T) {
+	data := smooth2D(64, 64, 6)
+	dims := []int{64, 64}
+	for _, name := range compress.Names() {
+		prev := math.Inf(1)
+		for _, tol := range []float64{1e-2, 1e-4, 1e-6} {
+			blob, err := compress.Encode(name, data, dims, compress.AbsLinf, tol)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			r := compress.Ratio(len(data), blob)
+			if r > prev*1.05 { // small slack for entropy-coding noise
+				t.Errorf("%s: ratio grew from %.2f to %.2f as tol tightened to %v", name, prev, r, tol)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestRank1And3(t *testing.T) {
+	for _, name := range compress.Names() {
+		d1 := noisy1D(1000, 7)
+		blob, err := compress.Encode(name, d1, []int{1000}, compress.AbsLinf, 1e-4)
+		if err != nil {
+			t.Fatalf("%s rank1: %v", name, err)
+		}
+		recon, _, err := compress.Decode(blob)
+		if err != nil {
+			t.Fatalf("%s rank1 decode: %v", name, err)
+		}
+		if linf, _ := compress.MeasureError(d1, recon); linf > 1e-4 {
+			t.Fatalf("%s rank1: Linf %v", name, linf)
+		}
+
+		d3 := smooth2D(10, 110, 8) // reuse as 10x11x10 rank-3 volume
+		blob, err = compress.Encode(name, d3, []int{10, 11, 10}, compress.AbsLinf, 1e-4)
+		if err != nil {
+			t.Fatalf("%s rank3: %v", name, err)
+		}
+		recon, _, err = compress.Decode(blob)
+		if err != nil {
+			t.Fatalf("%s rank3 decode: %v", name, err)
+		}
+		if linf, _ := compress.MeasureError(d3, recon); linf > 1e-4 {
+			t.Fatalf("%s rank3: Linf %v", name, linf)
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"bad dims product", func() error {
+			_, err := compress.Encode("sz", data, []int{3}, compress.AbsLinf, 1e-3)
+			return err
+		}},
+		{"zero dim", func() error {
+			_, err := compress.Encode("sz", data, []int{0, 4}, compress.AbsLinf, 1e-3)
+			return err
+		}},
+		{"rank 4", func() error {
+			_, err := compress.Encode("sz", data, []int{1, 1, 2, 2}, compress.AbsLinf, 1e-3)
+			return err
+		}},
+		{"negative tol", func() error {
+			_, err := compress.Encode("sz", data, []int{4}, compress.AbsLinf, -1)
+			return err
+		}},
+		{"zero tol", func() error {
+			_, err := compress.Encode("sz", data, []int{4}, compress.AbsLinf, 0)
+			return err
+		}},
+		{"NaN tol", func() error {
+			_, err := compress.Encode("sz", data, []int{4}, compress.AbsLinf, math.NaN())
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.fn() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	data := smooth2D(16, 16, 9)
+	blob, err := compress.Encode("sz", data, []int{16, 16}, compress.AbsLinf, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := compress.Decode(nil); err == nil {
+		t.Error("nil blob should error")
+	}
+	if _, _, err := compress.Decode(blob[:8]); err == nil {
+		t.Error("truncated header should error")
+	}
+	garbage := append([]byte(nil), blob...)
+	for i := 20; i < len(garbage); i++ {
+		garbage[i] ^= 0xFF
+	}
+	if _, _, err := compress.Decode(garbage); err == nil {
+		t.Log("note: corrupted payload decoded without error (lossy payloads may alias)")
+	}
+}
+
+func TestConstantData(t *testing.T) {
+	data := make([]float64, 256)
+	for i := range data {
+		data[i] = 3.25
+	}
+	for _, name := range compress.Names() {
+		blob, err := compress.Encode(name, data, []int{16, 16}, compress.AbsLinf, 1e-6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		recon, _, err := compress.Decode(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if linf, _ := compress.MeasureError(data, recon); linf > 1e-6 {
+			t.Fatalf("%s constant: Linf %v", name, linf)
+		}
+		if r := compress.Ratio(len(data), blob); r < 10 {
+			t.Errorf("%s: constant data ratio only %.1f", name, r)
+		}
+	}
+}
+
+func TestMeasureError(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2.5, 2}
+	linf, l2 := compress.MeasureError(a, b)
+	if linf != 1 {
+		t.Fatalf("linf = %v", linf)
+	}
+	if math.Abs(l2-math.Sqrt(1.25)) > 1e-15 {
+		t.Fatalf("l2 = %v", l2)
+	}
+}
+
+func TestAbsTol(t *testing.T) {
+	data := []float64{0, 2} // range 2, norm 2
+	if got := compress.AbsTol(data, compress.AbsLinf, 0.5); got != 0.5 {
+		t.Fatalf("AbsLinf: %v", got)
+	}
+	if got := compress.AbsTol(data, compress.RelLinf, 0.5); got != 1 {
+		t.Fatalf("RelLinf: %v", got)
+	}
+	if got := compress.AbsTol(data, compress.L2, 0.5); got != 0.5 {
+		t.Fatalf("L2: %v", got)
+	}
+	if got := compress.AbsTol(data, compress.RelL2, 0.5); got != 1 {
+		t.Fatalf("RelL2: %v", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if compress.AbsLinf.String() != "abs-linf" || compress.L2.String() != "l2" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+// Property: the Linf bound holds for random (rough) data too, where
+// prediction fails and the fallback paths engage.
+func TestLinfBoundRoughDataProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(200)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * math.Exp2(float64(rng.Intn(12)-6))
+		}
+		tol := math.Exp2(float64(-rng.Intn(30))) // down to ~1e-9
+		for _, name := range compress.Names() {
+			blob, err := compress.Encode(name, data, []int{n}, compress.AbsLinf, tol)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			recon, _, err := compress.Decode(blob)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if linf, _ := compress.MeasureError(data, recon); linf > tol {
+				t.Fatalf("%s trial %d: Linf %v > tol %v on rough data", name, trial, linf, tol)
+			}
+		}
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	data := smooth2D(256, 256, 1)
+	dims := []int{256, 256}
+	for _, name := range compress.Names() {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(data) * 8))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := compress.Encode(name, data, dims, compress.AbsLinf, 1e-4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	data := smooth2D(256, 256, 1)
+	dims := []int{256, 256}
+	for _, name := range compress.Names() {
+		blob, err := compress.Encode(name, data, dims, compress.AbsLinf, 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(data) * 8))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := compress.Decode(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package compress
+
+import (
+	"fmt"
+)
+
+// EstimateRatio predicts a codec's compression ratio on data at a
+// tolerance by compressing a contiguous sample of the grid and
+// extrapolating — the sampling-based variant of the compression-ratio
+// estimation problem the paper cites (Wang et al., TPDS 2019). It gives
+// planners an I/O-throughput prediction without paying for a full
+// compression pass.
+//
+// sampleFrac in (0, 1] selects the sampled fraction of the slowest
+// dimension (e.g. 0.1 compresses the first 10% of rows). For rank-1 data
+// a contiguous prefix is used. The sample keeps the full faster
+// dimensions, preserving the correlation structure the codecs exploit.
+func EstimateRatio(codec string, data []float64, dims []int, mode Mode, tol float64, sampleFrac float64) (float64, error) {
+	if sampleFrac <= 0 || sampleFrac > 1 {
+		return 0, fmt.Errorf("compress: sample fraction %v not in (0,1]", sampleFrac)
+	}
+	if err := checkDims(data, dims); err != nil {
+		return 0, err
+	}
+	// Sample along the slowest (first) dimension.
+	rows := dims[0]
+	sampleRows := int(float64(rows)*sampleFrac + 0.5)
+	if sampleRows < 1 {
+		sampleRows = 1
+	}
+	if sampleRows > rows {
+		sampleRows = rows
+	}
+	rowSize := len(data) / rows
+	sample := data[:sampleRows*rowSize]
+	sampleDims := append([]int{sampleRows}, dims[1:]...)
+
+	// Relative modes must resolve against the FULL data's statistics, or
+	// the sample would see a different absolute tolerance.
+	absTol := AbsTol(data, mode, tol)
+	sampleMode := mode
+	switch mode {
+	case RelLinf:
+		sampleMode = AbsLinf
+	case RelL2:
+		// Whole-vector L2 budgets shrink with the sample size.
+		sampleMode = L2
+		absTol = absTol * float64(sampleRows) / float64(rows)
+	case L2:
+		absTol = tol * float64(sampleRows) / float64(rows)
+	default:
+		absTol = tol
+	}
+	blob, err := Encode(codec, sample, sampleDims, sampleMode, absTol)
+	if err != nil {
+		return 0, err
+	}
+	return Ratio(len(sample), blob), nil
+}
+
+// EstimateStoredBytes predicts the compressed size of the full data from
+// a sampled ratio.
+func EstimateStoredBytes(codec string, data []float64, dims []int, mode Mode, tol float64, sampleFrac float64) (int64, error) {
+	r, err := EstimateRatio(codec, data, dims, mode, tol, sampleFrac)
+	if err != nil {
+		return 0, err
+	}
+	if r <= 0 {
+		return int64(len(data) * 8), nil
+	}
+	return int64(float64(len(data)*8) / r), nil
+}

@@ -1,0 +1,92 @@
+package compress_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+)
+
+func TestEstimateRatioCloseToTrue(t *testing.T) {
+	data := smooth2D(128, 128, 11)
+	dims := []int{128, 128}
+	for _, codec := range compress.Names() {
+		blob, err := compress.Encode(codec, data, dims, compress.AbsLinf, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := compress.Ratio(len(data), blob)
+		est, err := compress.EstimateRatio(codec, data, dims, compress.AbsLinf, 1e-4, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < truth/2 || est > truth*2 {
+			t.Fatalf("%s: estimate %.1f vs true %.1f (off by >2x)", codec, est, truth)
+		}
+	}
+}
+
+func TestEstimateRatioRelModes(t *testing.T) {
+	data := smooth2D(64, 64, 12)
+	for i := range data {
+		data[i] = data[i]*10 + 100
+	}
+	dims := []int{64, 64}
+	// Relative modes must resolve against full-data stats; the call must
+	// succeed and give a plausible ratio.
+	est, err := compress.EstimateRatio("sz", data, dims, compress.RelLinf, 1e-4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 1 {
+		t.Fatalf("rel-mode estimate %v < 1", est)
+	}
+	estL2, err := compress.EstimateRatio("sz", data, dims, compress.L2, 1e-2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estL2 < 1 {
+		t.Fatalf("L2-mode estimate %v < 1", estL2)
+	}
+}
+
+func TestEstimateRatioValidation(t *testing.T) {
+	data := make([]float64, 16)
+	if _, err := compress.EstimateRatio("sz", data, []int{16}, compress.AbsLinf, 1e-3, 0); err == nil {
+		t.Fatal("zero sample fraction should error")
+	}
+	if _, err := compress.EstimateRatio("sz", data, []int{16}, compress.AbsLinf, 1e-3, 1.5); err == nil {
+		t.Fatal("over-unit sample fraction should error")
+	}
+	if _, err := compress.EstimateRatio("sz", data, []int{15}, compress.AbsLinf, 1e-3, 0.5); err == nil {
+		t.Fatal("bad dims should error")
+	}
+}
+
+func TestEstimateStoredBytes(t *testing.T) {
+	data := smooth2D(64, 64, 13)
+	stored, err := compress.EstimateStoredBytes("zfp", data, []int{64, 64}, compress.AbsLinf, 1e-3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored <= 0 || stored >= int64(len(data)*8) {
+		t.Fatalf("stored estimate %d out of range", stored)
+	}
+}
+
+func TestEstimateFullSampleIsExact(t *testing.T) {
+	data := smooth2D(32, 32, 14)
+	dims := []int{32, 32}
+	blob, err := compress.Encode("sz", data, dims, compress.AbsLinf, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := compress.Ratio(len(data), blob)
+	est, err := compress.EstimateRatio("sz", data, dims, compress.AbsLinf, 1e-4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > 1e-12 {
+		t.Fatalf("full-sample estimate %v != truth %v", est, truth)
+	}
+}

@@ -1,0 +1,83 @@
+package compress_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/huffman"
+)
+
+// FuzzDecodeContainer drives the container parser with arbitrary bytes:
+// it must never panic or allocate absurdly, only return errors.
+func FuzzDecodeContainer(f *testing.F) {
+	data := smooth2D(8, 8, 1)
+	for _, codec := range compress.Names() {
+		blob, err := compress.Encode(codec, data, []int{8, 8}, compress.AbsLinf, 1e-3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x52, 0x44, 0x53})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		out, _, err := compress.Decode(blob)
+		if err == nil && len(out) > 1<<24 {
+			t.Fatalf("suspiciously large decode: %d values", len(out))
+		}
+	})
+}
+
+// FuzzHuffmanDecode drives the entropy decoder with arbitrary streams.
+func FuzzHuffmanDecode(f *testing.F) {
+	f.Add(huffman.Encode([]uint32{1, 2, 3, 1, 1}))
+	f.Add(huffman.Encode([]uint32{7}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		out, err := huffman.Decode(blob)
+		if err == nil && len(out) > 1<<24 {
+			t.Fatalf("suspiciously large decode: %d symbols", len(out))
+		}
+	})
+}
+
+// FuzzSZRoundTrip checks the pointwise guarantee on fuzz-generated data.
+func FuzzSZRoundTrip(f *testing.F) {
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed, 1e-4)
+	f.Fuzz(func(t *testing.T, raw []byte, tol float64) {
+		if len(raw) < 8 || math.IsNaN(tol) || math.IsInf(tol, 0) || tol <= 0 || tol > 1e10 {
+			return
+		}
+		n := len(raw) / 8
+		if n > 4096 {
+			n = 4096
+		}
+		data := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				v = 0
+			}
+			data[i] = v
+		}
+		blob, err := compress.Encode("sz", data, []int{n}, compress.AbsLinf, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, _, err := compress.Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if math.Abs(recon[i]-data[i]) > tol {
+				t.Fatalf("bound violated at %d: %v > %v", i, math.Abs(recon[i]-data[i]), tol)
+			}
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// Package sz implements an SZ-style error-bounded lossy compressor:
+// a Lorenzo predictor over the decoded neighbourhood, linear-scale
+// quantization of the prediction residual with a guaranteed pointwise
+// bound, Huffman coding of the quantization codes and a final flate pass.
+// This mirrors the prediction+quantization design of the SZ family the
+// paper uses for its input-reduction experiments.
+package sz
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/huffman"
+)
+
+func init() { compress.Register(Codec{}) }
+
+// Codec is the SZ-style compressor. The zero value is ready to use.
+type Codec struct{}
+
+// Name implements compress.Codec.
+func (Codec) Name() string { return "sz" }
+
+// SupportsMode implements compress.Codec: SZ honours every mode (L2 modes
+// are enforced through a pointwise bound of tol/sqrt(n)).
+func (Codec) SupportsMode(compress.Mode) bool { return true }
+
+// codeBits is the width of the quantization-code alphabet (2^16 bins,
+// matching classic SZ); residuals outside the representable range fall
+// back to exact storage.
+const (
+	codeRange  = 1 << 16
+	codeCenter = codeRange / 2 // symbol for zero residual
+	unpredSym  = 0             // reserved symbol: value stored verbatim
+)
+
+// Compress implements compress.Codec.
+func (c Codec) Compress(data []float64, dims []int, mode compress.Mode, tol float64) ([]byte, error) {
+	eb := pointwiseBound(data, mode, tol)
+	if eb <= 0 {
+		return nil, fmt.Errorf("sz: tolerance %v resolves to non-positive bound", tol)
+	}
+	n := len(data)
+	codes := make([]uint32, n)
+	var unpred []float64
+	decoded := make([]float64, n)
+	st := newStrides(dims)
+	twoEB := 2 * eb
+	for i := 0; i < n; i++ {
+		pred := lorenzo(decoded, st, i)
+		r := (data[i] - pred) / twoEB
+		q := math.Round(r)
+		if math.Abs(q) < codeCenter-1 {
+			rec := pred + q*twoEB
+			if math.Abs(rec-data[i]) <= eb {
+				codes[i] = uint32(int64(q) + codeCenter)
+				decoded[i] = rec
+				continue
+			}
+		}
+		codes[i] = unpredSym
+		unpred = append(unpred, data[i])
+		decoded[i] = data[i]
+	}
+
+	var raw bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], math.Float64bits(eb))
+	raw.Write(hdr[:])
+	binary.Write(&raw, binary.LittleEndian, uint64(len(unpred)))
+	for _, u := range unpred {
+		binary.Write(&raw, binary.LittleEndian, math.Float64bits(u))
+	}
+	hblob := huffman.Encode(codes)
+	binary.Write(&raw, binary.LittleEndian, uint64(len(hblob)))
+	raw.Write(hblob)
+
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Decompress implements compress.Codec.
+func (c Codec) Decompress(payload []byte, dims []int) ([]float64, error) {
+	fr := flate.NewReader(bytes.NewReader(payload))
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("sz: %w: %v", compress.ErrCorrupt, err)
+	}
+	if len(raw) < 16 {
+		return nil, compress.ErrCorrupt
+	}
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	p := 8
+	nUnpred := int(binary.LittleEndian.Uint64(raw[p:]))
+	p += 8
+	if nUnpred < 0 || p+8*nUnpred+8 > len(raw) {
+		return nil, compress.ErrCorrupt
+	}
+	unpred := make([]float64, nUnpred)
+	for i := range unpred {
+		unpred[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[p:]))
+		p += 8
+	}
+	hlen := int(binary.LittleEndian.Uint64(raw[p:]))
+	p += 8
+	if hlen < 0 || p+hlen > len(raw) {
+		return nil, compress.ErrCorrupt
+	}
+	codes, err := huffman.Decode(raw[p : p+hlen])
+	if err != nil {
+		return nil, fmt.Errorf("sz: %w: %v", compress.ErrCorrupt, err)
+	}
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if len(codes) != n {
+		return nil, compress.ErrCorrupt
+	}
+	decoded := make([]float64, n)
+	st := newStrides(dims)
+	twoEB := 2 * eb
+	ui := 0
+	for i := 0; i < n; i++ {
+		if codes[i] == unpredSym {
+			if ui >= len(unpred) {
+				return nil, compress.ErrCorrupt
+			}
+			decoded[i] = unpred[ui]
+			ui++
+			continue
+		}
+		pred := lorenzo(decoded, st, i)
+		decoded[i] = pred + float64(int64(codes[i])-codeCenter)*twoEB
+	}
+	return decoded, nil
+}
+
+// pointwiseBound converts a (mode, tol) pair into the pointwise absolute
+// bound SZ enforces.
+func pointwiseBound(data []float64, mode compress.Mode, tol float64) float64 {
+	abs := compress.AbsTol(data, mode, tol)
+	switch mode {
+	case compress.L2, compress.RelL2:
+		// ||e||_2 <= sqrt(n) * max|e_i| : a pointwise bound of abs/sqrt(n)
+		// guarantees the vector bound.
+		return abs / math.Sqrt(float64(len(data)))
+	default:
+		return abs
+	}
+}
+
+// strides precomputes index arithmetic for the Lorenzo predictor.
+type strides struct {
+	rank int
+	d    [3]int // sizes, innermost last
+	s    [3]int // element strides
+}
+
+func newStrides(dims []int) strides {
+	var st strides
+	st.rank = len(dims)
+	for i, d := range dims {
+		st.d[i] = d
+	}
+	switch st.rank {
+	case 1:
+		st.s[0] = 1
+	case 2:
+		st.s[0], st.s[1] = dims[1], 1
+	case 3:
+		st.s[0], st.s[1], st.s[2] = dims[1]*dims[2], dims[2], 1
+	}
+	return st
+}
+
+// lorenzo predicts element i from already-decoded neighbours (boundary
+// taps are zero), using the order-1 Lorenzo predictor of the SZ family.
+func lorenzo(dec []float64, st strides, i int) float64 {
+	switch st.rank {
+	case 1:
+		if i == 0 {
+			return 0
+		}
+		return dec[i-1]
+	case 2:
+		r, c := i/st.s[0], i%st.s[0]
+		var a, b, ab float64
+		if r > 0 {
+			a = dec[i-st.s[0]]
+		}
+		if c > 0 {
+			b = dec[i-1]
+		}
+		if r > 0 && c > 0 {
+			ab = dec[i-st.s[0]-1]
+		}
+		return a + b - ab
+	default: // rank 3
+		z := i / st.s[0]
+		rem := i % st.s[0]
+		y := rem / st.s[1]
+		x := rem % st.s[1]
+		get := func(dz, dy, dx int) float64 {
+			if z-dz < 0 || y-dy < 0 || x-dx < 0 {
+				return 0
+			}
+			return dec[i-dz*st.s[0]-dy*st.s[1]-dx]
+		}
+		return get(1, 0, 0) + get(0, 1, 0) + get(0, 0, 1) -
+			get(1, 1, 0) - get(1, 0, 1) - get(0, 1, 1) + get(1, 1, 1)
+	}
+}

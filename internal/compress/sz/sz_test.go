@@ -1,0 +1,138 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+)
+
+func TestLorenzo1D(t *testing.T) {
+	dec := []float64{5, 7, 0}
+	st := newStrides([]int{3})
+	if p := lorenzo(dec, st, 0); p != 0 {
+		t.Fatalf("boundary pred = %v", p)
+	}
+	if p := lorenzo(dec, st, 2); p != 7 {
+		t.Fatalf("pred = %v, want 7", p)
+	}
+}
+
+func TestLorenzo2D(t *testing.T) {
+	// 2x2 grid: [a b; c ?] -> pred(?) = b + c - a.
+	dec := []float64{1, 2, 3, 0}
+	st := newStrides([]int{2, 2})
+	if p := lorenzo(dec, st, 3); p != 2+3-1 {
+		t.Fatalf("2D Lorenzo pred = %v, want 4", p)
+	}
+	// Top row uses only the left neighbour.
+	if p := lorenzo(dec, st, 1); p != 1 {
+		t.Fatalf("top-row pred = %v, want 1", p)
+	}
+	// Left column uses only the upper neighbour.
+	if p := lorenzo(dec, st, 2); p != 1 {
+		t.Fatalf("left-col pred = %v, want 1", p)
+	}
+}
+
+func TestLorenzo3D(t *testing.T) {
+	// On a linear ramp the order-1 3-D Lorenzo predictor is exact.
+	dims := []int{3, 3, 3}
+	st := newStrides(dims)
+	dec := make([]float64, 27)
+	f := func(z, y, x int) float64 { return float64(2*z + 3*y + 5*x) }
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				dec[(z*3+y)*3+x] = f(z, y, x)
+			}
+		}
+	}
+	i := (2*3+2)*3 + 2 // interior-most point
+	if p := lorenzo(dec, st, i); math.Abs(p-f(2, 2, 2)) > 1e-12 {
+		t.Fatalf("3D Lorenzo on ramp = %v, want %v", p, f(2, 2, 2))
+	}
+}
+
+func TestUnpredictableFallback(t *testing.T) {
+	// Data with huge jumps relative to a tiny tolerance exercises the
+	// verbatim path; the bound must still hold exactly.
+	c := Codec{}
+	data := []float64{0, 1e18, -1e18, 3, 1e-18, 7}
+	tol := 1e-20
+	payload, err := c.Compress(data, []int{6}, compress.AbsLinf, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := c.Decompress(payload, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(recon[i]-data[i]) > tol {
+			t.Fatalf("error %v at %d", math.Abs(recon[i]-data[i]), i)
+		}
+	}
+}
+
+func TestRampCompressesExtremely(t *testing.T) {
+	// A perfect ramp is fully predicted: every residual is one code.
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = float64(i) * 0.001
+	}
+	c := Codec{}
+	payload, err := c.Compress(data, []int{10000}, compress.AbsLinf, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(data)*8) / float64(len(payload)); ratio < 100 {
+		t.Fatalf("ramp ratio only %.1f", ratio)
+	}
+}
+
+func TestPointwiseBoundL2Mode(t *testing.T) {
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 7)
+	}
+	eb := pointwiseBound(data, compress.L2, 0.5)
+	if math.Abs(eb-0.5/10) > 1e-12 {
+		t.Fatalf("L2 pointwise bound = %v, want 0.05", eb)
+	}
+}
+
+func TestDecompressShapeMismatch(t *testing.T) {
+	c := Codec{}
+	data := make([]float64, 64)
+	payload, err := c.Compress(data, []int{64}, compress.AbsLinf, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(payload, []int{32}); err == nil {
+		t.Fatal("mismatched dims should error")
+	}
+}
+
+func TestCodesStayInAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := Codec{}
+	data := make([]float64, 512)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 1000
+	}
+	payload, err := c.Compress(data, []int{512}, compress.AbsLinf, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := c.Decompress(payload, []int{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(recon[i]-data[i]) > 1e-9 {
+			t.Fatalf("tight-bound error %v", math.Abs(recon[i]-data[i]))
+		}
+	}
+}

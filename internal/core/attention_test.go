@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func buildAttentionNet(t testing.TB, seed int64) *nn.Network {
+	t.Helper()
+	spec := &nn.Spec{Name: "att", InputDim: 4 * 6, Layers: []nn.LayerSpec{
+		{Type: "dense", Name: "in", In: 24, Out: 24, PSN: true},
+		{Type: "act", Act: nn.ActTanh},
+		{Type: "attention", Name: "att", In: 4, Out: 6},
+		{Type: "dense", Name: "out", In: 24, Out: 3, PSN: true},
+	}}
+	net, err := spec.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RefreshSigmas()
+	return net
+}
+
+func TestAttentionGraphTranslates(t *testing.T) {
+	net := buildAttentionNet(t, 95)
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Lipschitz() <= 0 {
+		t.Fatal("degenerate attention analysis")
+	}
+	// The attention node contributes as a Lipschitz factor; only the two
+	// dense layers are linear nodes.
+	if got := len(an.Root.LinearNodes()); got != 2 {
+		t.Fatalf("linear nodes = %d, want 2 (attention is Lipschitz-only)", got)
+	}
+}
+
+// The local attention bound assumes the attention layer's *inputs* have
+// token norms within R = sqrt(D). A tanh layer upstream guarantees that
+// (outputs in [-1,1]); the compression bound must then hold empirically.
+func TestAttentionCompressionBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	net := buildAttentionNet(t, 96)
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		x := randUnitInput(rng, 24, 1)
+		xp := x.Clone()
+		var dx2 float64
+		for i := range xp.Data {
+			d := (rng.Float64()*2 - 1) * 1e-4
+			xp.Data[i] += d
+			dx2 += d * d
+		}
+		dx2 = math.Sqrt(dx2)
+		y := net.Forward(x, false)
+		yp := net.Forward(xp, false)
+		achieved := tensor.Vector(yp.Data).Sub(tensor.Vector(y.Data)).Norm2()
+		if achieved > an.CompressionBound(dx2)*(1+1e-9) {
+			t.Fatalf("trial %d: attention Lipschitz bound violated: %v > %v",
+				trial, achieved, an.CompressionBound(dx2))
+		}
+	}
+}
+
+func TestAttentionQuantizationKeepsAttentionExact(t *testing.T) {
+	// Quantizing the network must round only the dense layers; attention
+	// weights stay full precision, and the combined bound still holds.
+	rng := rand.New(rand.NewSource(97))
+	net := buildAttentionNet(t, 97)
+	qnet, err := quant.Quantize(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the attention layers and compare weights bit-exactly.
+	var orig, quantized *nn.SelfAttention
+	for _, l := range net.Layers {
+		if a, ok := l.(*nn.SelfAttention); ok {
+			orig = a
+		}
+	}
+	for _, l := range qnet.Layers {
+		if a, ok := l.(*nn.SelfAttention); ok {
+			quantized = a
+		}
+	}
+	if orig == nil || quantized == nil {
+		t.Fatal("attention layer missing")
+	}
+	for i := range orig.Wq.Data {
+		if orig.Wq.Data[i] != quantized.Wq.Data[i] {
+			t.Fatal("attention weights were quantized; they must stay exact")
+		}
+	}
+	// Combined bound (dense quantization only) holds end to end.
+	an, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := an.QuantizationBound()
+	for trial := 0; trial < 20; trial++ {
+		x := randUnitInput(rng, 24, 1)
+		y := net.Forward(x, false)
+		yq := qnet.Forward(x, false)
+		if d := tensor.Vector(yq.Data).Sub(tensor.Vector(y.Data)).Norm2(); d > bound {
+			t.Fatalf("trial %d: achieved %v > bound %v", trial, d, bound)
+		}
+	}
+}

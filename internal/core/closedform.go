@@ -1,0 +1,38 @@
+package core
+
+import "math"
+
+// MLPClosedForm evaluates the paper's Inequality (3) literally for an
+// L-layer block: spectral norms sigma[0..L-1], layer widths
+// n[0..L] (n[0] = input dim), per-layer quantization steps q[0..L-1], a
+// shortcut spectral norm sigmaS (0 for an MLP), and an input L2
+// perturbation deltaX2. It exists to cross-validate the graph algebra —
+// TestClosedFormMatchesGraph proves the two agree to machine precision —
+// and to serve readers comparing the code against the paper.
+func MLPClosedForm(sigma []float64, n []int, q []float64, sigmaS, deltaX2 float64) float64 {
+	L := len(sigma)
+	if len(n) != L+1 || len(q) != L {
+		panic("core: MLPClosedForm shape mismatch")
+	}
+	// First term: (sigma_s + prod sigma_l) * ||dx||_2.
+	prod := 1.0
+	for _, s := range sigma {
+		prod *= s
+	}
+	bound := (sigmaS + prod) * deltaX2
+
+	// Second term: per-layer quantization contributions.
+	sqrt3 := math.Sqrt(3)
+	for l := 0; l < L; l++ {
+		term := q[l] * math.Sqrt(float64(n[0]*n[l+1])) / (2 * sqrt3)
+		for i := 0; i < l; i++ {
+			minDim := math.Min(float64(n[i]), float64(n[i+1]))
+			term *= sigma[i] + q[i]*math.Sqrt(minDim)/sqrt3
+		}
+		for j := l + 1; j < L; j++ {
+			term *= sigma[j]
+		}
+		bound += term
+	}
+	return bound
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// Coeffs are a node's error-transfer coefficients. For an incoming state
+// (input perturbation dx, accumulated quantization error a, signal bound
+// s), the node maps
+//
+//	dx_out <= Lip  * dx        (original weights — the paper's first term)
+//	a_out  <= Lip  * a + Add * s
+//	s_out  <= Sig  * s         (quantized-weight signal growth, sigma~)
+//
+// and LipQ tracks the Lipschitz product under quantized weights
+// (sigma~ everywhere), used by the planner when it wants the conservative
+// compression path through the quantized network.
+//
+// Composition of sequential nodes N2 after N1:
+//
+//	Lip = Lip2*Lip1, LipQ = LipQ2*LipQ1, Sig = Sig2*Sig1
+//	Add = Lip2*Add1 + Add2*Sig1
+//
+// which, expanded over an L-layer MLP, reproduces Inequality (3) term by
+// term (quantization noise injected at layer l rides the *original*
+// spectral norms downstream and the inflated sigma~ signal bound
+// upstream, exactly as in the paper).
+type Coeffs struct {
+	Lip  float64
+	LipQ float64
+	Sig  float64
+	Add  float64
+}
+
+// Identity returns the do-nothing coefficients.
+func identityCoeffs() Coeffs { return Coeffs{Lip: 1, LipQ: 1, Sig: 1, Add: 0} }
+
+// compose returns the coefficients of "second after first".
+func compose(first, second Coeffs) Coeffs {
+	return Coeffs{
+		Lip:  second.Lip * first.Lip,
+		LipQ: second.LipQ * first.LipQ,
+		Sig:  second.Sig * first.Sig,
+		Add:  second.Lip*first.Add + second.Add*first.Sig,
+	}
+}
+
+// parallelSum combines a residual block's branch and shortcut (output
+// vectors add, so every coefficient adds).
+func parallelSum(a, b Coeffs) Coeffs {
+	return Coeffs{Lip: a.Lip + b.Lip, LipQ: a.LipQ + b.LipQ, Sig: a.Sig + b.Sig, Add: a.Add + b.Add}
+}
+
+// quadratureSum combines a concatenation's two halves: the output is the
+// stacked vector, so squared norms add — ||dy||^2 = ||da||^2 + ||db||^2 —
+// and every coefficient combines as sqrt(a^2 + b^2). (Additive channels
+// use the looser triangle form to stay sound when the two halves carry
+// correlated incoming error.)
+func quadratureSum(a, b Coeffs) Coeffs {
+	q := func(x, y float64) float64 { return math.Sqrt(x*x + y*y) }
+	return Coeffs{
+		Lip:  q(a.Lip, b.Lip),
+		LipQ: q(a.LipQ, b.LipQ),
+		Sig:  q(a.Sig, b.Sig),
+		Add:  a.Add + b.Add,
+	}
+}
+
+// StepFunc maps a linear op to its quantization step size q_l. A nil
+// StepFunc means "no quantization" (all steps zero).
+type StepFunc func(op *nn.LinearOp) float64
+
+// StepsForFormat returns the Table I step-size function for a format.
+// FP32 and an invalid format yield the no-quantization function.
+func StepsForFormat(f numfmt.Format) StepFunc {
+	if f == numfmt.FP32 {
+		return nil
+	}
+	return func(op *nn.LinearOp) float64 { return numfmt.StepSize(f, op.Weights) }
+}
+
+// coeffs computes a node's transfer coefficients under the step function.
+func (n *Node) coeffs(steps StepFunc) Coeffs {
+	switch n.Kind {
+	case KindLinear:
+		var q float64
+		if steps != nil {
+			q = steps(n.Op)
+		}
+		sigmaT := n.Op.Sigma + q*n.Op.InflGain/math.Sqrt(3)
+		return Coeffs{
+			Lip:  n.Op.Sigma,
+			LipQ: sigmaT,
+			Sig:  sigmaT,
+			Add:  q * n.Op.AddGain / (2 * math.Sqrt(3)),
+		}
+	case KindLipschitz:
+		return Coeffs{Lip: n.C, LipQ: n.C, Sig: n.C, Add: 0}
+	case KindSequence:
+		c := identityCoeffs()
+		for _, child := range n.Children {
+			c = compose(c, child.coeffs(steps))
+		}
+		return c
+	case KindResidual:
+		b := n.Branch.coeffs(steps)
+		s := identityCoeffs()
+		if n.Shortcut != nil {
+			s = n.Shortcut.coeffs(steps)
+		}
+		return parallelSum(b, s)
+	case KindConcat:
+		return quadratureSum(n.Branch.coeffs(steps), identityCoeffs())
+	}
+	panic("core: unknown node kind")
+}
+
+// Analysis carries a graph plus a quantization-step function and exposes
+// the paper's bounds.
+type Analysis struct {
+	Root   *Node
+	Steps  StepFunc
+	coeffs Coeffs
+	n0     int
+}
+
+// Analyze prepares an analysis of the graph under the given quantization
+// step function (nil for compression-only analysis).
+func Analyze(root *Node, steps StepFunc) *Analysis {
+	return &Analysis{Root: root, Steps: steps, coeffs: root.coeffs(steps), n0: root.InputDim()}
+}
+
+// AnalyzeNetwork translates a network and analyzes it under a weight
+// format (numfmt.FP32 means no quantization).
+func AnalyzeNetwork(net *nn.Network, f numfmt.Format) (*Analysis, error) {
+	root, err := FromNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(root, StepsForFormat(f)), nil
+}
+
+// InputDim returns the flattened input dimension n_0.
+func (a *Analysis) InputDim() int { return a.n0 }
+
+// Lipschitz returns the network's Lipschitz bound under original weights,
+// sigma_s + prod sigma_l in the paper's notation.
+func (a *Analysis) Lipschitz() float64 { return a.coeffs.Lip }
+
+// LipschitzQuantized returns the Lipschitz bound with every spectral norm
+// inflated by its quantization step (sigma~ products).
+func (a *Analysis) LipschitzQuantized() float64 { return a.coeffs.LipQ }
+
+// SignalGain returns the bound on ||h_out||_2 / ||x||_2 under quantized
+// weights.
+func (a *Analysis) SignalGain() float64 { return a.coeffs.Sig }
+
+// CompressionBound is the paper's Eq. (5): the L2 QoI perturbation caused
+// by an input perturbation of L2 norm deltaX2, with weights unchanged.
+func (a *Analysis) CompressionBound(deltaX2 float64) float64 {
+	return a.coeffs.Lip * deltaX2
+}
+
+// QuantizationBound is the L2 QoI perturbation caused by weight
+// quantization alone, assuming inputs normalized to [-1, 1] (so the
+// initial signal bound is sqrt(n_0), as in the paper's derivation).
+func (a *Analysis) QuantizationBound() float64 {
+	return a.coeffs.Add * math.Sqrt(float64(a.n0))
+}
+
+// Bound is the combined Inequality (3): QoI L2 error under both an input
+// perturbation of L2 norm deltaX2 and weight quantization.
+func (a *Analysis) Bound(deltaX2 float64) float64 {
+	return a.CompressionBound(deltaX2) + a.QuantizationBound()
+}
+
+// BoundLinf bounds the QoI L-infinity error given a *pointwise* input
+// bound einf, via the norm inequalities of Section III-A:
+// ||dx||_2 <= sqrt(n_0) einf and ||dy||_inf <= ||dy||_2.
+func (a *Analysis) BoundLinf(einf float64) float64 {
+	return a.Bound(math.Sqrt(float64(a.n0)) * einf)
+}
+
+// CompressionBoundLinf is Eq. (5) stated for a pointwise input bound.
+func (a *Analysis) CompressionBoundLinf(einf float64) float64 {
+	return a.CompressionBound(math.Sqrt(float64(a.n0)) * einf)
+}
+
+// InputToleranceFor inverts the compression bound: the largest L2 input
+// perturbation whose predicted QoI contribution stays within qoiBudget.
+// Conservative mode (quantized=true) propagates through sigma~ products.
+func (a *Analysis) InputToleranceFor(qoiBudget float64, quantized bool) float64 {
+	l := a.coeffs.Lip
+	if quantized {
+		l = a.coeffs.LipQ
+	}
+	if l == 0 {
+		return math.Inf(1)
+	}
+	return qoiBudget / l
+}

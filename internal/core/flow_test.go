@@ -1,0 +1,384 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func buildMLP(t testing.TB, dims []int, act string, psn bool, seed int64) *nn.Network {
+	t.Helper()
+	spec := nn.MLPSpec("m", dims, act, psn)
+	net, err := spec.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 100))
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			p.Data[i] += rng.NormFloat64() * 0.02
+		}
+	}
+	net.RefreshSigmas()
+	return net
+}
+
+func randUnitInput(rng *rand.Rand, dim, batch int) *tensor.Matrix {
+	m := tensor.NewMatrix(dim, batch)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// TestClosedFormMatchesGraph: for plain MLPs the graph algebra must equal
+// the paper's Inequality (3) closed form to machine precision.
+func TestClosedFormMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		nLayers := 1 + rng.Intn(5)
+		dims := make([]int, nLayers+1)
+		for i := range dims {
+			dims[i] = 2 + rng.Intn(40)
+		}
+		net := buildMLP(t, dims, nn.ActReLU, false, int64(trial))
+		format := numfmt.Formats[rng.Intn(len(numfmt.Formats))]
+		an, err := AnalyzeNetwork(net, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltaX := rng.Float64() * 0.1
+
+		// Assemble the closed-form inputs from the layer ops.
+		ops := net.LinearOps()
+		sigma := make([]float64, len(ops))
+		q := make([]float64, len(ops))
+		n := make([]int, len(ops)+1)
+		n[0] = ops[0].InDim
+		for i, op := range ops {
+			sigma[i] = op.Sigma
+			q[i] = numfmt.StepSize(format, op.Weights)
+			n[i+1] = op.OutDim
+		}
+		want := MLPClosedForm(sigma, n, q, 0, deltaX*math.Sqrt(float64(n[0])))
+		got := an.BoundLinf(deltaX)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: graph bound %v != closed form %v", trial, got, want)
+		}
+	}
+}
+
+// TestClosedFormResidual: a single residual block matches Inequality (3)
+// with sigma_s > 0.
+func TestClosedFormResidual(t *testing.T) {
+	spec := &nn.Spec{Name: "r", InputDim: 6, Layers: []nn.LayerSpec{
+		{Type: "residual", Name: "blk", Branch: []nn.LayerSpec{
+			{Type: "dense", Name: "b1", In: 6, Out: 8},
+			{Type: "dense", Name: "b2", In: 8, Out: 6},
+		}, Shortcut: []nn.LayerSpec{
+			{Type: "dense", Name: "sc", In: 6, Out: 6},
+		}},
+	}}
+	net, err := spec.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RefreshSigmas()
+	an, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := net.LinearOps() // b1, b2, sc
+	q := func(i int) float64 { return numfmt.StepSize(numfmt.FP16, ops[i].Weights) }
+	deltaX := 0.01
+
+	branchBound := MLPClosedForm(
+		[]float64{ops[0].Sigma, ops[1].Sigma}, []int{6, 8, 6},
+		[]float64{q(0), q(1)}, 0, deltaX)
+	// Shortcut contributes sigma_sc * dx plus its own quantization term.
+	scBound := MLPClosedForm([]float64{ops[2].Sigma}, []int{6, 6}, []float64{q(2)}, 0, deltaX)
+	want := branchBound + scBound
+	got := an.Bound(deltaX)
+	if math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("residual bound %v != composed closed form %v", got, want)
+	}
+}
+
+// TestCompressionBoundHolds: empirical input perturbations never exceed
+// Eq. (5) on PSN networks.
+func TestCompressionBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := buildMLP(t, []int{9, 50, 50, 9}, nn.ActTanh, true, 5)
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		x := randUnitInput(rng, 9, 1)
+		eps := math.Exp2(-float64(rng.Intn(20))) * 0.1
+		xp := x.Clone()
+		var dx2 float64
+		for i := range xp.Data {
+			d := (rng.Float64()*2 - 1) * eps
+			xp.Data[i] += d
+			dx2 += d * d
+		}
+		dx2 = math.Sqrt(dx2)
+		y := net.Forward(x, false)
+		yp := net.Forward(xp, false)
+		achieved := tensor.Vector(yp.Data).Sub(tensor.Vector(y.Data)).Norm2()
+		bound := an.CompressionBound(dx2)
+		if achieved > bound*(1+1e-9) {
+			t.Fatalf("trial %d: achieved %v > bound %v", trial, achieved, bound)
+		}
+	}
+}
+
+// TestQuantizationBoundHolds: actual quantized networks stay within the
+// predicted quantization bound for every format.
+func TestQuantizationBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := buildMLP(t, []int{9, 50, 50, 9}, nn.ActTanh, true, 6)
+	for _, f := range numfmt.Formats {
+		an, err := AnalyzeNetwork(net, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qnet, err := quant.Quantize(net, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := an.QuantizationBound()
+		for trial := 0; trial < 30; trial++ {
+			x := randUnitInput(rng, 9, 1)
+			y := net.Forward(x, false)
+			yq := qnet.Forward(x, false)
+			achieved := tensor.Vector(yq.Data).Sub(tensor.Vector(y.Data)).Norm2()
+			if achieved > bound {
+				t.Fatalf("%v trial %d: achieved %v > bound %v", f, trial, achieved, bound)
+			}
+		}
+	}
+}
+
+// TestCombinedBoundHolds: perturbed input + quantized weights together
+// stay within Inequality (3).
+func TestCombinedBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := buildMLP(t, []int{13, 32, 32, 32, 3}, nn.ActReLU, true, 7)
+	for _, f := range []numfmt.Format{numfmt.FP16, numfmt.INT8} {
+		an, err := AnalyzeNetwork(net, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qnet, err := quant.Quantize(net, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			x := randUnitInput(rng, 13, 1)
+			einf := math.Exp2(-float64(3 + rng.Intn(15)))
+			xp := x.Clone()
+			for i := range xp.Data {
+				xp.Data[i] += (rng.Float64()*2 - 1) * einf
+			}
+			y := net.Forward(x, false)
+			yq := qnet.Forward(xp, false)
+			achieved := tensor.Vector(yq.Data).Sub(tensor.Vector(y.Data)).Norm2()
+			bound := an.BoundLinf(einf)
+			if achieved > bound {
+				t.Fatalf("%v trial %d: achieved %v > combined bound %v", f, trial, achieved, bound)
+			}
+		}
+	}
+}
+
+// TestBoundTightnessWithPSN: the paper reports the bound stays within
+// about one order of magnitude of achieved errors for PSN networks. Check
+// the bound is not absurdly loose (< 1000x) on a trained-scale example.
+func TestBoundTightnessWithPSN(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := buildMLP(t, []int{9, 50, 50, 9}, nn.ActTanh, true, 8)
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	einf := 1e-5
+	var worst float64
+	for trial := 0; trial < 50; trial++ {
+		x := randUnitInput(rng, 9, 1)
+		xp := x.Clone()
+		for i := range xp.Data {
+			xp.Data[i] += (rng.Float64()*2 - 1) * einf
+		}
+		y := net.Forward(x, false)
+		yp := net.Forward(xp, false)
+		if a := tensor.Vector(yp.Data).Sub(tensor.Vector(y.Data)).Norm2(); a > worst {
+			worst = a
+		}
+	}
+	bound := an.BoundLinf(einf)
+	if worst == 0 {
+		t.Skip("degenerate zero perturbation")
+	}
+	if bound/worst > 1000 {
+		t.Fatalf("bound %v is %vx the worst achieved %v — too loose", bound, bound/worst, worst)
+	}
+}
+
+func TestPerFeatureBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := buildMLP(t, []int{9, 40, 9}, nn.ActTanh, true, 9)
+	an, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	einf := 1e-4
+	pf, err := an.PerFeatureBoundsLinf(einf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf) != 9 {
+		t.Fatalf("want 9 per-feature bounds, got %d", len(pf))
+	}
+	global := an.BoundLinf(einf)
+	for k, b := range pf {
+		if b <= 0 {
+			t.Fatalf("feature %d bound %v", k, b)
+		}
+		if b > global*(1+1e-9) {
+			t.Fatalf("feature %d bound %v exceeds global %v", k, b, global)
+		}
+	}
+	// Empirical validation: per-feature errors within per-feature bounds.
+	qnet, err := quant.Quantize(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		x := randUnitInput(rng, 9, 1)
+		xp := x.Clone()
+		for i := range xp.Data {
+			xp.Data[i] += (rng.Float64()*2 - 1) * einf
+		}
+		y := net.Forward(x, false)
+		yq := qnet.Forward(xp, false)
+		for k := 0; k < 9; k++ {
+			if d := math.Abs(yq.Data[k] - y.Data[k]); d > pf[k] {
+				t.Fatalf("trial %d feature %d: error %v > bound %v", trial, k, d, pf[k])
+			}
+		}
+	}
+}
+
+func TestPerFeatureRequiresDenseHead(t *testing.T) {
+	spec := nn.ResNetSpec("rn", 1, 8, 8, 4, []int{1}, []int{4}, nn.ActReLU, false)
+	net, err := spec.Build(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := net.FeatureNetwork() // ends with GAP
+	an, err := AnalyzeNetwork(feat, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.PerFeatureBoundsLinf(1e-4); err == nil {
+		t.Fatal("per-feature bounds on a GAP-terminated net should error")
+	}
+}
+
+func TestResNetGraphAnalysis(t *testing.T) {
+	spec := nn.ResNetSpec("rn", 2, 8, 8, 4, []int{1, 1}, []int{4, 8}, nn.ActReLU, true)
+	net, err := spec.Build(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RefreshSigmas()
+	an, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Lipschitz() <= 0 || an.QuantizationBound() <= 0 {
+		t.Fatalf("degenerate ResNet analysis: lip=%v qb=%v", an.Lipschitz(), an.QuantizationBound())
+	}
+	// Empirical Lipschitz check on the actual network.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		x := randUnitInput(rng, 2*8*8, 1)
+		xp := x.Clone()
+		var dx2 float64
+		for i := range xp.Data {
+			d := (rng.Float64()*2 - 1) * 1e-4
+			xp.Data[i] += d
+			dx2 += d * d
+		}
+		dx2 = math.Sqrt(dx2)
+		y := net.Forward(x, false)
+		yp := net.Forward(xp, false)
+		achieved := tensor.Vector(yp.Data).Sub(tensor.Vector(y.Data)).Norm2()
+		if achieved > an.CompressionBound(dx2)*(1+1e-9) {
+			t.Fatalf("ResNet Lipschitz bound violated: %v > %v", achieved, an.CompressionBound(dx2))
+		}
+	}
+}
+
+func TestQuantBoundOrderingAcrossFormats(t *testing.T) {
+	net := buildMLP(t, []int{9, 30, 9}, nn.ActTanh, true, 13)
+	var prev float64
+	for _, f := range []numfmt.Format{numfmt.TF32, numfmt.BF16, numfmt.INT8} {
+		an, err := AnalyzeNetwork(net, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb := an.QuantizationBound()
+		if qb <= prev {
+			t.Fatalf("%v bound %v not above previous %v", f, qb, prev)
+		}
+		prev = qb
+	}
+	// TF32 == FP16 for normal-range weights.
+	a1, _ := AnalyzeNetwork(net, numfmt.TF32)
+	a2, _ := AnalyzeNetwork(net, numfmt.FP16)
+	if math.Abs(a1.QuantizationBound()-a2.QuantizationBound()) > 1e-12*a1.QuantizationBound() {
+		t.Fatalf("TF32 bound %v != FP16 bound %v", a1.QuantizationBound(), a2.QuantizationBound())
+	}
+}
+
+func TestStepsForFormatFP32(t *testing.T) {
+	if StepsForFormat(numfmt.FP32) != nil {
+		t.Fatal("FP32 should yield nil step function")
+	}
+	net := buildMLP(t, []int{4, 8, 2}, nn.ActTanh, false, 14)
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.QuantizationBound() != 0 {
+		t.Fatalf("FP32 quant bound %v, want 0", an.QuantizationBound())
+	}
+	if an.Lipschitz() != an.LipschitzQuantized() {
+		t.Fatal("FP32 sigma~ should equal sigma")
+	}
+}
+
+func TestInputToleranceInversion(t *testing.T) {
+	net := buildMLP(t, []int{6, 12, 4}, nn.ActReLU, true, 15)
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 0.01
+	dx := an.InputToleranceFor(budget, false)
+	if math.Abs(an.CompressionBound(dx)-budget) > 1e-12 {
+		t.Fatalf("inversion mismatch: %v vs %v", an.CompressionBound(dx), budget)
+	}
+	dxC := an.InputToleranceFor(budget, true)
+	if dxC > dx {
+		t.Fatal("conservative tolerance should not exceed plain tolerance")
+	}
+}

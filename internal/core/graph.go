@@ -1,0 +1,152 @@
+// Package core implements the paper's contribution: the error-flow
+// analysis that bounds a network's output (QoI) perturbation when its
+// input is reduced by an error-bounded lossy compressor and its weights
+// are quantized to a lower-precision format (Inequality (3)), together
+// with the tolerance planner of Fig. 1 that splits a user QoI tolerance
+// between the two reduction mechanisms.
+//
+// The analysis runs over a small graph mirroring the network structure.
+// Each node contributes four transfer coefficients (see flow.go); for a
+// plain MLP their composition reproduces the paper's closed-form
+// Inequality (3) exactly — a property-tested equivalence (see
+// closedform.go).
+package core
+
+import (
+	"fmt"
+
+	"github.com/scidata/errprop/internal/nn"
+)
+
+// NodeKind discriminates error-flow graph nodes.
+type NodeKind int
+
+const (
+	// KindLinear is a weighted linear operator (dense or conv).
+	KindLinear NodeKind = iota
+	// KindLipschitz is a parameter-free map with a known Lipschitz
+	// constant fixing zero (activations, pooling).
+	KindLipschitz
+	// KindSequence composes children in order.
+	KindSequence
+	// KindResidual is y = Branch(x) + Shortcut(x); a nil Shortcut is the
+	// identity.
+	KindResidual
+	// KindConcat is the U-Net skip y = concat(x, Branch(x)): the two
+	// halves' errors combine in quadrature rather than additively.
+	KindConcat
+)
+
+// Node is one vertex of the error-flow graph.
+type Node struct {
+	Kind     NodeKind
+	Op       *nn.LinearOp // KindLinear
+	C        float64      // KindLipschitz
+	Children []*Node      // KindSequence
+	Branch   *Node        // KindResidual
+	Shortcut *Node        // KindResidual; nil = identity
+	Label    string
+	// IsAct marks nonlinear activation nodes — the injection points for
+	// the activation-quantization analysis (pooling and rounding layers
+	// are Lipschitz nodes but not activations).
+	IsAct bool
+}
+
+// FromNetwork translates a network into its error-flow graph. The
+// translation fails if the network contains a layer type the analysis
+// does not model.
+func FromNetwork(net *nn.Network) (*Node, error) {
+	return fromLayers(net.Layers)
+}
+
+func fromLayers(layers []nn.Layer) (*Node, error) {
+	seq := &Node{Kind: KindSequence, Label: "seq"}
+	for _, l := range layers {
+		child, err := fromLayer(l)
+		if err != nil {
+			return nil, err
+		}
+		seq.Children = append(seq.Children, child)
+	}
+	return seq, nil
+}
+
+func fromLayer(l nn.Layer) (*Node, error) {
+	switch t := l.(type) {
+	case nn.Spectral:
+		op := t.LinearOp()
+		return &Node{Kind: KindLinear, Op: &op, Label: op.LayerName}, nil
+	case *nn.Activation:
+		return &Node{Kind: KindLipschitz, C: t.Lipschitz(), Label: t.Name(), IsAct: true}, nil
+	case nn.Lipschitzer:
+		return &Node{Kind: KindLipschitz, C: t.Lipschitz(), Label: l.Name()}, nil
+	case *nn.Residual:
+		branch, err := fromLayers(t.Branch)
+		if err != nil {
+			return nil, err
+		}
+		var shortcut *Node
+		if len(t.Shortcut) > 0 {
+			shortcut, err = fromLayers(t.Shortcut)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Node{Kind: KindResidual, Branch: branch, Shortcut: shortcut, Label: t.Name()}, nil
+	case *nn.SkipConcat:
+		branch, err := fromLayers(t.Branch)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: KindConcat, Branch: branch, Label: t.Name()}, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported layer type %T (%s)", l, l.Name())
+	}
+}
+
+// InputDim returns the flattened input dimension of the graph (the first
+// linear node's InDim), or 0 if the graph has no linear node.
+func (n *Node) InputDim() int {
+	switch n.Kind {
+	case KindLinear:
+		return n.Op.InDim
+	case KindSequence:
+		for _, c := range n.Children {
+			if d := c.InputDim(); d > 0 {
+				return d
+			}
+		}
+	case KindResidual, KindConcat:
+		if d := n.Branch.InputDim(); d > 0 {
+			return d
+		}
+		if n.Shortcut != nil {
+			return n.Shortcut.InputDim()
+		}
+	}
+	return 0
+}
+
+// LinearNodes returns every linear node in forward order (branch before
+// shortcut inside residual blocks).
+func (n *Node) LinearNodes() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		switch nd.Kind {
+		case KindLinear:
+			out = append(out, nd)
+		case KindSequence:
+			for _, c := range nd.Children {
+				walk(c)
+			}
+		case KindResidual, KindConcat:
+			walk(nd.Branch)
+			if nd.Shortcut != nil {
+				walk(nd.Shortcut)
+			}
+		}
+	}
+	walk(n)
+	return out
+}

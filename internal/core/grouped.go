@@ -1,0 +1,33 @@
+package core
+
+import (
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// StepsForGroupedINT8 returns the step-size function for grouped INT8
+// quantization (the paper's future-work block-/column-/row-wise schemes).
+// The grouped RMS step drops straight into the same error-flow formulas
+// as Table I's per-tensor step: the additive quantization term's
+// variance sums per-entry step variances, which is exactly what the RMS
+// aggregation computes.
+func StepsForGroupedINT8(g numfmt.Granularity, blockSize int) StepFunc {
+	return func(op *nn.LinearOp) float64 {
+		q, err := numfmt.GroupedStepSize(op.Weights, op.WRows, op.WCols, g, blockSize)
+		if err != nil {
+			// Degenerate shapes fall back to the per-tensor Table I step.
+			return numfmt.StepSize(numfmt.INT8, op.Weights)
+		}
+		return q
+	}
+}
+
+// AnalyzeNetworkGroupedINT8 analyzes a network under grouped INT8
+// quantization.
+func AnalyzeNetworkGroupedINT8(net *nn.Network, g numfmt.Granularity, blockSize int) (*Analysis, error) {
+	root, err := FromNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(root, StepsForGroupedINT8(g, blockSize)), nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// Mixed-precision planning: the paper's closing future-work item —
+// "enabling per-layer quantization with different formats, thereby
+// introducing a significantly larger optimization space". This file
+// provides the analysis of an arbitrary per-layer format assignment and
+// a greedy optimizer that picks the fastest assignment whose predicted
+// quantization bound fits a budget.
+
+// Assignment maps each linear layer (forward order, as returned by
+// Node.LinearNodes / Network.LinearOps) to a weight format.
+type Assignment []numfmt.Format
+
+// StepsForAssignment returns a step function that applies a per-layer
+// format assignment, keyed by layer name.
+func StepsForAssignment(root *Node, a Assignment) (StepFunc, error) {
+	nodes := root.LinearNodes()
+	if len(a) != len(nodes) {
+		return nil, fmt.Errorf("core: assignment length %d != %d linear layers", len(a), len(nodes))
+	}
+	byName := make(map[string]numfmt.Format, len(nodes))
+	for i, n := range nodes {
+		byName[n.Op.LayerName] = a[i]
+	}
+	return func(op *nn.LinearOp) float64 {
+		f, ok := byName[op.LayerName]
+		if !ok || f == numfmt.FP32 {
+			return 0
+		}
+		return numfmt.StepSize(f, op.Weights)
+	}, nil
+}
+
+// AnalyzeMixed analyzes a network under a per-layer format assignment.
+func AnalyzeMixed(net *nn.Network, a Assignment) (*Analysis, error) {
+	root, err := FromNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	steps, err := StepsForAssignment(root, a)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(root, steps), nil
+}
+
+// LayerCostFunc prices executing one linear layer in a format (lower is
+// better — e.g. simulated kernel time). The optimizer minimizes the sum
+// subject to the bound budget.
+type LayerCostFunc func(op *nn.LinearOp, f numfmt.Format) float64
+
+// DefaultLayerCost is a device-free proxy: FLOPs divided by a relative
+// per-format throughput (FP32 1x, TF32 2x, BF16/FP16 4x, INT8 8x) —
+// matching the spec-sheet peak ratios the roofline devices use.
+func DefaultLayerCost(op *nn.LinearOp, f numfmt.Format) float64 {
+	flops := 2 * float64(op.InDim) * float64(op.OutDim)
+	rel := map[numfmt.Format]float64{
+		numfmt.FP32: 1, numfmt.TF32: 2, numfmt.BF16: 4, numfmt.FP16: 4, numfmt.INT8: 8,
+	}[f]
+	if rel == 0 {
+		rel = 1
+	}
+	return flops / rel
+}
+
+// MixedPlan is the optimizer's output.
+type MixedPlan struct {
+	Assignment Assignment
+	// LayerNames lists the linear layers in assignment order.
+	LayerNames []string
+	// QuantBound is the predicted quantization bound of the assignment.
+	QuantBound float64
+	// Cost is the summed layer cost under the cost function.
+	Cost float64
+	// UniformCost is the cost of the best *uniform* assignment meeting
+	// the same budget, for comparison.
+	UniformCost float64
+	// UniformFormat is that uniform assignment's format.
+	UniformFormat numfmt.Format
+}
+
+// precisionLadder orders formats from fastest/coarsest to slowest/finest
+// for the greedy refinement.
+var precisionLadder = []numfmt.Format{numfmt.INT8, numfmt.BF16, numfmt.FP16, numfmt.TF32, numfmt.FP32}
+
+func finer(f numfmt.Format) (numfmt.Format, bool) {
+	for i, g := range precisionLadder {
+		if g == f && i+1 < len(precisionLadder) {
+			return precisionLadder[i+1], true
+		}
+	}
+	return f, false
+}
+
+// PlanMixed greedily assigns per-layer formats: start everything at the
+// fastest format and, while the predicted quantization bound exceeds the
+// budget, refine the layer whose refinement buys the most bound per unit
+// of added cost. Guaranteed to terminate at all-FP32 (bound zero) if
+// nothing cheaper fits.
+func PlanMixed(net *nn.Network, budget float64, cost LayerCostFunc) (*MixedPlan, error) {
+	if budget < 0 || math.IsNaN(budget) {
+		return nil, fmt.Errorf("core: invalid budget %v", budget)
+	}
+	if cost == nil {
+		cost = DefaultLayerCost
+	}
+	root, err := FromNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	nodes := root.LinearNodes()
+	n := len(nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("core: network has no linear layers")
+	}
+	assign := make(Assignment, n)
+	for i := range assign {
+		assign[i] = precisionLadder[0]
+	}
+	boundOf := func(a Assignment) float64 {
+		steps, err := StepsForAssignment(root, a)
+		if err != nil {
+			panic(err) // length is fixed; cannot happen
+		}
+		return Analyze(root, steps).QuantizationBound()
+	}
+	costOf := func(a Assignment) float64 {
+		var s float64
+		for i, f := range a {
+			s += cost(nodes[i].Op, f)
+		}
+		return s
+	}
+
+	cur := boundOf(assign)
+	for cur > budget {
+		bestLayer, bestRatio := -1, -1.0
+		var bestFmt numfmt.Format
+		for l := 0; l < n; l++ {
+			nf, ok := finer(assign[l])
+			if !ok {
+				continue
+			}
+			trial := append(Assignment(nil), assign...)
+			trial[l] = nf
+			nb := boundOf(trial)
+			dBound := cur - nb
+			dCost := cost(nodes[l].Op, nf) - cost(nodes[l].Op, assign[l])
+			if dCost <= 0 {
+				dCost = 1e-12
+			}
+			if dBound <= 0 {
+				continue
+			}
+			if ratio := dBound / dCost; ratio > bestRatio {
+				bestRatio, bestLayer, bestFmt = ratio, l, nf
+			}
+		}
+		if bestLayer < 0 {
+			// No single refinement reduces the bound: refine everything
+			// one step (monotone progress toward all-FP32).
+			progressed := false
+			for l := 0; l < n; l++ {
+				if nf, ok := finer(assign[l]); ok {
+					assign[l] = nf
+					progressed = true
+				}
+			}
+			if !progressed {
+				break // all FP32; bound is zero <= budget by definition
+			}
+		} else {
+			assign[bestLayer] = bestFmt
+		}
+		cur = boundOf(assign)
+	}
+
+	// Best uniform assignment for comparison.
+	uniFmt := numfmt.FP32
+	uniCost := math.Inf(1)
+	for _, f := range precisionLadder {
+		uni := make(Assignment, n)
+		for i := range uni {
+			uni[i] = f
+		}
+		if boundOf(uni) <= budget {
+			if c := costOf(uni); c < uniCost {
+				uniCost, uniFmt = c, f
+			}
+		}
+	}
+
+	names := make([]string, n)
+	for i, nd := range nodes {
+		names[i] = nd.Op.LayerName
+	}
+	return &MixedPlan{
+		Assignment: assign, LayerNames: names,
+		QuantBound: cur, Cost: costOf(assign),
+		UniformCost: uniCost, UniformFormat: uniFmt,
+	}, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func TestAnalyzeMixedMatchesUniform(t *testing.T) {
+	// A constant assignment must reproduce the uniform-format analysis.
+	net := buildMLP(t, []int{9, 30, 9}, nn.ActTanh, true, 70)
+	for _, f := range numfmt.Formats {
+		a := Assignment{f, f}
+		mixed, err := AnalyzeMixed(net, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni, err := AnalyzeNetwork(net, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mixed.QuantizationBound()-uni.QuantizationBound()) > 1e-12*uni.QuantizationBound() {
+			t.Fatalf("%v: mixed %v != uniform %v", f, mixed.QuantizationBound(), uni.QuantizationBound())
+		}
+	}
+}
+
+func TestAnalyzeMixedLengthValidation(t *testing.T) {
+	net := buildMLP(t, []int{4, 8, 2}, nn.ActReLU, false, 71)
+	if _, err := AnalyzeMixed(net, Assignment{numfmt.FP16}); err == nil {
+		t.Fatal("short assignment should error")
+	}
+}
+
+func TestPlanMixedMeetsBudget(t *testing.T) {
+	net := buildMLP(t, []int{13, 32, 32, 32, 3}, nn.ActReLU, true, 72)
+	for _, budget := range []float64{1e-1, 1e-2, 1e-4, 1e-9} {
+		plan, err := PlanMixed(net, budget, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.QuantBound > budget {
+			t.Fatalf("budget %v: plan bound %v exceeds it", budget, plan.QuantBound)
+		}
+		if len(plan.Assignment) != 4 || len(plan.LayerNames) != 4 {
+			t.Fatalf("assignment shape wrong: %v", plan.Assignment)
+		}
+	}
+}
+
+func TestPlanMixedBeatsUniform(t *testing.T) {
+	// The whole point of the larger optimization space: at intermediate
+	// budgets the mixed plan should cost no more than the best uniform
+	// plan, and typically less (it can keep big layers coarse).
+	net := buildMLP(t, []int{13, 64, 64, 16, 3}, nn.ActReLU, true, 73)
+	an, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget between the FP16 and BF16 uniform bounds forces uniform
+	// plans up to FP16 while the mixed plan can stay coarser in places.
+	budget := an.QuantizationBound() * 2
+	plan, err := PlanMixed(net, budget, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost > plan.UniformCost {
+		t.Fatalf("mixed cost %v exceeds best uniform cost %v", plan.Cost, plan.UniformCost)
+	}
+	// Must differ from all-FP32 (budget is generous enough).
+	allFP32 := true
+	for _, f := range plan.Assignment {
+		if f != numfmt.FP32 {
+			allFP32 = false
+		}
+	}
+	if allFP32 {
+		t.Fatal("mixed plan degenerated to all-FP32 despite generous budget")
+	}
+}
+
+func TestPlanMixedEndToEnd(t *testing.T) {
+	// Quantize with the planned assignment and verify the bound
+	// empirically.
+	rng := rand.New(rand.NewSource(74))
+	net := buildMLP(t, []int{9, 40, 40, 9}, nn.ActTanh, true, 74)
+	an0, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := an0.QuantizationBound() * 3
+	plan, err := PlanMixed(net, budget, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qnet, err := quant.QuantizeMixed(net, plan.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		x := randUnitInput(rng, 9, 1)
+		y := net.Forward(x, false)
+		yq := qnet.Forward(x, false)
+		if d := tensor.Vector(yq.Data).Sub(tensor.Vector(y.Data)).Norm2(); d > plan.QuantBound {
+			t.Fatalf("trial %d: achieved %v > mixed bound %v", trial, d, plan.QuantBound)
+		}
+	}
+}
+
+func TestPlanMixedImpossibleBudgetFallsToFP32(t *testing.T) {
+	net := buildMLP(t, []int{4, 8, 2}, nn.ActTanh, true, 75)
+	plan, err := PlanMixed(net, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range plan.Assignment {
+		if f != numfmt.FP32 {
+			t.Fatalf("layer %d got %v; zero budget must force FP32", i, f)
+		}
+	}
+	if plan.QuantBound != 0 {
+		t.Fatalf("all-FP32 bound %v, want 0", plan.QuantBound)
+	}
+}
+
+func TestPlanMixedValidation(t *testing.T) {
+	net := buildMLP(t, []int{4, 8, 2}, nn.ActTanh, false, 76)
+	if _, err := PlanMixed(net, -1, nil); err == nil {
+		t.Fatal("negative budget should error")
+	}
+	if _, err := PlanMixed(net, math.NaN(), nil); err == nil {
+		t.Fatal("NaN budget should error")
+	}
+}
+
+func TestQuantizeMixedValidation(t *testing.T) {
+	net := buildMLP(t, []int{4, 8, 2}, nn.ActTanh, false, 77)
+	if _, err := quant.QuantizeMixed(net, []numfmt.Format{numfmt.FP16}); err == nil {
+		t.Fatal("short assignment should error")
+	}
+}

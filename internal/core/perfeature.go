@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PerFeatureBounds computes a QoI error bound for each output feature
+// individually (the right-hand panels of Figs. 3-6). It requires the
+// graph to end with a linear node carrying row norms (a dense layer),
+// optionally followed by elementwise Lipschitz maps: feature k's bound
+// replaces the final spectral norm with the k-th row norm, and the final
+// layer's quantization noise concentrates on a single output
+// (AddGain = 1 instead of sqrt(n_L)).
+//
+// deltaX2 is the L2 norm of the input perturbation. The per-feature bound
+// is a scalar, so it serves both the L2 and L-infinity readings.
+func (a *Analysis) PerFeatureBounds(deltaX2 float64) ([]float64, error) {
+	if a.Root.Kind != KindSequence || len(a.Root.Children) == 0 {
+		return nil, fmt.Errorf("core: per-feature bounds need a sequential top level")
+	}
+	children := a.Root.Children
+	// Locate the last linear node; everything after must be elementwise.
+	last := -1
+	for i, c := range children {
+		if c.Kind == KindLinear {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil, fmt.Errorf("core: no linear node in graph")
+	}
+	finalOp := children[last].Op
+	if len(finalOp.RowNorms) == 0 {
+		return nil, fmt.Errorf("core: final linear layer %q carries no row norms (per-feature bounds need a dense head)", finalOp.LayerName)
+	}
+	suffixC := 1.0
+	for _, c := range children[last+1:] {
+		if c.Kind != KindLipschitz {
+			return nil, fmt.Errorf("core: non-elementwise node %q after final linear layer", c.Label)
+		}
+		suffixC *= c.C
+	}
+	// Prefix coefficients over everything before the final linear node.
+	prefix := identityCoeffs()
+	for _, c := range children[:last] {
+		prefix = compose(prefix, c.coeffs(a.Steps))
+	}
+	var qLast float64
+	if a.Steps != nil {
+		qLast = a.Steps(finalOp)
+	}
+	sqrtN0 := math.Sqrt(float64(a.n0))
+	out := make([]float64, len(finalOp.RowNorms))
+	for k, rn := range finalOp.RowNorms {
+		comp := rn * prefix.Lip * deltaX2
+		quant := rn*prefix.Add*sqrtN0 + qLast/(2*math.Sqrt(3))*prefix.Sig*sqrtN0
+		out[k] = suffixC * (comp + quant)
+	}
+	return out, nil
+}
+
+// PerFeatureBoundsLinf is PerFeatureBounds for a pointwise input bound.
+func (a *Analysis) PerFeatureBoundsLinf(einf float64) ([]float64, error) {
+	return a.PerFeatureBounds(math.Sqrt(float64(a.n0)) * einf)
+}

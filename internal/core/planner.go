@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// Norm selects which norm a tolerance is stated in.
+type Norm int
+
+const (
+	// NormL2 is the whole-vector Euclidean norm.
+	NormL2 Norm = iota
+	// NormLinf is the pointwise maximum norm.
+	NormLinf
+)
+
+// String names the norm.
+func (n Norm) String() string {
+	if n == NormLinf {
+		return "linf"
+	}
+	return "l2"
+}
+
+// speedRank orders formats by expected execution speedup (higher is
+// faster), the preference order the planner uses: INT8 and FP16 halve or
+// quarter the data path, BF16/TF32 give smaller gains, FP32 is baseline.
+func speedRank(f numfmt.Format) int {
+	switch f {
+	case numfmt.INT8:
+		return 4
+	case numfmt.FP16:
+		return 3
+	case numfmt.BF16:
+		return 2
+	case numfmt.TF32:
+		return 1
+	}
+	return 0
+}
+
+// PlanRequest asks the planner (Fig. 1) for a reduction configuration.
+type PlanRequest struct {
+	// Tol is the total QoI tolerance, absolute, in Norm.
+	Tol float64
+	// Norm states whether Tol (and the resulting input tolerance) are
+	// pointwise (Linf) or whole-vector (L2).
+	Norm Norm
+	// QuantFraction in (0, 1] is the portion of Tol offered to
+	// quantization (the paper sweeps 10%-90%); the chosen format's
+	// *predicted bound* is then subtracted and all unused tolerance is
+	// reallocated to compression.
+	QuantFraction float64
+	// Formats are the candidate quantization formats; nil defaults to
+	// {INT8, FP16, BF16, TF32}. FP32 (no quantization) is always an
+	// implicit fallback.
+	Formats []numfmt.Format
+	// Conservative propagates the compression budget through the
+	// quantized (sigma~) Lipschitz product instead of the paper's
+	// original-sigma product.
+	Conservative bool
+}
+
+// Plan is the planner's output: the chosen format and the input tolerance
+// handed to the compressor.
+type Plan struct {
+	Format numfmt.Format
+	// QuantBound is the predicted QoI error from quantization alone.
+	QuantBound float64
+	// CompressBudget is the QoI tolerance left for compression.
+	CompressBudget float64
+	// InputTolL2 bounds ||dx||_2 for the compressor.
+	InputTolL2 float64
+	// InputTolLinf is the pointwise input tolerance (Linf modes).
+	InputTolLinf float64
+	// TotalBound is the predicted combined QoI bound (<= Tol).
+	TotalBound float64
+}
+
+// PlanNetwork runs the planner against a network.
+func PlanNetwork(net *nn.Network, req PlanRequest) (*Plan, error) {
+	root, err := FromNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	return PlanGraph(root, req)
+}
+
+// PlanGraph runs the planner against a pre-built error-flow graph.
+func PlanGraph(root *Node, req PlanRequest) (*Plan, error) {
+	if req.Tol <= 0 || math.IsNaN(req.Tol) || math.IsInf(req.Tol, 0) {
+		return nil, fmt.Errorf("core: invalid tolerance %v", req.Tol)
+	}
+	if req.QuantFraction < 0 || req.QuantFraction > 1 {
+		return nil, fmt.Errorf("core: quantization fraction %v not in [0,1]", req.QuantFraction)
+	}
+	formats := req.Formats
+	if formats == nil {
+		formats = []numfmt.Format{numfmt.INT8, numfmt.FP16, numfmt.BF16, numfmt.TF32}
+	}
+
+	quantAlloc := req.Tol * req.QuantFraction
+
+	// Pick the fastest candidate whose predicted quantization bound fits
+	// the allocation. Quantization bounds are derived in L2 and bound the
+	// Linf reading too.
+	best := numfmt.FP32
+	bestBound := 0.0
+	bestRank := -1
+	for _, f := range formats {
+		an := Analyze(root, StepsForFormat(f))
+		qb := an.QuantizationBound()
+		if qb <= quantAlloc && speedRank(f) > bestRank {
+			best, bestBound, bestRank = f, qb, speedRank(f)
+		}
+	}
+
+	an := Analyze(root, StepsForFormat(best))
+	remaining := req.Tol - bestBound
+	lip := an.Lipschitz()
+	if req.Conservative {
+		lip = an.LipschitzQuantized()
+	}
+	n0 := an.InputDim()
+	plan := &Plan{Format: best, QuantBound: bestBound, CompressBudget: remaining}
+	if lip > 0 {
+		plan.InputTolL2 = remaining / lip
+		plan.InputTolLinf = remaining / (lip * math.Sqrt(float64(n0)))
+	} else {
+		plan.InputTolL2 = math.Inf(1)
+		plan.InputTolLinf = math.Inf(1)
+	}
+	switch req.Norm {
+	case NormL2:
+		plan.TotalBound = an.Bound(plan.InputTolL2)
+	case NormLinf:
+		plan.TotalBound = an.BoundLinf(plan.InputTolLinf)
+	}
+	return plan, nil
+}

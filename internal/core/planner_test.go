@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func TestPlanMeetsTolerance(t *testing.T) {
+	net := buildMLP(t, []int{9, 50, 50, 9}, nn.ActTanh, true, 20)
+	for _, norm := range []Norm{NormL2, NormLinf} {
+		for _, tol := range []float64{1e-1, 1e-3, 1e-6, 1e-10} {
+			for _, frac := range []float64{0.1, 0.5, 0.9} {
+				plan, err := PlanNetwork(net, PlanRequest{Tol: tol, Norm: norm, QuantFraction: frac})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plan.TotalBound > tol*(1+1e-9) {
+					t.Fatalf("norm %v tol %v frac %v: predicted bound %v exceeds tolerance",
+						norm, tol, frac, plan.TotalBound)
+				}
+				if plan.QuantBound > tol*frac*(1+1e-9) {
+					t.Fatalf("quant bound %v exceeds allocation %v", plan.QuantBound, tol*frac)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanPrefersFasterFormatsAtLooseTolerance(t *testing.T) {
+	net := buildMLP(t, []int{9, 50, 9}, nn.ActTanh, true, 21)
+	loose, err := PlanNetwork(net, PlanRequest{Tol: 10, Norm: NormL2, QuantFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Format != numfmt.INT8 {
+		t.Fatalf("loose tolerance should pick INT8, got %v", loose.Format)
+	}
+	tight, err := PlanNetwork(net, PlanRequest{Tol: 1e-12, Norm: NormL2, QuantFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Format != numfmt.FP32 {
+		t.Fatalf("impossible tolerance should fall back to FP32, got %v", tight.Format)
+	}
+	if tight.QuantBound != 0 {
+		t.Fatalf("FP32 fallback should have zero quant bound, got %v", tight.QuantBound)
+	}
+}
+
+func TestPlanFormatMonotoneInTolerance(t *testing.T) {
+	// As the tolerance loosens, the chosen format's speed rank must not
+	// decrease (the staircase in Fig. 10 left).
+	net := buildMLP(t, []int{13, 32, 32, 3}, nn.ActReLU, true, 22)
+	prevRank := -1
+	for _, tol := range []float64{1e-12, 1e-8, 1e-5, 1e-3, 1e-1, 10} {
+		plan, err := PlanNetwork(net, PlanRequest{Tol: tol, Norm: NormLinf, QuantFraction: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := speedRank(plan.Format)
+		if r < prevRank {
+			t.Fatalf("format rank regressed from %d to %d at tol %v", prevRank, r, tol)
+		}
+		prevRank = r
+	}
+}
+
+func TestPlanEndToEndGuarantee(t *testing.T) {
+	// Execute the plan: quantize + perturb input within the planned
+	// tolerance; the achieved QoI error must stay within the user budget.
+	rng := rand.New(rand.NewSource(23))
+	net := buildMLP(t, []int{9, 50, 50, 9}, nn.ActTanh, true, 23)
+	tol := 1e-3
+	plan, err := PlanNetwork(net, PlanRequest{Tol: tol, Norm: NormLinf, QuantFraction: 0.5, Conservative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qnet := net
+	if plan.Format != numfmt.FP32 {
+		qnet, err = quant.Quantize(net, plan.Format)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		x := randUnitInput(rng, 9, 1)
+		xp := x.Clone()
+		for i := range xp.Data {
+			xp.Data[i] += (rng.Float64()*2 - 1) * plan.InputTolLinf
+		}
+		y := net.Forward(x, false)
+		yq := qnet.Forward(xp, false)
+		achieved := tensor.Vector(yq.Data).Sub(tensor.Vector(y.Data)).NormInf()
+		if achieved > tol {
+			t.Fatalf("trial %d: achieved Linf %v > user tolerance %v", trial, achieved, tol)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	net := buildMLP(t, []int{4, 8, 2}, nn.ActTanh, false, 24)
+	bad := []PlanRequest{
+		{Tol: 0, QuantFraction: 0.5},
+		{Tol: -1, QuantFraction: 0.5},
+		{Tol: math.NaN(), QuantFraction: 0.5},
+		{Tol: 1e-3, QuantFraction: -0.1},
+		{Tol: 1e-3, QuantFraction: 1.5},
+	}
+	for i, req := range bad {
+		if _, err := PlanNetwork(net, req); err == nil {
+			t.Errorf("request %d should fail", i)
+		}
+	}
+}
+
+func TestPlanUnusedQuantToleranceGoesToCompression(t *testing.T) {
+	// The compress budget must be Tol - actual predicted bound, not
+	// Tol * (1 - fraction): unused quantization allocation is recycled.
+	net := buildMLP(t, []int{9, 30, 9}, nn.ActTanh, true, 25)
+	tol := 1e-2
+	plan, err := PlanNetwork(net, PlanRequest{Tol: tol, Norm: NormL2, QuantFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Format == numfmt.FP32 {
+		t.Skip("no format fits; nothing to check")
+	}
+	if got, want := plan.CompressBudget, tol-plan.QuantBound; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("compress budget %v, want %v", got, want)
+	}
+	if plan.CompressBudget <= tol*0.1 {
+		t.Fatalf("expected recycled tolerance above the 10%% floor, got %v", plan.CompressBudget)
+	}
+}
+
+func TestPlanGraphDirect(t *testing.T) {
+	net := buildMLP(t, []int{6, 12, 3}, nn.ActReLU, true, 26)
+	root, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanGraph(root, PlanRequest{Tol: 1e-3, Norm: NormL2, QuantFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.InputTolL2 <= 0 {
+		t.Fatalf("input tolerance %v", plan.InputTolL2)
+	}
+	// Linf input tolerance is the L2 one shrunk by sqrt(n0).
+	want := plan.InputTolL2 / math.Sqrt(6)
+	if math.Abs(plan.InputTolLinf-want) > 1e-15 {
+		t.Fatalf("linf tol %v, want %v", plan.InputTolLinf, want)
+	}
+}

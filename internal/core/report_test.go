@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+func TestReportSumsToBoundForMLP(t *testing.T) {
+	net := buildMLP(t, []int{9, 30, 20, 5}, nn.ActTanh, true, 60)
+	an, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := an.Report()
+	if len(rep) != 3 {
+		t.Fatalf("want 3 layer reports, got %d", len(rep))
+	}
+	var sum float64
+	for _, r := range rep {
+		if r.Step <= 0 || r.Sigma <= 0 || r.SigmaInflated < r.Sigma {
+			t.Fatalf("degenerate report row: %+v", r)
+		}
+		sum += r.QuantTerm
+	}
+	if qb := an.QuantizationBound(); math.Abs(sum-qb) > 1e-9*(1+qb) {
+		t.Fatalf("report terms sum to %v, quantization bound is %v", sum, qb)
+	}
+}
+
+func TestReportNoQuantization(t *testing.T) {
+	net := buildMLP(t, []int{4, 8, 2}, nn.ActReLU, false, 61)
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range an.Report() {
+		if r.Step != 0 || r.QuantTerm != 0 || r.SigmaInflated != r.Sigma {
+			t.Fatalf("FP32 report should show zero quantization: %+v", r)
+		}
+	}
+}
+
+func TestFormatReportRenders(t *testing.T) {
+	net := buildMLP(t, []int{4, 8, 2}, nn.ActReLU, true, 62)
+	an, err := AnalyzeNetwork(net, numfmt.INT8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := an.FormatReport()
+	if !strings.Contains(s, "lipschitz=") || !strings.Contains(s, "quant bound=") {
+		t.Fatalf("report missing summary line:\n%s", s)
+	}
+	if strings.Count(s, "\n") < 4 { // header + 2 layers + summary
+		t.Fatalf("report too short:\n%s", s)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func buildTrainedUNet(t testing.TB, seed int64) *nn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	spec := nn.UNetSpec("u", 1, 8, 8, 1, 4, nn.ActTanh, true)
+	net, err := spec.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brief training so the weights are non-degenerate.
+	n := 32
+	x := tensor.NewMatrix(64, n)
+	y := tensor.NewMatrix(64, n)
+	for c := 0; c < n; c++ {
+		for i := 0; i < 64; i++ {
+			v := rng.Float64()*2 - 1
+			x.Set(i, c, v)
+			y.Set(i, c, 0.3*v)
+		}
+	}
+	opt := nn.NewAdam(5e-3)
+	for epoch := 0; epoch < 100; epoch++ {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		_, grad := nn.MSELoss(out, y)
+		net.AddRegGrad(1e-4)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	net.RefreshSigmas()
+	return net
+}
+
+func TestUNetGraphTranslates(t *testing.T) {
+	net := buildTrainedUNet(t, 80)
+	an, err := AnalyzeNetwork(net, numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Lipschitz() <= 0 || an.QuantizationBound() <= 0 {
+		t.Fatalf("degenerate U-Net analysis: lip=%v qb=%v", an.Lipschitz(), an.QuantizationBound())
+	}
+	if got := len(an.Root.LinearNodes()); got != 4 { // enc, mid1, mid2, dec
+		t.Fatalf("U-Net linear nodes = %d, want 4", got)
+	}
+}
+
+func TestUNetCompressionBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	net := buildTrainedUNet(t, 81)
+	an, err := AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		x := randUnitInput(rng, 64, 1)
+		xp := x.Clone()
+		var dx2 float64
+		for i := range xp.Data {
+			d := (rng.Float64()*2 - 1) * 1e-4
+			xp.Data[i] += d
+			dx2 += d * d
+		}
+		dx2 = math.Sqrt(dx2)
+		y := net.Forward(x, false)
+		yp := net.Forward(xp, false)
+		achieved := tensor.Vector(yp.Data).Sub(tensor.Vector(y.Data)).Norm2()
+		if achieved > an.CompressionBound(dx2)*(1+1e-9) {
+			t.Fatalf("trial %d: U-Net Lipschitz bound violated: %v > %v",
+				trial, achieved, an.CompressionBound(dx2))
+		}
+	}
+}
+
+func TestUNetQuantizationBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	net := buildTrainedUNet(t, 82)
+	for _, f := range []numfmt.Format{numfmt.FP16, numfmt.INT8} {
+		an, err := AnalyzeNetwork(net, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qnet, err := quant.Quantize(net, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := an.QuantizationBound()
+		for trial := 0; trial < 20; trial++ {
+			x := randUnitInput(rng, 64, 1)
+			y := net.Forward(x, false)
+			yq := qnet.Forward(x, false)
+			if d := tensor.Vector(yq.Data).Sub(tensor.Vector(y.Data)).Norm2(); d > bound {
+				t.Fatalf("%v trial %d: achieved %v > U-Net bound %v", f, trial, d, bound)
+			}
+		}
+	}
+}
+
+func TestConcatQuadratureTighterThanSum(t *testing.T) {
+	// The quadrature rule sqrt(1 + L^2) must beat the residual-style sum
+	// 1 + L whenever the branch is nontrivial.
+	branch := Coeffs{Lip: 3, LipQ: 3, Sig: 3, Add: 0.1}
+	q := quadratureSum(branch, identityCoeffs())
+	p := parallelSum(branch, identityCoeffs())
+	if q.Lip >= p.Lip {
+		t.Fatalf("quadrature Lip %v not tighter than sum %v", q.Lip, p.Lip)
+	}
+	if math.Abs(q.Lip-math.Sqrt(10)) > 1e-12 {
+		t.Fatalf("quadrature Lip = %v, want sqrt(10)", q.Lip)
+	}
+}

@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// BorghesiInputs names the 13 thermochemical state variables of the
+// dissipation-rate workload (mixture-fraction and progress-variable
+// gradients plus derived quantities, per the paper's description).
+var BorghesiInputs = []string{
+	"Z", "C", "gradZ_x", "gradZ_y", "gradC_x", "gradC_y",
+	"|gradZ|", "|gradC|", "gradZ.gradC", "T", "rho", "nu_t", "chi_lam",
+}
+
+// BorghesiOutputs names the three filtered dissipation rates the MLP
+// predicts: mixture-fraction, generalized progress-variable, and cross
+// dissipation.
+var BorghesiOutputs = []string{"chi_Z", "chi_C", "chi_ZC"}
+
+// BorghesiFlame synthesizes the auto-igniting turbulent jet workload:
+// multiscale turbulent scalar fields with sharp fronts (rougher and less
+// compressible than the H2 vortex), 13 derived inputs and 3 dissipation-
+// rate outputs. The output functions involve products of gradients and
+// exponentials, giving *high* input sensitivity (the paper: a 1e-3 input
+// perturbation can produce a ~1e-2 QoI change).
+func BorghesiFlame(grid int, seed int64) *Regression {
+	rng := rand.New(rand.NewSource(seed))
+	n := grid * grid
+	r := &Regression{Name: "borghesi", InDim: 13, OutDim: 3, FieldDims: []int{13, grid, grid}}
+	r.X = tensor.NewMatrix(13, n)
+	r.Y = tensor.NewMatrix(3, n)
+
+	// Turbulent mixture fraction: jet profile + rough multiscale noise +
+	// ignition-front sharpening.
+	zBase := valueNoise2D(grid, 24, 1.0, rng)
+	cBase := valueNoise2D(grid, 24, 1.0, rng)
+	z := make([]float64, n)
+	c := make([]float64, n)
+	for i := 0; i < grid; i++ {
+		jet := math.Exp(-math.Pow((float64(i)/float64(grid)-0.5)/0.18, 2))
+		for j := 0; j < grid; j++ {
+			idx := i*grid + j
+			z[idx] = math.Max(0, math.Min(1, 0.6*jet+0.25*zBase[idx]))
+			// Progress variable with a sharp auto-ignition front.
+			c[idx] = 0.5 * (1 + math.Tanh(6*(z[idx]-0.45+0.15*cBase[idx])))
+		}
+	}
+	gz := gradComponents2D(z, grid)
+	gc := gradComponents2D(c, grid)
+	magZ := gradMag2D(z, grid)
+	magC := gradMag2D(c, grid)
+
+	for idx := 0; idx < n; idx++ {
+		temp := 0.8 + 1.6*c[idx]*(1-math.Abs(z[idx]-0.45))
+		rho := 1.2 / temp
+		nuT := 0.02 + 0.08*magZ[idx]/(1+magZ[idx])
+		chiLam := 2 * 0.03 * magZ[idx] * magZ[idx] / (1 + temp)
+
+		in := []float64{
+			z[idx], c[idx], gz.x[idx], gz.y[idx], gc.x[idx], gc.y[idx],
+			magZ[idx], magC[idx], gz.x[idx]*gc.x[idx] + gz.y[idx]*gc.y[idx],
+			temp, rho, nuT, chiLam,
+		}
+		for f, v := range in {
+			r.X.Data[f*n+idx] = v
+		}
+		// Filtered dissipation rates: scalar dissipation scales with
+		// diffusivity times squared gradients, modulated exponentially by
+		// temperature — the source of the task's high sensitivity.
+		d := 0.03 * math.Exp(1.1*(temp-1))
+		chiZ := 2 * d * magZ[idx] * magZ[idx] * (1 + 3*nuT)
+		chiC := 2 * d * magC[idx] * magC[idx] * (1 + 3*nuT)
+		cross := gz.x[idx]*gc.x[idx] + gz.y[idx]*gc.y[idx]
+		chiZC := 2 * d * cross * (1 + 3*nuT)
+		r.Y.Data[0*n+idx] = chiZ
+		r.Y.Data[1*n+idx] = chiC
+		r.Y.Data[2*n+idx] = chiZC
+	}
+	normalizeRows(r.X)
+	normalizeRows(r.Y)
+	return r
+}
+
+type grad2 struct{ x, y []float64 }
+
+// gradComponents2D returns centered-difference gradient components.
+func gradComponents2D(field []float64, n int) grad2 {
+	gx := make([]float64, n*n)
+	gy := make([]float64, n*n)
+	idx := func(i, j int) int {
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		if j >= n {
+			j = n - 1
+		}
+		return i*n + j
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			gx[i*n+j] = (field[idx(i, j+1)] - field[idx(i, j-1)]) * float64(n) / 2
+			gy[i*n+j] = (field[idx(i+1, j)] - field[idx(i-1, j)]) * float64(n) / 2
+		}
+	}
+	return grad2{gx, gy}
+}

@@ -1,0 +1,155 @@
+// Package dataset provides synthetic stand-ins for the paper's three
+// scientific workloads: nine-species hydrogen combustion (reaction-rate
+// regression), the Borghesi n-dodecane flame (dissipation-rate
+// regression) and EuroSAT multispectral land-cover classification. The
+// real DNS databases and satellite archives are not redistributable, so
+// each generator reproduces the *properties the paper's analysis depends
+// on*: dimensionality, smoothness/compressibility of the stored fields,
+// input normalization to [-1, 1], and the relative input sensitivity
+// ordering (H2 low, EuroSAT middle, Borghesi high).
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Regression is a supervised regression dataset in the nn package's
+// column-major convention plus the spatial field layout its inputs were
+// generated on (used when compressing the stored input block).
+type Regression struct {
+	Name   string
+	InDim  int
+	OutDim int
+	// X is (InDim x N), normalized to [-1, 1] per feature.
+	X *tensor.Matrix
+	// Y is (OutDim x N), normalized to [-1, 1] per feature.
+	Y *tensor.Matrix
+	// FieldDims describes the on-disk layout of X for compression:
+	// [InDim, H, W] — each feature is a smooth 2-D field.
+	FieldDims []int
+}
+
+// N returns the sample count.
+func (r *Regression) N() int { return r.X.Cols }
+
+// FieldData returns the input block in its on-disk field layout
+// (feature-major: all of feature 0's grid, then feature 1's, ...), the
+// representation handed to the lossy compressors.
+func (r *Regression) FieldData() []float64 {
+	n := r.N()
+	out := make([]float64, r.InDim*n)
+	for f := 0; f < r.InDim; f++ {
+		copy(out[f*n:(f+1)*n], r.X.Data[f*n:(f+1)*n])
+	}
+	return out
+}
+
+// FromFieldData converts a (possibly reconstructed) field block back into
+// the (InDim x N) input matrix.
+func (r *Regression) FromFieldData(data []float64) *tensor.Matrix {
+	n := r.N()
+	if len(data) != r.InDim*n {
+		panic("dataset: field data length mismatch")
+	}
+	m := tensor.NewMatrix(r.InDim, n)
+	copy(m.Data, data)
+	return m
+}
+
+// Batch returns columns [lo, hi) of X and Y as new matrices.
+func (r *Regression) Batch(lo, hi int) (*tensor.Matrix, *tensor.Matrix) {
+	if lo < 0 || hi > r.N() || lo >= hi {
+		panic("dataset: bad batch range")
+	}
+	nb := hi - lo
+	x := tensor.NewMatrix(r.InDim, nb)
+	y := tensor.NewMatrix(r.OutDim, nb)
+	for f := 0; f < r.InDim; f++ {
+		copy(x.Data[f*nb:(f+1)*nb], r.X.Data[f*r.N()+lo:f*r.N()+hi])
+	}
+	for f := 0; f < r.OutDim; f++ {
+		copy(y.Data[f*nb:(f+1)*nb], r.Y.Data[f*r.N()+lo:f*r.N()+hi])
+	}
+	return x, y
+}
+
+// normalizeRows min-max normalizes each row of m into [-1, 1] in place.
+// Constant rows map to 0.
+func normalizeRows(m *tensor.Matrix) {
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		min, max := row[0], row[0]
+		for _, v := range row {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		span := max - min
+		if span == 0 {
+			for i := range row {
+				row[i] = 0
+			}
+			continue
+		}
+		for i := range row {
+			row[i] = 2*(row[i]-min)/span - 1
+		}
+	}
+}
+
+// valueNoise2D builds a smooth random field on an n x n grid by summing
+// `octaves` random cosine modes with 1/k amplitude decay — a cheap
+// stand-in for the multiscale structure of turbulence fields.
+func valueNoise2D(n, octaves int, roughness float64, rng *rand.Rand) []float64 {
+	field := make([]float64, n*n)
+	for o := 0; o < octaves; o++ {
+		k := float64(o + 1)
+		amp := math.Pow(k, -roughness)
+		kx := (rng.Float64()*2 - 1) * k * math.Pi
+		ky := (rng.Float64()*2 - 1) * k * math.Pi
+		phase := rng.Float64() * 2 * math.Pi
+		for i := 0; i < n; i++ {
+			y := float64(i) / float64(n)
+			for j := 0; j < n; j++ {
+				x := float64(j) / float64(n)
+				field[i*n+j] += amp * math.Cos(kx*x+ky*y+phase)
+			}
+		}
+	}
+	return field
+}
+
+// gradMag2D returns the centered-difference gradient magnitude of an
+// n x n field.
+func gradMag2D(field []float64, n int) []float64 {
+	out := make([]float64, n*n)
+	idx := func(i, j int) int {
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		if j >= n {
+			j = n - 1
+		}
+		return i*n + j
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dx := (field[idx(i, j+1)] - field[idx(i, j-1)]) * float64(n) / 2
+			dy := (field[idx(i+1, j)] - field[idx(i-1, j)]) * float64(n) / 2
+			out[i*n+j] = math.Sqrt(dx*dx + dy*dy)
+		}
+	}
+	return out
+}

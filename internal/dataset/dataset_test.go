@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+	_ "github.com/scidata/errprop/internal/compress/sz"
+	_ "github.com/scidata/errprop/internal/compress/zfp"
+)
+
+func TestH2CombustionShapes(t *testing.T) {
+	d := H2Combustion(16, 1)
+	if d.InDim != 9 || d.OutDim != 9 || d.N() != 256 {
+		t.Fatalf("shapes: in=%d out=%d n=%d", d.InDim, d.OutDim, d.N())
+	}
+	if len(d.FieldDims) != 3 || d.FieldDims[0] != 9 {
+		t.Fatalf("field dims %v", d.FieldDims)
+	}
+}
+
+func TestNormalizationRange(t *testing.T) {
+	for _, d := range []*Regression{H2Combustion(16, 2), BorghesiFlame(16, 2)} {
+		for i, v := range d.X.Data {
+			if v < -1-1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+				t.Fatalf("%s: X[%d] = %v out of [-1,1]", d.Name, i, v)
+			}
+		}
+		for i, v := range d.Y.Data {
+			if v < -1-1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+				t.Fatalf("%s: Y[%d] = %v out of [-1,1]", d.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := H2Combustion(12, 7)
+	b := H2Combustion(12, 7)
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed should give identical data")
+		}
+	}
+	c := H2Combustion(12, 8)
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != c.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestFieldDataRoundTrip(t *testing.T) {
+	d := BorghesiFlame(10, 3)
+	f := d.FieldData()
+	back := d.FromFieldData(f)
+	for i := range d.X.Data {
+		if back.Data[i] != d.X.Data[i] {
+			t.Fatal("FieldData/FromFieldData not inverse")
+		}
+	}
+}
+
+func TestBatch(t *testing.T) {
+	d := H2Combustion(8, 4)
+	x, y := d.Batch(5, 15)
+	if x.Cols != 10 || y.Cols != 10 || x.Rows != 9 || y.Rows != 9 {
+		t.Fatalf("batch shapes %dx%d, %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	// Sample 7 of the batch equals sample 12 of the dataset.
+	for f := 0; f < 9; f++ {
+		if x.At(f, 7) != d.X.At(f, 12) {
+			t.Fatal("batch columns misaligned")
+		}
+	}
+}
+
+func TestH2MoreCompressibleThanBorghesi(t *testing.T) {
+	// The paper: the single-vortex H2 data compresses extremely well; the
+	// turbulent Borghesi fields are rougher.
+	h2 := H2Combustion(32, 5)
+	bf := BorghesiFlame(32, 5)
+	ratio := func(d *Regression) float64 {
+		blob, err := compress.Encode("sz", d.FieldData(), d.FieldDims, compress.AbsLinf, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return compress.Ratio(len(d.FieldData()), blob)
+	}
+	rh, rb := ratio(h2), ratio(bf)
+	if rh <= rb {
+		t.Fatalf("H2 ratio %.1f should exceed Borghesi ratio %.1f", rh, rb)
+	}
+}
+
+func TestBorghesiMoreSensitive(t *testing.T) {
+	// Sensitivity proxy: the paper's statement is about how sharply the
+	// QoI responds to input perturbations in the worst case, so compare a
+	// high quantile of the per-step output/input variation ratio between
+	// adjacent grid points.
+	sens := func(d *Regression) float64 {
+		n := d.N()
+		ratios := make([]float64, 0, n-1)
+		for i := 0; i+1 < n; i++ {
+			var dx, dy float64
+			for f := 0; f < d.InDim; f++ {
+				dx += math.Abs(d.X.At(f, i+1) - d.X.At(f, i))
+			}
+			for f := 0; f < d.OutDim; f++ {
+				dy += math.Abs(d.Y.At(f, i+1) - d.Y.At(f, i))
+			}
+			ratios = append(ratios, (dy/float64(d.OutDim))/(dx/float64(d.InDim)+1e-9))
+		}
+		sort.Float64s(ratios)
+		return ratios[len(ratios)*99/100]
+	}
+	h2 := sens(H2Combustion(24, 6))
+	bf := sens(BorghesiFlame(24, 6))
+	if bf <= h2 {
+		t.Fatalf("Borghesi sensitivity %.3f should exceed H2's %.3f", bf, h2)
+	}
+}
+
+func TestEuroSATShapes(t *testing.T) {
+	d := EuroSAT(20, 16, 1)
+	if d.N() != 20 || d.Images.C != 13 || d.Images.H != 16 {
+		t.Fatalf("shapes wrong: %+v", d.Images)
+	}
+	if d.InputDim() != 13*16*16 {
+		t.Fatalf("InputDim = %d", d.InputDim())
+	}
+	counts := make([]int, 10)
+	for _, l := range d.Labels {
+		if l < 0 || l > 9 {
+			t.Fatalf("label %d", l)
+		}
+		counts[l]++
+	}
+	for c, k := range counts {
+		if k != 2 {
+			t.Fatalf("class %d has %d samples, want 2 (balanced)", c, k)
+		}
+	}
+}
+
+func TestEuroSATRangeAnd16Bit(t *testing.T) {
+	d := EuroSAT(5, 8, 2)
+	for _, v := range d.Images.Data {
+		if v < -1 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("pixel %v out of range", v)
+		}
+		// Every value must sit on the 16-bit grid.
+		q := (v + 1) / 2 * 65535
+		if math.Abs(q-math.Round(q)) > 1e-9 {
+			t.Fatalf("pixel %v not 16-bit quantized", v)
+		}
+	}
+}
+
+func TestEuroSATClassesSeparable(t *testing.T) {
+	// Water and forest must have clearly different mean NIR response —
+	// the property the classifier learns.
+	d := EuroSAT(40, 8, 3)
+	nirBand := 8
+	mean := func(class int) float64 {
+		var s float64
+		var k int
+		for i := 0; i < d.N(); i++ {
+			if d.Labels[i] != class {
+				continue
+			}
+			for p := 0; p < 64; p++ {
+				s += d.Images.At(i, nirBand, p/8, p%8)
+				k++
+			}
+		}
+		return s / float64(k)
+	}
+	forest, water := mean(1), mean(9)
+	if forest-water < 0.2 {
+		t.Fatalf("forest NIR %.3f not separable from water %.3f", forest, water)
+	}
+}
+
+func TestEuroSATBatchMatrix(t *testing.T) {
+	d := EuroSAT(6, 8, 4)
+	m, labels := d.BatchMatrix(2, 5)
+	if m.Rows != d.InputDim() || m.Cols != 3 || len(labels) != 3 {
+		t.Fatalf("batch shapes %dx%d / %d", m.Rows, m.Cols, len(labels))
+	}
+	if m.At(0, 0) != d.Images.Sample(2)[0] {
+		t.Fatal("batch misaligned")
+	}
+}
+
+func TestEuroSATImagesCompressible(t *testing.T) {
+	d := EuroSAT(3, 32, 5)
+	field, dims := d.ImageField(0)
+	blob, err := compress.Encode("zfp", field, dims, compress.AbsLinf, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := compress.Ratio(len(field), blob); r < 4 {
+		t.Fatalf("EuroSAT image ratio only %.1f", r)
+	}
+}

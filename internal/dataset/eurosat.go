@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// EuroSATClasses are the ten land-use/land-cover classes of the EuroSAT
+// benchmark.
+var EuroSATClasses = []string{
+	"AnnualCrop", "Forest", "HerbaceousVegetation", "Highway", "Industrial",
+	"Pasture", "PermanentCrop", "Residential", "River", "SeaLake",
+}
+
+// EuroSATBands is the number of Sentinel-2 spectral bands (13).
+const EuroSATBands = 13
+
+// Classification is a labeled multispectral image dataset.
+type Classification struct {
+	Name    string
+	Images  *tensor.T4 // N x C x H x W, normalized to [-1, 1]
+	Labels  []int
+	Classes int
+}
+
+// N returns the sample count.
+func (c *Classification) N() int { return c.Images.N }
+
+// InputDim returns the flattened per-image feature count.
+func (c *Classification) InputDim() int { return c.Images.C * c.Images.H * c.Images.W }
+
+// BatchMatrix returns images [lo, hi) as an (InputDim x batch) matrix in
+// the nn convention, plus the matching labels.
+func (c *Classification) BatchMatrix(lo, hi int) (*tensor.Matrix, []int) {
+	if lo < 0 || hi > c.N() || lo >= hi {
+		panic("dataset: bad batch range")
+	}
+	nb := hi - lo
+	feat := c.InputDim()
+	m := tensor.NewMatrix(feat, nb)
+	for k := 0; k < nb; k++ {
+		src := c.Images.Sample(lo + k)
+		for f := 0; f < feat; f++ {
+			m.Data[f*nb+k] = src[f]
+		}
+	}
+	return m, c.Labels[lo:hi]
+}
+
+// ImageField returns image i as a flat [C, H, W] block for compression.
+func (c *Classification) ImageField(i int) ([]float64, []int) {
+	return c.Images.Sample(i), []int{c.Images.C, c.Images.H, c.Images.W}
+}
+
+// classSignature returns a per-class 13-band mean reflectance profile in
+// [0.05, 0.9], loosely modeled on Sentinel-2 land-cover statistics (water
+// dark in NIR, vegetation bright in NIR, built-up flat and bright, ...).
+func classSignature(class int, rng *rand.Rand) [EuroSATBands]float64 {
+	var sig [EuroSATBands]float64
+	for b := 0; b < EuroSATBands; b++ {
+		w := float64(b) / float64(EuroSATBands-1) // 0 = blue, 1 = SWIR
+		var base float64
+		switch class {
+		case 1, 2, 5: // Forest, HerbaceousVegetation, Pasture
+			base = 0.12 + 0.55*math.Exp(-math.Pow(w-0.6, 2)/0.03) // NIR peak
+		case 8, 9: // River, SeaLake
+			base = 0.25*math.Exp(-3*w) + 0.05 // dark beyond visible
+		case 4, 7: // Industrial, Residential
+			base = 0.35 + 0.25*w // bright, rising to SWIR
+		case 3: // Highway
+			base = 0.30 + 0.10*w
+		default: // crops
+			base = 0.18 + 0.35*math.Exp(-math.Pow(w-0.55, 2)/0.05) + 0.1*w
+		}
+		sig[b] = base + rng.NormFloat64()*0.01
+	}
+	return sig
+}
+
+// EuroSAT synthesizes n multispectral 13-band size x size images over 10
+// classes: a class spectral signature modulated by class-specific spatial
+// texture, quantized to 16-bit levels (the paper stresses the data is
+// 16-bit) and normalized to [-1, 1].
+func EuroSAT(n, size int, seed int64) *Classification {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Classification{Name: "eurosat", Classes: 10,
+		Images: tensor.NewT4(n, EuroSATBands, size, size), Labels: make([]int, n)}
+	for img := 0; img < n; img++ {
+		class := img % 10 // balanced
+		c.Labels[img] = class
+		sig := classSignature(class, rng)
+
+		// Class-specific texture scale: built-up classes are blocky and
+		// high-frequency, water nearly flat, vegetation mid-frequency.
+		var octaves int
+		var rough, amp float64
+		switch class {
+		case 8, 9:
+			octaves, rough, amp = 4, 2.0, 0.03
+		case 4, 7, 3:
+			octaves, rough, amp = 20, 0.6, 0.20
+		default:
+			octaves, rough, amp = 10, 1.2, 0.10
+		}
+		texture := valueNoise2D(size, octaves, rough, rng)
+		// A secondary field decorrelates the bands slightly.
+		texture2 := valueNoise2D(size, octaves, rough, rng)
+
+		for b := 0; b < EuroSATBands; b++ {
+			mix := 0.8 + 0.2*float64(b%3)/2
+			for i := 0; i < size; i++ {
+				for j := 0; j < size; j++ {
+					v := sig[b] * (1 + amp*(mix*texture[i*size+j]+(1-mix)*texture2[i*size+j]))
+					if v < 0 {
+						v = 0
+					}
+					if v > 1 {
+						v = 1
+					}
+					// 16-bit quantization, then [-1, 1] normalization.
+					q := math.Round(v*65535) / 65535
+					c.Images.Set(img, b, i, j, 2*q-1)
+				}
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// The nine species of the simplified hydrogen mechanism the paper's first
+// workload predicts reaction rates for.
+var H2Species = []string{"H2", "O2", "H2O", "H", "O", "OH", "HO2", "H2O2", "N2"}
+
+// H2Combustion synthesizes the hydrogen-combustion workload: mass
+// fractions of 9 species on a grid x grid field dominated by a single
+// central vortex (the paper notes this makes the inputs highly
+// compressible), with reaction rates from a surrogate Arrhenius-style
+// kinetics model. Inputs and outputs are normalized to [-1, 1].
+//
+// The surrogate kinetics are built so the QoI has *low* sensitivity to
+// input perturbations (the paper: a 1e-3 input perturbation produces a
+// ~1e-3 QoI change).
+func H2Combustion(grid int, seed int64) *Regression {
+	rng := rand.New(rand.NewSource(seed))
+	n := grid * grid
+	r := &Regression{Name: "h2comb", InDim: 9, OutDim: 9, FieldDims: []int{9, grid, grid}}
+	r.X = tensor.NewMatrix(9, n)
+	r.Y = tensor.NewMatrix(9, n)
+
+	// A single vortex at the field center: mixing is a smooth function of
+	// the swirl-distorted radius.
+	cx, cy := 0.5, 0.5
+	swirl := 3.0 + rng.Float64()*2
+	noise := valueNoise2D(grid, 6, 1.5, rng)
+
+	for i := 0; i < grid; i++ {
+		for j := 0; j < grid; j++ {
+			x := float64(j)/float64(grid) - cx
+			y := float64(i)/float64(grid) - cy
+			rad := math.Sqrt(x*x + y*y)
+			theta := math.Atan2(y, x) + swirl*math.Exp(-rad*rad/0.08)
+			// Mixture fraction: 1 in the core (fuel), 0 outside (air),
+			// wrinkled by the vortex arm.
+			z := 0.5 * (1 - math.Tanh((rad-0.25-0.05*math.Sin(3*theta))/0.08))
+			z += 0.004 * noise[i*grid+j]
+			z = math.Max(0, math.Min(1, z))
+			// Reaction progress peaks at the flame front (z ~ 0.5).
+			prog := math.Exp(-math.Pow(z-0.5, 2) / 0.02)
+
+			ys := h2Composition(z, prog)
+			for s := 0; s < 9; s++ {
+				r.X.Data[s*n+i*grid+j] = ys[s]
+			}
+			rates := h2ReactionRates(ys)
+			for s := 0; s < 9; s++ {
+				r.Y.Data[s*n+i*grid+j] = rates[s]
+			}
+		}
+	}
+	normalizeRows(r.X)
+	normalizeRows(r.Y)
+	return r
+}
+
+// h2Composition maps (mixture fraction, progress) to 9 species mass
+// fractions that sum to ~1 with N2 as the bath gas.
+func h2Composition(z, prog float64) [9]float64 {
+	var y [9]float64
+	y[0] = 0.11 * z * (1 - prog)       // H2 (fuel, consumed by progress)
+	y[1] = 0.23 * (1 - z) * (1 - prog) // O2
+	y[2] = 0.25 * prog * (0.3 + 0.7*z) // H2O (product)
+	y[3] = 0.004 * prog * z            // H radical
+	y[4] = 0.003 * prog * (1 - z)      // O radical
+	y[5] = 0.012 * prog                // OH
+	y[6] = 0.002 * prog * (1 - prog)   // HO2 (intermediate)
+	y[7] = 0.001 * prog * (1 - prog)   // H2O2
+	sum := 0.0
+	for i := 0; i < 8; i++ {
+		sum += y[i]
+	}
+	y[8] = math.Max(0, 1-sum) // N2 balance
+	return y
+}
+
+// h2ReactionRates is a smooth surrogate for the 9-species source terms:
+// Arrhenius-style rates driven by a composition-derived temperature.
+// Low Lipschitz constants by construction (rates scale with modest
+// products of mass fractions).
+func h2ReactionRates(y [9]float64) [9]float64 {
+	// Temperature surrogate: hot where products and radicals are.
+	temp := 0.3 + 2.2*y[2] + 9*y[5] // in 1000K units
+	ar := math.Exp(-1.2 / temp)     // Arrhenius factor
+
+	// Elementary steps (surrogate constants).
+	r1 := 8 * y[0] * y[1] * ar        // H2 + O2 chain initiation
+	r2 := 30 * y[0] * y[5] * ar       // H2 + OH -> H2O + H
+	r3 := 25 * y[3] * y[1] * ar       // H + O2 -> OH + O
+	r4 := 20 * y[4] * y[0] * ar       // O + H2 -> OH + H
+	r5 := 12 * y[3] * y[1] * (1 - ar) // H + O2 + M -> HO2
+	r6 := 15 * y[6] * y[6]            // HO2 + HO2 -> H2O2 + O2
+	r7 := 18 * y[7] * ar              // H2O2 + M -> 2 OH
+
+	var w [9]float64
+	w[0] = -r1 - r2 - r4            // H2
+	w[1] = -r1 - r3 - r5 + r6       // O2
+	w[2] = r2                       // H2O
+	w[3] = r2 + r4 - r3 - r5        // H
+	w[4] = r3 - r4                  // O
+	w[5] = r1 + r3 + r4 - r2 + 2*r7 // OH
+	w[6] = r5 - 2*r6                // HO2
+	w[7] = r6 - r7                  // H2O2
+	w[8] = 0                        // N2 inert
+	return w
+}

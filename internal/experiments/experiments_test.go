@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 22 {
+		t.Fatalf("want 22 experiments, got %d: %v", len(ids), ids)
+	}
+	if ids[0] != "table1" || ids[1] != "fig2" || ids[14] != "fig15" ||
+		ids[15] != "ext1" || ids[16] != "ext2" {
+		t.Fatalf("ordering wrong: %v", ids)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := Table1()
+	if r.Table.NumRows() != 4 {
+		t.Fatalf("Table I should have 4 format rows, got %d", r.Table.NumRows())
+	}
+	s := r.Table.String()
+	for _, f := range []string{"tf32", "fp16", "bf16", "int8"} {
+		if !strings.Contains(s, f) {
+			t.Fatalf("missing format %s:\n%s", f, s)
+		}
+	}
+}
+
+func TestFig2PhasesSumTo100(t *testing.T) {
+	r := Fig2()
+	if r.Table.NumRows() != 6 {
+		t.Fatalf("fig2 should have 6 model rows, got %d", r.Table.NumRows())
+	}
+}
+
+func TestFig5BoundsHold(t *testing.T) {
+	r := Fig5()
+	// 3 tasks x 4 formats.
+	if r.Table.NumRows() != 12 {
+		t.Fatalf("fig5 rows = %d", r.Table.NumRows())
+	}
+	// Structural check happens in the quant sweep itself; here we verify
+	// the table rendered and mentions all tasks.
+	s := r.Table.String()
+	for _, task := range []string{"H2Combustion", "BorghesiFlame", "EuroSAT"} {
+		if !strings.Contains(s, task) {
+			t.Fatalf("missing task %s", task)
+		}
+	}
+}
+
+func TestFig9SpeedupColumn(t *testing.T) {
+	r := Fig9()
+	if r.Table.NumRows() != 6*5 { // 6 models x 5 formats
+		t.Fatalf("fig9 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	r := Fig10()
+	if r.Table.NumRows() != len(qoiTolLevels) {
+		t.Fatalf("fig10 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	r := Fig7()
+	// 3 tasks x 3 codecs x 5 tolerances.
+	if r.Table.NumRows() != 45 {
+		t.Fatalf("fig7 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestFig13Runs(t *testing.T) {
+	r := Fig13()
+	// 3 tasks x 5 tolerances x 3 allocations.
+	if r.Table.NumRows() != 45 {
+		t.Fatalf("fig13 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestExt1Runs(t *testing.T) {
+	r := ExtGroupedINT8()
+	if r.Table.NumRows() != 12 { // 3 tasks x 4 granularities
+		t.Fatalf("ext1 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestExt2Runs(t *testing.T) {
+	r := ExtActivationQuant()
+	if r.Table.NumRows() != 6 { // 3 tasks x 2 activation formats
+		t.Fatalf("ext2 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestExt3Runs(t *testing.T) {
+	r := ExtMixedPrecision()
+	if r.Table.NumRows() != 9 { // 3 tasks x 3 budgets
+		t.Fatalf("ext3 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestExt4Runs(t *testing.T) {
+	r := ExtAutotune()
+	if r.Table.NumRows() != 9 { // 3 tasks x 3 tolerances
+		t.Fatalf("ext4 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestExt5Runs(t *testing.T) {
+	r := ExtUNet()
+	if r.Table.NumRows() != 6 { // 2 compression + 4 quantization rows
+		t.Fatalf("ext5 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestExt6Runs(t *testing.T) {
+	r := ExtAttention()
+	if r.Table.NumRows() != 4 { // 2 compression + 2 quantization rows
+		t.Fatalf("ext6 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestExt7Runs(t *testing.T) {
+	r := ExtFP8()
+	if r.Table.NumRows() != 12 { // 3 tasks x 4 formats
+		t.Fatalf("ext7 rows = %d", r.Table.NumRows())
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+
+	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/stats"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// The U-Net extension workload: a field-to-field surrogate mapping a
+// 16x16 mixture-fraction patch to its dissipation-rate patch — the
+// image-translation shape U-Nets exist for, built from the Borghesi
+// generator.
+const unetPatch = 16
+
+var (
+	unetOnce sync.Once
+	unetNet  *nn.Network
+	unetX    *tensor.Matrix // (256 x N) patches, inputs
+	unetY    *tensor.Matrix // (256 x N) patches, targets
+)
+
+func unetTask() (*nn.Network, *tensor.Matrix, *tensor.Matrix) {
+	unetOnce.Do(func() {
+		// Cut non-overlapping 16x16 patches from a Borghesi field: input
+		// channel = mixture fraction (feature 0), target = chi_Z field
+		// (output 0), both already normalized.
+		d := dataset.BorghesiFlame(64, 1001)
+		grid := 64
+		n := 0
+		patches := (grid / unetPatch) * (grid / unetPatch)
+		unetX = tensor.NewMatrix(unetPatch*unetPatch, patches)
+		unetY = tensor.NewMatrix(unetPatch*unetPatch, patches)
+		for py := 0; py < grid/unetPatch; py++ {
+			for px := 0; px < grid/unetPatch; px++ {
+				for i := 0; i < unetPatch; i++ {
+					for j := 0; j < unetPatch; j++ {
+						g := (py*unetPatch+i)*grid + px*unetPatch + j
+						unetX.Set(i*unetPatch+j, n, d.X.At(0, g))
+						unetY.Set(i*unetPatch+j, n, d.Y.At(0, g))
+					}
+				}
+				n++
+			}
+		}
+		spec := nn.UNetSpec("unet", 1, unetPatch, unetPatch, 1, 6, nn.ActTanh, true)
+		net, err := spec.Build(1001)
+		if err != nil {
+			panic(err)
+		}
+		opt := nn.NewAdam(3e-3)
+		for epoch := 0; epoch < 250; epoch++ {
+			net.ZeroGrad()
+			out := net.Forward(unetX, true)
+			_, grad := nn.MSELoss(out, unetY)
+			net.AddRegGrad(1e-3)
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+		net.RefreshSigmas()
+		unetNet = net
+	})
+	return unetNet, unetX, unetY
+}
+
+// ExtUNet validates the error-flow extension to U-Net architectures
+// (skip concatenation + upsampling, the paper's future-work architecture
+// family): compression and quantization bounds versus achieved errors on
+// a field-to-field dissipation surrogate.
+func ExtUNet() *Result {
+	net, x, y := unetTask()
+	an, err := core.AnalyzeNetwork(net, numfmt.FP32)
+	if err != nil {
+		panic(err)
+	}
+	// QoI scale for relative errors.
+	ref := net.Forward(x, false)
+	var scale float64
+	for _, v := range ref.Data {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	_ = y
+
+	tb := stats.NewTable("perturbation", "achieved geo", "achieved max", "bound", "bound/achieved")
+
+	// Compression rows: SZ at two tolerances over the patch batch.
+	for _, einf := range []float64{1e-5, 1e-3} {
+		var achieved []float64
+		for rep := 0; rep < compressionReps; rep++ {
+			field := append([]float64(nil), x.Data...)
+			dims := []int{x.Rows, x.Cols} // feature-major block
+			recon, _, _, _, err := compressField("sz", field, dims, compress.AbsLinf, einf)
+			if err != nil {
+				panic(err)
+			}
+			got := net.Forward(tensor.NewMatrixFrom(x.Rows, x.Cols, recon), false)
+			diff := tensor.Vector(got.Data).Sub(tensor.Vector(ref.Data))
+			achieved = append(achieved, diff.NormInf()/scale)
+		}
+		bound := an.BoundLinf(einf) / scale
+		_, maxA := stats.MinMax(achieved)
+		ratio := 0.0
+		if maxA > 0 {
+			ratio = bound / maxA
+		}
+		tb.AddRow("compress sz "+formatTol(einf), stats.GeoMean(achieved), maxA, bound, ratio)
+	}
+
+	// Quantization rows per format.
+	for _, f := range numfmt.Formats {
+		anq, err := core.AnalyzeNetwork(net, f)
+		if err != nil {
+			panic(err)
+		}
+		qnet, err := quant.Quantize(net, f)
+		if err != nil {
+			panic(err)
+		}
+		got := qnet.Forward(x, false)
+		diff := tensor.Vector(got.Data).Sub(tensor.Vector(ref.Data))
+		achieved := diff.NormInf() / scale
+		bound := anq.QuantizationBound() / scale
+		ratio := 0.0
+		if achieved > 0 {
+			ratio = bound / achieved
+		}
+		tb.AddRow("quantize "+f.String(), achieved, achieved, bound, ratio)
+	}
+
+	return &Result{
+		ID:    "ext5",
+		Title: "Extension: error flow through a U-Net (skip concatenation + upsampling)",
+		Table: tb,
+		Notes: "the concat rule sqrt(1 + L_branch^2) (quadrature, not the residual sum) keeps U-Net bounds sound and as tight as the block structure allows",
+	}
+}
+
+func formatTol(t float64) string {
+	switch t {
+	case 1e-5:
+		return "1e-5"
+	case 1e-3:
+		return "1e-3"
+	}
+	return "?"
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/hpcio"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/stats"
+)
+
+// qoiTolLevels are the user-specified relative QoI tolerances swept in
+// the throughput experiments (Figs. 7-8, 10-15).
+var qoiTolLevels = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+
+// Fig7 regenerates I/O throughput versus user QoI tolerance (L-infinity)
+// for the three codecs, against the 2.8 GB/s raw-read baseline.
+func Fig7() *Result {
+	tb := ioThroughputSweep(normLinf, []string{"mgard", "sz", "zfp"})
+	return &Result{
+		ID:    "fig7",
+		Title: "I/O throughput vs QoI tolerance, L-infinity (Fig. 7)",
+		Table: tb,
+		Notes: "throughput rises with tolerance; SZ/MGARD dip below the baseline at stringent tolerances (decode cost), ZFP stays near-flat",
+	}
+}
+
+// Fig8 is Fig7 with L2 tolerances; ZFP is absent ("ZFP does not support
+// an L2 norm tolerance").
+func Fig8() *Result {
+	tb := ioThroughputSweep(normL2, []string{"mgard", "sz"})
+	return &Result{
+		ID:    "fig8",
+		Title: "I/O throughput vs QoI tolerance, L2 (Fig. 8)",
+		Table: tb,
+		Notes: "ZFP omitted: no L2 tolerance support, as in the paper",
+	}
+}
+
+func ioThroughputSweep(norm int, codecs []string) *stats.Table {
+	st := hpcio.DefaultStorage()
+	dm := hpcio.DefaultDecodeModel()
+	tb := stats.NewTable("task", "codec", "rel QoI tol", "input tol", "ratio", "IO GB/s", "baseline GB/s")
+	for _, t := range adapters() {
+		an := t.analysisFor(t.qoiNet, numfmt.FP32)
+		field, dims := t.ioField()
+		for _, codec := range codecs {
+			for _, tol := range qoiTolLevels {
+				// Invert the compression bound: QoI budget -> input tol.
+				var mode compress.Mode
+				var inputTol float64
+				if norm == normLinf {
+					absQoI := tol * t.scaleLinf
+					einf := an.InputToleranceFor(absQoI, false) / sqrtN0(an)
+					mode, inputTol = compress.AbsLinf, einf
+				} else {
+					absQoI := tol * t.scaleL2
+					mode, inputTol = compress.L2, an.InputToleranceFor(absQoI, false)
+				}
+				blob, err := compress.Encode(codec, field, dims, mode, inputTol)
+				if err != nil {
+					panic(err)
+				}
+				res, err := hpcio.ReadCompressed(st, dm, blob)
+				if err != nil {
+					panic(err)
+				}
+				base := hpcio.ReadRaw(st, len(field))
+				tb.AddRow(t.name, codec, tol, inputTol, res.Ratio,
+					res.Throughput/1e9, base.Throughput/1e9)
+			}
+		}
+	}
+	return tb
+}
+
+func sqrtN0(an interface{ InputDim() int }) float64 {
+	return math.Sqrt(float64(an.InputDim()))
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"github.com/scidata/errprop/internal/gpusim"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/stats"
+)
+
+// Fig9 regenerates model-execution throughput versus quantization format
+// on the simulated RTX 3080 Ti (the paper's only device with native TF32
+// and BF16): data-ingestion throughput in GB/s per model and format, plus
+// the speedup over FP32.
+func Fig9() *Result {
+	dev := gpusim.RTX3080Ti
+	tb := stats.NewTable("model", "format", "exec GB/s", "speedup vs fp32")
+	for _, m := range benchModels() {
+		for _, f := range numfmt.AllFormats {
+			tp := gpusim.Throughput(m.net, dev, f, m.batch)
+			sp := gpusim.Speedup(m.net, dev, f, m.batch)
+			tb.AddRow(m.name, f.String(), tp/1e9, sp)
+		}
+	}
+	return &Result{
+		ID:    "fig9",
+		Title: "Execution throughput vs quantization format (Fig. 9)",
+		Table: tb,
+		Notes: "FP16 reaches the ~4.5x range on compute-bound models; INT8 goes further but with the error cost of Fig. 5; TF32/BF16 give little speedup",
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/gpusim"
+	"github.com/scidata/errprop/internal/hpcio"
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/stats"
+)
+
+// Fig10 regenerates the quantization-priority coordination study on the
+// hydrogen-combustion task: per user tolerance, the tolerance split
+// between quantization and compression (left panel) and the resulting
+// I/O-phase versus execution-phase throughput (right panel), where
+// execution is the bottleneck throughout.
+func Fig10() *Result {
+	t := adapters()[0] // H2Combustion
+	st := hpcio.DefaultStorage()
+	dm := hpcio.DefaultDecodeModel()
+	dev := gpusim.RTX3080Ti
+	root := mustGraph(t.qoiNet)
+
+	tb := stats.NewTable("rel QoI tol", "format", "quant bound (rel)", "compress tol (linf)",
+		"ratio", "IO GB/s", "exec GB/s", "bottleneck")
+	for _, tol := range qoiTolLevels {
+		absTol := tol * t.scaleLinf
+		// Quantization-priority: offer the whole tolerance to quantization.
+		plan, err := core.PlanGraph(root, core.PlanRequest{
+			Tol: absTol, Norm: core.NormLinf, QuantFraction: 1.0})
+		if err != nil {
+			panic(err)
+		}
+		field, dims := t.ioField()
+		var ioTP, ratio float64
+		if math.IsInf(plan.InputTolLinf, 0) {
+			ioTP, ratio = hpcio.ReadRaw(st, len(field)).Throughput, 1
+		} else {
+			blob, err := compress.Encode("sz", field, dims, compress.AbsLinf, plan.InputTolLinf)
+			if err != nil {
+				panic(err)
+			}
+			res, err := hpcio.ReadCompressed(st, dm, blob)
+			if err != nil {
+				panic(err)
+			}
+			ioTP, ratio = res.Throughput, res.Ratio
+		}
+		execTP := gpusim.Throughput(t.qoiNet, dev, plan.Format, 256)
+		bottleneck := "execution"
+		if ioTP < execTP {
+			bottleneck = "io"
+		}
+		tb.AddRow(tol, plan.Format.String(), plan.QuantBound/t.scaleLinf,
+			plan.InputTolLinf, ratio, ioTP/1e9, execTP/1e9, bottleneck)
+	}
+	return &Result{
+		ID:    "fig10",
+		Title: "Coordinating reduction and quantization, quantization-priority, H2 (Fig. 10)",
+		Table: tb,
+		Notes: "compression exploits the gap between the chosen format's predicted quantization error and the user tolerance; execution remains the bottleneck on this task, as in the paper",
+	}
+}
+
+// mustGraph builds the error-flow graph of a network or panics.
+func mustGraph(net *nn.Network) *core.Node {
+	root, err := core.FromNetwork(net)
+	if err != nil {
+		panic(err)
+	}
+	return root
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/gpusim"
+	"github.com/scidata/errprop/internal/hpcio"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/stats"
+)
+
+// allocFractions are the tolerance shares offered to quantization in the
+// Figs. 11-15 sweeps (the paper sweeps 10%-90%).
+var allocFractions = []float64{0.1, 0.5, 0.9}
+
+// Fig11 regenerates the MGARD / L-infinity coordination sweep: predicted
+// bound and end-to-end throughput versus user tolerance across
+// quantization allocations.
+func Fig11() *Result {
+	return coordinationResult("fig11", "mgard", normLinf,
+		"Bound + throughput vs tolerance, MGARD, L-infinity (Fig. 11)")
+}
+
+// Fig12 is the MGARD / L2 sweep.
+func Fig12() *Result {
+	return coordinationResult("fig12", "mgard", normL2,
+		"Bound + throughput vs tolerance, MGARD, L2 (Fig. 12)")
+}
+
+// Fig13 is the SZ / L-infinity sweep.
+func Fig13() *Result {
+	return coordinationResult("fig13", "sz", normLinf,
+		"Bound + throughput vs tolerance, SZ, L-infinity (Fig. 13)")
+}
+
+// Fig14 is the SZ / L2 sweep.
+func Fig14() *Result {
+	return coordinationResult("fig14", "sz", normL2,
+		"Bound + throughput vs tolerance, SZ, L2 (Fig. 14)")
+}
+
+// Fig15 is the ZFP / L-infinity sweep (ZFP has no L2 mode).
+func Fig15() *Result {
+	return coordinationResult("fig15", "zfp", normLinf,
+		"Bound + throughput vs tolerance, ZFP, L-infinity (Fig. 15)")
+}
+
+func coordinationResult(id, codec string, norm int, title string) *Result {
+	tb := coordinationSweep(codec, norm)
+	return &Result{
+		ID:    id,
+		Title: title,
+		Table: tb,
+		Notes: "speedup knee driven by FP16 becoming admissible (~3.4x here, at rel QoI ~1e-2; the paper reports ~5x near 1e-3 — see EXPERIMENTS.md on the knee shift); allocations can coincide where format choices quantize identically",
+	}
+}
+
+// coordinationSweep runs the full planner-driven pipeline study for one
+// codec and norm: per task, user tolerance and allocation fraction, the
+// chosen format, predicted bound, compression ratio, phase throughputs
+// and the end-to-end speedup over the uncompressed FP32 pipeline.
+func coordinationSweep(codec string, norm int) *stats.Table {
+	st := hpcio.DefaultStorage()
+	dm := hpcio.DefaultDecodeModel()
+	dev := gpusim.RTX3080Ti
+	tb := stats.NewTable("task", "rel QoI tol", "quant alloc", "format",
+		"pred bound (rel)", "ratio", "IO GB/s", "exec GB/s", "total GB/s", "speedup")
+	for _, t := range adapters() {
+		root := mustGraph(t.qoiNet)
+		field, dims := t.ioField()
+		// Uncompressed FP32 baseline pipeline rate.
+		baseIO := hpcio.ReadRaw(st, len(field)).Throughput
+		baseExec := gpusim.Throughput(t.qoiNet, dev, numfmt.FP32, 256)
+		baseTotal := math.Min(baseIO, baseExec)
+
+		scale := t.scaleLinf
+		coreNorm := core.NormLinf
+		if norm == normL2 {
+			scale = t.scaleL2
+			coreNorm = core.NormL2
+		}
+		for _, tol := range qoiTolLevels {
+			for _, frac := range allocFractions {
+				plan, err := core.PlanGraph(root, core.PlanRequest{
+					Tol: tol * scale, Norm: coreNorm, QuantFraction: frac})
+				if err != nil {
+					panic(err)
+				}
+				var ioTP, ratio float64
+				mode := compress.AbsLinf
+				inputTol := plan.InputTolLinf
+				if norm == normL2 {
+					mode, inputTol = compress.L2, plan.InputTolL2
+				}
+				if math.IsInf(inputTol, 0) {
+					ioTP, ratio = baseIO, 1
+				} else {
+					blob, err := compress.Encode(codec, field, dims, mode, inputTol)
+					if err != nil {
+						panic(err)
+					}
+					res, err := hpcio.ReadCompressed(st, dm, blob)
+					if err != nil {
+						panic(err)
+					}
+					ioTP, ratio = res.Throughput, res.Ratio
+				}
+				execTP := gpusim.Throughput(t.qoiNet, dev, plan.Format, 256)
+				total := math.Min(ioTP, execTP)
+				tb.AddRow(t.name, tol, frac, plan.Format.String(),
+					plan.TotalBound/scale, ratio, ioTP/1e9, execTP/1e9,
+					total/1e9, total/baseTotal)
+			}
+		}
+	}
+	return tb
+}

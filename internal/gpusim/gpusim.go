@@ -1,0 +1,301 @@
+// Package gpusim is a roofline performance model of the GPUs the paper
+// runs on (NVIDIA V100, RTX 3080 Ti, AMD MI250X). We have none of that
+// hardware, so execution *time* is simulated: each linear layer costs
+// max(FLOPs / peak(format), bytes moved / memory bandwidth) plus a fixed
+// kernel-launch overhead, with per-format peak throughputs calibrated to
+// the public spec sheets the paper cites (FP16 tensor paths reach ~8x
+// FP32 FLOPs and halve weight traffic; TF32 is stored as 32 bits so it
+// saves no bandwidth; devices without native TF32/BF16 fall back to the
+// FP32 path, as the paper observed on V100 and MI250X).
+//
+// Numerical *error* never comes from this package — quantized inference
+// itself runs bit-exactly through internal/numfmt — only timing does.
+package gpusim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// Device models one accelerator.
+type Device struct {
+	Name string
+	// PeakFLOPS maps formats to peak multiply-accumulate throughput in
+	// FLOP/s. Missing formats execute on the FP32 path (emulation).
+	PeakFLOPS map[numfmt.Format]float64
+	// MemBW is device memory bandwidth in bytes/s.
+	MemBW float64
+	// LaunchOverhead is the fixed per-kernel dispatch cost. The defaults
+	// assume a graph-captured/fused inference engine (the paper cites
+	// TensorRT), where per-kernel dispatch amortizes to sub-microsecond.
+	LaunchOverhead time.Duration
+	// Native marks formats with hardware support; non-native formats run
+	// at FP32 speed (but still produce their format's rounding error).
+	Native map[numfmt.Format]bool
+}
+
+// The three devices from the paper's experimental setup. Peak numbers are
+// the published spec-sheet values (tensor-core paths for reduced
+// precision).
+var (
+	// V100: 15.7 TFLOPS FP32, 125 TFLOPS FP16 tensor, 900 GB/s HBM2.
+	// No TF32/BF16 support (pre-Ampere).
+	V100 = &Device{
+		Name: "V100",
+		PeakFLOPS: map[numfmt.Format]float64{
+			numfmt.FP32: 15.7e12,
+			numfmt.FP16: 125e12,
+			numfmt.INT8: 62e12, // DP4A path
+		},
+		MemBW:          900e9,
+		LaunchOverhead: 200 * time.Nanosecond,
+		Native:         map[numfmt.Format]bool{numfmt.FP32: true, numfmt.FP16: true, numfmt.INT8: true},
+	}
+
+	// RTX 3080 Ti (Ampere): 34.1 TFLOPS FP32, TF32 tensor ~34, FP16/BF16
+	// tensor ~136 (dense), INT8 ~272 TOPS, 912 GB/s. The only device in
+	// the paper with native TF32/BF16.
+	RTX3080Ti = &Device{
+		Name: "RTX3080Ti",
+		PeakFLOPS: map[numfmt.Format]float64{
+			numfmt.FP32: 34.1e12,
+			numfmt.TF32: 34.1e12 * 2, // tensor-core TF32 path
+			numfmt.FP16: 136e12,
+			numfmt.BF16: 136e12,
+			numfmt.INT8: 272e12,
+		},
+		MemBW:          912e9,
+		LaunchOverhead: 200 * time.Nanosecond,
+		Native: map[numfmt.Format]bool{numfmt.FP32: true, numfmt.TF32: true,
+			numfmt.FP16: true, numfmt.BF16: true, numfmt.INT8: true},
+	}
+
+	// MI250X (one GCD): 23.9 TFLOPS FP32, 383 TFLOPS FP16, 1.6 TB/s.
+	// BF16 emulated in the paper's setup.
+	MI250X = &Device{
+		Name: "MI250X",
+		PeakFLOPS: map[numfmt.Format]float64{
+			numfmt.FP32: 23.9e12,
+			numfmt.FP16: 383e12,
+			numfmt.INT8: 383e12,
+		},
+		MemBW:          1.6e12,
+		LaunchOverhead: 200 * time.Nanosecond,
+		Native:         map[numfmt.Format]bool{numfmt.FP32: true, numfmt.FP16: true, numfmt.INT8: true},
+	}
+
+	// Devices lists the simulated fleet.
+	Devices = []*Device{V100, RTX3080Ti, MI250X}
+)
+
+// effectiveFLOPS resolves the compute path for a format: non-native
+// formats run at the device's FP32 rate (emulation), matching the paper's
+// note that V100 and MI250X emulate BF16.
+func (d *Device) effectiveFLOPS(f numfmt.Format) float64 {
+	if d.Native[f] {
+		if p, ok := d.PeakFLOPS[f]; ok {
+			return p
+		}
+	}
+	return d.PeakFLOPS[numfmt.FP32]
+}
+
+// SupportsNative reports whether the device executes the format in
+// hardware.
+func (d *Device) SupportsNative(f numfmt.Format) bool { return d.Native[f] }
+
+// weightBytesPerElem is the storage width of weights under a format.
+func weightBytesPerElem(f numfmt.Format) float64 {
+	return float64(f.Bits()) / 8
+}
+
+// LayerCost describes the simulated cost of one linear layer.
+type LayerCost struct {
+	Name    string
+	FLOPs   float64
+	Bytes   float64
+	Time    time.Duration
+	Compute bool // true if compute-bound, false if memory-bound
+}
+
+// ExecCost simulates the forward-pass cost of a network at the given
+// batch size and weight format. Activations stay FP32 (weight-only
+// quantization).
+func ExecCost(net *nn.Network, d *Device, f numfmt.Format, batch int) (time.Duration, []LayerCost) {
+	var total time.Duration
+	var costs []LayerCost
+	flops := d.effectiveFLOPS(f)
+	wb := weightBytesPerElem(f)
+
+	var walk func(ls []nn.Layer)
+	walk = func(ls []nn.Layer) {
+		for _, l := range ls {
+			switch t := l.(type) {
+			case *nn.Dense:
+				fl := 2 * float64(t.In) * float64(t.Out) * float64(batch)
+				by := float64(t.In*t.Out)*wb + float64(t.In+t.Out)*4*float64(batch)
+				costs = append(costs, layerCost(t.Name(), fl, by, flops, d))
+			case *nn.Conv2D:
+				spatial := float64(t.OutH() * t.OutW())
+				fl := 2 * float64(t.OutC) * float64(t.InC*t.K*t.K) * spatial * float64(batch)
+				by := float64(t.OutC*t.InC*t.K*t.K)*wb +
+					(float64(t.InDim())+float64(t.OutDim()))*4*float64(batch)
+				costs = append(costs, layerCost(t.Name(), fl, by, flops, d))
+			case *nn.Activation:
+				// Elementwise kernel: memory-bound pass over activations.
+				costs = append(costs, layerCost(t.Name(), 0, 0, flops, d))
+			case *nn.AvgPool2D:
+				by := float64(t.InDim()+t.OutDim()) * 4 * float64(batch)
+				costs = append(costs, layerCost(t.Name(), 0, by, flops, d))
+			case *nn.GlobalAvgPool:
+				by := float64(t.InDim()+t.OutDim()) * 4 * float64(batch)
+				costs = append(costs, layerCost(t.Name(), 0, by, flops, d))
+			case *nn.MaxPool2D:
+				by := float64(t.InDim()+t.OutDim()) * 4 * float64(batch)
+				costs = append(costs, layerCost(t.Name(), 0, by, flops, d))
+			case *nn.Upsample2D:
+				by := float64(t.InDim()+t.OutDim()) * 4 * float64(batch)
+				costs = append(costs, layerCost(t.Name(), 0, by, flops, d))
+			case *nn.BatchNorm2D:
+				by := 2 * float64(t.InDim()) * 4 * float64(batch)
+				costs = append(costs, layerCost(t.Name(), 0, by, flops, d))
+			case *nn.Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *nn.SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(net.Layers)
+	for _, c := range costs {
+		total += c.Time
+	}
+	return total, costs
+}
+
+// saturationFLOPs models GEMM occupancy: a kernel needs this much work
+// to saturate the math pipes, so a small kernel's time floors at
+// saturationFLOPs/peak. Crucially the floor scales with the *format's*
+// peak — matching real tensor cores, where a tiny FP16 GEMM still runs
+// ~4x faster than its FP32 twin — which is what lets quantization speed
+// up the paper's small scientific MLPs (Fig. 10).
+const saturationFLOPs = 2e8
+
+func layerCost(name string, fl, by, peak float64, d *Device) LayerCost {
+	var tc float64
+	if fl > 0 {
+		tc = (fl + saturationFLOPs) / peak
+	}
+	tm := by / d.MemBW
+	t := tc
+	compute := true
+	if tm > tc {
+		t = tm
+		compute = false
+	}
+	dur := time.Duration(t*1e9)*time.Nanosecond + d.LaunchOverhead
+	return LayerCost{Name: name, FLOPs: fl, Bytes: by, Time: dur, Compute: compute}
+}
+
+// Throughput returns the simulated model-execution throughput in bytes
+// of *stored* scientific input data (float64) processed per second — the
+// data-ingestion metric of Fig. 9, consistent with the I/O-phase
+// accounting in internal/hpcio and internal/pipeline.
+func Throughput(net *nn.Network, d *Device, f numfmt.Format, batch int) float64 {
+	t, _ := ExecCost(net, d, f, batch)
+	if t <= 0 {
+		return 0
+	}
+	inputBytes := float64(net.InputDim) * 8 * float64(batch)
+	return inputBytes / t.Seconds()
+}
+
+// Speedup returns the execution-time ratio FP32 / format.
+func Speedup(net *nn.Network, d *Device, f numfmt.Format, batch int) float64 {
+	base, _ := ExecCost(net, d, numfmt.FP32, batch)
+	qt, _ := ExecCost(net, d, f, batch)
+	if qt <= 0 {
+		return 0
+	}
+	return float64(base) / float64(qt)
+}
+
+// ExecCostMixed simulates the forward-pass cost when each linear layer
+// runs in its own format (mixed-precision assignment, forward order over
+// linear layers). Non-linear layers behave as in ExecCost.
+func ExecCostMixed(net *nn.Network, d *Device, assignment []numfmt.Format, batch int) (time.Duration, error) {
+	idx := 0
+	var total time.Duration
+	var walkErr error
+	var walk func(ls []nn.Layer)
+	walk = func(ls []nn.Layer) {
+		for _, l := range ls {
+			if walkErr != nil {
+				return
+			}
+			switch t := l.(type) {
+			case *nn.Dense:
+				if idx >= len(assignment) {
+					walkErr = errTooShort
+					return
+				}
+				f := assignment[idx]
+				idx++
+				fl := 2 * float64(t.In) * float64(t.Out) * float64(batch)
+				by := float64(t.In*t.Out)*weightBytesPerElem(f) + float64(t.In+t.Out)*4*float64(batch)
+				total += layerCost(t.Name(), fl, by, d.effectiveFLOPS(f), d).Time
+			case *nn.Conv2D:
+				if idx >= len(assignment) {
+					walkErr = errTooShort
+					return
+				}
+				f := assignment[idx]
+				idx++
+				spatial := float64(t.OutH() * t.OutW())
+				fl := 2 * float64(t.OutC) * float64(t.InC*t.K*t.K) * spatial * float64(batch)
+				by := float64(t.OutC*t.InC*t.K*t.K)*weightBytesPerElem(f) +
+					(float64(t.InDim())+float64(t.OutDim()))*4*float64(batch)
+				total += layerCost(t.Name(), fl, by, d.effectiveFLOPS(f), d).Time
+			case *nn.Activation:
+				total += layerCost(t.Name(), 0, 0, d.PeakFLOPS[numfmt.FP32], d).Time
+			case *nn.AvgPool2D:
+				by := float64(t.InDim()+t.OutDim()) * 4 * float64(batch)
+				total += layerCost(t.Name(), 0, by, d.PeakFLOPS[numfmt.FP32], d).Time
+			case *nn.GlobalAvgPool:
+				by := float64(t.InDim()+t.OutDim()) * 4 * float64(batch)
+				total += layerCost(t.Name(), 0, by, d.PeakFLOPS[numfmt.FP32], d).Time
+			case *nn.MaxPool2D:
+				by := float64(t.InDim()+t.OutDim()) * 4 * float64(batch)
+				total += layerCost(t.Name(), 0, by, d.PeakFLOPS[numfmt.FP32], d).Time
+			case *nn.Upsample2D:
+				by := float64(t.InDim()+t.OutDim()) * 4 * float64(batch)
+				total += layerCost(t.Name(), 0, by, d.PeakFLOPS[numfmt.FP32], d).Time
+			case *nn.BatchNorm2D:
+				by := 2 * float64(t.InDim()) * 4 * float64(batch)
+				total += layerCost(t.Name(), 0, by, d.PeakFLOPS[numfmt.FP32], d).Time
+			case *nn.Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *nn.SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(net.Layers)
+	if walkErr != nil {
+		return 0, walkErr
+	}
+	if idx != len(assignment) {
+		return 0, errTooLong
+	}
+	return total, nil
+}
+
+var (
+	errTooShort = fmt.Errorf("gpusim: assignment shorter than the network's linear layers")
+	errTooLong  = fmt.Errorf("gpusim: assignment longer than the network's linear layers")
+)

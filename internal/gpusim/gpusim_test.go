@@ -1,0 +1,209 @@
+package gpusim
+
+import (
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+var bigMLPCache *nn.Network
+
+// bigMLP returns a shared compute-heavy MLP; construction (which runs
+// power iteration per layer) is paid once for the whole package.
+func bigMLP(t testing.TB) *nn.Network {
+	t.Helper()
+	if bigMLPCache == nil {
+		spec := nn.MLPSpec("big", []int{1024, 2048, 2048, 1024}, nn.ActReLU, false)
+		net, err := spec.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bigMLPCache = net
+	}
+	return bigMLPCache
+}
+
+func TestFP16FasterThanFP32(t *testing.T) {
+	net := bigMLP(t)
+	for _, d := range Devices {
+		s := Speedup(net, d, numfmt.FP16, 256)
+		if s <= 1 {
+			t.Fatalf("%s: FP16 speedup %v <= 1", d.Name, s)
+		}
+	}
+}
+
+func TestFP16SpeedupNearPaperRange(t *testing.T) {
+	// The paper reports up to 4.5x FP16 speedup on the RTX 3080 Ti for
+	// large models. The roofline should land in the 2x-8x window at a
+	// compute-heavy operating point.
+	net := bigMLP(t)
+	s := Speedup(net, RTX3080Ti, numfmt.FP16, 512)
+	if s < 2 || s > 8 {
+		t.Fatalf("FP16 speedup %v outside the plausible 2-8x window", s)
+	}
+}
+
+func TestTF32BF16LittleSpeedupOnAmpere(t *testing.T) {
+	// Fig. 9: TF32 and BF16 "provide little speedup" relative to FP16.
+	net := bigMLP(t)
+	fp16 := Speedup(net, RTX3080Ti, numfmt.FP16, 512)
+	tf32 := Speedup(net, RTX3080Ti, numfmt.TF32, 512)
+	if tf32 >= fp16 {
+		t.Fatalf("TF32 speedup %v should be below FP16's %v", tf32, fp16)
+	}
+}
+
+func TestNonNativeFormatsFallBackToFP32Compute(t *testing.T) {
+	// V100 emulates BF16: same compute rate as FP32 (only weight traffic
+	// changes).
+	if V100.effectiveFLOPS(numfmt.BF16) != V100.PeakFLOPS[numfmt.FP32] {
+		t.Fatal("V100 BF16 should use FP32 compute path")
+	}
+	if !RTX3080Ti.SupportsNative(numfmt.BF16) || V100.SupportsNative(numfmt.TF32) {
+		t.Fatal("native support flags wrong")
+	}
+}
+
+func TestThroughputScalesWithBatch(t *testing.T) {
+	// Larger batches amortize launch overhead: throughput must not drop.
+	net := bigMLP(t)
+	small := Throughput(net, RTX3080Ti, numfmt.FP32, 8)
+	large := Throughput(net, RTX3080Ti, numfmt.FP32, 512)
+	if large <= small {
+		t.Fatalf("throughput did not grow with batch: %v vs %v", small, large)
+	}
+}
+
+func TestSmallModelBenefitsLessThanLarge(t *testing.T) {
+	// Fig. 9's shape: small models saturate on memory traffic and launch
+	// overhead sooner, so their FP16 speedup trails the large models'.
+	tiny, err := nn.MLPSpec("tiny", []int{256, 512, 256, 10}, nn.ActReLU, false).Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTiny := Speedup(tiny, RTX3080Ti, numfmt.FP16, 1024)
+	sBig := Speedup(bigMLP(t), RTX3080Ti, numfmt.FP16, 512)
+	if sTiny >= sBig {
+		t.Fatalf("small-model speedup %v should trail large-model %v", sTiny, sBig)
+	}
+	// But the tensor-core path still helps even small kernels.
+	spec := nn.MLPSpec("h2ish", []int{9, 50, 50, 9}, nn.ActTanh, false)
+	h2, err := spec.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Speedup(h2, RTX3080Ti, numfmt.FP16, 256)
+	if s < 1.5 || s > 5 {
+		t.Fatalf("small-MLP FP16 speedup %v outside the plausible 1.5-5x window", s)
+	}
+}
+
+func TestExecCostLayerBreakdown(t *testing.T) {
+	spec := nn.ResNetSpec("rn", 3, 16, 16, 10, []int{1, 1}, []int{8, 16}, nn.ActReLU, false)
+	net, err := spec.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, costs := ExecCost(net, V100, numfmt.FP32, 32)
+	if total <= 0 || len(costs) == 0 {
+		t.Fatalf("degenerate cost: %v, %d layers", total, len(costs))
+	}
+	var sum float64
+	for _, c := range costs {
+		if c.Time < 0 {
+			t.Fatalf("negative layer time: %+v", c)
+		}
+		sum += c.Time.Seconds()
+	}
+	if sum <= 0 {
+		t.Fatal("layer times do not sum")
+	}
+}
+
+func TestINT8FastestOnAmpere(t *testing.T) {
+	net := bigMLP(t)
+	int8 := Speedup(net, RTX3080Ti, numfmt.INT8, 512)
+	fp16 := Speedup(net, RTX3080Ti, numfmt.FP16, 512)
+	if int8 <= fp16 {
+		t.Fatalf("INT8 speedup %v should exceed FP16's %v", int8, fp16)
+	}
+}
+
+func TestExecCostMixed(t *testing.T) {
+	spec := nn.MLPSpec("m", []int{64, 128, 64, 10}, nn.ActReLU, false)
+	net, err := spec.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant assignment must match the uniform path exactly.
+	uni, _ := ExecCost(net, RTX3080Ti, numfmt.FP16, 128)
+	mixed, err := ExecCostMixed(net, RTX3080Ti,
+		[]numfmt.Format{numfmt.FP16, numfmt.FP16, numfmt.FP16}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed != uni {
+		t.Fatalf("constant-assignment mixed cost %v != uniform %v", mixed, uni)
+	}
+	// A faster middle layer must reduce total time.
+	faster, err := ExecCostMixed(net, RTX3080Ti,
+		[]numfmt.Format{numfmt.FP16, numfmt.INT8, numfmt.FP16}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faster >= mixed {
+		t.Fatalf("INT8 middle layer did not speed up: %v vs %v", faster, mixed)
+	}
+	// Assignment length validation.
+	if _, err := ExecCostMixed(net, RTX3080Ti, []numfmt.Format{numfmt.FP16}, 128); err == nil {
+		t.Fatal("short assignment should error")
+	}
+	if _, err := ExecCostMixed(net, RTX3080Ti,
+		[]numfmt.Format{numfmt.FP16, numfmt.FP16, numfmt.FP16, numfmt.FP16}, 128); err == nil {
+		t.Fatal("long assignment should error")
+	}
+}
+
+func TestExecCostCoversAllLayerKinds(t *testing.T) {
+	// A network exercising maxpool, bn, upsample, skipconcat and gap must
+	// cost something positive on every path.
+	spec := &nn.Spec{Name: "k", InputDim: 2 * 8 * 8, Layers: []nn.LayerSpec{
+		{Type: "conv", Name: "c", C: 2, H: 8, W: 8, OutC: 4, K: 3, Stride: 1, Pad: 1},
+		{Type: "bn", Name: "bn", C: 4, H: 8, W: 8},
+		{Type: "act", Act: nn.ActReLU},
+		{Type: "maxpool", Name: "mp", C: 4, H: 8, W: 8, K: 2},
+		{Type: "upsample", Name: "up", C: 4, H: 4, W: 4},
+		{Type: "skipconcat", Name: "sc", C: 4, OutC: 4, H: 8, W: 8, Branch: []nn.LayerSpec{
+			{Type: "conv", Name: "b", C: 4, H: 8, W: 8, OutC: 4, K: 3, Stride: 1, Pad: 1},
+		}},
+		{Type: "gap", Name: "g", C: 8, H: 8, W: 8},
+		{Type: "dense", Name: "fc", In: 8, Out: 2},
+	}}
+	net, err := spec.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, costs := ExecCost(net, V100, numfmt.FP32, 16)
+	if total <= 0 {
+		t.Fatalf("total cost %v", total)
+	}
+	if len(costs) != 8 { // conv, bn, act, mp, up, branch conv, gap, fc
+		t.Fatalf("want 8 layer costs, got %d", len(costs))
+	}
+}
+
+func TestThroughputAllDevices(t *testing.T) {
+	net := bigMLP(t)
+	for _, d := range Devices {
+		tp := Throughput(net, d, numfmt.FP32, 256)
+		if tp <= 0 {
+			t.Fatalf("%s: throughput %v", d.Name, tp)
+		}
+	}
+	// MI250X's FP16 peak leads the fleet; its FP16 throughput should too.
+	if Throughput(net, MI250X, numfmt.FP16, 512) <= Throughput(net, V100, numfmt.FP16, 512) {
+		t.Fatal("MI250X FP16 should beat V100 FP16")
+	}
+}

@@ -1,0 +1,144 @@
+package hpcio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/scidata/errprop/internal/compress"
+	_ "github.com/scidata/errprop/internal/compress/mgard"
+	_ "github.com/scidata/errprop/internal/compress/sz"
+	_ "github.com/scidata/errprop/internal/compress/zfp"
+)
+
+func smoothField(n int) []float64 {
+	data := make([]float64, n)
+	for i := range data {
+		x := float64(i) / float64(n)
+		data[i] = math.Sin(9*x) + 0.3*math.Cos(31*x)
+	}
+	return data
+}
+
+func TestReadTimeLinear(t *testing.T) {
+	st := &Storage{Bandwidth: 1e9, Latency: time.Millisecond}
+	a := st.ReadTime(1e9)
+	if got := a - time.Millisecond; got < 999*time.Millisecond || got > 1001*time.Millisecond {
+		t.Fatalf("1GB at 1GB/s = %v", got)
+	}
+	if st.ReadTime(0) != time.Millisecond {
+		t.Fatal("zero-byte read should cost exactly the latency")
+	}
+}
+
+func TestDecodeModelErrors(t *testing.T) {
+	dm := DefaultDecodeModel()
+	if _, err := dm.DecodeTime("lz4", 10, 100); err == nil {
+		t.Fatal("unknown codec should error")
+	}
+	if _, err := dm.DecodeTime("sz", 10, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRawBaselineThroughput(t *testing.T) {
+	st := DefaultStorage()
+	res := ReadRaw(st, 1<<22) // 32 MiB
+	// Raw throughput approaches the 2.8 GB/s bandwidth (latency shaves a
+	// little off).
+	if res.Throughput > st.Bandwidth || res.Throughput < 0.9*st.Bandwidth {
+		t.Fatalf("raw throughput %v not near bandwidth %v", res.Throughput, st.Bandwidth)
+	}
+}
+
+func TestCompressedReadBeatsRawAtLooseTolerance(t *testing.T) {
+	data := smoothField(1 << 18)
+	st := DefaultStorage()
+	dm := DefaultDecodeModel()
+	raw := ReadRaw(st, len(data))
+	for _, codec := range []string{"sz", "zfp"} {
+		blob, err := compress.Encode(codec, data, []int{len(data)}, compress.AbsLinf, 1e-2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ReadCompressed(st, dm, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput <= raw.Throughput {
+			t.Fatalf("%s at loose tolerance: throughput %.2e <= raw %.2e (ratio %.1f)",
+				codec, res.Throughput, raw.Throughput, res.Ratio)
+		}
+	}
+}
+
+func TestSZDipsBelowBaselineAtTightTolerance(t *testing.T) {
+	// The Fig. 7 shape: at stringent tolerances SZ's decode time drags
+	// effective throughput below the raw baseline, while ZFP stays at
+	// least close to flat.
+	data := smoothField(1 << 18)
+	st := DefaultStorage()
+	dm := DefaultDecodeModel()
+	raw := ReadRaw(st, len(data))
+
+	blobSZ, err := compress.Encode("sz", data, []int{len(data)}, compress.AbsLinf, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSZ, err := ReadCompressed(st, dm, blobSZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSZ.Throughput >= raw.Throughput {
+		t.Fatalf("SZ at 1e-12 should dip below baseline: %.2e vs %.2e", resSZ.Throughput, raw.Throughput)
+	}
+
+	blobZFP, err := compress.Encode("zfp", data, []int{len(data)}, compress.AbsLinf, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resZFP, err := ReadCompressed(st, dm, blobZFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resZFP.Throughput <= resSZ.Throughput {
+		t.Fatalf("ZFP should beat SZ at tight tolerance: %.2e vs %.2e", resZFP.Throughput, resSZ.Throughput)
+	}
+}
+
+func TestReadCompressedRoundTripsData(t *testing.T) {
+	data := smoothField(4096)
+	blob, err := compress.Encode("mgard", data, []int{4096}, compress.AbsLinf, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReadCompressed(DefaultStorage(), DefaultDecodeModel(), blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Data) != len(data) {
+		t.Fatalf("length %d != %d", len(res.Data), len(data))
+	}
+	linf, _ := compress.MeasureError(data, res.Data)
+	if linf > 1e-4 {
+		t.Fatalf("reconstruction error %v", linf)
+	}
+	if res.Ratio <= 1 {
+		t.Fatalf("ratio %v", res.Ratio)
+	}
+}
+
+func TestReadCompressedGarbage(t *testing.T) {
+	if _, err := ReadCompressed(DefaultStorage(), DefaultDecodeModel(), []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage blob should error")
+	}
+}
+
+func TestNegativeReadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size should panic")
+		}
+	}()
+	DefaultStorage().ReadTime(-1)
+}

@@ -1,0 +1,267 @@
+// Package huffman implements a canonical Huffman coder over uint32 symbol
+// alphabets. It is the entropy-coding stage of the SZ- and MGARD-style
+// codecs in internal/compress: prediction residuals quantize to a small
+// set of integer codes with a very skewed distribution, which Huffman
+// coding shrinks by 4-10x before the final flate pass.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/scidata/errprop/internal/bitstream"
+)
+
+// maxCodeLen bounds codeword length; 57 keeps the decode loop's 64-bit
+// buffer safe and is unreachable for any realistic symbol distribution.
+const maxCodeLen = 57
+
+var (
+	// ErrCorrupt is returned when a stream cannot be decoded.
+	ErrCorrupt = errors.New("huffman: corrupt stream")
+)
+
+type node struct {
+	count       uint64
+	symbol      uint32
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].symbol < h[j].symbol // deterministic tie-break
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any     { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+func (h nodeHeap) Peek() *node   { return h[0] }
+
+// codeLengths computes canonical code lengths from symbol frequencies.
+func codeLengths(freq map[uint32]uint64) map[uint32]int {
+	h := make(nodeHeap, 0, len(freq))
+	for s, c := range freq {
+		h = append(h, &node{count: c, symbol: s})
+	}
+	heap.Init(&h)
+	if h.Len() == 1 {
+		return map[uint32]int{h.Peek().symbol: 1}
+	}
+	seq := uint32(1 << 31) // internal-node ids above the symbol space
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{count: a.count + b.count, symbol: seq, left: a, right: b})
+		seq++
+	}
+	lengths := make(map[uint32]int, len(freq))
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.left == nil {
+			if depth > maxCodeLen {
+				depth = maxCodeLen // extremely skewed trees: clamp (handled canonically below)
+			}
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(h.Peek(), 0)
+	return lengths
+}
+
+// Encode Huffman-codes syms and returns a self-describing byte stream
+// (symbol table + payload). Decoding requires only the stream.
+func Encode(syms []uint32) []byte {
+	w := bitstream.NewWriter()
+	w.WriteBits(uint64(len(syms)), 32)
+	if len(syms) == 0 {
+		return w.Bytes()
+	}
+	freq := make(map[uint32]uint64)
+	for _, s := range syms {
+		freq[s]++
+	}
+	lengths := codeLengths(freq)
+	codes := canonicalCodes(lengths)
+
+	// Header: distinct symbol count, then (symbol, length) pairs sorted by
+	// (length, symbol) — enough to rebuild the canonical code.
+	type entry struct {
+		sym uint32
+		len int
+	}
+	entries := make([]entry, 0, len(lengths))
+	for s, l := range lengths {
+		entries = append(entries, entry{s, l})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].len != entries[j].len {
+			return entries[i].len < entries[j].len
+		}
+		return entries[i].sym < entries[j].sym
+	})
+	w.WriteBits(uint64(len(entries)), 32)
+	for _, e := range entries {
+		w.WriteBits(uint64(e.sym), 32)
+		w.WriteBits(uint64(e.len), 6)
+	}
+	// Payload.
+	for _, s := range syms {
+		c := codes[s]
+		w.WriteBits(reverseBits(c.code, c.len), uint(c.len))
+	}
+	return w.Bytes()
+}
+
+type code struct {
+	code uint64
+	len  int
+}
+
+// canonicalCodes assigns canonical codewords given code lengths.
+func canonicalCodes(lengths map[uint32]int) map[uint32]code {
+	type entry struct {
+		sym uint32
+		len int
+	}
+	entries := make([]entry, 0, len(lengths))
+	for s, l := range lengths {
+		entries = append(entries, entry{s, l})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].len != entries[j].len {
+			return entries[i].len < entries[j].len
+		}
+		return entries[i].sym < entries[j].sym
+	})
+	codes := make(map[uint32]code, len(entries))
+	var next uint64
+	prevLen := 0
+	for _, e := range entries {
+		next <<= uint(e.len - prevLen)
+		codes[e.sym] = code{code: next, len: e.len}
+		next++
+		prevLen = e.len
+	}
+	return codes
+}
+
+// reverseBits reverses the low n bits of v so that codewords, which are
+// defined MSB-first, can be written through the LSB-first bitstream.
+func reverseBits(v uint64, n int) uint64 {
+	var r uint64
+	for i := 0; i < n; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]uint32, error) {
+	r := bitstream.NewReader(data)
+	count, err := r.ReadBits(32)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	distinct, err := r.ReadBits(32)
+	if err != nil || distinct == 0 || distinct > count {
+		return nil, ErrCorrupt
+	}
+	// Plausibility: each header entry takes 38 bits and each payload
+	// symbol at least 1 bit, so a valid stream must hold this many bits.
+	// This rejects garbage counts before they drive huge allocations.
+	if uint64(r.Remaining()) < distinct*38+(count-1) {
+		return nil, ErrCorrupt
+	}
+	type entry struct {
+		sym uint32
+		len int
+	}
+	entries := make([]entry, distinct)
+	for i := range entries {
+		s, err := r.ReadBits(32)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		l, err := r.ReadBits(6)
+		if err != nil || l == 0 || l > maxCodeLen {
+			return nil, ErrCorrupt
+		}
+		entries[i] = entry{uint32(s), int(l)}
+	}
+	// Rebuild canonical codes and a decode tree.
+	lengths := make(map[uint32]int, distinct)
+	for _, e := range entries {
+		lengths[e.sym] = e.len
+	}
+	if len(lengths) != int(distinct) {
+		return nil, ErrCorrupt // duplicate symbols in header
+	}
+	codes := canonicalCodes(lengths)
+	root := &node{}
+	for s, c := range codes {
+		n := root
+		for i := c.len - 1; i >= 0; i-- {
+			bit := (c.code >> uint(i)) & 1
+			if bit == 0 {
+				if n.left == nil {
+					n.left = &node{}
+				}
+				n = n.left
+			} else {
+				if n.right == nil {
+					n.right = &node{}
+				}
+				n = n.right
+			}
+			if n.count == 1 {
+				return nil, ErrCorrupt // prefix violation
+			}
+		}
+		if n.left != nil || n.right != nil {
+			return nil, ErrCorrupt
+		}
+		n.symbol, n.count = s, 1 // count==1 marks a leaf
+	}
+	out := make([]uint32, count)
+	for i := range out {
+		n := root
+		for n.count == 0 {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, ErrCorrupt
+			}
+			if bit == 0 {
+				n = n.left
+			} else {
+				n = n.right
+			}
+			if n == nil {
+				return nil, ErrCorrupt
+			}
+		}
+		out[i] = n.symbol
+	}
+	return out, nil
+}
+
+// String renders stats for debugging.
+func Stats(syms []uint32) string {
+	freq := make(map[uint32]uint64)
+	for _, s := range syms {
+		freq[s]++
+	}
+	return fmt.Sprintf("huffman: %d symbols, %d distinct", len(syms), len(freq))
+}

@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Activation is an elementwise nonlinearity with a known global Lipschitz
+// constant (the paper's constant C = sup_z phi'(z), Section III-A).
+type Activation struct {
+	kind  string
+	alpha *Param // PReLU slope (nil otherwise)
+	leak  float64
+	inX   *tensor.Matrix // cached input for backward
+}
+
+// Supported activation kinds.
+const (
+	ActIdentity = "identity"
+	ActTanh     = "tanh"
+	ActReLU     = "relu"
+	ActLeaky    = "leakyrelu"
+	ActPReLU    = "prelu"
+	ActGELU     = "gelu"
+	ActSigmoid  = "sigmoid"
+)
+
+// NewActivation constructs an activation layer of the given kind.
+// LeakyReLU uses slope 0.01; PReLU starts at 0.25 (PyTorch defaults).
+func NewActivation(kind string) (*Activation, error) {
+	a := &Activation{kind: kind}
+	switch kind {
+	case ActIdentity, ActTanh, ActReLU, ActGELU, ActSigmoid:
+	case ActLeaky:
+		a.leak = 0.01
+	case ActPReLU:
+		a.alpha = NewParam("prelu.alpha", 1)
+		a.alpha.Data[0] = 0.25
+	default:
+		return nil, fmt.Errorf("nn: unknown activation %q", kind)
+	}
+	return a, nil
+}
+
+// MustActivation is NewActivation that panics on error; for builders with
+// static kinds.
+func MustActivation(kind string) *Activation {
+	a, err := NewActivation(kind)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name implements Layer.
+func (a *Activation) Name() string { return "act." + a.kind }
+
+// Kind returns the activation kind constant.
+func (a *Activation) Kind() string { return a.kind }
+
+// Lipschitz returns the global bound on |phi'|. For PReLU with learned
+// slope s it is max(1, |s|); the tanh-approximated GELU implemented here
+// has its derivative peak at 1.12900 (near v = 1.4185), slightly above
+// the exact GELU's 1.0830.
+func (a *Activation) Lipschitz() float64 {
+	switch a.kind {
+	case ActIdentity, ActReLU, ActTanh:
+		return 1
+	case ActLeaky:
+		return math.Max(1, a.leak)
+	case ActPReLU:
+		return math.Max(1, math.Abs(a.alpha.Data[0]))
+	case ActGELU:
+		return 1.12900
+	case ActSigmoid:
+		return 0.25
+	}
+	return 1
+}
+
+// Forward implements Layer.
+func (a *Activation) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if train {
+		a.inX = x.Clone()
+	}
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = a.apply(v)
+	}
+	return out
+}
+
+func (a *Activation) apply(v float64) float64 {
+	switch a.kind {
+	case ActIdentity:
+		return v
+	case ActTanh:
+		return math.Tanh(v)
+	case ActReLU:
+		if v > 0 {
+			return v
+		}
+		return 0
+	case ActLeaky:
+		if v > 0 {
+			return v
+		}
+		return a.leak * v
+	case ActPReLU:
+		if v > 0 {
+			return v
+		}
+		return a.alpha.Data[0] * v
+	case ActGELU:
+		// Tanh approximation of GELU.
+		return 0.5 * v * (1 + math.Tanh(math.Sqrt(2/math.Pi)*(v+0.044715*v*v*v)))
+	case ActSigmoid:
+		return 1 / (1 + math.Exp(-v))
+	}
+	return v
+}
+
+func (a *Activation) deriv(v float64) float64 {
+	switch a.kind {
+	case ActIdentity:
+		return 1
+	case ActTanh:
+		t := math.Tanh(v)
+		return 1 - t*t
+	case ActReLU:
+		if v > 0 {
+			return 1
+		}
+		return 0
+	case ActLeaky:
+		if v > 0 {
+			return 1
+		}
+		return a.leak
+	case ActPReLU:
+		if v > 0 {
+			return 1
+		}
+		return a.alpha.Data[0]
+	case ActGELU:
+		const c = 0.7978845608028654 // sqrt(2/pi)
+		u := c * (v + 0.044715*v*v*v)
+		t := math.Tanh(u)
+		du := c * (1 + 3*0.044715*v*v)
+		return 0.5*(1+t) + 0.5*v*(1-t*t)*du
+	case ActSigmoid:
+		s := 1 / (1 + math.Exp(-v))
+		return s * (1 - s)
+	}
+	return 1
+}
+
+// Backward implements Layer.
+func (a *Activation) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if a.inX == nil {
+		panic("nn: activation Backward before Forward(train)")
+	}
+	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	var dAlpha float64
+	for i, g := range grad.Data {
+		v := a.inX.Data[i]
+		out.Data[i] = g * a.deriv(v)
+		if a.kind == ActPReLU && v <= 0 {
+			dAlpha += g * v
+		}
+	}
+	if a.alpha != nil {
+		a.alpha.Grad[0] += dAlpha
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *Activation) Params() []*Param {
+	if a.alpha != nil {
+		return []*Param{a.alpha}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// SelfAttention is a single-head scaled-dot-product self-attention layer
+// over T tokens of dimension D: Q = XWq, K = XWk, V = XWv,
+// Y = softmax(QK^T/sqrt(D)) V. Inputs arrive in the library's flattened
+// convention (T*D features, token-major).
+//
+// This is the first step toward the transformer architectures the
+// paper's future work targets. Softmax attention is not globally
+// Lipschitz, so the error-flow analysis uses a *local* bound valid for
+// token norms ||x_t||_2 <= R (guaranteed R = sqrt(D) for inputs
+// normalized to [-1, 1], matching the paper's preprocessing and its own
+// local-analysis remark for unbounded-derivative activations):
+//
+//	dY = dA·V + A·dV
+//	||A·dV||_F        <= ||A||_2 sv ||dX||_F            <= sqrt(T) sv ||dX||_F
+//	||dS||_F          <= (sq sk R (sqrt(T)+1)/sqrt(D)) ||dX||_F
+//	||dA||_F          <= 1/2 ||dS||_F                    (softmax Jacobian norm <= 1/2)
+//	||dA·V||_F        <= ||dA||_F ||V||_2               <= ||dA||_F sqrt(T) R sv
+//
+//	L_local <= sqrt(T) sv [ 1 + (sq sk R^2 (sqrt(T)+1)) / (2 sqrt(D)) ]
+//
+// with sq, sk, sv the spectral norms of Wq, Wk, Wv. The bound is
+// conservative (the sqrt(T) factors assume fully concentrated
+// attention); TestAttentionLocalLipschitzHolds validates it empirically.
+type SelfAttention struct {
+	T, D       int
+	Wq, Wk, Wv *Param // D x D each, row-major
+
+	// cached state for backward (per forward batch)
+	inX        *tensor.Matrix
+	q, k, v, a []*tensor.Matrix // per-sample T x D (a: T x T)
+
+	name string
+}
+
+// NewSelfAttention builds a self-attention layer for T tokens of
+// dimension D.
+func NewSelfAttention(name string, tokens, dim int, rng interface{ NormFloat64() float64 }) *SelfAttention {
+	s := &SelfAttention{T: tokens, D: dim, name: name}
+	s.Wq = NewParam(name+".Wq", dim*dim)
+	s.Wk = NewParam(name+".Wk", dim*dim)
+	s.Wv = NewParam(name+".Wv", dim*dim)
+	std := 1 / math.Sqrt(float64(dim))
+	for _, p := range []*Param{s.Wq, s.Wk, s.Wv} {
+		for i := range p.Data {
+			p.Data[i] = rng.NormFloat64() * std
+		}
+	}
+	return s
+}
+
+// Name implements Layer.
+func (s *SelfAttention) Name() string { return s.name }
+
+// InDim returns T*D.
+func (s *SelfAttention) InDim() int { return s.T * s.D }
+
+// Params implements Layer.
+func (s *SelfAttention) Params() []*Param { return []*Param{s.Wq, s.Wk, s.Wv} }
+
+// weights as matrices (shared storage).
+func (s *SelfAttention) wq() *tensor.Matrix { return tensor.NewMatrixFrom(s.D, s.D, s.Wq.Data) }
+func (s *SelfAttention) wk() *tensor.Matrix { return tensor.NewMatrixFrom(s.D, s.D, s.Wk.Data) }
+func (s *SelfAttention) wv() *tensor.Matrix { return tensor.NewMatrixFrom(s.D, s.D, s.Wv.Data) }
+
+// Lipschitz implements Lipschitzer with the default token-norm bound
+// R = sqrt(D) (inputs normalized to [-1, 1]).
+func (s *SelfAttention) Lipschitz() float64 {
+	return s.LocalLipschitz(math.Sqrt(float64(s.D)))
+}
+
+// LocalLipschitz evaluates the local bound for token norms <= r.
+func (s *SelfAttention) LocalLipschitz(r float64) float64 {
+	sq := tensor.SpectralNorm(s.wq(), 100)
+	sk := tensor.SpectralNorm(s.wk(), 100)
+	sv := tensor.SpectralNorm(s.wv(), 100)
+	sqrtT := math.Sqrt(float64(s.T))
+	return sqrtT * sv * (1 + sq*sk*r*r*(sqrtT+1)/(2*math.Sqrt(float64(s.D))))
+}
+
+// sampleView reshapes sample n of a (T*D x batch) matrix to T x D.
+func (s *SelfAttention) sampleView(x *tensor.Matrix, n int) *tensor.Matrix {
+	out := tensor.NewMatrix(s.T, s.D)
+	for t := 0; t < s.T; t++ {
+		for d := 0; d < s.D; d++ {
+			out.Set(t, d, x.At(t*s.D+d, n))
+		}
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (s *SelfAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Rows != s.InDim() {
+		panic(fmt.Sprintf("nn: %s input rows %d != %d", s.name, x.Rows, s.InDim()))
+	}
+	batch := x.Cols
+	out := tensor.NewMatrix(s.InDim(), batch)
+	if train {
+		s.inX = x.Clone()
+		s.q = make([]*tensor.Matrix, batch)
+		s.k = make([]*tensor.Matrix, batch)
+		s.v = make([]*tensor.Matrix, batch)
+		s.a = make([]*tensor.Matrix, batch)
+	}
+	invSqrtD := 1 / math.Sqrt(float64(s.D))
+	for n := 0; n < batch; n++ {
+		xs := s.sampleView(x, n)
+		q := xs.Mul(s.wq())
+		k := xs.Mul(s.wk())
+		v := xs.Mul(s.wv())
+		scores := q.Mul(k.T()).Scale(invSqrtD)
+		a := Softmax(scores.T()).T() // Softmax is column-wise; rows here
+		y := a.Mul(v)
+		if train {
+			s.q[n], s.k[n], s.v[n], s.a[n] = q, k, v, a
+		}
+		for t := 0; t < s.T; t++ {
+			for d := 0; d < s.D; d++ {
+				out.Set(t*s.D+d, n, y.At(t, d))
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *SelfAttention) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if s.inX == nil {
+		panic("nn: attention Backward before Forward(train)")
+	}
+	batch := grad.Cols
+	out := tensor.NewMatrix(s.InDim(), batch)
+	invSqrtD := 1 / math.Sqrt(float64(s.D))
+	dWq := tensor.NewMatrix(s.D, s.D)
+	dWk := tensor.NewMatrix(s.D, s.D)
+	dWv := tensor.NewMatrix(s.D, s.D)
+	for n := 0; n < batch; n++ {
+		xs := s.sampleView(s.inX, n)
+		dy := s.sampleView(grad, n)
+		a, q, k, v := s.a[n], s.q[n], s.k[n], s.v[n]
+
+		dv := a.T().Mul(dy)
+		da := dy.Mul(v.T())
+		// Softmax backward per row: ds_i = (diag(a_i) - a_i a_i^T) da_i.
+		ds := tensor.NewMatrix(s.T, s.T)
+		for i := 0; i < s.T; i++ {
+			var dot float64
+			for j := 0; j < s.T; j++ {
+				dot += a.At(i, j) * da.At(i, j)
+			}
+			for j := 0; j < s.T; j++ {
+				ds.Set(i, j, a.At(i, j)*(da.At(i, j)-dot))
+			}
+		}
+		ds.Scale(invSqrtD)
+		dq := ds.Mul(k)
+		dk := ds.T().Mul(q)
+
+		dWq.AddScaled(1, xs.T().Mul(dq))
+		dWk.AddScaled(1, xs.T().Mul(dk))
+		dWv.AddScaled(1, xs.T().Mul(dv))
+
+		dx := dq.Mul(s.wq().T())
+		dx.AddScaled(1, dk.Mul(s.wk().T()))
+		dx.AddScaled(1, dv.Mul(s.wv().T()))
+		for t := 0; t < s.T; t++ {
+			for d := 0; d < s.D; d++ {
+				out.Set(t*s.D+d, n, dx.At(t, d))
+			}
+		}
+	}
+	for i := range dWq.Data {
+		s.Wq.Grad[i] += dWq.Data[i]
+		s.Wk.Grad[i] += dWk.Data[i]
+		s.Wv.Grad[i] += dWv.Data[i]
+	}
+	return out
+}

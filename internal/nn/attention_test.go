@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func TestAttentionForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	att := NewSelfAttention("a", 4, 6, rng)
+	x := randBatch(rng, 24, 3)
+	out := att.Forward(x, false)
+	if out.Rows != 24 || out.Cols != 3 {
+		t.Fatalf("attention output %dx%d", out.Rows, out.Cols)
+	}
+}
+
+func TestAttentionRowsAreConvexCombinations(t *testing.T) {
+	// Each output token is a convex combination of value vectors, so with
+	// Wv = I and constant tokens the output equals the input.
+	rng := rand.New(rand.NewSource(2))
+	att := NewSelfAttention("a", 3, 4, rng)
+	// Identity Wv, arbitrary Wq/Wk.
+	for i := range att.Wv.Data {
+		att.Wv.Data[i] = 0
+	}
+	for d := 0; d < 4; d++ {
+		att.Wv.Data[d*4+d] = 1
+	}
+	x := tensor.NewMatrix(12, 1)
+	for tok := 0; tok < 3; tok++ {
+		for d := 0; d < 4; d++ {
+			x.Set(tok*4+d, 0, float64(d)*0.1) // same vector every token
+		}
+	}
+	out := att.Forward(x, false)
+	for i := range x.Data {
+		if math.Abs(out.Data[i]-x.Data[i]) > 1e-12 {
+			t.Fatalf("constant-token attention should be identity: %v vs %v", out.Data[i], x.Data[i])
+		}
+	}
+}
+
+func TestAttentionGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := &Spec{Name: "g", InputDim: 3 * 4, Layers: []LayerSpec{
+		{Type: "attention", Name: "att", In: 3, Out: 4},
+		{Type: "dense", Name: "fc", In: 12, Out: 2},
+	}}
+	net, err := spec.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrads(t, net, randBatch(rng, 12, 3), randBatch(rng, 2, 3), 1e-4)
+}
+
+func TestAttentionLocalLipschitzHolds(t *testing.T) {
+	// Empirical validation of the local bound: for pairs of inputs with
+	// token norms <= R, the output difference never exceeds L * ||dX||.
+	rng := rand.New(rand.NewSource(4))
+	att := NewSelfAttention("a", 4, 5, rng)
+	r := math.Sqrt(5.0)
+	lip := att.LocalLipschitz(r)
+	if lip <= 0 {
+		t.Fatal("degenerate local Lipschitz")
+	}
+	var worstRatio float64
+	for trial := 0; trial < 500; trial++ {
+		x := tensor.NewMatrix(20, 1)
+		for i := range x.Data {
+			x.Data[i] = rng.Float64()*2 - 1 // token norms <= sqrt(5) = R
+		}
+		xp := x.Clone()
+		eps := math.Exp2(-float64(rng.Intn(12) + 2))
+		for i := range xp.Data {
+			xp.Data[i] += (rng.Float64()*2 - 1) * eps
+			if xp.Data[i] > 1 {
+				xp.Data[i] = 1
+			}
+			if xp.Data[i] < -1 {
+				xp.Data[i] = -1
+			}
+		}
+		dx := tensor.Vector(x.Data).Sub(tensor.Vector(xp.Data)).Norm2()
+		if dx == 0 {
+			continue
+		}
+		y := att.Forward(x, false)
+		yp := att.Forward(xp, false)
+		dy := tensor.Vector(y.Data).Sub(tensor.Vector(yp.Data)).Norm2()
+		if ratio := dy / dx; ratio > worstRatio {
+			worstRatio = ratio
+		}
+	}
+	if worstRatio > lip {
+		t.Fatalf("local Lipschitz bound %v violated: observed ratio %v", lip, worstRatio)
+	}
+	// And the bound should not be absurdly loose (< 1e4x of observed).
+	if worstRatio > 0 && lip/worstRatio > 1e4 {
+		t.Fatalf("bound %v is %.0fx the observed worst ratio %v", lip, lip/worstRatio, worstRatio)
+	}
+}
+
+func TestAttentionSaveLoad(t *testing.T) {
+	spec := &Spec{Name: "m", InputDim: 8, Layers: []LayerSpec{
+		{Type: "attention", Name: "att", In: 2, Out: 4},
+	}}
+	net, err := spec.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randBatch(rand.New(rand.NewSource(6)), 8, 2)
+	a := net.Forward(x, false)
+	b := loaded.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("attention roundtrip diverged")
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel over (batch, spatial), the
+// standard ResNet ingredient the paper's non-PSN baselines train with.
+// Training mode uses batch statistics and updates running estimates;
+// inference mode applies the frozen affine transform
+//
+//	y = gamma * (x - mean) / sqrt(var + eps) + beta.
+//
+// BatchNorm is affine at inference, so before error analysis or
+// quantization it must be *folded* into the preceding convolution via
+// FoldBatchNorm — after folding the network contains only layers the
+// error-flow algebra models exactly.
+type BatchNorm2D struct {
+	C, H, W  int
+	Eps      float64
+	Momentum float64
+
+	Gamma, Beta *Param
+	RunMean     *Param // running statistics live in Params so they serialize
+	RunVar      *Param
+
+	// Cached state for backward.
+	inX    *tensor.Matrix
+	xhat   *tensor.Matrix
+	mean   []float64
+	invStd []float64
+	name   string
+}
+
+// NewBatchNorm2D builds a batch-norm layer over (c, h, w) feature maps.
+func NewBatchNorm2D(name string, c, h, w int) *BatchNorm2D {
+	bn := &BatchNorm2D{C: c, H: h, W: w, Eps: 1e-5, Momentum: 0.1, name: name}
+	bn.Gamma = NewParam(name+".gamma", c)
+	bn.Beta = NewParam(name+".beta", c)
+	bn.RunMean = NewParam(name+".rmean", c)
+	bn.RunVar = NewParam(name+".rvar", c)
+	for i := 0; i < c; i++ {
+		bn.Gamma.Data[i] = 1
+		bn.RunVar.Data[i] = 1
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2D) Name() string { return bn.name }
+
+// InDim returns the flattened feature count.
+func (bn *BatchNorm2D) InDim() int { return bn.C * bn.H * bn.W }
+
+// Lipschitz returns the inference-mode operator bound
+// max_c |gamma_c| / sqrt(runvar_c + eps). Note the affine shift makes
+// the raw layer unsuitable for the signal-norm channel — fold it first.
+func (bn *BatchNorm2D) Lipschitz() float64 {
+	var m float64
+	for c := 0; c < bn.C; c++ {
+		if v := math.Abs(bn.Gamma.Data[c]) / math.Sqrt(bn.RunVar.Data[c]+bn.Eps); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Rows != bn.InDim() {
+		panic(fmt.Sprintf("nn: %s input rows %d != %d", bn.name, x.Rows, bn.InDim()))
+	}
+	batch := x.Cols
+	spatial := bn.H * bn.W
+	out := tensor.NewMatrix(x.Rows, batch)
+	if train {
+		bn.inX = x.Clone()
+		bn.xhat = tensor.NewMatrix(x.Rows, batch)
+		bn.mean = make([]float64, bn.C)
+		bn.invStd = make([]float64, bn.C)
+	}
+	for c := 0; c < bn.C; c++ {
+		var mean, varv float64
+		if train {
+			n := float64(spatial * batch)
+			for s := 0; s < spatial; s++ {
+				row := x.Data[(c*spatial+s)*batch : (c*spatial+s+1)*batch]
+				for _, v := range row {
+					mean += v
+				}
+			}
+			mean /= n
+			for s := 0; s < spatial; s++ {
+				row := x.Data[(c*spatial+s)*batch : (c*spatial+s+1)*batch]
+				for _, v := range row {
+					d := v - mean
+					varv += d * d
+				}
+			}
+			varv /= n
+			bn.RunMean.Data[c] = (1-bn.Momentum)*bn.RunMean.Data[c] + bn.Momentum*mean
+			bn.RunVar.Data[c] = (1-bn.Momentum)*bn.RunVar.Data[c] + bn.Momentum*varv
+			bn.mean[c] = mean
+			bn.invStd[c] = 1 / math.Sqrt(varv+bn.Eps)
+		} else {
+			mean = bn.RunMean.Data[c]
+			varv = bn.RunVar.Data[c]
+		}
+		inv := 1 / math.Sqrt(varv+bn.Eps)
+		g, b := bn.Gamma.Data[c], bn.Beta.Data[c]
+		for s := 0; s < spatial; s++ {
+			base := (c*spatial + s) * batch
+			for n := 0; n < batch; n++ {
+				xh := (x.Data[base+n] - mean) * inv
+				if train {
+					bn.xhat.Data[base+n] = xh
+				}
+				out.Data[base+n] = g*xh + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer (full batch-norm gradient through the batch
+// statistics).
+func (bn *BatchNorm2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if bn.inX == nil {
+		panic("nn: batchnorm Backward before Forward(train)")
+	}
+	batch := grad.Cols
+	spatial := bn.H * bn.W
+	out := tensor.NewMatrix(grad.Rows, batch)
+	n := float64(spatial * batch)
+	for c := 0; c < bn.C; c++ {
+		g := bn.Gamma.Data[c]
+		inv := bn.invStd[c]
+		var sumDy, sumDyXhat float64
+		for s := 0; s < spatial; s++ {
+			base := (c*spatial + s) * batch
+			for k := 0; k < batch; k++ {
+				dy := grad.Data[base+k]
+				sumDy += dy
+				sumDyXhat += dy * bn.xhat.Data[base+k]
+			}
+		}
+		bn.Beta.Grad[c] += sumDy
+		bn.Gamma.Grad[c] += sumDyXhat
+		for s := 0; s < spatial; s++ {
+			base := (c*spatial + s) * batch
+			for k := 0; k < batch; k++ {
+				dy := grad.Data[base+k]
+				xh := bn.xhat.Data[base+k]
+				out.Data[base+k] = g * inv * (dy - sumDy/n - xh*sumDyXhat/n)
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer. Running stats are exposed so Save/Load keeps
+// them, but optimizers see zero gradients for them.
+func (bn *BatchNorm2D) Params() []*Param {
+	return []*Param{bn.Gamma, bn.Beta, bn.RunMean, bn.RunVar}
+}
+
+// FoldBatchNorm returns an inference copy of net in which every
+// BatchNorm2D immediately following a Conv2D has been folded into the
+// convolution's weights and bias:
+//
+//	W' = gamma/sqrt(var+eps) * W,   b' = gamma*(b-mean)/sqrt(var+eps) + beta
+//
+// The result contains no BatchNorm layers, so the error-flow analysis
+// applies exactly. Networks with a BatchNorm not preceded by a conv are
+// rejected.
+func FoldBatchNorm(net *Network) (*Network, error) {
+	folded, err := foldLayers(net.Layers)
+	if err != nil {
+		return nil, err
+	}
+	// The folded network is an inference artifact: its layer list no
+	// longer matches any Spec (folded convs are plain layers regardless
+	// of the original's PSN flags), so it carries none and cannot be
+	// re-serialized — fold again after loading instead.
+	out := &Network{InputDim: net.InputDim, Layers: folded}
+	out.RefreshSigmas()
+	return out, nil
+}
+
+func foldLayers(layers []Layer) ([]Layer, error) {
+	var out []Layer
+	for _, l := range layers {
+		switch t := l.(type) {
+		case *BatchNorm2D:
+			if len(out) == 0 {
+				return nil, fmt.Errorf("nn: BatchNorm %s has no preceding conv to fold into", t.Name())
+			}
+			conv, ok := out[len(out)-1].(*Conv2D)
+			if !ok {
+				return nil, fmt.Errorf("nn: BatchNorm %s follows %T, not a conv", t.Name(), out[len(out)-1])
+			}
+			out[len(out)-1] = foldIntoConv(conv, t)
+		case *Residual:
+			branch, err := foldLayers(t.Branch)
+			if err != nil {
+				return nil, err
+			}
+			shortcut, err := foldLayers(t.Shortcut)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, NewResidual(t.Name(), branch, shortcut))
+		default:
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+// foldIntoConv bakes the BN affine transform into a fresh conv layer.
+func foldIntoConv(c *Conv2D, bn *BatchNorm2D) *Conv2D {
+	kw := c.EffectiveKernel().Clone()
+	b := append([]float64(nil), c.B.Data...)
+	cols := c.InC * c.K * c.K
+	for oc := 0; oc < c.OutC; oc++ {
+		scale := bn.Gamma.Data[oc] / math.Sqrt(bn.RunVar.Data[oc]+bn.Eps)
+		for j := 0; j < cols; j++ {
+			kw.Data[oc*cols+j] *= scale
+		}
+		b[oc] = scale*(b[oc]-bn.RunMean.Data[oc]) + bn.Beta.Data[oc]
+	}
+	return NewConv2DFromWeights(c.Name()+"+bn", c.InC, c.H, c.W, c.OutC, c.K, c.Stride, c.Pad, kw.Data, b)
+}

@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func TestBatchNormNormalizesTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bn := NewBatchNorm2D("bn", 2, 4, 4)
+	x := randBatch(rng, 32, 8)
+	for i := range x.Data {
+		x.Data[i] = x.Data[i]*3 + 5 // shifted, scaled input
+	}
+	out := bn.Forward(x, true)
+	// Per channel: output mean ~0, var ~1 (gamma=1, beta=0 at init).
+	spatial := 16
+	for c := 0; c < 2; c++ {
+		var mean float64
+		n := 0
+		for s := 0; s < spatial; s++ {
+			for k := 0; k < 8; k++ {
+				mean += out.At(c*spatial+s, k)
+				n++
+			}
+		}
+		mean /= float64(n)
+		if math.Abs(mean) > 1e-10 {
+			t.Fatalf("channel %d mean %v", c, mean)
+		}
+		var varv float64
+		for s := 0; s < spatial; s++ {
+			for k := 0; k < 8; k++ {
+				d := out.At(c*spatial+s, k) - mean
+				varv += d * d
+			}
+		}
+		varv /= float64(n)
+		if math.Abs(varv-1) > 1e-3 {
+			t.Fatalf("channel %d var %v", c, varv)
+		}
+	}
+}
+
+func TestBatchNormGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := &Spec{Name: "g", InputDim: 2 * 3 * 3, Layers: []LayerSpec{
+		{Type: "conv", Name: "c", C: 2, H: 3, W: 3, OutC: 2, K: 3, Stride: 1, Pad: 1},
+		{Type: "bn", Name: "bn", C: 2, H: 3, W: 3},
+		{Type: "act", Act: ActTanh},
+	}}
+	net, err := spec.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randBatch(rng, 18, 4)
+	y := randBatch(rng, 18, 4)
+
+	net.ZeroGrad()
+	out := net.Forward(x, true)
+	_, grad := MSELoss(out, y)
+	net.Backward(grad)
+
+	// Numerical check on gamma/beta and conv weights. Running stats also
+	// appear in Params but carry no gradient; freeze them by copying.
+	loss := func() float64 {
+		l, _ := MSELoss(net.Forward(x, true), y) // train mode: batch stats
+		return l
+	}
+	// Snapshot running stats so repeated train-mode forwards don't drift.
+	var bn *BatchNorm2D
+	for _, l := range net.Layers {
+		if b, ok := l.(*BatchNorm2D); ok {
+			bn = b
+		}
+	}
+	rm := append([]float64(nil), bn.RunMean.Data...)
+	rv := append([]float64(nil), bn.RunVar.Data...)
+	restore := func() {
+		copy(bn.RunMean.Data, rm)
+		copy(bn.RunVar.Data, rv)
+	}
+	const h = 1e-6
+	for _, p := range net.Params() {
+		if p == bn.RunMean || p == bn.RunVar {
+			continue
+		}
+		for i := range p.Data {
+			orig := p.Data[i]
+			p.Data[i] = orig + h
+			restore()
+			lp := loss()
+			p.Data[i] = orig - h
+			restore()
+			lm := loss()
+			p.Data[i] = orig
+			restore()
+			num := (lp - lm) / (2 * h)
+			if math.Abs(p.Grad[i]-num)/(1+math.Abs(num)) > 1e-4 {
+				t.Fatalf("param %s[%d]: analytic %v vs numerical %v", p.Name, i, p.Grad[i], num)
+			}
+		}
+	}
+}
+
+func TestFoldBatchNormEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := &Spec{Name: "f", InputDim: 3 * 8 * 8, Layers: []LayerSpec{
+		{Type: "conv", Name: "c1", C: 3, H: 8, W: 8, OutC: 4, K: 3, Stride: 1, Pad: 1},
+		{Type: "bn", Name: "bn1", C: 4, H: 8, W: 8},
+		{Type: "act", Act: ActReLU},
+		{Type: "residual", Name: "r", Branch: []LayerSpec{
+			{Type: "conv", Name: "c2", C: 4, H: 8, W: 8, OutC: 4, K: 3, Stride: 1, Pad: 1},
+			{Type: "bn", Name: "bn2", C: 4, H: 8, W: 8},
+		}},
+		{Type: "gap", Name: "g", C: 4, H: 8, W: 8},
+		{Type: "dense", Name: "fc", In: 4, Out: 2},
+	}}
+	net, err := spec.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run some training steps so BN running stats are non-trivial.
+	opt := NewSGD(0.01, 0, 0)
+	for i := 0; i < 10; i++ {
+		x := randBatch(rng, 192, 8)
+		y := randBatch(rng, 2, 8)
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		_, grad := MSELoss(out, y)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	folded, err := FoldBatchNorm(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Folded inference must match BN inference exactly.
+	x := randBatch(rng, 192, 4)
+	a := net.Forward(x, false)
+	b := folded.Forward(x, false)
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-10 {
+			t.Fatalf("folded output differs at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+	// And the folded network must be analyzable (no BN layers left).
+	for _, l := range folded.Layers {
+		if _, ok := l.(*BatchNorm2D); ok {
+			t.Fatal("fold left a BatchNorm behind")
+		}
+	}
+}
+
+func TestFoldRejectsOrphanBN(t *testing.T) {
+	spec := &Spec{Name: "bad", InputDim: 2 * 2 * 2, Layers: []LayerSpec{
+		{Type: "bn", Name: "bn", C: 2, H: 2, W: 2},
+	}}
+	net, err := spec.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FoldBatchNorm(net); err == nil {
+		t.Fatal("orphan BN should fail to fold")
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	p := NewMaxPool2D("mp", 1, 4, 4, 2)
+	x := tensor.NewMatrix(16, 1)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	out := p.Forward(x, true)
+	want := []float64{5, 7, 13, 15} // max of each 2x2 window
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("maxpool out = %v, want %v", out.Data, want)
+		}
+	}
+	grad := tensor.NewMatrixFrom(4, 1, []float64{1, 2, 3, 4})
+	back := p.Backward(grad)
+	if back.Data[5] != 1 || back.Data[7] != 2 || back.Data[13] != 3 || back.Data[15] != 4 {
+		t.Fatalf("maxpool backward = %v", back.Data)
+	}
+	var sum float64
+	for _, v := range back.Data {
+		sum += v
+	}
+	if sum != 10 {
+		t.Fatalf("gradient mass not conserved: %v", sum)
+	}
+}
+
+func TestMaxPoolLipschitz(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewMaxPool2D("mp", 2, 8, 8, 2)
+	for trial := 0; trial < 100; trial++ {
+		a := randBatch(rng, 128, 1)
+		b := randBatch(rng, 128, 1)
+		da := tensor.Vector(p.Forward(a, false).Data).Sub(tensor.Vector(p.Forward(b, false).Data))
+		din := tensor.Vector(a.Data).Sub(tensor.Vector(b.Data))
+		if da.Norm2() > din.Norm2()*(1+1e-12) {
+			t.Fatalf("maxpool violated 1-Lipschitz: %v > %v", da.Norm2(), din.Norm2())
+		}
+	}
+}
+
+func TestBNLipschitzReflectsGamma(t *testing.T) {
+	bn := NewBatchNorm2D("bn", 2, 1, 1)
+	bn.Gamma.Data[0] = 3
+	bn.RunVar.Data[0] = 0.25 // 3/sqrt(0.25) = 6
+	bn.Gamma.Data[1] = 1
+	if got := bn.Lipschitz(); math.Abs(got-3/math.Sqrt(0.25+bn.Eps)) > 1e-9 {
+		t.Fatalf("BN Lipschitz = %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+package nn
+
+import "fmt"
+
+// MLPSpec builds a multi-layer-perceptron spec: dims[0] inputs, hidden
+// layers dims[1:len-1] each followed by the activation, and a linear
+// output layer of dims[len-1] features. With psn=true every dense layer
+// is PSN-reparameterized.
+func MLPSpec(name string, dims []int, act string, psn bool) *Spec {
+	if len(dims) < 2 {
+		panic("nn: MLPSpec needs at least input and output dims")
+	}
+	s := &Spec{Name: name, InputDim: dims[0]}
+	for i := 0; i+1 < len(dims); i++ {
+		s.Layers = append(s.Layers, LayerSpec{
+			Type: "dense", Name: fmt.Sprintf("%s.fc%d", name, i),
+			In: dims[i], Out: dims[i+1], PSN: psn, InitAct: act,
+		})
+		if i+2 < len(dims) { // hidden layers get the activation
+			s.Layers = append(s.Layers, LayerSpec{Type: "act", Act: act})
+		}
+	}
+	return s
+}
+
+// ResNetSpec builds a ResNet-style spec for (inC, h, w) inputs and
+// numClasses outputs: a 3x3 stem conv, stages of basic residual blocks
+// (two 3x3 convs; a 1x1 projection shortcut whenever shape changes,
+// stride-2 downsampling at each stage boundary after the first), global
+// average pooling and a dense classification head. blocks[i] gives the
+// number of residual blocks in stage i; channels[i] its width.
+//
+// ResNet-18 corresponds to blocks = [2,2,2,2] with channels
+// [64,128,256,512]; the reduced variants used in tests shrink channels
+// and input size but keep the topology.
+func ResNetSpec(name string, inC, h, w, numClasses int, blocks, channels []int, act string, psn bool) *Spec {
+	if len(blocks) != len(channels) || len(blocks) == 0 {
+		panic("nn: ResNetSpec blocks/channels mismatch")
+	}
+	s := &Spec{Name: name, InputDim: inC * h * w}
+	c, curH, curW := channels[0], h, w
+	s.Layers = append(s.Layers,
+		LayerSpec{Type: "conv", Name: name + ".stem", C: inC, H: curH, W: curW,
+			OutC: c, K: 3, Stride: 1, Pad: 1, PSN: psn},
+		LayerSpec{Type: "act", Act: act},
+	)
+	for stage, nb := range blocks {
+		outC := channels[stage]
+		for b := 0; b < nb; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			bh, bw := curH, curW
+			oh, ow := (bh+2-3)/stride+1, (bw+2-3)/stride+1
+			branch := []LayerSpec{
+				{Type: "conv", Name: fmt.Sprintf("%s.s%db%d.conv1", name, stage, b),
+					C: c, H: bh, W: bw, OutC: outC, K: 3, Stride: stride, Pad: 1, PSN: psn},
+				{Type: "act", Act: act},
+				{Type: "conv", Name: fmt.Sprintf("%s.s%db%d.conv2", name, stage, b),
+					C: outC, H: oh, W: ow, OutC: outC, K: 3, Stride: 1, Pad: 1, PSN: psn},
+			}
+			var shortcut []LayerSpec
+			if stride != 1 || c != outC {
+				shortcut = []LayerSpec{
+					{Type: "conv", Name: fmt.Sprintf("%s.s%db%d.proj", name, stage, b),
+						C: c, H: bh, W: bw, OutC: outC, K: 1, Stride: stride, Pad: 0, PSN: psn},
+				}
+			}
+			s.Layers = append(s.Layers,
+				LayerSpec{Type: "residual", Name: fmt.Sprintf("%s.s%db%d", name, stage, b),
+					Branch: branch, Shortcut: shortcut},
+				LayerSpec{Type: "act", Act: act},
+			)
+			c, curH, curW = outC, oh, ow
+		}
+	}
+	s.Layers = append(s.Layers,
+		LayerSpec{Type: "gap", Name: name + ".gap", C: c, H: curH, W: curW},
+		LayerSpec{Type: "dense", Name: name + ".head", In: c, Out: numClasses, PSN: psn},
+	)
+	return s
+}
+
+// FeatureNetwork returns a copy of the network truncated before its final
+// dense head, exposing the "final feature map" the paper uses as the QoI
+// for the EuroSAT task. The returned network shares layer state with the
+// original.
+func (n *Network) FeatureNetwork() *Network {
+	if len(n.Layers) == 0 {
+		return n
+	}
+	if _, ok := n.Layers[len(n.Layers)-1].(*Dense); !ok {
+		return n
+	}
+	out := &Network{InputDim: n.InputDim, Layers: n.Layers[:len(n.Layers)-1]}
+	if n.Spec != nil && len(n.Spec.Layers) == len(n.Layers) {
+		spec := *n.Spec
+		spec.Name += "-features"
+		spec.Layers = spec.Layers[:len(spec.Layers)-1]
+		out.Spec = &spec
+	}
+	return out
+}

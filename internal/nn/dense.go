@@ -1,0 +1,232 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Dense is a fully connected layer z = W h + b, optionally reparameterized
+// with the paper's parameterized spectral normalization (PSN, Eq. 6):
+//
+//	W_psn = alpha * W / sigma(W)
+//
+// so the layer's spectral norm is exactly |alpha|, a learnable scalar.
+// sigma(W) is tracked by warm-started power iteration during training, as
+// in Miyato et al.'s spectral normalization; its gradient is treated as a
+// constant per step (the standard SN approximation).
+type Dense struct {
+	In, Out int
+	W       *Param // Out x In, row-major
+	B       *Param // Out
+	PSN     bool
+	Alpha   *Param // PSN scale (nil unless PSN)
+
+	// Power-iteration state for sigma(W). sigmaOK marks the estimate
+	// fresh; plain (non-PSN) layers compute it lazily on first use so
+	// that building large models for throughput simulation stays cheap.
+	u, v     tensor.Vector
+	sigmaRaw float64
+	sigmaOK  bool
+
+	// Cached state for backward.
+	inX  *tensor.Matrix
+	effW *tensor.Matrix
+
+	name string
+}
+
+// NewDense builds a dense layer. act hints the initialization scheme
+// (Xavier for tanh/sigmoid, Kaiming otherwise). With psn=true the layer is
+// PSN-reparameterized with alpha initialized to the post-init sigma(W), so
+// reparameterization starts as an identity transform.
+func NewDense(name string, in, out int, act string, psn bool, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, PSN: psn, name: name}
+	d.W = NewParam(name+".W", out*in)
+	d.B = NewParam(name+".B", out)
+	switch act {
+	case ActTanh, ActSigmoid:
+		initXavier(d.W.Data, in, out, rng)
+	default:
+		initKaiming(d.W.Data, in, rng)
+	}
+	if psn {
+		d.RefreshSigma()
+		d.Alpha = NewParam(name+".alpha", 1)
+		d.Alpha.Data[0] = d.sigmaRaw
+	}
+	return d
+}
+
+// NewDenseFromWeights wraps explicit weights (row-major out x in) and bias
+// into a plain (non-PSN) dense layer; used by the quantizer to build
+// inference copies.
+func NewDenseFromWeights(name string, in, out int, w, b []float64) *Dense {
+	if len(w) != out*in || len(b) != out {
+		panic(fmt.Sprintf("nn: NewDenseFromWeights shape mismatch %dx%d vs %d,%d", out, in, len(w), len(b)))
+	}
+	d := &Dense{In: in, Out: out, name: name}
+	d.W = &Param{Name: name + ".W", Data: w, Grad: make([]float64, len(w))}
+	d.B = &Param{Name: name + ".B", Data: b, Grad: make([]float64, len(b))}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// rawMatrix views W as a tensor.Matrix (shared storage).
+func (d *Dense) rawMatrix() *tensor.Matrix { return tensor.NewMatrixFrom(d.Out, d.In, d.W.Data) }
+
+// RefreshSigma recomputes sigma(W) with a full power iteration.
+func (d *Dense) RefreshSigma() {
+	sigma, u, v := tensor.SpectralNormVectors(d.rawMatrix(), 100, d.v)
+	d.sigmaRaw, d.u, d.v = sigma, u, v
+	d.sigmaOK = true
+}
+
+// ensureSigma computes sigma(W) if no fresh estimate exists.
+func (d *Dense) ensureSigma() {
+	if !d.sigmaOK {
+		d.RefreshSigma()
+	}
+}
+
+// stepSigma advances the warm-started power iteration a few steps; cheap
+// enough to run every training forward.
+func (d *Dense) stepSigma() {
+	sigma, u, v := tensor.SpectralNormVectors(d.rawMatrix(), 3, d.v)
+	d.sigmaRaw, d.u, d.v = sigma, u, v
+	d.sigmaOK = true
+}
+
+// EffectiveMatrix returns the weight matrix actually applied to inputs:
+// W for a plain layer, alpha*W/sigma(W) under PSN. The caller must not
+// mutate the result when PSN is off (shared storage).
+func (d *Dense) EffectiveMatrix() *tensor.Matrix {
+	if !d.PSN {
+		return d.rawMatrix()
+	}
+	d.ensureSigma()
+	if d.sigmaRaw == 0 {
+		return d.rawMatrix().Clone() // degenerate zero matrix
+	}
+	s := d.Alpha.Data[0] / d.sigmaRaw
+	out := tensor.NewMatrix(d.Out, d.In)
+	for i, w := range d.W.Data {
+		out.Data[i] = w * s
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Rows != d.In {
+		panic(fmt.Sprintf("nn: %s input rows %d != in %d", d.name, x.Rows, d.In))
+	}
+	if train {
+		if d.PSN {
+			d.stepSigma()
+		}
+		d.inX = x.Clone()
+	}
+	w := d.EffectiveMatrix()
+	if train {
+		d.effW = w
+	}
+	out := w.Mul(x)
+	for r := 0; r < out.Rows; r++ {
+		b := d.B.Data[r]
+		row := out.Data[r*out.Cols : (r+1)*out.Cols]
+		for c := range row {
+			row[c] += b
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.inX == nil {
+		panic("nn: dense Backward before Forward(train)")
+	}
+	// Bias gradient: row sums.
+	for r := 0; r < grad.Rows; r++ {
+		var s float64
+		row := grad.Data[r*grad.Cols : (r+1)*grad.Cols]
+		for _, g := range row {
+			s += g
+		}
+		d.B.Grad[r] += s
+	}
+	dEff := grad.Mul(d.inX.T()) // dL/dW_eff
+	if !d.PSN {
+		for i := range d.W.Grad {
+			d.W.Grad[i] += dEff.Data[i]
+		}
+	} else {
+		// W_eff = alpha/sigma * W with sigma detached:
+		// dW = alpha/sigma * dEff, dAlpha = <W/sigma, dEff>.
+		s := d.Alpha.Data[0] / d.sigmaRaw
+		var dAlpha float64
+		for i := range d.W.Grad {
+			d.W.Grad[i] += s * dEff.Data[i]
+			dAlpha += d.W.Data[i] / d.sigmaRaw * dEff.Data[i]
+		}
+		d.Alpha.Grad[0] += dAlpha
+	}
+	return d.effW.T().Mul(grad)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param {
+	p := []*Param{d.W, d.B}
+	if d.Alpha != nil {
+		p = append(p, d.Alpha)
+	}
+	return p
+}
+
+// LinearOp implements Spectral. For a dense layer the gains recover the
+// paper's Inequality (3) terms exactly: AddGain = sqrt(n_l) and
+// InflGain = sqrt(min(n_{l-1}, n_l)).
+func (d *Dense) LinearOp() LinearOp {
+	d.ensureSigma()
+	eff := d.EffectiveMatrix()
+	var sigma float64
+	if d.PSN {
+		sigma = math.Abs(d.Alpha.Data[0])
+	} else {
+		sigma = d.sigmaRaw
+	}
+	rows := make([]float64, d.Out)
+	for r := 0; r < d.Out; r++ {
+		rows[r] = eff.RowNorm2(r)
+	}
+	return LinearOp{
+		LayerName: d.name,
+		Weights:   eff.Data,
+		Sigma:     sigma,
+		InDim:     d.In,
+		OutDim:    d.Out,
+		WRows:     d.Out,
+		WCols:     d.In,
+		AddGain:   math.Sqrt(float64(d.Out)),
+		InflGain:  math.Sqrt(math.Min(float64(d.In), float64(d.Out))),
+		RowNorms:  rows,
+	}
+}
+
+// AddRegGrad implements Regularized: the PSN penalty is lambda * alpha^2
+// per layer (squared sum of spectral norms, Section III-C). Plain layers
+// contribute lambda * sigma^2 with no gradient (reported for completeness).
+func (d *Dense) AddRegGrad(lambda float64) float64 {
+	if !d.PSN {
+		d.ensureSigma()
+		return lambda * d.sigmaRaw * d.sigmaRaw
+	}
+	a := d.Alpha.Data[0]
+	d.Alpha.Grad[0] += 2 * lambda * a
+	return lambda * a * a
+}

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// numericalGrad estimates dL/dp via central differences for every entry
+// of every parameter, where loss recomputes the full forward+loss.
+func numericalGrad(params []*Param, loss func() float64) map[*Param][]float64 {
+	const h = 1e-6
+	out := make(map[*Param][]float64, len(params))
+	for _, p := range params {
+		g := make([]float64, len(p.Data))
+		for i := range p.Data {
+			orig := p.Data[i]
+			p.Data[i] = orig + h
+			lp := loss()
+			p.Data[i] = orig - h
+			lm := loss()
+			p.Data[i] = orig
+			g[i] = (lp - lm) / (2 * h)
+		}
+		out[p] = g
+	}
+	return out
+}
+
+// checkGrads runs one forward/backward pass and compares analytic grads
+// to numerical ones.
+func checkGrads(t *testing.T, net *Network, x, y *tensor.Matrix, tol float64) {
+	t.Helper()
+	net.ZeroGrad()
+	out := net.Forward(x, true)
+	_, grad := MSELoss(out, y)
+	net.Backward(grad)
+
+	loss := func() float64 {
+		l, _ := MSELoss(net.Forward(x, false), y)
+		return l
+	}
+	num := numericalGrad(net.Params(), loss)
+	for _, p := range net.Params() {
+		ng := num[p]
+		for i := range p.Data {
+			diff := math.Abs(p.Grad[i] - ng[i])
+			scale := 1 + math.Abs(ng[i])
+			if diff/scale > tol {
+				t.Fatalf("param %s[%d]: analytic %v vs numerical %v", p.Name, i, p.Grad[i], ng[i])
+			}
+		}
+	}
+}
+
+func randBatch(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestGradDensePlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := MLPSpec("g", []int{4, 6, 3}, ActTanh, false)
+	net, err := spec.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrads(t, net, randBatch(rng, 4, 5), randBatch(rng, 3, 5), 1e-5)
+}
+
+func TestGradDensePSN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := MLPSpec("g", []int{4, 6, 3}, ActTanh, true)
+	net, err := spec.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PSN treats sigma as a constant per step (the standard SN
+	// approximation), so the W gradient is approximate; alpha and bias
+	// gradients are exact. Use a looser tolerance.
+	net.RefreshSigmas()
+	checkGrads(t, net, randBatch(rng, 4, 5), randBatch(rng, 3, 5), 2e-2)
+}
+
+func TestGradActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, act := range []string{ActTanh, ActReLU, ActLeaky, ActPReLU, ActGELU, ActSigmoid} {
+		spec := MLPSpec("g", []int{3, 5, 2}, act, false)
+		net, err := spec.Build(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shift inputs away from ReLU kinks to keep numerics clean.
+		x := randBatch(rng, 3, 4)
+		y := randBatch(rng, 2, 4)
+		checkGrads(t, net, x, y, 1e-4)
+	}
+}
+
+func TestGradConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	spec := &Spec{Name: "g", InputDim: 2 * 6 * 6, Layers: []LayerSpec{
+		{Type: "conv", Name: "c1", C: 2, H: 6, W: 6, OutC: 3, K: 3, Stride: 1, Pad: 1},
+		{Type: "act", Act: ActTanh},
+		{Type: "conv", Name: "c2", C: 3, H: 6, W: 6, OutC: 2, K: 3, Stride: 2, Pad: 1},
+	}}
+	net, err := spec.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrads(t, net, randBatch(rng, 72, 3), randBatch(rng, 2*3*3, 3), 1e-5)
+}
+
+func TestGradPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spec := &Spec{Name: "g", InputDim: 2 * 4 * 4, Layers: []LayerSpec{
+		{Type: "conv", Name: "c1", C: 2, H: 4, W: 4, OutC: 2, K: 3, Stride: 1, Pad: 1},
+		{Type: "act", Act: ActTanh},
+		{Type: "avgpool", Name: "p", C: 2, H: 4, W: 4, K: 2},
+		{Type: "gap", Name: "gp", C: 2, H: 2, W: 2},
+		{Type: "dense", Name: "fc", In: 2, Out: 2},
+	}}
+	net, err := spec.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrads(t, net, randBatch(rng, 32, 3), randBatch(rng, 2, 3), 1e-5)
+}
+
+func TestGradResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	spec := &Spec{Name: "g", InputDim: 4, Layers: []LayerSpec{
+		{Type: "residual", Name: "r", Branch: []LayerSpec{
+			{Type: "dense", Name: "b1", In: 4, Out: 6},
+			{Type: "act", Act: ActTanh},
+			{Type: "dense", Name: "b2", In: 6, Out: 4},
+		}},
+		{Type: "act", Act: ActTanh},
+		{Type: "dense", Name: "head", In: 4, Out: 2},
+	}}
+	net, err := spec.Build(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrads(t, net, randBatch(rng, 4, 4), randBatch(rng, 2, 4), 1e-5)
+}
+
+func TestGradResidualProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	spec := &Spec{Name: "g", InputDim: 4, Layers: []LayerSpec{
+		{Type: "residual", Name: "r", Branch: []LayerSpec{
+			{Type: "dense", Name: "b1", In: 4, Out: 5},
+			{Type: "act", Act: ActTanh},
+			{Type: "dense", Name: "b2", In: 5, Out: 6},
+		}, Shortcut: []LayerSpec{
+			{Type: "dense", Name: "proj", In: 4, Out: 6},
+		}},
+	}}
+	net, err := spec.Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrads(t, net, randBatch(rng, 4, 4), randBatch(rng, 6, 4), 1e-5)
+}
+
+func TestGradCrossEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	spec := MLPSpec("g", []int{4, 8, 3}, ActReLU, false)
+	net, err := spec.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randBatch(rng, 4, 6)
+	labels := []int{0, 1, 2, 0, 1, 2}
+
+	net.ZeroGrad()
+	out := net.Forward(x, true)
+	_, grad := CrossEntropyLoss(out, labels)
+	net.Backward(grad)
+
+	loss := func() float64 {
+		l, _ := CrossEntropyLoss(net.Forward(x, false), labels)
+		return l
+	}
+	num := numericalGrad(net.Params(), loss)
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			diff := math.Abs(p.Grad[i] - num[p][i])
+			if diff/(1+math.Abs(num[p][i])) > 1e-4 {
+				t.Fatalf("CE grad %s[%d]: %v vs %v", p.Name, i, p.Grad[i], num[p][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// MSELoss returns the mean squared error 1/(2B) * sum ||yhat - y||^2 over
+// a batch and the gradient dL/dyhat.
+func MSELoss(yhat, y *tensor.Matrix) (float64, *tensor.Matrix) {
+	if yhat.Rows != y.Rows || yhat.Cols != y.Cols {
+		panic("nn: MSELoss shape mismatch")
+	}
+	b := float64(yhat.Cols)
+	grad := tensor.NewMatrix(yhat.Rows, yhat.Cols)
+	var loss float64
+	for i := range yhat.Data {
+		d := yhat.Data[i] - y.Data[i]
+		loss += d * d
+		grad.Data[i] = d / b
+	}
+	return loss / (2 * b), grad
+}
+
+// Softmax computes the column-wise softmax of logits.
+func Softmax(logits *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(logits.Rows, logits.Cols)
+	for c := 0; c < logits.Cols; c++ {
+		maxv := math.Inf(-1)
+		for r := 0; r < logits.Rows; r++ {
+			if v := logits.At(r, c); v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for r := 0; r < logits.Rows; r++ {
+			e := math.Exp(logits.At(r, c) - maxv)
+			out.Set(r, c, e)
+			sum += e
+		}
+		inv := 1 / sum
+		for r := 0; r < logits.Rows; r++ {
+			out.Set(r, c, out.At(r, c)*inv)
+		}
+	}
+	return out
+}
+
+// CrossEntropyLoss returns the mean negative log-likelihood of the true
+// labels under the softmax of the logits, plus dL/dlogits.
+func CrossEntropyLoss(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	if len(labels) != logits.Cols {
+		panic("nn: CrossEntropyLoss label count mismatch")
+	}
+	p := Softmax(logits)
+	b := float64(logits.Cols)
+	grad := tensor.NewMatrix(logits.Rows, logits.Cols)
+	var loss float64
+	for c, lbl := range labels {
+		if lbl < 0 || lbl >= logits.Rows {
+			panic("nn: label out of range")
+		}
+		loss -= math.Log(math.Max(p.At(lbl, c), 1e-300))
+		for r := 0; r < logits.Rows; r++ {
+			g := p.At(r, c)
+			if r == lbl {
+				g -= 1
+			}
+			grad.Set(r, c, g/b)
+		}
+	}
+	return loss / b, grad
+}
+
+// Accuracy returns the fraction of columns whose argmax matches the label.
+func Accuracy(logits *tensor.Matrix, labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for c, lbl := range labels {
+		best, bestR := math.Inf(-1), -1
+		for r := 0; r < logits.Rows; r++ {
+			if v := logits.At(r, c); v > best {
+				best, bestR = v, r
+			}
+		}
+		if bestR == lbl {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// MaxPool2D takes the maximum over non-overlapping KxK windows
+// (stride == K). With disjoint windows the operator is 1-Lipschitz in
+// both L2 and L-infinity — each output error is dominated by some input
+// error in its own window — so it slots into the error-flow analysis
+// with C = 1.
+type MaxPool2D struct {
+	C, H, W int
+	K       int
+	inBatch int
+	argmax  []int // flat input index chosen per output element per sample
+	name    string
+}
+
+// NewMaxPool2D builds a max-pooling layer; H and W must divide by K.
+func NewMaxPool2D(name string, c, h, w, k int) *MaxPool2D {
+	if h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("nn: maxpool %dx%d not divisible by %d", h, w, k))
+	}
+	return &MaxPool2D{C: c, H: h, W: w, K: k, name: name}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// OutH returns the pooled height.
+func (p *MaxPool2D) OutH() int { return p.H / p.K }
+
+// OutW returns the pooled width.
+func (p *MaxPool2D) OutW() int { return p.W / p.K }
+
+// InDim returns the flattened input feature count.
+func (p *MaxPool2D) InDim() int { return p.C * p.H * p.W }
+
+// OutDim returns the flattened output feature count.
+func (p *MaxPool2D) OutDim() int { return p.C * p.OutH() * p.OutW() }
+
+// Lipschitz implements Lipschitzer: 1 for disjoint windows.
+func (p *MaxPool2D) Lipschitz() float64 { return 1 }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Rows != p.InDim() {
+		panic(fmt.Sprintf("nn: %s input rows %d != %d", p.name, x.Rows, p.InDim()))
+	}
+	batch := x.Cols
+	oh, ow := p.OutH(), p.OutW()
+	out := tensor.NewMatrix(p.C*oh*ow, batch)
+	if train {
+		p.inBatch = batch
+		p.argmax = make([]int, p.C*oh*ow*batch)
+	}
+	for c := 0; c < p.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := ((c*oh+oy)*ow + ox) * batch
+				for n := 0; n < batch; n++ {
+					best := math.Inf(-1)
+					bestF := -1
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							f := (c*p.H+oy*p.K+ky)*p.W + ox*p.K + kx
+							if v := x.Data[f*batch+n]; v > best {
+								best, bestF = v, f
+							}
+						}
+					}
+					out.Data[dst+n] = best
+					if train {
+						p.argmax[dst+n] = bestF
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: gradients route to the argmax positions.
+func (p *MaxPool2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if p.argmax == nil {
+		panic("nn: maxpool Backward before Forward(train)")
+	}
+	batch := p.inBatch
+	out := tensor.NewMatrix(p.InDim(), batch)
+	for i, g := range grad.Data {
+		n := i % batch
+		out.Data[p.argmax[i]*batch+n] += g
+	}
+	return out
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }

@@ -1,0 +1,219 @@
+package nn
+
+import (
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Network is a sequence of layers (possibly including Residual blocks)
+// with a fixed input dimension.
+type Network struct {
+	InputDim int
+	Layers   []Layer
+	// Spec records how the network was built, enabling serialization and
+	// the construction of quantized inference copies. May be nil for
+	// hand-assembled networks.
+	Spec *Spec
+}
+
+// Forward runs the network on a (features x batch) matrix.
+func (n *Network) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	h := x
+	for _, l := range n.Layers {
+		h = l.Forward(h, train)
+	}
+	return h
+}
+
+// ForwardVec runs a single sample through the network.
+func (n *Network) ForwardVec(x tensor.Vector) tensor.Vector {
+	m := tensor.NewMatrixFrom(len(x), 1, x)
+	out := n.Forward(m, false)
+	return tensor.Vector(out.Data)
+}
+
+// Backward propagates dL/d(output) through the network, accumulating
+// parameter gradients, and returns dL/d(input).
+func (n *Network) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	g := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// Params returns all learnable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// AddRegGrad accumulates the PSN spectral penalty gradient across all
+// layers and returns the total penalty value.
+func (n *Network) AddRegGrad(lambda float64) float64 {
+	var s float64
+	for _, l := range n.Layers {
+		if reg, ok := l.(Regularized); ok {
+			s += reg.AddRegGrad(lambda)
+		}
+	}
+	return s
+}
+
+// RefreshSigmas recomputes every spectral layer's operator norm with full
+// power iterations (call after training or weight mutation, before
+// analysis).
+func (n *Network) RefreshSigmas() {
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			switch t := l.(type) {
+			case Spectral:
+				t.RefreshSigma()
+			case *Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(n.Layers)
+}
+
+// spectralSigmas collects every spectral layer's current sigma estimate
+// in forward order (computing lazily where needed).
+func (n *Network) spectralSigmas() []float64 {
+	var out []float64
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			switch t := l.(type) {
+			case *Dense:
+				t.ensureSigma()
+				out = append(out, t.sigmaRaw)
+			case *Conv2D:
+				t.ensureSigma()
+				out = append(out, t.sigmaRaw)
+			case *Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(n.Layers)
+	return out
+}
+
+// setSpectralSigmas restores persisted sigma estimates; returns false on
+// a count mismatch (caller falls back to recomputation).
+func (n *Network) setSpectralSigmas(sigmas []float64) bool {
+	i := 0
+	okAll := true
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			switch t := l.(type) {
+			case *Dense:
+				if i >= len(sigmas) {
+					okAll = false
+					return
+				}
+				t.sigmaRaw, t.sigmaOK = sigmas[i], true
+				i++
+			case *Conv2D:
+				if i >= len(sigmas) {
+					okAll = false
+					return
+				}
+				t.sigmaRaw, t.sigmaOK = sigmas[i], true
+				i++
+			case *Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(n.Layers)
+	return okAll && i == len(sigmas)
+}
+
+// LinearOps returns the LinearOp of every spectral layer in forward
+// order, descending into residual branches (shortcut ops are tagged by
+// name). Used by diagnostics and tests; the error-flow analysis walks the
+// full structure via the errgraph translation instead.
+func (n *Network) LinearOps() []LinearOp {
+	var out []LinearOp
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			switch t := l.(type) {
+			case Spectral:
+				out = append(out, t.LinearOp())
+			case *Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(n.Layers)
+	return out
+}
+
+// NumParams returns the total learnable parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Data)
+	}
+	return total
+}
+
+// FLOPs estimates multiply-accumulate operations for a single sample's
+// forward pass (used by the roofline execution model).
+func (n *Network) FLOPs() int64 {
+	var total int64
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			switch t := l.(type) {
+			case *Dense:
+				total += 2 * int64(t.In) * int64(t.Out)
+			case *Conv2D:
+				total += 2 * int64(t.OutC) * int64(t.InC*t.K*t.K) * int64(t.OutH()*t.OutW())
+			case *Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(n.Layers)
+	return total
+}
+
+// WeightBytes returns the number of bytes the network's weight tensors
+// occupy at the given bytes-per-element width (4 for FP32).
+func (n *Network) WeightBytes(bytesPerElem int) int64 {
+	var total int64
+	for _, op := range n.LinearOps() {
+		total += int64(len(op.Weights))
+	}
+	return total * int64(bytesPerElem)
+}

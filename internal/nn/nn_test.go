@@ -1,0 +1,484 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func TestActivationLipschitzHolds(t *testing.T) {
+	// Property: |phi(a)-phi(b)| <= C |a-b| for every supported activation.
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []string{ActIdentity, ActTanh, ActReLU, ActLeaky, ActPReLU, ActGELU, ActSigmoid} {
+		a := MustActivation(kind)
+		c := a.Lipschitz()
+		for trial := 0; trial < 2000; trial++ {
+			x, y := rng.NormFloat64()*3, rng.NormFloat64()*3
+			if d := math.Abs(a.apply(x) - a.apply(y)); d > c*math.Abs(x-y)*(1+1e-9) {
+				t.Fatalf("%s: |phi(%v)-phi(%v)| = %v > C*|dx| = %v", kind, x, y, d, c*math.Abs(x-y))
+			}
+		}
+	}
+}
+
+func TestActivationDerivBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, kind := range []string{ActTanh, ActReLU, ActLeaky, ActPReLU, ActGELU, ActSigmoid} {
+		a := MustActivation(kind)
+		c := a.Lipschitz()
+		for trial := 0; trial < 2000; trial++ {
+			x := rng.NormFloat64() * 4
+			if d := math.Abs(a.deriv(x)); d > c*(1+1e-9) {
+				t.Fatalf("%s: |phi'(%v)| = %v > C = %v", kind, x, d, c)
+			}
+		}
+	}
+}
+
+func TestUnknownActivation(t *testing.T) {
+	if _, err := NewActivation("swish"); err == nil {
+		t.Fatal("unknown activation should error")
+	}
+}
+
+func TestPSNSigmaEqualsAlpha(t *testing.T) {
+	// The defining property of PSN (Eq. 6): after reparameterization the
+	// layer's spectral norm is exactly alpha.
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense("d", 20, 15, ActTanh, true, rng)
+	d.Alpha.Data[0] = 2.5
+	d.RefreshSigma()
+	eff := d.EffectiveMatrix()
+	sigma := tensor.SpectralNorm(eff, 200)
+	if math.Abs(sigma-2.5) > 1e-6 {
+		t.Fatalf("sigma(W_psn) = %v, want alpha = 2.5", sigma)
+	}
+	if got := d.LinearOp().Sigma; math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("LinearOp().Sigma = %v", got)
+	}
+}
+
+func TestPSNConvSigmaEqualsAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewConv2D("c", 3, 8, 8, 4, 3, 1, 1, true, rng)
+	c.Alpha.Data[0] = 1.7
+	c.RefreshSigma()
+	// Measure the operator norm of the effective conv by random probing.
+	kw := c.EffectiveKernel()
+	var maxRatio float64
+	for trial := 0; trial < 50; trial++ {
+		x := make(tensor.Vector, c.InDim())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		r := c.applyOp(kw, x).Norm2() / x.Norm2()
+		if r > maxRatio {
+			maxRatio = r
+		}
+	}
+	if maxRatio > 1.7*(1+1e-6) {
+		t.Fatalf("conv operator norm probe %v exceeds alpha 1.7", maxRatio)
+	}
+	if maxRatio < 0.3 {
+		t.Fatalf("conv operator probe suspiciously small: %v", maxRatio)
+	}
+}
+
+func TestDenseSpectralMatchesSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDense("d", 12, 9, "", false, rng)
+	d.ensureSigma() // plain layers compute sigma lazily
+	want := tensor.SingularValues(d.rawMatrix())[0]
+	if math.Abs(d.sigmaRaw-want) > 1e-6 {
+		t.Fatalf("dense sigma %v, SVD %v", d.sigmaRaw, want)
+	}
+}
+
+func TestTrainXORConverges(t *testing.T) {
+	// Small end-to-end training sanity check.
+	spec := MLPSpec("xor", []int{2, 8, 1}, ActTanh, false)
+	net, err := spec.Build(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewMatrixFrom(2, 4, []float64{0, 0, 1, 1, 0, 1, 0, 1})
+	y := tensor.NewMatrixFrom(1, 4, []float64{0, 1, 1, 0})
+	opt := NewSGD(0.5, 0.9, 0)
+	var loss float64
+	for epoch := 0; epoch < 2000; epoch++ {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		var grad *tensor.Matrix
+		loss, grad = MSELoss(out, y)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	if loss > 1e-3 {
+		t.Fatalf("XOR did not converge: loss %v", loss)
+	}
+}
+
+func TestTrainPSNRegressionConverges(t *testing.T) {
+	// PSN-reparameterized network with spectral penalty must still fit a
+	// smooth function, and its per-layer sigmas must stay moderate.
+	rng := rand.New(rand.NewSource(7))
+	spec := MLPSpec("psn", []int{2, 16, 16, 1}, ActTanh, true)
+	net, err := spec.Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSamples := 64
+	x := tensor.NewMatrix(2, nSamples)
+	y := tensor.NewMatrix(1, nSamples)
+	for i := 0; i < nSamples; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		x.Set(0, i, a)
+		x.Set(1, i, b)
+		y.Set(0, i, math.Sin(2*a)+0.5*b)
+	}
+	opt := NewAdam(0.01)
+	var loss float64
+	for epoch := 0; epoch < 1500; epoch++ {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		var grad *tensor.Matrix
+		loss, grad = MSELoss(out, y)
+		net.AddRegGrad(1e-4)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	if loss > 5e-3 {
+		t.Fatalf("PSN regression did not converge: loss %v", loss)
+	}
+	net.RefreshSigmas()
+	for _, op := range net.LinearOps() {
+		if op.Sigma > 10 {
+			t.Fatalf("PSN layer %s sigma %v too large (penalty ineffective)", op.LayerName, op.Sigma)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	spec := MLPSpec("m", []int{5, 10, 3}, ActReLU, true)
+	net, err := spec.Build(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb weights away from init so the test is meaningful.
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			p.Data[i] += rng.NormFloat64() * 0.1
+		}
+	}
+	net.RefreshSigmas()
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randBatch(rng, 5, 7)
+	a := net.Forward(x, false)
+	b := loaded.Forward(x, false)
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-9 {
+			t.Fatalf("loaded model diverges at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage model should error")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty model should error")
+	}
+}
+
+func TestResNetSpecGeometry(t *testing.T) {
+	spec := ResNetSpec("rn", 3, 16, 16, 10, []int{2, 2}, []int{8, 16}, ActReLU, true)
+	net, err := spec.Build(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randBatch(rand.New(rand.NewSource(1)), 3*16*16, 2)
+	out := net.Forward(x, false)
+	if out.Rows != 10 || out.Cols != 2 {
+		t.Fatalf("resnet output %dx%d, want 10x2", out.Rows, out.Cols)
+	}
+	// Backward must run through the whole depth.
+	net.ZeroGrad()
+	out = net.Forward(x, true)
+	_, grad := MSELoss(out, tensor.NewMatrix(10, 2))
+	net.Backward(grad)
+}
+
+func TestFeatureNetwork(t *testing.T) {
+	spec := ResNetSpec("rn", 1, 8, 8, 4, []int{1}, []int{4}, ActReLU, false)
+	net, err := spec.Build(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := net.FeatureNetwork()
+	if len(feat.Layers) != len(net.Layers)-1 {
+		t.Fatalf("feature net layers %d, want %d", len(feat.Layers), len(net.Layers)-1)
+	}
+	x := randBatch(rand.New(rand.NewSource(2)), 64, 1)
+	out := feat.Forward(x, false)
+	if out.Rows != 4 { // channel count after GAP
+		t.Fatalf("feature dim %d, want 4", out.Rows)
+	}
+}
+
+func TestNetworkFLOPsAndParams(t *testing.T) {
+	spec := MLPSpec("m", []int{10, 20, 5}, ActTanh, false)
+	net, err := spec.Build(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := net.FLOPs(), int64(2*(10*20+20*5)); got != want {
+		t.Fatalf("FLOPs = %d, want %d", got, want)
+	}
+	if got, want := net.NumParams(), 10*20+20+20*5+5; got != want {
+		t.Fatalf("NumParams = %d, want %d", got, want)
+	}
+	if got, want := net.WeightBytes(4), int64(4*(10*20+20*5)); got != want {
+		t.Fatalf("WeightBytes = %d, want %d", got, want)
+	}
+}
+
+func TestLinearOpsOrderAndGains(t *testing.T) {
+	spec := MLPSpec("m", []int{4, 8, 2}, ActTanh, false)
+	net, err := spec.Build(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := net.LinearOps()
+	if len(ops) != 2 {
+		t.Fatalf("want 2 linear ops, got %d", len(ops))
+	}
+	if ops[0].InDim != 4 || ops[0].OutDim != 8 || ops[1].InDim != 8 || ops[1].OutDim != 2 {
+		t.Fatalf("op dims wrong: %+v", ops)
+	}
+	if ops[0].AddGain != math.Sqrt(8) || ops[0].InflGain != 2 {
+		t.Fatalf("dense gains wrong: %+v", ops[0])
+	}
+	if len(ops[1].RowNorms) != 2 {
+		t.Fatalf("row norms missing: %+v", ops[1])
+	}
+}
+
+func TestConv1x1GainsReduceToDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	c := NewConv2D("c", 6, 1, 1, 4, 1, 1, 0, false, rng)
+	op := c.LinearOp()
+	if op.AddGain != math.Sqrt(4) {
+		t.Fatalf("1x1 conv AddGain = %v, want 2", op.AddGain)
+	}
+	if op.InflGain != math.Sqrt(4) { // min(6*1*1, 4) = 4
+		t.Fatalf("1x1 conv InflGain = %v, want 2", op.InflGain)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	logits := randBatch(rng, 7, 5)
+	p := Softmax(logits)
+	for c := 0; c < 5; c++ {
+		var s float64
+		for r := 0; r < 7; r++ {
+			s += p.At(r, c)
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("softmax column %d sums to %v", c, s)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.NewMatrixFrom(2, 3, []float64{
+		0.9, 0.1, 0.4,
+		0.1, 0.9, 0.6,
+	})
+	if got := Accuracy(logits, []int{0, 1, 0}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+}
+
+func TestAvgPoolLipschitz(t *testing.T) {
+	// Empirical check: for random inputs ||pool(a)-pool(b)|| <= (1/K)||a-b||.
+	rng := rand.New(rand.NewSource(17))
+	p := NewAvgPool2D("p", 2, 8, 8, 2)
+	c := p.Lipschitz()
+	for trial := 0; trial < 50; trial++ {
+		a := randBatch(rng, 128, 1)
+		b := randBatch(rng, 128, 1)
+		da := tensor.Vector(p.Forward(a, false).Data).Sub(tensor.Vector(p.Forward(b, false).Data))
+		din := tensor.Vector(a.Data).Sub(tensor.Vector(b.Data))
+		if da.Norm2() > c*din.Norm2()*(1+1e-9) {
+			t.Fatalf("avgpool violated Lipschitz: %v > %v", da.Norm2(), c*din.Norm2())
+		}
+	}
+}
+
+func TestGlobalAvgPoolLipschitz(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	p := NewGlobalAvgPool("p", 3, 4, 4)
+	c := p.Lipschitz()
+	for trial := 0; trial < 50; trial++ {
+		a := randBatch(rng, 48, 1)
+		b := randBatch(rng, 48, 1)
+		da := tensor.Vector(p.Forward(a, false).Data).Sub(tensor.Vector(p.Forward(b, false).Data))
+		din := tensor.Vector(a.Data).Sub(tensor.Vector(b.Data))
+		if da.Norm2() > c*din.Norm2()*(1+1e-9) {
+			t.Fatalf("gap violated Lipschitz: %v > %v", da.Norm2(), c*din.Norm2())
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Layers: []LayerSpec{{Type: "dense"}}},                                         // missing dims
+		{Layers: []LayerSpec{{Type: "warp"}}},                                          // unknown type
+		{Layers: []LayerSpec{{Type: "conv", C: 1}}},                                    // missing geometry
+		{Layers: []LayerSpec{{Type: "act", Act: "nope"}}},                              // unknown act
+		{Layers: []LayerSpec{{Type: "residual", Branch: []LayerSpec{{Type: "warp"}}}}}, // nested error
+	}
+	for i, s := range bad {
+		if _, err := s.Build(0); err == nil {
+			t.Errorf("spec %d should fail to build", i)
+		}
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	p := NewParam("w", 1)
+	p.Data[0] = 1
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*Param{p}) // grad 0, decay only
+	if p.Data[0] >= 1 {
+		t.Fatalf("weight decay did not shrink weight: %v", p.Data[0])
+	}
+}
+
+func TestAdamStepDirection(t *testing.T) {
+	p := NewParam("w", 1)
+	p.Data[0] = 1
+	p.Grad[0] = 1
+	opt := NewAdam(0.1)
+	opt.Step([]*Param{p})
+	if p.Data[0] >= 1 {
+		t.Fatal("Adam should step against the gradient")
+	}
+}
+
+func BenchmarkMLPForward(b *testing.B) {
+	spec := MLPSpec("m", []int{9, 50, 50, 9}, ActTanh, true)
+	net, err := spec.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randBatch(rand.New(rand.NewSource(1)), 9, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkResNetForward(b *testing.B) {
+	spec := ResNetSpec("rn", 3, 16, 16, 10, []int{2, 2}, []int{8, 16}, ActReLU, true)
+	net, err := spec.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randBatch(rand.New(rand.NewSource(1)), 3*16*16, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func TestSaveLoadAllLayerTypes(t *testing.T) {
+	// A spec exercising every serializable layer type must round-trip
+	// bit-exactly through Save/Load.
+	spec := &Spec{Name: "all", InputDim: 2 * 8 * 8, Layers: []LayerSpec{
+		{Type: "conv", Name: "c1", C: 2, H: 8, W: 8, OutC: 4, K: 3, Stride: 1, Pad: 1, PSN: true},
+		{Type: "bn", Name: "bn1", C: 4, H: 8, W: 8},
+		{Type: "act", Act: ActPReLU},
+		{Type: "round", Name: "r1", Fmt: "fp16"},
+		{Type: "maxpool", Name: "mp", C: 4, H: 8, W: 8, K: 2},
+		{Type: "upsample", Name: "up", C: 4, H: 4, W: 4},
+		{Type: "skipconcat", Name: "sc", C: 4, OutC: 4, H: 8, W: 8, Branch: []LayerSpec{
+			{Type: "conv", Name: "b1", C: 4, H: 8, W: 8, OutC: 4, K: 3, Stride: 1, Pad: 1},
+			{Type: "act", Act: ActGELU},
+		}},
+		{Type: "residual", Name: "res", Branch: []LayerSpec{
+			{Type: "conv", Name: "rb", C: 8, H: 8, W: 8, OutC: 8, K: 3, Stride: 1, Pad: 1},
+		}},
+		{Type: "avgpool", Name: "ap", C: 8, H: 8, W: 8, K: 2},
+		{Type: "gap", Name: "g", C: 8, H: 4, W: 4},
+		{Type: "dense", Name: "fc", In: 8, Out: 3, PSN: true},
+	}}
+	net, err := spec.Build(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	// Run a train-mode pass so BN running stats move off their init.
+	x := randBatch(rng, 2*8*8, 4)
+	net.ZeroGrad()
+	out := net.Forward(x, true)
+	_, grad := MSELoss(out, tensor.NewMatrix(3, 4))
+	net.Backward(grad)
+	// PSN effective weights depend on the sigma estimate; refresh so the
+	// saved network and the loaded one (which refreshes on Load) agree.
+	net.RefreshSigmas()
+
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := net.Forward(x, false)
+	b := loaded.Forward(x, false)
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-9 {
+			t.Fatalf("all-layer roundtrip diverges at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestRoundLayerBehaviour(t *testing.T) {
+	r, err := NewRoundLayer("r", numfmt.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewMatrixFrom(2, 1, []float64{1 + 0x1p-13, -0.5})
+	out := r.Forward(x, false)
+	if out.Data[0] != 1 { // rounds to fp16 grid
+		t.Fatalf("round output %v, want 1", out.Data[0])
+	}
+	if out.Data[1] != -0.5 { // exactly representable
+		t.Fatalf("round output %v, want -0.5", out.Data[1])
+	}
+	// Backward is straight-through.
+	g := tensor.NewMatrixFrom(2, 1, []float64{3, 4})
+	back := r.Backward(g)
+	if back.Data[0] != 3 || back.Data[1] != 4 {
+		t.Fatal("round backward should pass gradients through")
+	}
+	if r.Lipschitz() != 1 || r.RelEps() != 0x1p-11 {
+		t.Fatalf("round metadata wrong: C=%v eps=%v", r.Lipschitz(), r.RelEps())
+	}
+}

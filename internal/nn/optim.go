@@ -1,0 +1,89 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (call
+	// Network.ZeroGrad before the next accumulation).
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum and decoupled
+// weight decay (the paper's H2Combustion and EuroSAT models train with
+// standard SGD; weight decay serves as the "baseline w. weight decay"
+// alternative to PSN in Figs. 3-4).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			for i := range p.Data {
+				g := p.Grad[i] + s.WeightDecay*p.Data[i]
+				p.Data[i] -= s.LR * g
+			}
+			continue
+		}
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float64, len(p.Data))
+			s.velocity[p] = v
+		}
+		for i := range p.Data {
+			g := p.Grad[i] + s.WeightDecay*p.Data[i]
+			v[i] = s.Momentum*v[i] + g
+			p.Data[i] -= s.LR * v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (the paper's BorghesiFlame model trains with
+// Adam).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam returns Adam with the conventional defaults for unset betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param][]float64{}, v: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = make([]float64, len(p.Data))
+			v = make([]float64, len(p.Data))
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i := range p.Data {
+			g := p.Grad[i] + a.WeightDecay*p.Data[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}

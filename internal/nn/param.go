@@ -1,0 +1,109 @@
+// Package nn is a from-scratch neural-network library sufficient to
+// reproduce the paper's workloads: dense and convolutional layers with
+// reverse-mode gradients, Tanh/ReLU/LeakyReLU/PReLU/GELU activations,
+// residual blocks, SGD and Adam optimizers, MSE and cross-entropy losses,
+// and — the piece the paper contributes training-side — *parameterized
+// spectral normalization* (PSN), which reparameterizes each linear layer
+// as W_psn = alpha * W / sigma(W) so the layer's spectral norm is the
+// learnable alpha (Eq. 6), regularized by a squared-spectral-norm penalty.
+//
+// Batches are column-major: a Matrix of shape (features, batchSize).
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Param is a learnable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	Data []float64
+	Grad []float64
+}
+
+// NewParam allocates a named parameter of length n.
+func NewParam(name string, n int) *Param {
+	return &Param{Name: name, Data: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// initKaiming fills w (out x in fan) with Kaiming-uniform values, the
+// standard initialization for ReLU-family networks.
+func initKaiming(w []float64, fanIn int, rng *rand.Rand) {
+	bound := math.Sqrt(6.0 / float64(fanIn))
+	for i := range w {
+		w[i] = (rng.Float64()*2 - 1) * bound
+	}
+}
+
+// initXavier fills w with Xavier-uniform values, appropriate for Tanh.
+func initXavier(w []float64, fanIn, fanOut int, rng *rand.Rand) {
+	bound := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = (rng.Float64()*2 - 1) * bound
+	}
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Name identifies the layer for diagnostics and serialization.
+	Name() string
+	// Forward maps a (features x batch) input to the layer output.
+	// When train is true the layer caches what Backward needs.
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	// Backward consumes dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients along the way. It must be called
+	// after a Forward with train=true.
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's learnable parameters (nil if none).
+	Params() []*Param
+}
+
+// LinearOp summarizes a layer's linear operator for the error-flow
+// analysis in internal/core: the flattened weights (for Table I step
+// sizes), the operator spectral norm, flattened dimensions, and the two
+// gain factors that generalize the paper's dense-layer quantization terms
+// to convolutions (for a dense layer AddGain = sqrt(n_out) and
+// InflGain = sqrt(min(n_in, n_out)), recovering Inequality (3) exactly).
+type LinearOp struct {
+	LayerName string
+	Weights   []float64
+	Sigma     float64
+	InDim     int
+	OutDim    int
+	// WRows x WCols is the shape of Weights as a matrix (dense: Out x In;
+	// conv: OutC x InC*K*K) — the grouping axes for grouped quantization.
+	WRows, WCols int
+	// AddGain g enters the additive quantization term q*g/(2*sqrt(3))*||h||.
+	AddGain float64
+	// InflGain enters the spectral inflation sigma~ <= sigma + q*InflGain/sqrt(3).
+	InflGain float64
+	// RowNorms are the L2 norms of the operator's output rows, used for
+	// per-feature QoI bounds (only populated for the final dense layer).
+	RowNorms []float64
+}
+
+// Spectral is implemented by layers that own a linear operator and can
+// report it for analysis. RefreshSigma recomputes the operator norm (used
+// after weight mutation, e.g. quantization).
+type Spectral interface {
+	LinearOp() LinearOp
+	RefreshSigma()
+}
+
+// Regularized is implemented by layers contributing a regularization term
+// to the loss (the PSN squared-spectral-norm penalty). AddRegGrad adds
+// lambda-scaled gradients to the layer's parameters and returns the
+// penalty value.
+type Regularized interface {
+	AddRegGrad(lambda float64) float64
+}

@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Lipschitzer is implemented by parameter-free layers whose error-flow
+// contribution is a pure Lipschitz factor (activations, pooling).
+type Lipschitzer interface {
+	Lipschitz() float64
+}
+
+// AvgPool2D averages non-overlapping KxK windows (stride == K). As a
+// linear operator its spectral norm is exactly 1/K, which the error-flow
+// analysis exploits: pooling *attenuates* propagated error.
+type AvgPool2D struct {
+	C, H, W int // input geometry
+	K       int
+	inBatch int
+	name    string
+}
+
+// NewAvgPool2D builds a pooling layer; H and W must be divisible by K.
+func NewAvgPool2D(name string, c, h, w, k int) *AvgPool2D {
+	if h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("nn: avgpool %dx%d not divisible by %d", h, w, k))
+	}
+	return &AvgPool2D{C: c, H: h, W: w, K: k, name: name}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return p.name }
+
+// OutH returns the pooled height.
+func (p *AvgPool2D) OutH() int { return p.H / p.K }
+
+// OutW returns the pooled width.
+func (p *AvgPool2D) OutW() int { return p.W / p.K }
+
+// InDim returns the flattened input feature count.
+func (p *AvgPool2D) InDim() int { return p.C * p.H * p.W }
+
+// OutDim returns the flattened output feature count.
+func (p *AvgPool2D) OutDim() int { return p.C * p.OutH() * p.OutW() }
+
+// Lipschitz implements Lipschitzer: the operator norm of non-overlapping
+// K x K averaging is 1/K.
+func (p *AvgPool2D) Lipschitz() float64 { return 1 / float64(p.K) }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Rows != p.InDim() {
+		panic(fmt.Sprintf("nn: %s input rows %d != %d", p.name, x.Rows, p.InDim()))
+	}
+	batch := x.Cols
+	if train {
+		p.inBatch = batch
+	}
+	oh, ow := p.OutH(), p.OutW()
+	out := tensor.NewMatrix(p.C*oh*ow, batch)
+	inv := 1 / float64(p.K*p.K)
+	for c := 0; c < p.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := ((c*oh+oy)*ow + ox) * batch
+				for n := 0; n < batch; n++ {
+					var s float64
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							f := (c*p.H+oy*p.K+ky)*p.W + ox*p.K + kx
+							s += x.Data[f*batch+n]
+						}
+					}
+					out.Data[dst+n] = s * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	batch := p.inBatch
+	oh, ow := p.OutH(), p.OutW()
+	out := tensor.NewMatrix(p.InDim(), batch)
+	inv := 1 / float64(p.K*p.K)
+	for c := 0; c < p.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := ((c*oh+oy)*ow + ox) * batch
+				for n := 0; n < batch; n++ {
+					g := grad.Data[src+n] * inv
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							f := (c*p.H+oy*p.K+ky)*p.W + ox*p.K + kx
+							out.Data[f*batch+n] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool averages each channel's full spatial extent, producing a
+// C-dimensional feature vector. Its operator norm is 1/sqrt(H*W).
+type GlobalAvgPool struct {
+	C, H, W int
+	inBatch int
+	name    string
+}
+
+// NewGlobalAvgPool builds a global average pooling layer.
+func NewGlobalAvgPool(name string, c, h, w int) *GlobalAvgPool {
+	return &GlobalAvgPool{C: c, H: h, W: w, name: name}
+}
+
+// Name implements Layer.
+func (p *GlobalAvgPool) Name() string { return p.name }
+
+// InDim returns the flattened input feature count.
+func (p *GlobalAvgPool) InDim() int { return p.C * p.H * p.W }
+
+// OutDim returns C.
+func (p *GlobalAvgPool) OutDim() int { return p.C }
+
+// Lipschitz implements Lipschitzer: averaging m values has operator norm
+// 1/sqrt(m).
+func (p *GlobalAvgPool) Lipschitz() float64 {
+	return 1 / math.Sqrt(float64(p.H*p.W))
+}
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Rows != p.InDim() {
+		panic(fmt.Sprintf("nn: %s input rows %d != %d", p.name, x.Rows, p.InDim()))
+	}
+	batch := x.Cols
+	if train {
+		p.inBatch = batch
+	}
+	spatial := p.H * p.W
+	inv := 1 / float64(spatial)
+	out := tensor.NewMatrix(p.C, batch)
+	for c := 0; c < p.C; c++ {
+		for n := 0; n < batch; n++ {
+			var s float64
+			for sp := 0; sp < spatial; sp++ {
+				s += x.Data[(c*spatial+sp)*batch+n]
+			}
+			out.Data[c*batch+n] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	batch := p.inBatch
+	spatial := p.H * p.W
+	inv := 1 / float64(spatial)
+	out := tensor.NewMatrix(p.InDim(), batch)
+	for c := 0; c < p.C; c++ {
+		for n := 0; n < batch; n++ {
+			g := grad.Data[c*batch+n] * inv
+			for sp := 0; sp < spatial; sp++ {
+				out.Data[(c*spatial+sp)*batch+n] = g
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*Param { return nil }

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Residual is the paper's Eq. (1) building block: y = F(x) + W_s x, where
+// F is a sequence of layers (the residual mapping) and the shortcut is
+// either the identity (Shortcut == nil) or its own layer sequence (e.g. a
+// 1x1 projection conv when dimensions change).
+type Residual struct {
+	Branch   []Layer
+	Shortcut []Layer // nil means identity
+	name     string
+}
+
+// NewResidual builds a residual block.
+func NewResidual(name string, branch, shortcut []Layer) *Residual {
+	return &Residual{Branch: branch, Shortcut: shortcut, name: name}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	f := x
+	for _, l := range r.Branch {
+		f = l.Forward(f, train)
+	}
+	s := x
+	for _, l := range r.Shortcut {
+		s = l.Forward(s, train)
+	}
+	return f.Add(s)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	gf := grad
+	for i := len(r.Branch) - 1; i >= 0; i-- {
+		gf = r.Branch[i].Backward(gf)
+	}
+	gs := grad
+	for i := len(r.Shortcut) - 1; i >= 0; i-- {
+		gs = r.Shortcut[i].Backward(gs)
+	}
+	return gf.Add(gs)
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	var out []*Param
+	for _, l := range r.Branch {
+		out = append(out, l.Params()...)
+	}
+	for _, l := range r.Shortcut {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// AddRegGrad implements Regularized by delegating to block members.
+func (r *Residual) AddRegGrad(lambda float64) float64 {
+	var s float64
+	for _, l := range r.Branch {
+		if reg, ok := l.(Regularized); ok {
+			s += reg.AddRegGrad(lambda)
+		}
+	}
+	for _, l := range r.Shortcut {
+		if reg, ok := l.(Regularized); ok {
+			s += reg.AddRegGrad(lambda)
+		}
+	}
+	return s
+}

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// RoundLayer rounds every activation value to a floating-point format —
+// the activation-quantization extension the paper sketches ("the error
+// introduced by activation quantization can be addressed similarly to
+// compression error by applying Equation (5), while excluding all layers
+// preceding the affected activation"). It is an inference-time layer:
+// Backward passes gradients through unchanged (straight-through).
+//
+// Only float formats are supported; INT8 activations would need
+// data-dependent calibration, which matches the paper's weight-only
+// scope.
+type RoundLayer struct {
+	Format numfmt.Format
+	name   string
+}
+
+// NewRoundLayer builds an activation-rounding layer.
+func NewRoundLayer(name string, f numfmt.Format) (*RoundLayer, error) {
+	if f == numfmt.INT8 {
+		return nil, fmt.Errorf("nn: INT8 activation rounding needs calibration; unsupported")
+	}
+	return &RoundLayer{Format: f, name: name}, nil
+}
+
+// Name implements Layer.
+func (r *RoundLayer) Name() string { return r.name }
+
+// Forward implements Layer.
+func (r *RoundLayer) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = r.Format.Round(v)
+	}
+	return out
+}
+
+// Backward implements Layer (straight-through estimator).
+func (r *RoundLayer) Backward(grad *tensor.Matrix) *tensor.Matrix { return grad }
+
+// Params implements Layer.
+func (r *RoundLayer) Params() []*Param { return nil }
+
+// Lipschitz implements Lipschitzer: rounding is not a contraction, but
+// |round(a)-round(b)| <= |a-b| + eps(|a|+|b|); the error-flow analysis
+// treats the deterministic part as identity (C = 1) and accounts for the
+// eps term through the activation-quantization channel.
+func (r *RoundLayer) Lipschitz() float64 { return 1 }
+
+// RelEps returns the relative rounding error bound of the format:
+// half a unit in the last place, 2^-(mantissa+1).
+func (r *RoundLayer) RelEps() float64 { return relEps(r.Format) }
+
+func relEps(f numfmt.Format) float64 {
+	m := f.MantissaBits()
+	return 1 / float64(uint64(1)<<uint(m+1))
+}

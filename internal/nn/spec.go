@@ -1,0 +1,272 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// LayerSpec describes one layer of a network architecture. Specs are the
+// serialization format and the template from which quantized inference
+// copies are constructed.
+type LayerSpec struct {
+	Type string `json:"type"` // dense | conv | act | round | avgpool | maxpool | gap | bn | upsample | skipconcat | attention | residual
+
+	Name string `json:"name,omitempty"`
+
+	// dense
+	In  int `json:"in,omitempty"`
+	Out int `json:"out,omitempty"`
+
+	// conv / pooling input geometry
+	C int `json:"c,omitempty"`
+	H int `json:"h,omitempty"`
+	W int `json:"w,omitempty"`
+
+	// conv
+	OutC   int `json:"outc,omitempty"`
+	K      int `json:"k,omitempty"`
+	Stride int `json:"stride,omitempty"`
+	Pad    int `json:"pad,omitempty"`
+
+	// act
+	Act string `json:"act,omitempty"`
+
+	// round: activation quantization format name (numfmt.Format.String)
+	Fmt string `json:"fmt,omitempty"`
+
+	// dense/conv options
+	PSN bool `json:"psn,omitempty"`
+	// InitAct hints the weight init distribution (defaults to Act-free
+	// Kaiming).
+	InitAct string `json:"initact,omitempty"`
+
+	// residual
+	Branch   []LayerSpec `json:"branch,omitempty"`
+	Shortcut []LayerSpec `json:"shortcut,omitempty"`
+}
+
+// Spec is a complete architecture description.
+type Spec struct {
+	Name     string      `json:"name"`
+	InputDim int         `json:"input_dim"`
+	Layers   []LayerSpec `json:"layers"`
+}
+
+// Build constructs a freshly initialized Network from the spec. The seed
+// makes initialization deterministic.
+func (s *Spec) Build(seed int64) (*Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	layers, err := buildLayers(s.Layers, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{InputDim: s.InputDim, Layers: layers, Spec: s}, nil
+}
+
+func buildLayers(specs []LayerSpec, rng *rand.Rand) ([]Layer, error) {
+	var out []Layer
+	for i, ls := range specs {
+		name := ls.Name
+		if name == "" {
+			name = fmt.Sprintf("%s%d", ls.Type, i)
+		}
+		switch ls.Type {
+		case "dense":
+			if ls.In <= 0 || ls.Out <= 0 {
+				return nil, fmt.Errorf("nn: dense %q needs in/out", name)
+			}
+			out = append(out, NewDense(name, ls.In, ls.Out, ls.InitAct, ls.PSN, rng))
+		case "conv":
+			if ls.C <= 0 || ls.H <= 0 || ls.W <= 0 || ls.OutC <= 0 || ls.K <= 0 || ls.Stride <= 0 {
+				return nil, fmt.Errorf("nn: conv %q needs geometry", name)
+			}
+			out = append(out, NewConv2D(name, ls.C, ls.H, ls.W, ls.OutC, ls.K, ls.Stride, ls.Pad, ls.PSN, rng))
+		case "act":
+			a, err := NewActivation(ls.Act)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
+		case "round":
+			f, err := numfmt.ParseFormat(ls.Fmt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := NewRoundLayer(name, f)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		case "avgpool":
+			out = append(out, NewAvgPool2D(name, ls.C, ls.H, ls.W, ls.K))
+		case "maxpool":
+			out = append(out, NewMaxPool2D(name, ls.C, ls.H, ls.W, ls.K))
+		case "bn":
+			out = append(out, NewBatchNorm2D(name, ls.C, ls.H, ls.W))
+		case "gap":
+			out = append(out, NewGlobalAvgPool(name, ls.C, ls.H, ls.W))
+		case "upsample":
+			out = append(out, NewUpsample2D(name, ls.C, ls.H, ls.W))
+		case "attention":
+			// In = token count T, Out = per-token dimension D.
+			if ls.In <= 0 || ls.Out <= 0 {
+				return nil, fmt.Errorf("nn: attention %q needs token count (in) and dim (out)", name)
+			}
+			out = append(out, NewSelfAttention(name, ls.In, ls.Out, rng))
+		case "skipconcat":
+			// C = identity-half channels, OutC = branch-half channels.
+			branch, err := buildLayers(ls.Branch, rng)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, NewSkipConcat(name, ls.C, ls.OutC, ls.H, ls.W, branch))
+		case "residual":
+			branch, err := buildLayers(ls.Branch, rng)
+			if err != nil {
+				return nil, err
+			}
+			shortcut, err := buildLayers(ls.Shortcut, rng)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, NewResidual(name, branch, shortcut))
+		default:
+			return nil, fmt.Errorf("nn: unknown layer type %q", ls.Type)
+		}
+	}
+	return out, nil
+}
+
+const modelMagic = "ERRPROPNN2"
+
+// Save serializes the network (spec + parameter values) to w. Networks
+// without a Spec cannot be saved.
+func (n *Network) Save(w io.Writer) error {
+	if n.Spec == nil {
+		return fmt.Errorf("nn: network has no Spec; cannot serialize")
+	}
+	bw := bufio.NewWriter(w)
+	specJSON, err := json.Marshal(n.Spec)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(specJSON))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(specJSON); err != nil {
+		return err
+	}
+	params := n.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Data))); err != nil {
+			return err
+		}
+		for _, v := range p.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	// Persist the spectral-norm estimates so PSN effective weights are
+	// bit-identical after Load (power iteration from a cold start can
+	// land slightly off when top singular values cluster).
+	sigmas := n.spectralSigmas()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(sigmas))); err != nil {
+		return err
+	}
+	for _, s := range sigmas {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(s)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a network serialized by Save and refreshes its spectral
+// state so it is immediately ready for analysis and inference.
+func Load(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("nn: bad model magic %q", magic)
+	}
+	var specLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &specLen); err != nil {
+		return nil, err
+	}
+	if specLen > 1<<24 {
+		return nil, fmt.Errorf("nn: implausible spec length %d", specLen)
+	}
+	specJSON := make([]byte, specLen)
+	if _, err := io.ReadFull(br, specJSON); err != nil {
+		return nil, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		return nil, err
+	}
+	net, err := spec.Build(0)
+	if err != nil {
+		return nil, err
+	}
+	var nParams uint32
+	if err := binary.Read(br, binary.LittleEndian, &nParams); err != nil {
+		return nil, err
+	}
+	params := net.Params()
+	if int(nParams) != len(params) {
+		return nil, fmt.Errorf("nn: parameter count %d != spec's %d", nParams, len(params))
+	}
+	for _, p := range params {
+		var plen uint32
+		if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
+			return nil, err
+		}
+		if int(plen) != len(p.Data) {
+			return nil, fmt.Errorf("nn: parameter %s length %d != expected %d", p.Name, plen, len(p.Data))
+		}
+		for i := range p.Data {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, err
+			}
+			p.Data[i] = math.Float64frombits(bits)
+		}
+	}
+	// Restore the persisted sigma estimates; fall back to recomputation
+	// for any mismatch.
+	var nSigma uint32
+	if err := binary.Read(br, binary.LittleEndian, &nSigma); err == nil {
+		sigmas := make([]float64, nSigma)
+		ok := true
+		for i := range sigmas {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				ok = false
+				break
+			}
+			sigmas[i] = math.Float64frombits(bits)
+		}
+		if ok && net.setSpectralSigmas(sigmas) {
+			return net, nil
+		}
+	}
+	net.RefreshSigmas()
+	return net, nil
+}

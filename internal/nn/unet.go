@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Upsample2D doubles spatial resolution by nearest-neighbour replication
+// (scale fixed at 2, the standard U-Net decoder step). Each input value
+// feeds a 2x2 output block, so the operator's L2 norm is exactly 2.
+type Upsample2D struct {
+	C, H, W int
+	inBatch int
+	name    string
+}
+
+// NewUpsample2D builds an upsampling layer for (c, h, w) inputs.
+func NewUpsample2D(name string, c, h, w int) *Upsample2D {
+	return &Upsample2D{C: c, H: h, W: w, name: name}
+}
+
+// Name implements Layer.
+func (u *Upsample2D) Name() string { return u.name }
+
+// InDim returns the flattened input feature count.
+func (u *Upsample2D) InDim() int { return u.C * u.H * u.W }
+
+// OutDim returns the flattened output feature count.
+func (u *Upsample2D) OutDim() int { return u.C * u.H * u.W * 4 }
+
+// Lipschitz implements Lipschitzer: replicating each value 4x scales the
+// L2 norm by sqrt(4) = 2.
+func (u *Upsample2D) Lipschitz() float64 { return 2 }
+
+// Forward implements Layer.
+func (u *Upsample2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Rows != u.InDim() {
+		panic(fmt.Sprintf("nn: %s input rows %d != %d", u.name, x.Rows, u.InDim()))
+	}
+	batch := x.Cols
+	if train {
+		u.inBatch = batch
+	}
+	oh, ow := 2*u.H, 2*u.W
+	out := tensor.NewMatrix(u.C*oh*ow, batch)
+	for c := 0; c < u.C; c++ {
+		for y := 0; y < u.H; y++ {
+			for xx := 0; xx < u.W; xx++ {
+				src := (c*u.H+y)*u.W + xx
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						dst := (c*oh+2*y+dy)*ow + 2*xx + dx
+						copy(out.Data[dst*batch:(dst+1)*batch], x.Data[src*batch:(src+1)*batch])
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: gradients of the four copies sum.
+func (u *Upsample2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	batch := u.inBatch
+	oh, ow := 2*u.H, 2*u.W
+	out := tensor.NewMatrix(u.InDim(), batch)
+	for c := 0; c < u.C; c++ {
+		for y := 0; y < u.H; y++ {
+			for xx := 0; xx < u.W; xx++ {
+				dst := (c*u.H+y)*u.W + xx
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						src := (c*oh+2*y+dy)*ow + 2*xx + dx
+						for n := 0; n < batch; n++ {
+							out.Data[dst*batch+n] += grad.Data[src*batch+n]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (u *Upsample2D) Params() []*Param { return nil }
+
+// SkipConcat is the U-Net skip connection: y = concat(x, Branch(x))
+// along the channel axis. Both x and the branch output must share the
+// same spatial extent; the branch typically downsamples, processes and
+// upsamples back.
+//
+// Error flow (see core): errors in the two halves combine in quadrature,
+// ||dy||^2 = ||dx||^2 + ||dBranch||^2, giving the Lipschitz rule
+// sqrt(1 + L_branch^2) — the "corresponding error-flow equation" the
+// paper's future-work section asks for U-Net skips.
+type SkipConcat struct {
+	// XC / BC are the channel counts of the identity and branch halves;
+	// H, W their shared spatial extent.
+	XC, BC, H, W int
+	Branch       []Layer
+	name         string
+}
+
+// NewSkipConcat builds a skip-concatenation block.
+func NewSkipConcat(name string, xc, bc, h, w int, branch []Layer) *SkipConcat {
+	return &SkipConcat{XC: xc, BC: bc, H: h, W: w, Branch: branch, name: name}
+}
+
+// Name implements Layer.
+func (s *SkipConcat) Name() string { return s.name }
+
+// InDim returns the flattened input feature count.
+func (s *SkipConcat) InDim() int { return s.XC * s.H * s.W }
+
+// OutDim returns the flattened output feature count.
+func (s *SkipConcat) OutDim() int { return (s.XC + s.BC) * s.H * s.W }
+
+// Forward implements Layer.
+func (s *SkipConcat) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Rows != s.InDim() {
+		panic(fmt.Sprintf("nn: %s input rows %d != %d", s.name, x.Rows, s.InDim()))
+	}
+	b := x
+	for _, l := range s.Branch {
+		b = l.Forward(b, train)
+	}
+	if b.Rows != s.BC*s.H*s.W {
+		panic(fmt.Sprintf("nn: %s branch produced %d rows, want %d", s.name, b.Rows, s.BC*s.H*s.W))
+	}
+	batch := x.Cols
+	out := tensor.NewMatrix(s.OutDim(), batch)
+	copy(out.Data[:x.Rows*batch], x.Data)
+	copy(out.Data[x.Rows*batch:], b.Data)
+	return out
+}
+
+// Backward implements Layer.
+func (s *SkipConcat) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	batch := grad.Cols
+	xRows := s.InDim()
+	gx := tensor.NewMatrixFrom(xRows, batch, append([]float64(nil), grad.Data[:xRows*batch]...))
+	gb := tensor.NewMatrixFrom(s.BC*s.H*s.W, batch, append([]float64(nil), grad.Data[xRows*batch:]...))
+	for i := len(s.Branch) - 1; i >= 0; i-- {
+		gb = s.Branch[i].Backward(gb)
+	}
+	return gx.Add(gb)
+}
+
+// Params implements Layer.
+func (s *SkipConcat) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Branch {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// AddRegGrad implements Regularized by delegating to branch members.
+func (s *SkipConcat) AddRegGrad(lambda float64) float64 {
+	var sum float64
+	for _, l := range s.Branch {
+		if reg, ok := l.(Regularized); ok {
+			sum += reg.AddRegGrad(lambda)
+		}
+	}
+	return sum
+}
+
+// UNetSpec builds a compact U-Net for (inC, h, w) inputs and outC output
+// channels at full resolution: an encoder conv, a skip-concatenated
+// inner path (avgpool down, two convs, upsample back), and decoder convs
+// fusing the concatenation — the architecture family the paper's future
+// work targets. h and w must be even.
+func UNetSpec(name string, inC, h, w, outC, base int, act string, psn bool) *Spec {
+	if h%2 != 0 || w%2 != 0 {
+		panic("nn: UNetSpec needs even spatial dims")
+	}
+	inner := []LayerSpec{
+		{Type: "avgpool", Name: name + ".down", C: base, H: h, W: w, K: 2},
+		{Type: "conv", Name: name + ".mid1", C: base, H: h / 2, W: w / 2,
+			OutC: 2 * base, K: 3, Stride: 1, Pad: 1, PSN: psn},
+		{Type: "act", Act: act},
+		{Type: "conv", Name: name + ".mid2", C: 2 * base, H: h / 2, W: w / 2,
+			OutC: base, K: 3, Stride: 1, Pad: 1, PSN: psn},
+		{Type: "act", Act: act},
+		{Type: "upsample", Name: name + ".up", C: base, H: h / 2, W: w / 2},
+	}
+	return &Spec{Name: name, InputDim: inC * h * w, Layers: []LayerSpec{
+		{Type: "conv", Name: name + ".enc", C: inC, H: h, W: w,
+			OutC: base, K: 3, Stride: 1, Pad: 1, PSN: psn},
+		{Type: "act", Act: act},
+		{Type: "skipconcat", Name: name + ".skip", C: base, OutC: base, H: h, W: w, Branch: inner},
+		{Type: "conv", Name: name + ".dec", C: 2 * base, H: h, W: w,
+			OutC: outC, K: 3, Stride: 1, Pad: 1, PSN: psn},
+	}}
+}
+
+// lipProduct conservatively bounds a layer stack's Lipschitz constant
+// for SkipConcat's own Lipschitzer implementation (used only as a cheap
+// diagnostic; the error-flow analysis computes the exact rule itself).
+func lipProduct(ls []Layer) float64 {
+	p := 1.0
+	for _, l := range ls {
+		switch t := l.(type) {
+		case Spectral:
+			p *= t.LinearOp().Sigma
+		case Lipschitzer:
+			p *= t.Lipschitz()
+		case *Residual, *SkipConcat:
+			// Nested composites: fall back to a loose recursive bound.
+			switch tt := t.(type) {
+			case *Residual:
+				b := lipProduct(tt.Branch)
+				s := 1.0
+				if len(tt.Shortcut) > 0 {
+					s = lipProduct(tt.Shortcut)
+				}
+				p *= b + s
+			case *SkipConcat:
+				b := lipProduct(tt.Branch)
+				p *= math.Sqrt(1 + b*b)
+			}
+		}
+	}
+	return p
+}
+
+// BranchLipschitz reports a conservative bound on the branch's Lipschitz
+// constant (diagnostic; the analysis in internal/core is authoritative).
+func (s *SkipConcat) BranchLipschitz() float64 { return lipProduct(s.Branch) }

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func TestUpsampleForward(t *testing.T) {
+	u := NewUpsample2D("up", 1, 2, 2)
+	x := tensor.NewMatrixFrom(4, 1, []float64{1, 2, 3, 4})
+	out := u.Forward(x, false)
+	want := []float64{
+		1, 1, 2, 2,
+		1, 1, 2, 2,
+		3, 3, 4, 4,
+		3, 3, 4, 4,
+	}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("upsample out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestUpsampleLipschitzExact(t *testing.T) {
+	// Replication by 4 scales the L2 norm by exactly 2 for every input.
+	rng := rand.New(rand.NewSource(1))
+	u := NewUpsample2D("up", 3, 4, 4)
+	for trial := 0; trial < 50; trial++ {
+		x := randBatch(rng, 48, 1)
+		out := u.Forward(x, false)
+		rin := tensor.Vector(x.Data).Norm2()
+		rout := tensor.Vector(out.Data).Norm2()
+		if math.Abs(rout-2*rin) > 1e-12*rout {
+			t.Fatalf("upsample norm ratio %v, want 2", rout/rin)
+		}
+	}
+	if u.Lipschitz() != 2 {
+		t.Fatal("Lipschitz() should be 2")
+	}
+}
+
+func TestUpsampleGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := &Spec{Name: "g", InputDim: 2 * 2 * 2, Layers: []LayerSpec{
+		{Type: "dense", Name: "d", In: 8, Out: 8},
+		{Type: "upsample", Name: "up", C: 2, H: 2, W: 2},
+	}}
+	net, err := spec.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrads(t, net, randBatch(rng, 8, 3), randBatch(rng, 32, 3), 1e-5)
+}
+
+func TestSkipConcatForwardShapes(t *testing.T) {
+	spec := UNetSpec("u", 2, 8, 8, 3, 4, ActReLU, false)
+	net, err := spec.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randBatch(rand.New(rand.NewSource(3)), 2*8*8, 2)
+	out := net.Forward(x, false)
+	if out.Rows != 3*8*8 || out.Cols != 2 {
+		t.Fatalf("unet output %dx%d, want %dx2", out.Rows, out.Cols, 3*8*8)
+	}
+}
+
+func TestSkipConcatGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	spec := &Spec{Name: "g", InputDim: 2 * 4 * 4, Layers: []LayerSpec{
+		{Type: "skipconcat", Name: "sc", C: 2, OutC: 2, H: 4, W: 4, Branch: []LayerSpec{
+			{Type: "conv", Name: "b1", C: 2, H: 4, W: 4, OutC: 2, K: 3, Stride: 1, Pad: 1},
+			{Type: "act", Act: ActTanh},
+		}},
+		{Type: "conv", Name: "out", C: 4, H: 4, W: 4, OutC: 1, K: 1, Stride: 1, Pad: 0},
+	}}
+	net, err := spec.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrads(t, net, randBatch(rng, 32, 3), randBatch(rng, 16, 3), 1e-5)
+}
+
+func TestUNetTrains(t *testing.T) {
+	// Field-to-field regression: learn a smoothing operator.
+	rng := rand.New(rand.NewSource(5))
+	spec := UNetSpec("u", 1, 8, 8, 1, 4, ActTanh, true)
+	net, err := spec.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 32
+	x := tensor.NewMatrix(64, n)
+	y := tensor.NewMatrix(64, n)
+	for c := 0; c < n; c++ {
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				v := math.Sin(float64(i)/2+rng.Float64()*0.1) * math.Cos(float64(j)/2)
+				x.Set(i*8+j, c, v)
+				y.Set(i*8+j, c, 0.5*v)
+			}
+		}
+	}
+	opt := NewAdam(5e-3)
+	var loss float64
+	for epoch := 0; epoch < 800; epoch++ {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		var grad *tensor.Matrix
+		loss, grad = MSELoss(out, y)
+		net.AddRegGrad(1e-4)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	if loss > 2e-3 {
+		t.Fatalf("U-Net did not converge: loss %v", loss)
+	}
+}
+
+func TestSkipConcatMismatchedBranchPanics(t *testing.T) {
+	sc := NewSkipConcat("sc", 2, 3, 4, 4, []Layer{MustActivation(ActIdentity)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("branch channel mismatch should panic")
+		}
+	}()
+	sc.Forward(tensor.NewMatrix(32, 1), false)
+}

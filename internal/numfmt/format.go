@@ -1,0 +1,247 @@
+// Package numfmt emulates the reduced-precision numeric formats the paper
+// quantizes network weights into (Table I): IEEE FP16, bfloat16 (BF16),
+// TensorFloat-32 (TF32) and affine INT8, plus full-precision FP32/FP64.
+//
+// The floating-point conversions are bit-exact round-to-nearest-even
+// implementations, so the "quantized" weights produced here match what a
+// GPU tensor core would load. The package also implements the paper's
+// Table I *average quantization step size* q(W), the quantity that feeds
+// the quantization-error term of Inequality (3).
+package numfmt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format identifies a numeric format usable for post-training weight
+// quantization.
+type Format int
+
+const (
+	// FP32 is IEEE 754 single precision (the unquantized baseline).
+	FP32 Format = iota
+	// TF32 is NVIDIA TensorFloat-32: 8 exponent bits, 10 mantissa bits.
+	TF32
+	// FP16 is IEEE 754 half precision: 5 exponent bits, 10 mantissa bits.
+	FP16
+	// BF16 is bfloat16: 8 exponent bits, 7 mantissa bits.
+	BF16
+	// INT8 is 8-bit uniform affine quantization with max calibration.
+	INT8
+)
+
+// Formats lists every quantization target evaluated in the paper,
+// in decreasing precision order (TF32, FP16, BF16, INT8).
+var Formats = []Format{TF32, FP16, BF16, INT8}
+
+// AllFormats additionally includes the FP32 baseline.
+var AllFormats = []Format{FP32, TF32, FP16, BF16, INT8}
+
+// String returns the conventional lowercase name of the format.
+func (f Format) String() string {
+	switch f {
+	case FP32:
+		return "fp32"
+	case TF32:
+		return "tf32"
+	case FP16:
+		return "fp16"
+	case BF16:
+		return "bf16"
+	case INT8:
+		return "int8"
+	case FP8E4M3:
+		return "fp8e4m3"
+	case FP8E5M2:
+		return "fp8e5m2"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// ParseFormat converts a name produced by String back into a Format.
+func ParseFormat(s string) (Format, error) {
+	for _, f := range AllFormats {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	for _, f := range ExtendedFormats {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("numfmt: unknown format %q", s)
+}
+
+// Bits returns the storage width of the format in bits.
+func (f Format) Bits() int {
+	switch f {
+	case FP32, TF32:
+		// TF32 is stored as 32-bit words on real hardware; only the
+		// compute path drops mantissa bits.
+		return 32
+	case FP16, BF16:
+		return 16
+	case INT8, FP8E4M3, FP8E5M2:
+		return 8
+	}
+	return 0
+}
+
+// MantissaBits returns the number of explicit mantissa (fraction) bits.
+// For INT8 it returns 0 (the notion does not apply).
+func (f Format) MantissaBits() int {
+	switch f {
+	case FP32:
+		return 23
+	case TF32, FP16:
+		return 10
+	case BF16:
+		return 7
+	case FP8E4M3:
+		return 3
+	case FP8E5M2:
+		return 2
+	}
+	return 0
+}
+
+// ExponentBits returns the number of exponent bits (0 for INT8).
+func (f Format) ExponentBits() int {
+	switch f {
+	case FP32, TF32, BF16:
+		return 8
+	case FP16:
+		return 5
+	case FP8E4M3:
+		return 4
+	case FP8E5M2:
+		return 5
+	}
+	return 0
+}
+
+// MinExponent returns the smallest normal base-2 exponent representable by
+// the format. Values below this flush into the subnormal range, which is
+// why Table I clamps the FP16 step-size exponent at -14.
+func (f Format) MinExponent() int {
+	switch f {
+	case FP32, TF32, BF16:
+		return -126
+	case FP16, FP8E5M2:
+		return -14
+	case FP8E4M3:
+		return -6
+	}
+	return 0
+}
+
+// Round quantizes a single float64 value to the format using
+// round-to-nearest-even, returning the dequantized float64. INT8 cannot be
+// rounded valuewise (it needs per-tensor calibration); use Quantizer.
+func (f Format) Round(x float64) float64 {
+	switch f {
+	case FP32:
+		return float64(float32(x))
+	case TF32:
+		return roundMantissa32(float32(x), 13)
+	case FP16:
+		return fp16Round(x)
+	case BF16:
+		return roundMantissa32(float32(x), 16)
+	case FP8E4M3, FP8E5M2:
+		return fp8Round(f, x)
+	case INT8:
+		panic("numfmt: INT8 requires tensor calibration; use NewQuantizer")
+	}
+	panic("numfmt: unknown format")
+}
+
+// roundMantissa32 rounds a float32 to nearest-even after dropping `drop`
+// low mantissa bits (drop=13 yields TF32's 10-bit mantissa, drop=16 yields
+// BF16's 7). NaN and infinity pass through unchanged; subnormals round
+// correctly because exponent-0 values still carry their significand in the
+// low bits.
+func roundMantissa32(x float32, drop int) float64 {
+	bits := math.Float32bits(x)
+	if bits&0x7F800000 == 0x7F800000 { // Inf or NaN: keep payload.
+		return float64(x)
+	}
+	half := uint32(1) << (drop - 1)
+	lsb := (bits >> drop) & 1
+	bits += half - 1 + lsb
+	bits &^= (uint32(1) << drop) - 1
+	return float64(math.Float32frombits(bits))
+}
+
+// fp16Round converts x to IEEE half precision (round-to-nearest-even,
+// with subnormal handling and overflow to infinity) and back to float64.
+func fp16Round(x float64) float64 { return FP16BitsToFloat(FloatToFP16Bits(x)) }
+
+// FloatToFP16Bits converts a float64 to IEEE 754 binary16 bits with
+// round-to-nearest-even.
+func FloatToFP16Bits(x float64) uint16 {
+	// Convert through float32 first; double rounding is harmless here
+	// because binary32 keeps 13 extra mantissa bits beyond binary16.
+	f := float32(x)
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xFF) - 127
+	man := bits & 0x7FFFFF
+
+	switch {
+	case exp == 128: // Inf / NaN
+		if man != 0 {
+			return sign | 0x7E00 // quiet NaN
+		}
+		return sign | 0x7C00
+	case exp > 15: // overflow to infinity
+		return sign | 0x7C00
+	case exp >= -14: // normal range
+		// 10-bit mantissa: round the 23-bit mantissa to 10 bits.
+		m := man
+		half := uint32(1) << 12
+		lsb := (m >> 13) & 1
+		m += half - 1 + lsb
+		if m&0x800000 != 0 { // mantissa carry bumps the exponent
+			m = 0
+			exp++
+			if exp > 15 {
+				return sign | 0x7C00
+			}
+		}
+		return sign | uint16(exp+15)<<10 | uint16(m>>13)
+	case exp >= -25: // subnormal range
+		// Shift in the implicit leading 1 and round.
+		m := man | 0x800000
+		shift := uint32(-exp - 14 + 13)
+		half := uint32(1) << (shift - 1)
+		lsb := (m >> shift) & 1
+		m += half - 1 + lsb
+		return sign | uint16(m>>shift)
+	default: // underflow to zero
+		return sign
+	}
+}
+
+// FP16BitsToFloat converts IEEE 754 binary16 bits to float64.
+func FP16BitsToFloat(h uint16) float64 {
+	sign := float64(1)
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h>>10) & 0x1F
+	man := int(h) & 0x3FF
+	switch exp {
+	case 0: // zero / subnormal
+		return sign * float64(man) * 0x1p-24
+	case 31: // Inf / NaN
+		if man != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	default:
+		return sign * (1 + float64(man)*0x1p-10) * math.Pow(2, float64(exp-15))
+	}
+}

@@ -1,0 +1,236 @@
+package numfmt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatString(t *testing.T) {
+	want := map[Format]string{FP32: "fp32", TF32: "tf32", FP16: "fp16", BF16: "bf16", INT8: "int8"}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), s)
+		}
+		got, err := ParseFormat(s)
+		if err != nil || got != f {
+			t.Errorf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("fp8"); err == nil {
+		t.Error("ParseFormat should reject unknown formats")
+	}
+}
+
+func TestFormatMetadata(t *testing.T) {
+	if FP16.MantissaBits() != 10 || TF32.MantissaBits() != 10 || BF16.MantissaBits() != 7 {
+		t.Fatal("mantissa bits wrong")
+	}
+	if FP16.ExponentBits() != 5 || BF16.ExponentBits() != 8 || TF32.ExponentBits() != 8 {
+		t.Fatal("exponent bits wrong")
+	}
+	if FP16.Bits() != 16 || BF16.Bits() != 16 || INT8.Bits() != 8 || TF32.Bits() != 32 {
+		t.Fatal("storage bits wrong")
+	}
+	if FP16.MinExponent() != -14 {
+		t.Fatal("FP16 min exponent should be -14 (Table I clamp)")
+	}
+}
+
+func TestFP16KnownValues(t *testing.T) {
+	cases := []struct {
+		in   float64
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-2, 0xC000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},                 // max finite half
+		{65520, 0x7C00},                 // rounds to +Inf
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+		{6.103515625e-05, 0x0400},       // smallest normal
+		{0.333251953125, 0x3555},        // nearest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FloatToFP16Bits(c.in); got != c.bits {
+			t.Errorf("FloatToFP16Bits(%v) = %#04x, want %#04x", c.in, got, c.bits)
+		}
+	}
+	if FP16BitsToFloat(0x3C00) != 1 || FP16BitsToFloat(0xC000) != -2 {
+		t.Fatal("FP16BitsToFloat known values wrong")
+	}
+	if !math.IsInf(FP16BitsToFloat(0x7C00), 1) {
+		t.Fatal("0x7C00 should decode to +Inf")
+	}
+	if !math.IsNaN(FP16BitsToFloat(0x7C01)) {
+		t.Fatal("0x7C01 should decode to NaN")
+	}
+}
+
+func TestFP16RoundTripExact(t *testing.T) {
+	// Every finite half value must round-trip bit-exactly.
+	for b := uint32(0); b < 0x10000; b++ {
+		h := uint16(b)
+		if h&0x7C00 == 0x7C00 { // skip Inf/NaN
+			continue
+		}
+		x := FP16BitsToFloat(h)
+		got := FloatToFP16Bits(x)
+		// -0 and +0 both acceptable for zero.
+		if got != h && !(x == 0 && got&0x7FFF == 0 && h&0x7FFF == 0) {
+			t.Fatalf("half %#04x -> %v -> %#04x", h, x, got)
+		}
+	}
+}
+
+func TestFP16RoundNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly between 1 and 1+2^-10: must round to even (1).
+	if got := FP16.Round(1 + 0x1p-11); got != 1 {
+		t.Fatalf("midpoint rounds to %v, want 1 (even)", got)
+	}
+	// 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: rounds to even 1+2^-9.
+	if got := FP16.Round(1 + 3*0x1p-11); got != 1+0x1p-9 {
+		t.Fatalf("midpoint rounds to %v, want %v", got, 1+0x1p-9)
+	}
+}
+
+func TestBF16TF32Rounding(t *testing.T) {
+	// BF16 keeps 7 mantissa bits: 1 + 2^-7 is representable, 1 + 2^-8 is not.
+	if got := BF16.Round(1 + 0x1p-7); got != 1+0x1p-7 {
+		t.Fatalf("BF16(1+2^-7) = %v", got)
+	}
+	if got := BF16.Round(1 + 0x1p-9); got != 1 {
+		t.Fatalf("BF16(1+2^-9) = %v, want 1", got)
+	}
+	// TF32 keeps 10 mantissa bits.
+	if got := TF32.Round(1 + 0x1p-10); got != 1+0x1p-10 {
+		t.Fatalf("TF32(1+2^-10) = %v", got)
+	}
+	if got := TF32.Round(1 + 0x1p-12); got != 1 {
+		t.Fatalf("TF32(1+2^-12) = %v, want 1", got)
+	}
+	// Exact powers of two are preserved by every float format.
+	for _, f := range []Format{TF32, FP16, BF16} {
+		for _, x := range []float64{0.25, 1, 2, 1024} {
+			if f.Round(x) != x {
+				t.Errorf("%v.Round(%v) = %v", f, x, f.Round(x))
+			}
+			if f.Round(-x) != -x {
+				t.Errorf("%v.Round(%v) = %v", f, -x, f.Round(-x))
+			}
+		}
+	}
+}
+
+func TestRoundIdempotentProperty(t *testing.T) {
+	// Rounding twice equals rounding once, for every float format.
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		for _, fm := range []Format{FP32, TF32, FP16, BF16} {
+			once := fm.Round(x)
+			if math.IsInf(once, 0) { // FP16 overflow is fine
+				continue
+			}
+			if fm.Round(once) != once {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundErrorWithinHalfULPProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5000; trial++ {
+		x := rng.NormFloat64() * math.Exp2(float64(rng.Intn(20)-10))
+		for _, f := range []Format{TF32, FP16, BF16} {
+			y := f.Round(x)
+			if math.IsInf(y, 0) {
+				continue
+			}
+			e := math.Floor(math.Log2(math.Abs(x)))
+			if e < float64(f.MinExponent()) {
+				e = float64(f.MinExponent())
+			}
+			ulp := math.Exp2(e - float64(f.MantissaBits()))
+			if math.Abs(y-x) > ulp/2*(1+1e-12) {
+				t.Fatalf("%v.Round(%v) error %v exceeds ulp/2=%v", f, x, math.Abs(y-x), ulp/2)
+			}
+		}
+	}
+}
+
+func TestMantissaOrderingProperty(t *testing.T) {
+	// More mantissa bits => no larger rounding error. This is the paper's
+	// core observation about why FP16 beats BF16 at equal bit width.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		x := rng.NormFloat64()
+		eTF := math.Abs(TF32.Round(x) - x)
+		eBF := math.Abs(BF16.Round(x) - x)
+		if eTF > eBF*(1+1e-12) {
+			t.Fatalf("TF32 error %v > BF16 error %v at x=%v", eTF, eBF, x)
+		}
+	}
+}
+
+func TestINT8Quantizer(t *testing.T) {
+	w := []float64{-1, -0.5, 0, 0.5, 1}
+	q := NewQuantizer(w)
+	if q.Scale != 2.0/255 {
+		t.Fatalf("Scale = %v", q.Scale)
+	}
+	for _, x := range w {
+		y := q.Dequantize(q.Quantize(x))
+		if math.Abs(y-x) > q.Scale/2+1e-15 {
+			t.Fatalf("INT8 roundtrip error %v > step/2", math.Abs(y-x))
+		}
+	}
+	// Range endpoints map to the code range ends.
+	if q.Quantize(-1) != 0 || q.Quantize(1) != 255 {
+		t.Fatalf("endpoint codes = %d, %d", q.Quantize(-1), q.Quantize(1))
+	}
+	// Out-of-range values clamp.
+	if q.Quantize(99) != 255 || q.Quantize(-99) != 0 {
+		t.Fatal("clamping failed")
+	}
+}
+
+func TestINT8ConstantTensor(t *testing.T) {
+	q := NewQuantizer([]float64{3, 3, 3})
+	if q.Dequantize(q.Quantize(3)) != 3 {
+		t.Fatal("constant tensor should dequantize exactly")
+	}
+}
+
+func TestRoundSlice(t *testing.T) {
+	w := []float64{0.1, -0.7, 1.3}
+	for _, f := range []Format{FP32, TF32, FP16, BF16, INT8} {
+		out := RoundSlice(f, w)
+		if len(out) != len(w) {
+			t.Fatalf("%v: RoundSlice length %d", f, len(out))
+		}
+		me := MaxError(f, w)
+		for i := range w {
+			if math.Abs(out[i]-w[i]) > me*(1+1e-9) {
+				t.Fatalf("%v: error %v at %d exceeds MaxError %v", f, math.Abs(out[i]-w[i]), i, me)
+			}
+		}
+	}
+}
+
+func TestINT8PanicOnRound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("INT8.Round should panic")
+		}
+	}()
+	INT8.Round(1)
+}

@@ -1,0 +1,69 @@
+package numfmt
+
+import "math"
+
+// FP8 support: the paper's conclusion conjectures that "lower-precision
+// formats with increased mantissa bits" would further improve scientific
+// inference. The two industry FP8 variants test that conjecture at equal
+// bit width: E4M3 (3 mantissa bits, narrow range) versus E5M2 (2 mantissa
+// bits, wide range) — and both against INT8's max-calibrated uniform grid.
+const (
+	// FP8E4M3 is the 4-exponent/3-mantissa FP8 variant (bias 7,
+	// max finite 448, saturating conversion as on modern accelerators).
+	FP8E4M3 Format = iota + 100
+	// FP8E5M2 is the 5-exponent/2-mantissa variant (bias 15, max 57344).
+	FP8E5M2
+)
+
+// ExtendedFormats lists the beyond-the-paper quantization targets.
+var ExtendedFormats = []Format{FP8E4M3, FP8E5M2}
+
+// fp8Params returns (mantissa bits, min normal exponent, max finite).
+func fp8Params(f Format) (int, int, float64) {
+	switch f {
+	case FP8E4M3:
+		return 3, -6, 448
+	case FP8E5M2:
+		return 2, -14, 57344
+	}
+	panic("numfmt: not an FP8 format")
+}
+
+// minifloatRound rounds x to a minifloat grid with the given mantissa
+// width and minimum normal exponent, saturating at maxFinite (the FP8
+// convention on current accelerators: no infinities on overflow).
+func minifloatRound(x float64, mantBits, minExp int, maxFinite float64) float64 {
+	if x == 0 || math.IsNaN(x) {
+		return x
+	}
+	sign := 1.0
+	a := x
+	if a < 0 {
+		sign, a = -1, -a
+	}
+	if math.IsInf(a, 0) || a >= maxFinite {
+		return sign * maxFinite
+	}
+	e := math.Floor(math.Log2(a))
+	if e < float64(minExp) {
+		e = float64(minExp) // subnormal range: fixed absolute step
+	}
+	step := math.Exp2(e - float64(mantBits))
+	y := math.RoundToEven(a/step) * step
+	if y > maxFinite {
+		y = maxFinite
+	}
+	return sign * y
+}
+
+// fp8Round rounds to the FP8 grid.
+func fp8Round(f Format, x float64) float64 {
+	m, e, mx := fp8Params(f)
+	return minifloatRound(x, m, e, mx)
+}
+
+// fp8StepSize is the Table I style RMS average step size for FP8.
+func fp8StepSize(f Format, w []float64) float64 {
+	m, minExp, _ := fp8Params(f)
+	return rmsULP(w, m, minExp)
+}

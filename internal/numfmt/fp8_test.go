@@ -1,0 +1,152 @@
+package numfmt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFP8KnownValues(t *testing.T) {
+	cases := []struct {
+		f    Format
+		in   float64
+		want float64
+	}{
+		{FP8E4M3, 1, 1},
+		{FP8E4M3, 1.0625, 1}, // between 1 and 1.125: RNE to even (1)
+		{FP8E4M3, 1.2, 1.25}, // grid step 0.125 at exponent 0
+		{FP8E4M3, 448, 448},  // max finite
+		{FP8E4M3, 1000, 448}, // saturates
+		{FP8E4M3, -1000, -448},
+		{FP8E4M3, 0, 0},
+		{FP8E5M2, 1.2, 1.25}, // grid step 0.25 at exponent 0: RNE(4.8)=5 -> 1.25
+		{FP8E5M2, 57344, 57344},
+		{FP8E5M2, 1e6, 57344},
+		{FP8E4M3, 0x1p-9, 0x1p-9},   // smallest E4M3 subnormal
+		{FP8E4M3, 0x1p-10, 0},       // below half the subnormal step
+		{FP8E5M2, 0x1p-16, 0x1p-16}, // smallest E5M2 subnormal
+	}
+	for _, c := range cases {
+		if got := c.f.Round(c.in); got != c.want {
+			t.Errorf("%v.Round(%v) = %v, want %v", c.f, c.in, got, c.want)
+		}
+	}
+}
+
+func TestFP8Metadata(t *testing.T) {
+	if FP8E4M3.Bits() != 8 || FP8E5M2.Bits() != 8 {
+		t.Fatal("fp8 storage bits")
+	}
+	if FP8E4M3.MantissaBits() != 3 || FP8E5M2.MantissaBits() != 2 {
+		t.Fatal("fp8 mantissa bits")
+	}
+	if FP8E4M3.MinExponent() != -6 || FP8E5M2.MinExponent() != -14 {
+		t.Fatal("fp8 min exponents")
+	}
+	for _, f := range ExtendedFormats {
+		got, err := ParseFormat(f.String())
+		if err != nil || got != f {
+			t.Fatalf("ParseFormat(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+}
+
+func TestFP8RoundIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		x := rng.NormFloat64() * math.Exp2(float64(rng.Intn(16)-8))
+		for _, f := range ExtendedFormats {
+			once := f.Round(x)
+			if f.Round(once) != once {
+				t.Fatalf("%v.Round not idempotent at %v", f, x)
+			}
+		}
+	}
+}
+
+func TestFP8ErrorWithinHalfULP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3000; trial++ {
+		x := rng.NormFloat64()
+		for _, f := range ExtendedFormats {
+			m, minExp, mx := fp8Params(f)
+			if math.Abs(x) >= mx {
+				continue // saturation region
+			}
+			e := math.Floor(math.Log2(math.Abs(x)))
+			if e < float64(minExp) {
+				e = float64(minExp)
+			}
+			ulp := math.Exp2(e - float64(m))
+			if d := math.Abs(f.Round(x) - x); d > ulp/2*(1+1e-12) {
+				t.Fatalf("%v.Round(%v) error %v exceeds ulp/2 %v", f, x, d, ulp/2)
+			}
+		}
+	}
+}
+
+func TestE4M3BeatsE5M2OnUnitScaleWeights(t *testing.T) {
+	// The paper's conjecture at 8 bits: more mantissa bits win when the
+	// dynamic range is small (inference weights near unit scale).
+	rng := rand.New(rand.NewSource(3))
+	var e43, e52 float64
+	for trial := 0; trial < 5000; trial++ {
+		x := rng.NormFloat64() * 0.5
+		e43 += math.Abs(FP8E4M3.Round(x) - x)
+		e52 += math.Abs(FP8E5M2.Round(x) - x)
+	}
+	if e43 >= e52 {
+		t.Fatalf("E4M3 mean error %v should beat E5M2's %v on unit-scale weights", e43, e52)
+	}
+}
+
+func TestFP8StepSizeOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := make([]float64, 512)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.3
+	}
+	e43 := StepSize(FP8E4M3, w)
+	e52 := StepSize(FP8E5M2, w)
+	bf16 := StepSize(BF16, w)
+	if e43 >= e52 {
+		t.Fatalf("E4M3 step %v should be below E5M2's %v", e43, e52)
+	}
+	if bf16 >= e43 {
+		t.Fatalf("BF16 step %v should be below E4M3's %v (more mantissa bits)", bf16, e43)
+	}
+	// E4M3 step is ~2^4 x BF16 (7-3 mantissa bits); slightly above when a
+	// few weights fall under E4M3's clamped minimum exponent -6.
+	if ratio := e43 / bf16; ratio < 16 || ratio > 16.2 {
+		t.Fatalf("E4M3/BF16 step ratio %v, want ~16", ratio)
+	}
+}
+
+func TestFP8RoundSliceAndMaxError(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := make([]float64, 256)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.4
+	}
+	for _, f := range ExtendedFormats {
+		out := RoundSlice(f, w)
+		me := MaxError(f, w)
+		for i := range w {
+			if math.Abs(out[i]-w[i]) > me*(1+1e-9) {
+				t.Fatalf("%v: rounding error exceeds MaxError", f)
+			}
+		}
+	}
+}
+
+func TestFP8NaNAndInf(t *testing.T) {
+	if !math.IsNaN(FP8E4M3.Round(math.NaN())) {
+		t.Fatal("NaN should pass through")
+	}
+	if FP8E4M3.Round(math.Inf(1)) != 448 {
+		t.Fatal("+Inf should saturate to max finite")
+	}
+	if FP8E5M2.Round(math.Inf(-1)) != -57344 {
+		t.Fatal("-Inf should saturate to -max finite")
+	}
+}

@@ -1,0 +1,152 @@
+package numfmt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Granularity selects how INT8 affine quantization groups weights when
+// assigning shared scale factors. The paper's future-work section calls
+// out block-wise, column-wise and row-wise schemes as the path to
+// "tighter quantization and reduced accuracy loss" versus uniform
+// per-tensor calibration; this implements all three.
+type Granularity int
+
+const (
+	// PerTensor is the paper's baseline: one scale for the whole tensor.
+	PerTensor Granularity = iota
+	// PerRow calibrates one scale per output row (out-channel).
+	PerRow
+	// PerColumn calibrates one scale per input column.
+	PerColumn
+	// PerBlock calibrates one scale per contiguous BlockSize-length run
+	// of the row-major weight layout.
+	PerBlock
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case PerTensor:
+		return "per-tensor"
+	case PerRow:
+		return "per-row"
+	case PerColumn:
+		return "per-column"
+	case PerBlock:
+		return "per-block"
+	}
+	return fmt.Sprintf("Granularity(%d)", int(g))
+}
+
+// Granularities lists all supported schemes.
+var Granularities = []Granularity{PerTensor, PerRow, PerColumn, PerBlock}
+
+// GroupedINT8 quantizes a rows x cols weight matrix (row-major flat) to
+// INT8 with per-group affine scales and returns the dequantized weights
+// together with the effective *average step size* in Table I's RMS
+// sense: q_rms = sqrt(mean_ij q(group(i,j))^2). The RMS step is the
+// quantity to feed the error-flow analysis — the additive quantization
+// term's variance sums per-entry step variances, so grouped scales drop
+// straight into the same formulas.
+//
+// blockSize is only used by PerBlock (must be positive).
+func GroupedINT8(w []float64, rows, cols int, g Granularity, blockSize int) ([]float64, float64, error) {
+	if len(w) != rows*cols {
+		return nil, 0, fmt.Errorf("numfmt: grouped weights length %d != %dx%d", len(w), rows, cols)
+	}
+	if len(w) == 0 {
+		return nil, 0, nil
+	}
+	out := make([]float64, len(w))
+	var sumSq float64
+
+	quantGroup := func(idxs []int) {
+		lo, hi := w[idxs[0]], w[idxs[0]]
+		for _, i := range idxs {
+			if w[i] < lo {
+				lo = w[i]
+			}
+			if w[i] > hi {
+				hi = w[i]
+			}
+		}
+		q := Quantizer{Scale: (hi - lo) / 255, Zero: lo}
+		for _, i := range idxs {
+			out[i] = q.Dequantize(q.Quantize(w[i]))
+		}
+		// Table I uses 2^-8*(max-min); keep that convention per group.
+		step := (hi - lo) / 256
+		sumSq += step * step * float64(len(idxs))
+	}
+
+	switch g {
+	case PerTensor:
+		idxs := make([]int, len(w))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		quantGroup(idxs)
+	case PerRow:
+		for r := 0; r < rows; r++ {
+			idxs := make([]int, cols)
+			for c := 0; c < cols; c++ {
+				idxs[c] = r*cols + c
+			}
+			quantGroup(idxs)
+		}
+	case PerColumn:
+		for c := 0; c < cols; c++ {
+			idxs := make([]int, rows)
+			for r := 0; r < rows; r++ {
+				idxs[r] = r*cols + c
+			}
+			quantGroup(idxs)
+		}
+	case PerBlock:
+		if blockSize <= 0 {
+			return nil, 0, fmt.Errorf("numfmt: PerBlock needs a positive block size")
+		}
+		for lo := 0; lo < len(w); lo += blockSize {
+			hi := lo + blockSize
+			if hi > len(w) {
+				hi = len(w)
+			}
+			idxs := make([]int, hi-lo)
+			for i := range idxs {
+				idxs[i] = lo + i
+			}
+			quantGroup(idxs)
+		}
+	default:
+		return nil, 0, fmt.Errorf("numfmt: unknown granularity %v", g)
+	}
+	return out, math.Sqrt(sumSq / float64(len(w))), nil
+}
+
+// GroupedStepSize returns the RMS average step size a grouped INT8
+// quantization of w would use, without materialising the rounded copy.
+func GroupedStepSize(w []float64, rows, cols int, g Granularity, blockSize int) (float64, error) {
+	_, q, err := GroupedINT8(w, rows, cols, g, blockSize)
+	return q, err
+}
+
+// ScaleOverheadBytes returns the extra storage the grouped scheme needs
+// for its scale/zero-point pairs (8 bytes each as float32 pairs).
+func ScaleOverheadBytes(rows, cols int, g Granularity, blockSize int) int {
+	const perGroup = 8
+	switch g {
+	case PerTensor:
+		return perGroup
+	case PerRow:
+		return rows * perGroup
+	case PerColumn:
+		return cols * perGroup
+	case PerBlock:
+		if blockSize <= 0 {
+			return 0
+		}
+		return ((rows*cols + blockSize - 1) / blockSize) * perGroup
+	}
+	return 0
+}

@@ -1,0 +1,117 @@
+package numfmt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randWeights(rows, cols int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, rows*cols)
+	for i := range w {
+		// Row-dependent scale so grouping actually matters.
+		w[i] = rng.NormFloat64() * math.Exp2(float64(i/cols%5-2))
+	}
+	return w
+}
+
+func TestGroupedINT8RoundTripBounded(t *testing.T) {
+	w := randWeights(8, 16, 1)
+	for _, g := range Granularities {
+		out, q, err := GroupedINT8(w, 8, 16, g, 32)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if q <= 0 {
+			t.Fatalf("%v: step %v", g, q)
+		}
+		// Per-entry error bounded by that entry's group scale; globally
+		// bounded by the per-tensor scale.
+		_, qt, _ := GroupedINT8(w, 8, 16, PerTensor, 0)
+		for i := range w {
+			if d := math.Abs(out[i] - w[i]); d > qt*256/255/2*(1+1e-9) {
+				t.Fatalf("%v: error %v exceeds global half-step", g, d)
+			}
+		}
+	}
+}
+
+func TestGroupedTighterThanPerTensor(t *testing.T) {
+	// With row-dependent weight magnitudes, finer granularities must give
+	// strictly smaller RMS steps — the paper's future-work motivation.
+	w := randWeights(16, 32, 2)
+	_, qt, _ := GroupedINT8(w, 16, 32, PerTensor, 0)
+	_, qr, _ := GroupedINT8(w, 16, 32, PerRow, 0)
+	_, qb, _ := GroupedINT8(w, 16, 32, PerBlock, 16)
+	if qr >= qt {
+		t.Fatalf("per-row step %v should beat per-tensor %v", qr, qt)
+	}
+	if qb >= qt {
+		t.Fatalf("per-block step %v should beat per-tensor %v", qb, qt)
+	}
+	if qb >= qr {
+		t.Logf("note: per-block %v vs per-row %v (layout-dependent)", qb, qr)
+	}
+}
+
+func TestGroupedPerTensorMatchesTableI(t *testing.T) {
+	w := randWeights(4, 8, 3)
+	_, q, _ := GroupedINT8(w, 4, 8, PerTensor, 0)
+	if want := StepSize(INT8, w); math.Abs(q-want) > 1e-15 {
+		t.Fatalf("per-tensor grouped step %v != Table I %v", q, want)
+	}
+}
+
+func TestGroupedValidation(t *testing.T) {
+	if _, _, err := GroupedINT8(make([]float64, 5), 2, 3, PerRow, 0); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, _, err := GroupedINT8(make([]float64, 6), 2, 3, PerBlock, 0); err == nil {
+		t.Fatal("PerBlock without size should error")
+	}
+	if _, _, err := GroupedINT8(make([]float64, 6), 2, 3, Granularity(99), 0); err == nil {
+		t.Fatal("unknown granularity should error")
+	}
+	if out, q, err := GroupedINT8(nil, 0, 0, PerTensor, 0); err != nil || out != nil || q != 0 {
+		t.Fatal("empty tensor should be a no-op")
+	}
+}
+
+func TestGroupedDeterministicExactValues(t *testing.T) {
+	// A matrix with two rows at very different scales: per-row must
+	// reconstruct the small row much better than per-tensor.
+	w := []float64{100, -100, 50, 0.01, -0.01, 0.005}
+	pt, _, _ := GroupedINT8(w, 2, 3, PerTensor, 0)
+	pr, _, _ := GroupedINT8(w, 2, 3, PerRow, 0)
+	errPT := math.Abs(pt[3]-w[3]) + math.Abs(pt[4]-w[4])
+	errPR := math.Abs(pr[3]-w[3]) + math.Abs(pr[4]-w[4])
+	if errPR >= errPT/10 {
+		t.Fatalf("per-row small-row error %v should be far below per-tensor %v", errPR, errPT)
+	}
+}
+
+func TestScaleOverheadBytes(t *testing.T) {
+	if ScaleOverheadBytes(10, 20, PerTensor, 0) != 8 {
+		t.Fatal("per-tensor overhead")
+	}
+	if ScaleOverheadBytes(10, 20, PerRow, 0) != 80 {
+		t.Fatal("per-row overhead")
+	}
+	if ScaleOverheadBytes(10, 20, PerColumn, 0) != 160 {
+		t.Fatal("per-column overhead")
+	}
+	if ScaleOverheadBytes(10, 20, PerBlock, 64) != 8*((200+63)/64) {
+		t.Fatal("per-block overhead")
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	names := map[Granularity]string{PerTensor: "per-tensor", PerRow: "per-row",
+		PerColumn: "per-column", PerBlock: "per-block"}
+	for g, want := range names {
+		if g.String() != want {
+			t.Fatalf("%d.String() = %q", g, g.String())
+		}
+	}
+}

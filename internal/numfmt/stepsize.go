@@ -1,0 +1,167 @@
+package numfmt
+
+import (
+	"math"
+)
+
+// StepSize computes the paper's Table I *average quantization step size*
+// q(W) for a weight tensor given as a flat slice.
+//
+// For floating-point formats the per-entry step is the unit in the last
+// place, ulp(w) = 2^-m * 2^floor(log2|w|) with m mantissa bits, and the
+// table's sqrt(2^(2*floor(log2|Wij|))) notation denotes the root-mean-
+// square aggregation over the entries:
+//
+//	q(W) = 2^-m * sqrt( mean_ij 2^(2*floor(log2 |Wij|)) )
+//
+// FP16 clamps the exponent at its minimum normal exponent -14 (below that
+// the format is subnormal and the absolute step freezes at 2^-24).
+//
+// For INT8 with max calibration the step is uniform across the tensor:
+//
+//	q(W) = 2^-8 * (max(Wij) - min(Wij))
+//
+// Zero entries contribute a zero step (they are exactly representable).
+func StepSize(f Format, w []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	switch f {
+	case FP32:
+		return rmsULP(w, 23, -126)
+	case TF32:
+		return rmsULP(w, 10, -126)
+	case FP16:
+		return rmsULP(w, 10, -14)
+	case BF16:
+		return rmsULP(w, 7, -126)
+	case FP8E4M3, FP8E5M2:
+		return fp8StepSize(f, w)
+	case INT8:
+		min, max := w[0], w[0]
+		for _, x := range w[1:] {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return (max - min) / 256
+	}
+	panic("numfmt: unknown format")
+}
+
+// rmsULP returns 2^-mantissa * sqrt(mean(2^(2*clamped floor(log2|w|)))).
+func rmsULP(w []float64, mantissa, minExp int) float64 {
+	var sum float64
+	for _, x := range w {
+		if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		e := math.Floor(math.Log2(math.Abs(x)))
+		if e < float64(minExp) {
+			e = float64(minExp)
+		}
+		s := math.Exp2(e)
+		sum += s * s
+	}
+	return math.Exp2(-float64(mantissa)) * math.Sqrt(sum/float64(len(w)))
+}
+
+// MaxError returns the worst-case absolute rounding error for the format
+// on the tensor w: half the largest per-entry step for round-to-nearest
+// float formats, and half the affine step for INT8.
+func MaxError(f Format, w []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	switch f {
+	case INT8:
+		// The actual affine quantizer spreads the range over 255 code
+		// steps (256 codes), slightly wider than Table I's 2^-8 average.
+		return NewQuantizer(w).Scale / 2
+	default:
+		var worst float64
+		m := float64(f.MantissaBits())
+		minExp := float64(f.MinExponent())
+		for _, x := range w {
+			if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			e := math.Floor(math.Log2(math.Abs(x)))
+			if e < minExp {
+				e = minExp
+			}
+			step := math.Exp2(e - m)
+			if step/2 > worst {
+				worst = step / 2
+			}
+		}
+		return worst
+	}
+}
+
+// Quantizer performs affine INT8 quantization with max calibration
+// (uniform affine transformation, as in Wu et al. 2020 cited by the
+// paper): scale = (max-min)/255 over the calibration tensor, zero point
+// chosen so the real value min maps to code 0.
+type Quantizer struct {
+	Scale float64 // real-value width of one code step
+	Zero  float64 // real value represented by code 0
+}
+
+// NewQuantizer calibrates a quantizer on w using max calibration.
+// A constant tensor yields Scale 0; Dequantize then always returns the
+// constant.
+func NewQuantizer(w []float64) Quantizer {
+	if len(w) == 0 {
+		return Quantizer{}
+	}
+	min, max := w[0], w[0]
+	for _, x := range w[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return Quantizer{Scale: (max - min) / 255, Zero: min}
+}
+
+// Quantize maps a real value to its 8-bit code.
+func (q Quantizer) Quantize(x float64) uint8 {
+	if q.Scale == 0 {
+		return 0
+	}
+	c := math.Round((x - q.Zero) / q.Scale)
+	if c < 0 {
+		c = 0
+	}
+	if c > 255 {
+		c = 255
+	}
+	return uint8(c)
+}
+
+// Dequantize maps an 8-bit code back to its real value.
+func (q Quantizer) Dequantize(c uint8) float64 { return q.Zero + float64(c)*q.Scale }
+
+// RoundSlice quantizes every entry of w to the format and returns a new
+// slice of the dequantized values. This is the weight-only post-training
+// quantization step of the paper's pipeline.
+func RoundSlice(f Format, w []float64) []float64 {
+	out := make([]float64, len(w))
+	if f == INT8 {
+		q := NewQuantizer(w)
+		for i, x := range w {
+			out[i] = q.Dequantize(q.Quantize(x))
+		}
+		return out
+	}
+	for i, x := range w {
+		out[i] = f.Round(x)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package numfmt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStepSizePowersOfTwo(t *testing.T) {
+	// For a tensor of values in [1,2), floor(log2|w|) = 0, so the Table I
+	// step size collapses to 2^-mantissa exactly.
+	w := []float64{1, 1.25, 1.5, 1.9}
+	if got := StepSize(TF32, w); got != 0x1p-10 {
+		t.Fatalf("TF32 step = %v, want 2^-10", got)
+	}
+	if got := StepSize(FP16, w); got != 0x1p-10 {
+		t.Fatalf("FP16 step = %v, want 2^-10", got)
+	}
+	if got := StepSize(BF16, w); got != 0x1p-7 {
+		t.Fatalf("BF16 step = %v, want 2^-7", got)
+	}
+}
+
+func TestStepSizeINT8(t *testing.T) {
+	w := []float64{-2, 0, 6}
+	want := 8.0 / 256
+	if got := StepSize(INT8, w); got != want {
+		t.Fatalf("INT8 step = %v, want %v", got, want)
+	}
+}
+
+func TestStepSizeFP16SubnormalClamp(t *testing.T) {
+	// Tiny weights: FP16 freezes its step at 2^(-14-10) = 2^-24, while
+	// BF16/TF32 with their wide exponents keep shrinking relative steps.
+	w := []float64{0x1p-20, 0x1p-21}
+	fp16 := StepSize(FP16, w)
+	want := 0x1p-24
+	if math.Abs(fp16-want) > 1e-12*want {
+		t.Fatalf("FP16 clamped step = %v, want %v", fp16, want)
+	}
+	tf32 := StepSize(TF32, w)
+	if tf32 >= fp16 {
+		t.Fatalf("TF32 step %v should be below clamped FP16 step %v here", tf32, fp16)
+	}
+}
+
+func TestStepSizeTF32EqualsFP16InNormalRange(t *testing.T) {
+	// Same mantissa width => identical step size for normal-range weights
+	// (the paper's Fig. 5/6 observation that TF32 and FP16 bounds coincide).
+	rng := rand.New(rand.NewSource(3))
+	w := make([]float64, 500)
+	for i := range w {
+		w[i] = rng.NormFloat64() // comfortably within FP16 normal range
+	}
+	a, b := StepSize(TF32, w), StepSize(FP16, w)
+	if a != b {
+		t.Fatalf("TF32 step %v != FP16 step %v on normal-range weights", a, b)
+	}
+}
+
+func TestStepSizeBF16Is8xFP16(t *testing.T) {
+	// 3 fewer mantissa bits => exactly 8x the step in the normal range.
+	w := []float64{0.3, -0.9, 0.11, 0.77}
+	if got, want := StepSize(BF16, w), 8*StepSize(FP16, w); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("BF16 step = %v, want %v", got, want)
+	}
+}
+
+func TestStepSizeMonotoneInMantissaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(100)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.NormFloat64() * math.Exp2(float64(rng.Intn(8)-4))
+		}
+		fp32 := StepSize(FP32, w)
+		tf32 := StepSize(TF32, w)
+		bf16 := StepSize(BF16, w)
+		if !(fp32 <= tf32 && tf32 <= bf16) {
+			t.Fatalf("step sizes not monotone in mantissa: fp32=%v tf32=%v bf16=%v", fp32, tf32, bf16)
+		}
+	}
+}
+
+func TestStepSizeEmptyAndZeros(t *testing.T) {
+	if StepSize(FP16, nil) != 0 {
+		t.Fatal("empty tensor should give step 0")
+	}
+	if StepSize(FP16, []float64{0, 0}) != 0 {
+		t.Fatal("all-zero tensor should give step 0")
+	}
+	if StepSize(INT8, []float64{5, 5}) != 0 {
+		t.Fatal("constant tensor INT8 step should be 0")
+	}
+}
+
+func TestStepSizeScaleEquivariance(t *testing.T) {
+	// Scaling weights by a power of two scales the float step sizes by the
+	// same factor (exponents shift uniformly).
+	rng := rand.New(rand.NewSource(13))
+	w := make([]float64, 64)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	w4 := make([]float64, len(w))
+	for i := range w {
+		w4[i] = 4 * w[i]
+	}
+	for _, f := range []Format{TF32, BF16} {
+		a, b := StepSize(f, w), StepSize(f, w4)
+		if math.Abs(b-4*a) > 1e-12*b {
+			t.Fatalf("%v not scale-equivariant: %v vs %v", f, b, 4*a)
+		}
+	}
+}
+
+func TestMaxErrorBoundsRounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	w := make([]float64, 256)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 2
+	}
+	for _, f := range []Format{TF32, FP16, BF16, INT8} {
+		me := MaxError(f, w)
+		out := RoundSlice(f, w)
+		for i := range w {
+			if math.Abs(out[i]-w[i]) > me*(1+1e-9) {
+				t.Fatalf("%v: rounding error %v exceeds MaxError %v", f, math.Abs(out[i]-w[i]), me)
+			}
+		}
+	}
+}
+
+func BenchmarkRoundSliceFP16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := make([]float64, 4096)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RoundSlice(FP16, w)
+	}
+}
+
+func BenchmarkStepSize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := make([]float64, 4096)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StepSize(FP16, w)
+	}
+}

@@ -1,0 +1,150 @@
+// Package quant implements post-training weight-only quantization of
+// internal/nn networks, the model-reduction half of the paper's pipeline.
+// Quantize produces a plain inference copy whose linear-layer weights are
+// the original network's *effective* weights (PSN folded in) rounded to
+// the chosen numeric format with uniform affine max-calibration semantics
+// (Table I). Biases and activations stay in full precision, matching the
+// paper's weight-only scheme.
+package quant
+
+import (
+	"fmt"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// Quantize returns an inference copy of net with every dense/conv weight
+// tensor rounded to format f. The original network is untouched. The
+// network must carry its Spec (built via nn.Spec.Build or nn.Load).
+func Quantize(net *nn.Network, f numfmt.Format) (*nn.Network, error) {
+	if net.Spec == nil {
+		return nil, fmt.Errorf("quant: network has no Spec")
+	}
+	plain := stripPSN(*net.Spec)
+	copyNet, err := plain.Build(0)
+	if err != nil {
+		return nil, fmt.Errorf("quant: rebuilding spec: %w", err)
+	}
+	if err := transferWeights(net.Layers, copyNet.Layers, f); err != nil {
+		return nil, err
+	}
+	copyNet.RefreshSigmas()
+	return copyNet, nil
+}
+
+// stripPSN returns a deep copy of the spec with PSN disabled on every
+// layer: the quantized copy stores final effective weights directly.
+func stripPSN(s nn.Spec) *nn.Spec {
+	out := s
+	out.Layers = stripPSNLayers(s.Layers)
+	return &out
+}
+
+func stripPSNLayers(ls []nn.LayerSpec) []nn.LayerSpec {
+	out := make([]nn.LayerSpec, len(ls))
+	for i, l := range ls {
+		l.PSN = false
+		l.Branch = stripPSNLayers(l.Branch)
+		l.Shortcut = stripPSNLayers(l.Shortcut)
+		out[i] = l
+	}
+	return out
+}
+
+// transferWeights walks src and dst layer trees in lockstep, rounding
+// linear weights into dst and copying everything else verbatim.
+func transferWeights(src, dst []nn.Layer, f numfmt.Format) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("quant: layer count mismatch %d vs %d", len(src), len(dst))
+	}
+	for i := range src {
+		switch s := src[i].(type) {
+		case *nn.Dense:
+			d, ok := dst[i].(*nn.Dense)
+			if !ok {
+				return fmt.Errorf("quant: layer %d type mismatch", i)
+			}
+			eff := s.EffectiveMatrix()
+			copy(d.W.Data, roundWeights(f, eff.Data))
+			copy(d.B.Data, s.B.Data)
+		case *nn.Conv2D:
+			d, ok := dst[i].(*nn.Conv2D)
+			if !ok {
+				return fmt.Errorf("quant: layer %d type mismatch", i)
+			}
+			eff := s.EffectiveKernel()
+			copy(d.Wt.Data, roundWeights(f, eff.Data))
+			copy(d.B.Data, s.B.Data)
+		case *nn.Activation:
+			d, ok := dst[i].(*nn.Activation)
+			if !ok {
+				return fmt.Errorf("quant: layer %d type mismatch", i)
+			}
+			for j, p := range s.Params() {
+				copy(d.Params()[j].Data, p.Data)
+			}
+		case *nn.Residual:
+			d, ok := dst[i].(*nn.Residual)
+			if !ok {
+				return fmt.Errorf("quant: layer %d type mismatch", i)
+			}
+			if err := transferWeights(s.Branch, d.Branch, f); err != nil {
+				return err
+			}
+			if err := transferWeights(s.Shortcut, d.Shortcut, f); err != nil {
+				return err
+			}
+		case *nn.SkipConcat:
+			d, ok := dst[i].(*nn.SkipConcat)
+			if !ok {
+				return fmt.Errorf("quant: layer %d type mismatch", i)
+			}
+			if err := transferWeights(s.Branch, d.Branch, f); err != nil {
+				return err
+			}
+		case *nn.SelfAttention:
+			// Attention weights stay in full precision: the analysis
+			// bounds them as Lipschitz-only (see internal/nn/attention.go).
+			d, ok := dst[i].(*nn.SelfAttention)
+			if !ok {
+				return fmt.Errorf("quant: layer %d type mismatch", i)
+			}
+			for j, p := range s.Params() {
+				copy(d.Params()[j].Data, p.Data)
+			}
+		}
+	}
+	return nil
+}
+
+func roundWeights(f numfmt.Format, w []float64) []float64 {
+	if f == numfmt.FP32 {
+		// FP32 is the unquantized baseline; reproduce its storage
+		// rounding anyway so the copy behaves like a float32 model.
+		return numfmt.RoundSlice(numfmt.FP32, w)
+	}
+	return numfmt.RoundSlice(f, w)
+}
+
+// LayerSteps returns the Table I average quantization step size q_l of
+// every linear layer (forward order) for the given format.
+func LayerSteps(net *nn.Network, f numfmt.Format) []float64 {
+	ops := net.LinearOps()
+	out := make([]float64, len(ops))
+	for i, op := range ops {
+		out[i] = numfmt.StepSize(f, op.Weights)
+	}
+	return out
+}
+
+// WeightError reports the worst absolute weight perturbation introduced
+// by quantizing net to format f, per linear layer.
+func WeightError(net *nn.Network, f numfmt.Format) []float64 {
+	ops := net.LinearOps()
+	out := make([]float64, len(ops))
+	for i, op := range ops {
+		out[i] = numfmt.MaxError(f, op.Weights)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses: geometric means, percentiles, relative errors,
+// and fixed-width text tables matching the series the paper's figures
+// report.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values; zeros and
+// negatives are skipped (they would annihilate the product), and 0 is
+// returned if nothing survives.
+func GeoMean(xs []float64) float64 {
+	var s float64
+	var k int
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			k++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(k))
+}
+
+// MinMax returns the extremes (0, 0 for empty input).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank
+// on a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// RelErr returns |a-b| / max(|b|, floor): the relative error of a against
+// reference b with a tiny floor guarding division by zero.
+func RelErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	ref := math.Abs(b)
+	if ref < 1e-300 {
+		ref = 1e-300
+	}
+	return d / ref
+}
+
+// Table accumulates rows and renders a fixed-width text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; values are formatted with %v, floats compactly
+// in scientific notation when small or large.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case float64:
+		av := math.Abs(v)
+		if v == 0 {
+			return "0"
+		}
+		if av >= 1e5 || av < 1e-3 {
+			return fmt.Sprintf("%.3e", v)
+		}
+		return fmt.Sprintf("%.4g", v)
+	case float32:
+		return formatCell(float64(v))
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }

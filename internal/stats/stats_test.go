@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-12 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if g := GeoMean([]float64{0, 10, 10}); math.Abs(g-10) > 1e-12 {
+		t.Fatalf("geomean with zero = %v", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0}) != 0 {
+		t.Fatal("degenerate geomean")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("percentile extremes wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("median = %v", Percentile(xs, 50))
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7})
+	if min != -1 || max != 7 {
+		t.Fatalf("minmax = %v, %v", min, max)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if math.Abs(RelErr(1.1, 1)-0.1) > 1e-12 {
+		t.Fatalf("RelErr = %v", RelErr(1.1, 1))
+	}
+	if math.IsInf(RelErr(1, 0), 0) || math.IsNaN(RelErr(1, 0)) {
+		t.Fatal("RelErr should guard zero reference")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 1e-9)
+	s := tb.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "1.000e-09") {
+		t.Fatalf("table render wrong:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, sep, 2 rows
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}

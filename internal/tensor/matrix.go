@@ -1,0 +1,251 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix with Rows x Cols entries stored in
+// Data[r*Cols+c].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom wraps data (not copied) as a rows x cols matrix.
+func NewMatrixFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// RandMatrix returns a rows x cols matrix with entries drawn i.i.d. from
+// N(0, std^2) using rng.
+func RandMatrix(rows, cols int, std float64, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// At returns the entry at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Row returns row r as a vector sharing m's backing storage.
+func (m *Matrix) Row(r int) Vector { return Vector(m.Data[r*m.Cols : (r+1)*m.Cols]) }
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		base := r * m.Cols
+		for c := 0; c < m.Cols; c++ {
+			out.Data[c*m.Rows+r] = m.Data[base+c]
+		}
+	}
+	return out
+}
+
+// MulVec computes m * x and returns the result. It panics on shape mismatch.
+func (m *Matrix) MulVec(x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: mulvec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make(Vector, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var s float64
+		for c, w := range row {
+			s += w * x[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// MulVecT computes m^T * x (i.e. x^T m, transposed) without materialising
+// the transpose. It panics on shape mismatch.
+func (m *Matrix) MulVecT(x Vector) Vector {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("tensor: mulvecT shape mismatch %dx%d^T * %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make(Vector, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, w := range row {
+			out[c] += w * xr
+		}
+	}
+	return out
+}
+
+// parallelMulThreshold is the FLOP count above which Mul fans rows out
+// across goroutines; below it the dispatch overhead dominates.
+const parallelMulThreshold = 1 << 20
+
+// Mul computes m * b and returns the product. It panics on shape mismatch.
+// The inner loop is ordered ikj for cache-friendly row-major access; large
+// products parallelize across row blocks.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	mulRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for k, a := range arow {
+				if a == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += a * bv
+				}
+			}
+		}
+	}
+	flops := m.Rows * m.Cols * b.Cols
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelMulThreshold || workers < 2 || m.Rows < 2*workers {
+		mulRows(0, m.Rows)
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (m.Rows + workers - 1) / workers
+	for lo := 0; lo < m.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRows(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Sub returns m - b as a new matrix.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("tensor: sub shape mismatch")
+	}
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Add returns m + b as a new matrix.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("tensor: add shape mismatch")
+	}
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Scale multiplies every entry by a in place and returns m.
+func (m *Matrix) Scale(a float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+	return m
+}
+
+// AddScaled performs m += a*b in place and returns m.
+func (m *Matrix) AddScaled(a float64, b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("tensor: addscaled shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += a * b.Data[i]
+	}
+	return m
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobNorm() float64 { return Vector(m.Data).Norm2() }
+
+// MaxAbs returns the largest absolute entry of m.
+func (m *Matrix) MaxAbs() float64 {
+	v, _ := Vector(m.Data).MaxAbs()
+	return v
+}
+
+// MinMax returns the smallest and largest entries of m.
+func (m *Matrix) MinMax() (min, max float64) {
+	if len(m.Data) == 0 {
+		return 0, 0
+	}
+	min, max = m.Data[0], m.Data[0]
+	for _, x := range m.Data[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// RowNorm2 returns the L2 norm of row r.
+func (m *Matrix) RowNorm2(r int) float64 { return m.Row(r).Norm2() }
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Equal reports whether m and b have the same shape and entries within tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVec(Vector{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestMatrixMulVecT(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVecT(Vector{1, 1})
+	want := Vector{5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{5, 6, 7, 8})
+	c := a.Mul(b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("Mul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatrixMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		r, k, c := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a, b := RandMatrix(r, k, 1, rng), RandMatrix(k, c, 1, rng)
+		got := a.Mul(b)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				var s float64
+				for kk := 0; kk < k; kk++ {
+					s += a.At(i, kk) * b.At(kk, j)
+				}
+				if math.Abs(got.At(i, j)-s) > 1e-12 {
+					t.Fatalf("Mul mismatch at (%d,%d): %v vs %v", i, j, got.At(i, j), s)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T shape = %dx%d", mt.Rows, mt.Cols)
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Fatalf("T values wrong: %v", mt.Data)
+	}
+	if !m.T().T().Equal(m, 0) {
+		t.Fatal("double transpose not identity")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	m := RandMatrix(4, 4, 1, rand.New(rand.NewSource(1)))
+	if !id.Mul(m).Equal(m, 1e-15) || !m.Mul(id).Equal(m, 1e-15) {
+		t.Fatal("identity is not multiplicative identity")
+	}
+}
+
+func TestMatrixMinMax(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{-3, 7, 0, 2})
+	min, max := m.MinMax()
+	if min != -3 || max != 7 {
+		t.Fatalf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewMatrix(2, 2).Mul(NewMatrix(3, 3)) },
+		func() { NewMatrix(2, 2).MulVec(NewVector(3)) },
+		func() { NewMatrix(2, 2).Add(NewMatrix(2, 3)) },
+		func() { NewMatrixFrom(2, 2, []float64{1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected shape panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRowNorm2(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{3, 4, 0, 0})
+	if got := m.RowNorm2(0); !almostEqual(got, 5, 1e-15) {
+		t.Fatalf("RowNorm2 = %v", got)
+	}
+	if got := m.RowNorm2(1); got != 0 {
+		t.Fatalf("RowNorm2 zero row = %v", got)
+	}
+}
+
+func TestMatrixAddScaledClone(t *testing.T) {
+	m := NewMatrixFrom(1, 2, []float64{1, 2})
+	c := m.Clone()
+	m.AddScaled(3, NewMatrixFrom(1, 2, []float64{10, 10}))
+	if m.Data[0] != 31 || c.Data[0] != 1 {
+		t.Fatalf("AddScaled/Clone wrong: %v %v", m.Data, c.Data)
+	}
+}
+
+func TestMatrixMulParallelMatchesSerial(t *testing.T) {
+	// Above the parallel threshold the fan-out path must produce the
+	// exact same result as a hand-rolled serial product.
+	rng := rand.New(rand.NewSource(99))
+	a := RandMatrix(128, 96, 1, rng)
+	b := RandMatrix(96, 160, 1, rng) // 128*96*160 ~ 2M flops > threshold
+	got := a.Mul(b)
+	want := NewMatrix(128, 160)
+	for i := 0; i < 128; i++ {
+		for k := 0; k < 96; k++ {
+			av := a.At(i, k)
+			for j := 0; j < 160; j++ {
+				want.Data[i*160+j] += av * b.At(k, j)
+			}
+		}
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("parallel Mul mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func BenchmarkMatMul256Parallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandMatrix(256, 256, 1, rng)
+	y := RandMatrix(256, 256, 1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}

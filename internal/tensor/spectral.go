@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SpectralNorm estimates the largest singular value of m (the operator L2
+// norm, sigma_W in the paper) via power iteration on m^T m. The paper's
+// error bounds are stated in terms of this quantity (Eq. 2).
+//
+// iters controls the number of power iterations; 100 is ample for the
+// well-conditioned weight matrices produced by spectral-normalized
+// training. The estimate is a lower bound on the true value that converges
+// from below; tests compare against exact SVD on small matrices.
+func SpectralNorm(m *Matrix, iters int) float64 {
+	sigma, _, _ := SpectralNormVectors(m, iters, nil)
+	return sigma
+}
+
+// SpectralNormVectors runs power iteration and additionally returns the
+// approximate left/right singular vectors (u, v). If v0 is non-nil it is
+// used as the starting vector, enabling warm-started iteration during
+// training where weights change slowly between steps.
+func SpectralNormVectors(m *Matrix, iters int, v0 Vector) (sigma float64, u, v Vector) {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0, nil, nil
+	}
+	v = v0
+	if len(v) != m.Cols {
+		// Deterministic start: a fixed-seed random direction avoids
+		// pathological orthogonality to the top singular vector.
+		rng := rand.New(rand.NewSource(1))
+		v = make(Vector, m.Cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+	} else {
+		v = v.Clone()
+	}
+	if v.Normalize() == 0 {
+		v[0] = 1
+	}
+	for k := 0; k < iters; k++ {
+		u = m.MulVec(v)
+		if u.Normalize() == 0 {
+			return 0, u, v
+		}
+		v = m.MulVecT(u)
+		sigma = v.Normalize()
+		if sigma == 0 {
+			return 0, u, v
+		}
+	}
+	return sigma, u, v
+}
+
+// SingularValues computes all singular values of m in descending order
+// using one-sided Jacobi iteration on the smaller Gram dimension. Intended
+// for the small matrices found in tests and for exact verification of the
+// power-iteration estimate; O(min(r,c)^2 * max(r,c)) per sweep.
+func SingularValues(m *Matrix) []float64 {
+	// Work on A with Rows >= Cols so the Gram matrix is Cols x Cols.
+	a := m
+	if a.Rows < a.Cols {
+		a = a.T()
+	}
+	n := a.Cols
+	if n == 0 {
+		return nil
+	}
+	// One-sided Jacobi: orthogonalize columns of a working copy.
+	w := a.Clone()
+	cols := make([]Vector, n)
+	for j := 0; j < n; j++ {
+		cols[j] = make(Vector, w.Rows)
+		for i := 0; i < w.Rows; i++ {
+			cols[j][i] = w.At(i, j)
+		}
+	}
+	const maxSweeps = 60
+	const eps = 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := cols[p].Dot(cols[p])
+				beta := cols[q].Dot(cols[q])
+				gamma := cols[p].Dot(cols[q])
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off += math.Abs(gamma)
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := range cols[p] {
+					vp, vq := cols[p][i], cols[q][i]
+					cols[p][i] = c*vp - s*vq
+					cols[q][i] = s*vp + c*vq
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	sv := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sv[j] = cols[j].Norm2()
+	}
+	// Descending sort (n is small; insertion sort keeps this dependency-free).
+	for i := 1; i < n; i++ {
+		x := sv[i]
+		j := i - 1
+		for j >= 0 && sv[j] < x {
+			sv[j+1] = sv[j]
+			j--
+		}
+		sv[j+1] = x
+	}
+	return sv
+}

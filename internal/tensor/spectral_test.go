@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpectralNormDiagonal(t *testing.T) {
+	m := NewMatrixFrom(3, 3, []float64{
+		2, 0, 0,
+		0, -5, 0,
+		0, 0, 1,
+	})
+	if got := SpectralNorm(m, 100); !almostEqual(got, 5, 1e-9) {
+		t.Fatalf("SpectralNorm = %v, want 5", got)
+	}
+}
+
+func TestSpectralNormRankOne(t *testing.T) {
+	// W = u v^T has spectral norm ||u|| * ||v||.
+	u := Vector{1, 2, 2} // norm 3
+	v := Vector{3, 4}    // norm 5
+	m := NewMatrix(3, 2)
+	for i := range u {
+		for j := range v {
+			m.Set(i, j, u[i]*v[j])
+		}
+	}
+	if got := SpectralNorm(m, 100); !almostEqual(got, 15, 1e-9) {
+		t.Fatalf("SpectralNorm = %v, want 15", got)
+	}
+}
+
+func TestSpectralNormMatchesSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		m := RandMatrix(r, c, 1, rng)
+		sv := SingularValues(m)
+		got := SpectralNorm(m, 200)
+		if !almostEqual(got, sv[0], 1e-6) {
+			t.Fatalf("trial %d (%dx%d): power=%v svd=%v", trial, r, c, got, sv[0])
+		}
+	}
+}
+
+func TestSpectralNormIsOperatorNorm(t *testing.T) {
+	// Property: ||Wx||_2 <= sigma * ||x||_2 for random x (definition Eq. 2).
+	rng := rand.New(rand.NewSource(5))
+	m := RandMatrix(20, 15, 1, rng)
+	sigma := SpectralNorm(m, 300)
+	for trial := 0; trial < 100; trial++ {
+		x := make(Vector, 15)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		if m.MulVec(x).Norm2() > sigma*x.Norm2()*(1+1e-6) {
+			t.Fatalf("operator norm violated: %v > %v", m.MulVec(x).Norm2(), sigma*x.Norm2())
+		}
+	}
+}
+
+func TestSpectralNormZeroMatrix(t *testing.T) {
+	if got := SpectralNorm(NewMatrix(4, 4), 50); got != 0 {
+		t.Fatalf("SpectralNorm(0) = %v", got)
+	}
+}
+
+func TestSpectralNormWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := RandMatrix(12, 12, 1, rng)
+	_, _, v := SpectralNormVectors(m, 200, nil)
+	// Warm start should converge in very few iterations.
+	sigma, _, _ := SpectralNormVectors(m, 2, v)
+	want := SingularValues(m)[0]
+	if !almostEqual(sigma, want, 1e-6) {
+		t.Fatalf("warm-started sigma = %v, want %v", sigma, want)
+	}
+}
+
+func TestSingularValuesOrthogonal(t *testing.T) {
+	// Rotation matrix: all singular values are 1.
+	th := 0.7
+	m := NewMatrixFrom(2, 2, []float64{math.Cos(th), -math.Sin(th), math.Sin(th), math.Cos(th)})
+	sv := SingularValues(m)
+	for _, s := range sv {
+		if !almostEqual(s, 1, 1e-12) {
+			t.Fatalf("rotation singular values = %v", sv)
+		}
+	}
+}
+
+func TestSingularValuesFrobeniusIdentity(t *testing.T) {
+	// sum(s_i^2) == ||W||_F^2.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		m := RandMatrix(1+rng.Intn(8), 1+rng.Intn(8), 2, rng)
+		var ss float64
+		for _, s := range SingularValues(m) {
+			ss += s * s
+		}
+		f := m.FrobNorm()
+		if !almostEqual(ss, f*f, 1e-9) {
+			t.Fatalf("sum s^2 = %v, frob^2 = %v", ss, f*f)
+		}
+	}
+}
+
+func TestSingularValuesDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	m := RandMatrix(9, 6, 1, rng)
+	sv := SingularValues(m)
+	for i := 1; i < len(sv); i++ {
+		if sv[i] > sv[i-1]+1e-12 {
+			t.Fatalf("singular values not descending: %v", sv)
+		}
+	}
+}
+
+func BenchmarkSpectralNorm50x50(b *testing.B) {
+	m := RandMatrix(50, 50, 1, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SpectralNorm(m, 30)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandMatrix(64, 64, 1, rng)
+	y := RandMatrix(64, 64, 1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}
+
+func TestSpectralNormSubmultiplicativeProperty(t *testing.T) {
+	// ||AB||_2 <= ||A||_2 ||B||_2 — the inequality the whole layer-wise
+	// Lipschitz analysis stands on.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		r, k, c := 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10)
+		a := RandMatrix(r, k, 1, rng)
+		b := RandMatrix(k, c, 1, rng)
+		sa := SingularValues(a)[0]
+		sb := SingularValues(b)[0]
+		sab := SingularValues(a.Mul(b))[0]
+		if sab > sa*sb*(1+1e-9) {
+			t.Fatalf("submultiplicativity violated: %v > %v * %v", sab, sa, sb)
+		}
+	}
+}
+
+func TestSpectralNormTriangleProperty(t *testing.T) {
+	// ||A+B||_2 <= ||A||_2 + ||B||_2 — the residual-block rule.
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 40; trial++ {
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := RandMatrix(r, c, 1, rng)
+		b := RandMatrix(r, c, 1, rng)
+		if SingularValues(a.Add(b))[0] > SingularValues(a)[0]+SingularValues(b)[0]+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestSpectralNormScaling(t *testing.T) {
+	// ||cA||_2 = |c| ||A||_2 — what makes PSN's alpha reparameterization
+	// exact.
+	rng := rand.New(rand.NewSource(79))
+	a := RandMatrix(7, 5, 1, rng)
+	base := SpectralNorm(a, 200)
+	scaled := SpectralNorm(a.Clone().Scale(-2.5), 200)
+	if math.Abs(scaled-2.5*base) > 1e-9*scaled {
+		t.Fatalf("scaling law violated: %v vs %v", scaled, 2.5*base)
+	}
+}

@@ -1,0 +1,141 @@
+package tensor
+
+import "fmt"
+
+// T4 is a dense 4-D tensor in NCHW layout (batch, channel, height, width),
+// the layout used by the convolutional layers in internal/nn.
+type T4 struct {
+	N, C, H, W int
+	Data       []float64
+}
+
+// NewT4 returns a zero tensor of the given shape.
+func NewT4(n, c, h, w int) *T4 {
+	if n < 0 || c < 0 || h < 0 || w < 0 {
+		panic(fmt.Sprintf("tensor: negative T4 dims %d,%d,%d,%d", n, c, h, w))
+	}
+	return &T4{N: n, C: c, H: h, W: w, Data: make([]float64, n*c*h*w)}
+}
+
+// NewT4From wraps data (not copied) with the given shape.
+func NewT4From(n, c, h, w int, data []float64) *T4 {
+	if len(data) != n*c*h*w {
+		panic(fmt.Sprintf("tensor: T4 data length %d != %d", len(data), n*c*h*w))
+	}
+	return &T4{N: n, C: c, H: h, W: w, Data: data}
+}
+
+// At returns the element at (n, c, h, w).
+func (t *T4) At(n, c, h, w int) float64 {
+	return t.Data[((n*t.C+c)*t.H+h)*t.W+w]
+}
+
+// Set stores v at (n, c, h, w).
+func (t *T4) Set(n, c, h, w int, v float64) {
+	t.Data[((n*t.C+c)*t.H+h)*t.W+w] = v
+}
+
+// Clone returns a deep copy of t.
+func (t *T4) Clone() *T4 {
+	out := NewT4(t.N, t.C, t.H, t.W)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Len returns the total number of elements.
+func (t *T4) Len() int { return len(t.Data) }
+
+// Sample returns sample n as a flat vector sharing t's storage.
+func (t *T4) Sample(n int) Vector {
+	sz := t.C * t.H * t.W
+	return Vector(t.Data[n*sz : (n+1)*sz])
+}
+
+// Im2Col unrolls t (a single batch of N images) into a matrix suitable for
+// expressing convolution as matmul. The result has
+// rows = C*kh*kw and cols = N*outH*outW, where
+// outH = (H+2*pad-kh)/stride + 1 and likewise for outW.
+//
+// Column (n, oy, ox) holds the receptive field of output pixel (oy, ox) of
+// sample n, flattened channel-major. Out-of-bounds (padded) taps are zero.
+func Im2Col(t *T4, kh, kw, stride, pad int) *Matrix {
+	outH := (t.H+2*pad-kh)/stride + 1
+	outW := (t.W+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: im2col empty output for input %dx%d kernel %dx%d stride %d pad %d",
+			t.H, t.W, kh, kw, stride, pad))
+	}
+	rows := t.C * kh * kw
+	cols := t.N * outH * outW
+	m := NewMatrix(rows, cols)
+	for c := 0; c < t.C; c++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := (c*kh+ky)*kw + kx
+				dst := m.Data[row*cols : (row+1)*cols]
+				col := 0
+				for n := 0; n < t.N; n++ {
+					base := (n*t.C + c) * t.H * t.W
+					for oy := 0; oy < outH; oy++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= t.H {
+							col += outW
+							continue
+						}
+						rowBase := base + iy*t.W
+						for ox := 0; ox < outW; ox++ {
+							ix := ox*stride - pad + kx
+							if ix >= 0 && ix < t.W {
+								dst[col] = t.Data[rowBase+ix]
+							}
+							col++
+						}
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters the columns of m back into
+// an N x C x H x W tensor, accumulating overlapping taps. It is used for
+// the convolution backward pass with respect to the input.
+func Col2Im(m *Matrix, n, c, h, w, kh, kw, stride, pad int) *T4 {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	t := NewT4(n, c, h, w)
+	cols := m.Cols
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := (ch*kh+ky)*kw + kx
+				src := m.Data[row*cols : (row+1)*cols]
+				col := 0
+				for b := 0; b < n; b++ {
+					base := (b*c + ch) * h * w
+					for oy := 0; oy < outH; oy++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							col += outW
+							continue
+						}
+						rowBase := base + iy*w
+						for ox := 0; ox < outW; ox++ {
+							ix := ox*stride - pad + kx
+							if ix >= 0 && ix < w {
+								t.Data[rowBase+ix] += src[col]
+							}
+							col++
+						}
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// ConvOutSize returns the spatial output size of a convolution with the
+// given geometry.
+func ConvOutSize(in, k, stride, pad int) int { return (in+2*pad-k)/stride + 1 }

@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestT4AtSet(t *testing.T) {
+	x := NewT4(2, 3, 4, 5)
+	x.Set(1, 2, 3, 4, 42)
+	if x.At(1, 2, 3, 4) != 42 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	if x.Len() != 2*3*4*5 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+}
+
+func TestT4Sample(t *testing.T) {
+	x := NewT4(2, 1, 2, 2)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	s := x.Sample(1)
+	if len(s) != 4 || s[0] != 4 {
+		t.Fatalf("Sample(1) = %v", s)
+	}
+	s[0] = -1
+	if x.Data[4] != -1 {
+		t.Fatal("Sample should share storage")
+	}
+}
+
+// naiveConv computes a direct convolution for verification.
+func naiveConv(x *T4, w *Matrix, outC, kh, kw, stride, pad int) *T4 {
+	outH := ConvOutSize(x.H, kh, stride, pad)
+	outW := ConvOutSize(x.W, kw, stride, pad)
+	y := NewT4(x.N, outC, outH, outW)
+	for n := 0; n < x.N; n++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					var s float64
+					for ic := 0; ic < x.C; ic++ {
+						for ky := 0; ky < kh; ky++ {
+							for kx := 0; kx < kw; kx++ {
+								iy, ix := oy*stride-pad+ky, ox*stride-pad+kx
+								if iy < 0 || iy >= x.H || ix < 0 || ix >= x.W {
+									continue
+								}
+								s += w.At(oc, (ic*kh+ky)*kw+kx) * x.At(n, ic, iy, ix)
+							}
+						}
+					}
+					y.Set(n, oc, oy, ox, s)
+				}
+			}
+		}
+	}
+	return y
+}
+
+func TestIm2ColConvMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct{ n, c, h, w, outC, k, stride, pad int }{
+		{1, 1, 5, 5, 2, 3, 1, 1},
+		{2, 3, 8, 8, 4, 3, 2, 1},
+		{1, 2, 7, 9, 3, 1, 1, 0},
+		{2, 4, 6, 6, 8, 3, 2, 0},
+		{1, 3, 9, 9, 2, 7, 2, 3},
+	}
+	for ci, cs := range cases {
+		x := NewT4(cs.n, cs.c, cs.h, cs.w)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		w := RandMatrix(cs.outC, cs.c*cs.k*cs.k, 1, rng)
+		cols := Im2Col(x, cs.k, cs.k, cs.stride, cs.pad)
+		y := w.Mul(cols)
+		want := naiveConv(x, w, cs.outC, cs.k, cs.k, cs.stride, cs.pad)
+		outH := ConvOutSize(cs.h, cs.k, cs.stride, cs.pad)
+		outW := ConvOutSize(cs.w, cs.k, cs.stride, cs.pad)
+		for n := 0; n < cs.n; n++ {
+			for oc := 0; oc < cs.outC; oc++ {
+				for oy := 0; oy < outH; oy++ {
+					for ox := 0; ox < outW; ox++ {
+						got := y.At(oc, (n*outH+oy)*outW+ox)
+						if math.Abs(got-want.At(n, oc, oy, ox)) > 1e-10 {
+							t.Fatalf("case %d: conv mismatch at n%d oc%d (%d,%d): %v vs %v",
+								ci, n, oc, oy, ox, got, want.At(n, oc, oy, ox))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCol2ImAdjoint(t *testing.T) {
+	// <Im2Col(x), m> == <x, Col2Im(m)> : the scatter is the exact adjoint
+	// of the gather, which is what the conv backward pass requires.
+	rng := rand.New(rand.NewSource(4))
+	n, c, h, w, k, stride, pad := 2, 3, 6, 6, 3, 2, 1
+	x := NewT4(n, c, h, w)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	cols := Im2Col(x, k, k, stride, pad)
+	m := RandMatrix(cols.Rows, cols.Cols, 1, rng)
+	lhs := Vector(cols.Data).Dot(Vector(m.Data))
+	back := Col2Im(m, n, c, h, w, k, k, stride, pad)
+	rhs := Vector(x.Data).Dot(Vector(back.Data))
+	if !almostEqual(lhs, rhs, 1e-10) {
+		t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestConvOutSize(t *testing.T) {
+	if got := ConvOutSize(32, 3, 1, 1); got != 32 {
+		t.Fatalf("same-conv out = %d", got)
+	}
+	if got := ConvOutSize(32, 3, 2, 1); got != 16 {
+		t.Fatalf("stride-2 out = %d", got)
+	}
+	if got := ConvOutSize(7, 7, 1, 0); got != 1 {
+		t.Fatalf("full-kernel out = %d", got)
+	}
+}
+
+func TestT4CloneIndependent(t *testing.T) {
+	x := NewT4(1, 1, 2, 2)
+	x.Data[0] = 5
+	y := x.Clone()
+	y.Data[0] = 9
+	if x.Data[0] != 5 {
+		t.Fatal("Clone shares storage")
+	}
+}

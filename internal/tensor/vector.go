@@ -1,0 +1,157 @@
+// Package tensor provides the dense linear-algebra primitives used by the
+// rest of the repository: float64 vectors, matrices and 4-D tensors, the
+// norms the paper's error analysis is stated in (L2 and L-infinity), and
+// the spectral machinery (power iteration, small-matrix SVD) needed to
+// regulate and measure per-layer spectral norms.
+//
+// Everything is stdlib-only and deterministic. Matrices are row-major.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product <v, w>. It panics if lengths differ.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (L2) norm of v. It guards against overflow
+// by scaling, matching the behaviour of BLAS dnrm2.
+func (v Vector) Norm2() float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the L-infinity norm (max absolute entry) of v.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1 returns the L1 norm of v.
+func (v Vector) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Scale multiplies every entry of v by a, in place, and returns v.
+func (v Vector) Scale(a float64) Vector {
+	for i := range v {
+		v[i] *= a
+	}
+	return v
+}
+
+// AddScaled performs v += a*w in place and returns v.
+func (v Vector) AddScaled(a float64, w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: axpy length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+	return v
+}
+
+// Sub returns v - w as a new vector.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: sub length mismatch %d vs %d", len(v), len(w)))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Add returns v + w as a new vector.
+func (v Vector) Add(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: add length mismatch %d vs %d", len(v), len(w)))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Normalize scales v to unit L2 norm in place and returns its former norm.
+// A zero vector is left untouched and 0 is returned.
+func (v Vector) Normalize() float64 {
+	n := v.Norm2()
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return n
+}
+
+// MaxAbs returns the maximum absolute entry together with its index.
+// For an empty vector it returns (0, -1).
+func (v Vector) MaxAbs() (float64, int) {
+	m, idx := 0.0, -1
+	for i, x := range v {
+		if a := math.Abs(x); a > m || idx < 0 {
+			m, idx = a, i
+		}
+	}
+	return m, idx
+}
+
+// Fill sets every entry of v to a and returns v.
+func (v Vector) Fill(a float64) Vector {
+	for i := range v {
+		v[i] = a
+	}
+	return v
+}

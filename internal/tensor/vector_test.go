@@ -1,0 +1,154 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, -5, 6}
+	if got := v.Dot(w); got != 12 {
+		t.Fatalf("dot = %v, want 12", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := v.Norm2(); !almostEqual(got, 5, 1e-15) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+}
+
+func TestNorm2OverflowSafe(t *testing.T) {
+	v := Vector{1e200, 1e200}
+	want := math.Sqrt2 * 1e200
+	if got := v.Norm2(); !almostEqual(got, want, 1e-14) {
+		t.Fatalf("Norm2 = %v, want %v", got, want)
+	}
+}
+
+func TestNorm2Zero(t *testing.T) {
+	if got := NewVector(5).Norm2(); got != 0 {
+		t.Fatalf("Norm2(zero) = %v, want 0", got)
+	}
+}
+
+func TestVectorAddScaled(t *testing.T) {
+	v := Vector{1, 2}
+	v.AddScaled(2, Vector{10, 20})
+	if v[0] != 21 || v[1] != 42 {
+		t.Fatalf("AddScaled = %v", v)
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{0, 3, 4}
+	n := v.Normalize()
+	if !almostEqual(n, 5, 1e-15) {
+		t.Fatalf("Normalize returned %v, want 5", n)
+	}
+	if !almostEqual(v.Norm2(), 1, 1e-15) {
+		t.Fatalf("normalized norm = %v, want 1", v.Norm2())
+	}
+	z := NewVector(3)
+	if z.Normalize() != 0 {
+		t.Fatal("zero vector Normalize should return 0")
+	}
+}
+
+func TestVectorMaxAbs(t *testing.T) {
+	v := Vector{1, -7, 3}
+	m, i := v.MaxAbs()
+	if m != 7 || i != 1 {
+		t.Fatalf("MaxAbs = %v,%d want 7,1", m, i)
+	}
+	m, i = Vector(nil).MaxAbs()
+	if m != 0 || i != -1 {
+		t.Fatalf("MaxAbs(empty) = %v,%d", m, i)
+	}
+}
+
+// Property: norm inequalities from Section III-A of the paper,
+// (1/sqrt(n))||.||_2 <= ||.||_inf <= ||.||_2, hold for all vectors.
+func TestNormInequalityProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		v := Vector(xs)
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				v[i] = 0
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		l2, linf := v.Norm2(), v.NormInf()
+		n := float64(len(v))
+		const slack = 1e-9
+		return l2/math.Sqrt(n) <= linf*(1+slack)+slack && linf <= l2*(1+slack)+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cauchy-Schwarz |<v,w>| <= ||v||_2 ||w||_2.
+func TestCauchySchwarzProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		v, w := make(Vector, n), make(Vector, n)
+		for i := 0; i < n; i++ {
+			v[i], w[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		if math.Abs(v.Dot(w)) > v.Norm2()*w.Norm2()*(1+1e-12) {
+			t.Fatalf("Cauchy-Schwarz violated: |<v,w>|=%v > %v", math.Abs(v.Dot(w)), v.Norm2()*w.Norm2())
+		}
+	}
+}
+
+func TestVectorSubAdd(t *testing.T) {
+	v, w := Vector{5, 7}, Vector{2, 3}
+	d := v.Sub(w)
+	if d[0] != 3 || d[1] != 4 {
+		t.Fatalf("Sub = %v", d)
+	}
+	s := v.Add(w)
+	if s[0] != 7 || s[1] != 10 {
+		t.Fatalf("Add = %v", s)
+	}
+	// Originals untouched.
+	if v[0] != 5 || w[0] != 2 {
+		t.Fatal("Sub/Add mutated inputs")
+	}
+}
+
+func TestVectorFillScaleClone(t *testing.T) {
+	v := NewVector(3).Fill(2)
+	c := v.Clone()
+	v.Scale(10)
+	if v[0] != 20 || c[0] != 2 {
+		t.Fatalf("Scale/Clone interaction wrong: v=%v c=%v", v, c)
+	}
+}
