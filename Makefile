@@ -1,0 +1,45 @@
+# Development and CI entry points. `make ci` is what the GitHub Actions
+# workflow runs; every target works standalone.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race fuzz-smoke lint ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints unformatted files; fail if any.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# The experiments package trains small networks end to end; under the
+# race detector that legitimately exceeds go test's default 10m per-binary
+# timeout, so give the run headroom.
+race:
+	$(GO) test -race -timeout=45m ./...
+
+# ~10s total fuzz smoke over the internal/compress fuzz targets: enough
+# to catch a freshly introduced panic without stalling CI.
+FUZZ_TARGETS = FuzzDecodeContainer FuzzHuffmanDecode FuzzSZRoundTrip
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test -run='^$$' -fuzz="^$$t$$" -fuzztime=3s ./internal/compress || exit 1; \
+	done
+
+# The repo's own numeric-soundness/determinism analyzers (see README
+# "Static analysis").
+lint:
+	$(GO) run ./cmd/errpropvet ./...
+
+ci: build vet fmt-check race fuzz-smoke lint

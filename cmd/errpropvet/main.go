@@ -1,0 +1,110 @@
+// Command errpropvet runs the repo's numeric-soundness and determinism
+// analyzers (internal/analyze) over module packages:
+//
+//	go run ./cmd/errpropvet ./...
+//	go run ./cmd/errpropvet -json -only floatcompare,droppederr ./internal/core
+//
+// It exits 0 when the tree is clean, 1 when findings were reported and
+// 2 on driver errors. Findings are suppressed per line with
+// //lint:ignore <analyzer> <reason>; see README "Static analysis".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/scidata/errprop/internal/analyze"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("errpropvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	pkgFilter := fs.String("pkg", "", "only analyze packages whose import path contains this substring")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: errpropvet [flags] <package patterns>\n\n")
+		fmt.Fprintf(stderr, "Runs the errprop static-analysis suite (see README \"Static analysis\").\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analyze.All()
+	if *only != "" {
+		var err error
+		analyzers, err = analyze.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	loader, err := analyze.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	targets, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	var findings []analyze.Finding
+	for _, t := range targets {
+		if *pkgFilter != "" && !strings.Contains(t.Path, *pkgFilter) {
+			continue
+		}
+		pkg, err := loader.Load(t)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		findings = append(findings, analyze.CheckDirectives(pkg)...)
+		findings = append(findings, analyze.Run(pkg, analyzers)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analyze.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "errpropvet: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -42,7 +42,10 @@ import (
 // on the type itself: Forward, Save, Params, ...).
 type Network = nn.Network
 
-// Spec describes a network architecture and builds Networks.
+// Spec describes a network architecture and builds Networks. Use
+// Spec.Validate to statically check layer-geometry chaining (with
+// position-annotated errors) before paying for Build; Build and
+// LoadNetwork run the same validation themselves.
 type Spec = nn.Spec
 
 // LayerSpec is one layer of a Spec.
@@ -145,6 +148,17 @@ func Compress(codec string, data []float64, dims []int, mode Mode, tol float64) 
 func Decompress(blob []byte) ([]float64, error) {
 	data, _, err := compress.Decode(blob)
 	return data, err
+}
+
+// DecompressDims reverses Compress and additionally returns the grid
+// dimensions the blob was encoded with, so callers can reshape the flat
+// data without carrying the dims out of band.
+func DecompressDims(blob []byte) ([]float64, []int, error) {
+	data, b, err := compress.Decode(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, b.Dims, nil
 }
 
 // Pipeline is an end-to-end error-bounded inference pipeline.

@@ -144,6 +144,49 @@ func TestFacadeCompressRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFacadeDecompressDims(t *testing.T) {
+	data := make([]float64, 12*25)
+	for i := range data {
+		data[i] = math.Cos(float64(i) / 7)
+	}
+	dims := []int{12, 25}
+	blob, err := errprop.Compress("sz", data, dims, errprop.AbsLinf, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, gotDims, err := errprop.DecompressDims(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotDims) != len(dims) || gotDims[0] != dims[0] || gotDims[1] != dims[1] {
+		t.Fatalf("dims %v, want %v", gotDims, dims)
+	}
+	for i := range data {
+		if math.Abs(recon[i]-data[i]) > 1e-4 {
+			t.Fatalf("error %v at %d", math.Abs(recon[i]-data[i]), i)
+		}
+	}
+	if _, _, err := errprop.DecompressDims([]byte("not a container")); err == nil {
+		t.Fatal("DecompressDims accepted garbage")
+	}
+}
+
+func TestFacadeSpecValidate(t *testing.T) {
+	good := errprop.MLPSpec("v", []int{4, 8, 2}, errprop.ActTanh, false)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := errprop.MLPSpec("v", []int{4, 8, 2}, errprop.ActTanh, false)
+	bad.Layers[2].In = 9 // break the chain: fc1 out=8 feeds in=9
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("chained-dim mismatch not caught")
+	}
+	if _, err2 := bad.Build(1); err2 == nil {
+		t.Fatal("Build did not validate")
+	}
+}
+
 func TestFacadeSaveLoad(t *testing.T) {
 	net := buildTrained(t)
 	var buf bytes.Buffer

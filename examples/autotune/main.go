@@ -60,6 +60,7 @@ func main() {
 		"alloc", "format", "est ratio", "IO GB/s", "exec GB/s", "total GB/s")
 	for _, c := range res.Candidates {
 		marker := " "
+		//lint:ignore floatcompare Fraction is copied verbatim from the sweep grid; identity check, not arithmetic
 		if c.Fraction == res.Best.Fraction {
 			marker = "*"
 		}

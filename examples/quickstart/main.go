@@ -24,6 +24,7 @@ func main() {
 	}
 
 	// 2. Train on a smooth target with the spectral penalty.
+	//lint:ignore unseededrand the quickstart demo pins its seed so the printed output is stable run to run
 	rng := rand.New(rand.NewSource(2))
 	x := tensor.NewMatrix(4, 256)
 	y := tensor.NewMatrix(2, 256)

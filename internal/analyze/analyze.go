@@ -1,0 +1,284 @@
+// Package analyze is a lightweight static-analysis driver built purely on
+// the standard library's go/parser, go/ast and go/types (no
+// golang.org/x/tools dependency, keeping the module dependency-free). It
+// exists to mechanically enforce the numeric-soundness and determinism
+// invariants the error-propagation math relies on: bounds computed by
+// internal/core are only guaranteed when float comparisons are
+// tolerance-based, float64 state is not silently truncated, RNG seeds are
+// threaded explicitly, and error returns from codec/quantizer entry
+// points are never dropped.
+//
+// The driver loads packages from source, type-checks them with the
+// stdlib source importer, and runs a suite of repo-specific Analyzers
+// over each package. Findings can be suppressed per line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or the line directly above it; the reason
+// is mandatory so every suppression documents why the invariant does not
+// apply.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Each analyzer is a self-contained
+// file in this package; see All for the suite.
+type Analyzer struct {
+	// Name is the identifier used in findings, -only filters and
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Match restricts the analyzer to packages whose import path it
+	// accepts; nil runs the analyzer on every package.
+	Match func(pkgPath string) bool
+	// Run inspects one type-checked package and reports findings
+	// through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package import path (used by Match and findings).
+	Path string
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Package:  p.Path,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Package  string         `json:"package"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCompare,
+		UnseededRand,
+		LossyConv,
+		DroppedErr,
+		NonFinite,
+	}
+}
+
+// ByName resolves a comma-separated analyzer name list against All.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analyze: unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over one loaded package, drops suppressed
+// findings, and returns the rest sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      pkg.Path,
+			findings:  &findings,
+		}
+		a.Run(pass)
+	}
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	kept := findings[:0]
+	for _, f := range findings {
+		if !sup.covers(f) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Position, kept[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}
+
+// suppressions maps file -> line -> analyzer names suppressed on that
+// line ("*" suppresses every analyzer).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(f Finding) bool {
+	lines := s[f.Position.Filename]
+	if lines == nil {
+		return false
+	}
+	names := lines[f.Position.Line]
+	if names == nil {
+		return false
+	}
+	return names[f.Analyzer] || names["*"]
+}
+
+const ignoreDirective = "lint:ignore"
+
+// collectSuppressions scans comments for //lint:ignore directives. A
+// directive suppresses matching findings on its own line (trailing
+// comment) and on the following line (comment above the statement). A
+// directive without a reason is itself surfaced as a malformed-directive
+// finding by the driver (see CheckDirectives).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = map[string]bool{}
+					}
+					for _, n := range names {
+						lines[ln][n] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// parseIgnore parses "//lint:ignore name[,name] reason". It returns
+// ok=false for comments that are not well-formed directives (including
+// missing reasons, so malformed suppressions never silence findings).
+func parseIgnore(text string) (names []string, ok bool) {
+	rest, isDirective := ignoreDirectiveBody(text)
+	if !isDirective {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, false // analyzer list plus a reason are mandatory
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// ignoreDirectiveBody returns the text after "lint:ignore" if the
+// comment is that directive (respecting the word boundary, so
+// lint:ignoreextra is not a directive).
+func ignoreDirectiveBody(comment string) (rest string, ok bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if text == ignoreDirective {
+		return "", true
+	}
+	body, found := strings.CutPrefix(text, ignoreDirective+" ")
+	if !found {
+		body, found = strings.CutPrefix(text, ignoreDirective+"\t")
+	}
+	if !found {
+		return "", false
+	}
+	return strings.TrimSpace(body), true
+}
+
+// CheckDirectives reports malformed //lint:ignore directives (missing
+// analyzer name or reason) so a typo cannot silently fail to suppress.
+func CheckDirectives(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if _, isDirective := ignoreDirectiveBody(c.Text); !isDirective {
+					continue
+				}
+				if _, ok := parseIgnore(c.Text); !ok {
+					out = append(out, Finding{
+						Analyzer: "driver",
+						Package:  pkg.Path,
+						Position: pkg.Fset.Position(c.Pos()),
+						Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pathMatchAny returns a Match func accepting package paths that contain
+// any of the given fragments.
+func pathMatchAny(fragments ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, f := range fragments {
+			if strings.Contains(pkgPath, f) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,226 @@
+package analyze
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// newTestLoader builds a loader rooted at the repo module; fixture paths
+// are resolved against ModuleDir so tests are independent of the working
+// directory NewLoader switches to.
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func fixtureDir(l *Loader, name string) string {
+	return filepath.Join(l.ModuleDir, "internal", "analyze", "testdata", "src", name)
+}
+
+// expectation is one finding a fixture file demands via a trailing
+// "// want:<analyzer>[,<analyzer>]" marker.
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+var wantRe = regexp.MustCompile(`// want:([a-z,]+)`)
+
+// readExpectations scans a fixture package for want markers.
+func readExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, name := range strings.Split(m[1], ",") {
+				out = append(out, expectation{file: path, line: line, analyzer: name})
+			}
+		}
+		f.Close()
+	}
+	return out
+}
+
+func TestFixtures(t *testing.T) {
+	l := newTestLoader(t)
+	cases := []struct {
+		fixture string
+		// importPath lets path-filtered analyzers (lossyconv,
+		// nonfinite) see a bound-computing package path.
+		importPath string
+	}{
+		{"floatcompare_clean", "fixture/floatcompare_clean"},
+		{"floatcompare_dirty", "fixture/floatcompare_dirty"},
+		{"unseededrand_clean", "fixture/unseededrand_clean"},
+		{"unseededrand_dirty", "fixture/unseededrand_dirty"},
+		{"lossyconv_clean", "fixture/internal/core/lossyconv_clean"},
+		{"lossyconv_dirty", "fixture/internal/core/lossyconv_dirty"},
+		{"droppederr_clean", "fixture/droppederr_clean"},
+		{"droppederr_dirty", "fixture/droppederr_dirty"},
+		{"nonfinite_clean", "fixture/internal/core/nonfinite_clean"},
+		{"nonfinite_dirty", "fixture/internal/core/nonfinite_dirty"},
+		{"suppress", "fixture/suppress"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			dir := fixtureDir(l, tc.fixture)
+			pkg, err := l.LoadDir(dir, tc.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := Run(pkg, All())
+			want := readExpectations(t, dir)
+			type key struct {
+				file     string
+				line     int
+				analyzer string
+			}
+			wantSet := map[key]bool{}
+			for _, w := range want {
+				wantSet[key{w.file, w.line, w.analyzer}] = true
+			}
+			for _, f := range got {
+				k := key{f.Position.Filename, f.Position.Line, f.Analyzer}
+				if !wantSet[k] {
+					t.Errorf("unexpected finding %s", f)
+					continue
+				}
+				delete(wantSet, k)
+			}
+			for k := range wantSet {
+				t.Errorf("missing finding %s:%d (%s)", k.file, k.line, k.analyzer)
+			}
+		})
+	}
+}
+
+func TestPathFiltersKeepAnalyzersOut(t *testing.T) {
+	l := newTestLoader(t)
+	// The lossyconv fixture loaded under a non-core path must produce
+	// no lossyconv findings: the analyzer's Match rejects the package.
+	pkg, err := l.LoadDir(fixtureDir(l, "lossyconv_dirty"), "fixture/plain/lossyconv_dirty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(pkg, All()) {
+		if f.Analyzer == "lossyconv" {
+			t.Errorf("lossyconv ran outside its package filter: %s", f)
+		}
+	}
+}
+
+func TestMalformedDirective(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.LoadDir(fixtureDir(l, "malformed"), "fixture/malformed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := CheckDirectives(pkg)
+	if len(dir) != 1 {
+		t.Fatalf("want 1 malformed-directive finding, got %v", dir)
+	}
+	// The reasonless directive must not suppress the underlying finding.
+	found := false
+	for _, f := range Run(pkg, All()) {
+		if f.Analyzer == "floatcompare" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reasonless //lint:ignore suppressed a finding")
+	}
+}
+
+func TestExpandSkipsTestdata(t *testing.T) {
+	l := newTestLoader(t)
+	targets, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawCore, sawAnalyze bool
+	for _, tgt := range targets {
+		if strings.Contains(tgt.Path, "testdata") {
+			t.Errorf("Expand included testdata package %s", tgt.Path)
+		}
+		if strings.HasSuffix(tgt.Path, "internal/core") {
+			sawCore = true
+		}
+		if strings.HasSuffix(tgt.Path, "internal/analyze") {
+			sawAnalyze = true
+		}
+	}
+	if !sawCore || !sawAnalyze {
+		t.Errorf("Expand missed expected packages (core=%v analyze=%v) in %d targets", sawCore, sawAnalyze, len(targets))
+	}
+}
+
+func TestExpandExplicitDirBypassesTestdataSkip(t *testing.T) {
+	l := newTestLoader(t)
+	targets, err := l.Expand([]string{filepath.Join(l.ModuleDir, "internal", "analyze", "testdata", "src", "floatcompare_dirty")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("want exactly the fixture package, got %v", targets)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("floatcompare,nonfinite")
+	if err != nil || len(as) != 2 {
+		t.Fatalf("ByName: %v %v", as, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted unknown analyzer")
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//lint:ignore floatcompare exact equality intended", []string{"floatcompare"}, true},
+		{"//lint:ignore a,b covers two analyzers", []string{"a", "b"}, true},
+		{"//lint:ignore floatcompare", nil, false}, // missing reason
+		{"// just a comment", nil, false},
+		{"//lint:ignoreextra nope", nil, false},
+	}
+	for _, tc := range cases {
+		names, ok := parseIgnore(tc.text)
+		if ok != tc.ok {
+			t.Errorf("parseIgnore(%q) ok=%v want %v", tc.text, ok, tc.ok)
+			continue
+		}
+		if strings.Join(names, "|") != strings.Join(tc.names, "|") {
+			t.Errorf("parseIgnore(%q) names=%v want %v", tc.text, names, tc.names)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr flags ignored error returns from the Encode/Decode/
+// Quantize/Analyze families — the entry points whose errors signal that
+// a bound could not be established (unsupported mode, corrupt stream,
+// invalid tolerance). Dropping one turns "no guarantee" into "silently
+// wrong guarantee": the caller proceeds with data the error said not to
+// trust. Both bare call statements and explicit `_` assignments of the
+// error result are reported.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flags ignored errors from Encode/Decode/Quantize/Analyze-family calls",
+	Run:  runDroppedErr,
+}
+
+// droppedErrPrefixes are the guarded call-name families.
+var droppedErrPrefixes = []string{"Encode", "Decode", "Quantize", "Analyze"}
+
+func runDroppedErr(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := guardedCallName(call)
+				if !ok {
+					return true
+				}
+				if idx := errorResultIndexes(p.TypesInfo, call); len(idx) > 0 {
+					p.Reportf(call.Pos(), "error returned by %s is dropped; it signals an unestablished bound and must be handled", name)
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := guardedCallName(call)
+				if !ok {
+					return true
+				}
+				for _, i := range errorResultIndexes(p.TypesInfo, call) {
+					if i >= len(st.Lhs) {
+						continue
+					}
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						p.Reportf(id.Pos(), "error returned by %s is assigned to _; it signals an unestablished bound and must be handled", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardedCallName reports the callee's name if it belongs to one of the
+// guarded families.
+func guardedCallName(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	for _, prefix := range droppedErrPrefixes {
+		if strings.HasPrefix(name, prefix) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// errorResultIndexes returns the positions of error-typed results in the
+// call's result tuple.
+func errorResultIndexes(info *types.Info, call *ast.CallExpr) []int {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	var out []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+	default:
+		if isErrorType(t) {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}

@@ -1,0 +1,85 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags == and != between floating-point operands. Exact
+// float equality silently invalidates the error bounds of Inequality (3):
+// a bound that holds mathematically can fail a == gate after one ULP of
+// rounding, so bound code must compare with explicit epsilons.
+//
+// Three well-defined idioms are exempt:
+//   - comparison against an exact constant zero (x == 0 is an exact
+//     guard, typically protecting a division),
+//   - self-comparison (x != x is the canonical NaN test),
+//   - comparisons inside approved tolerance helpers (approxEqual and
+//     friends), which exist precisely to centralize epsilon logic.
+var FloatCompare = &Analyzer{
+	Name: "floatcompare",
+	Doc:  "flags ==/!= on float operands outside approved tolerance helpers",
+	Run:  runFloatCompare,
+}
+
+// floatCompareAllow lists function names whose bodies may compare floats
+// exactly: the approved tolerance/equality helpers themselves.
+var floatCompareAllow = map[string]bool{
+	"approxEqual": true,
+	"almostEqual": true,
+	"floatEq":     true,
+	"floatsEqual": true,
+	"withinTol":   true,
+	"ulpEqual":    true,
+	"bitEqual":    true,
+}
+
+func runFloatCompare(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && floatCompareAllow[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.TypesInfo.TypeOf(be.X)) && !isFloat(p.TypesInfo.TypeOf(be.Y)) {
+					return true
+				}
+				if isConstZero(p.TypesInfo, be.X) || isConstZero(p.TypesInfo, be.Y) {
+					return true
+				}
+				if types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true // x != x NaN idiom
+				}
+				p.Reportf(be.OpPos, "float %s comparison; use a tolerance helper (or an exact-zero guard)", be.Op)
+				return true
+			})
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

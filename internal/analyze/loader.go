@@ -1,0 +1,247 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads module packages from source. Dependencies (stdlib and
+// module-internal alike) are resolved by the standard library's source
+// importer, which shells out to the go command for module path
+// resolution — so loading must run with the module root as the working
+// directory; NewLoader enforces that.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+	// IncludeTests adds *_test.go files of the package under test (not
+	// external _test packages) to the loaded file set.
+	IncludeTests bool
+
+	imp types.ImporterFrom
+}
+
+// NewLoader finds the enclosing module of dir (walking up to the
+// directory holding go.mod), reads its module path, and returns a loader
+// rooted there. The process working directory is switched to the module
+// root so the source importer's go-command fallback resolves
+// module-internal import paths.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analyze: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := moduleName(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Chdir(root); err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analyze: source importer lacks ImporterFrom")
+	}
+	return &Loader{Fset: fset, ModulePath: modPath, ModuleDir: root, imp: imp}, nil
+}
+
+// moduleName extracts the module path from a go.mod file without
+// depending on golang.org/x/mod.
+func moduleName(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			name := strings.TrimSpace(rest)
+			name = strings.Trim(name, `"`)
+			if name != "" {
+				return name, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analyze: no module directive in %s", gomod)
+}
+
+// Target is one package selected by Expand.
+type Target struct {
+	Dir  string
+	Path string
+}
+
+// Expand resolves go-style package patterns ("./...", "./internal/core",
+// "github.com/.../internal/..." ) against the module tree. Directories
+// named testdata, hidden directories and directories without buildable
+// .go files are skipped, mirroring the go tool.
+func (l *Loader) Expand(patterns []string) ([]Target, error) {
+	seen := map[string]bool{}
+	var out []Target
+	add := func(dir string) error {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return err
+		}
+		if seen[abs] {
+			return nil
+		}
+		if !hasGoFiles(abs) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleDir, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return fmt.Errorf("analyze: %s is outside module %s", dir, l.ModuleDir)
+		}
+		seen[abs] = true
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		out = append(out, Target{Dir: abs, Path: path})
+		return nil
+	}
+	for _, pat := range patterns {
+		// Accept import-path patterns for the module itself.
+		if rest, ok := strings.CutPrefix(pat, l.ModulePath); ok {
+			pat = "." + rest
+			if pat == "." {
+				pat = "./."
+			}
+		}
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		if !recursive {
+			// An explicitly named directory must exist and contain Go
+			// files — silently reporting "clean" on a typo'd path would
+			// defeat the point of the gate.
+			if fi, err := os.Stat(pat); err != nil {
+				return nil, fmt.Errorf("analyze: %s: %w", pat, err)
+			} else if !fi.IsDir() {
+				return nil, fmt.Errorf("analyze: %s is not a directory", pat)
+			}
+			if abs, err := filepath.Abs(pat); err == nil && !hasGoFiles(abs) {
+				return nil, fmt.Errorf("analyze: no Go files in %s", pat)
+			}
+			if err := add(pat); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && p != pat) || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return add(p)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Load parses and type-checks the target package.
+func (l *Loader) Load(t Target) (*Package, error) {
+	return l.LoadDir(t.Dir, t.Path)
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. The explicit path lets tests load fixture packages under
+// testdata/ as if they lived at an arbitrary module path, exercising
+// analyzers whose Match filters on package path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analyze: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,50 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LossyConv flags float64 → float32 conversions inside the
+// bound-computing packages (internal/core, internal/numfmt,
+// internal/quant, internal/compress). All bound math is carried in
+// float64; a float32 conversion silently injects up to 2^-24 relative
+// error that the analysis does not account for. Deliberate narrowing —
+// numfmt's FP32 rounding is the canonical case — must carry a
+// //lint:ignore lossyconv justification so every truncation in a bound
+// path is documented.
+var LossyConv = &Analyzer{
+	Name:  "lossyconv",
+	Doc:   "flags float64→float32 truncation in bound-computing packages",
+	Match: pathMatchAny("internal/core", "internal/numfmt", "internal/quant", "internal/compress"),
+	Run:   runLossyConv,
+}
+
+func runLossyConv(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := p.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok || dst.Kind() != types.Float32 {
+				return true
+			}
+			argTV, ok := p.TypesInfo.Types[call.Args[0]]
+			if !ok || argTV.Value != nil { // constant conversions round once, visibly
+				return true
+			}
+			src, ok := argTV.Type.Underlying().(*types.Basic)
+			if !ok || src.Kind() != types.Float64 {
+				return true
+			}
+			p.Reportf(call.Pos(), "float64→float32 truncation in a bound-computing package loses up to 2^-24 relative precision; justify with //lint:ignore lossyconv if deliberate")
+			return true
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NonFinite flags math.Sqrt/math.Log-family calls and non-constant
+// divisions that feed directly into a returned value of a float-returning
+// function in internal/core — the planner/bound paths — when the
+// function contains no math.IsNaN/math.IsInf guard at all. A bound of
+// NaN or +Inf compares as "admissible" in surprising ways (NaN fails
+// every >, Inf passes every <=), so a planner that returns one without
+// checking finiteness can green-light configurations with no guarantee
+// behind them.
+//
+// The analyzer is deliberately function-local and direct-return only: it
+// inspects expressions syntactically inside return statements, and any
+// IsNaN/IsInf call anywhere in the function counts as a guard. That
+// keeps false positives low at the cost of missing indirect flows.
+var NonFinite = &Analyzer{
+	Name:  "nonfinite",
+	Doc:   "flags unguarded sqrt/log/division feeding returned bounds in internal/core",
+	Match: pathMatchAny("internal/core"),
+	Run:   runNonFinite,
+}
+
+// nonFiniteFns are the math functions whose result is NaN or ±Inf on
+// out-of-domain input.
+var nonFiniteFns = map[string]bool{
+	"Sqrt":  true,
+	"Log":   true,
+	"Log2":  true,
+	"Log10": true,
+	"Log1p": true,
+	"Pow":   true,
+}
+
+func runNonFinite(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !returnsFloat(p.TypesInfo, fd) {
+				continue
+			}
+			if hasFiniteGuard(p, fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					reportNonFinite(p, res)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func returnsFloat(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if isFloat(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFiniteGuard reports whether the body calls math.IsNaN or math.IsInf
+// anywhere.
+func hasFiniteGuard(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if name, ok := mathCallName(p, n); ok && (name == "IsNaN" || name == "IsInf") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// reportNonFinite walks one returned expression and reports risky
+// sub-expressions.
+func reportNonFinite(p *Pass, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := mathCallName(p, x); ok && nonFiniteFns[name] {
+				p.Reportf(x.Pos(), "math.%s feeds a returned bound with no IsNaN/IsInf guard in this function; a NaN/Inf bound silently passes admissibility checks", name)
+			}
+		case *ast.BinaryExpr:
+			if x.Op != token.QUO || !isFloat(p.TypesInfo.TypeOf(x)) {
+				return true
+			}
+			if tv, ok := p.TypesInfo.Types[x.Y]; ok && tv.Value != nil {
+				return true // constant nonzero denominator cannot produce Inf by itself
+			}
+			p.Reportf(x.OpPos, "division feeds a returned bound with no IsNaN/IsInf guard in this function; a zero denominator yields an Inf/NaN bound")
+		}
+		return true
+	})
+}
+
+// mathCallName returns the selector name if n is a call into the math
+// package.
+func mathCallName(p *Pass, n ast.Node) (string, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "math" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

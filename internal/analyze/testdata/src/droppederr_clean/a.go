@@ -1,0 +1,33 @@
+// Package droppederr_clean handles every guarded-family error.
+package droppederr_clean
+
+import "fmt"
+
+func EncodeBlob(data []float64) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty")
+	}
+	return make([]byte, 8*len(data)), nil
+}
+
+func DecodeBlob(blob []byte) error {
+	if len(blob)%8 != 0 {
+		return fmt.Errorf("ragged")
+	}
+	return nil
+}
+
+// EncodeLen has no error result; bare calls are fine.
+func EncodeLen(data []float64) int { return 8 * len(data) }
+
+func useAll(xs []float64, blob []byte) ([]byte, error) {
+	out, err := EncodeBlob(xs)
+	if err != nil {
+		return nil, err
+	}
+	if err := DecodeBlob(blob); err != nil {
+		return nil, err
+	}
+	EncodeLen(xs)
+	return out, nil
+}

@@ -1,0 +1,27 @@
+// Package droppederr_dirty violates the droppederr invariant.
+package droppederr_dirty
+
+import "fmt"
+
+func EncodeBlob(data []float64) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty")
+	}
+	return make([]byte, 8*len(data)), nil
+}
+
+func DecodeBlob(blob []byte) error {
+	if len(blob)%8 != 0 {
+		return fmt.Errorf("ragged")
+	}
+	return nil
+}
+
+func QuantizeAll(xs []float64) error { return nil }
+
+func useAll(xs []float64, blob []byte) []byte {
+	out, _ := EncodeBlob(xs) // want:droppederr
+	DecodeBlob(blob)         // want:droppederr
+	QuantizeAll(xs)          // want:droppederr
+	return out
+}

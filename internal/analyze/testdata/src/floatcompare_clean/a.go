@@ -1,0 +1,34 @@
+// Package floatcompare_clean exercises the approved exact-comparison
+// idioms: tolerance helpers, exact-zero guards, and the NaN
+// self-comparison.
+package floatcompare_clean
+
+import "math"
+
+// approxEqual is an allowlisted tolerance helper; exact comparison is
+// its job.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func safeInverse(x float64) float64 {
+	if x == 0 { // exact-zero guard
+		return 0
+	}
+	return 1 / x
+}
+
+func isNaN(x float64) bool {
+	return x != x // self-comparison NaN idiom
+}
+
+func ints(a, b int) bool {
+	return a == b // integer comparison is exact
+}
+
+func usesHelper(a, b float64) bool {
+	return approxEqual(a, b, 1e-12)
+}

@@ -1,0 +1,19 @@
+// Package floatcompare_dirty violates the floatcompare invariant.
+package floatcompare_dirty
+
+func equalBounds(a, b float64) bool {
+	return a == b // want:floatcompare
+}
+
+func mixed(a float32, b float32) bool {
+	if a != b { // want:floatcompare
+		return false
+	}
+	return true
+}
+
+type pair struct{ lo, hi float64 }
+
+func (p pair) degenerate() bool {
+	return p.lo == p.hi // want:floatcompare
+}

@@ -1,0 +1,19 @@
+// Package lossyconv_clean stays in float64 on bound paths; widening and
+// constant conversions are fine.
+package lossyconv_clean
+
+func widen(x float32) float64 {
+	return float64(x)
+}
+
+func constNarrow() float32 {
+	return float32(0.5) // constant conversion rounds once, visibly
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,16 @@
+// Package lossyconv_dirty violates the lossyconv invariant (it is
+// loaded under an internal/core-like import path in tests).
+package lossyconv_dirty
+
+func narrow(x float64) float32 {
+	return float32(x) // want:lossyconv
+}
+
+func narrowSum(xs []float64) float32 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	f := float32(s) // want:lossyconv
+	return f
+}

@@ -1,0 +1,7 @@
+// Package malformed has a //lint:ignore directive without a reason; the
+// driver must report it and must NOT let it suppress the finding.
+package malformed
+
+func equalExact(a, b float64) bool {
+	return a == b //lint:ignore floatcompare
+}

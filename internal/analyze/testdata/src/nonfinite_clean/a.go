@@ -1,0 +1,35 @@
+// Package nonfinite_clean guards every returned bound for finiteness.
+package nonfinite_clean
+
+import "math"
+
+func l2Bound(parts []float64) float64 {
+	var ss float64
+	for _, p := range parts {
+		ss += p * p
+	}
+	b := math.Sqrt(ss)
+	if math.IsNaN(b) || math.IsInf(b, 0) {
+		return math.MaxFloat64
+	}
+	return b
+}
+
+func perElem(total float64, n int) float64 {
+	v := total / float64(n)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// halve divides by a constant; constant denominators cannot overflow on
+// their own.
+func halve(x float64) float64 {
+	return x / 2
+}
+
+// count returns no float, so the analyzer skips it entirely.
+func count(xs []float64) int {
+	return len(xs)
+}

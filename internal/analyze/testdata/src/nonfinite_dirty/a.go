@@ -1,0 +1,21 @@
+// Package nonfinite_dirty violates the nonfinite invariant (it is
+// loaded under an internal/core-like import path in tests).
+package nonfinite_dirty
+
+import "math"
+
+func l2Bound(parts []float64) float64 {
+	var ss float64
+	for _, p := range parts {
+		ss += p * p
+	}
+	return math.Sqrt(ss) // want:nonfinite
+}
+
+func bitsBound(ratio float64) float64 {
+	return math.Log(ratio) // want:nonfinite
+}
+
+func perElem(total float64, n int) float64 {
+	return total / float64(n) // want:nonfinite
+}

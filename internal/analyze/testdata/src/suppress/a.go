@@ -1,0 +1,19 @@
+// Package suppress carries deliberate violations, each silenced with a
+// documented //lint:ignore directive — same-line and line-above forms.
+package suppress
+
+import "math/rand"
+
+func equalExact(a, b float64) bool {
+	return a == b //lint:ignore floatcompare exactness is the point of this helper
+}
+
+func fixedRand() *rand.Rand {
+	//lint:ignore unseededrand fixture generator; determinism is desired here
+	return rand.New(rand.NewSource(7))
+}
+
+func both(a, b float64) bool {
+	//lint:ignore floatcompare,unseededrand comma-separated list covers several analyzers
+	return a == b && rand.Float64() > 0.5
+}

@@ -1,0 +1,17 @@
+// Package unseededrand_clean threads seeds explicitly, as Spec.Build
+// does.
+package unseededrand_clean
+
+import "math/rand"
+
+func build(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func derive(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}
+
+func draw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

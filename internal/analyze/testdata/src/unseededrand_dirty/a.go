@@ -1,0 +1,16 @@
+// Package unseededrand_dirty violates the unseededrand invariant.
+package unseededrand_dirty
+
+import "math/rand"
+
+func globalDraw() float64 {
+	return rand.Float64() // want:unseededrand
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want:unseededrand
+}
+
+func hardwired() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want:unseededrand
+}

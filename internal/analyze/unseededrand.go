@@ -1,0 +1,60 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UnseededRand flags non-deterministic randomness: calls to math/rand's
+// top-level functions (which draw from the process-global, untracked
+// generator) and rand.NewSource with a compile-time-constant seed that
+// is not threaded from a parameter. Spec.Build and the training loops
+// promise bit-reproducible initialization given a seed; any global or
+// hard-wired RNG breaks that promise silently.
+var UnseededRand = &Analyzer{
+	Name: "unseededrand",
+	Doc:  "flags global math/rand use and constant rand.NewSource seeds",
+	Run:  runUnseededRand,
+}
+
+// randConstructors are the math/rand functions that build explicit
+// generators rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runUnseededRand(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "math/rand" {
+				return true
+			}
+			name := sel.Sel.Name
+			if !randConstructors[name] {
+				p.Reportf(call.Pos(), "math/rand.%s draws from the process-global generator; thread a seeded *rand.Rand instead", name)
+				return true
+			}
+			if name == "NewSource" && len(call.Args) == 1 {
+				if tv, ok := p.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+					p.Reportf(call.Pos(), "rand.NewSource with constant seed %s; thread the seed from a parameter so runs are reproducible on demand", tv.Value)
+				}
+			}
+			return true
+		})
+	}
+}

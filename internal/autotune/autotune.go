@@ -112,8 +112,9 @@ func Optimize(net *nn.Network, field []float64, dims []int, opt Options) (*Resul
 		if opt.Norm == core.NormL2 {
 			mode, inputTol = compress.L2, plan.InputTolL2
 		}
+		uncompressed := math.IsInf(inputTol, 0)
 		var stored int64
-		if math.IsInf(inputTol, 0) {
+		if uncompressed {
 			stored = int64(rawBytes)
 		} else {
 			stored, err = compress.EstimateStoredBytes(opt.Codec, field, dims, mode, inputTol, opt.SampleFrac)
@@ -127,7 +128,7 @@ func Optimize(net *nn.Network, field []float64, dims []int, opt Options) (*Resul
 		if err != nil {
 			return nil, err
 		}
-		if c.EstRatio == 1 {
+		if uncompressed {
 			decT = 0 // uncompressed path skips decode
 		}
 		c.PredIO = rawBytes / (readT + decT).Seconds()

@@ -107,6 +107,12 @@ func Names() []string {
 
 const magic = 0x53445243 // "SDRC"
 
+// maxGridElems caps the total element count a decoded container may
+// declare (2^30 covers a 1024^3 volume). Anything larger in a header is
+// treated as corruption rather than sizing an 8+ GiB allocation from
+// untrusted bytes.
+const maxGridElems = 1 << 30
+
 // Blob is a self-describing compressed buffer: container header + payload.
 type Blob struct {
 	CodecName string
@@ -275,9 +281,18 @@ func unmarshal(blob []byte) (*Blob, error) {
 		return nil, ErrCorrupt
 	}
 	dims := make([]int, rank)
+	elems := 1
 	for i := range dims {
-		dims[i] = int(binary.LittleEndian.Uint64(blob[p:]))
+		d := int(binary.LittleEndian.Uint64(blob[p:]))
 		p += 8
+		// Dims come from untrusted bytes: reject non-positive or
+		// oversized values before any codec sizes an allocation from
+		// their product (overflow-safe check).
+		if d <= 0 || d > maxGridElems || elems > maxGridElems/d {
+			return nil, ErrCorrupt
+		}
+		elems *= d
+		dims[i] = d
 	}
 	plen := int(binary.LittleEndian.Uint32(blob[p:]))
 	p += 4

@@ -108,7 +108,9 @@ func (c Codec) Decompress(payload []byte, dims []int) ([]float64, error) {
 	p := 8
 	nUnpred := int(binary.LittleEndian.Uint64(raw[p:]))
 	p += 8
-	if nUnpred < 0 || p+8*nUnpred+8 > len(raw) {
+	// Subtract instead of multiplying so a huge untrusted count cannot
+	// overflow the bounds check (8 bytes stay reserved for hlen).
+	if nUnpred < 0 || len(raw)-p < 8 || nUnpred > (len(raw)-p-8)/8 {
 		return nil, compress.ErrCorrupt
 	}
 	unpred := make([]float64, nUnpred)
@@ -118,7 +120,7 @@ func (c Codec) Decompress(payload []byte, dims []int) ([]float64, error) {
 	}
 	hlen := int(binary.LittleEndian.Uint64(raw[p:]))
 	p += 8
-	if hlen < 0 || p+hlen > len(raw) {
+	if hlen < 0 || hlen > len(raw)-p {
 		return nil, compress.ErrCorrupt
 	}
 	codes, err := huffman.Decode(raw[p : p+hlen])

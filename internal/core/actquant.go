@@ -24,6 +24,7 @@ func (a *Analysis) ActivationQuantBound(f numfmt.Format) float64 {
 	// formula accounts for every float format uniformly.
 	eps := 1 / float64(uint64(1)<<uint(f.MantissaBits()+1))
 	_, act := a.Root.actCoeffs(a.Steps, eps)
+	//lint:ignore nonfinite sqrt of the nonnegative input width n0 is always finite
 	return act * math.Sqrt(float64(a.n0))
 }
 

@@ -168,6 +168,7 @@ func (a *Analysis) CompressionBound(deltaX2 float64) float64 {
 // quantization alone, assuming inputs normalized to [-1, 1] (so the
 // initial signal bound is sqrt(n_0), as in the paper's derivation).
 func (a *Analysis) QuantizationBound() float64 {
+	//lint:ignore nonfinite sqrt of the nonnegative input width n0 is always finite
 	return a.coeffs.Add * math.Sqrt(float64(a.n0))
 }
 
@@ -181,11 +182,13 @@ func (a *Analysis) Bound(deltaX2 float64) float64 {
 // bound einf, via the norm inequalities of Section III-A:
 // ||dx||_2 <= sqrt(n_0) einf and ||dy||_inf <= ||dy||_2.
 func (a *Analysis) BoundLinf(einf float64) float64 {
+	//lint:ignore nonfinite sqrt of the nonnegative input width n0 is always finite
 	return a.Bound(math.Sqrt(float64(a.n0)) * einf)
 }
 
 // CompressionBoundLinf is Eq. (5) stated for a pointwise input bound.
 func (a *Analysis) CompressionBoundLinf(einf float64) float64 {
+	//lint:ignore nonfinite sqrt of the nonnegative input width n0 is always finite
 	return a.CompressionBound(math.Sqrt(float64(a.n0)) * einf)
 }
 
@@ -200,5 +203,9 @@ func (a *Analysis) InputToleranceFor(qoiBudget float64, quantized bool) float64 
 	if l == 0 {
 		return math.Inf(1)
 	}
-	return qoiBudget / l
+	tol := qoiBudget / l
+	if math.IsNaN(tol) {
+		return 0 // no admissible tolerance for a non-finite budget or factor
+	}
+	return tol
 }

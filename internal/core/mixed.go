@@ -68,6 +68,7 @@ func DefaultLayerCost(op *nn.LinearOp, f numfmt.Format) float64 {
 	if rel == 0 {
 		rel = 1
 	}
+	//lint:ignore nonfinite rel is clamped to a nonzero value just above
 	return flops / rel
 }
 

@@ -101,6 +101,7 @@ func (c *Conv2D) operatorSigma(kw *tensor.Matrix, iters int) float64 {
 	n := c.InDim()
 	v := c.vop
 	if len(v) != n {
+		//lint:ignore unseededrand fixed-seed start direction keeps power iteration deterministic; any non-orthogonal direction works
 		rng := rand.New(rand.NewSource(7))
 		v = make(tensor.Vector, n)
 		for i := range v {

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/tensor"
 )
 
 // LayerSpec describes one layer of a network architecture. Specs are the
@@ -60,14 +61,183 @@ type Spec struct {
 }
 
 // Build constructs a freshly initialized Network from the spec. The seed
-// makes initialization deterministic.
+// makes initialization deterministic. The spec is validated first, so a
+// geometry mistake fails with a position-annotated error before any
+// parameter is allocated.
 func (s *Spec) Build(seed int64) (*Network, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(seed))
 	layers, err := buildLayers(s.Layers, rng)
 	if err != nil {
 		return nil, err
 	}
 	return &Network{InputDim: s.InputDim, Layers: layers, Spec: s}, nil
+}
+
+// Validate statically checks the spec before any network is built: every
+// layer's own geometry must be well-formed, and consecutive layers must
+// chain — each layer's input feature count has to equal the previous
+// layer's output feature count (tracked through residual branch/shortcut
+// pairs and skip-concat branches as well). Errors carry the layer's
+// position path, e.g. `layers[3].branch[1] (conv "c1")`, so a deep
+// mistake in a generated spec is located immediately.
+//
+// Validation is purely structural: it allocates nothing and never runs
+// the RNG, so it is safe to call on untrusted serialized specs before
+// Build pays for parameter initialization.
+func (s *Spec) Validate() error {
+	if s.InputDim < 0 {
+		return fmt.Errorf("nn: spec %q: negative input dim %d", s.Name, s.InputDim)
+	}
+	_, err := validateLayers(s.Layers, s.InputDim, "layers")
+	return err
+}
+
+// validateLayers checks one layer sequence starting from inDim flattened
+// features (0 = unknown, adopted from the first layer that declares an
+// input geometry). It returns the sequence's output feature count (0 if
+// it cannot be determined, e.g. an all-activation sequence with unknown
+// input).
+func validateLayers(specs []LayerSpec, inDim int, path string) (int, error) {
+	cur := inDim
+	for i, ls := range specs {
+		fail := func(format string, args ...any) (int, error) {
+			name := ls.Name
+			if name == "" {
+				name = ls.Type
+			}
+			return 0, fmt.Errorf("nn: spec %s[%d] (%s %q): %s", path, i, ls.Type, name, fmt.Sprintf(format, args...))
+		}
+		// chain verifies this layer's declared input feature count
+		// against the running output of the preceding layers.
+		chain := func(layerIn int) error {
+			if cur > 0 && layerIn != cur {
+				_, err := fail("input dim %d does not chain from previous output %d", layerIn, cur)
+				return err
+			}
+			return nil
+		}
+		switch ls.Type {
+		case "dense":
+			if ls.In <= 0 || ls.Out <= 0 {
+				return fail("needs positive in/out, got %d/%d", ls.In, ls.Out)
+			}
+			if err := chain(ls.In); err != nil {
+				return 0, err
+			}
+			cur = ls.Out
+		case "conv":
+			if ls.C <= 0 || ls.H <= 0 || ls.W <= 0 || ls.OutC <= 0 || ls.K <= 0 || ls.Stride <= 0 {
+				return fail("needs positive c/h/w/outc/k/stride, got %d/%d/%d/%d/%d/%d", ls.C, ls.H, ls.W, ls.OutC, ls.K, ls.Stride)
+			}
+			if ls.Pad < 0 {
+				return fail("negative padding %d", ls.Pad)
+			}
+			outH := tensor.ConvOutSize(ls.H, ls.K, ls.Stride, ls.Pad)
+			outW := tensor.ConvOutSize(ls.W, ls.K, ls.Stride, ls.Pad)
+			if outH <= 0 || outW <= 0 {
+				return fail("kernel %d (stride %d, pad %d) does not fit %dx%d input", ls.K, ls.Stride, ls.Pad, ls.H, ls.W)
+			}
+			if err := chain(ls.C * ls.H * ls.W); err != nil {
+				return 0, err
+			}
+			cur = ls.OutC * outH * outW
+		case "act":
+			if _, err := NewActivation(ls.Act); err != nil {
+				return fail("%v", err)
+			}
+		case "round":
+			f, err := numfmt.ParseFormat(ls.Fmt)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if f == numfmt.INT8 {
+				return fail("INT8 activation rounding needs calibration; unsupported")
+			}
+		case "avgpool", "maxpool":
+			if ls.C <= 0 || ls.H <= 0 || ls.W <= 0 || ls.K <= 0 {
+				return fail("needs positive c/h/w/k, got %d/%d/%d/%d", ls.C, ls.H, ls.W, ls.K)
+			}
+			if ls.K > ls.H || ls.K > ls.W {
+				return fail("pool window %d exceeds %dx%d input", ls.K, ls.H, ls.W)
+			}
+			if err := chain(ls.C * ls.H * ls.W); err != nil {
+				return 0, err
+			}
+			cur = ls.C * (ls.H / ls.K) * (ls.W / ls.K)
+		case "bn":
+			if ls.C <= 0 || ls.H <= 0 || ls.W <= 0 {
+				return fail("needs positive c/h/w, got %d/%d/%d", ls.C, ls.H, ls.W)
+			}
+			if err := chain(ls.C * ls.H * ls.W); err != nil {
+				return 0, err
+			}
+			cur = ls.C * ls.H * ls.W
+		case "gap":
+			if ls.C <= 0 || ls.H <= 0 || ls.W <= 0 {
+				return fail("needs positive c/h/w, got %d/%d/%d", ls.C, ls.H, ls.W)
+			}
+			if err := chain(ls.C * ls.H * ls.W); err != nil {
+				return 0, err
+			}
+			cur = ls.C
+		case "upsample":
+			if ls.C <= 0 || ls.H <= 0 || ls.W <= 0 {
+				return fail("needs positive c/h/w, got %d/%d/%d", ls.C, ls.H, ls.W)
+			}
+			if err := chain(ls.C * ls.H * ls.W); err != nil {
+				return 0, err
+			}
+			cur = ls.C * ls.H * ls.W * 4
+		case "attention":
+			if ls.In <= 0 || ls.Out <= 0 {
+				return fail("needs positive token count (in) and dim (out), got %d/%d", ls.In, ls.Out)
+			}
+			if err := chain(ls.In * ls.Out); err != nil {
+				return 0, err
+			}
+			cur = ls.In * ls.Out
+		case "skipconcat":
+			if ls.C <= 0 || ls.OutC <= 0 || ls.H <= 0 || ls.W <= 0 {
+				return fail("needs positive identity channels (c), branch channels (outc) and h/w, got %d/%d/%d/%d", ls.C, ls.OutC, ls.H, ls.W)
+			}
+			in := ls.C * ls.H * ls.W
+			if err := chain(in); err != nil {
+				return 0, err
+			}
+			bOut, err := validateLayers(ls.Branch, in, fmt.Sprintf("%s[%d].branch", path, i))
+			if err != nil {
+				return 0, err
+			}
+			if want := ls.OutC * ls.H * ls.W; bOut > 0 && bOut != want {
+				return fail("branch output %d != declared branch half %d (outc %d x %dx%d)", bOut, want, ls.OutC, ls.H, ls.W)
+			}
+			cur = (ls.C + ls.OutC) * ls.H * ls.W
+		case "residual":
+			bOut, err := validateLayers(ls.Branch, cur, fmt.Sprintf("%s[%d].branch", path, i))
+			if err != nil {
+				return 0, err
+			}
+			sOut, err := validateLayers(ls.Shortcut, cur, fmt.Sprintf("%s[%d].shortcut", path, i))
+			if err != nil {
+				return 0, err
+			}
+			if bOut > 0 && sOut > 0 && bOut != sOut {
+				return fail("branch output %d != shortcut output %d; residual halves must agree", bOut, sOut)
+			}
+			switch {
+			case bOut > 0:
+				cur = bOut
+			case sOut > 0:
+				cur = sOut
+			}
+		default:
+			return fail("unknown layer type")
+		}
+	}
+	return cur, nil
 }
 
 func buildLayers(specs []LayerSpec, rng *rand.Rand) ([]Layer, error) {
@@ -219,6 +389,12 @@ func Load(r io.Reader) (*Network, error) {
 	}
 	var spec Spec
 	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		return nil, err
+	}
+	// Validate the deserialized (untrusted) spec before Build allocates
+	// parameters; Build re-checks, but failing here pins the error to
+	// the load path.
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	net, err := spec.Build(0)

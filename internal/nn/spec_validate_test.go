@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsBuilderSpecs(t *testing.T) {
+	specs := map[string]*Spec{
+		"mlp":    MLPSpec("m", []int{9, 50, 50, 9}, ActTanh, true),
+		"resnet": ResNetSpec("r", 3, 8, 8, 10, []int{1, 1}, []int{4, 8}, ActReLU, false),
+		"unet":   UNetSpec("u", 2, 8, 8, 2, 4, ActReLU, false),
+	}
+	for name, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: builder spec rejected: %v", name, err)
+		}
+	}
+}
+
+func TestValidateChainErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    Spec
+		wantSub string // substring the position-annotated error must carry
+	}{
+		{
+			name: "dense chain mismatch",
+			spec: Spec{InputDim: 4, Layers: []LayerSpec{
+				{Type: "dense", Name: "a", In: 4, Out: 8},
+				{Type: "dense", Name: "b", In: 9, Out: 2},
+			}},
+			wantSub: `layers[1] (dense "b"): input dim 9 does not chain from previous output 8`,
+		},
+		{
+			name: "input dim mismatch",
+			spec: Spec{InputDim: 3, Layers: []LayerSpec{
+				{Type: "dense", Name: "a", In: 4, Out: 8},
+			}},
+			wantSub: "does not chain from previous output 3",
+		},
+		{
+			name: "conv kernel exceeds input",
+			spec: Spec{Layers: []LayerSpec{
+				{Type: "conv", Name: "c", C: 1, H: 2, W: 2, OutC: 1, K: 5, Stride: 1},
+			}},
+			wantSub: "does not fit 2x2 input",
+		},
+		{
+			name: "conv negative pad",
+			spec: Spec{Layers: []LayerSpec{
+				{Type: "conv", Name: "c", C: 1, H: 4, W: 4, OutC: 1, K: 3, Stride: 1, Pad: -1},
+			}},
+			wantSub: "negative padding",
+		},
+		{
+			name: "conv feeding dense mismatch",
+			spec: Spec{Layers: []LayerSpec{
+				{Type: "conv", Name: "c", C: 1, H: 4, W: 4, OutC: 2, K: 3, Stride: 1, Pad: 1},
+				{Type: "dense", Name: "d", In: 10, Out: 2},
+			}},
+			wantSub: `layers[1] (dense "d"): input dim 10 does not chain from previous output 32`,
+		},
+		{
+			name: "pool window too large",
+			spec: Spec{Layers: []LayerSpec{
+				{Type: "maxpool", Name: "p", C: 1, H: 2, W: 2, K: 4},
+			}},
+			wantSub: "pool window 4 exceeds 2x2 input",
+		},
+		{
+			name: "residual halves disagree",
+			spec: Spec{InputDim: 16, Layers: []LayerSpec{
+				{Type: "residual", Name: "res", Branch: []LayerSpec{
+					{Type: "dense", Name: "fb", In: 16, Out: 8},
+				}},
+			}},
+			wantSub: `(residual "res"): branch output 8 != shortcut output 16`,
+		},
+		{
+			name: "residual nested position",
+			spec: Spec{InputDim: 16, Layers: []LayerSpec{
+				{Type: "residual", Name: "res", Branch: []LayerSpec{
+					{Type: "dense", Name: "f0", In: 16, Out: 16},
+					{Type: "dense", Name: "f1", In: 4, Out: 16},
+				}},
+			}},
+			wantSub: `layers[0].branch[1] (dense "f1")`,
+		},
+		{
+			name: "skipconcat branch half mismatch",
+			spec: Spec{InputDim: 16, Layers: []LayerSpec{
+				{Type: "skipconcat", Name: "sk", C: 1, OutC: 2, H: 4, W: 4, Branch: []LayerSpec{
+					{Type: "conv", Name: "b0", C: 1, H: 4, W: 4, OutC: 3, K: 3, Stride: 1, Pad: 1},
+				}},
+			}},
+			wantSub: "branch output 48 != declared branch half 32",
+		},
+		{
+			name: "attention chain",
+			spec: Spec{InputDim: 10, Layers: []LayerSpec{
+				{Type: "attention", Name: "att", In: 3, Out: 4},
+			}},
+			wantSub: "input dim 12 does not chain from previous output 10",
+		},
+		{
+			name: "round INT8",
+			spec: Spec{Layers: []LayerSpec{
+				{Type: "round", Name: "r", Fmt: "int8"},
+			}},
+			wantSub: "INT8 activation rounding",
+		},
+		{
+			name:    "negative input dim",
+			spec:    Spec{InputDim: -1},
+			wantSub: "negative input dim",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q missing %q", err, tc.wantSub)
+			}
+			if _, err := tc.spec.Build(0); err == nil {
+				t.Fatal("Build accepted a spec Validate rejects")
+			}
+		})
+	}
+}
+
+func TestValidateUnknownInputAdopted(t *testing.T) {
+	// No InputDim and a leading activation: the chain starts unknown
+	// and is adopted at the first geometric layer.
+	s := Spec{Layers: []LayerSpec{
+		{Type: "act", Act: ActTanh},
+		{Type: "dense", Name: "d", In: 6, Out: 3},
+		{Type: "act", Act: ActReLU},
+		{Type: "dense", Name: "e", In: 3, Out: 1},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("unknown-start spec rejected: %v", err)
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	// A hand-corrupted spec must be rejected at load time with a
+	// position-annotated error rather than building a broken network.
+	spec := MLPSpec("lv", []int{3, 4, 2}, ActTanh, false)
+	net, err := spec.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the serialized spec JSON: fc1's in-dim 4 -> 7 keeps the
+	// JSON length identical but breaks chaining.
+	raw := strings.Replace(buf.String(), `"in":4`, `"in":7`, 1)
+	if raw == buf.String() {
+		t.Fatal("corruption did not apply")
+	}
+	if _, err := Load(strings.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "does not chain") {
+		t.Fatalf("Load accepted corrupt spec (err=%v)", err)
+	}
+}

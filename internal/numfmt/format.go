@@ -143,12 +143,15 @@ func (f Format) MinExponent() int {
 func (f Format) Round(x float64) float64 {
 	switch f {
 	case FP32:
+		//lint:ignore lossyconv FP32 rounding IS the float32 truncation; that is this format's semantics
 		return float64(float32(x))
 	case TF32:
+		//lint:ignore lossyconv TF32 rounds through binary32 by definition before dropping mantissa bits
 		return roundMantissa32(float32(x), 13)
 	case FP16:
 		return fp16Round(x)
 	case BF16:
+		//lint:ignore lossyconv BF16 rounds through binary32 by definition before dropping mantissa bits
 		return roundMantissa32(float32(x), 16)
 	case FP8E4M3, FP8E5M2:
 		return fp8Round(f, x)
@@ -184,6 +187,7 @@ func fp16Round(x float64) float64 { return FP16BitsToFloat(FloatToFP16Bits(x)) }
 func FloatToFP16Bits(x float64) uint16 {
 	// Convert through float32 first; double rounding is harmless here
 	// because binary32 keeps 13 extra mantissa bits beyond binary16.
+	//lint:ignore lossyconv deliberate: binary16 rounding routes through binary32, see comment above
 	f := float32(x)
 	bits := math.Float32bits(f)
 	sign := uint16(bits>>16) & 0x8000

@@ -30,6 +30,7 @@ func SpectralNormVectors(m *Matrix, iters int, v0 Vector) (sigma float64, u, v V
 	if len(v) != m.Cols {
 		// Deterministic start: a fixed-seed random direction avoids
 		// pathological orthogonality to the top singular vector.
+		//lint:ignore unseededrand fixed-seed start direction keeps power iteration deterministic; any non-orthogonal direction works
 		rng := rand.New(rand.NewSource(1))
 		v = make(Vector, m.Cols)
 		for i := range v {
