@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz-smoke lint ci
+.PHONY: all build vet fmt-check test race fuzz-smoke lint serve-smoke bench-serve ci
 
 all: build
 
@@ -42,4 +42,30 @@ fuzz-smoke:
 lint:
 	$(GO) run ./cmd/errpropvet ./...
 
-ci: build vet fmt-check race fuzz-smoke lint
+# End-to-end daemon smoke test: boot errpropd on a random port with the
+# built-in demo model, hit /healthz and one /v1/predict, then verify the
+# SIGTERM drain path exits 0.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/errpropd" ./cmd/errpropd; \
+	"$$tmp/errpropd" -addr 127.0.0.1:0 -demo -format fp16 \
+	  -portfile "$$tmp/port" >"$$tmp/log" 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/port" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/port" ] || { echo "errpropd never wrote portfile"; cat "$$tmp/log"; exit 1; }; \
+	addr=$$(cat "$$tmp/port"); \
+	curl -fsS "http://$$addr/healthz" >/dev/null; \
+	curl -fsS "http://$$addr/v1/predict" \
+	  -d '{"model":"demo","inputs":[[0,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8]],"tolerance":1e6}' \
+	  | grep -q '"outputs"'; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "errpropd did not drain cleanly"; cat "$$tmp/log"; exit 1; }; \
+	echo "serve-smoke OK ($$addr)"
+
+# Reproduce BENCH_serve.json: the batched-vs-unbatched load comparison
+# at 1/8/64 concurrent clients (see README "Serving").
+bench-serve:
+	ERRPROP_SERVE_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
+	$(GO) test -run '^TestWriteServeBenchJSON$$' -count=1 -v ./internal/serve
+
+ci: build vet fmt-check race fuzz-smoke lint serve-smoke

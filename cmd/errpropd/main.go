@@ -1,0 +1,173 @@
+// Command errpropd is the error-propagation inference daemon: it loads
+// one or more saved networks (nn.Save format), optionally quantizes
+// them, and serves batched predictions over HTTP with per-request QoI
+// error budgets (see internal/serve).
+//
+// Usage:
+//
+//	errpropd -addr :8080 -model h2=h2.model -model flame=flame.model -format fp16
+//	errpropd -addr 127.0.0.1:0 -demo -portfile /tmp/errpropd.port
+//
+// Endpoints: GET /healthz, GET /metrics, GET /v1/models,
+// POST /v1/predict (JSON or application/x-errprop-blob),
+// POST /v1/plan.
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
+// in-flight and queued requests complete, workers exit, then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	errprop "github.com/scidata/errprop"
+)
+
+// modelFlag is one -model name=path pair.
+type modelFlag struct {
+	name, path string
+}
+
+// parseModelFlag splits a -model argument of the form name=path.
+func parseModelFlag(arg string) (modelFlag, error) {
+	name, path, ok := strings.Cut(arg, "=")
+	if !ok || name == "" || path == "" {
+		return modelFlag{}, fmt.Errorf("-model wants name=path, got %q", arg)
+	}
+	return modelFlag{name: name, path: path}, nil
+}
+
+// demoNetwork builds the built-in demo model (the paper's H2-combustion
+// MLP shape, deterministic untrained weights) so smoke tests need no
+// model file.
+func demoNetwork() (*errprop.Network, error) {
+	return errprop.MLPSpec("demo", []int{9, 50, 50, 9}, errprop.ActTanh, false).Build(1)
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("errpropd", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		format   = fs.String("format", "fp32", "serving weight format for all models (fp32|tf32|bf16|fp16|int8)")
+		demo     = fs.Bool("demo", false, "also register a built-in demo model named \"demo\"")
+		portfile = fs.String("portfile", "", "write the bound address to this file once listening")
+
+		maxBatch = fs.Int("max-batch", 32, "micro-batch size limit")
+		flush    = fs.Duration("flush", 2*time.Millisecond, "micro-batch flush deadline")
+		queueCap = fs.Int("queue", 1024, "admission queue capacity per model")
+		workers  = fs.Int("workers", 4, "network replicas per model")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	)
+	var models []modelFlag
+	fs.Func("model", "register a model as name=path (repeatable)", func(arg string) error {
+		m, err := parseModelFlag(arg)
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(models) == 0 && !*demo {
+		return fmt.Errorf("nothing to serve: pass -model name=path and/or -demo")
+	}
+	var f errprop.Format
+	switch strings.ToLower(*format) {
+	case "fp32":
+		f = errprop.FP32
+	case "tf32":
+		f = errprop.TF32
+	case "bf16":
+		f = errprop.BF16
+	case "fp16":
+		f = errprop.FP16
+	case "int8":
+		f = errprop.INT8
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	srv := errprop.NewServer(errprop.ServeConfig{
+		MaxBatch:       *maxBatch,
+		FlushInterval:  *flush,
+		QueueCap:       *queueCap,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+	})
+	for _, m := range models {
+		file, err := os.Open(m.path)
+		if err != nil {
+			return err
+		}
+		net, err := errprop.LoadNetwork(file)
+		file.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", m.path, err)
+		}
+		if err := srv.Register(m.name, net, f); err != nil {
+			return err
+		}
+		log.Printf("registered %q from %s (format %s)", m.name, m.path, f)
+	}
+	if *demo {
+		net, err := demoNetwork()
+		if err != nil {
+			return err
+		}
+		if err := srv.Register("demo", net, f); err != nil {
+			return err
+		}
+		log.Printf("registered built-in demo model (format %s)", f)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	log.Printf("errpropd listening on %s", bound)
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(bound), 0o644); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	srv.Close()
+	log.Printf("drained; exiting")
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseModelFlag(t *testing.T) {
+	m, err := parseModelFlag("h2=/tmp/h2.model")
+	if err != nil || m.name != "h2" || m.path != "/tmp/h2.model" {
+		t.Fatalf("got %+v, %v", m, err)
+	}
+	for _, bad := range []string{"", "h2", "=path", "h2="} {
+		if _, err := parseModelFlag(bad); err == nil {
+			t.Errorf("parseModelFlag(%q) accepted", bad)
+		}
+	}
+	// Paths containing '=' keep everything after the first separator.
+	m, err = parseModelFlag("m=/a/b=c.model")
+	if err != nil || m.path != "/a/b=c.model" {
+		t.Fatalf("got %+v, %v", m, err)
+	}
+}
+
+func TestDemoNetwork(t *testing.T) {
+	net, err := demoNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.InputDim != 9 {
+		t.Fatalf("demo input dim %d, want 9", net.InputDim)
+	}
+	if _, err := net.Clone(); err != nil {
+		t.Fatalf("demo model must be servable (clonable): %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("run with nothing to serve must fail")
+	}
+	if err := run([]string{"-demo", "-format", "fp13"}); err == nil {
+		t.Fatal("run with unknown format must fail")
+	}
+	if err := run([]string{"-model", "x=/nonexistent.model", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("run with a missing model file must fail")
+	}
+}

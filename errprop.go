@@ -36,6 +36,7 @@ import (
 	"github.com/scidata/errprop/internal/numfmt"
 	"github.com/scidata/errprop/internal/pipeline"
 	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/serve"
 )
 
 // Network is a neural network (see internal/nn for the full API surface
@@ -257,6 +258,22 @@ func QuantizeMixed(net *Network, a MixedAssignment) (*Network, error) {
 func EstimateRatio(codec string, data []float64, dims []int, mode Mode, tol, sampleFrac float64) (float64, error) {
 	return compress.EstimateRatio(codec, data, dims, mode, tol, sampleFrac)
 }
+
+// Server is the concurrent batched inference service: named models,
+// per-request QoI error budgets, dynamic micro-batching over a worker
+// pool of Network.Clone replicas, bounded-queue backpressure, and a
+// /metrics plane (see internal/serve).
+type Server = serve.Server
+
+// ServeConfig tunes a Server; the zero value gets production defaults.
+type ServeConfig = serve.Config
+
+// ServeMetrics is a point-in-time snapshot of a Server's metrics plane.
+type ServeMetrics = serve.Snapshot
+
+// NewServer builds an inference server; register models with
+// Server.Register and mount Server.Handler on any net/http server.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // AutotuneOptions configures the automated allocation search.
 type AutotuneOptions = autotune.Options

@@ -1,0 +1,58 @@
+package nn
+
+import "fmt"
+
+// Clone returns a deep copy of the parameter: independent Data and Grad
+// slices under the same name.
+func (p *Param) Clone() *Param {
+	return &Param{
+		Name: p.Name,
+		Data: append([]float64(nil), p.Data...),
+		Grad: append([]float64(nil), p.Grad...),
+	}
+}
+
+// Clone returns an independent replica of the network: deep-copied
+// parameters, freshly allocated layer state, and transferred spectral-norm
+// estimates. The replica shares only the (immutable) *Spec with the
+// original.
+//
+// Clone exists because a *Network is NOT safe for concurrent use, even
+// for inference: Forward caches per-layer state for Backward when
+// train=true, and several layers lazily refresh internal spectral state
+// (power-iteration vectors, sigma estimates) on first use even with
+// train=false. Concurrent servers must therefore run one replica per
+// goroutine; Clone makes those replicas cheap and exactly equivalent —
+// a clone's Forward is bit-identical to the original's.
+//
+// Clone itself must not race with a Forward/Backward on the receiver
+// (it reads parameter data and may lazily compute missing sigma
+// estimates). Networks without a Spec (hand-assembled layer slices)
+// cannot be cloned.
+func (n *Network) Clone() (*Network, error) {
+	if n.Spec == nil {
+		return nil, fmt.Errorf("nn: network has no Spec; cannot clone")
+	}
+	c, err := n.Spec.Build(0)
+	if err != nil {
+		return nil, fmt.Errorf("nn: clone rebuild: %w", err)
+	}
+	src, dst := n.Params(), c.Params()
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("nn: clone parameter count mismatch %d vs %d", len(src), len(dst))
+	}
+	for i, p := range src {
+		if len(p.Data) != len(dst[i].Data) {
+			return nil, fmt.Errorf("nn: clone parameter %s length mismatch %d vs %d", p.Name, len(p.Data), len(dst[i].Data))
+		}
+		copy(dst[i].Data, p.Data)
+		copy(dst[i].Grad, p.Grad)
+	}
+	// Transfer the spectral-norm estimates so the clone's PSN effective
+	// weights match the original's bit for bit; recompute on any
+	// structural mismatch.
+	if !c.setSpectralSigmas(n.spectralSigmas()) {
+		c.RefreshSigmas()
+	}
+	return c, nil
+}

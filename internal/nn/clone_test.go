@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+func cloneTestNet(t *testing.T, psn bool) *Network {
+	t.Helper()
+	spec := MLPSpec("clonetest", []int{9, 50, 50, 9}, ActTanh, psn)
+	net, err := spec.Build(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestParamClone(t *testing.T) {
+	p := NewParam("w", 4)
+	for i := range p.Data {
+		p.Data[i] = float64(i) + 0.5
+		p.Grad[i] = float64(i) - 0.5
+	}
+	q := p.Clone()
+	if q.Name != p.Name || len(q.Data) != len(p.Data) || len(q.Grad) != len(p.Grad) {
+		t.Fatalf("clone shape mismatch: %+v vs %+v", q, p)
+	}
+	q.Data[0] += 1
+	q.Grad[0] += 1
+	if math.Abs(p.Data[0]-0.5) > 0 || math.Abs(p.Grad[0]+0.5) > 0 {
+		t.Fatalf("mutating clone leaked into original: %v %v", p.Data[0], p.Grad[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for _, psn := range []bool{false, true} {
+		net := cloneTestNet(t, psn)
+		x := make(tensor.Vector, 9)
+		for i := range x {
+			x[i] = 0.1 * float64(i+1)
+		}
+		want := net.ForwardVec(x)
+
+		c, err := net.Clone()
+		if err != nil {
+			t.Fatalf("psn=%v: %v", psn, err)
+		}
+		got := c.ForwardVec(x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 0 {
+				t.Fatalf("psn=%v: clone output[%d]=%v != original %v (must be bit-identical)", psn, i, got[i], want[i])
+			}
+		}
+
+		// Mutating the clone's parameters must not leak into the original.
+		for _, p := range c.Params() {
+			for i := range p.Data {
+				p.Data[i] += 100
+			}
+		}
+		c.RefreshSigmas()
+		after := net.ForwardVec(x)
+		for i := range want {
+			if math.Abs(after[i]-want[i]) > 0 {
+				t.Fatalf("psn=%v: mutating clone changed original output[%d]: %v vs %v", psn, i, after[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCloneWithoutSpec(t *testing.T) {
+	net := cloneTestNet(t, false)
+	bare := &Network{InputDim: net.InputDim, Layers: net.Layers} // no Spec
+	if _, err := bare.Clone(); err == nil {
+		t.Fatal("Clone accepted a network without a Spec")
+	}
+}
+
+// TestConcurrentForwardOnClones exercises the contract Clone exists for:
+// one replica per goroutine is race-free (run under -race), and every
+// replica computes exactly the original's function. A single shared
+// *Network would race here — Forward lazily touches per-layer spectral
+// state and, with train=true, caches activations for Backward.
+func TestConcurrentForwardOnClones(t *testing.T) {
+	net := cloneTestNet(t, true)
+	x := make(tensor.Vector, 9)
+	for i := range x {
+		x[i] = 0.05 * float64(i)
+	}
+	want := net.ForwardVec(x)
+
+	const replicas = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, replicas)
+	for r := 0; r < replicas; r++ {
+		c, err := net.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c *Network) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				got := c.ForwardVec(x)
+				for i := range want {
+					if math.Abs(got[i]-want[i]) > 0 {
+						errs <- fmt.Errorf("replica output[%d]=%v diverged from %v", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

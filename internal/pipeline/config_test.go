@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"github.com/scidata/errprop/internal/gpusim"
+	"github.com/scidata/errprop/internal/hpcio"
+	"github.com/scidata/errprop/internal/nn"
+)
+
+func TestFillDefaults(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	if c.Device != gpusim.RTX3080Ti {
+		t.Errorf("default Device = %v, want RTX3080Ti", c.Device)
+	}
+	if c.Storage == nil {
+		t.Error("default Storage not applied")
+	}
+	if c.Decode == nil {
+		t.Error("default DecodeModel not applied")
+	}
+	if c.Batch != 256 {
+		t.Errorf("default Batch = %d, want 256", c.Batch)
+	}
+}
+
+func TestFillDefaultsRespectsCustomValues(t *testing.T) {
+	storage := &hpcio.Storage{Name: "test", Bandwidth: 1e9, Latency: time.Millisecond}
+	decode := hpcio.DefaultDecodeModel()
+	c := Config{
+		Device:  gpusim.V100,
+		Storage: storage,
+		Decode:  decode,
+		Batch:   17,
+	}
+	c.fillDefaults()
+	if c.Device != gpusim.V100 {
+		t.Errorf("custom Device overwritten: %v", c.Device)
+	}
+	if c.Storage != storage {
+		t.Error("custom Storage overwritten")
+	}
+	if c.Batch != 17 {
+		t.Errorf("custom Batch overwritten: %d", c.Batch)
+	}
+}
+
+// TestFillDefaultsAppliedOnceIdempotent pins that a second fill (e.g. a
+// config threaded through New twice) changes nothing: defaults are
+// applied exactly once, then the config is a fixed point.
+func TestFillDefaultsAppliedOnceIdempotent(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	first := c
+	c.fillDefaults()
+	if c.Device != first.Device || c.Storage != first.Storage || c.Batch != first.Batch {
+		t.Errorf("second fillDefaults changed the config: %+v vs %+v", c, first)
+	}
+}
+
+// TestNewFillsDefaultsWithoutMutatingCaller pins New's by-value
+// semantics: the pipeline gets a defaults-filled copy, the caller's
+// Config is untouched.
+func TestNewFillsDefaultsWithoutMutatingCaller(t *testing.T) {
+	net, err := nn.MLPSpec("p", []int{4, 8, 4}, nn.ActTanh, false).Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg Config
+	p, err := New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Device != nil || cfg.Storage != nil || cfg.Batch != 0 {
+		t.Errorf("New mutated the caller's config: %+v", cfg)
+	}
+	if p.cfg.Device == nil || p.cfg.Storage == nil || p.cfg.Batch != 256 {
+		t.Errorf("pipeline config missing defaults: %+v", p.cfg)
+	}
+}

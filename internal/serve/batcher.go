@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"time"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// batchLoop is the model's dynamic micro-batcher: it blocks for the
+// first queued item, then keeps accepting items until the batch reaches
+// maxBatch or flush elapses — whichever comes first — and hands the
+// batch to the worker pool. The hand-off channel is unbuffered, so when
+// every worker is busy the batcher stalls, the admission queue fills,
+// and enqueue starts returning ErrBusy: backpressure propagates to the
+// client as 503 instead of unbounded memory growth.
+func (m *model) batchLoop(maxBatch int, flush time.Duration) {
+	defer func() {
+		close(m.work)
+		m.wg.Done()
+	}()
+	timer := time.NewTimer(flush)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-m.queue
+		if !ok {
+			return
+		}
+		batch := m.fillBatch(first, timer, maxBatch, flush)
+		m.work <- batch
+	}
+}
+
+// fillBatch grows a batch from its first item until size or deadline.
+// With maxBatch == 1 it returns immediately: batch-size-1 serving pays
+// no coalescing latency.
+func (m *model) fillBatch(first *item, timer *time.Timer, maxBatch int, flush time.Duration) []*item {
+	batch := append(make([]*item, 0, maxBatch), first)
+	if maxBatch == 1 {
+		return batch
+	}
+	timer.Reset(flush)
+	defer func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}()
+	for len(batch) < maxBatch {
+		select {
+		case it, ok := <-m.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, it)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// workLoop runs batches on this worker's private replica until the
+// batcher closes the work channel (drain).
+func (m *model) workLoop(replica *nn.Network) {
+	defer m.wg.Done()
+	for batch := range m.work {
+		m.runBatch(replica, batch)
+	}
+}
+
+// runBatch executes one micro-batch: expired items are skipped (their
+// waiters already gave up), the rest are packed into one
+// (features x batch) matrix for a single forward pass, and each result
+// column is delivered to its item.
+func (m *model) runBatch(replica *nn.Network, batch []*item) {
+	live := make([]*item, 0, len(batch))
+	for _, it := range batch {
+		if it.ctx != nil && it.ctx.Err() != nil {
+			it.err = it.ctx.Err()
+			close(it.done)
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	k := len(live)
+	x := tensor.NewMatrix(m.inDim, k)
+	for i, it := range live {
+		for f := 0; f < m.inDim; f++ {
+			x.Data[f*k+i] = it.x[f]
+		}
+	}
+	y := replica.Forward(x, false)
+	for i, it := range live {
+		out := make([]float64, y.Rows)
+		for f := 0; f < y.Rows; f++ {
+			out[f] = y.Data[f*k+i]
+		}
+		it.out = out
+		close(it.done)
+	}
+	m.srv.metrics.batches.Add(1)
+	m.srv.metrics.samples.Add(int64(k))
+	m.srv.metrics.batchSize.observe(float64(k))
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// metrics is the server's expvar-style metrics plane: lock-free atomic
+// counters and fixed-bucket histograms, snapshotted on demand by
+// /metrics. Everything is monotonic except the queue-depth gauge, which
+// is computed at snapshot time.
+type metrics struct {
+	requests atomic.Int64 // predict requests received (all outcomes)
+	ok       atomic.Int64 // 200s
+	rejected atomic.Int64 // 503s (queue full or draining)
+	timedOut atomic.Int64 // 504s (request deadline expired)
+	failed   atomic.Int64 // other 4xx/5xx (bad input, unknown model, budget)
+
+	samples atomic.Int64 // samples executed by workers
+	batches atomic.Int64 // forward passes executed by workers
+
+	batchSize *histogram // samples per executed batch
+	latency   *histogram // successful request latency, seconds
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		batchSize: newHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		latency: newHistogram(
+			50e-6, 100e-6, 250e-6, 500e-6,
+			1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+			1, 2.5, 5, 10,
+		),
+	}
+}
+
+// histogram is a fixed-bucket histogram safe for concurrent observe.
+// Bucket i counts observations v <= bounds[i]; the final implicit bucket
+// counts overflow.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+}
+
+// quantile returns an upper-bound estimate of the q-th quantile: the
+// upper edge of the bucket holding that observation, clamped to the
+// largest finite bound for the overflow bucket. Returns 0 on an empty
+// histogram.
+func (h *histogram) quantile(q float64) float64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			return h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Bucket is one histogram bucket in a Snapshot; LE is the inclusive
+// upper bound ("+Inf" for the overflow bucket).
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+func (h *histogram) buckets(scale float64) []Bucket {
+	out := make([]Bucket, 0, len(h.counts))
+	for i := range h.counts {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i]*scale, 'g', -1, 64)
+		}
+		out = append(out, Bucket{LE: le, Count: h.counts[i].Load()})
+	}
+	return out
+}
+
+// ModelStats is one model's slice of the metrics plane.
+type ModelStats struct {
+	Format     string  `json:"format"`
+	InDim      int     `json:"in_dim"`
+	OutDim     int     `json:"out_dim"`
+	QuantBound float64 `json:"quant_bound"`
+	Requests   int64   `json:"requests_total"`
+	Samples    int64   `json:"samples_total"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
+// Snapshot is a point-in-time view of the metrics plane, also the JSON
+// body served at /metrics.
+type Snapshot struct {
+	Requests int64 `json:"requests_total"`
+	OK       int64 `json:"ok_total"`
+	Rejected int64 `json:"rejected_total"`
+	TimedOut int64 `json:"timedout_total"`
+	Failed   int64 `json:"failed_total"`
+
+	Samples    int64   `json:"samples_total"`
+	Batches    int64   `json:"batches_total"`
+	BatchMean  float64 `json:"batch_size_mean"`
+	QueueDepth int     `json:"queue_depth"`
+	Draining   bool    `json:"draining"`
+
+	LatencyP50ms float64 `json:"latency_p50_ms"`
+	LatencyP95ms float64 `json:"latency_p95_ms"`
+	LatencyP99ms float64 `json:"latency_p99_ms"`
+
+	BatchSizeHist []Bucket `json:"batch_size_hist"`
+	LatencyHistMS []Bucket `json:"latency_hist_ms"`
+
+	Models map[string]ModelStats `json:"models"`
+}
+
+// Metrics snapshots the whole metrics plane.
+func (s *Server) Metrics() Snapshot {
+	m := s.metrics
+	snap := Snapshot{
+		Requests:      m.requests.Load(),
+		OK:            m.ok.Load(),
+		Rejected:      m.rejected.Load(),
+		TimedOut:      m.timedOut.Load(),
+		Failed:        m.failed.Load(),
+		Samples:       m.samples.Load(),
+		Batches:       m.batches.Load(),
+		Draining:      s.draining.Load(),
+		LatencyP50ms:  m.latency.quantile(0.50) * 1e3,
+		LatencyP95ms:  m.latency.quantile(0.95) * 1e3,
+		LatencyP99ms:  m.latency.quantile(0.99) * 1e3,
+		BatchSizeHist: m.batchSize.buckets(1),
+		LatencyHistMS: m.latency.buckets(1e3),
+		Models:        make(map[string]ModelStats),
+	}
+	if snap.Batches > 0 {
+		snap.BatchMean = float64(snap.Samples) / float64(snap.Batches)
+	}
+	s.mu.RLock()
+	for name, md := range s.models {
+		depth := len(md.queue)
+		snap.QueueDepth += depth
+		snap.Models[name] = ModelStats{
+			Format:     md.format.String(),
+			InDim:      md.inDim,
+			OutDim:     md.outDim,
+			QuantBound: md.analysis.QuantizationBound(),
+			Requests:   md.requests.Load(),
+			Samples:    md.samples.Load(),
+			QueueDepth: depth,
+		}
+	}
+	s.mu.RUnlock()
+	return snap
+}

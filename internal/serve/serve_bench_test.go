@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// The self-contained load generator: N concurrent clients hammer a real
+// httptest.Server over HTTP with single-sample predict requests, the
+// production shape micro-batching exists for. Results feed the bench
+// trajectory (BENCH_serve.json) and the batched-vs-single acceptance
+// test below.
+
+type loadStats struct {
+	Clients   int     `json:"clients"`
+	Mode      string  `json:"mode"`
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Rejected  int     `json:"rejected"`
+	Other     int     `json:"other"`
+	Seconds   float64 `json:"seconds"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50ms     float64 `json:"p50_ms"`
+	P95ms     float64 `json:"p95_ms"`
+	P99ms     float64 `json:"p99_ms"`
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// runLoad drives the handler with clients goroutines issuing perClient
+// single-sample requests each and reports client-side throughput and
+// latency percentiles.
+func runLoad(tb testing.TB, s *Server, clients, perClient int) loadStats {
+	tb.Helper()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	transport := &http.Transport{MaxIdleConns: clients * 2, MaxIdleConnsPerHost: clients * 2}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	before := s.Metrics()
+	type outcome struct {
+		code int
+		dur  time.Duration
+	}
+	outcomes := make([][]outcome, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c + 1)))
+			outs := make([]outcome, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				row := make([]float64, 9)
+				for f := range row {
+					row[f] = rng.NormFloat64()
+				}
+				body, err := json.Marshal(PredictRequest{Model: "h2", Inputs: [][]float64{row}})
+				if err != nil {
+					tb.Error(err)
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					tb.Error(err)
+					return
+				}
+				var sink bytes.Buffer
+				_, _ = sink.ReadFrom(resp.Body)
+				resp.Body.Close()
+				outs = append(outs, outcome{code: resp.StatusCode, dur: time.Since(t0)})
+			}
+			outcomes[c] = outs
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := s.Metrics()
+
+	st := loadStats{Clients: clients, Seconds: elapsed.Seconds()}
+	var durs []time.Duration
+	for _, outs := range outcomes {
+		for _, o := range outs {
+			st.Requests++
+			switch o.code {
+			case http.StatusOK:
+				st.OK++
+				durs = append(durs, o.dur)
+			case http.StatusServiceUnavailable:
+				st.Rejected++
+			default:
+				st.Other++
+			}
+		}
+	}
+	st.ReqPerSec = float64(st.OK) / elapsed.Seconds()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(q float64) float64 {
+		if len(durs) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(durs)-1))
+		return float64(durs[idx]) / float64(time.Millisecond)
+	}
+	st.P50ms, st.P95ms, st.P99ms = pct(0.50), pct(0.95), pct(0.99)
+	if batches := after.Batches - before.Batches; batches > 0 {
+		st.MeanBatch = float64(after.Samples-before.Samples) / float64(batches)
+	}
+	return st
+}
+
+func benchServer(tb testing.TB, maxBatch int) *Server {
+	tb.Helper()
+	s := New(Config{
+		Workers:        2,
+		MaxBatch:       maxBatch,
+		FlushInterval:  time.Millisecond,
+		QueueCap:       4096,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err := s.Register("h2", h2Net(tb), numfmt.FP32); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// TestMicroBatchingBeatsSingleAt64Clients is the subsystem's acceptance
+// gate: at 64 concurrent clients on the same worker count, dynamic
+// micro-batching must serve strictly more requests per second than
+// batch-size-1 serving, with every admitted request answered (zero
+// drops) and server-side counters reconciling with the client's.
+func TestMicroBatchingBeatsSingleAt64Clients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	const clients, perClient = 64, 40
+
+	single := New(Config{Workers: 2, MaxBatch: 1, QueueCap: 4096, RequestTimeout: 30 * time.Second})
+	if err := single.Register("h2", h2Net(t), numfmt.FP32); err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	batched := benchServer(t, 64)
+	defer batched.Close()
+
+	stSingle := runLoad(t, single, clients, perClient)
+	stBatched := runLoad(t, batched, clients, perClient)
+	t.Logf("single:  %+v", stSingle)
+	t.Logf("batched: %+v", stBatched)
+
+	for _, st := range []loadStats{stSingle, stBatched} {
+		if st.OK != st.Requests || st.Rejected != 0 || st.Other != 0 {
+			t.Fatalf("dropped/failed requests under an unconstrained queue: %+v", st)
+		}
+	}
+	if stBatched.MeanBatch <= 1.01 {
+		t.Fatalf("micro-batcher never coalesced (mean batch %.2f); contention should produce multi-sample batches", stBatched.MeanBatch)
+	}
+	if stBatched.ReqPerSec <= stSingle.ReqPerSec {
+		t.Fatalf("micro-batching (%.0f req/s) not faster than batch-size-1 (%.0f req/s)",
+			stBatched.ReqPerSec, stSingle.ReqPerSec)
+	}
+
+	// Server-side accounting must reconcile with the client side.
+	snap := batched.Metrics()
+	if snap.Requests != int64(stBatched.Requests) || snap.OK != int64(stBatched.OK) {
+		t.Fatalf("metrics (req=%d ok=%d) do not reconcile with client (%d/%d)",
+			snap.Requests, snap.OK, stBatched.Requests, stBatched.OK)
+	}
+}
+
+// TestWriteServeBenchJSON regenerates the committed serving baseline.
+// Run with:
+//
+//	ERRPROP_SERVE_BENCH_OUT=BENCH_serve.json go test ./internal/serve -run TestWriteServeBenchJSON -count=1
+func TestWriteServeBenchJSON(t *testing.T) {
+	out := os.Getenv("ERRPROP_SERVE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set ERRPROP_SERVE_BENCH_OUT to write the serving bench trajectory")
+	}
+	const perClient = 150
+	var runs []loadStats
+	for _, clients := range []int{1, 8, 64} {
+		s := benchServer(t, 64)
+		st := runLoad(t, s, clients, perClient)
+		st.Mode = "batched"
+		s.Close()
+		runs = append(runs, st)
+	}
+	sSingle := New(Config{Workers: 2, MaxBatch: 1, QueueCap: 4096, RequestTimeout: 30 * time.Second})
+	if err := sSingle.Register("h2", h2Net(t), numfmt.FP32); err != nil {
+		t.Fatal(err)
+	}
+	stSingle := runLoad(t, sSingle, 64, perClient)
+	stSingle.Mode = "single"
+	sSingle.Close()
+	runs = append(runs, stSingle)
+
+	doc := map[string]any{
+		"bench":       "serve",
+		"model":       "h2-mlp 9-50-50-9 tanh (untrained, fp32)",
+		"description": "HTTP load generator against the internal/serve micro-batching service; req_per_sec counts 200s, latencies are client-side per request",
+		"config": map[string]any{
+			"workers":   2,
+			"max_batch": 64,
+			"flush_ms":  1,
+			"queue_cap": 4096,
+		},
+		"requests_per_client":             perClient,
+		"runs":                            runs,
+		"speedup_batched_vs_single_at_64": runs[2].ReqPerSec / stSingle.ReqPerSec,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (batched-vs-single speedup at 64 clients: %.2fx)", out, runs[2].ReqPerSec/stSingle.ReqPerSec)
+}
+
+// BenchmarkServePredict measures end-to-end served request throughput at
+// a fixed 64-client contention level; b.N requests are spread across the
+// clients.
+func BenchmarkServePredict(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		maxBatch int
+	}{{"batched", 64}, {"single", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := New(Config{Workers: 2, MaxBatch: mode.maxBatch, FlushInterval: time.Millisecond,
+				QueueCap: 4096, RequestTimeout: 30 * time.Second})
+			if err := s.Register("h2", h2Net(b), numfmt.FP32); err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			const clients = 64
+			perClient := b.N/clients + 1
+			b.ResetTimer()
+			st := runLoad(b, s, clients, perClient)
+			b.StopTimer()
+			if st.OK != st.Requests {
+				b.Fatalf("non-200s under bench: %+v", st)
+			}
+			b.ReportMetric(st.ReqPerSec, "req/s")
+			b.ReportMetric(st.P99ms, "p99-ms")
+		})
+	}
+}
