@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz-smoke lint serve-smoke bench-serve ci
+.PHONY: all build vet fmt-check test race fuzz-smoke lint serve-smoke bench-serve bench-train ci
 
 all: build
 
@@ -19,14 +19,20 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# -shuffle=on randomizes test (and subtest) execution order every run,
+# flushing out inter-test state dependence; a failure log prints the seed
+# to reproduce.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The experiments package trains small networks end to end; under the
 # race detector that legitimately exceeds go test's default 10m per-binary
-# timeout, so give the run headroom.
+# timeout, so give the run headroom. Measured worst case: ~28m for the
+# experiments binary on a one-core runner (multi-core runners finish
+# sooner — the data-parallel trainer shards training across cores), so
+# 35m is real slack while still failing a wedged binary within the job.
 race:
-	$(GO) test -race -timeout=45m ./...
+	$(GO) test -race -shuffle=on -timeout=35m ./...
 
 # ~10s total fuzz smoke over the internal/compress fuzz targets: enough
 # to catch a freshly introduced panic without stalling CI.
@@ -67,5 +73,12 @@ serve-smoke:
 bench-serve:
 	ERRPROP_SERVE_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
 	$(GO) test -run '^TestWriteServeBenchJSON$$' -count=1 -v ./internal/serve
+
+# Reproduce BENCH_train.json: the data-parallel trainer vs the legacy
+# serial loop on the two paper regression models, sweeping worker counts
+# and asserting the bit-identity invariant (see README "Training").
+bench-train:
+	ERRPROP_TRAIN_BENCH_OUT=$(CURDIR)/BENCH_train.json \
+	$(GO) test -run '^TestWriteTrainBenchJSON$$' -count=1 -v ./internal/nn
 
 ci: build vet fmt-check race fuzz-smoke lint serve-smoke

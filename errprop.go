@@ -37,6 +37,7 @@ import (
 	"github.com/scidata/errprop/internal/pipeline"
 	"github.com/scidata/errprop/internal/quant"
 	"github.com/scidata/errprop/internal/serve"
+	"github.com/scidata/errprop/internal/tensor"
 )
 
 // Network is a neural network (see internal/nn for the full API surface
@@ -76,6 +77,58 @@ func ResNetSpec(name string, inC, h, w, numClasses int, blocks, channels []int, 
 
 // LoadNetwork reads a network serialized with Network.Save.
 func LoadNetwork(r io.Reader) (*Network, error) { return nn.Load(r) }
+
+// Matrix is the column-major-batch matrix type networks consume:
+// features x batch, one sample per column.
+type Matrix = tensor.Matrix
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.NewMatrix(rows, cols) }
+
+// NewMatrixFrom wraps an existing row-major backing slice (shared, not
+// copied) as a rows x cols matrix.
+func NewMatrixFrom(rows, cols int, data []float64) *Matrix {
+	return tensor.NewMatrixFrom(rows, cols, data)
+}
+
+// Optimizer updates network parameters from accumulated gradients.
+type Optimizer = nn.Optimizer
+
+// NewSGD returns stochastic gradient descent with optional momentum and
+// decoupled weight decay.
+func NewSGD(lr, momentum, weightDecay float64) Optimizer { return nn.NewSGD(lr, momentum, weightDecay) }
+
+// NewAdam returns the Adam optimizer with conventional defaults.
+func NewAdam(lr float64) Optimizer { return nn.NewAdam(lr) }
+
+// Trainer is the deterministic data-parallel training engine: minibatch
+// shards fan out over a pool of Network.Clone replicas and gradients
+// reduce in a fixed tree order, so the weight trajectory is bit-identical
+// for any Workers setting (see internal/nn.Trainer).
+type Trainer = nn.Trainer
+
+// TrainConfig tunes a Trainer. Workers (default GOMAXPROCS) only affects
+// speed, never results; ShardSize (default 32) fixes the gradient
+// reduction tree.
+type TrainConfig = nn.TrainConfig
+
+// LossFn is a shard loss: given network outputs for batch columns
+// [lo, hi) of a total-column batch, return the shard's loss contribution
+// and dL/d(out) (see MSEShard / CrossEntropyShard).
+type LossFn = nn.LossFn
+
+// NewTrainer builds a data-parallel trainer updating net with opt. The
+// network must carry its Spec and contain no BatchNorm layers.
+func NewTrainer(net *Network, opt Optimizer, cfg TrainConfig) (*Trainer, error) {
+	return nn.NewTrainer(net, opt, cfg)
+}
+
+// MSEShard adapts a full-batch regression target into a Trainer LossFn.
+func MSEShard(y *Matrix) LossFn { return nn.MSEShard(y) }
+
+// CrossEntropyShard adapts a full-batch label slice into a Trainer
+// LossFn.
+func CrossEntropyShard(labels []int) LossFn { return nn.CrossEntropyShard(labels) }
 
 // Format is a weight quantization format.
 type Format = numfmt.Format

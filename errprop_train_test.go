@@ -1,0 +1,56 @@
+package errprop_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	errprop "github.com/scidata/errprop"
+)
+
+// TestFacadeTraining drives the full public training surface: build a
+// PSN MLP, train it data-parallel through the facade, and confirm the
+// loss drops and the result feeds straight into Analyze.
+func TestFacadeTraining(t *testing.T) {
+	spec := errprop.MLPSpec("facadetrain", []int{4, 16, 2}, errprop.ActTanh, true)
+	net, err := spec.Build(7)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	tr, err := errprop.NewTrainer(net, errprop.NewSGD(0.05, 0.9, 0), errprop.TrainConfig{Workers: 2, ShardSize: 8})
+	if err != nil {
+		t.Fatalf("NewTrainer: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	x := errprop.NewMatrix(4, 64)
+	y := errprop.NewMatrix(2, 64)
+	for c := 0; c < 64; c++ {
+		var s float64
+		for r := 0; r < 4; r++ {
+			v := rng.NormFloat64()
+			x.Set(r, c, v)
+			s += v
+		}
+		y.Set(0, c, math.Tanh(s))
+		y.Set(1, c, s/4)
+	}
+
+	first := tr.Step(x, errprop.MSEShard(y), 1e-4)
+	var last float64
+	for i := 0; i < 200; i++ {
+		last = tr.Step(x, errprop.MSEShard(y), 1e-4)
+	}
+	if !(last < first/2) {
+		t.Fatalf("training did not reduce loss: first %v last %v", first, last)
+	}
+
+	net.RefreshSigmas()
+	an, err := errprop.Analyze(net, errprop.FP16)
+	if err != nil {
+		t.Fatalf("Analyze after training: %v", err)
+	}
+	if b := an.BoundLinf(1e-5); !(b > 0) || math.IsInf(b, 0) {
+		t.Fatalf("bound after training = %v", b)
+	}
+}

@@ -25,39 +25,48 @@ func (a *Analysis) ActivationQuantBound(f numfmt.Format) float64 {
 	eps := 1 / float64(uint64(1)<<uint(f.MantissaBits()+1))
 	_, act := a.Root.actCoeffs(a.Steps, eps)
 	//lint:ignore nonfinite sqrt of the nonnegative input width n0 is always finite
-	return act * math.Sqrt(float64(a.n0))
+	return act.x*math.Sqrt(float64(a.n0)) + act.c
 }
 
+// actChannel accumulates activation-rounding error as an affine function
+// of the input norm bound: total <= x * ||x||_2 + c.
+type actChannel struct{ x, c float64 }
+
 // actCoeffs extends the transfer algebra with an activation-quantization
-// channel: each activation node injects eps*C relative to its incoming
-// signal bound, and injected error rides the original Lipschitz factors
-// downstream (mirroring the weight-quant Add channel).
-func (n *Node) actCoeffs(steps StepFunc, eps float64) (Coeffs, float64) {
+// channel: each activation node rounds its OUTPUT, a perturbation of at
+// most eps * ||phi(h)|| <= eps * (C * s_in + ||phi(0)||), and injected
+// error rides the original Lipschitz factors downstream (mirroring the
+// weight-quant Add/AddC channel). The ||phi(0)|| offset keeps the bound
+// sound for sigmoid, whose output norm does not vanish with its input.
+func (n *Node) actCoeffs(steps StepFunc, eps float64) (Coeffs, actChannel) {
 	switch n.Kind {
 	case KindLinear:
-		return n.coeffs(steps), 0
+		return n.coeffs(steps), actChannel{}
 	case KindLipschitz:
 		c := n.coeffs(steps)
 		if n.IsAct {
-			return c, eps * n.C
+			return c, actChannel{x: eps * n.C, c: eps * n.Off}
 		}
-		return c, 0
+		return c, actChannel{}
 	case KindSequence:
 		acc := identityCoeffs()
-		var act float64
+		var act actChannel
 		for _, child := range n.Children {
 			cc, ca := child.actCoeffs(steps, eps)
-			act = cc.Lip*act + ca*acc.Sig
+			// ca.x scales the signal entering the child, itself affine in
+			// the sequence input: acc.Sig * ||x|| + acc.SigOff.
+			act.x = cc.Lip*act.x + ca.x*acc.Sig
+			act.c = cc.Lip*act.c + ca.x*acc.SigOff + ca.c
 			acc = compose(acc, cc)
 		}
 		return acc, act
 	case KindResidual:
 		bc, ba := n.Branch.actCoeffs(steps, eps)
-		sc, sa := identityCoeffs(), 0.0
+		sc, sa := identityCoeffs(), actChannel{}
 		if n.Shortcut != nil {
 			sc, sa = n.Shortcut.actCoeffs(steps, eps)
 		}
-		return parallelSum(bc, sc), ba + sa
+		return parallelSum(bc, sc), actChannel{x: ba.x + sa.x, c: ba.c + sa.c}
 	case KindConcat:
 		bc, ba := n.Branch.actCoeffs(steps, eps)
 		return quadratureSum(bc, identityCoeffs()), ba

@@ -12,27 +12,42 @@ import (
 // s), the node maps
 //
 //	dx_out <= Lip  * dx        (original weights — the paper's first term)
-//	a_out  <= Lip  * a + Add * s
-//	s_out  <= Sig  * s         (quantized-weight signal growth, sigma~)
+//	a_out  <= Lip  * a + Add * s + AddC
+//	s_out  <= Sig  * s + SigOff
 //
 // and LipQ tracks the Lipschitz product under quantized weights
 // (sigma~ everywhere), used by the planner when it wants the conservative
 // compression path through the quantized network.
 //
+// The signal channel is AFFINE, not purely multiplicative: an activation
+// with phi(0) != 0 (sigmoid) emits at least ||phi(0)||_2 no matter how
+// small its input, so its node carries SigOff = ||phi(0)||_2 on top of
+// the Lipschitz gain. AddC is the quantization error sourced by those
+// offsets — the part of the Add channel that does not scale with the
+// input's norm. Dropping the offsets under-bounds the hidden state
+// feeding each layer's weight-quantization noise; the bound-soundness
+// property suite (soundness_test.go) catches the resulting Inequality (3)
+// violations on sigmoid networks.
+//
 // Composition of sequential nodes N2 after N1:
 //
-//	Lip = Lip2*Lip1, LipQ = LipQ2*LipQ1, Sig = Sig2*Sig1
+//	Lip = Lip2*Lip1, LipQ = LipQ2*LipQ1
+//	Sig = Sig2*Sig1,       SigOff = Sig2*SigOff1 + SigOff2
 //	Add = Lip2*Add1 + Add2*Sig1
+//	AddC = Lip2*AddC1 + Add2*SigOff1 + AddC2
 //
-// which, expanded over an L-layer MLP, reproduces Inequality (3) term by
-// term (quantization noise injected at layer l rides the *original*
-// spectral norms downstream and the inflated sigma~ signal bound
-// upstream, exactly as in the paper).
+// which, expanded over an L-layer MLP with phi(0) = 0 activations,
+// reproduces Inequality (3) term by term (quantization noise injected at
+// layer l rides the *original* spectral norms downstream and the inflated
+// sigma~ signal bound upstream, exactly as in the paper; SigOff and AddC
+// stay zero).
 type Coeffs struct {
-	Lip  float64
-	LipQ float64
-	Sig  float64
-	Add  float64
+	Lip    float64
+	LipQ   float64
+	Sig    float64
+	SigOff float64
+	Add    float64
+	AddC   float64
 }
 
 // Identity returns the do-nothing coefficients.
@@ -41,31 +56,40 @@ func identityCoeffs() Coeffs { return Coeffs{Lip: 1, LipQ: 1, Sig: 1, Add: 0} }
 // compose returns the coefficients of "second after first".
 func compose(first, second Coeffs) Coeffs {
 	return Coeffs{
-		Lip:  second.Lip * first.Lip,
-		LipQ: second.LipQ * first.LipQ,
-		Sig:  second.Sig * first.Sig,
-		Add:  second.Lip*first.Add + second.Add*first.Sig,
+		Lip:    second.Lip * first.Lip,
+		LipQ:   second.LipQ * first.LipQ,
+		Sig:    second.Sig * first.Sig,
+		SigOff: second.Sig*first.SigOff + second.SigOff,
+		Add:    second.Lip*first.Add + second.Add*first.Sig,
+		AddC:   second.Lip*first.AddC + second.Add*first.SigOff + second.AddC,
 	}
 }
 
 // parallelSum combines a residual block's branch and shortcut (output
 // vectors add, so every coefficient adds).
 func parallelSum(a, b Coeffs) Coeffs {
-	return Coeffs{Lip: a.Lip + b.Lip, LipQ: a.LipQ + b.LipQ, Sig: a.Sig + b.Sig, Add: a.Add + b.Add}
+	return Coeffs{
+		Lip: a.Lip + b.Lip, LipQ: a.LipQ + b.LipQ,
+		Sig: a.Sig + b.Sig, SigOff: a.SigOff + b.SigOff,
+		Add: a.Add + b.Add, AddC: a.AddC + b.AddC,
+	}
 }
 
 // quadratureSum combines a concatenation's two halves: the output is the
 // stacked vector, so squared norms add — ||dy||^2 = ||da||^2 + ||db||^2 —
-// and every coefficient combines as sqrt(a^2 + b^2). (Additive channels
-// use the looser triangle form to stay sound when the two halves carry
-// correlated incoming error.)
+// and every gain coefficient combines as sqrt(a^2 + b^2); the affine
+// signal offsets combine the same way by Minkowski's inequality.
+// (Additive channels use the looser triangle form to stay sound when the
+// two halves carry correlated incoming error.)
 func quadratureSum(a, b Coeffs) Coeffs {
 	q := func(x, y float64) float64 { return math.Sqrt(x*x + y*y) }
 	return Coeffs{
-		Lip:  q(a.Lip, b.Lip),
-		LipQ: q(a.LipQ, b.LipQ),
-		Sig:  q(a.Sig, b.Sig),
-		Add:  a.Add + b.Add,
+		Lip:    q(a.Lip, b.Lip),
+		LipQ:   q(a.LipQ, b.LipQ),
+		Sig:    q(a.Sig, b.Sig),
+		SigOff: q(a.SigOff, b.SigOff),
+		Add:    a.Add + b.Add,
+		AddC:   a.AddC + b.AddC,
 	}
 }
 
@@ -84,6 +108,17 @@ func StepsForFormat(f numfmt.Format) StepFunc {
 
 // coeffs computes a node's transfer coefficients under the step function.
 func (n *Node) coeffs(steps StepFunc) Coeffs {
+	return n.coeffsWhere(steps, nil)
+}
+
+// coeffsWhere is coeffs with the Add channel restricted to the linear
+// nodes satisfying inject (nil means all). Gain channels (Lip, LipQ,
+// Sig) keep every node's inflation regardless, so a restricted pass
+// reports exactly the selected layers' noise inside the otherwise
+// unchanged full-graph bound. The Add/AddC channels are linear in the
+// injections, so summing single-layer passes reproduces the full bound —
+// the decomposition Report() exposes.
+func (n *Node) coeffsWhere(steps StepFunc, inject func(*nn.LinearOp) bool) Coeffs {
 	switch n.Kind {
 	case KindLinear:
 		var q float64
@@ -91,29 +126,33 @@ func (n *Node) coeffs(steps StepFunc) Coeffs {
 			q = steps(n.Op)
 		}
 		sigmaT := n.Op.Sigma + q*n.Op.InflGain/math.Sqrt(3)
+		add := q * n.Op.AddGain / (2 * math.Sqrt(3))
+		if inject != nil && !inject(n.Op) {
+			add = 0
+		}
 		return Coeffs{
 			Lip:  n.Op.Sigma,
 			LipQ: sigmaT,
 			Sig:  sigmaT,
-			Add:  q * n.Op.AddGain / (2 * math.Sqrt(3)),
+			Add:  add,
 		}
 	case KindLipschitz:
-		return Coeffs{Lip: n.C, LipQ: n.C, Sig: n.C, Add: 0}
+		return Coeffs{Lip: n.C, LipQ: n.C, Sig: n.C, SigOff: n.Off, Add: 0}
 	case KindSequence:
 		c := identityCoeffs()
 		for _, child := range n.Children {
-			c = compose(c, child.coeffs(steps))
+			c = compose(c, child.coeffsWhere(steps, inject))
 		}
 		return c
 	case KindResidual:
-		b := n.Branch.coeffs(steps)
+		b := n.Branch.coeffsWhere(steps, inject)
 		s := identityCoeffs()
 		if n.Shortcut != nil {
-			s = n.Shortcut.coeffs(steps)
+			s = n.Shortcut.coeffsWhere(steps, inject)
 		}
 		return parallelSum(b, s)
 	case KindConcat:
-		return quadratureSum(n.Branch.coeffs(steps), identityCoeffs())
+		return quadratureSum(n.Branch.coeffsWhere(steps, inject), identityCoeffs())
 	}
 	panic("core: unknown node kind")
 }
@@ -166,10 +205,12 @@ func (a *Analysis) CompressionBound(deltaX2 float64) float64 {
 
 // QuantizationBound is the L2 QoI perturbation caused by weight
 // quantization alone, assuming inputs normalized to [-1, 1] (so the
-// initial signal bound is sqrt(n_0), as in the paper's derivation).
+// initial signal bound is sqrt(n_0), as in the paper's derivation). The
+// AddC term carries the contribution sourced by activation signal
+// offsets (sigmoid networks); it is zero for phi(0) = 0 activations.
 func (a *Analysis) QuantizationBound() float64 {
 	//lint:ignore nonfinite sqrt of the nonnegative input width n0 is always finite
-	return a.coeffs.Add * math.Sqrt(float64(a.n0))
+	return a.coeffs.Add*math.Sqrt(float64(a.n0)) + a.coeffs.AddC
 }
 
 // Bound is the combined Inequality (3): QoI L2 error under both an input

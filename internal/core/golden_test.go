@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// Golden-file regression tests: the planner's decisions and the
+// per-layer amplification breakdown are the numbers downstream systems
+// act on (format choice, compressor tolerances), so unintended drift —
+// from a refactor of the transfer algebra, a step-size tweak, a changed
+// power-iteration cadence — must be loud. The goldens pin full-precision
+// values for fixed seeded networks; regenerate deliberately with
+//
+//	go test ./internal/core -run TestGolden -update
+//
+// and review the diff like any other code change.
+var update = flag.Bool("update", false, "rewrite golden files with current outputs")
+
+// goldenAnalysis is the snapshot schema. JSON float64 marshaling uses
+// the shortest round-trip representation, so byte equality of the
+// encoded files is exact value equality.
+type goldenAnalysis struct {
+	Lipschitz          float64            `json:"lipschitz"`
+	LipschitzQuantized float64            `json:"lipschitzQuantized"`
+	SignalGain         float64            `json:"signalGain"`
+	QuantizationBound  float64            `json:"quantizationBound"`
+	BoundAt1em3        float64            `json:"boundAtDx1e3"`
+	Layers             []LayerReport      `json:"layers"`
+	Plans              map[string]*Plan   `json:"plans"`
+	ActQuantBound      map[string]float64 `json:"actQuantBound"`
+}
+
+func goldenNetworks(t *testing.T) map[string]*nn.Network {
+	t.Helper()
+	nets := map[string]*nn.Network{}
+	build := func(name string, spec *nn.Spec, seed int64) {
+		net, err := spec.Build(seed)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		net.RefreshSigmas()
+		nets[name] = net
+	}
+	// The paper's H2 MLP shape with PSN.
+	build("mlp-tanh-psn", nn.MLPSpec("h2", []int{9, 50, 50, 9}, nn.ActTanh, true), 1234)
+	// A sigmoid MLP: exercises the affine signal-offset channel.
+	build("mlp-sigmoid", nn.MLPSpec("sig", []int{12, 16, 16, 4}, nn.ActSigmoid, false), 7)
+	// A small conv/residual classifier (projection shortcut included).
+	build("resnet-small", nn.ResNetSpec("rs", 3, 8, 8, 5, []int{1, 1}, []int{4, 8}, nn.ActReLU, true), 4321)
+	return nets
+}
+
+func TestGoldenPlansAndAmplification(t *testing.T) {
+	for name, net := range goldenNetworks(t) {
+		name, net := name, net
+		t.Run(name, func(t *testing.T) {
+			an, err := AnalyzeNetwork(net, numfmt.FP16)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			snap := goldenAnalysis{
+				Lipschitz:          an.Lipschitz(),
+				LipschitzQuantized: an.LipschitzQuantized(),
+				SignalGain:         an.SignalGain(),
+				QuantizationBound:  an.QuantizationBound(),
+				BoundAt1em3:        an.Bound(1e-3),
+				Layers:             an.Report(),
+				Plans:              map[string]*Plan{},
+				ActQuantBound: map[string]float64{
+					"fp16": an.ActivationQuantBound(numfmt.FP16),
+					"bf16": an.ActivationQuantBound(numfmt.BF16),
+				},
+			}
+			for label, req := range map[string]PlanRequest{
+				"linf-half":         {Tol: 1e-2, Norm: NormLinf, QuantFraction: 0.5},
+				"l2-tight":          {Tol: 1e-3, Norm: NormL2, QuantFraction: 0.3},
+				"linf-conservative": {Tol: 5e-2, Norm: NormLinf, QuantFraction: 0.9, Conservative: true},
+			} {
+				plan, err := PlanNetwork(net, req)
+				if err != nil {
+					t.Fatalf("plan %s: %v", label, err)
+				}
+				snap.Plans[label] = plan
+			}
+
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(snap); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatalf("mkdir: %v", err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Fatalf("golden mismatch for %s.\nIf the change is intended, regenerate with -update and review the diff.\n--- want\n%s--- got\n%s",
+					name, want, buf.Bytes())
+			}
+		})
+	}
+}
+
+// TestGoldenInternalConsistency cross-checks the snapshots against
+// invariants that must hold whatever the exact values are, so a bad
+// -update run cannot silently bless inconsistent goldens.
+func TestGoldenInternalConsistency(t *testing.T) {
+	for name, net := range goldenNetworks(t) {
+		name, net := name, net
+		t.Run(name, func(t *testing.T) {
+			an, err := AnalyzeNetwork(net, numfmt.FP16)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if an.LipschitzQuantized() < an.Lipschitz() {
+				t.Fatalf("sigma~ product %v below sigma product %v", an.LipschitzQuantized(), an.Lipschitz())
+			}
+			var sum float64
+			for _, lr := range an.Report() {
+				if lr.Sigma <= 0 || lr.SigmaInflated < lr.Sigma || lr.QuantTerm < 0 {
+					t.Fatalf("degenerate layer report %+v", lr)
+				}
+				sum += lr.QuantTerm
+			}
+			// The Add channel is linear in per-layer injections, so the
+			// single-layer passes must sum to the full bound for every
+			// graph shape (the exactness Report's decomposition promises).
+			qb := an.QuantizationBound()
+			if d := math.Abs(sum - qb); d > 1e-9*(1+qb) {
+				t.Fatalf("per-layer terms sum to %v, total bound %v (diff %v)", sum, qb, d)
+			}
+			plan, err := PlanNetwork(net, PlanRequest{Tol: 1e-2, Norm: NormLinf, QuantFraction: 0.5})
+			if err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+			if plan.TotalBound > 1e-2*(1+1e-9) {
+				t.Fatalf("planner exceeded its own tolerance: %v > 1e-2", plan.TotalBound)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/scidata/errprop/internal/nn"
 )
@@ -50,57 +51,87 @@ type Node struct {
 	// the activation-quantization analysis (pooling and rounding layers
 	// are Lipschitz nodes but not activations).
 	IsAct bool
+	// Off is the node's absolute signal offset ||phi(0)||_2 (KindLipschitz
+	// only; nonzero only for activations with phi(0) != 0, i.e. sigmoid).
+	// A pure Lipschitz gain bounds the centered response; the offset keeps
+	// the signal-magnitude channel sound for such activations.
+	Off float64
 }
 
 // FromNetwork translates a network into its error-flow graph. The
 // translation fails if the network contains a layer type the analysis
-// does not model.
+// does not model, or an activation with phi(0) != 0 at a point where the
+// layer width (needed to bound ||phi(0)||_2) cannot be determined.
 func FromNetwork(net *nn.Network) (*Node, error) {
-	return fromLayers(net.Layers)
+	root, _, err := fromLayers(net.Layers, net.InputDim)
+	return root, err
 }
 
-func fromLayers(layers []nn.Layer) (*Node, error) {
+// fromLayers translates a layer sequence, threading the current element
+// count (width <= 0 when unknown) so activation nodes can size their
+// signal offsets; it returns the sequence's output width.
+func fromLayers(layers []nn.Layer, width int) (*Node, int, error) {
 	seq := &Node{Kind: KindSequence, Label: "seq"}
 	for _, l := range layers {
-		child, err := fromLayer(l)
+		child, w, err := fromLayer(l, width)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
+		width = w
 		seq.Children = append(seq.Children, child)
 	}
-	return seq, nil
+	return seq, width, nil
 }
 
-func fromLayer(l nn.Layer) (*Node, error) {
+func fromLayer(l nn.Layer, width int) (*Node, int, error) {
 	switch t := l.(type) {
 	case nn.Spectral:
 		op := t.LinearOp()
-		return &Node{Kind: KindLinear, Op: &op, Label: op.LayerName}, nil
+		return &Node{Kind: KindLinear, Op: &op, Label: op.LayerName}, op.OutDim, nil
 	case *nn.Activation:
-		return &Node{Kind: KindLipschitz, C: t.Lipschitz(), Label: t.Name(), IsAct: true}, nil
+		var off float64
+		if zv := t.ZeroValue(); zv > 0 {
+			if width <= 0 {
+				return nil, 0, fmt.Errorf("core: cannot bound %s's signal offset ||phi(0)||: layer width unknown at this point", t.Name())
+			}
+			off = zv * math.Sqrt(float64(width))
+		}
+		return &Node{Kind: KindLipschitz, C: t.Lipschitz(), Off: off, Label: t.Name(), IsAct: true}, width, nil
 	case nn.Lipschitzer:
-		return &Node{Kind: KindLipschitz, C: t.Lipschitz(), Label: l.Name()}, nil
+		// Pooling and upsampling change the element count; only the
+		// width-preserving rounding layer keeps it known. Widths matter
+		// solely under activations with phi(0) != 0, which re-acquire
+		// theirs from the next linear layer.
+		w := -1
+		if _, ok := l.(*nn.RoundLayer); ok {
+			w = width
+		}
+		return &Node{Kind: KindLipschitz, C: t.Lipschitz(), Label: l.Name()}, w, nil
 	case *nn.Residual:
-		branch, err := fromLayers(t.Branch)
+		branch, bw, err := fromLayers(t.Branch, width)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		var shortcut *Node
 		if len(t.Shortcut) > 0 {
-			shortcut, err = fromLayers(t.Shortcut)
+			shortcut, _, err = fromLayers(t.Shortcut, width)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
-		return &Node{Kind: KindResidual, Branch: branch, Shortcut: shortcut, Label: t.Name()}, nil
+		return &Node{Kind: KindResidual, Branch: branch, Shortcut: shortcut, Label: t.Name()}, bw, nil
 	case *nn.SkipConcat:
-		branch, err := fromLayers(t.Branch)
+		branch, bw, err := fromLayers(t.Branch, width)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return &Node{Kind: KindConcat, Branch: branch, Label: t.Name()}, nil
+		out := -1
+		if width > 0 && bw > 0 {
+			out = width + bw
+		}
+		return &Node{Kind: KindConcat, Branch: branch, Label: t.Name()}, out, nil
 	default:
-		return nil, fmt.Errorf("core: unsupported layer type %T (%s)", l, l.Name())
+		return nil, 0, fmt.Errorf("core: unsupported layer type %T (%s)", l, l.Name())
 	}
 }
 

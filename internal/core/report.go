@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"github.com/scidata/errprop/internal/nn"
 )
 
 // LayerReport is one linear layer's contribution to the error budget.
@@ -23,13 +25,18 @@ type LayerReport struct {
 	InDim, OutDim int
 }
 
-// Report breaks the quantization bound down per linear layer. The sum of
-// QuantTerm over all layers equals QuantizationBound() exactly for
-// sequential graphs (and bounds it from below for residual graphs, where
-// shortcut interactions add cross terms); it pinpoints which layers
-// dominate the error budget — the information a practitioner needs to
-// decide where per-layer format selection (the paper's future work)
-// would pay off.
+// Report breaks the quantization bound down per linear layer: each
+// QuantTerm is computed by re-running the transfer algebra with only
+// that layer's noise injected (every other layer still contributes its
+// gain factors), so the terms sum to QuantizationBound() exactly for
+// EVERY graph shape — sequential, residual, and concat alike — and honor
+// activation Lipschitz constants and signal offsets. (An earlier version
+// multiplied raw prefix/suffix spectral-norm products, which overcounted
+// residual branches as if sequential and ignored activation factors; the
+// golden-consistency tests pin the exact decomposition now.) The
+// breakdown pinpoints which layers dominate the error budget — the
+// information a practitioner needs to decide where per-layer format
+// selection (the paper's future work) would pay off.
 func (a *Analysis) Report() []LayerReport {
 	nodes := a.Root.LinearNodes()
 	out := make([]LayerReport, len(nodes))
@@ -40,27 +47,17 @@ func (a *Analysis) Report() []LayerReport {
 			q = a.Steps(n.Op)
 		}
 		sigmaT := n.Op.Sigma + q*n.Op.InflGain/math.Sqrt(3)
+		target := n.Op
+		c := a.Root.coeffsWhere(a.Steps, func(op *nn.LinearOp) bool { return op == target })
 		out[i] = LayerReport{
 			Name:          n.Op.LayerName,
 			Sigma:         n.Op.Sigma,
 			SigmaInflated: sigmaT,
 			Step:          q,
+			QuantTerm:     c.Add*sqrtN0 + c.AddC,
 			InDim:         n.Op.InDim,
 			OutDim:        n.Op.OutDim,
 		}
-	}
-	// Per-layer quantization contribution for the (common) sequential
-	// case: prefix sigma~ products times own injection times suffix sigma
-	// products, scaled by sqrt(n0).
-	for i := range out {
-		term := out[i].Step * nodes[i].Op.AddGain / (2 * math.Sqrt(3)) * sqrtN0
-		for j := 0; j < i; j++ {
-			term *= out[j].SigmaInflated
-		}
-		for j := i + 1; j < len(out); j++ {
-			term *= out[j].Sigma
-		}
-		out[i].QuantTerm = term
 	}
 	return out
 }

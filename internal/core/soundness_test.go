@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+	_ "github.com/scidata/errprop/internal/compress/mgard"
+	_ "github.com/scidata/errprop/internal/compress/sz"
+	_ "github.com/scidata/errprop/internal/compress/zfp"
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// TestBoundSoundnessProperty is the paper's core claim as an executable
+// property: over ~100 seeded random networks crossed with quantization
+// formats, codecs, and tolerances, the ACHIEVED QoI L2 error of running
+// the quantized network on the decompressed input never exceeds
+// Inequality (3)'s prediction from the MEASURED input perturbation:
+//
+//	||f~(x~) - f(x)||_2  <=  Lip * ||x~ - x||_2 + Add * sqrt(n_0)
+//
+// Inputs are drawn from [-1, 1], the normalization the quantization term
+// assumes. The slack factor only absorbs float roundoff; a genuine bound
+// violation fails by orders of magnitude more than 1e-9.
+func TestBoundSoundnessProperty(t *testing.T) {
+	const cases = 102 // 17 configs x 6 seeds
+	const samples = 3
+	const slack = 1 + 1e-9
+
+	formats := []numfmt.Format{numfmt.FP32, numfmt.TF32, numfmt.FP16, numfmt.BF16, numfmt.INT8}
+	codecs := []string{"sz", "zfp", "mgard"}
+	tols := []float64{1e-1, 1e-2, 1e-3}
+	acts := []string{nn.ActTanh, nn.ActReLU, nn.ActSigmoid, nn.ActLeaky}
+
+	checked := 0
+	for i := 0; i < cases; i++ {
+		i := i
+		t.Run(fmt.Sprintf("case%03d", i), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			f := formats[i%len(formats)]
+			codec := codecs[(i/len(formats))%len(codecs)]
+			tol := tols[(i/7)%len(tols)]
+			psn := i%2 == 0
+
+			var net *nn.Network
+			var dims []int
+			var err error
+			if i%4 == 3 {
+				// Small conv/residual network on a 2x6x6 field.
+				dims = []int{2, 6, 6}
+				net, err = nn.ResNetSpec(fmt.Sprintf("snd%d", i), 2, 6, 6, 3,
+					[]int{1}, []int{3}, acts[i%len(acts)], psn).Build(int64(i))
+			} else {
+				// Random MLP: 1-3 hidden layers of width 4-20 on a flat field.
+				n0 := 8 + rng.Intn(25)
+				dims = []int{n0}
+				mdims := []int{n0}
+				for d := 0; d <= rng.Intn(3); d++ {
+					mdims = append(mdims, 4+rng.Intn(17))
+				}
+				mdims = append(mdims, 2+rng.Intn(6))
+				net, err = nn.MLPSpec(fmt.Sprintf("snd%d", i), mdims, acts[i%len(acts)], psn).Build(int64(i))
+			}
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			net.RefreshSigmas()
+
+			an, err := AnalyzeNetwork(net, f)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if l := an.Lipschitz(); !(l > 0) || math.IsInf(l, 0) {
+				t.Fatalf("degenerate Lipschitz bound %v", l)
+			}
+			qnet, err := quant.Quantize(net, f)
+			if err != nil {
+				t.Fatalf("quantize: %v", err)
+			}
+
+			n0 := an.InputDim()
+			for s := 0; s < samples; s++ {
+				x := smoothField(n0, rng)
+				blob, err := compress.Encode(codec, x, dims, compress.AbsLinf, tol)
+				if err != nil {
+					t.Fatalf("compress(%s): %v", codec, err)
+				}
+				xr, _, err := compress.Decode(blob)
+				if err != nil {
+					t.Fatalf("decompress(%s): %v", codec, err)
+				}
+				var dx2 float64
+				for j := range x {
+					d := xr[j] - x[j]
+					if math.Abs(d) > tol*slack {
+						t.Fatalf("%s violated its own pointwise bound: |d|=%v > tol=%v", codec, math.Abs(d), tol)
+					}
+					dx2 += d * d
+				}
+				dx2 = math.Sqrt(dx2)
+
+				ref := net.ForwardVec(tensor.Vector(x))
+				got := qnet.ForwardVec(tensor.Vector(xr))
+				var e2 float64
+				for j := range ref {
+					d := got[j] - ref[j]
+					e2 += d * d
+				}
+				e2 = math.Sqrt(e2)
+
+				bound := an.Bound(dx2)
+				if math.IsNaN(bound) || math.IsInf(bound, 0) {
+					t.Fatalf("non-finite bound %v", bound)
+				}
+				if e2 > bound*slack {
+					t.Fatalf("bound violated: achieved %v > predicted %v (fmt=%v codec=%s tol=%v dx2=%v)",
+						e2, bound, f, codec, tol, dx2)
+				}
+				// FP32 has no quantization error: Eq. (5) alone must hold.
+				if f == numfmt.FP32 && e2 > an.CompressionBound(dx2)*slack {
+					t.Fatalf("compression-only bound violated: %v > %v", e2, an.CompressionBound(dx2))
+				}
+			}
+			checked++
+		})
+	}
+	if !t.Failed() && checked != cases {
+		t.Fatalf("ran %d of %d soundness cases", checked, cases)
+	}
+}
+
+// smoothField draws a band-limited field with values strictly inside
+// [-1, 1]: compressible enough for every codec, rough enough that the
+// achieved perturbation is nonzero at realistic tolerances.
+func smoothField(n int, rng *rand.Rand) []float64 {
+	f1, f2 := 1+rng.Intn(4), 2+rng.Intn(7)
+	p1, p2 := rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi
+	x := make([]float64, n)
+	for i := range x {
+		u := float64(i) / float64(n)
+		x[i] = 0.5*math.Sin(2*math.Pi*float64(f1)*u+p1) +
+			0.3*math.Cos(2*math.Pi*float64(f2)*u+p2) +
+			0.1*(rng.Float64()*2-1)
+	}
+	return x
+}
+
+// TestBoundMonotonicity: the combined bound must be monotone in the
+// input perturbation and must dominate each of its two constituents —
+// structural sanity for the decomposition the planner relies on.
+func TestBoundMonotonicity(t *testing.T) {
+	net, err := nn.MLPSpec("mono", []int{6, 12, 4}, nn.ActTanh, true).Build(5)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	net.RefreshSigmas()
+	an, err := AnalyzeNetwork(net, numfmt.INT8)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	prev := 0.0
+	for _, dx := range []float64{0, 1e-6, 1e-4, 1e-2, 1} {
+		b := an.Bound(dx)
+		if b < prev {
+			t.Fatalf("bound decreased: Bound(%v)=%v < %v", dx, b, prev)
+		}
+		if b < an.CompressionBound(dx) || b < an.QuantizationBound() {
+			t.Fatalf("combined bound %v below a constituent at dx=%v", b, dx)
+		}
+		prev = b
+	}
+}

@@ -112,10 +112,15 @@ func buildRegressionTask(name string, v Variant) *RegressionTask {
 	return t
 }
 
-// trainRegression runs full-shuffle minibatch training with MSE loss and
-// the PSN spectral penalty when lambda > 0.
+// trainRegression runs minibatch training with MSE loss and the PSN
+// spectral penalty when lambda > 0, on the deterministic data-parallel
+// trainer (Workers follows GOMAXPROCS; the result is independent of it).
 func trainRegression(net *nn.Network, data *dataset.Regression, opt nn.Optimizer, epochs int, lambda float64) {
 	const batch = 256
+	tr, err := nn.NewTrainer(net, opt, nn.TrainConfig{})
+	if err != nil {
+		panic(err)
+	}
 	n := data.N()
 	for e := 0; e < epochs; e++ {
 		for lo := 0; lo < n; lo += batch {
@@ -124,14 +129,7 @@ func trainRegression(net *nn.Network, data *dataset.Regression, opt nn.Optimizer
 				hi = n
 			}
 			x, y := data.Batch(lo, hi)
-			net.ZeroGrad()
-			out := net.Forward(x, true)
-			_, grad := nn.MSELoss(out, y)
-			if lambda > 0 {
-				net.AddRegGrad(lambda)
-			}
-			net.Backward(grad)
-			opt.Step(net.Params())
+			tr.StepMSE(x, y, lambda)
 		}
 	}
 }
@@ -177,7 +175,13 @@ func buildEuroSATTask(v Variant) *ClassificationTask {
 }
 
 func trainEuroSAT(net *nn.Network, data *dataset.Classification, opt nn.Optimizer, epochs int, lambda float64) {
+	// Minibatches of 20 split into shards of 8 so the conv forward /
+	// backward passes — the dominant cost — parallelize across workers.
 	const batch = 20
+	tr, err := nn.NewTrainer(net, opt, nn.TrainConfig{ShardSize: 8})
+	if err != nil {
+		panic(err)
+	}
 	n := data.N()
 	for e := 0; e < epochs; e++ {
 		for lo := 0; lo < n; lo += batch {
@@ -186,14 +190,7 @@ func trainEuroSAT(net *nn.Network, data *dataset.Classification, opt nn.Optimize
 				hi = n
 			}
 			x, labels := data.BatchMatrix(lo, hi)
-			net.ZeroGrad()
-			out := net.Forward(x, true)
-			_, grad := nn.CrossEntropyLoss(out, labels)
-			if lambda > 0 {
-				net.AddRegGrad(lambda)
-			}
-			net.Backward(grad)
-			opt.Step(net.Params())
+			tr.StepCrossEntropy(x, labels, lambda)
 		}
 	}
 }

@@ -80,6 +80,20 @@ func (a *Activation) Lipschitz() float64 {
 	return 1
 }
 
+// ZeroValue returns |phi(0)|, the per-element output magnitude at zero
+// input — nonzero only for sigmoid (0.5). A Lipschitz constant alone
+// bounds the *centered* response |phi(h) - phi(0)|, so signal-magnitude
+// bounds through an activation must add ZeroValue() * sqrt(width) on top
+// of the C * ||h|| gain; ignoring the offset under-bounds the hidden
+// state feeding downstream weight-quantization error (a soundness bug
+// the error-flow analysis once had for sigmoid networks).
+func (a *Activation) ZeroValue() float64 {
+	if a.kind == ActSigmoid {
+		return 0.5
+	}
+	return 0
+}
+
 // Forward implements Layer.
 func (a *Activation) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if train {

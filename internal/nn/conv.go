@@ -22,13 +22,17 @@ type Conv2D struct {
 	PSN                  bool
 	Alpha                *Param
 
-	sigmaRaw float64
-	sigmaOK  bool
-	vop      tensor.Vector // warm-start vector for operator power iteration
+	sigmaRaw    float64
+	sigmaOK     bool
+	sigmaFrozen bool          // per-forward stepping disabled (see Network.SetSigmaStepping)
+	vop         tensor.Vector // warm-start vector for operator power iteration
 
 	inCols *tensor.Matrix // cached im2col for backward
 	batch  int
 	effW   *tensor.Matrix
+
+	// Scratch reused across train-mode steps (see Dense).
+	effWBuf, zBuf, outBuf, dzBuf, dEffBuf, dcolsBuf *tensor.Matrix
 
 	name string
 }
@@ -194,7 +198,27 @@ func t4ToMat(t *tensor.T4) *tensor.Matrix {
 	return m
 }
 
-// Forward implements Layer.
+// effectiveKernelInto is EffectiveKernel writing into a reusable scratch
+// buffer (train path). Non-PSN layers return the shared raw view.
+func (c *Conv2D) effectiveKernelInto(dst *tensor.Matrix) *tensor.Matrix {
+	if !c.PSN {
+		return c.rawMatrix()
+	}
+	c.ensureSigma()
+	if c.sigmaRaw == 0 {
+		return dst.CopyFrom(c.rawMatrix())
+	}
+	s := c.Alpha.Data[0] / c.sigmaRaw
+	dst = tensor.EnsureMatrix(dst, c.OutC, c.InC*c.K*c.K)
+	for i, w := range c.Wt.Data {
+		dst.Data[i] = w * s
+	}
+	return dst
+}
+
+// Forward implements Layer. As with Dense, the train path reuses
+// layer-owned scratch; the returned matrix is valid until the next
+// train-mode Forward on this layer.
 func (c *Conv2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Rows != c.InDim() {
 		panic(fmt.Sprintf("nn: %s input rows %d != %d", c.name, x.Rows, c.InDim()))
@@ -202,21 +226,34 @@ func (c *Conv2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	batch := x.Cols
 	t := matToT4(x, c.InC, c.H, c.W)
 	cols := tensor.Im2Col(t, c.K, c.K, c.Stride, c.Pad)
+	var kw, z, out *tensor.Matrix
 	if train {
-		if c.PSN {
+		if c.PSN && !c.sigmaFrozen {
 			c.stepSigma()
 		}
 		c.inCols = cols
 		c.batch = batch
-	}
-	kw := c.EffectiveKernel()
-	if train {
+		if c.PSN {
+			c.effWBuf = c.effectiveKernelInto(c.effWBuf)
+			kw = c.effWBuf
+		} else {
+			kw = c.rawMatrix()
+		}
 		c.effW = kw
+		c.zBuf = kw.MulInto(cols, c.zBuf)
+		z = c.zBuf
+	} else {
+		kw = c.EffectiveKernel()
+		z = kw.Mul(cols) // OutC x (batch*outH*outW)
 	}
-	z := kw.Mul(cols) // OutC x (batch*outH*outW)
 	outH, outW := c.OutH(), c.OutW()
 	spatial := outH * outW
-	out := tensor.NewMatrix(c.OutC*spatial, batch)
+	if train {
+		c.outBuf = tensor.EnsureMatrix(c.outBuf, c.OutC*spatial, batch)
+		out = c.outBuf
+	} else {
+		out = tensor.NewMatrix(c.OutC*spatial, batch)
+	}
 	for oc := 0; oc < c.OutC; oc++ {
 		b := c.B.Data[oc]
 		zrow := z.Data[oc*z.Cols : (oc+1)*z.Cols]
@@ -238,7 +275,8 @@ func (c *Conv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	outH, outW := c.OutH(), c.OutW()
 	spatial := outH * outW
 	// Rearrange grad (OutC*spatial x batch) -> (OutC x batch*spatial).
-	dz := tensor.NewMatrix(c.OutC, batch*spatial)
+	c.dzBuf = tensor.EnsureMatrix(c.dzBuf, c.OutC, batch*spatial)
+	dz := c.dzBuf
 	for oc := 0; oc < c.OutC; oc++ {
 		var db float64
 		drow := dz.Data[oc*dz.Cols : (oc+1)*dz.Cols]
@@ -251,7 +289,8 @@ func (c *Conv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		}
 		c.B.Grad[oc] += db
 	}
-	dEff := dz.Mul(c.inCols.T())
+	c.dEffBuf = dz.MulBTInto(c.inCols, c.dEffBuf)
+	dEff := c.dEffBuf
 	if !c.PSN {
 		for i := range c.Wt.Grad {
 			c.Wt.Grad[i] += dEff.Data[i]
@@ -265,8 +304,8 @@ func (c *Conv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		}
 		c.Alpha.Grad[0] += dAlpha
 	}
-	dcols := c.effW.T().Mul(dz)
-	dt := tensor.Col2Im(dcols, batch, c.InC, c.H, c.W, c.K, c.K, c.Stride, c.Pad)
+	c.dcolsBuf = c.effW.TMulInto(dz, c.dcolsBuf)
+	dt := tensor.Col2Im(c.dcolsBuf, batch, c.InC, c.H, c.W, c.K, c.K, c.Stride, c.Pad)
 	return t4ToMat(dt)
 }
 

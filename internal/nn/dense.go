@@ -27,13 +27,21 @@ type Dense struct {
 	// Power-iteration state for sigma(W). sigmaOK marks the estimate
 	// fresh; plain (non-PSN) layers compute it lazily on first use so
 	// that building large models for throughput simulation stays cheap.
-	u, v     tensor.Vector
-	sigmaRaw float64
-	sigmaOK  bool
+	// sigmaFrozen disables the per-forward warm-start step (data-parallel
+	// replicas receive their estimates from the master instead; see
+	// Network.SetSigmaStepping).
+	u, v        tensor.Vector
+	sigmaRaw    float64
+	sigmaOK     bool
+	sigmaFrozen bool
 
-	// Cached state for backward.
+	// Cached state for backward. inX/effW point at the scratch matrices
+	// below in the train path; the scratch is reused across steps so
+	// steady-state training allocates nothing here.
 	inX  *tensor.Matrix
 	effW *tensor.Matrix
+
+	inXBuf, effWBuf, outBuf, dEffBuf, dXBuf *tensor.Matrix
 
 	name string
 }
@@ -120,22 +128,52 @@ func (d *Dense) EffectiveMatrix() *tensor.Matrix {
 	return out
 }
 
-// Forward implements Layer.
+// effectiveMatrixInto is EffectiveMatrix writing into a reusable scratch
+// buffer (train path). Non-PSN layers return the shared raw view.
+func (d *Dense) effectiveMatrixInto(dst *tensor.Matrix) *tensor.Matrix {
+	if !d.PSN {
+		return d.rawMatrix()
+	}
+	d.ensureSigma()
+	if d.sigmaRaw == 0 {
+		return dst.CopyFrom(d.rawMatrix()) // degenerate zero matrix
+	}
+	s := d.Alpha.Data[0] / d.sigmaRaw
+	dst = tensor.EnsureMatrix(dst, d.Out, d.In)
+	for i, w := range d.W.Data {
+		dst.Data[i] = w * s
+	}
+	return dst
+}
+
+// Forward implements Layer. The train path reuses layer-owned scratch
+// for the cached input, the effective matrix, and the output, so a
+// steady-state training step is allocation-free here; the returned
+// matrix is only valid until the next train-mode Forward on this layer.
 func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Rows != d.In {
 		panic(fmt.Sprintf("nn: %s input rows %d != in %d", d.name, x.Rows, d.In))
 	}
+	var w, out *tensor.Matrix
 	if train {
-		if d.PSN {
+		if d.PSN && !d.sigmaFrozen {
 			d.stepSigma()
 		}
-		d.inX = x.Clone()
-	}
-	w := d.EffectiveMatrix()
-	if train {
+		d.inXBuf = d.inXBuf.CopyFrom(x)
+		d.inX = d.inXBuf
+		if d.PSN {
+			d.effWBuf = d.effectiveMatrixInto(d.effWBuf)
+			w = d.effWBuf
+		} else {
+			w = d.rawMatrix()
+		}
 		d.effW = w
+		d.outBuf = w.MulInto(x, d.outBuf)
+		out = d.outBuf
+	} else {
+		w = d.EffectiveMatrix()
+		out = w.Mul(x)
 	}
-	out := w.Mul(x)
 	for r := 0; r < out.Rows; r++ {
 		b := d.B.Data[r]
 		row := out.Data[r*out.Cols : (r+1)*out.Cols]
@@ -160,7 +198,8 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		}
 		d.B.Grad[r] += s
 	}
-	dEff := grad.Mul(d.inX.T()) // dL/dW_eff
+	d.dEffBuf = grad.MulBTInto(d.inX, d.dEffBuf) // dL/dW_eff
+	dEff := d.dEffBuf
 	if !d.PSN {
 		for i := range d.W.Grad {
 			d.W.Grad[i] += dEff.Data[i]
@@ -176,7 +215,8 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		}
 		d.Alpha.Grad[0] += dAlpha
 	}
-	return d.effW.T().Mul(grad)
+	d.dXBuf = d.effW.TMulInto(grad, d.dXBuf)
+	return d.dXBuf
 }
 
 // Params implements Layer.

@@ -23,6 +23,78 @@ func MSELoss(yhat, y *tensor.Matrix) (float64, *tensor.Matrix) {
 	return loss / (2 * b), grad
 }
 
+// MSELossShard is MSELoss restricted to a shard: yhat holds the network
+// outputs for columns [lo, hi) of a batch whose full target matrix is y
+// and whose full width is total. Loss and gradient are normalized by
+// total, so concatenating shard gradient columns over a disjoint cover
+// of the batch reproduces the full-batch MSELoss gradient bit for bit,
+// and shard losses sum to the full-batch loss (up to the reducer's fixed
+// summation order) — the properties the data-parallel trainer's
+// determinism rests on.
+func MSELossShard(yhat, y *tensor.Matrix, lo, hi, total int) (float64, *tensor.Matrix) {
+	if yhat.Rows != y.Rows || yhat.Cols != hi-lo || lo < 0 || hi > y.Cols || total <= 0 {
+		panic("nn: MSELossShard shape mismatch")
+	}
+	b := float64(total)
+	w := hi - lo
+	grad := tensor.NewMatrix(yhat.Rows, w)
+	var loss float64
+	for r := 0; r < yhat.Rows; r++ {
+		yrow := y.Data[r*y.Cols+lo : r*y.Cols+hi]
+		hrow := yhat.Data[r*w : (r+1)*w]
+		grow := grad.Data[r*w : (r+1)*w]
+		for c, h := range hrow {
+			d := h - yrow[c]
+			loss += d * d
+			grow[c] = d / b
+		}
+	}
+	return loss / (2 * b), grad
+}
+
+// CrossEntropyLossShard is CrossEntropyLoss restricted to a shard:
+// logits holds columns [lo, hi) of a batch with label slice labels (full
+// batch) and full width total. As with MSELossShard, shard losses and
+// gradients compose exactly to the full-batch values.
+func CrossEntropyLossShard(logits *tensor.Matrix, labels []int, lo, hi, total int) (float64, *tensor.Matrix) {
+	if logits.Cols != hi-lo || lo < 0 || hi > len(labels) || total <= 0 {
+		panic("nn: CrossEntropyLossShard shape mismatch")
+	}
+	p := Softmax(logits)
+	b := float64(total)
+	grad := tensor.NewMatrix(logits.Rows, logits.Cols)
+	var loss float64
+	for c, lbl := range labels[lo:hi] {
+		if lbl < 0 || lbl >= logits.Rows {
+			panic("nn: label out of range")
+		}
+		loss -= math.Log(math.Max(p.At(lbl, c), 1e-300))
+		for r := 0; r < logits.Rows; r++ {
+			g := p.At(r, c)
+			if r == lbl {
+				g -= 1
+			}
+			grad.Set(r, c, g/b)
+		}
+	}
+	return loss / b, grad
+}
+
+// MSEShard adapts a full-batch target matrix into the trainer's LossFn.
+func MSEShard(y *tensor.Matrix) LossFn {
+	return func(out *tensor.Matrix, lo, hi, total int) (float64, *tensor.Matrix) {
+		return MSELossShard(out, y, lo, hi, total)
+	}
+}
+
+// CrossEntropyShard adapts a full-batch label slice into the trainer's
+// LossFn.
+func CrossEntropyShard(labels []int) LossFn {
+	return func(out *tensor.Matrix, lo, hi, total int) (float64, *tensor.Matrix) {
+		return CrossEntropyLossShard(out, labels, lo, hi, total)
+	}
+}
+
 // Softmax computes the column-wise softmax of logits.
 func Softmax(logits *tensor.Matrix) *tensor.Matrix {
 	out := tensor.NewMatrix(logits.Rows, logits.Cols)

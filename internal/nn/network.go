@@ -1,6 +1,8 @@
 package nn
 
 import (
+	"fmt"
+
 	"github.com/scidata/errprop/internal/tensor"
 )
 
@@ -39,6 +41,115 @@ func (n *Network) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		g = n.Layers[i].Backward(g)
 	}
 	return g
+}
+
+// forEachLayer visits every layer in forward order, descending into
+// residual branches, shortcuts, and skip-connection branches.
+func (n *Network) forEachLayer(fn func(Layer)) {
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			fn(l)
+			switch t := l.(type) {
+			case *Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(n.Layers)
+}
+
+// StepSigmas advances every PSN layer's warm-started power iteration by
+// one training step. The serial training loop runs this implicitly
+// inside Forward(train=true); the data-parallel trainer calls it
+// explicitly on the master network once per optimizer step (then
+// broadcasts the estimates to replicas whose own stepping is frozen), so
+// the sigma trajectory is a function of the step count alone — not of
+// how the batch was sharded across workers.
+func (n *Network) StepSigmas() {
+	n.forEachLayer(func(l Layer) {
+		switch t := l.(type) {
+		case *Dense:
+			if t.PSN {
+				t.stepSigma()
+			}
+		case *Conv2D:
+			if t.PSN {
+				t.stepSigma()
+			}
+		}
+	})
+}
+
+// SetSigmaStepping enables or disables the per-forward sigma power
+// iteration of PSN layers. Replicas in a data-parallel trainer run with
+// stepping disabled: their sigma estimates are broadcast from the
+// master, and a per-shard iteration would make the effective weights
+// depend on the worker schedule.
+func (n *Network) SetSigmaStepping(enabled bool) {
+	n.forEachLayer(func(l Layer) {
+		switch t := l.(type) {
+		case *Dense:
+			t.sigmaFrozen = !enabled
+		case *Conv2D:
+			t.sigmaFrozen = !enabled
+		}
+	})
+}
+
+// GradSize returns the total element count of all parameter gradients —
+// the length of a flat reduction buffer.
+func (n *Network) GradSize() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Grad)
+	}
+	return total
+}
+
+// CopyGradsTo serializes every parameter gradient into dst in parameter
+// order and returns the number of elements written. dst must be at
+// least GradSize long.
+func (n *Network) CopyGradsTo(dst []float64) int {
+	off := 0
+	for _, p := range n.Params() {
+		off += p.CopyGradTo(dst[off:])
+	}
+	return off
+}
+
+// AccumGradsFrom adds a flat gradient buffer (as written by CopyGradsTo)
+// elementwise into the parameter gradients and returns the number of
+// elements consumed.
+func (n *Network) AccumGradsFrom(src []float64) int {
+	off := 0
+	for _, p := range n.Params() {
+		off += p.AccumGradFrom(src[off:])
+	}
+	return off
+}
+
+// SyncFrom copies src's parameter values and spectral-norm estimates
+// into n (shapes must match; n is typically a Clone of src). Gradients
+// and optimizer state are untouched.
+func (n *Network) SyncFrom(src *Network) error {
+	dst, sp := n.Params(), src.Params()
+	if len(dst) != len(sp) {
+		return fmt.Errorf("nn: SyncFrom parameter count mismatch %d vs %d", len(sp), len(dst))
+	}
+	for i, p := range sp {
+		if len(p.Data) != len(dst[i].Data) {
+			return fmt.Errorf("nn: SyncFrom parameter %s length mismatch %d vs %d", p.Name, len(p.Data), len(dst[i].Data))
+		}
+		dst[i].CopyDataFrom(p)
+	}
+	if !n.setSpectralSigmas(src.spectralSigmas()) {
+		return fmt.Errorf("nn: SyncFrom spectral layer mismatch")
+	}
+	return nil
 }
 
 // Params returns all learnable parameters in layer order.

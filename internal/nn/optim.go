@@ -7,6 +7,11 @@ type Optimizer interface {
 	// Step applies one update and leaves gradients untouched (call
 	// Network.ZeroGrad before the next accumulation).
 	Step(params []*Param)
+	// Prealloc eagerly allocates any per-parameter state for params, so
+	// that subsequent Steps over the same parameter set are
+	// allocation-free (the data-parallel trainer calls this once at
+	// construction to keep its steady-state step off the allocator).
+	Prealloc(params []*Param)
 }
 
 // SGD is stochastic gradient descent with optional momentum and decoupled
@@ -23,6 +28,22 @@ type SGD struct {
 // NewSGD returns an SGD optimizer.
 func NewSGD(lr, momentum, weightDecay float64) *SGD {
 	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: map[*Param][]float64{}}
+}
+
+// Prealloc implements Optimizer: momentum velocity buffers are created
+// up front instead of lazily on first Step.
+func (s *SGD) Prealloc(params []*Param) {
+	if s.Momentum == 0 {
+		return
+	}
+	if s.velocity == nil {
+		s.velocity = map[*Param][]float64{}
+	}
+	for _, p := range params {
+		if s.velocity[p] == nil {
+			s.velocity[p] = make([]float64, len(p.Data))
+		}
+	}
 }
 
 // Step implements Optimizer.
@@ -61,6 +82,23 @@ type Adam struct {
 func NewAdam(lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
 		m: map[*Param][]float64{}, v: map[*Param][]float64{}}
+}
+
+// Prealloc implements Optimizer: first/second-moment buffers are created
+// up front instead of lazily on first Step.
+func (a *Adam) Prealloc(params []*Param) {
+	if a.m == nil {
+		a.m = map[*Param][]float64{}
+	}
+	if a.v == nil {
+		a.v = map[*Param][]float64{}
+	}
+	for _, p := range params {
+		if a.m[p] == nil {
+			a.m[p] = make([]float64, len(p.Data))
+			a.v[p] = make([]float64, len(p.Data))
+		}
+	}
 }
 
 // Step implements Optimizer.

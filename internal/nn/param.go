@@ -11,6 +11,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -34,6 +35,34 @@ func (p *Param) ZeroGrad() {
 	for i := range p.Grad {
 		p.Grad[i] = 0
 	}
+}
+
+// CopyDataFrom overwrites p's values with src's (used to broadcast
+// master weights to data-parallel replicas). Panics on length mismatch.
+func (p *Param) CopyDataFrom(src *Param) {
+	if len(src.Data) != len(p.Data) {
+		panic(fmt.Sprintf("nn: CopyDataFrom %s length mismatch %d vs %d", p.Name, len(src.Data), len(p.Data)))
+	}
+	copy(p.Data, src.Data)
+}
+
+// CopyGradTo copies p's gradient accumulator into dst and returns the
+// number of elements written; dst must be at least len(p.Grad) long.
+// Data-parallel shards use this to export their local accumulation into
+// a flat reduction buffer.
+func (p *Param) CopyGradTo(dst []float64) int {
+	return copy(dst[:len(p.Grad)], p.Grad)
+}
+
+// AccumGradFrom adds src elementwise into p's gradient accumulator
+// (the inverse of CopyGradTo: scattering a reduced flat buffer back onto
+// parameters) and returns the number of elements consumed.
+func (p *Param) AccumGradFrom(src []float64) int {
+	g := p.Grad
+	for i := range g {
+		g[i] += src[i]
+	}
+	return len(g)
 }
 
 // initKaiming fills w (out x in fan) with Kaiming-uniform values, the

@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Training-throughput benchmarks for the data-parallel trainer: a legacy
+// serial-loop baseline against Trainer at several worker counts, on the
+// two paper regression models. Results feed BENCH_train.json (see
+// TestWriteTrainBenchJSON / `make bench-train`).
+
+// benchModel is one benchmarked training configuration.
+type benchModel struct {
+	name   string
+	dims   []int
+	act    string
+	batch  int
+	shard  int
+	lambda float64
+	steps  int
+}
+
+func benchModels() []benchModel {
+	return []benchModel{
+		// The paper's H2 combustion MLP.
+		{name: "h2-mlp-9-50-50-9", dims: []int{9, 50, 50, 9}, act: ActTanh,
+			batch: 256, shard: 32, lambda: 1e-4, steps: 40},
+		// The paper's Borghesi flame model: 8 hidden layers of 32.
+		{name: "borghesi-mlp-13-32x8-3", dims: []int{13, 32, 32, 32, 32, 32, 32, 32, 32, 3}, act: ActPReLU,
+			batch: 256, shard: 32, lambda: 1e-4, steps: 40},
+	}
+}
+
+func benchData(m benchModel, seed int64) (x, y *tensor.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	in, out := m.dims[0], m.dims[len(m.dims)-1]
+	x = tensor.NewMatrix(in, m.batch)
+	y = tensor.NewMatrix(out, m.batch)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	return x, y
+}
+
+func benchNet(tb testing.TB, m benchModel) *Network {
+	tb.Helper()
+	net, err := MLPSpec(m.name, m.dims, m.act, true).Build(99)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return net
+}
+
+// runSerialBaseline is the pre-Trainer training loop the experiments
+// package used: one full-batch forward/backward per step on the master
+// network itself.
+func runSerialBaseline(tb testing.TB, m benchModel, steps int) (secs, finalLoss float64, params []float64) {
+	tb.Helper()
+	net := benchNet(tb, m)
+	x, y := benchData(m, 7)
+	opt := NewSGD(0.01, 0.9, 0)
+	opt.Prealloc(net.Params())
+	start := time.Now()
+	for s := 0; s < steps; s++ {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		l, g := MSELoss(out, y)
+		finalLoss = l + net.AddRegGrad(m.lambda)
+		net.Backward(g)
+		opt.Step(net.Params())
+	}
+	return time.Since(start).Seconds(), finalLoss, snapshotParams(net)
+}
+
+// runTrainerBench trains the same configuration through the Trainer at
+// the given worker count.
+func runTrainerBench(tb testing.TB, m benchModel, workers, steps int) (secs, finalLoss float64, params []float64) {
+	tb.Helper()
+	net := benchNet(tb, m)
+	x, y := benchData(m, 7)
+	tr, err := NewTrainer(net, NewSGD(0.01, 0.9, 0), TrainConfig{Workers: workers, ShardSize: m.shard})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	start := time.Now()
+	for s := 0; s < steps; s++ {
+		finalLoss = tr.StepMSE(x, y, m.lambda)
+	}
+	return time.Since(start).Seconds(), finalLoss, snapshotParams(net)
+}
+
+func snapshotParams(net *Network) []float64 {
+	var out []float64
+	for _, p := range net.Params() {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+type trainRun struct {
+	Model       string  `json:"model"`
+	Mode        string  `json:"mode"` // "serial-loop" or "trainer"
+	Workers     int     `json:"workers"`
+	ShardSize   int     `json:"shard_size"`
+	Batch       int     `json:"batch"`
+	Steps       int     `json:"steps"`
+	Seconds     float64 `json:"seconds"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	FinalLoss   float64 `json:"final_loss"`
+	// BitIdenticalToW1 reports whether this run's final parameters are
+	// bit-for-bit equal to the Workers=1 trainer run — the determinism
+	// invariant the trainer promises for every worker count.
+	BitIdenticalToW1 bool `json:"bit_identical_to_workers1"`
+}
+
+// TestWriteTrainBenchJSON regenerates the committed training-throughput
+// baseline. Run with:
+//
+//	ERRPROP_TRAIN_BENCH_OUT=BENCH_train.json go test ./internal/nn -run TestWriteTrainBenchJSON -count=1
+//
+// On a single-core runner the worker sweep cannot show wall-clock
+// speedup — gomaxprocs in the output records the machine honestly; the
+// bit_identical_to_workers1 column is the part that must hold anywhere.
+func TestWriteTrainBenchJSON(t *testing.T) {
+	out := os.Getenv("ERRPROP_TRAIN_BENCH_OUT")
+	if out == "" {
+		t.Skip("set ERRPROP_TRAIN_BENCH_OUT to write the training bench trajectory")
+	}
+	var runs []trainRun
+	for _, m := range benchModels() {
+		secs, loss, params := runSerialBaseline(t, m, m.steps)
+		runs = append(runs, trainRun{Model: m.name, Mode: "serial-loop", Workers: 1,
+			ShardSize: m.batch, Batch: m.batch, Steps: m.steps, Seconds: secs,
+			StepsPerSec: float64(m.steps) / secs, FinalLoss: loss})
+		var w1 []float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			secs, loss, params = runTrainerBench(t, m, workers, m.steps)
+			if workers == 1 {
+				w1 = params
+			}
+			runs = append(runs, trainRun{Model: m.name, Mode: "trainer", Workers: workers,
+				ShardSize: m.shard, Batch: m.batch, Steps: m.steps, Seconds: secs,
+				StepsPerSec: float64(m.steps) / secs, FinalLoss: loss,
+				BitIdenticalToW1: bitEqual(params, w1)})
+			if !bitEqual(params, w1) {
+				t.Errorf("%s workers=%d diverged bitwise from workers=1", m.name, workers)
+			}
+		}
+	}
+	doc := map[string]any{
+		"bench":       "train",
+		"description": "deterministic data-parallel trainer (internal/nn.Trainer) vs the legacy full-batch serial loop; steps_per_sec is optimizer steps per second, bit_identical_to_workers1 asserts the worker-count determinism invariant",
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+		"num_cpu":     runtime.NumCPU(),
+		"optimizer":   "sgd lr=0.01 momentum=0.9",
+		"runs":        runs,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d runs, GOMAXPROCS=%d)", out, len(runs), runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkTrainerStep measures one optimizer step end to end (sigma
+// broadcast, sharded forward/backward, tree reduction, SGD update).
+func BenchmarkTrainerStep(b *testing.B) {
+	for _, m := range benchModels() {
+		for _, workers := range []int{1, 4} {
+			b.Run(m.name+"/workers="+string(rune('0'+workers)), func(b *testing.B) {
+				net := benchNet(b, m)
+				x, y := benchData(m, 7)
+				tr, err := NewTrainer(net, NewSGD(0.01, 0.9, 0), TrainConfig{Workers: workers, ShardSize: m.shard})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr.StepMSE(x, y, m.lambda)
+				}
+			})
+		}
+	}
+}

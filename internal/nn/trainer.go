@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Trainer is a deterministic data-parallel training engine. Each
+// optimizer step shards the minibatch's columns into fixed-size
+// micro-shards, computes every shard's forward/backward pass on a worker
+// pool of Network.Clone replicas, and reduces the per-shard parameter
+// gradients in a fixed binary-tree order before applying one optimizer
+// step on the master network.
+//
+// Determinism invariant: the result of Step is a pure function of
+// (master state, batch, ShardSize) — it does NOT depend on Workers or on
+// the goroutine schedule. Three properties make that hold:
+//
+//  1. Shard boundaries are fixed by the batch width and ShardSize alone;
+//     workers pull shard indices from a counter, so the assignment of
+//     shards to replicas varies run to run, but every shard's
+//     computation depends only on the broadcast master state and the
+//     shard's columns (all layers map columns independently — which is
+//     why BatchNorm, whose train-mode statistics couple the columns of
+//     whatever sub-batch it sees, is rejected at construction).
+//  2. PSN spectral-norm estimates advance on the master (one warm-start
+//     power-iteration step per Step, the serial cadence) and are
+//     broadcast; replica-side stepping is frozen, so effective weights
+//     cannot depend on which shards a replica happened to process.
+//  3. Per-shard gradients land in per-shard buffers, reduced pairwise in
+//     a fixed binary tree over the shard index (0+1, 2+3, ... then
+//     recursively), an association that never changes with Workers.
+//
+// Consequently Workers=1 and Workers=N produce bit-identical weight
+// trajectories, and CI can assert exact equality — the determinism
+// invariant errpropvet's analyzers police elsewhere in the repo.
+//
+// A Trainer is not safe for concurrent use; Step must not overlap with
+// other mutation of the master network.
+type Trainer struct {
+	net *Network
+	opt Optimizer
+	cfg TrainConfig
+
+	params   []*Param
+	gradSize int
+
+	replicas []*Network
+	repPool  []*tensor.MatrixPool // per-worker scratch for shard inputs
+
+	shardGrads [][]float64
+	shardLoss  []float64
+}
+
+// TrainConfig configures a Trainer.
+type TrainConfig struct {
+	// Workers is the number of goroutines (and network replicas)
+	// computing shard gradients; <= 0 means GOMAXPROCS. Changing Workers
+	// never changes the training result, only its wall-clock time.
+	Workers int
+	// ShardSize is the number of batch columns per micro-shard
+	// (default 32). It defines the gradient reduction tree, so changing
+	// it changes results at the floating-point-association level;
+	// changing Workers does not.
+	ShardSize int
+}
+
+// DefaultShardSize is the micro-shard width used when
+// TrainConfig.ShardSize is unset: small enough to give an 8-worker pool
+// useful parallelism at the paper's batch sizes (256), large enough that
+// per-shard dispatch overhead stays negligible.
+const DefaultShardSize = 32
+
+func (c *TrainConfig) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = DefaultShardSize
+	}
+}
+
+// LossFn computes a shard's loss contribution and dL/d(out). out holds
+// the network outputs for columns [lo, hi) of the current batch; total
+// is the full batch width, which the implementation must use for
+// normalization so that shard gradients compose to the full-batch
+// gradient (see MSEShard / CrossEntropyShard).
+type LossFn func(out *tensor.Matrix, lo, hi, total int) (loss float64, grad *tensor.Matrix)
+
+// NewTrainer builds a data-parallel trainer for net, stepping it with
+// opt. The network must carry its Spec (replicas are built by Clone) and
+// must not contain BatchNorm layers, whose train-mode batch statistics
+// are incompatible with shard-order-independent training.
+func NewTrainer(net *Network, opt Optimizer, cfg TrainConfig) (*Trainer, error) {
+	if opt == nil {
+		return nil, fmt.Errorf("nn: trainer needs an optimizer")
+	}
+	cfg.fillDefaults()
+	var bn bool
+	net.forEachLayer(func(l Layer) {
+		if _, ok := l.(*BatchNorm2D); ok {
+			bn = true
+		}
+	})
+	if bn {
+		return nil, fmt.Errorf("nn: trainer does not support BatchNorm layers (train-mode batch statistics depend on the shard decomposition); fold or remove them first")
+	}
+	t := &Trainer{net: net, opt: opt, cfg: cfg, params: net.Params(), gradSize: net.GradSize()}
+	t.replicas = make([]*Network, cfg.Workers)
+	t.repPool = make([]*tensor.MatrixPool, cfg.Workers)
+	for i := range t.replicas {
+		c, err := net.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("nn: trainer replica %d: %w", i, err)
+		}
+		c.SetSigmaStepping(false)
+		t.replicas[i] = c
+		t.repPool[i] = &tensor.MatrixPool{}
+	}
+	opt.Prealloc(t.params)
+	return t, nil
+}
+
+// Workers reports the effective worker count.
+func (t *Trainer) Workers() int { return t.cfg.Workers }
+
+// Net returns the master network the trainer updates.
+func (t *Trainer) Net() *Network { return t.net }
+
+// ensureShards grows the per-shard gradient and loss buffers to n.
+func (t *Trainer) ensureShards(n int) {
+	for len(t.shardGrads) < n {
+		t.shardGrads = append(t.shardGrads, make([]float64, t.gradSize))
+	}
+	if cap(t.shardLoss) < n {
+		t.shardLoss = make([]float64, n)
+	}
+	t.shardLoss = t.shardLoss[:n]
+}
+
+// Step runs one data-parallel optimizer step on the batch x (features x
+// batch columns) under the shard loss function, adding the PSN spectral
+// penalty when lambda > 0. It returns the batch training loss (including
+// the penalty term).
+func (t *Trainer) Step(x *tensor.Matrix, loss LossFn, lambda float64) float64 {
+	if x.Cols == 0 {
+		return 0
+	}
+	batch := x.Cols
+	shard := t.cfg.ShardSize
+	nShards := (batch + shard - 1) / shard
+	t.ensureShards(nShards)
+
+	// Advance PSN sigma estimates once per step on the master, then
+	// broadcast parameters + estimates to every replica.
+	t.net.StepSigmas()
+	for _, rep := range t.replicas {
+		if err := rep.SyncFrom(t.net); err != nil {
+			panic(fmt.Sprintf("nn: trainer broadcast: %v", err))
+		}
+	}
+
+	// Fan shards out to workers. The counter-based pull means the
+	// shard->worker assignment is schedule-dependent, but nothing
+	// downstream depends on it: shard s's gradient lands in
+	// shardGrads[s] regardless of who computed it.
+	workers := t.cfg.Workers
+	if workers > nShards {
+		workers = nShards
+	}
+	var next atomic.Int64
+	run := func(w int) {
+		rep, pool := t.replicas[w], t.repPool[w]
+		xs := pool.Get(x.Rows, shard)
+		for {
+			s := int(next.Add(1)) - 1
+			if s >= nShards {
+				break
+			}
+			lo := s * shard
+			hi := lo + shard
+			if hi > batch {
+				hi = batch
+			}
+			xs = x.ColRangeInto(lo, hi, xs)
+			rep.ZeroGrad()
+			out := rep.Forward(xs, true)
+			l, g := loss(out, lo, hi, batch)
+			rep.Backward(g)
+			rep.CopyGradsTo(t.shardGrads[s])
+			t.shardLoss[s] = l
+		}
+		pool.Put(xs)
+	}
+	if workers == 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				run(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Fixed binary-tree reduction over the shard index: pairwise
+	// combine (0,1), (2,3), ... then recurse on the survivors. The
+	// association depends only on nShards.
+	for stride := 1; stride < nShards; stride *= 2 {
+		for i := 0; i+stride < nShards; i += 2 * stride {
+			a, b := t.shardGrads[i], t.shardGrads[i+stride]
+			for k := range a {
+				a[k] += b[k]
+			}
+			t.shardLoss[i] += t.shardLoss[i+stride]
+		}
+	}
+
+	t.net.ZeroGrad()
+	t.net.AccumGradsFrom(t.shardGrads[0])
+	total := t.shardLoss[0]
+	if lambda > 0 {
+		total += t.net.AddRegGrad(lambda)
+	}
+	t.opt.Step(t.params)
+	return total
+}
+
+// StepMSE is Step with the mean-squared-error loss against the
+// full-batch target matrix y.
+func (t *Trainer) StepMSE(x, y *tensor.Matrix, lambda float64) float64 {
+	return t.Step(x, MSEShard(y), lambda)
+}
+
+// StepCrossEntropy is Step with the softmax cross-entropy loss against
+// the full-batch label slice.
+func (t *Trainer) StepCrossEntropy(x *tensor.Matrix, labels []int, lambda float64) float64 {
+	return t.Step(x, CrossEntropyShard(labels), lambda)
+}

@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// bitEqual reports exact floating-point equality — the property the
+// deterministic trainer guarantees, so tests assert it without tolerance.
+func bitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randMatrix(rows, cols int, rng *rand.Rand) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func trainerMLP(t *testing.T, psn bool, seed int64) *Network {
+	t.Helper()
+	net, err := MLPSpec("trmlp", []int{9, 24, 24, 4}, ActTanh, psn).Build(seed)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return net
+}
+
+// runTrainer builds a fresh MLP from seed and trains it steps times with
+// the given worker count, returning the final flattened parameters and
+// the per-step loss trace.
+func runTrainer(t *testing.T, workers, shard, steps int, psn bool, lambda float64, newOpt func() Optimizer) ([]float64, []float64) {
+	t.Helper()
+	net := trainerMLP(t, psn, 1234)
+	tr, err := NewTrainer(net, newOpt(), TrainConfig{Workers: workers, ShardSize: shard})
+	if err != nil {
+		t.Fatalf("NewTrainer: %v", err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	x := randMatrix(9, 100, rng)
+	y := randMatrix(4, 100, rng)
+	losses := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		losses = append(losses, tr.StepMSE(x, y, lambda))
+	}
+	var flat []float64
+	for _, p := range net.Params() {
+		flat = append(flat, p.Data...)
+	}
+	return flat, losses
+}
+
+// TestTrainerWorkerCountInvariance is the PR's headline property: the
+// weight trajectory is bit-identical no matter how many workers compute
+// the shards. 50 steps of a PSN MLP with momentum SGD, Workers=1 vs 8.
+func TestTrainerWorkerCountInvariance(t *testing.T) {
+	newOpt := func() Optimizer { return NewSGD(0.05, 0.9, 0) }
+	w1, l1 := runTrainer(t, 1, 16, 50, true, 1e-4, newOpt)
+	w8, l8 := runTrainer(t, 8, 16, 50, true, 1e-4, newOpt)
+	if !bitEqual(l1, l8) {
+		t.Fatalf("loss traces differ between Workers=1 and Workers=8")
+	}
+	if !bitEqual(w1, w8) {
+		t.Fatalf("weights differ between Workers=1 and Workers=8 after 50 steps")
+	}
+}
+
+// TestTrainerWorkerCountInvarianceAdam covers the Adam path (the
+// Borghesi recipe) and an uneven final shard (batch 100, shard 24).
+func TestTrainerWorkerCountInvarianceAdam(t *testing.T) {
+	newOpt := func() Optimizer { return NewAdam(2e-3) }
+	w1, l1 := runTrainer(t, 1, 24, 30, true, 1e-2, newOpt)
+	w5, l5 := runTrainer(t, 5, 24, 30, true, 1e-2, newOpt)
+	if !bitEqual(l1, l5) {
+		t.Fatalf("loss traces differ between Workers=1 and Workers=5")
+	}
+	if !bitEqual(w1, w5) {
+		t.Fatalf("weights differ between Workers=1 and Workers=5 after 30 steps")
+	}
+}
+
+// TestTrainerWorkerCountInvarianceConvResidual runs the invariance check
+// on a small PSN conv/residual classifier under cross-entropy.
+func TestTrainerWorkerCountInvarianceConvResidual(t *testing.T) {
+	run := func(workers int) ([]float64, []float64) {
+		net, err := ResNetSpec("trres", 2, 8, 8, 3, []int{1, 1}, []int{4, 6}, ActReLU, true).Build(4321)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		tr, err := NewTrainer(net, NewSGD(0.01, 0.9, 0), TrainConfig{Workers: workers, ShardSize: 8})
+		if err != nil {
+			t.Fatalf("NewTrainer: %v", err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		x := randMatrix(2*8*8, 24, rng)
+		labels := make([]int, 24)
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		var losses []float64
+		for i := 0; i < 10; i++ {
+			losses = append(losses, tr.StepCrossEntropy(x, labels, 1e-3))
+		}
+		var flat []float64
+		for _, p := range net.Params() {
+			flat = append(flat, p.Data...)
+		}
+		return flat, losses
+	}
+	w1, l1 := run(1)
+	w4, l4 := run(4)
+	if !bitEqual(l1, l4) {
+		t.Fatalf("conv/residual loss traces differ between Workers=1 and Workers=4")
+	}
+	if !bitEqual(w1, w4) {
+		t.Fatalf("conv/residual weights differ between Workers=1 and Workers=4")
+	}
+}
+
+// TestTrainerSingleShardMatchesSerialLoop pins the trainer to the legacy
+// serial training loop: with one shard covering the whole batch the
+// data-parallel machinery (replica broadcast, explicit sigma stepping,
+// flat-buffer reduction) must reproduce the plain
+// ZeroGrad/Forward/MSELoss/Backward/Step sequence bit for bit.
+func TestTrainerSingleShardMatchesSerialLoop(t *testing.T) {
+	const steps, batch = 25, 40
+	lambda := 1e-4
+
+	serial := trainerMLP(t, true, 1234)
+	serialOpt := NewSGD(0.05, 0.9, 0)
+	rng := rand.New(rand.NewSource(55))
+	x := randMatrix(9, batch, rng)
+	y := randMatrix(4, batch, rng)
+	serialLoss := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		serial.ZeroGrad()
+		out := serial.Forward(x, true)
+		l, g := MSELoss(out, y)
+		l += serial.AddRegGrad(lambda)
+		serial.Backward(g)
+		serialOpt.Step(serial.Params())
+		serialLoss = append(serialLoss, l)
+	}
+
+	par := trainerMLP(t, true, 1234)
+	tr, err := NewTrainer(par, NewSGD(0.05, 0.9, 0), TrainConfig{Workers: 3, ShardSize: batch})
+	if err != nil {
+		t.Fatalf("NewTrainer: %v", err)
+	}
+	parLoss := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		parLoss = append(parLoss, tr.StepMSE(x, y, lambda))
+	}
+
+	if !bitEqual(serialLoss, parLoss) {
+		t.Fatalf("trainer with one full-batch shard diverged from the serial loop:\nserial %v\ntrainer %v", serialLoss, parLoss)
+	}
+	sp, pp := serial.Params(), par.Params()
+	for i := range sp {
+		if !bitEqual(sp[i].Data, pp[i].Data) {
+			t.Fatalf("param %s differs between serial loop and single-shard trainer", sp[i].Name)
+		}
+	}
+}
+
+// TestTrainerRejectsBatchNorm: BatchNorm's train-mode statistics couple
+// the columns of whatever sub-batch it sees, so sharded training would
+// silently change the model; the trainer must refuse instead.
+func TestTrainerRejectsBatchNorm(t *testing.T) {
+	spec := &Spec{Name: "bnnet", InputDim: 2 * 4 * 4, Layers: []LayerSpec{
+		{Type: "conv", Name: "bnnet.c", C: 2, H: 4, W: 4, OutC: 3, K: 3, Stride: 1, Pad: 1},
+		{Type: "bn", Name: "bnnet.bn", C: 3, H: 4, W: 4},
+		{Type: "gap", Name: "bnnet.gap", C: 3, H: 4, W: 4},
+		{Type: "dense", Name: "bnnet.head", In: 3, Out: 2},
+	}}
+	net, err := spec.Build(1)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	_, err = NewTrainer(net, NewSGD(0.1, 0, 0), TrainConfig{Workers: 2})
+	if err == nil {
+		t.Fatalf("NewTrainer accepted a BatchNorm network")
+	}
+	if !strings.Contains(err.Error(), "BatchNorm") {
+		t.Fatalf("unexpected rejection message: %v", err)
+	}
+}
+
+// TestTrainerRaceStress exercises the concurrent shard workers under the
+// race detector (go test -race): many small shards, more workers than
+// cores, repeated steps.
+func TestTrainerRaceStress(t *testing.T) {
+	net := trainerMLP(t, true, 9)
+	tr, err := NewTrainer(net, NewAdam(1e-3), TrainConfig{Workers: 8, ShardSize: 4})
+	if err != nil {
+		t.Fatalf("NewTrainer: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	x := randMatrix(9, 64, rng)
+	y := randMatrix(4, 64, rng)
+	for i := 0; i < 15; i++ {
+		if l := tr.StepMSE(x, y, 1e-4); l != l || l < 0 {
+			t.Fatalf("step %d: bad loss %v", i, l)
+		}
+	}
+}
+
+// TestTrainerShardLossComposition: shard losses must sum (in the fixed
+// reduction order) to the full-batch loss the serial path reports.
+func TestTrainerShardLossComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	yhat := randMatrix(5, 33, rng)
+	y := randMatrix(5, 33, rng)
+	full, fullGrad := MSELoss(yhat, y)
+	var sum float64
+	cols := 0
+	for lo := 0; lo < 33; lo += 8 {
+		hi := lo + 8
+		if hi > 33 {
+			hi = 33
+		}
+		shard := yhat.ColRangeInto(lo, hi, nil)
+		l, g := MSELossShard(shard, y, lo, hi, 33)
+		sum += l
+		// Shard gradient columns must equal the full-batch gradient's.
+		for r := 0; r < g.Rows; r++ {
+			want := fullGrad.Data[r*33+lo : r*33+hi]
+			got := g.Data[r*g.Cols : (r+1)*g.Cols]
+			if !bitEqual(want, got) {
+				t.Fatalf("shard [%d,%d) grad row %d differs from full-batch gradient", lo, hi, r)
+			}
+		}
+		cols += hi - lo
+	}
+	if cols != 33 {
+		t.Fatalf("shards covered %d of 33 columns", cols)
+	}
+	if d := sum - full; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("shard losses sum to %v, full-batch loss %v", sum, full)
+	}
+}

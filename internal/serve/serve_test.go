@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -295,6 +296,63 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatal("Register succeeded on a drained server")
 	}
 	s.Close() // idempotent
+}
+
+// TestDrainFlushesPartialBatch parks a request inside the batcher's
+// coalescing wait (a 30s FlushInterval no test could sit out) and then
+// drains: Close must flush the partial batch immediately via the queue
+// close rather than wait for the flush timer, complete the in-flight
+// request with 200, and reject new work with 503.
+func TestDrainFlushesPartialBatch(t *testing.T) {
+	s := New(Config{Workers: 1, MaxBatch: 32, FlushInterval: 30 * time.Second,
+		QueueCap: 64, RequestTimeout: time.Minute})
+	if err := s.Register("h2", h2Net(t), numfmt.FP32); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Park one item: enqueue is synchronous, so after it returns the item
+	// is in the queue; once the queue length drops to zero the batcher has
+	// pulled it and is (or is about to be) blocked coalescing.
+	m, ok := s.model("h2")
+	if !ok {
+		t.Fatal("model not registered")
+	}
+	it := &item{ctx: context.Background(), x: make([]float64, 9), done: make(chan struct{})}
+	if err := m.enqueue(it); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(m.queue) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batcher never pulled the parked item")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	s.Close()
+	closeTook := time.Since(start)
+	// Close must not sit out the 30s flush timer: the queue close is what
+	// wakes fillBatch. Generous slack for a loaded CI box, but far below
+	// the interval.
+	if closeTook > 10*time.Second {
+		t.Fatalf("Close took %v: drain waited on the flush timer", closeTook)
+	}
+	select {
+	case <-it.done:
+		if it.err != nil || len(it.out) == 0 {
+			t.Fatalf("parked item finished err=%v out=%v, want a result", it.err, it.out)
+		}
+	default:
+		t.Fatal("parked item still unresolved after Close returned")
+	}
+	in := PredictRequest{Model: "h2", Inputs: [][]float64{make([]float64, 9)}}
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/predict", in)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain predict: status %d, want 503", resp.StatusCode)
+	}
 }
 
 func TestBlobPredict(t *testing.T) {

@@ -156,6 +156,83 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	return out
 }
 
+// MulInto computes m * b into out (resized as needed, zeroed first) and
+// returns the product matrix. out must not alias m or b. The
+// accumulation order over the inner dimension is identical to Mul's, so
+// the two produce bit-identical results.
+func (m *Matrix) MulInto(b, out *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: mulinto shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out = ZeroMatrix(EnsureMatrix(out, m.Rows, b.Cols))
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulBTInto computes m * b^T into out (resized, zeroed) without
+// materializing the transpose: out[i][j] = sum_k m[i][k]*b[j][k], with
+// the sum over k in increasing order — the same accumulation order as
+// Mul(b.T()), so results match that composition bitwise for finite
+// inputs (Mul skips zero multiplicands, which can only differ through
+// -0/NaN/Inf interplay). out must not alias m or b.
+func (m *Matrix) MulBTInto(b, out *Matrix) *Matrix {
+	if m.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: mulbt shape mismatch %dx%d * (%dx%d)^T", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out = EnsureMatrix(out, m.Rows, b.Rows)
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, a := range arow {
+				s += a * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// TMulInto computes m^T * b into out (resized, zeroed) without
+// materializing the transpose: out[i][j] = sum_k m[k][i]*b[k][j], summed
+// over k in increasing order with the same zero-multiplicand skip as
+// Mul, so it is bit-identical to m.T().Mul(b). out must not alias m or
+// b.
+func (m *Matrix) TMulInto(b, out *Matrix) *Matrix {
+	if m.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: tmul shape mismatch (%dx%d)^T * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out = ZeroMatrix(EnsureMatrix(out, m.Cols, b.Cols))
+	for k := 0; k < m.Rows; k++ {
+		arow := m.Data[k*m.Cols : (k+1)*m.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, a := range arow {
+			if a == 0 {
+				continue
+			}
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
 // Sub returns m - b as a new matrix.
 func (m *Matrix) Sub(b *Matrix) *Matrix {
 	if m.Rows != b.Rows || m.Cols != b.Cols {

@@ -1,0 +1,142 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bitEqual reports exact floating-point equality; the Into matmul
+// variants promise bit-identity with their allocating counterparts, so
+// their tests compare without tolerance.
+func bitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomMatrix(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+		if rng.Intn(8) == 0 {
+			m.Data[i] = 0 // exercise the zero-skip path
+		}
+	}
+	return m
+}
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var out *Matrix
+	for trial := 0; trial < 20; trial++ {
+		r, k, c := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a, b := randomMatrix(r, k, rng), randomMatrix(k, c, rng)
+		want := a.Mul(b)
+		out = a.MulInto(b, out) // reused across trials
+		if out.Rows != r || out.Cols != c || !bitEqual(want.Data, out.Data) {
+			t.Fatalf("trial %d: MulInto differs from Mul for %dx%d * %dx%d", trial, r, k, k, c)
+		}
+	}
+}
+
+func TestMulBTIntoMatchesMulBT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var out *Matrix
+	for trial := 0; trial < 20; trial++ {
+		r, k, c := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a, b := randomMatrix(r, k, rng), randomMatrix(c, k, rng)
+		want := a.Mul(b.T())
+		out = a.MulBTInto(b, out)
+		if out.Rows != r || out.Cols != c || !bitEqual(want.Data, out.Data) {
+			t.Fatalf("trial %d: MulBTInto differs from Mul(b.T())", trial)
+		}
+	}
+}
+
+func TestTMulIntoMatchesTMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var out *Matrix
+	for trial := 0; trial < 20; trial++ {
+		r, k, c := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a, b := randomMatrix(k, r, rng), randomMatrix(k, c, rng)
+		want := a.T().Mul(b)
+		out = a.TMulInto(b, out)
+		if out.Rows != r || out.Cols != c || !bitEqual(want.Data, out.Data) {
+			t.Fatalf("trial %d: TMulInto differs from a.T().Mul(b)", trial)
+		}
+	}
+}
+
+func TestEnsureMatrixReuse(t *testing.T) {
+	m := NewMatrix(4, 6)
+	backing := &m.Data[0]
+	m2 := EnsureMatrix(m, 3, 8) // same element count: must reuse
+	if m2 != m || &m2.Data[0] != backing {
+		t.Fatalf("EnsureMatrix reallocated despite sufficient capacity")
+	}
+	if m2.Rows != 3 || m2.Cols != 8 {
+		t.Fatalf("EnsureMatrix shape = %dx%d, want 3x8", m2.Rows, m2.Cols)
+	}
+	m3 := EnsureMatrix(m2, 10, 10) // larger: must reallocate
+	if m3 == m2 {
+		t.Fatalf("EnsureMatrix reused a too-small buffer")
+	}
+	if m4 := EnsureMatrix(nil, 2, 2); m4 == nil || len(m4.Data) != 4 {
+		t.Fatalf("EnsureMatrix(nil) did not allocate")
+	}
+}
+
+func TestColRangeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomMatrix(5, 9, rng)
+	got := m.ColRangeInto(2, 6, nil)
+	if got.Rows != 5 || got.Cols != 4 {
+		t.Fatalf("shape %dx%d, want 5x4", got.Rows, got.Cols)
+	}
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 4; c++ {
+			if got.At(r, c) != m.At(r, 2+c) {
+				t.Fatalf("entry (%d,%d) mismatch", r, c)
+			}
+		}
+	}
+	// Full range reproduces the matrix; reuse path preserves values.
+	got = m.ColRangeInto(0, 9, got)
+	if !bitEqual(got.Data, m.Data) {
+		t.Fatalf("full-range ColRangeInto differs from source")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("out-of-bounds ColRangeInto did not panic")
+		}
+	}()
+	m.ColRangeInto(3, 10, nil)
+}
+
+func TestMatrixPool(t *testing.T) {
+	var p MatrixPool
+	a := p.Get(3, 3)
+	backing := &a.Data[0]
+	p.Put(a)
+	b := p.Get(2, 4) // 8 <= cap 9: reuse
+	if &b.Data[0] != backing {
+		t.Fatalf("pool did not reuse a sufficient buffer")
+	}
+	c := p.Get(5, 5) // pool empty now: fresh allocation
+	if len(c.Data) != 25 {
+		t.Fatalf("fresh Get returned wrong size")
+	}
+	p.Put(nil) // must be a no-op
+	p.Put(b)
+	p.Put(c)
+	d := p.Get(4, 5) // prefers most recent (c) with capacity
+	if &d.Data[0] != &c.Data[0] {
+		t.Fatalf("pool did not prefer the most recently returned sufficient buffer")
+	}
+}
