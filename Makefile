@@ -34,13 +34,21 @@ test:
 race:
 	$(GO) test -race -shuffle=on -timeout=35m ./...
 
-# ~10s total fuzz smoke over the internal/compress fuzz targets: enough
-# to catch a freshly introduced panic without stalling CI.
-FUZZ_TARGETS = FuzzDecodeContainer FuzzHuffmanDecode FuzzSZRoundTrip
+# ~12s total fuzz smoke, 3s per target: enough to catch a freshly
+# introduced panic without stalling CI. Targets are pkg:Fuzz pairs;
+# FuzzDecodeContainer exercises the checksummed v2 container framing
+# (with v1 seeds for the legacy path) and FuzzDecodeCheckpoint the
+# crash-safe checkpoint decoder.
+FUZZ_TARGETS = \
+	./internal/compress:FuzzDecodeContainer \
+	./internal/compress:FuzzHuffmanDecode \
+	./internal/compress:FuzzSZRoundTrip \
+	./internal/checkpoint:FuzzDecodeCheckpoint
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t"; \
-		$(GO) test -run='^$$' -fuzz="^$$t$$" -fuzztime=3s ./internal/compress || exit 1; \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "fuzz $$fn ($$pkg)"; \
+		$(GO) test -run='^$$' -fuzz="^$$fn$$" -fuzztime=3s $$pkg || exit 1; \
 	done
 
 # The repo's own numeric-soundness/determinism analyzers (see README

@@ -1,7 +1,13 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"github.com/scidata/errprop/internal/integrity"
 )
 
 func TestParseModelFlag(t *testing.T) {
@@ -31,6 +37,46 @@ func TestDemoNetwork(t *testing.T) {
 	}
 	if _, err := net.Clone(); err != nil {
 		t.Fatalf("demo model must be servable (clonable): %v", err)
+	}
+}
+
+// TestRunCorruptModelFile: a model file whose bytes fail the container
+// checksum must abort startup with an error that names the file and
+// carries the typed integrity error — not serve garbage weights.
+func TestRunCorruptModelFile(t *testing.T) {
+	net, err := demoNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "demo.model")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20 // flip one payload bit
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err = run([]string{"-model", "demo=" + path, "-addr", "127.0.0.1:0"})
+	if err == nil {
+		t.Fatal("run served a model whose file failed its checksum")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("startup error does not name the bad file: %v", err)
+	}
+	if !errors.Is(err, integrity.ErrCorrupt) {
+		t.Fatalf("startup error is not the typed integrity error: %v", err)
 	}
 }
 

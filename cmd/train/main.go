@@ -6,6 +6,15 @@
 // Usage:
 //
 //	train [-dir models] [-variants psn,plain,wd]
+//	train -checkpoint-dir ckpts -checkpoint-every 100 -resume
+//
+// With -checkpoint-dir set, every model checkpoints its full trainer
+// state (weights, optimizer moments, PSN state, step counter) to
+// <checkpoint-dir>/<model>/ every -checkpoint-every optimizer steps,
+// written atomically so a kill mid-write never leaves a half checkpoint.
+// Restarting with -resume continues each interrupted model from its
+// newest intact checkpoint and produces the bit-identical weights an
+// uninterrupted run would have.
 package main
 
 import (
@@ -21,14 +30,29 @@ import (
 func main() {
 	dir := flag.String("dir", "models", "directory to store trained models")
 	variants := flag.String("variants", "psn,plain,wd", "comma-separated training variants")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for crash-safe training checkpoints (empty disables)")
+	ckptEvery := flag.Int64("checkpoint-every", 200, "checkpoint every N optimizer steps")
+	resume := flag.Bool("resume", false, "resume interrupted training from the newest intact checkpoint")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
-	// The registry trains on first use and persists through this env var.
+	// The registry trains on first use and persists through this env var;
+	// the checkpoint settings travel the same way.
 	os.Setenv("ERRPROP_MODEL_DIR", *dir)
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "train:", err)
+			os.Exit(1)
+		}
+		os.Setenv("ERRPROP_CHECKPOINT_DIR", *ckptDir)
+		os.Setenv("ERRPROP_CHECKPOINT_EVERY", fmt.Sprint(*ckptEvery))
+	}
+	if *resume {
+		os.Setenv("ERRPROP_RESUME", "1")
+	}
 
 	var vs []experiments.Variant
 	for _, name := range strings.Split(*variants, ",") {

@@ -26,12 +26,14 @@ import (
 	"io"
 
 	"github.com/scidata/errprop/internal/autotune"
+	"github.com/scidata/errprop/internal/checkpoint"
 	"github.com/scidata/errprop/internal/compress"
 	_ "github.com/scidata/errprop/internal/compress/mgard" // register codecs
 	_ "github.com/scidata/errprop/internal/compress/sz"
 	_ "github.com/scidata/errprop/internal/compress/zfp"
 	"github.com/scidata/errprop/internal/core"
 	"github.com/scidata/errprop/internal/gpusim"
+	"github.com/scidata/errprop/internal/integrity"
 	"github.com/scidata/errprop/internal/nn"
 	"github.com/scidata/errprop/internal/numfmt"
 	"github.com/scidata/errprop/internal/pipeline"
@@ -77,6 +79,48 @@ func ResNetSpec(name string, inC, h, w, numClasses int, blocks, channels []int, 
 
 // LoadNetwork reads a network serialized with Network.Save.
 func LoadNetwork(r io.Reader) (*Network, error) { return nn.Load(r) }
+
+// Typed integrity errors: every checksummed decoder in the framework
+// (compressed containers, model files, training checkpoints) reports
+// damaged bytes as an error chaining to one of these, so callers can
+// tell bad data from bad requests with errors.Is.
+var (
+	// ErrCorrupt marks bytes that fail a checksum or structural check.
+	ErrCorrupt = integrity.ErrCorrupt
+	// ErrTruncated marks input that ends before its framing says it should.
+	ErrTruncated = integrity.ErrTruncated
+)
+
+// IsIntegrityError reports whether err chains to ErrCorrupt or
+// ErrTruncated.
+func IsIntegrityError(err error) bool { return integrity.IsIntegrityError(err) }
+
+// TrainerState is a Trainer's complete resumable state (parameters,
+// optimizer moments, PSN spectral state, step counter); capture with
+// Trainer.CaptureState, restore with Trainer.RestoreState.
+type TrainerState = nn.TrainerState
+
+// CheckpointState is one training checkpoint: a TrainerState plus the
+// data-order RNG position.
+type CheckpointState = checkpoint.State
+
+// CheckpointLoop wires periodic crash-safe checkpointing into a training
+// loop (see internal/checkpoint.Loop).
+type CheckpointLoop = checkpoint.Loop
+
+// SaveCheckpoint atomically writes a checkpoint into dir (temp file +
+// fsync + rename: a crash mid-write never leaves a half checkpoint that
+// a later resume could read).
+func SaveCheckpoint(dir string, st *CheckpointState) (string, error) {
+	return checkpoint.Save(dir, st)
+}
+
+// LoadLatestCheckpoint restores the newest intact checkpoint in dir,
+// skipping damaged files; it returns the state, the file it came from,
+// and an error wrapping os.ErrNotExist when no usable checkpoint exists.
+func LoadLatestCheckpoint(dir string) (*CheckpointState, string, error) {
+	return checkpoint.LoadLatest(dir)
+}
 
 // Matrix is the column-major-batch matrix type networks consume:
 // features x batch, one sample per column.

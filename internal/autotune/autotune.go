@@ -123,7 +123,10 @@ func Optimize(net *nn.Network, field []float64, dims []int, opt Options) (*Resul
 			}
 			c.EstRatio = rawBytes / float64(stored)
 		}
-		readT := opt.Storage.ReadTime(stored)
+		readT, err := opt.Storage.ReadTime(stored)
+		if err != nil {
+			return nil, err
+		}
 		decT, err := opt.Decode.DecodeTime(opt.Codec, stored, int64(rawBytes))
 		if err != nil {
 			return nil, err

@@ -1,0 +1,390 @@
+// Package checkpoint provides crash-safe, bit-exact training
+// checkpoints. A checkpoint captures everything the next optimizer step
+// depends on — parameter values, optimizer moments, PSN sigma state
+// (estimates and power-iteration warm-start vectors), the data-order RNG
+// position, and the step counter — so a run killed at any point and
+// resumed from its last checkpoint produces a weight trajectory exactly
+// equal (==, not approximately) to the uninterrupted run.
+//
+// Durability has two layers:
+//
+//   - The encoding frames the body with a declared length and a CRC32C
+//     checksum (like the compress container and model v3), so damaged
+//     bytes decode to a typed integrity error, never to silently wrong
+//     training state.
+//   - Save is atomic: the bytes are written to a temp file in the target
+//     directory, fsynced, renamed over the final name, and the directory
+//     is fsynced. A crash mid-save leaves either the old checkpoint set
+//     or the new one — never a half-written file under a final name.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/scidata/errprop/internal/integrity"
+	"github.com/scidata/errprop/internal/nn"
+)
+
+// Typed sentinels, shared with the rest of the fault path.
+var (
+	// ErrCorrupt aliases integrity.ErrCorrupt.
+	ErrCorrupt = integrity.ErrCorrupt
+	// ErrTruncated aliases integrity.ErrTruncated.
+	ErrTruncated = integrity.ErrTruncated
+)
+
+// State is the full resumable training state.
+type State struct {
+	// Trainer is the nn-level snapshot: step counter, parameters, sigma
+	// state, optimizer moments.
+	Trainer *nn.TrainerState
+	// RNGSeed/RNGCount pin the data-order RNG (detrand.Stream) position,
+	// so the resumed run sees the same batches in the same order.
+	RNGSeed, RNGCount uint64
+}
+
+// Step reports the step count the checkpoint was captured at.
+func (s *State) Step() int64 { return s.Trainer.Step }
+
+const (
+	magic = "ERRPROPCK1"
+	// maxBody caps the declared body length (1 GiB) so a corrupt frame
+	// cannot size an absurd allocation.
+	maxBody = 1 << 30
+	// Ext is the checkpoint file extension.
+	Ext    = ".ckpt"
+	tmpExt = ".ckpt.tmp"
+)
+
+// Encode serializes st into the checksummed frame.
+func Encode(st *State) ([]byte, error) {
+	if st == nil || st.Trainer == nil {
+		return nil, fmt.Errorf("checkpoint: nil state")
+	}
+	var b bytes.Buffer
+	w := func(v any) { binary.Write(&b, binary.LittleEndian, v) } //lint:ignore droppederr bytes.Buffer writes cannot fail
+	vec := func(v []float64) {
+		w(uint32(len(v)))
+		for _, x := range v {
+			w(x)
+		}
+	}
+	tr := st.Trainer
+	w(uint64(tr.Step))
+	w(st.RNGSeed)
+	w(st.RNGCount)
+	kind := tr.Opt.Kind
+	if len(kind) > 255 {
+		return nil, fmt.Errorf("checkpoint: optimizer kind %q too long", kind)
+	}
+	w(uint8(len(kind)))
+	b.WriteString(kind)
+	w(uint64(tr.Opt.Step))
+	w(uint32(len(tr.Params)))
+	for _, p := range tr.Params {
+		vec(p)
+	}
+	vec(tr.Sigmas)
+	w(uint32(len(tr.IterVecs)))
+	for _, v := range tr.IterVecs {
+		vec(v)
+	}
+	w(uint32(len(tr.Opt.Slots)))
+	for _, s := range tr.Opt.Slots {
+		vec(s)
+	}
+
+	body := b.Bytes()
+	out := bytes.NewBuffer(make([]byte, 0, len(magic)+12+len(body)))
+	out.WriteString(magic)
+	binary.Write(out, binary.LittleEndian, uint64(len(body)))        //lint:ignore droppederr bytes.Buffer writes cannot fail
+	binary.Write(out, binary.LittleEndian, integrity.Checksum(body)) //lint:ignore droppederr bytes.Buffer writes cannot fail
+	out.Write(body)
+	return out.Bytes(), nil
+}
+
+// Decode parses a checkpoint frame. Damage surfaces as an error wrapping
+// ErrCorrupt or ErrTruncated; Decode never panics and never returns a
+// partially-filled state without an error.
+func Decode(raw []byte) (*State, error) {
+	if len(raw) < len(magic) {
+		return nil, fmt.Errorf("checkpoint: %w: %d bytes, shorter than magic", ErrTruncated, len(raw))
+	}
+	if string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("checkpoint: %w: bad magic %q", ErrCorrupt, raw[:len(magic)])
+	}
+	rest := raw[len(magic):]
+	if len(rest) < 12 {
+		return nil, fmt.Errorf("checkpoint: %w: missing frame header", ErrTruncated)
+	}
+	bodyLen := binary.LittleEndian.Uint64(rest)
+	crc := binary.LittleEndian.Uint32(rest[8:])
+	rest = rest[12:]
+	if bodyLen > maxBody {
+		return nil, fmt.Errorf("checkpoint: %w: declared body length %d exceeds %d", ErrCorrupt, bodyLen, int64(maxBody))
+	}
+	if uint64(len(rest)) < bodyLen {
+		return nil, fmt.Errorf("checkpoint: %w: body %d of declared %d bytes", ErrTruncated, len(rest), bodyLen)
+	}
+	body := rest[:bodyLen]
+	if got := integrity.Checksum(body); got != crc {
+		return nil, fmt.Errorf("checkpoint: %w: body checksum %08x != stored %08x", ErrCorrupt, got, crc)
+	}
+	return decodeBody(bytes.NewReader(body))
+}
+
+// decodeBody parses the checksum-verified body. Any structural
+// inconsistency inside verified bytes means the checkpoint was written
+// wrong — ErrCorrupt.
+func decodeBody(r *bytes.Reader) (*State, error) {
+	bad := func(what string) error {
+		return fmt.Errorf("checkpoint: %w: inconsistent %s", ErrCorrupt, what)
+	}
+	u64 := func() (uint64, bool) {
+		var v uint64
+		if binary.Read(r, binary.LittleEndian, &v) != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		var v uint32
+		if binary.Read(r, binary.LittleEndian, &v) != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	vec := func() ([]float64, bool) {
+		n, ok := u32()
+		if !ok || uint64(n)*8 > uint64(r.Len()) {
+			return nil, false
+		}
+		v := make([]float64, n)
+		if binary.Read(r, binary.LittleEndian, v) != nil {
+			return nil, false
+		}
+		return v, true
+	}
+
+	st := &State{Trainer: &nn.TrainerState{}}
+	step, ok := u64()
+	if !ok {
+		return nil, bad("step counter")
+	}
+	if int64(step) < 0 {
+		return nil, bad("step counter (negative)")
+	}
+	st.Trainer.Step = int64(step)
+	if st.RNGSeed, ok = u64(); !ok {
+		return nil, bad("rng seed")
+	}
+	if st.RNGCount, ok = u64(); !ok {
+		return nil, bad("rng count")
+	}
+	var kl uint8
+	if binary.Read(r, binary.LittleEndian, &kl) != nil {
+		return nil, bad("optimizer kind length")
+	}
+	kind := make([]byte, kl)
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return nil, bad("optimizer kind")
+	}
+	st.Trainer.Opt.Kind = string(kind)
+	optStep, ok := u64()
+	if !ok {
+		return nil, bad("optimizer step")
+	}
+	st.Trainer.Opt.Step = int64(optStep)
+
+	nParams, ok := u32()
+	if !ok || uint64(nParams)*4 > uint64(r.Len()) {
+		return nil, bad("parameter count")
+	}
+	st.Trainer.Params = make([][]float64, nParams)
+	for i := range st.Trainer.Params {
+		if st.Trainer.Params[i], ok = vec(); !ok {
+			return nil, bad(fmt.Sprintf("parameter %d", i))
+		}
+	}
+	if st.Trainer.Sigmas, ok = vec(); !ok {
+		return nil, bad("sigma estimates")
+	}
+	nIter, ok := u32()
+	if !ok || uint64(nIter)*4 > uint64(r.Len()) {
+		return nil, bad("iteration vector count")
+	}
+	st.Trainer.IterVecs = make([][]float64, nIter)
+	for i := range st.Trainer.IterVecs {
+		if st.Trainer.IterVecs[i], ok = vec(); !ok {
+			return nil, bad(fmt.Sprintf("iteration vector %d", i))
+		}
+	}
+	nSlots, ok := u32()
+	if !ok || uint64(nSlots)*4 > uint64(r.Len()) {
+		return nil, bad("optimizer slot count")
+	}
+	st.Trainer.Opt.Slots = make([][]float64, nSlots)
+	for i := range st.Trainer.Opt.Slots {
+		if st.Trainer.Opt.Slots[i], ok = vec(); !ok {
+			return nil, bad(fmt.Sprintf("optimizer slot %d", i))
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("checkpoint: %w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	return st, nil
+}
+
+// FileName returns the canonical checkpoint file name for a step.
+func FileName(step int64) string {
+	return fmt.Sprintf("step-%012d%s", step, Ext)
+}
+
+// stepFromName parses the step out of a canonical checkpoint name.
+func stepFromName(name string) (int64, bool) {
+	var step int64
+	var ext string
+	n, err := fmt.Sscanf(name, "step-%012d%s", &step, &ext)
+	if n != 2 || err != nil || ext != Ext || step < 0 {
+		return 0, false
+	}
+	return step, true
+}
+
+// Save atomically writes st into dir under the canonical name for its
+// step and returns the final path. The write is crash-safe: temp file in
+// the same directory, fsync, rename, directory fsync.
+func Save(dir string, st *State) (string, error) {
+	raw, err := Encode(st)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, FileName(st.Step()))
+	tmp, err := os.CreateTemp(dir, FileName(st.Step())+tmpExt)
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //lint:ignore droppederr directory fsync is best-effort; rename already ordered the data
+		d.Close()
+	}
+	return final, nil
+}
+
+// LoadFile reads and decodes one checkpoint file.
+func LoadFile(path string) (*State, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return st, nil
+}
+
+// List returns the canonical checkpoint paths in dir, newest (highest
+// step) first. Temp files and foreign names are ignored. A missing dir
+// is an empty list, not an error.
+func List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		path string
+		step int64
+	}
+	var cs []cand
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if step, ok := stepFromName(e.Name()); ok {
+			cs = append(cs, cand{filepath.Join(dir, e.Name()), step})
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].step > cs[j].step })
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.path
+	}
+	return out, nil
+}
+
+// LoadLatest loads the newest decodable checkpoint in dir, skipping
+// over damaged files (a torn or bit-rotted newest checkpoint falls back
+// to the previous good one — crash safety must not depend on the last
+// write surviving). Returns os.ErrNotExist when dir holds no usable
+// checkpoint; damaged files encountered along the way are reported in
+// the error's message.
+func LoadLatest(dir string) (*State, string, error) {
+	paths, err := List(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var skipped []string
+	for _, p := range paths {
+		st, err := LoadFile(p)
+		if err == nil {
+			return st, p, nil
+		}
+		if !integrity.IsIntegrityError(err) {
+			return nil, "", err
+		}
+		skipped = append(skipped, fmt.Sprintf("%s (%v)", filepath.Base(p), err))
+	}
+	if len(skipped) > 0 {
+		return nil, "", fmt.Errorf("checkpoint: no usable checkpoint in %s (damaged: %v): %w", dir, skipped, os.ErrNotExist)
+	}
+	return nil, "", fmt.Errorf("checkpoint: no checkpoint in %s: %w", dir, os.ErrNotExist)
+}
+
+// Prune removes all but the keep newest checkpoints in dir. keep <= 0
+// keeps everything.
+func Prune(dir string, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	paths, err := List(dir)
+	if err != nil {
+		return err
+	}
+	if keep > len(paths) {
+		keep = len(paths)
+	}
+	for _, p := range paths[keep:] {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

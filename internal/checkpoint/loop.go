@@ -1,0 +1,90 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+
+	"github.com/scidata/errprop/internal/detrand"
+	"github.com/scidata/errprop/internal/nn"
+)
+
+// Loop wires periodic checkpointing into a training loop. Typical use:
+//
+//	loop := &checkpoint.Loop{Dir: dir, Every: 100, Keep: 3}
+//	start, err := loop.Resume(trainer, rng)   // 0 on a fresh start
+//	for step := start; step < total; step++ {
+//	    ... trainer.StepMSE(nextBatch(rng)) ...
+//	    if err := loop.AfterStep(trainer, rng); err != nil { ... }
+//	}
+//
+// Resume restores the newest usable checkpoint (skipping damaged files)
+// into the trainer and RNG, returning the step to continue from; the
+// caller's only obligation is to derive all data order from rng so the
+// replayed-from-checkpoint run sees the batches the killed run would
+// have seen.
+type Loop struct {
+	// Dir is the checkpoint directory. Empty disables checkpointing:
+	// Resume returns 0 and AfterStep does nothing, so callers can wire
+	// the Loop unconditionally.
+	Dir string
+	// Every saves a checkpoint when trainer.Steps() is a positive
+	// multiple of it; <= 0 disables periodic saves.
+	Every int64
+	// Keep bounds how many checkpoints are retained (<= 0 keeps all).
+	Keep int
+}
+
+// enabled reports whether this loop is wired to a directory.
+func (l *Loop) enabled() bool { return l != nil && l.Dir != "" }
+
+// Resume restores the newest usable checkpoint into tr and rng and
+// returns its step count. A missing or empty directory is a fresh
+// start: returns 0 with no error and leaves tr and rng untouched.
+func (l *Loop) Resume(tr *nn.Trainer, rng *detrand.Stream) (int64, error) {
+	if !l.enabled() {
+		return 0, nil
+	}
+	st, _, err := LoadLatest(l.Dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := tr.RestoreState(st.Trainer); err != nil {
+		return 0, err
+	}
+	if rng != nil {
+		rng.Restore(st.RNGSeed, st.RNGCount)
+	}
+	return st.Step(), nil
+}
+
+// AfterStep saves a checkpoint if the trainer's step count hits the
+// Every cadence, then prunes old checkpoints past Keep.
+func (l *Loop) AfterStep(tr *nn.Trainer, rng *detrand.Stream) error {
+	if !l.enabled() || l.Every <= 0 {
+		return nil
+	}
+	step := tr.Steps()
+	if step <= 0 || step%l.Every != 0 {
+		return nil
+	}
+	return l.SaveNow(tr, rng)
+}
+
+// SaveNow unconditionally checkpoints the current trainer and RNG state
+// (the final-step save at the end of a training run).
+func (l *Loop) SaveNow(tr *nn.Trainer, rng *detrand.Stream) error {
+	if !l.enabled() {
+		return nil
+	}
+	st := &State{Trainer: tr.CaptureState()}
+	if rng != nil {
+		st.RNGSeed, st.RNGCount = rng.State()
+	}
+	if _, err := Save(l.Dir, st); err != nil {
+		return err
+	}
+	return Prune(l.Dir, l.Keep)
+}

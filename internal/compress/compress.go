@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/scidata/errprop/internal/integrity"
 )
 
 // Mode selects how the tolerance argument of Compress is interpreted.
@@ -52,8 +54,16 @@ func (m Mode) String() string {
 // requested error mode (e.g. ZFP with an L2 tolerance).
 var ErrUnsupportedMode = errors.New("compress: unsupported error mode for this codec")
 
-// ErrCorrupt is returned when a blob cannot be decoded.
-var ErrCorrupt = errors.New("compress: corrupt stream")
+// ErrCorrupt is returned when a blob cannot be decoded: its bytes fail a
+// checksum or declare an impossible structure. It is the shared
+// integrity.ErrCorrupt sentinel, so callers anywhere on the storage →
+// decode → inference path can classify the failure with one errors.Is.
+var ErrCorrupt = integrity.ErrCorrupt
+
+// ErrTruncated is returned when a blob ends before its declared length —
+// a partial write or cut-off transfer rather than in-place damage. It is
+// the shared integrity.ErrTruncated sentinel.
+var ErrTruncated = integrity.ErrTruncated
 
 // Codec is an error-bounded lossy compressor. Implementations must
 // guarantee the requested bound exactly (encoder-side verification is
@@ -105,13 +115,24 @@ func Names() []string {
 	return out
 }
 
-const magic = 0x53445243 // "SDRC"
+// Container magics. v1 ("SDRC") carried no integrity information; v2
+// ("SDR2") adds CRC32C checksums over both header and payload. Encode
+// writes v2; Decode reads both.
+const (
+	magic   = 0x53445243 // v1, "SDRC"
+	magicV2 = 0x32524453 // v2, bytes "SDR2"
+)
 
 // maxGridElems caps the total element count a decoded container may
 // declare (2^30 covers a 1024^3 volume). Anything larger in a header is
 // treated as corruption rather than sizing an 8+ GiB allocation from
 // untrusted bytes.
 const maxGridElems = 1 << 30
+
+// maxHeaderLen caps the declared v2 header length: the largest legal
+// header is 1+255 (name) + 1 (mode) + 8 (tol) + 1 (rank) + 24 (dims) +
+// 8 (payload len + crc) bytes.
+const maxHeaderLen = 1 + 255 + 1 + 8 + 1 + 24 + 8
 
 // Blob is a self-describing compressed buffer: container header + payload.
 type Blob struct {
@@ -120,6 +141,12 @@ type Blob struct {
 	Tol       float64
 	Dims      []int
 	Payload   []byte
+	// Version is the container framing version the blob was read with (2
+	// for freshly encoded blobs; 1 for legacy unchecksummed containers).
+	Version int
+	// PayloadChecksum is the payload's CRC32C: verified against the
+	// stored value for v2 containers, computed on read for v1.
+	PayloadChecksum uint32
 }
 
 // Encode compresses data with the named codec and wraps the result in the
@@ -242,7 +269,42 @@ func minMax(data []float64) (min, max float64) {
 	return min, max
 }
 
+// marshal writes the v2 container frame:
+//
+//	magic(4) headerLen(2) header headerCRC(4) payload
+//	header = nameLen(1) name mode(1) tol(8) rank(1) dims(8*rank)
+//	         payloadLen(4) payloadCRC(4)
+//
+// The header CRC covers everything before it (magic and headerLen
+// included), so damage to the framing itself — not just the payload — is
+// detected. The payload CRC lives inside the header, protected by the
+// header CRC, and is verified against the payload bytes on read.
 func marshal(b Blob) []byte {
+	name := []byte(b.CodecName)
+	header := make([]byte, 0, maxHeaderLen)
+	header = append(header, byte(len(name)))
+	header = append(header, name...)
+	header = append(header, byte(b.Mode))
+	header = binary.LittleEndian.AppendUint64(header, math.Float64bits(b.Tol))
+	header = append(header, byte(len(b.Dims)))
+	for _, d := range b.Dims {
+		header = binary.LittleEndian.AppendUint64(header, uint64(d))
+	}
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(b.Payload)))
+	header = binary.LittleEndian.AppendUint32(header, integrity.Checksum(b.Payload))
+
+	out := make([]byte, 0, 4+2+len(header)+4+len(b.Payload))
+	out = binary.LittleEndian.AppendUint32(out, magicV2)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(header)))
+	out = append(out, header...)
+	out = binary.LittleEndian.AppendUint32(out, integrity.Checksum(out))
+	out = append(out, b.Payload...)
+	return out
+}
+
+// marshalV1 writes the legacy unchecksummed v1 frame. Kept so tests can
+// pin the backward-compat read path and regenerate v1 fixtures.
+func marshalV1(b Blob) []byte {
 	name := []byte(b.CodecName)
 	out := make([]byte, 0, 4+1+len(name)+1+8+1+8*len(b.Dims)+4+len(b.Payload))
 	out = binary.LittleEndian.AppendUint32(out, magic)
@@ -259,15 +321,103 @@ func marshal(b Blob) []byte {
 	return out
 }
 
+// unmarshal dispatches on the container magic: v2 frames are verified
+// (header CRC, then payload CRC) before any field is trusted; v1 frames
+// take the legacy unchecksummed path for backward compatibility.
 func unmarshal(blob []byte) (*Blob, error) {
+	if len(blob) < 4 {
+		return nil, fmt.Errorf("compress: container: %w: %d bytes, shorter than any magic", ErrTruncated, len(blob))
+	}
+	switch binary.LittleEndian.Uint32(blob) {
+	case magicV2:
+		return unmarshalV2(blob)
+	case magic:
+		return unmarshalV1(blob)
+	}
+	return nil, fmt.Errorf("compress: container: %w: unknown magic", ErrCorrupt)
+}
+
+func unmarshalV2(blob []byte) (*Blob, error) {
+	if len(blob) < 6 {
+		return nil, fmt.Errorf("compress: v2 container: %w: header length field missing", ErrTruncated)
+	}
+	hlen := int(binary.LittleEndian.Uint16(blob[4:]))
+	if hlen > maxHeaderLen {
+		return nil, fmt.Errorf("compress: v2 container: %w: declared header length %d exceeds maximum %d", ErrCorrupt, hlen, maxHeaderLen)
+	}
+	// magic(4) + headerLen(2) + header(hlen) + headerCRC(4)
+	crcOff := 6 + hlen
+	if len(blob) < crcOff+4 {
+		return nil, fmt.Errorf("compress: v2 container: %w: %d bytes, header needs %d", ErrTruncated, len(blob), crcOff+4)
+	}
+	if got, want := integrity.Checksum(blob[:crcOff]), binary.LittleEndian.Uint32(blob[crcOff:]); got != want {
+		return nil, fmt.Errorf("compress: v2 container: %w: header checksum %08x != stored %08x", ErrCorrupt, got, want)
+	}
+
+	// The header checksum passed; parse it. Field bounds are still
+	// checked — a checksummed header can be absurd if it was *written*
+	// wrong, and dims guards also protect the v1 path, which shares the
+	// element cap.
+	h := blob[6:crcOff]
+	if len(h) < 1 {
+		return nil, fmt.Errorf("compress: v2 container: %w: empty header", ErrCorrupt)
+	}
+	p := 0
+	nameLen := int(h[p])
+	p++
+	if p+nameLen+1+8+1 > len(h) {
+		return nil, fmt.Errorf("compress: v2 container: %w: header too short for codec name", ErrCorrupt)
+	}
+	name := string(h[p : p+nameLen])
+	p += nameLen
+	mode := Mode(h[p])
+	p++
+	tol := math.Float64frombits(binary.LittleEndian.Uint64(h[p:]))
+	p += 8
+	rank := int(h[p])
+	p++
+	if rank == 0 || rank > 3 || p+8*rank+8 != len(h) {
+		return nil, fmt.Errorf("compress: v2 container: %w: rank %d inconsistent with header length", ErrCorrupt, rank)
+	}
+	dims := make([]int, rank)
+	elems := 1
+	for i := range dims {
+		d := int(binary.LittleEndian.Uint64(h[p:]))
+		p += 8
+		// Same untrusted-dims guard as v1: reject non-positive or
+		// oversized values before any codec sizes an allocation from
+		// their product (overflow-safe check).
+		if d <= 0 || d > maxGridElems || elems > maxGridElems/d {
+			return nil, fmt.Errorf("compress: v2 container: %w: implausible dim %d", ErrCorrupt, d)
+		}
+		elems *= d
+		dims[i] = d
+	}
+	plen := int(binary.LittleEndian.Uint32(h[p:]))
+	p += 4
+	pcrc := binary.LittleEndian.Uint32(h[p:])
+
+	payload := blob[crcOff+4:]
+	if len(payload) < plen {
+		return nil, fmt.Errorf("compress: v2 container: %w: payload %d of %d declared bytes", ErrTruncated, len(payload), plen)
+	}
+	payload = payload[:plen]
+	if got := integrity.Checksum(payload); got != pcrc {
+		return nil, fmt.Errorf("compress: v2 container: %w: payload checksum %08x != stored %08x", ErrCorrupt, got, pcrc)
+	}
+	return &Blob{CodecName: name, Mode: mode, Tol: tol, Dims: dims, Payload: payload,
+		Version: 2, PayloadChecksum: pcrc}, nil
+}
+
+func unmarshalV1(blob []byte) (*Blob, error) {
 	if len(blob) < 6 || binary.LittleEndian.Uint32(blob) != magic {
-		return nil, ErrCorrupt
+		return nil, fmt.Errorf("compress: v1 container: %w: bad magic or header", ErrCorrupt)
 	}
 	p := 4
 	nameLen := int(blob[p])
 	p++
 	if p+nameLen+1+8+1 > len(blob) {
-		return nil, ErrCorrupt
+		return nil, fmt.Errorf("compress: v1 container: %w: header", ErrTruncated)
 	}
 	name := string(blob[p : p+nameLen])
 	p += nameLen
@@ -277,8 +427,11 @@ func unmarshal(blob []byte) (*Blob, error) {
 	p += 8
 	rank := int(blob[p])
 	p++
-	if rank == 0 || rank > 3 || p+8*rank+4 > len(blob) {
-		return nil, ErrCorrupt
+	if rank == 0 || rank > 3 {
+		return nil, fmt.Errorf("compress: v1 container: %w: rank %d not in 1..3", ErrCorrupt, rank)
+	}
+	if p+8*rank+4 > len(blob) {
+		return nil, fmt.Errorf("compress: v1 container: %w: dims", ErrTruncated)
 	}
 	dims := make([]int, rank)
 	elems := 1
@@ -289,7 +442,7 @@ func unmarshal(blob []byte) (*Blob, error) {
 		// oversized values before any codec sizes an allocation from
 		// their product (overflow-safe check).
 		if d <= 0 || d > maxGridElems || elems > maxGridElems/d {
-			return nil, ErrCorrupt
+			return nil, fmt.Errorf("compress: v1 container: %w: implausible dim %d", ErrCorrupt, d)
 		}
 		elems *= d
 		dims[i] = d
@@ -297,7 +450,9 @@ func unmarshal(blob []byte) (*Blob, error) {
 	plen := int(binary.LittleEndian.Uint32(blob[p:]))
 	p += 4
 	if p+plen > len(blob) {
-		return nil, ErrCorrupt
+		return nil, fmt.Errorf("compress: v1 container: %w: payload %d of %d declared bytes", ErrTruncated, len(blob)-p, plen)
 	}
-	return &Blob{CodecName: name, Mode: mode, Tol: tol, Dims: dims, Payload: blob[p : p+plen]}, nil
+	payload := blob[p : p+plen]
+	return &Blob{CodecName: name, Mode: mode, Tol: tol, Dims: dims, Payload: payload,
+		Version: 1, PayloadChecksum: integrity.Checksum(payload)}, nil
 }

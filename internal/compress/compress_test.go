@@ -282,7 +282,11 @@ func TestConstantData(t *testing.T) {
 		if linf, _ := compress.MeasureError(data, recon); linf > 1e-6 {
 			t.Fatalf("%s constant: Linf %v", name, linf)
 		}
-		if r := compress.Ratio(len(data), blob); r < 10 {
+		// Constant data compresses to almost nothing; the v2 container's
+		// integrity framing (header + payload CRC32C, ~10 bytes) is a
+		// visible fraction of such tiny blobs, so the floor sits just
+		// below the old unchecksummed 10x.
+		if r := compress.Ratio(len(data), blob); r < 9 {
 			t.Errorf("%s: constant data ratio only %.1f", name, r)
 		}
 	}

@@ -1,0 +1,144 @@
+package compress_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/integrity"
+)
+
+func encodeV2(t *testing.T) ([]float64, []byte) {
+	t.Helper()
+	data := smooth2D(16, 16, 5)
+	blob, err := compress.Encode("sz", data, []int{16, 16}, compress.AbsLinf, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, blob
+}
+
+func TestContainerV2RoundTrip(t *testing.T) {
+	data, blob := encodeV2(t)
+	recon, meta, err := compress.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 {
+		t.Fatalf("fresh Encode produced container version %d, want 2", meta.Version)
+	}
+	if got := integrity.Checksum(meta.Payload); got != meta.PayloadChecksum {
+		t.Fatalf("PayloadChecksum %08x != recomputed %08x", meta.PayloadChecksum, got)
+	}
+	linf, _ := compress.MeasureError(data, recon)
+	if linf > 1e-4 {
+		t.Fatalf("round-trip error %v", linf)
+	}
+}
+
+// TestContainerV2DetectsEveryByteFlip is the core integrity property: any
+// single corrupted byte anywhere in a v2 container — magic, header
+// length, header, checksums, payload — must surface as a typed integrity
+// error, never as a silently different decode.
+func TestContainerV2DetectsEveryByteFlip(t *testing.T) {
+	_, blob := encodeV2(t)
+	_, ref, err := compress.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blob {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x41
+		recon, meta, err := compress.Decode(mut)
+		if err != nil {
+			if !integrity.IsIntegrityError(err) {
+				t.Fatalf("byte %d flip: error is not typed as integrity failure: %v", i, err)
+			}
+			continue
+		}
+		// No error is only acceptable if the decode is bit-identical to
+		// the reference (cannot happen for a byte flip under CRC32C, but
+		// state the trichotomy explicitly).
+		if meta.Version != ref.Version || !bytes.Equal(meta.Payload, ref.Payload) {
+			t.Fatalf("byte %d flip: silent corruption — decoded %d values without error", i, len(recon))
+		}
+	}
+}
+
+func TestContainerV2TruncationTyped(t *testing.T) {
+	_, blob := encodeV2(t)
+	for _, cut := range []int{0, 3, 5, 10, len(blob) / 2, len(blob) - 1} {
+		_, _, err := compress.Decode(blob[:cut])
+		if err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+		if !integrity.IsIntegrityError(err) {
+			t.Fatalf("truncation to %d bytes: untyped error %v", cut, err)
+		}
+	}
+	// A clean payload cut (header intact) must specifically read as
+	// truncation, not generic corruption.
+	_, _, err := compress.Decode(blob[:len(blob)-1])
+	if !errors.Is(err, compress.ErrTruncated) {
+		t.Fatalf("payload cut: got %v, want ErrTruncated", err)
+	}
+}
+
+// TestContainerV2AbsurdDimsWithValidChecksum pins the PR 1 overflow
+// guards on the v2 path: a container whose checksums are perfectly valid
+// but whose header declares absurd dims (a *written-wrong* container, not
+// a damaged one) must still be rejected before any allocation is sized
+// from the dims product.
+func TestContainerV2AbsurdDimsWithValidChecksum(t *testing.T) {
+	cases := []struct {
+		name string
+		dims []int
+	}{
+		{"oversized single dim", []int{1 << 40}},
+		{"overflowing product", []int{1 << 20, 1 << 20, 1 << 20}},
+		{"negative dim", []int{-4}},
+		{"zero dim", []int{0, 8}},
+	}
+	for _, c := range cases {
+		blob := compress.Marshal(compress.Blob{
+			CodecName: "sz", Mode: compress.AbsLinf, Tol: 1e-3,
+			Dims: c.dims, Payload: []byte{1, 2, 3, 4},
+		})
+		_, _, err := compress.Decode(blob)
+		if err == nil {
+			t.Fatalf("%s: checksummed absurd dims %v accepted", c.name, c.dims)
+		}
+		if !errors.Is(err, compress.ErrCorrupt) {
+			t.Fatalf("%s: got %v, want ErrCorrupt", c.name, err)
+		}
+	}
+}
+
+func TestContainerV1BlobsRemainReadable(t *testing.T) {
+	data := smooth2D(12, 12, 3)
+	c, err := compress.ByName("zfp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := c.Compress(data, []int{12, 12}, compress.AbsLinf, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := compress.MarshalV1(compress.Blob{CodecName: "zfp", Mode: compress.AbsLinf,
+		Tol: 1e-3, Dims: []int{12, 12}, Payload: payload})
+	recon, meta, err := compress.Decode(v1)
+	if err != nil {
+		t.Fatalf("v1 blob no longer decodes: %v", err)
+	}
+	if meta.Version != 1 {
+		t.Fatalf("v1 blob reported version %d", meta.Version)
+	}
+	if meta.PayloadChecksum != integrity.Checksum(payload) {
+		t.Fatal("v1 decode did not back-fill the payload checksum")
+	}
+	linf, _ := compress.MeasureError(data, recon)
+	if linf > 1e-3 {
+		t.Fatalf("v1 round-trip error %v", linf)
+	}
+}

@@ -1,0 +1,9 @@
+package compress
+
+// Test-only exports: the external test package (compress_test) exercises
+// the legacy v1 writer for backward-compat fixtures and the raw v2
+// marshaller for valid-checksum-but-absurd-header regression tests.
+var (
+	MarshalV1 = marshalV1
+	Marshal   = marshal
+)

@@ -19,9 +19,17 @@ func FuzzDecodeContainer(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(blob)
+		// Seed the legacy v1 framing too, so the fuzzer explores the
+		// backward-compat parse path as deeply as the v2 one.
+		_, meta, err := compress.Decode(blob)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(compress.MarshalV1(*meta))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x43, 0x52, 0x44, 0x53})
+	f.Add([]byte{0x53, 0x44, 0x52, 0x32})
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		out, _, err := compress.Decode(blob)
 		if err == nil && len(out) > 1<<24 {

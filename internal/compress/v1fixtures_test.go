@@ -1,0 +1,83 @@
+package compress
+
+// Backward-compat pinning for the legacy v1 container: the fixtures under
+// testdata/v1 were written by the unchecksummed v1 framing and must keep
+// decoding bit-for-bit forever, whatever the current container version
+// is. Regenerate (after an intentional codec change) with:
+//
+//	ERRPROP_UPDATE_FIXTURES=1 go test ./internal/compress -run TestV1Fixtures
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureField is the deterministic 24x24 field the v1 fixtures encode.
+func fixtureField() ([]float64, []int) {
+	const h, w = 24, 24
+	data := make([]float64, h*w)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			x, y := float64(i)/h, float64(j)/w
+			data[i*w+j] = math.Sin(5*x)*math.Cos(7*y) + 0.25*math.Sin(13*x*y)
+		}
+	}
+	return data, []int{h, w}
+}
+
+const fixtureTol = 1e-3
+
+func fixturePath(codec string) string {
+	return filepath.Join("testdata", "v1", codec+".blob")
+}
+
+func TestV1FixturesStillDecode(t *testing.T) {
+	data, dims := fixtureField()
+	if os.Getenv("ERRPROP_UPDATE_FIXTURES") != "" {
+		if err := os.MkdirAll(filepath.Join("testdata", "v1"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, codec := range Names() {
+			c, err := ByName(codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, err := c.Compress(data, dims, AbsLinf, fixtureTol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob := marshalV1(Blob{CodecName: codec, Mode: AbsLinf, Tol: fixtureTol, Dims: dims, Payload: payload})
+			if err := os.WriteFile(fixturePath(codec), blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", fixturePath(codec), len(blob))
+		}
+	}
+
+	for _, codec := range Names() {
+		blob, err := os.ReadFile(fixturePath(codec))
+		if err != nil {
+			t.Fatalf("missing v1 fixture for %s (regenerate with ERRPROP_UPDATE_FIXTURES=1): %v", codec, err)
+		}
+		recon, meta, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("%s: pinned v1 blob no longer decodes: %v", codec, err)
+		}
+		if meta.Version != 1 {
+			t.Errorf("%s: v1 fixture reported container version %d", codec, meta.Version)
+		}
+		if meta.CodecName != codec || meta.Tol != fixtureTol || len(meta.Dims) != 2 ||
+			meta.Dims[0] != dims[0] || meta.Dims[1] != dims[1] {
+			t.Errorf("%s: v1 metadata drifted: %+v", codec, meta)
+		}
+		if len(recon) != len(data) {
+			t.Fatalf("%s: decoded %d values, want %d", codec, len(recon), len(data))
+		}
+		linf, _ := MeasureError(data, recon)
+		if linf > fixtureTol {
+			t.Errorf("%s: pinned blob reconstruction error %v > tol %v", codec, linf, fixtureTol)
+		}
+	}
+}

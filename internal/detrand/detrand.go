@@ -1,0 +1,104 @@
+// Package detrand provides a deterministic, serializable random stream
+// for the fault-tolerant training and fault-injection paths.
+//
+// The repo's checkpoint/resume guarantee is *bit identity*: a training run
+// killed at step k and resumed must produce exactly the weight trajectory
+// of an uninterrupted run. math/rand cannot support that — its generator
+// state is unexported, so a checkpoint cannot record "where the stream
+// was". A Stream's full state is two uint64s (seed and draw count), its
+// position is restorable in O(1), and its output is a pure function of
+// (seed, count), so two processes resuming from the same checkpoint draw
+// identical values forever after.
+//
+// The generator is SplitMix64 (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014): a counter-based mix with
+// full 2^64 period, which is exactly what makes the position serializable
+// as a plain count.
+package detrand
+
+import "fmt"
+
+// golden is the SplitMix64 increment (2^64 / phi, odd).
+const golden = 0x9e3779b97f4a7c15
+
+// Stream is a seeded random stream whose position can be captured and
+// restored exactly. The zero value is a valid stream with seed 0; use
+// New for an explicit seed. Not safe for concurrent use.
+type Stream struct {
+	seed  uint64
+	count uint64
+}
+
+// New returns a stream over the given seed, positioned at its start.
+func New(seed uint64) *Stream {
+	return &Stream{seed: seed}
+}
+
+// Resume reconstructs a stream from a captured (seed, count) state: the
+// next draw is the count-th value of seed's sequence, exactly as if the
+// original stream had continued.
+func Resume(seed, count uint64) *Stream {
+	return &Stream{seed: seed, count: count}
+}
+
+// State captures the stream's full state. Resume(State()) continues the
+// sequence bit-identically.
+func (s *Stream) State() (seed, count uint64) {
+	return s.seed, s.count
+}
+
+// Restore rewinds or fast-forwards the stream in place to a previously
+// captured state — the checkpoint path restores the training RNG this
+// way so a resumed run draws the exact values the killed run would have.
+func (s *Stream) Restore(seed, count uint64) {
+	s.seed, s.count = seed, count
+}
+
+// Uint64 draws the next value. SplitMix64 is counter-based: value i of a
+// seed's sequence mixes seed + (i+1)*golden, so position restore is O(1).
+func (s *Stream) Uint64() uint64 {
+	s.count++
+	z := s.seed + s.count*golden
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn draws a uniform int in [0, n). Panics if n <= 0. The modulo bias
+// is rejected, so the distribution is exact for every n.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("detrand: Intn(%d), want n > 0", n))
+	}
+	un := uint64(n)
+	// Rejection sampling over the largest multiple of n that fits.
+	max := (^uint64(0) / un) * un
+	for {
+		v := s.Uint64()
+		if v < max {
+			return int(v % un)
+		}
+	}
+}
+
+// Float64 draws a uniform float64 in [0, 1) with 53 random bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements via swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}

@@ -1,0 +1,97 @@
+package detrand
+
+import "testing"
+
+func TestResumeContinuesBitIdentically(t *testing.T) {
+	ref := New(42)
+	var refVals []uint64
+	for i := 0; i < 100; i++ {
+		refVals = append(refVals, ref.Uint64())
+	}
+
+	// Draw 37 values, capture, resume, and compare the tail.
+	s := New(42)
+	for i := 0; i < 37; i++ {
+		s.Uint64()
+	}
+	seed, count := s.State()
+	if seed != 42 || count != 37 {
+		t.Fatalf("State = (%d, %d), want (42, 37)", seed, count)
+	}
+	r := Resume(seed, count)
+	for i := 37; i < 100; i++ {
+		if got := r.Uint64(); got != refVals[i] {
+			t.Fatalf("resumed draw %d = %d, want %d", i, got, refVals[i])
+		}
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 64 draws", same)
+	}
+}
+
+func TestIntnBoundsAndCoverage(t *testing.T) {
+	s := New(7)
+	seen := make([]bool, 10)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("Intn(10) never produced %d in 1000 draws", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(3)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+	// Determinism: same seed, same permutation.
+	q := New(3).Perm(100)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatalf("Perm not deterministic at %d: %d vs %d", i, p[i], q[i])
+		}
+	}
+}

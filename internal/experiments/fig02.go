@@ -61,7 +61,10 @@ func Fig2() *Result {
 	for _, m := range benchModels() {
 		samples := 8 * m.batch
 		rawBytes := int64(m.net.InputDim * samples * 8)
-		ioT := st.ReadTime(rawBytes)
+		ioT, err := st.ReadTime(rawBytes)
+		if err != nil {
+			panic(err) // reliable DefaultStorage with non-negative sizes cannot fail
+		}
 		preT := time.Duration(float64(rawBytes) / 6e9 * 1e9)
 		per, _ := gpusim.ExecCost(m.net, dev, numfmt.FP32, m.batch)
 		exeT := per * time.Duration(samples/m.batch)

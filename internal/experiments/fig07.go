@@ -65,7 +65,7 @@ func ioThroughputSweep(norm int, codecs []string) *stats.Table {
 				if err != nil {
 					panic(err)
 				}
-				base := hpcio.ReadRaw(st, len(field))
+				base := mustReadRaw(st, len(field))
 				tb.AddRow(t.name, codec, tol, inputTol, res.Ratio,
 					res.Throughput/1e9, base.Throughput/1e9)
 			}

@@ -36,7 +36,7 @@ func Fig10() *Result {
 		field, dims := t.ioField()
 		var ioTP, ratio float64
 		if math.IsInf(plan.InputTolLinf, 0) {
-			ioTP, ratio = hpcio.ReadRaw(st, len(field)).Throughput, 1
+			ioTP, ratio = mustReadRaw(st, len(field)).Throughput, 1
 		} else {
 			blob, err := compress.Encode("sz", field, dims, compress.AbsLinf, plan.InputTolLinf)
 			if err != nil {

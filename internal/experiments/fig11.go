@@ -71,7 +71,7 @@ func coordinationSweep(codec string, norm int) *stats.Table {
 		root := mustGraph(t.qoiNet)
 		field, dims := t.ioField()
 		// Uncompressed FP32 baseline pipeline rate.
-		baseIO := hpcio.ReadRaw(st, len(field)).Throughput
+		baseIO := mustReadRaw(st, len(field)).Throughput
 		baseExec := gpusim.Throughput(t.qoiNet, dev, numfmt.FP32, 256)
 		baseTotal := math.Min(baseIO, baseExec)
 

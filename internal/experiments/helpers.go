@@ -10,6 +10,7 @@ import (
 	_ "github.com/scidata/errprop/internal/compress/zfp"
 	"github.com/scidata/errprop/internal/core"
 	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/hpcio"
 	"github.com/scidata/errprop/internal/nn"
 	"github.com/scidata/errprop/internal/numfmt"
 	"github.com/scidata/errprop/internal/stats"
@@ -81,6 +82,17 @@ func cachedIOField(name string, gen func() ([]float64, []int)) ([]float64, []int
 		dims  []int
 	}{f, d}
 	return f, d
+}
+
+// mustReadRaw is hpcio.ReadRaw for the experiment figures, which run on
+// reliable DefaultStorage with non-negative sizes — a failure there is a
+// programming error, not a condition to report in a table.
+func mustReadRaw(st *hpcio.Storage, n int) *hpcio.ReadResult {
+	res, err := hpcio.ReadRaw(st, n)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // adapters builds the three task adapters (training on first use).

@@ -2,8 +2,12 @@ package experiments
 
 import (
 	"math"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 
+	"github.com/scidata/errprop/internal/checkpoint"
 	"github.com/scidata/errprop/internal/dataset"
 	"github.com/scidata/errprop/internal/nn"
 	"github.com/scidata/errprop/internal/tensor"
@@ -50,6 +54,41 @@ func applyAlphaInit(net *nn.Network, alpha float64) {
 			p.Data[0] = alpha
 		}
 	}
+}
+
+// checkpointLoop returns the crash-safety checkpoint loop for one model
+// key, nil when checkpointing is off ($ERRPROP_CHECKPOINT_DIR unset —
+// cmd/train sets it from -checkpoint-dir). Each model checkpoints into
+// its own subdirectory; cadence comes from $ERRPROP_CHECKPOINT_EVERY
+// (steps, default 200).
+func checkpointLoop(key string) *checkpoint.Loop {
+	dir := os.Getenv("ERRPROP_CHECKPOINT_DIR")
+	if dir == "" {
+		return nil
+	}
+	every := int64(200)
+	if raw := os.Getenv("ERRPROP_CHECKPOINT_EVERY"); raw != "" {
+		if v, err := strconv.ParseInt(raw, 10, 64); err == nil && v > 0 {
+			every = v
+		}
+	}
+	return &checkpoint.Loop{Dir: filepath.Join(dir, key), Every: every, Keep: 3}
+}
+
+// resumeSteps restores the newest usable checkpoint into tr (when
+// $ERRPROP_RESUME is set) and returns the number of optimizer steps the
+// replay loop must skip. The batch schedule is a pure function of the
+// step index, so skipping the first n steps reproduces exactly the state
+// the killed run had after its n-th step.
+func resumeSteps(ckpt *checkpoint.Loop, tr *nn.Trainer) int64 {
+	if ckpt == nil || os.Getenv("ERRPROP_RESUME") == "" {
+		return 0
+	}
+	start, err := ckpt.Resume(tr, nil)
+	if err != nil {
+		panic("experiments: resuming from " + ckpt.Dir + ": " + err.Error())
+	}
+	return start
 }
 
 // buildRegressionTask trains (or loads) one of the two regression tasks.
@@ -102,7 +141,7 @@ func buildRegressionTask(name string, v Variant) *RegressionTask {
 			lambda = r.lambda
 			applyAlphaInit(net, r.alphaInit)
 		}
-		trainRegression(net, train, opt, epochs, lambda)
+		trainRegression(net, train, opt, epochs, lambda, checkpointLoop(key))
 		saveCached(key, net)
 	}
 	net.RefreshSigmas()
@@ -115,21 +154,30 @@ func buildRegressionTask(name string, v Variant) *RegressionTask {
 // trainRegression runs minibatch training with MSE loss and the PSN
 // spectral penalty when lambda > 0, on the deterministic data-parallel
 // trainer (Workers follows GOMAXPROCS; the result is independent of it).
-func trainRegression(net *nn.Network, data *dataset.Regression, opt nn.Optimizer, epochs int, lambda float64) {
+func trainRegression(net *nn.Network, data *dataset.Regression, opt nn.Optimizer, epochs int, lambda float64, ckpt *checkpoint.Loop) {
 	const batch = 256
 	tr, err := nn.NewTrainer(net, opt, nn.TrainConfig{})
 	if err != nil {
 		panic(err)
 	}
+	start := resumeSteps(ckpt, tr)
 	n := data.N()
+	var step int64
 	for e := 0; e < epochs; e++ {
 		for lo := 0; lo < n; lo += batch {
+			step++
+			if step <= start {
+				continue // already applied by the run being resumed
+			}
 			hi := lo + batch
 			if hi > n {
 				hi = n
 			}
 			x, y := data.Batch(lo, hi)
 			tr.StepMSE(x, y, lambda)
+			if err := ckpt.AfterStep(tr, nil); err != nil {
+				panic(err)
+			}
 		}
 	}
 }
@@ -162,7 +210,7 @@ func buildEuroSATTask(v Variant) *ClassificationTask {
 		if v == WeightDecay {
 			sgd.WeightDecay = 1e-4
 		}
-		trainEuroSAT(net, train, sgd, epochs, lambda)
+		trainEuroSAT(net, train, sgd, epochs, lambda, checkpointLoop(key))
 		saveCached(key, net)
 	}
 	net.RefreshSigmas()
@@ -174,7 +222,7 @@ func buildEuroSATTask(v Variant) *ClassificationTask {
 	return t
 }
 
-func trainEuroSAT(net *nn.Network, data *dataset.Classification, opt nn.Optimizer, epochs int, lambda float64) {
+func trainEuroSAT(net *nn.Network, data *dataset.Classification, opt nn.Optimizer, epochs int, lambda float64, ckpt *checkpoint.Loop) {
 	// Minibatches of 20 split into shards of 8 so the conv forward /
 	// backward passes — the dominant cost — parallelize across workers.
 	const batch = 20
@@ -182,15 +230,24 @@ func trainEuroSAT(net *nn.Network, data *dataset.Classification, opt nn.Optimize
 	if err != nil {
 		panic(err)
 	}
+	start := resumeSteps(ckpt, tr)
 	n := data.N()
+	var step int64
 	for e := 0; e < epochs; e++ {
 		for lo := 0; lo < n; lo += batch {
+			step++
+			if step <= start {
+				continue // already applied by the run being resumed
+			}
 			hi := lo + batch
 			if hi > n {
 				hi = n
 			}
 			x, labels := data.BatchMatrix(lo, hi)
 			tr.StepCrossEntropy(x, labels, lambda)
+			if err := ckpt.AfterStep(tr, nil); err != nil {
+				panic(err)
+			}
 		}
 	}
 }

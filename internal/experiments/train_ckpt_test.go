@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/scidata/errprop/internal/checkpoint"
+	"github.com/scidata/errprop/internal/dataset"
+	"github.com/scidata/errprop/internal/nn"
+)
+
+// TestTrainRegressionCheckpointResume: the registry training loop's
+// checkpoint wiring reproduces the uninterrupted weight trajectory
+// bit-for-bit. A short first run leaves a mid-training checkpoint behind
+// (the "kill"); a second run over the full epoch budget resumes from it
+// and must land on exactly the weights of a never-interrupted run.
+func TestTrainRegressionCheckpointResume(t *testing.T) {
+	t.Setenv("ERRPROP_RESUME", "1")
+	data := dataset.H2Combustion(4, 11) // 16 samples -> one step per epoch
+	spec := nn.MLPSpec("tiny", []int{9, 8, 9}, nn.ActTanh, true)
+	build := func() *nn.Network {
+		net, err := spec.Build(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	const epochs = 6
+
+	ref := build()
+	trainRegression(ref, data, nn.NewSGD(0.05, 0.9, 0), epochs, 1e-4, nil)
+
+	dir := t.TempDir()
+	ckpt := &checkpoint.Loop{Dir: dir, Every: 2}
+	killed := build()
+	trainRegression(killed, data, nn.NewSGD(0.05, 0.9, 0), 3, 1e-4, ckpt)
+
+	resumed := build()
+	trainRegression(resumed, data, nn.NewSGD(0.05, 0.9, 0), epochs, 1e-4, ckpt)
+
+	refP, resP := ref.Params(), resumed.Params()
+	for i := range refP {
+		for j := range refP[i].Data {
+			if refP[i].Data[j] != resP[i].Data[j] {
+				t.Fatalf("param %s[%d]: resumed %v != uninterrupted %v",
+					refP[i].Name, j, resP[i].Data[j], refP[i].Data[j])
+			}
+		}
+	}
+}
+
+// TestCheckpointLoopEnv: cmd/train's env-var plumbing reaches the
+// registry's loop construction.
+func TestCheckpointLoopEnv(t *testing.T) {
+	t.Setenv("ERRPROP_CHECKPOINT_DIR", "")
+	if l := checkpointLoop("h2comb-psn"); l != nil {
+		t.Fatalf("unset dir must disable checkpointing, got %+v", l)
+	}
+	t.Setenv("ERRPROP_CHECKPOINT_DIR", t.TempDir())
+	t.Setenv("ERRPROP_CHECKPOINT_EVERY", "50")
+	l := checkpointLoop("h2comb-psn")
+	if l == nil || l.Every != 50 {
+		t.Fatalf("loop not built from env: %+v", l)
+	}
+}

@@ -1,0 +1,234 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// repo's durability tests. It produces seeded, reproducible corruptions
+// of byte blobs (compressed containers, model files, checkpoints) and
+// wraps io.Reader/io.Writer with scheduled transient failures, so tests
+// can sweep hundreds of distinct faults and assert the repo-wide
+// trichotomy: every fault is either *detected* (typed integrity error),
+// *harmless* (decode bit-identical to the original), or impossible —
+// silently wrong output is never acceptable.
+//
+// All randomness flows through detrand.Stream, so a failing case is
+// reproducible from its (injector, seed) pair alone.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/scidata/errprop/internal/detrand"
+)
+
+// ErrInjected marks an artificial I/O failure produced by FlakyReader or
+// FlakyWriter. Retry layers match it with errors.Is.
+var ErrInjected = errors.New("faultinject: injected I/O failure")
+
+// An Injector derives a corrupted copy of a byte blob. Injectors never
+// mutate their input; they return the damaged copy and a short
+// description of what was done (for failure messages).
+type Injector interface {
+	// Name identifies the injector in sweep reports.
+	Name() string
+	// Apply corrupts a copy of raw using randomness from rng. It returns
+	// (nil, "") if the fault is inapplicable (e.g. blob too short), which
+	// sweeps count as a skip.
+	Apply(raw []byte, rng *detrand.Stream) ([]byte, string)
+}
+
+// BitFlip flips one random bit anywhere in the blob — the classic
+// single-event upset.
+type BitFlip struct{}
+
+// Name implements Injector.
+func (BitFlip) Name() string { return "bitflip" }
+
+// Apply implements Injector.
+func (BitFlip) Apply(raw []byte, rng *detrand.Stream) ([]byte, string) {
+	if len(raw) == 0 {
+		return nil, ""
+	}
+	out := append([]byte(nil), raw...)
+	pos := rng.Intn(len(out))
+	bit := rng.Intn(8)
+	out[pos] ^= 1 << bit
+	return out, fmt.Sprintf("flip bit %d of byte %d/%d", bit, pos, len(out))
+}
+
+// MultiBitFlip flips K random bits (possibly in the same byte) — burst
+// damage that a weak checksum could cancel out.
+type MultiBitFlip struct {
+	K int // number of bits; default 8
+}
+
+// Name implements Injector.
+func (m MultiBitFlip) Name() string { return fmt.Sprintf("multibitflip(%d)", m.k()) }
+
+func (m MultiBitFlip) k() int {
+	if m.K <= 0 {
+		return 8
+	}
+	return m.K
+}
+
+// Apply implements Injector.
+func (m MultiBitFlip) Apply(raw []byte, rng *detrand.Stream) ([]byte, string) {
+	if len(raw) == 0 {
+		return nil, ""
+	}
+	out := append([]byte(nil), raw...)
+	for i := 0; i < m.k(); i++ {
+		out[rng.Intn(len(out))] ^= 1 << rng.Intn(8)
+	}
+	return out, fmt.Sprintf("flip %d random bits of %d bytes", m.k(), len(out))
+}
+
+// Truncate cuts the blob at a random point (including to empty) — a
+// torn write or an interrupted transfer.
+type Truncate struct{}
+
+// Name implements Injector.
+func (Truncate) Name() string { return "truncate" }
+
+// Apply implements Injector.
+func (Truncate) Apply(raw []byte, rng *detrand.Stream) ([]byte, string) {
+	if len(raw) == 0 {
+		return nil, ""
+	}
+	cut := rng.Intn(len(raw)) // [0, len-1]: always strictly shorter
+	return append([]byte(nil), raw[:cut]...), fmt.Sprintf("truncate %d -> %d bytes", len(raw), cut)
+}
+
+// ZeroFill zeroes a random contiguous run — a hole from a failed RAID
+// stripe or a sparse-file read past a lost extent.
+type ZeroFill struct{}
+
+// Name implements Injector.
+func (ZeroFill) Name() string { return "zerofill" }
+
+// Apply implements Injector.
+func (ZeroFill) Apply(raw []byte, rng *detrand.Stream) ([]byte, string) {
+	if len(raw) == 0 {
+		return nil, ""
+	}
+	out := append([]byte(nil), raw...)
+	start := rng.Intn(len(out))
+	n := 1 + rng.Intn(len(out)-start)
+	allZero := true
+	for _, b := range out[start : start+n] {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return nil, "" // run was already zero; fault would be a no-op
+	}
+	for i := start; i < start+n; i++ {
+		out[i] = 0
+	}
+	return out, fmt.Sprintf("zero bytes [%d, %d) of %d", start, start+n, len(out))
+}
+
+// MangleHeader corrupts one byte inside the first headerBytes of the
+// blob — targeted damage to magics, length fields, and checksums, the
+// region where parsers are most tempted to trust what they read.
+type MangleHeader struct {
+	HeaderBytes int // default 32
+}
+
+// Name implements Injector.
+func (m MangleHeader) Name() string { return "mangleheader" }
+
+func (m MangleHeader) headerBytes() int {
+	if m.HeaderBytes <= 0 {
+		return 32
+	}
+	return m.HeaderBytes
+}
+
+// Apply implements Injector.
+func (m MangleHeader) Apply(raw []byte, rng *detrand.Stream) ([]byte, string) {
+	if len(raw) == 0 {
+		return nil, ""
+	}
+	h := m.headerBytes()
+	if h > len(raw) {
+		h = len(raw)
+	}
+	out := append([]byte(nil), raw...)
+	pos := rng.Intn(h)
+	// XOR with a random non-zero byte so the fault always changes the
+	// value.
+	delta := byte(1 + rng.Intn(255))
+	out[pos] ^= delta
+	return out, fmt.Sprintf("xor header byte %d with %#02x", pos, delta)
+}
+
+// All returns the standard injector battery the sweep tests run.
+func All() []Injector {
+	return []Injector{
+		BitFlip{},
+		MultiBitFlip{K: 4},
+		MultiBitFlip{K: 64},
+		Truncate{},
+		ZeroFill{},
+		MangleHeader{},
+	}
+}
+
+// FlakyReader wraps an io.Reader and fails reads according to a
+// schedule: read call i (0-based) fails with ErrInjected when
+// schedule[i] is true. Failed calls consume no input, so a retrying
+// caller eventually sees the full stream. After the schedule is
+// exhausted, reads pass through.
+type FlakyReader struct {
+	R        io.Reader
+	Schedule []bool
+	call     int
+	// Fails counts injected failures, for asserting retry behavior.
+	Fails int
+}
+
+// Read implements io.Reader.
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	i := f.call
+	f.call++
+	if i < len(f.Schedule) && f.Schedule[i] {
+		f.Fails++
+		return 0, fmt.Errorf("%w: scheduled read failure at call %d", ErrInjected, i)
+	}
+	return f.R.Read(p)
+}
+
+// FlakyWriter wraps an io.Writer and fails write calls on a schedule,
+// analogous to FlakyReader. A failed write consumes nothing.
+type FlakyWriter struct {
+	W        io.Writer
+	Schedule []bool
+	call     int
+	Fails    int
+}
+
+// Write implements io.Writer.
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	i := f.call
+	f.call++
+	if i < len(f.Schedule) && f.Schedule[i] {
+		f.Fails++
+		return 0, fmt.Errorf("%w: scheduled write failure at call %d", ErrInjected, i)
+	}
+	return f.W.Write(p)
+}
+
+// EveryNth builds a schedule of n calls where every k-th call fails
+// (k >= 1; k == 1 fails every scheduled call).
+func EveryNth(n, k int) []bool {
+	s := make([]bool, n)
+	if k < 1 {
+		return s
+	}
+	for i := k - 1; i < n; i += k {
+		s[i] = true
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/scidata/errprop/internal/faultinject"
+)
+
+func TestFlakyReaderSchedule(t *testing.T) {
+	src := "the quick brown fox jumps over the lazy dog"
+	fr := &faultinject.FlakyReader{
+		R:        strings.NewReader(src),
+		Schedule: faultinject.EveryNth(6, 2), // calls 1, 3, 5 fail
+	}
+	var got bytes.Buffer
+	buf := make([]byte, 8)
+	fails := 0
+	for {
+		n, err := fr.Read(buf)
+		got.Write(buf[:n])
+		if errors.Is(err, faultinject.ErrInjected) {
+			fails++
+			continue // retry: failed calls consume nothing
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.String() != src {
+		t.Fatalf("retried read produced %q, want %q", got.String(), src)
+	}
+	if fails != 3 || fr.Fails != 3 {
+		t.Fatalf("injected %d/%d failures, want 3", fails, fr.Fails)
+	}
+}
+
+func TestFlakyWriterSchedule(t *testing.T) {
+	var dst bytes.Buffer
+	fw := &faultinject.FlakyWriter{W: &dst, Schedule: []bool{true, false, true, false}}
+	writes := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc"), []byte("dd"), []byte("ee")}
+	var kept []byte
+	for _, w := range writes {
+		if _, err := fw.Write(w); err != nil {
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			continue
+		}
+		kept = append(kept, w...)
+	}
+	if dst.String() != string(kept) || dst.String() != "bbddee" {
+		t.Fatalf("writer passed through %q, want %q", dst.String(), "bbddee")
+	}
+	if fw.Fails != 2 {
+		t.Fatalf("Fails = %d, want 2", fw.Fails)
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	if s := faultinject.EveryNth(5, 1); !equalBools(s, []bool{true, true, true, true, true}) {
+		t.Fatalf("EveryNth(5,1) = %v", s)
+	}
+	if s := faultinject.EveryNth(6, 3); !equalBools(s, []bool{false, false, true, false, false, true}) {
+		t.Fatalf("EveryNth(6,3) = %v", s)
+	}
+	if s := faultinject.EveryNth(3, 0); !equalBools(s, []bool{false, false, false}) {
+		t.Fatalf("EveryNth(3,0) = %v", s)
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -16,17 +16,66 @@
 package hpcio
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/detrand"
 )
+
+// Typed failures of the simulated storage path.
+var (
+	// ErrNegativeSize reports a read request for a negative byte count —
+	// a caller bug, surfaced as an error instead of a panic so pipeline
+	// sweeps degrade gracefully.
+	ErrNegativeSize = errors.New("hpcio: negative read size")
+	// ErrReadFailed reports that a read's transient failures exhausted
+	// the bounded retry budget.
+	ErrReadFailed = errors.New("hpcio: transient read failures exhausted retry budget")
+)
+
+// TransientFaults makes a Storage unreliable in a deterministic,
+// seeded way: each read attempt fails with probability FailProb, drawn
+// from Stream, and the storage retries with exponential backoff up to
+// MaxRetries times. Failed attempts add their latency and backoff to the
+// *simulated* read time (this is a timing model — no wall-clock sleeping
+// happens), so fault-tolerance experiments see realistic tail latencies.
+type TransientFaults struct {
+	// Stream drives the failure draws; it must be non-nil and seeded so
+	// runs are reproducible.
+	Stream *detrand.Stream
+	// FailProb is the per-attempt failure probability in [0, 1).
+	FailProb float64
+	// MaxRetries bounds how many times a failed attempt is retried
+	// (default 3 when a profile is attached).
+	MaxRetries int
+	// Backoff is the base retry delay, doubled each retry (default 1ms).
+	Backoff time.Duration
+}
+
+func (tf *TransientFaults) maxRetries() int {
+	if tf.MaxRetries <= 0 {
+		return 3
+	}
+	return tf.MaxRetries
+}
+
+func (tf *TransientFaults) backoff() time.Duration {
+	if tf.Backoff <= 0 {
+		return time.Millisecond
+	}
+	return tf.Backoff
+}
 
 // Storage models a parallel filesystem mount.
 type Storage struct {
 	Name      string
 	Bandwidth float64 // sustained read bandwidth, bytes/s
 	Latency   time.Duration
+	// Faults, when non-nil, makes reads transiently unreliable (see
+	// TransientFaults). Nil means perfectly reliable storage.
+	Faults *TransientFaults
 }
 
 // DefaultStorage is the paper's 2.8 GB/s Lustre baseline.
@@ -34,12 +83,42 @@ func DefaultStorage() *Storage {
 	return &Storage{Name: "lustre", Bandwidth: 2.8e9, Latency: 500 * time.Microsecond}
 }
 
-// ReadTime returns the simulated wall time to read n bytes.
-func (s *Storage) ReadTime(n int64) time.Duration {
+// ReadTime returns the simulated wall time to read n bytes, including
+// any retry and backoff cost from an attached fault profile. It fails
+// with ErrNegativeSize for n < 0 and with ErrReadFailed when transient
+// faults exhaust the retry budget (the returned duration then covers the
+// attempts that were made — callers billing simulated time should count
+// it even on failure).
+func (s *Storage) ReadTime(n int64) (time.Duration, error) {
+	d, _, err := s.readTime(n)
+	return d, err
+}
+
+// readTime is ReadTime plus the number of retries consumed.
+func (s *Storage) readTime(n int64) (time.Duration, int, error) {
 	if n < 0 {
-		panic("hpcio: negative read size")
+		return 0, 0, fmt.Errorf("%w: %d bytes", ErrNegativeSize, n)
 	}
-	return s.Latency + time.Duration(float64(n)/s.Bandwidth*1e9)*time.Nanosecond
+	attempt := s.Latency + time.Duration(float64(n)/s.Bandwidth*1e9)*time.Nanosecond
+	if s.Faults == nil || s.Faults.Stream == nil || s.Faults.FailProb <= 0 {
+		return attempt, 0, nil
+	}
+	tf := s.Faults
+	total := time.Duration(0)
+	backoff := tf.backoff()
+	for try := 0; ; try++ {
+		if tf.Stream.Float64() >= tf.FailProb {
+			// Attempt succeeds after the full transfer.
+			return total + attempt, try, nil
+		}
+		// A failed attempt stalls for its latency before the error
+		// surfaces, then the client backs off before retrying.
+		total += s.Latency + backoff
+		if try == tf.maxRetries() {
+			return total, try, fmt.Errorf("%w: %d attempts on %q", ErrReadFailed, try+1, s.Name)
+		}
+		backoff *= 2
+	}
 }
 
 // DecodeRate calibrates one codec's decompression cost: time =
@@ -87,6 +166,9 @@ type ReadResult struct {
 	StoredBytes int64 // compressed size actually "read"
 	ReadTime    time.Duration
 	DecodeTime  time.Duration
+	// Retries counts transient read failures absorbed by the bounded
+	// retry loop (0 on reliable storage).
+	Retries int
 	// Throughput is effective bytes of scientific data delivered per
 	// second: RawBytes / (ReadTime + DecodeTime).
 	Throughput float64
@@ -102,7 +184,10 @@ func ReadCompressed(st *Storage, dm DecodeModel, blob []byte) (*ReadResult, erro
 		return nil, err
 	}
 	raw := int64(len(data) * 8)
-	rt := st.ReadTime(int64(len(blob)))
+	rt, retries, err := st.readTime(int64(len(blob)))
+	if err != nil {
+		return nil, err
+	}
 	dt, err := dm.DecodeTime(meta.CodecName, int64(len(blob)), raw)
 	if err != nil {
 		return nil, err
@@ -114,6 +199,7 @@ func ReadCompressed(st *Storage, dm DecodeModel, blob []byte) (*ReadResult, erro
 		StoredBytes: int64(len(blob)),
 		ReadTime:    rt,
 		DecodeTime:  dt,
+		Retries:     retries,
 		Ratio:       float64(raw) / float64(len(blob)),
 	}
 	if total > 0 {
@@ -124,12 +210,15 @@ func ReadCompressed(st *Storage, dm DecodeModel, blob []byte) (*ReadResult, erro
 
 // ReadRaw simulates fetching uncompressed float64 data (the baseline path
 // in Figs. 7-8).
-func ReadRaw(st *Storage, n int) *ReadResult {
-	raw := int64(n * 8)
-	rt := st.ReadTime(raw)
-	res := &ReadResult{RawBytes: raw, StoredBytes: raw, ReadTime: rt, Ratio: 1}
+func ReadRaw(st *Storage, n int) (*ReadResult, error) {
+	raw := int64(n) * 8
+	rt, retries, err := st.readTime(raw)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReadResult{RawBytes: raw, StoredBytes: raw, ReadTime: rt, Retries: retries, Ratio: 1}
 	if rt > 0 {
 		res.Throughput = float64(raw) / rt.Seconds()
 	}
-	return res
+	return res, nil
 }

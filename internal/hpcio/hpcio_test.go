@@ -1,6 +1,7 @@
 package hpcio
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	_ "github.com/scidata/errprop/internal/compress/mgard"
 	_ "github.com/scidata/errprop/internal/compress/sz"
 	_ "github.com/scidata/errprop/internal/compress/zfp"
+	"github.com/scidata/errprop/internal/detrand"
 )
 
 func smoothField(n int) []float64 {
@@ -22,12 +24,15 @@ func smoothField(n int) []float64 {
 
 func TestReadTimeLinear(t *testing.T) {
 	st := &Storage{Bandwidth: 1e9, Latency: time.Millisecond}
-	a := st.ReadTime(1e9)
+	a, err := st.ReadTime(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := a - time.Millisecond; got < 999*time.Millisecond || got > 1001*time.Millisecond {
 		t.Fatalf("1GB at 1GB/s = %v", got)
 	}
-	if st.ReadTime(0) != time.Millisecond {
-		t.Fatal("zero-byte read should cost exactly the latency")
+	if z, err := st.ReadTime(0); err != nil || z != time.Millisecond {
+		t.Fatalf("zero-byte read = (%v, %v), should cost exactly the latency", z, err)
 	}
 }
 
@@ -43,7 +48,10 @@ func TestDecodeModelErrors(t *testing.T) {
 
 func TestReadRawBaselineThroughput(t *testing.T) {
 	st := DefaultStorage()
-	res := ReadRaw(st, 1<<22) // 32 MiB
+	res, err := ReadRaw(st, 1<<22) // 32 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Raw throughput approaches the 2.8 GB/s bandwidth (latency shaves a
 	// little off).
 	if res.Throughput > st.Bandwidth || res.Throughput < 0.9*st.Bandwidth {
@@ -55,7 +63,10 @@ func TestCompressedReadBeatsRawAtLooseTolerance(t *testing.T) {
 	data := smoothField(1 << 18)
 	st := DefaultStorage()
 	dm := DefaultDecodeModel()
-	raw := ReadRaw(st, len(data))
+	raw, err := ReadRaw(st, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, codec := range []string{"sz", "zfp"} {
 		blob, err := compress.Encode(codec, data, []int{len(data)}, compress.AbsLinf, 1e-2)
 		if err != nil {
@@ -79,7 +90,10 @@ func TestSZDipsBelowBaselineAtTightTolerance(t *testing.T) {
 	data := smoothField(1 << 18)
 	st := DefaultStorage()
 	dm := DefaultDecodeModel()
-	raw := ReadRaw(st, len(data))
+	raw, err := ReadRaw(st, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	blobSZ, err := compress.Encode("sz", data, []int{len(data)}, compress.AbsLinf, 1e-12)
 	if err != nil {
@@ -134,11 +148,119 @@ func TestReadCompressedGarbage(t *testing.T) {
 	}
 }
 
-func TestNegativeReadPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("negative size should panic")
+// TestNegativeReadTypedError: a negative size is a caller bug reported
+// as a typed error, not a panic that kills a whole pipeline sweep.
+func TestNegativeReadTypedError(t *testing.T) {
+	if _, err := DefaultStorage().ReadTime(-1); !errors.Is(err, ErrNegativeSize) {
+		t.Fatalf("ReadTime(-1) = %v, want ErrNegativeSize", err)
+	}
+	if _, err := ReadRaw(DefaultStorage(), -7); !errors.Is(err, ErrNegativeSize) {
+		t.Fatalf("ReadRaw(-7) = %v, want ErrNegativeSize", err)
+	}
+}
+
+// flakyStorage returns a storage with the given per-attempt failure
+// probability on a fixed seed.
+func flakyStorage(prob float64, retries int) *Storage {
+	st := DefaultStorage()
+	st.Faults = &TransientFaults{
+		Stream:     detrand.New(99),
+		FailProb:   prob,
+		MaxRetries: retries,
+		Backoff:    2 * time.Millisecond,
+	}
+	return st
+}
+
+// TestTransientFaultsRetrySucceeds: with a moderate failure rate, reads
+// succeed through the bounded retry loop and the retries show up as
+// added *simulated* time, not as errors.
+func TestTransientFaultsRetrySucceeds(t *testing.T) {
+	reliable, err := DefaultStorage().ReadTime(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := flakyStorage(0.3, 10)
+	reads, retried := 200, 0
+	for i := 0; i < reads; i++ {
+		d, err := st.ReadTime(1 << 20)
+		if err != nil {
+			t.Fatalf("read %d: retry budget of 10 should absorb p=0.3 faults: %v", i, err)
 		}
-	}()
-	DefaultStorage().ReadTime(-1)
+		if d > reliable {
+			retried++
+			// Each retry adds at least latency + backoff to the simulated
+			// read.
+			if d < reliable+st.Latency+st.Faults.Backoff {
+				t.Fatalf("read %d: retried read time %v implausibly close to reliable %v", i, d, reliable)
+			}
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no read was ever retried at p=0.3 — fault injection inert")
+	}
+}
+
+// TestTransientFaultsExhaustRetries: at certain failure, the bounded
+// retry budget exhausts into a typed error.
+func TestTransientFaultsExhaustRetries(t *testing.T) {
+	st := flakyStorage(1.0, 3)
+	d, err := st.ReadTime(1 << 20)
+	if !errors.Is(err, ErrReadFailed) {
+		t.Fatalf("p=1.0 read = %v, want ErrReadFailed", err)
+	}
+	// The failed attempts still cost simulated time (4 attempts: latency
+	// each, plus 2+4+8+16 ms backoff).
+	wantMin := 4*st.Latency + 30*time.Millisecond
+	if d < wantMin {
+		t.Fatalf("failed read billed %v of simulated time, want >= %v", d, wantMin)
+	}
+	// ReadRaw and ReadCompressed propagate the failure.
+	if _, err := ReadRaw(st, 4096); !errors.Is(err, ErrReadFailed) {
+		t.Fatalf("ReadRaw on dead storage = %v, want ErrReadFailed", err)
+	}
+}
+
+// TestTransientFaultsDeterministic: same seed, same fault sequence.
+func TestTransientFaultsDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		st := flakyStorage(0.4, 4)
+		out := make([]time.Duration, 50)
+		for i := range out {
+			d, err := st.ReadTime(1 << 16)
+			if err != nil {
+				d = -1
+			}
+			out[i] = d
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d: %v != %v — fault schedule not reproducible", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReadCompressedReportsRetries: the retry count surfaces on the
+// result so experiments can report tail behavior.
+func TestReadCompressedReportsRetries(t *testing.T) {
+	data := smoothField(4096)
+	blob, err := compress.Encode("zfp", data, []int{4096}, compress.AbsLinf, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := flakyStorage(0.5, 8)
+	sawRetry := false
+	for i := 0; i < 20 && !sawRetry; i++ {
+		res, err := ReadCompressed(st, DefaultDecodeModel(), blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawRetry = res.Retries > 0
+	}
+	if !sawRetry {
+		t.Fatal("20 reads at p=0.5 never reported a retry")
+	}
 }

@@ -1,0 +1,52 @@
+// Package integrity is the shared vocabulary of the repo's fault-tolerant
+// data path: CRC32C (Castagnoli) checksumming helpers and the two typed
+// error conditions every persisted artifact — compressed containers,
+// serialized models, training checkpoints — maps byte-level damage onto.
+//
+// The taxonomy matters because the paper's Inequality (3) is a *guarantee*
+// about the bytes it runs on: a flipped bit in a compressed blob or a
+// truncated model file silently voids the bound. Decoders therefore must
+// turn every corruption into one of exactly two outcomes — a typed error
+// (detected) or a bit-identical decode (harmless) — and never a plausible
+// but wrong value. ErrCorrupt and ErrTruncated are the sentinels callers
+// branch on to distinguish "bad bytes" (client's artifact is damaged; an
+// HTTP server answers 400) from "bad request" or an internal fault (500).
+package integrity
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+var (
+	// ErrCorrupt means stored bytes fail their checksum or declare an
+	// impossible structure: the artifact is damaged and must not be
+	// trusted. Wrap with %w so errors.Is sees through context.
+	ErrCorrupt = errors.New("corrupt data: checksum or structure violation")
+	// ErrTruncated means the byte stream ends before its declared length:
+	// a partial write, an interrupted transfer, or a cut-off file.
+	ErrTruncated = errors.New("truncated data: stream shorter than declared")
+)
+
+// IsIntegrityError reports whether err is a detected data-integrity
+// failure (corruption or truncation), as opposed to a usage error.
+func IsIntegrityError(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTruncated)
+}
+
+// castagnoli is the CRC32C polynomial table. CRC32C is the conventional
+// storage-path checksum (iSCSI, ext4, Snappy framing) and has hardware
+// support (SSE4.2 CRC32 instruction) through hash/crc32.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C checksum of b.
+func Checksum(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli)
+}
+
+// ChecksumString formats a checksum for display ("crc32c:xxxxxxxx"), the
+// form /v1/models reports for each registered model.
+func ChecksumString(c uint32) string {
+	return fmt.Sprintf("crc32c:%08x", c)
+}

@@ -1,0 +1,58 @@
+package integrity
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestChecksumKnownAnswer(t *testing.T) {
+	// RFC 3720 (iSCSI) CRC32C test vector: 32 bytes of zeros.
+	zeros := make([]byte, 32)
+	if got := Checksum(zeros); got != 0x8a9136aa {
+		t.Fatalf("CRC32C(32 zero bytes) = %#08x, want 0x8a9136aa", got)
+	}
+	// And the classic "123456789" vector.
+	if got := Checksum([]byte("123456789")); got != 0xe3069283 {
+		t.Fatalf("CRC32C(123456789) = %#08x, want 0xe3069283", got)
+	}
+}
+
+func TestChecksumDetectsSingleBitFlips(t *testing.T) {
+	b := []byte("the bound is only as strong as the bytes it runs on")
+	ref := Checksum(b)
+	for i := range b {
+		for bit := 0; bit < 8; bit++ {
+			b[i] ^= 1 << bit
+			if Checksum(b) == ref {
+				t.Fatalf("flip of byte %d bit %d not detected", i, bit)
+			}
+			b[i] ^= 1 << bit
+		}
+	}
+}
+
+func TestChecksumString(t *testing.T) {
+	if got := ChecksumString(0xdeadbeef); got != "crc32c:deadbeef" {
+		t.Fatalf("ChecksumString = %q", got)
+	}
+	if got := ChecksumString(0x1); got != "crc32c:00000001" {
+		t.Fatalf("ChecksumString zero-padding broken: %q", got)
+	}
+}
+
+func TestIsIntegrityError(t *testing.T) {
+	wrapped := fmt.Errorf("container: %w: payload checksum mismatch", ErrCorrupt)
+	if !IsIntegrityError(wrapped) {
+		t.Fatal("wrapped ErrCorrupt not recognized")
+	}
+	if !IsIntegrityError(fmt.Errorf("model: %w", ErrTruncated)) {
+		t.Fatal("wrapped ErrTruncated not recognized")
+	}
+	if IsIntegrityError(errors.New("unknown model")) {
+		t.Fatal("unrelated error misclassified as integrity failure")
+	}
+	if IsIntegrityError(nil) {
+		t.Fatal("nil misclassified")
+	}
+}

@@ -262,6 +262,69 @@ func (n *Network) setSpectralSigmas(sigmas []float64) bool {
 	return okAll && i == len(sigmas)
 }
 
+// spectralIterVectors collects (deep-copied) each spectral layer's
+// power-iteration warm-start vector, in the same forward order as
+// spectralSigmas. The vectors are genuine training state: stepSigma
+// warm-starts from them, so a resumed run reproduces the uninterrupted
+// sigma trajectory bit-for-bit only if they are restored along with the
+// sigma estimates.
+func (n *Network) spectralIterVectors() [][]float64 {
+	var out [][]float64
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			switch t := l.(type) {
+			case *Dense:
+				out = append(out, append([]float64(nil), t.v...))
+			case *Conv2D:
+				out = append(out, append([]float64(nil), t.vop...))
+			case *Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(n.Layers)
+	return out
+}
+
+// setSpectralIterVectors restores warm-start vectors captured by
+// spectralIterVectors; returns false on a count mismatch.
+func (n *Network) setSpectralIterVectors(vs [][]float64) bool {
+	i := 0
+	okAll := true
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			switch t := l.(type) {
+			case *Dense:
+				if i >= len(vs) {
+					okAll = false
+					return
+				}
+				t.v = append(t.v[:0], vs[i]...)
+				i++
+			case *Conv2D:
+				if i >= len(vs) {
+					okAll = false
+					return
+				}
+				t.vop = append(t.vop[:0], vs[i]...)
+				i++
+			case *Residual:
+				walk(t.Branch)
+				walk(t.Shortcut)
+			case *SkipConcat:
+				walk(t.Branch)
+			}
+		}
+	}
+	walk(n.Layers)
+	return okAll && i == len(vs)
+}
+
 // LinearOps returns the LinearOp of every spectral layer in forward
 // order, descending into residual branches (shortcut ops are tagged by
 // name). Used by diagnostics and tests; the error-flow analysis walks the

@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer updates parameters from their accumulated gradients.
 type Optimizer interface {
@@ -12,6 +15,46 @@ type Optimizer interface {
 	// allocation-free (the data-parallel trainer calls this once at
 	// construction to keep its steady-state step off the allocator).
 	Prealloc(params []*Param)
+	// CaptureState snapshots the optimizer's internal state (moment
+	// buffers, step count) relative to params, deep-copied so the
+	// snapshot stays valid across later Steps. Together with the
+	// parameter values it is everything a checkpoint needs for a resumed
+	// run to continue bit-identically.
+	CaptureState(params []*Param) OptimizerState
+	// RestoreState replaces the optimizer's internal state with a
+	// snapshot captured against a parameter set of the same shape. It
+	// rejects snapshots from a different optimizer kind or geometry.
+	RestoreState(st OptimizerState, params []*Param) error
+}
+
+// OptimizerState is a serializable snapshot of an optimizer's mutable
+// state. Slots holds per-parameter moment buffers in slot-major order:
+// for an optimizer with k slots over n parameters, Slots[s*n+i] is slot
+// s of parameter i (SGD-momentum: k=1 velocity; Adam: k=2, first then
+// second moments; momentum-free SGD: k=0).
+type OptimizerState struct {
+	Kind  string
+	Step  int64
+	Slots [][]float64
+}
+
+// checkSlots validates that st carries exactly k slots per parameter,
+// each matching its parameter's length.
+func (st *OptimizerState) checkSlots(kind string, k int, params []*Param) error {
+	if st.Kind != kind {
+		return fmt.Errorf("nn: optimizer state kind %q cannot restore into %q", st.Kind, kind)
+	}
+	if len(st.Slots) != k*len(params) {
+		return fmt.Errorf("nn: %s state has %d slots, want %d (%d per parameter)", kind, len(st.Slots), k*len(params), k)
+	}
+	for s := 0; s < k; s++ {
+		for i, p := range params {
+			if got := len(st.Slots[s*len(params)+i]); got != len(p.Data) {
+				return fmt.Errorf("nn: %s state slot %d for parameter %s has %d values, want %d", kind, s, p.Name, got, len(p.Data))
+			}
+		}
+	}
+	return nil
 }
 
 // SGD is stochastic gradient descent with optional momentum and decoupled
@@ -69,6 +112,49 @@ func (s *SGD) Step(params []*Param) {
 	}
 }
 
+// CaptureState implements Optimizer: one velocity slot per parameter
+// when momentum is in play, none otherwise.
+func (s *SGD) CaptureState(params []*Param) OptimizerState {
+	st := OptimizerState{Kind: "sgd"}
+	if s.Momentum == 0 {
+		return st
+	}
+	st.Slots = make([][]float64, 0, len(params))
+	for _, p := range params {
+		v := s.velocity[p]
+		cp := make([]float64, len(p.Data))
+		copy(cp, v) // nil v (no Step yet) snapshots as zeros
+		st.Slots = append(st.Slots, cp)
+	}
+	return st
+}
+
+// RestoreState implements Optimizer.
+func (s *SGD) RestoreState(st OptimizerState, params []*Param) error {
+	k := 1
+	if s.Momentum == 0 {
+		k = 0
+	}
+	if err := st.checkSlots("sgd", k, params); err != nil {
+		return err
+	}
+	if k == 0 {
+		return nil
+	}
+	if s.velocity == nil {
+		s.velocity = map[*Param][]float64{}
+	}
+	for i, p := range params {
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float64, len(p.Data))
+			s.velocity[p] = v
+		}
+		copy(v, st.Slots[i])
+	}
+	return nil
+}
+
 // Adam is the Adam optimizer (the paper's BorghesiFlame model trains with
 // Adam).
 type Adam struct {
@@ -99,6 +185,41 @@ func (a *Adam) Prealloc(params []*Param) {
 			a.v[p] = make([]float64, len(p.Data))
 		}
 	}
+}
+
+// CaptureState implements Optimizer: the bias-correction step count
+// plus first- and second-moment slots for every parameter.
+func (a *Adam) CaptureState(params []*Param) OptimizerState {
+	st := OptimizerState{Kind: "adam", Step: int64(a.t),
+		Slots: make([][]float64, 0, 2*len(params))}
+	for _, p := range params {
+		cp := make([]float64, len(p.Data))
+		copy(cp, a.m[p])
+		st.Slots = append(st.Slots, cp)
+	}
+	for _, p := range params {
+		cp := make([]float64, len(p.Data))
+		copy(cp, a.v[p])
+		st.Slots = append(st.Slots, cp)
+	}
+	return st
+}
+
+// RestoreState implements Optimizer.
+func (a *Adam) RestoreState(st OptimizerState, params []*Param) error {
+	if err := st.checkSlots("adam", 2, params); err != nil {
+		return err
+	}
+	if st.Step < 0 {
+		return fmt.Errorf("nn: adam state has negative step count %d", st.Step)
+	}
+	a.t = int(st.Step)
+	a.Prealloc(params)
+	for i, p := range params {
+		copy(a.m[p], st.Slots[i])
+		copy(a.v[p], st.Slots[len(params)+i])
+	}
+	return nil
 }
 
 // Step implements Optimizer.

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/scidata/errprop/internal/integrity"
 	"github.com/scidata/errprop/internal/numfmt"
 	"github.com/scidata/errprop/internal/tensor"
 )
@@ -314,20 +316,53 @@ func buildLayers(specs []LayerSpec, rng *rand.Rand) ([]Layer, error) {
 	return out, nil
 }
 
-const modelMagic = "ERRPROPNN2"
+// Model magics. "ERRPROPNN2" carried no integrity information;
+// "ERRPROPNN3" frames the same body with a declared length and a CRC32C
+// checksum, so a truncated or bit-flipped model file is detected before
+// any of its bytes are trusted. Save writes v3; Load reads both.
+const (
+	modelMagic   = "ERRPROPNN2"
+	modelMagicV3 = "ERRPROPNN3"
+)
 
-// Save serializes the network (spec + parameter values) to w. Networks
+// maxModelBytes caps the declared v3 body length (1 GiB — far above any
+// network this repo trains) so a corrupt length field cannot size an
+// absurd allocation from untrusted bytes.
+const maxModelBytes = 1 << 30
+
+// Save serializes the network (spec + parameter values) to w in the v3
+// checksummed framing: magic, body length, body CRC32C, body. Networks
 // without a Spec cannot be saved.
 func (n *Network) Save(w io.Writer) error {
 	if n.Spec == nil {
 		return fmt.Errorf("nn: network has no Spec; cannot serialize")
 	}
-	bw := bufio.NewWriter(w)
-	specJSON, err := json.Marshal(n.Spec)
-	if err != nil {
+	var body bytes.Buffer
+	if err := n.saveBody(&body); err != nil {
 		return err
 	}
-	if _, err := bw.WriteString(modelMagic); err != nil {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(modelMagicV3); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(body.Len())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, integrity.Checksum(body.Bytes())); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body.Bytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// saveBody writes the magic-less model body: spec JSON, parameters, and
+// spectral-norm estimates (identical to the v2 wire layout after its
+// magic, so the legacy reader and the v3 reader share loadBody).
+func (n *Network) saveBody(bw io.Writer) error {
+	specJSON, err := json.Marshal(n.Spec)
+	if err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(specJSON))); err != nil {
@@ -362,34 +397,78 @@ func (n *Network) Save(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// Load reads a network serialized by Save and refreshes its spectral
-// state so it is immediately ready for analysis and inference.
+// Load reads a network serialized by Save — the checksummed v3 framing
+// or the legacy v2 one — and refreshes its spectral state so it is
+// immediately ready for analysis and inference. Damage to a v3 file
+// surfaces as an error wrapping integrity.ErrCorrupt or
+// integrity.ErrTruncated, so callers can distinguish a bad model file
+// from a usage error.
 func Load(r io.Reader) (*Network, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(modelMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, err
+		return nil, truncOr(err, "model magic")
 	}
-	if string(magic) != modelMagic {
-		return nil, fmt.Errorf("nn: bad model magic %q", magic)
+	switch string(magic) {
+	case modelMagicV3:
+		var bodyLen uint64
+		if err := binary.Read(br, binary.LittleEndian, &bodyLen); err != nil {
+			return nil, truncOr(err, "model body length")
+		}
+		if bodyLen > maxModelBytes {
+			return nil, fmt.Errorf("nn: model: %w: declared body length %d exceeds %d", integrity.ErrCorrupt, bodyLen, int64(maxModelBytes))
+		}
+		var crc uint32
+		if err := binary.Read(br, binary.LittleEndian, &crc); err != nil {
+			return nil, truncOr(err, "model checksum")
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, truncOr(err, "model body")
+		}
+		if got := integrity.Checksum(body); got != crc {
+			return nil, fmt.Errorf("nn: model: %w: body checksum %08x != stored %08x", integrity.ErrCorrupt, got, crc)
+		}
+		return loadBody(bytes.NewReader(body), true)
+	case modelMagic:
+		// Legacy unchecksummed format: parse streaming, no verification
+		// possible.
+		return loadBody(br, false)
 	}
+	return nil, fmt.Errorf("nn: model: %w: bad magic %q", integrity.ErrCorrupt, magic)
+}
+
+// truncOr maps unexpected end-of-stream onto the typed truncation
+// sentinel and passes other I/O errors through with context.
+func truncOr(err error, what string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("nn: model: %w: %s", integrity.ErrTruncated, what)
+	}
+	return fmt.Errorf("nn: model: reading %s: %w", what, err)
+}
+
+// loadBody parses the model body (spec, params, sigmas). verified says
+// the bytes already passed a checksum, in which case any structural
+// mismatch means the model was written wrong (corrupt), not damaged in
+// transit — either way the typed sentinel applies.
+func loadBody(br io.Reader, verified bool) (*Network, error) {
 	var specLen uint32
 	if err := binary.Read(br, binary.LittleEndian, &specLen); err != nil {
-		return nil, err
+		return nil, truncOr(err, "spec length")
 	}
 	if specLen > 1<<24 {
-		return nil, fmt.Errorf("nn: implausible spec length %d", specLen)
+		return nil, fmt.Errorf("nn: model: %w: implausible spec length %d", integrity.ErrCorrupt, specLen)
 	}
 	specJSON := make([]byte, specLen)
 	if _, err := io.ReadFull(br, specJSON); err != nil {
-		return nil, err
+		return nil, truncOr(err, "spec JSON")
 	}
 	var spec Spec
 	if err := json.Unmarshal(specJSON, &spec); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: model: %w: spec JSON: %v", integrity.ErrCorrupt, err)
 	}
 	// Validate the deserialized (untrusted) spec before Build allocates
 	// parameters; Build re-checks, but failing here pins the error to
@@ -403,30 +482,31 @@ func Load(r io.Reader) (*Network, error) {
 	}
 	var nParams uint32
 	if err := binary.Read(br, binary.LittleEndian, &nParams); err != nil {
-		return nil, err
+		return nil, truncOr(err, "parameter count")
 	}
 	params := net.Params()
 	if int(nParams) != len(params) {
-		return nil, fmt.Errorf("nn: parameter count %d != spec's %d", nParams, len(params))
+		return nil, fmt.Errorf("nn: model: %w: parameter count %d != spec's %d", integrity.ErrCorrupt, nParams, len(params))
 	}
 	for _, p := range params {
 		var plen uint32
 		if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
-			return nil, err
+			return nil, truncOr(err, "parameter length")
 		}
 		if int(plen) != len(p.Data) {
-			return nil, fmt.Errorf("nn: parameter %s length %d != expected %d", p.Name, plen, len(p.Data))
+			return nil, fmt.Errorf("nn: model: %w: parameter %s length %d != expected %d", integrity.ErrCorrupt, p.Name, plen, len(p.Data))
 		}
 		for i := range p.Data {
 			var bits uint64
 			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return nil, err
+				return nil, truncOr(err, "parameter data")
 			}
 			p.Data[i] = math.Float64frombits(bits)
 		}
 	}
-	// Restore the persisted sigma estimates; fall back to recomputation
-	// for any mismatch.
+	// Restore the persisted sigma estimates. Checksummed bodies must
+	// carry a consistent sigma section; the unverified legacy path keeps
+	// its lenient fall-back-to-recompute behavior.
 	var nSigma uint32
 	if err := binary.Read(br, binary.LittleEndian, &nSigma); err == nil {
 		sigmas := make([]float64, nSigma)
@@ -442,6 +522,11 @@ func Load(r io.Reader) (*Network, error) {
 		if ok && net.setSpectralSigmas(sigmas) {
 			return net, nil
 		}
+		if verified {
+			return nil, fmt.Errorf("nn: model: %w: inconsistent sigma section (%d entries)", integrity.ErrCorrupt, nSigma)
+		}
+	} else if verified {
+		return nil, truncOr(err, "sigma count")
 	}
 	net.RefreshSigmas()
 	return net, nil

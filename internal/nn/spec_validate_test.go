@@ -1,8 +1,12 @@
 package nn
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"github.com/scidata/errprop/internal/integrity"
 )
 
 func TestValidateAcceptsBuilderSpecs(t *testing.T) {
@@ -154,17 +158,33 @@ func TestLoadValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf strings.Builder
-	if err := net.Save(&buf); err != nil {
+
+	// On the checksummed v3 framing the edit is caught by the CRC before
+	// the spec is even parsed.
+	var v3 strings.Builder
+	if err := net.Save(&v3); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the serialized spec JSON: fc1's in-dim 4 -> 7 keeps the
-	// JSON length identical but breaks chaining.
-	raw := strings.Replace(buf.String(), `"in":4`, `"in":7`, 1)
-	if raw == buf.String() {
+	raw := strings.Replace(v3.String(), `"in":4`, `"in":7`, 1)
+	if raw == v3.String() {
 		t.Fatal("corruption did not apply")
 	}
-	if _, err := Load(strings.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "does not chain") {
-		t.Fatalf("Load accepted corrupt spec (err=%v)", err)
+	if _, err := Load(strings.NewReader(raw)); !errors.Is(err, integrity.ErrCorrupt) {
+		t.Fatalf("v3 Load of corrupt spec: got %v, want ErrCorrupt", err)
+	}
+
+	// The legacy v2 framing has no checksum, so the corrupted spec JSON
+	// parses — chain validation must still reject it with a
+	// position-annotated error rather than building a broken network.
+	var body bytes.Buffer
+	if err := net.saveBody(&body); err != nil {
+		t.Fatal(err)
+	}
+	legacy := modelMagic + strings.Replace(body.String(), `"in":4`, `"in":7`, 1)
+	if legacy == modelMagic+body.String() {
+		t.Fatal("corruption did not apply")
+	}
+	if _, err := Load(strings.NewReader(legacy)); err == nil || !strings.Contains(err.Error(), "does not chain") {
+		t.Fatalf("legacy Load accepted corrupt spec (err=%v)", err)
 	}
 }

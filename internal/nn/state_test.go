@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// stateBatch builds a deterministic regression batch for the state tests.
+func stateBatch(seed, in, out, cols int) (*tensor.Matrix, *tensor.Matrix) {
+	x := tensor.NewMatrix(in, cols)
+	y := tensor.NewMatrix(out, cols)
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(int64(s%2000)-1000) / 500
+	}
+	for i := range x.Data {
+		x.Data[i] = next()
+	}
+	for i := range y.Data {
+		y.Data[i] = next()
+	}
+	return x, y
+}
+
+// runTrajectory trains steps batches and returns the concatenated final
+// parameter vector.
+func flatParams(net *Network) []float64 {
+	var out []float64
+	for _, p := range net.Params() {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+func newStateOptimizer(t *testing.T, kind string) Optimizer {
+	t.Helper()
+	switch kind {
+	case "sgd":
+		return NewSGD(0.05, 0.9, 1e-4)
+	case "adam":
+		return NewAdam(1e-3)
+	}
+	t.Fatalf("unknown optimizer kind %q", kind)
+	return nil
+}
+
+// TestTrainerStateResumeBitIdentical is the in-memory half of the
+// crash-safe resume guarantee: capture mid-run, keep training the
+// original, then restore the snapshot into a freshly built trainer and
+// replay — both must land on a bit-identical parameter vector, for
+// momentum SGD and Adam, with PSN layers (sigma state) in the mix.
+func TestTrainerStateResumeBitIdentical(t *testing.T) {
+	for _, kind := range []string{"sgd", "adam"} {
+		t.Run(kind, func(t *testing.T) {
+			spec := MLPSpec("st-"+kind, []int{6, 12, 12, 3}, ActTanh, true)
+			build := func() *Trainer {
+				net, err := spec.Build(11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr, err := NewTrainer(net, newStateOptimizer(t, kind), TrainConfig{Workers: 2, ShardSize: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tr
+			}
+
+			const mid, total = 7, 15
+			ref := build()
+			var snap *TrainerState
+			for step := 0; step < total; step++ {
+				if step == mid {
+					snap = ref.CaptureState()
+				}
+				x, y := stateBatch(step, 6, 3, 13)
+				ref.StepMSE(x, y, 1e-3)
+			}
+			if snap.Step != mid {
+				t.Fatalf("snapshot step %d, want %d", snap.Step, mid)
+			}
+
+			res := build()
+			if err := res.RestoreState(snap); err != nil {
+				t.Fatal(err)
+			}
+			if res.Steps() != mid {
+				t.Fatalf("restored Steps() = %d, want %d", res.Steps(), mid)
+			}
+			for step := mid; step < total; step++ {
+				x, y := stateBatch(step, 6, 3, 13)
+				res.StepMSE(x, y, 1e-3)
+			}
+
+			a, b := flatParams(ref.Net()), flatParams(res.Net())
+			if len(a) != len(b) {
+				t.Fatalf("parameter count mismatch %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: resumed trajectory diverged at flat index %d: %v != %v (|diff|=%g)",
+						kind, i, b[i], a[i], math.Abs(a[i]-b[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestTrainerStateRejectsMismatch pins the restore-time validation.
+func TestTrainerStateRejectsMismatch(t *testing.T) {
+	spec := MLPSpec("stm", []int{4, 8, 2}, ActTanh, true)
+	net, err := spec.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(net, NewSGD(0.1, 0.9, 0), TrainConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := stateBatch(0, 4, 2, 8)
+	tr.StepMSE(x, y, 0)
+	good := tr.CaptureState()
+
+	cases := map[string]func(*TrainerState){
+		"nil-safe":            nil,
+		"negative step":       func(st *TrainerState) { st.Step = -1 },
+		"param count":         func(st *TrainerState) { st.Params = st.Params[:1] },
+		"param length":        func(st *TrainerState) { st.Params[0] = st.Params[0][:2] },
+		"sigma count":         func(st *TrainerState) { st.Sigmas = append(st.Sigmas, 1) },
+		"iter vector count":   func(st *TrainerState) { st.IterVecs = st.IterVecs[:1] },
+		"optimizer kind":      func(st *TrainerState) { st.Opt.Kind = "adam" },
+		"optimizer slot len":  func(st *TrainerState) { st.Opt.Slots[0] = st.Opt.Slots[0][:1] },
+		"optimizer slot miss": func(st *TrainerState) { st.Opt.Slots = st.Opt.Slots[:1] },
+	}
+	for name, mutate := range cases {
+		st := good
+		if mutate != nil {
+			cp := *good
+			cp.Params = append([][]float64(nil), good.Params...)
+			cp.Sigmas = append([]float64(nil), good.Sigmas...)
+			cp.IterVecs = append([][]float64(nil), good.IterVecs...)
+			cp.Opt.Slots = append([][]float64(nil), good.Opt.Slots...)
+			mutate(&cp)
+			st = &cp
+		} else {
+			st = nil
+		}
+		if err := tr.RestoreState(st); err == nil {
+			t.Errorf("%s: invalid state accepted", name)
+		}
+	}
+	// The pristine snapshot still restores.
+	if err := tr.RestoreState(good); err != nil {
+		t.Fatalf("valid state rejected after failed attempts: %v", err)
+	}
+}
+
+// TestOptimizerStateNoAliasing: a captured snapshot must not share
+// backing arrays with the live optimizer (later Steps would corrupt it).
+func TestOptimizerStateNoAliasing(t *testing.T) {
+	spec := MLPSpec("al", []int{3, 5, 2}, ActTanh, false)
+	net, err := spec.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(net, NewAdam(1e-2), TrainConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := stateBatch(1, 3, 2, 6)
+	tr.StepMSE(x, y, 0)
+	snap := tr.CaptureState()
+	before := append([]float64(nil), snap.Opt.Slots[0]...)
+	p0 := append([]float64(nil), snap.Params[0]...)
+	for i := 0; i < 3; i++ {
+		tr.StepMSE(x, y, 0)
+	}
+	for i := range before {
+		if snap.Opt.Slots[0][i] != before[i] {
+			t.Fatal("optimizer snapshot aliases live moment buffers")
+		}
+	}
+	for i := range p0 {
+		if snap.Params[0][i] != p0[i] {
+			t.Fatal("parameter snapshot aliases live parameters")
+		}
+	}
+}

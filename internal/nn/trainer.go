@@ -54,6 +54,8 @@ type Trainer struct {
 
 	shardGrads [][]float64
 	shardLoss  []float64
+
+	steps int64 // completed optimizer steps (survives checkpoint round-trips)
 }
 
 // TrainConfig configures a Trainer.
@@ -130,6 +132,88 @@ func (t *Trainer) Workers() int { return t.cfg.Workers }
 
 // Net returns the master network the trainer updates.
 func (t *Trainer) Net() *Network { return t.net }
+
+// Steps reports how many optimizer steps the trainer has applied,
+// including steps replayed into it by RestoreState.
+func (t *Trainer) Steps() int64 { return t.steps }
+
+// TrainerState is a deep-copied snapshot of everything Step depends on:
+// parameter values, PSN spectral-norm estimates, optimizer moments, and
+// the step counter. Capturing between Steps and later restoring into an
+// identically-constructed trainer resumes the weight trajectory
+// bit-identically — the property internal/checkpoint serializes and the
+// kill-and-resume tests assert with exact equality.
+type TrainerState struct {
+	Step   int64
+	Params [][]float64
+	Sigmas []float64
+	// IterVecs are the spectral layers' power-iteration warm-start
+	// vectors. Sigma estimates alone are not enough for exact resume:
+	// the next StepSigmas warm-starts the iteration from these vectors,
+	// so omitting them would fork the sigma trajectory at the first
+	// post-resume step.
+	IterVecs [][]float64
+	Opt      OptimizerState
+}
+
+// CaptureState snapshots the trainer. Must not be called concurrently
+// with Step.
+func (t *Trainer) CaptureState() *TrainerState {
+	st := &TrainerState{
+		Step:     t.steps,
+		Params:   make([][]float64, len(t.params)),
+		Sigmas:   t.net.spectralSigmas(),
+		IterVecs: t.net.spectralIterVectors(),
+		Opt:      t.opt.CaptureState(t.params),
+	}
+	for i, p := range t.params {
+		cp := make([]float64, len(p.Data))
+		copy(cp, p.Data)
+		st.Params[i] = cp
+	}
+	return st
+}
+
+// RestoreState loads a snapshot captured by CaptureState on a trainer
+// built over the same spec and optimizer kind. On success the next Step
+// continues exactly as it would have after the capturing run's last
+// Step; on geometry or kind mismatch the trainer is left unmodified.
+func (t *Trainer) RestoreState(st *TrainerState) error {
+	if st == nil {
+		return fmt.Errorf("nn: nil trainer state")
+	}
+	if st.Step < 0 {
+		return fmt.Errorf("nn: trainer state has negative step count %d", st.Step)
+	}
+	if len(st.Params) != len(t.params) {
+		return fmt.Errorf("nn: trainer state has %d parameters, network has %d", len(st.Params), len(t.params))
+	}
+	for i, p := range t.params {
+		if len(st.Params[i]) != len(p.Data) {
+			return fmt.Errorf("nn: trainer state parameter %d has %d values, %s has %d", i, len(st.Params[i]), p.Name, len(p.Data))
+		}
+	}
+	if len(st.Sigmas) != len(t.net.spectralSigmas()) {
+		return fmt.Errorf("nn: trainer state has %d sigma estimates, network has %d", len(st.Sigmas), len(t.net.spectralSigmas()))
+	}
+	if len(st.IterVecs) != len(st.Sigmas) {
+		return fmt.Errorf("nn: trainer state has %d iteration vectors for %d sigma estimates", len(st.IterVecs), len(st.Sigmas))
+	}
+	if err := t.opt.RestoreState(st.Opt, t.params); err != nil {
+		return err
+	}
+	for i, p := range t.params {
+		copy(p.Data, st.Params[i])
+	}
+	if !t.net.setSpectralSigmas(st.Sigmas) {
+		return fmt.Errorf("nn: trainer state sigma estimates do not match the network's PSN layers")
+	}
+	if !t.net.setSpectralIterVectors(st.IterVecs) {
+		return fmt.Errorf("nn: trainer state iteration vectors do not match the network's spectral layers")
+	}
+	t.steps = st.Step
+	return nil
+}
 
 // ensureShards grows the per-shard gradient and loss buffers to n.
 func (t *Trainer) ensureShards(n int) {
@@ -230,6 +314,7 @@ func (t *Trainer) Step(x *tensor.Matrix, loss LossFn, lambda float64) float64 {
 		total += t.net.AddRegGrad(lambda)
 	}
 	t.opt.Step(t.params)
+	t.steps++
 	return total
 }
 

@@ -152,7 +152,10 @@ func (p *Pipeline) Infer(field []float64, dims []int) (*Result, error) {
 	// Storage phase.
 	var recon []float64
 	if p.cfg.Codec == "" {
-		rr := hpcio.ReadRaw(p.cfg.Storage, len(field))
+		rr, err := hpcio.ReadRaw(p.cfg.Storage, len(field))
+		if err != nil {
+			return nil, err
+		}
 		recon = field
 		res.IO = rr.ReadTime
 		res.Ratio = 1

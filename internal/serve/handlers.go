@@ -14,6 +14,7 @@ import (
 
 	"github.com/scidata/errprop/internal/compress"
 	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/integrity"
 	"github.com/scidata/errprop/internal/numfmt"
 )
 
@@ -157,6 +158,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Header.Get("Content-Type") == BlobContentType {
 		if err := s.decodeBlobRequest(r, &req); err != nil {
 			s.metrics.failed.Add(1)
+			// Checksum/framing failures are the client's bytes being bad, not
+			// a server fault: always a 400 with the integrity detail, never a
+			// 500 and never a prediction on corrupt input.
+			if integrity.IsIntegrityError(err) {
+				s.writeError(w, http.StatusBadRequest, "blob request: payload failed integrity check: %v", err)
+				return
+			}
 			s.writeError(w, http.StatusBadRequest, "blob request: %v", err)
 			return
 		}

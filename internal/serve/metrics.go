@@ -106,9 +106,14 @@ type ModelStats struct {
 	InDim      int     `json:"in_dim"`
 	OutDim     int     `json:"out_dim"`
 	QuantBound float64 `json:"quant_bound"`
-	Requests   int64   `json:"requests_total"`
-	Samples    int64   `json:"samples_total"`
-	QueueDepth int     `json:"queue_depth"`
+	// Checksum is the CRC32C of the model's serialized form
+	// ("crc32c:xxxxxxxx"), computed at registration; operators compare it
+	// against a known-good model file to verify which weights a replica
+	// is actually serving.
+	Checksum   string `json:"checksum"`
+	Requests   int64  `json:"requests_total"`
+	Samples    int64  `json:"samples_total"`
+	QueueDepth int    `json:"queue_depth"`
 }
 
 // Snapshot is a point-in-time view of the metrics plane, also the JSON
@@ -167,6 +172,7 @@ func (s *Server) Metrics() Snapshot {
 			InDim:      md.inDim,
 			OutDim:     md.outDim,
 			QuantBound: md.analysis.QuantizationBound(),
+			Checksum:   md.checksum,
 			Requests:   md.requests.Load(),
 			Samples:    md.samples.Load(),
 			QueueDepth: depth,

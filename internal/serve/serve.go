@@ -28,6 +28,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/integrity"
 	"github.com/scidata/errprop/internal/nn"
 	"github.com/scidata/errprop/internal/numfmt"
 	"github.com/scidata/errprop/internal/quant"
@@ -137,6 +139,7 @@ type model struct {
 	analysis *core.Analysis // error-flow analysis at the serving format
 	inDim    int
 	outDim   int
+	checksum string // CRC32C of the registered network's serialized form
 
 	queue chan *item   // admission queue (bounded)
 	work  chan []*item // batcher -> workers (unbuffered: backpressure)
@@ -186,6 +189,14 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 	if err != nil {
 		return fmt.Errorf("serve: analyzing %q: %w", name, err)
 	}
+	// Checksum the model's serialized form so /v1/models can report which
+	// exact weights are being served — operators diffing a fleet against
+	// a known-good model file compare this string.
+	var serialized bytes.Buffer
+	if err := net.Save(&serialized); err != nil {
+		return fmt.Errorf("serve: serializing %q for checksum: %w", name, err)
+	}
+	sum := integrity.ChecksumString(integrity.Checksum(serialized.Bytes()))
 	replicas := make([]*nn.Network, s.cfg.Workers)
 	for i := range replicas {
 		c, err := serving.Clone()
@@ -201,6 +212,7 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 		analysis: an,
 		inDim:    net.InputDim,
 		outDim:   probeOutputDim(replicas[0]),
+		checksum: sum,
 		queue:    make(chan *item, s.cfg.QueueCap),
 		work:     make(chan []*item),
 		srv:      s,
