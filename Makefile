@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz-smoke lint serve-smoke bench-serve bench-train ci
+.PHONY: all build vet fmt-check test race fuzz-smoke lint serve-smoke bench-serve bench-train bench-infer bench-smoke ci
 
 all: build
 
@@ -89,4 +89,17 @@ bench-train:
 	ERRPROP_TRAIN_BENCH_OUT=$(CURDIR)/BENCH_train.json \
 	$(GO) test -run '^TestWriteTrainBenchJSON$$' -count=1 -v ./internal/nn
 
-ci: build vet fmt-check race fuzz-smoke lint serve-smoke
+# Reproduce BENCH_infer.json: Network.Forward vs compiled Engine.Forward
+# kernel timings plus served req/s on the engine-backed worker pool (see
+# README "Inference engine").
+bench-infer:
+	ERRPROP_INFER_BENCH_OUT=$(CURDIR)/BENCH_infer.json \
+	$(GO) test -run '^TestWriteInferBenchJSON$$' -count=1 -v ./internal/serve
+
+# One-pass bench smoke: the legacy-vs-engine forward benchmarks must run
+# (10 iterations — correctness of the harness, not timing stability), so
+# a refactor cannot silently break the benchmark surface.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkForward(Legacy|Engine)' -benchtime 10x ./internal/nn
+
+ci: build vet fmt-check race fuzz-smoke lint serve-smoke bench-smoke

@@ -71,7 +71,7 @@ func run(args []string) error {
 		maxBatch = fs.Int("max-batch", 32, "micro-batch size limit")
 		flush    = fs.Duration("flush", 2*time.Millisecond, "micro-batch flush deadline")
 		queueCap = fs.Int("queue", 1024, "admission queue capacity per model")
-		workers  = fs.Int("workers", 4, "network replicas per model")
+		workers  = fs.Int("workers", 4, "inference engines per model")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	)
 	var models []modelFlag

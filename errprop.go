@@ -356,9 +356,28 @@ func EstimateRatio(codec string, data []float64, dims []int, mode Mode, tol, sam
 	return compress.EstimateRatio(codec, data, dims, mode, tol, sampleFrac)
 }
 
+// Engine is a compiled inference plan for a network: shapes inferred
+// and buffers preallocated once at compile time, so steady-state
+// Engine.Forward allocates nothing and is bit-identical to
+// Network.Forward — certified error bounds transfer unchanged.
+type Engine = nn.Engine
+
+// CompileInference compiles net into an Engine sized for batches up to
+// maxBatch (larger batches still work; the buffer arena grows to the
+// high-water mark). The Engine shares net's weights as read-only views,
+// so later weight updates are visible without recompiling.
+func CompileInference(net *Network, maxBatch int) (*Engine, error) {
+	return nn.CompileInference(net, maxBatch)
+}
+
+// InferShapes statically infers a Spec's output dimension, validating
+// layer-geometry chaining along the way — no network build, no forward
+// pass.
+func InferShapes(s *Spec) (int, error) { return nn.InferShapes(s) }
+
 // Server is the concurrent batched inference service: named models,
 // per-request QoI error budgets, dynamic micro-batching over a worker
-// pool of Network.Clone replicas, bounded-queue backpressure, and a
+// pool of compiled inference engines, bounded-queue backpressure, and a
 // /metrics plane (see internal/serve).
 type Server = serve.Server
 

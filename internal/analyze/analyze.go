@@ -88,6 +88,7 @@ func All() []*Analyzer {
 		LossyConv,
 		DroppedErr,
 		NonFinite,
+		Hotalloc,
 	}
 }
 

@@ -85,6 +85,8 @@ func TestFixtures(t *testing.T) {
 		{"droppederr_dirty", "fixture/droppederr_dirty"},
 		{"nonfinite_clean", "fixture/internal/core/nonfinite_clean"},
 		{"nonfinite_dirty", "fixture/internal/core/nonfinite_dirty"},
+		{"hotalloc_clean", "fixture/internal/nn/hotalloc_clean"},
+		{"hotalloc_dirty", "fixture/internal/serve/hotalloc_dirty"},
 		{"suppress", "fixture/suppress"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,87 @@
+package analyze
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Hotalloc flags tensor-constructor calls (NewMatrix, NewMatrixFrom,
+// NewT4, NewT4From, Im2Col) inside the inference hot paths — functions
+// named Forward*/execute*/run* in internal/nn and internal/serve. The
+// compiled inference engine's contract is that steady-state forward
+// passes allocate nothing: every buffer is preallocated at compile time
+// and reused via tensor.EnsureMatrix. A fresh constructor call on a hot
+// path silently reintroduces per-call garbage, eroding exactly the
+// latency/throughput the engine exists to buy. Intentional allocations
+// (legacy per-call paths, cold setup inside a hot-named function) are
+// suppressed with //lint:ignore hotalloc <reason>.
+var Hotalloc = &Analyzer{
+	Name:  "hotalloc",
+	Doc:   "flags tensor allocations inside Forward/execute/run hot paths in internal/nn and internal/serve",
+	Match: pathMatchAny("internal/nn", "internal/serve"),
+	Run:   runHotalloc,
+}
+
+// hotallocCtors are the allocating tensor constructors (exact callee
+// names; the *Into variants reuse caller buffers and are not listed).
+var hotallocCtors = map[string]bool{
+	"NewMatrix":     true,
+	"NewMatrixFrom": true,
+	"NewT4":         true,
+	"NewT4From":     true,
+	"Im2Col":        true,
+}
+
+// hotallocFuncPrefixes name the hot-path function families: exported
+// Forward passes, engine op execution, and worker loops.
+var hotallocFuncPrefixes = []string{"Forward", "execute", "run"}
+
+func runHotalloc(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hotallocHotName(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := hotallocCtorName(call)
+				if !ok {
+					return true
+				}
+				p.Reportf(call.Pos(), "%s allocates inside hot path %s; preallocate and reuse via EnsureMatrix/*Into kernels", name, fn.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// hotallocHotName reports whether a function name marks a hot path.
+func hotallocHotName(name string) bool {
+	for _, prefix := range hotallocFuncPrefixes {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotallocCtorName reports the callee's name if it is an allocating
+// tensor constructor (syntactic match on the final selector, like
+// droppederr: the tensor package is dot-free in the repo, so qualified
+// tensor.NewMatrix and in-package NewMatrix both resolve here).
+func hotallocCtorName(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	return name, hotallocCtors[name]
+}

@@ -1,0 +1,40 @@
+// Package hotalloc_clean keeps hot paths allocation-free: buffers are
+// ensured/reused, and constructor calls happen only in cold setup
+// functions or behind a documented suppression.
+package hotalloc_clean
+
+type matrix struct{ data []float64 }
+
+func NewMatrix(rows, cols int) *matrix { return &matrix{data: make([]float64, rows*cols)} }
+
+func EnsureMatrix(m *matrix, rows, cols int) *matrix {
+	if m == nil || cap(m.data) < rows*cols {
+		return NewMatrix(rows, cols)
+	}
+	m.data = m.data[:rows*cols]
+	return m
+}
+
+func Im2ColMatInto(x, dst *matrix) *matrix { return dst }
+
+type engine struct{ buf *matrix }
+
+// compile is cold setup: constructors are fine here.
+func compile() *engine {
+	return &engine{buf: NewMatrix(4, 4)}
+}
+
+// Forward is hot but only reuses preallocated state.
+func (e *engine) Forward(x *matrix) *matrix {
+	e.buf = EnsureMatrix(e.buf, 4, 4)
+	return Im2ColMatInto(x, e.buf)
+}
+
+// runBatch is hot; the suppressed allocation is a documented fallback.
+func runBatch(e *engine, x *matrix) *matrix {
+	if e.buf == nil {
+		//lint:ignore hotalloc first-call warmup allocates once, steady state reuses
+		e.buf = NewMatrix(4, 4)
+	}
+	return e.Forward(x)
+}

@@ -1,0 +1,29 @@
+// Package hotalloc_dirty allocates tensors inside hot paths.
+package hotalloc_dirty
+
+type matrix struct{ data []float64 }
+
+func NewMatrix(rows, cols int) *matrix { return &matrix{data: make([]float64, rows*cols)} }
+
+func NewMatrixFrom(rows, cols int, d []float64) *matrix { return &matrix{data: d} }
+
+func Im2Col(x *matrix) *matrix { return NewMatrix(1, len(x.data)) } // cold helper: no finding
+
+type layer struct{ w *matrix }
+
+func (l *layer) Forward(x *matrix) *matrix {
+	cols := Im2Col(x)                    // want:hotalloc
+	out := NewMatrix(4, len(cols.data))  // want:hotalloc
+	tmp := NewMatrixFrom(1, 4, out.data) // want:hotalloc
+	_ = tmp
+	return out
+}
+
+func executeOp(l *layer, x *matrix) *matrix {
+	return l.Forward(NewMatrix(2, 2)) // want:hotalloc
+}
+
+// coldSetup is not a hot-path name: constructors are fine.
+func coldSetup() *layer {
+	return &layer{w: NewMatrix(4, 4)}
+}

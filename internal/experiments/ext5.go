@@ -81,7 +81,7 @@ func ExtUNet() *Result {
 		panic(err)
 	}
 	// QoI scale for relative errors.
-	ref := net.Forward(x, false)
+	ref := evalForward(net, x)
 	var scale float64
 	for _, v := range ref.Data {
 		if a := math.Abs(v); a > scale {
@@ -102,7 +102,7 @@ func ExtUNet() *Result {
 			if err != nil {
 				panic(err)
 			}
-			got := net.Forward(tensor.NewMatrixFrom(x.Rows, x.Cols, recon), false)
+			got := evalForward(net, tensor.NewMatrixFrom(x.Rows, x.Cols, recon))
 			diff := tensor.Vector(got.Data).Sub(tensor.Vector(ref.Data))
 			achieved = append(achieved, diff.NormInf()/scale)
 		}
@@ -125,7 +125,7 @@ func ExtUNet() *Result {
 		if err != nil {
 			panic(err)
 		}
-		got := qnet.Forward(x, false)
+		got := evalForward(qnet, x)
 		diff := tensor.Vector(got.Data).Sub(tensor.Vector(ref.Data))
 		achieved := diff.NormInf() / scale
 		bound := anq.QuantizationBound() / scale

@@ -93,7 +93,7 @@ func ExtAttention() *Result {
 	if err != nil {
 		panic(err)
 	}
-	ref := net.Forward(x, false)
+	ref := evalForward(net, x)
 	var scale float64
 	for _, v := range ref.Data {
 		if a := math.Abs(v); a > scale {
@@ -109,7 +109,7 @@ func ExtAttention() *Result {
 		if err != nil {
 			panic(err)
 		}
-		got := net.Forward(tensor.NewMatrixFrom(x.Rows, x.Cols, recon), false)
+		got := evalForward(net, tensor.NewMatrixFrom(x.Rows, x.Cols, recon))
 		achieved := tensor.Vector(got.Data).Sub(tensor.Vector(ref.Data)).NormInf() / scale
 		bound := an.BoundLinf(einf) / scale
 		ratio := 0.0
@@ -127,7 +127,7 @@ func ExtAttention() *Result {
 		if err != nil {
 			panic(err)
 		}
-		got := qnet.Forward(x, false)
+		got := evalForward(qnet, x)
 		achieved := tensor.Vector(got.Data).Sub(tensor.Vector(ref.Data)).NormInf() / scale
 		bound := anq.QuantizationBound() / scale
 		ratio := 0.0

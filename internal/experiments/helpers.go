@@ -183,7 +183,7 @@ func (t *taskAdapter) qoiOnField(field []float64, dims []int) *tensor.Matrix {
 	if t.name == "EuroSAT" {
 		return t.netOnImages(t.qoiNet, field, dims)
 	}
-	return t.qoiNet.Forward(fieldToMatrix(field, dims), false)
+	return evalForward(t.qoiNet, fieldToMatrix(field, dims))
 }
 
 // qoiOnFieldNet is qoiOnField against an arbitrary network (quantized
@@ -192,7 +192,7 @@ func (t *taskAdapter) qoiOnFieldNet(net *nn.Network, field []float64, dims []int
 	if t.name == "EuroSAT" {
 		return t.netOnImages(net, field, dims)
 	}
-	return net.Forward(fieldToMatrix(field, dims), false)
+	return evalForward(net, fieldToMatrix(field, dims))
 }
 
 // netOnImages unpacks a width-stacked EuroSAT field into images and runs
@@ -210,7 +210,7 @@ func (t *taskAdapter) netOnImages(net *nn.Network, field []float64, dims []int) 
 			}
 		}
 	}
-	return net.Forward(x, false)
+	return evalForward(net, x)
 }
 
 // relQoIErr measures the relative QoI error between reference and

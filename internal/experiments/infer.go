@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"sync"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// The figure loops sweep the same trained networks over many compressed
+// inputs, formats and tolerances — all inference-only. evalForward
+// routes those sweeps through a compiled inference engine
+// (nn.CompileInference, bit-identical to Network.Forward, so measured
+// errors and certified bounds are unchanged to the last bit), compiled
+// once per network and cached for the life of the process. Networks the
+// engine cannot compile fall back to the legacy path.
+
+// evalEngineBatch sizes the cached engines' buffer arenas; eval batches
+// larger than this still work (the arena grows to the high-water mark).
+const evalEngineBatch = 64
+
+var (
+	evalMu      sync.Mutex
+	evalEngines = map[*nn.Network]*nn.Engine{}
+)
+
+// evalForward runs an inference-only forward pass through net's cached
+// engine. The result is an independent copy (callers routinely hold a
+// reference output while computing a perturbed one). The mutex also
+// serializes engine use, since the figure loops may share networks.
+func evalForward(net *nn.Network, x *tensor.Matrix) *tensor.Matrix {
+	evalMu.Lock()
+	defer evalMu.Unlock()
+	eng, cached := evalEngines[net]
+	if !cached {
+		eng, _ = nn.CompileInference(net, evalEngineBatch) // nil on failure
+		evalEngines[net] = eng
+	}
+	if eng == nil {
+		return net.Forward(x, false)
+	}
+	return eng.Forward(x).Clone()
+}

@@ -260,7 +260,7 @@ func qoiScales(net *nn.Network, x *tensor.Matrix) (linf, l2 float64) {
 }
 
 func qoiScalesMatrix(net *nn.Network, x *tensor.Matrix) (linf, l2 float64) {
-	y := net.Forward(x, false)
+	y := evalForward(net, x)
 	var sum float64
 	for c := 0; c < y.Cols; c++ {
 		var ss float64
@@ -281,12 +281,12 @@ func qoiScalesMatrix(net *nn.Network, x *tensor.Matrix) (linf, l2 float64) {
 // diagnostics; the QoI experiments use the feature map).
 func (t *ClassificationTask) TestAccuracy() float64 {
 	x, labels := t.Test.BatchMatrix(0, t.Test.N())
-	return nn.Accuracy(t.Net.Forward(x, false), labels)
+	return nn.Accuracy(evalForward(t.Net, x), labels)
 }
 
 // TestMSE reports a regression task's test loss.
 func (t *RegressionTask) TestMSE() float64 {
 	x, y := t.Test.Batch(0, t.Test.N())
-	loss, _ := nn.MSELoss(t.Net.Forward(x, false), y)
+	loss, _ := nn.MSELoss(evalForward(t.Net, x), y)
 	return loss
 }

@@ -99,6 +99,7 @@ func (a *Activation) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if train {
 		a.inX = x.Clone()
 	}
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 	out := tensor.NewMatrix(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		out.Data[i] = a.apply(v)

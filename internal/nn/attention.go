@@ -103,6 +103,7 @@ func (s *SelfAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: %s input rows %d != %d", s.name, x.Rows, s.InDim()))
 	}
 	batch := x.Cols
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 	out := tensor.NewMatrix(s.InDim(), batch)
 	if train {
 		s.inX = x.Clone()

@@ -75,9 +75,11 @@ func (bn *BatchNorm2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	}
 	batch := x.Cols
 	spatial := bn.H * bn.W
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 	out := tensor.NewMatrix(x.Rows, batch)
 	if train {
 		bn.inX = x.Clone()
+		//lint:ignore hotalloc training-only backward cache; inference goes through the engine
 		bn.xhat = tensor.NewMatrix(x.Rows, batch)
 		bn.mean = make([]float64, bn.C)
 		bn.invStd = make([]float64, bn.C)

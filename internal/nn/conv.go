@@ -225,6 +225,7 @@ func (c *Conv2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	}
 	batch := x.Cols
 	t := matToT4(x, c.InC, c.H, c.W)
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) unrolls via Im2ColMatInto into a reused buffer
 	cols := tensor.Im2Col(t, c.K, c.K, c.Stride, c.Pad)
 	var kw, z, out *tensor.Matrix
 	if train {
@@ -252,6 +253,7 @@ func (c *Conv2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		c.outBuf = tensor.EnsureMatrix(c.outBuf, c.OutC*spatial, batch)
 		out = c.outBuf
 	} else {
+		//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 		out = tensor.NewMatrix(c.OutC*spatial, batch)
 	}
 	for oc := 0; oc < c.OutC; oc++ {

@@ -1,0 +1,621 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// Engine is a compiled plan-once/execute-many inference program for a
+// Network. CompileInference walks the layer graph once, performs static
+// shape inference, and emits a flat op sequence over a preallocated
+// buffer arena sized for maxBatch columns; Forward then replays the
+// program with zero steady-state heap allocations.
+//
+// Two invariants make the engine safe to deploy under certified error
+// bounds (DESIGN.md "Bit-identical fast paths"):
+//
+//   - Bit-identity: every op replicates the corresponding layer's
+//     eval-mode Forward arithmetic exactly — same kernels, same
+//     accumulation order, same degenerate-case branches — so
+//     Engine.Forward output is == (not merely close to) the legacy
+//     Network.Forward output for any input. Inequality (3) certificates
+//     computed against the reference network therefore transfer to the
+//     engine verbatim.
+//   - Shared weights: ops hold read-only views into the source network's
+//     parameter storage (PSN layers get a private effective-weight
+//     scratch recomputed per call from the live alpha/sigma state), so N
+//     engines over one network cost no N-fold weight duplication, and a
+//     weight update to the network is visible to every engine.
+//
+// An Engine is not safe for concurrent use (its arena is mutable state);
+// compile one per goroutine — they are cheap, sharing all weights.
+// Batches wider than maxBatch still work: the arena grows once to the
+// new high-water mark (that growth allocates).
+type Engine struct {
+	inDim, outDim, maxBatch int
+
+	ops  []inferOp
+	bufs []*tensor.Matrix // bufs[0] is the caller's input for the current call
+	out  int              // arena index of the network output
+}
+
+// inferOp is one step of the compiled program: read from arena slots,
+// write to an arena slot, allocation-free at steady state.
+type inferOp interface {
+	run(e *Engine, batch int)
+}
+
+// CompileInference compiles net into an inference engine with buffers
+// sized for maxBatch-column inputs. It fails — rather than degrading to
+// a slow path — if the network contains a layer type the compiler does
+// not model or if the input dimension is not statically known.
+//
+// Compilation finalizes PSN spectral-norm estimates (ensureSigma), so a
+// compiled engine's Forward never mutates the source network; multiple
+// engines may share one network across goroutines.
+func CompileInference(net *Network, maxBatch int) (*Engine, error) {
+	if net == nil {
+		return nil, fmt.Errorf("nn: CompileInference: nil network")
+	}
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("nn: CompileInference: maxBatch %d must be positive", maxBatch)
+	}
+	if net.InputDim <= 0 {
+		return nil, fmt.Errorf("nn: CompileInference: network input dim %d is not statically known", net.InputDim)
+	}
+	b := &engineBuilder{maxBatch: maxBatch}
+	b.bufs = append(b.bufs, nil) // slot 0: caller's input, bound per Forward
+	out, rows, err := b.compileSeq(net.Layers, 0, net.InputDim, "layers")
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		inDim:    net.InputDim,
+		outDim:   rows,
+		maxBatch: maxBatch,
+		ops:      b.ops,
+		bufs:     b.bufs,
+		out:      out,
+	}, nil
+}
+
+// Forward executes the compiled program on a (features x batch) matrix.
+// The returned matrix is owned by the engine and valid only until the
+// next Forward call; clone it to retain. Output is bit-identical to
+// Network.Forward(x, false) on the source network.
+func (e *Engine) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Rows != e.inDim {
+		panic(fmt.Sprintf("nn: engine input rows %d != %d", x.Rows, e.inDim))
+	}
+	e.bufs[0] = x
+	for _, op := range e.ops {
+		op.run(e, x.Cols)
+	}
+	return e.bufs[e.out]
+}
+
+// InputDim returns the engine's flattened input feature count.
+func (e *Engine) InputDim() int { return e.inDim }
+
+// OutputDim returns the engine's flattened output feature count,
+// computed by static shape inference at compile time — no data probe.
+func (e *Engine) OutputDim() int { return e.outDim }
+
+// MaxBatch returns the batch width the arena was preallocated for.
+func (e *Engine) MaxBatch() int { return e.maxBatch }
+
+// engineBuilder accumulates the op program and buffer arena during
+// compilation.
+type engineBuilder struct {
+	maxBatch int
+	bufs     []*tensor.Matrix
+	ops      []inferOp
+}
+
+// alloc reserves an arena slot of the given feature count, preallocated
+// to the engine's maxBatch width.
+func (b *engineBuilder) alloc(rows int) int {
+	b.bufs = append(b.bufs, tensor.NewMatrix(rows, b.maxBatch))
+	return len(b.bufs) - 1
+}
+
+// compileSeq compiles a layer sequence reading from arena slot in with
+// rows features; it returns the slot and feature count of the sequence
+// output. path annotates errors like Spec.Validate does.
+func (b *engineBuilder) compileSeq(layers []Layer, in, rows int, path string) (int, int, error) {
+	cur, curRows := in, rows
+	for i, l := range layers {
+		var err error
+		cur, curRows, err = b.compileLayer(l, cur, curRows, fmt.Sprintf("%s[%d]", path, i))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return cur, curRows, nil
+}
+
+func (b *engineBuilder) compileLayer(l Layer, in, rows int, path string) (int, int, error) {
+	mismatch := func(name string, want int) error {
+		return fmt.Errorf("nn: CompileInference: %s (%s): input dim %d does not chain, layer wants %d", path, name, rows, want)
+	}
+	switch t := l.(type) {
+	case *Dense:
+		if rows != t.In {
+			return 0, 0, mismatch(t.name, t.In)
+		}
+		op := &opDense{l: t, in: in, out: b.alloc(t.Out)}
+		if t.PSN {
+			t.ensureSigma()
+			op.w = tensor.NewMatrix(t.Out, t.In)
+		} else {
+			op.w = t.rawMatrix() // shared view of live weights
+		}
+		b.ops = append(b.ops, op)
+		return op.out, t.Out, nil
+	case *Conv2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		spatial := t.OutH() * t.OutW()
+		op := &opConv{
+			l:    t,
+			in:   in,
+			out:  b.alloc(t.OutC * spatial),
+			cols: tensor.NewMatrix(t.InC*t.K*t.K, b.maxBatch*spatial),
+			z:    tensor.NewMatrix(t.OutC, b.maxBatch*spatial),
+		}
+		if t.PSN {
+			t.ensureSigma()
+			op.kw = tensor.NewMatrix(t.OutC, t.InC*t.K*t.K)
+		} else {
+			op.kw = t.rawMatrix()
+		}
+		b.ops = append(b.ops, op)
+		return op.out, t.OutC * spatial, nil
+	case *Activation:
+		op := &opAct{l: t, in: in, out: b.alloc(rows)}
+		b.ops = append(b.ops, op)
+		return op.out, rows, nil
+	case *RoundLayer:
+		op := &opRound{l: t, in: in, out: b.alloc(rows)}
+		b.ops = append(b.ops, op)
+		return op.out, rows, nil
+	case *MaxPool2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		op := &opMaxPool{l: t, in: in, out: b.alloc(t.OutDim())}
+		b.ops = append(b.ops, op)
+		return op.out, t.OutDim(), nil
+	case *AvgPool2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		op := &opAvgPool{l: t, in: in, out: b.alloc(t.OutDim())}
+		b.ops = append(b.ops, op)
+		return op.out, t.OutDim(), nil
+	case *GlobalAvgPool:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		op := &opGAP{l: t, in: in, out: b.alloc(t.OutDim())}
+		b.ops = append(b.ops, op)
+		return op.out, t.OutDim(), nil
+	case *Upsample2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		op := &opUpsample{l: t, in: in, out: b.alloc(t.OutDim())}
+		b.ops = append(b.ops, op)
+		return op.out, t.OutDim(), nil
+	case *BatchNorm2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		op := &opBatchNorm{l: t, in: in, out: b.alloc(rows)}
+		b.ops = append(b.ops, op)
+		return op.out, rows, nil
+	case *SelfAttention:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		op := &opAttention{
+			l: t, in: in, out: b.alloc(t.InDim()),
+			// Shared views of the live projection weights.
+			wq: tensor.NewMatrixFrom(t.D, t.D, t.Wq.Data),
+			wk: tensor.NewMatrixFrom(t.D, t.D, t.Wk.Data),
+			wv: tensor.NewMatrixFrom(t.D, t.D, t.Wv.Data),
+			// Per-sample scratch; sizes are batch-independent.
+			xs: tensor.NewMatrix(t.T, t.D), q: tensor.NewMatrix(t.T, t.D),
+			k: tensor.NewMatrix(t.T, t.D), v: tensor.NewMatrix(t.T, t.D),
+			kt: tensor.NewMatrix(t.D, t.T), scores: tensor.NewMatrix(t.T, t.T),
+			scoresT: tensor.NewMatrix(t.T, t.T), aT: tensor.NewMatrix(t.T, t.T),
+			a: tensor.NewMatrix(t.T, t.T), y: tensor.NewMatrix(t.T, t.D),
+		}
+		b.ops = append(b.ops, op)
+		return op.out, t.InDim(), nil
+	case *Residual:
+		fOut, fRows, err := b.compileSeq(t.Branch, in, rows, path+".branch")
+		if err != nil {
+			return 0, 0, err
+		}
+		sOut, sRows := in, rows
+		if len(t.Shortcut) > 0 {
+			sOut, sRows, err = b.compileSeq(t.Shortcut, in, rows, path+".shortcut")
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		if fRows != sRows {
+			return 0, 0, fmt.Errorf("nn: CompileInference: %s (%s): branch output %d != shortcut output %d", path, t.name, fRows, sRows)
+		}
+		op := &opAdd{a: fOut, b: sOut, out: b.alloc(fRows)}
+		b.ops = append(b.ops, op)
+		return op.out, fRows, nil
+	case *SkipConcat:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		bOut, bRows, err := b.compileSeq(t.Branch, in, rows, path+".branch")
+		if err != nil {
+			return 0, 0, err
+		}
+		if want := t.BC * t.H * t.W; bRows != want {
+			return 0, 0, fmt.Errorf("nn: CompileInference: %s (%s): branch produced %d rows, want %d", path, t.name, bRows, want)
+		}
+		op := &opConcat{xRows: rows, in: in, branch: bOut, out: b.alloc(t.OutDim())}
+		b.ops = append(b.ops, op)
+		return op.out, t.OutDim(), nil
+	}
+	return 0, 0, fmt.Errorf("nn: CompileInference: %s: unsupported layer type %T (%s)", path, l, l.Name())
+}
+
+// ensure resizes arena slot i to rows x batch (reusing the preallocated
+// backing at steady state) and returns it.
+func (e *Engine) ensure(i, rows, batch int) *tensor.Matrix {
+	m := tensor.EnsureMatrix(e.bufs[i], rows, batch)
+	e.bufs[i] = m
+	return m
+}
+
+// opDense replicates Dense.Forward's eval path: w is the shared raw
+// weight view for plain layers; under PSN it is a private scratch
+// refreshed from the live alpha/sigma state each call, matching
+// EffectiveMatrix (including the degenerate sigma == 0 raw-copy branch).
+type opDense struct {
+	l       *Dense
+	w       *tensor.Matrix
+	in, out int
+}
+
+func (o *opDense) run(e *Engine, batch int) {
+	d := o.l
+	if d.PSN {
+		if d.sigmaRaw == 0 {
+			copy(o.w.Data, d.W.Data)
+		} else {
+			s := d.Alpha.Data[0] / d.sigmaRaw
+			for i, w := range d.W.Data {
+				o.w.Data[i] = w * s
+			}
+		}
+	}
+	x := e.bufs[o.in]
+	out := e.ensure(o.out, d.Out, batch)
+	out = o.w.MulInto(x, out)
+	for r := 0; r < out.Rows; r++ {
+		b := d.B.Data[r]
+		row := out.Data[r*out.Cols : (r+1)*out.Cols]
+		for c := range row {
+			row[c] += b
+		}
+	}
+}
+
+// opConv replicates Conv2D.Forward's eval path with the fused
+// Im2ColMatInto kernel (bit-identical to matToT4 + Im2Col) and a
+// PSN-aware effective kernel like opDense.
+type opConv struct {
+	l       *Conv2D
+	kw      *tensor.Matrix
+	cols, z *tensor.Matrix
+	in, out int
+}
+
+func (o *opConv) run(e *Engine, batch int) {
+	c := o.l
+	if c.PSN {
+		if c.sigmaRaw == 0 {
+			copy(o.kw.Data, c.Wt.Data)
+		} else {
+			s := c.Alpha.Data[0] / c.sigmaRaw
+			for i, w := range c.Wt.Data {
+				o.kw.Data[i] = w * s
+			}
+		}
+	}
+	x := e.bufs[o.in]
+	o.cols = tensor.Im2ColMatInto(x, c.InC, c.H, c.W, c.K, c.K, c.Stride, c.Pad, o.cols)
+	o.z = o.kw.MulInto(o.cols, o.z)
+	outH, outW := c.OutH(), c.OutW()
+	spatial := outH * outW
+	out := e.ensure(o.out, c.OutC*spatial, batch)
+	for oc := 0; oc < c.OutC; oc++ {
+		b := c.B.Data[oc]
+		zrow := o.z.Data[oc*o.z.Cols : (oc+1)*o.z.Cols]
+		for n := 0; n < batch; n++ {
+			for s := 0; s < spatial; s++ {
+				out.Data[(oc*spatial+s)*batch+n] = zrow[n*spatial+s] + b
+			}
+		}
+	}
+}
+
+// opAct applies the activation elementwise via the same apply switch the
+// legacy path uses.
+type opAct struct {
+	l       *Activation
+	in, out int
+}
+
+func (o *opAct) run(e *Engine, batch int) {
+	x := e.bufs[o.in]
+	out := e.ensure(o.out, x.Rows, batch)
+	for i, v := range x.Data {
+		out.Data[i] = o.l.apply(v)
+	}
+}
+
+// opRound applies activation-format rounding elementwise.
+type opRound struct {
+	l       *RoundLayer
+	in, out int
+}
+
+func (o *opRound) run(e *Engine, batch int) {
+	x := e.bufs[o.in]
+	out := e.ensure(o.out, x.Rows, batch)
+	for i, v := range x.Data {
+		out.Data[i] = o.l.Format.Round(v)
+	}
+}
+
+// opMaxPool replicates MaxPool2D.Forward (strict > keeps the same argmax
+// tie-breaking, though only the max value is emitted here).
+type opMaxPool struct {
+	l       *MaxPool2D
+	in, out int
+}
+
+func (o *opMaxPool) run(e *Engine, batch int) {
+	p := o.l
+	x := e.bufs[o.in]
+	oh, ow := p.OutH(), p.OutW()
+	out := e.ensure(o.out, p.C*oh*ow, batch)
+	for c := 0; c < p.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := ((c*oh+oy)*ow + ox) * batch
+				for n := 0; n < batch; n++ {
+					best := math.Inf(-1)
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							f := (c*p.H+oy*p.K+ky)*p.W + ox*p.K + kx
+							if v := x.Data[f*batch+n]; v > best {
+								best = v
+							}
+						}
+					}
+					out.Data[dst+n] = best
+				}
+			}
+		}
+	}
+}
+
+// opAvgPool replicates AvgPool2D.Forward (same accumulation order, same
+// multiply-by-reciprocal).
+type opAvgPool struct {
+	l       *AvgPool2D
+	in, out int
+}
+
+func (o *opAvgPool) run(e *Engine, batch int) {
+	p := o.l
+	x := e.bufs[o.in]
+	oh, ow := p.OutH(), p.OutW()
+	out := e.ensure(o.out, p.C*oh*ow, batch)
+	inv := 1 / float64(p.K*p.K)
+	for c := 0; c < p.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := ((c*oh+oy)*ow + ox) * batch
+				for n := 0; n < batch; n++ {
+					var s float64
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							f := (c*p.H+oy*p.K+ky)*p.W + ox*p.K + kx
+							s += x.Data[f*batch+n]
+						}
+					}
+					out.Data[dst+n] = s * inv
+				}
+			}
+		}
+	}
+}
+
+// opGAP replicates GlobalAvgPool.Forward.
+type opGAP struct {
+	l       *GlobalAvgPool
+	in, out int
+}
+
+func (o *opGAP) run(e *Engine, batch int) {
+	p := o.l
+	x := e.bufs[o.in]
+	spatial := p.H * p.W
+	inv := 1 / float64(spatial)
+	out := e.ensure(o.out, p.C, batch)
+	for c := 0; c < p.C; c++ {
+		for n := 0; n < batch; n++ {
+			var s float64
+			for sp := 0; sp < spatial; sp++ {
+				s += x.Data[(c*spatial+sp)*batch+n]
+			}
+			out.Data[c*batch+n] = s * inv
+		}
+	}
+}
+
+// opUpsample replicates Upsample2D.Forward (pure copies).
+type opUpsample struct {
+	l       *Upsample2D
+	in, out int
+}
+
+func (o *opUpsample) run(e *Engine, batch int) {
+	u := o.l
+	x := e.bufs[o.in]
+	oh, ow := 2*u.H, 2*u.W
+	out := e.ensure(o.out, u.C*oh*ow, batch)
+	for c := 0; c < u.C; c++ {
+		for y := 0; y < u.H; y++ {
+			for xx := 0; xx < u.W; xx++ {
+				src := (c*u.H+y)*u.W + xx
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						dst := (c*oh+2*y+dy)*ow + 2*xx + dx
+						copy(out.Data[dst*batch:(dst+1)*batch], x.Data[src*batch:(src+1)*batch])
+					}
+				}
+			}
+		}
+	}
+}
+
+// opBatchNorm replicates BatchNorm2D.Forward's eval branch (frozen
+// running statistics).
+type opBatchNorm struct {
+	l       *BatchNorm2D
+	in, out int
+}
+
+func (o *opBatchNorm) run(e *Engine, batch int) {
+	bn := o.l
+	x := e.bufs[o.in]
+	spatial := bn.H * bn.W
+	out := e.ensure(o.out, x.Rows, batch)
+	for c := 0; c < bn.C; c++ {
+		mean := bn.RunMean.Data[c]
+		varv := bn.RunVar.Data[c]
+		inv := 1 / math.Sqrt(varv+bn.Eps)
+		g, b := bn.Gamma.Data[c], bn.Beta.Data[c]
+		for s := 0; s < spatial; s++ {
+			base := (c*spatial + s) * batch
+			for n := 0; n < batch; n++ {
+				xh := (x.Data[base+n] - mean) * inv
+				out.Data[base+n] = g*xh + b
+			}
+		}
+	}
+}
+
+// opAttention replicates SelfAttention.Forward per sample using shared
+// projection-weight views and preallocated T x D / T x T scratch. The
+// transposes the legacy path materializes (k.T(), scores.T(), a = ...T())
+// become TInto copies, and Softmax becomes softmaxInto — both pure data
+// movements / identical arithmetic, preserving bit-identity.
+type opAttention struct {
+	l          *SelfAttention
+	wq, wk, wv *tensor.Matrix
+
+	xs, q, k, v         *tensor.Matrix
+	kt, scores, scoresT *tensor.Matrix
+	aT, a, y            *tensor.Matrix
+	in, out             int
+}
+
+func (o *opAttention) run(e *Engine, batch int) {
+	s := o.l
+	x := e.bufs[o.in]
+	out := e.ensure(o.out, s.InDim(), batch)
+	invSqrtD := 1 / math.Sqrt(float64(s.D))
+	for n := 0; n < batch; n++ {
+		for t := 0; t < s.T; t++ {
+			for d := 0; d < s.D; d++ {
+				o.xs.Set(t, d, x.At(t*s.D+d, n))
+			}
+		}
+		o.q = o.xs.MulInto(o.wq, o.q)
+		o.k = o.xs.MulInto(o.wk, o.k)
+		o.v = o.xs.MulInto(o.wv, o.v)
+		o.kt = o.k.TInto(o.kt)
+		o.scores = o.q.MulInto(o.kt, o.scores)
+		o.scores.Scale(invSqrtD)
+		o.scoresT = o.scores.TInto(o.scoresT)
+		o.aT = softmaxInto(o.scoresT, o.aT)
+		o.a = o.aT.TInto(o.a)
+		o.y = o.a.MulInto(o.v, o.y)
+		for t := 0; t < s.T; t++ {
+			for d := 0; d < s.D; d++ {
+				out.Set(t*s.D+d, n, o.y.At(t, d))
+			}
+		}
+	}
+}
+
+// softmaxInto is Softmax writing into dst: identical per-column
+// max-subtract / exp-accumulate / multiply-by-reciprocal arithmetic.
+func softmaxInto(logits, dst *tensor.Matrix) *tensor.Matrix {
+	dst = tensor.EnsureMatrix(dst, logits.Rows, logits.Cols)
+	for c := 0; c < logits.Cols; c++ {
+		maxv := math.Inf(-1)
+		for r := 0; r < logits.Rows; r++ {
+			if v := logits.At(r, c); v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for r := 0; r < logits.Rows; r++ {
+			e := math.Exp(logits.At(r, c) - maxv)
+			dst.Set(r, c, e)
+			sum += e
+		}
+		inv := 1 / sum
+		for r := 0; r < logits.Rows; r++ {
+			dst.Set(r, c, dst.At(r, c)*inv)
+		}
+	}
+	return dst
+}
+
+// opAdd is the residual join y = F(x) + S(x), matching Matrix.Add's
+// elementwise sums.
+type opAdd struct {
+	a, b, out int
+}
+
+func (o *opAdd) run(e *Engine, batch int) {
+	a, b := e.bufs[o.a], e.bufs[o.b]
+	out := e.ensure(o.out, a.Rows, batch)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// opConcat is the U-Net skip join y = concat(x, Branch(x)), matching
+// SkipConcat.Forward's two copies.
+type opConcat struct {
+	xRows           int
+	in, branch, out int
+}
+
+func (o *opConcat) run(e *Engine, batch int) {
+	x, br := e.bufs[o.in], e.bufs[o.branch]
+	out := e.ensure(o.out, o.xRows+br.Rows, batch)
+	copy(out.Data[:o.xRows*batch], x.Data)
+	copy(out.Data[o.xRows*batch:], br.Data)
+}

@@ -53,6 +53,7 @@ func (p *MaxPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	}
 	batch := x.Cols
 	oh, ow := p.OutH(), p.OutW()
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 	out := tensor.NewMatrix(p.C*oh*ow, batch)
 	if train {
 		p.inBatch = batch

@@ -60,6 +60,7 @@ func (p *AvgPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		p.inBatch = batch
 	}
 	oh, ow := p.OutH(), p.OutW()
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 	out := tensor.NewMatrix(p.C*oh*ow, batch)
 	inv := 1 / float64(p.K*p.K)
 	for c := 0; c < p.C; c++ {
@@ -149,6 +150,7 @@ func (p *GlobalAvgPool) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	}
 	spatial := p.H * p.W
 	inv := 1 / float64(spatial)
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 	out := tensor.NewMatrix(p.C, batch)
 	for c := 0; c < p.C; c++ {
 		for n := 0; n < batch; n++ {

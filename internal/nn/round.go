@@ -35,6 +35,7 @@ func (r *RoundLayer) Name() string { return r.name }
 
 // Forward implements Layer.
 func (r *RoundLayer) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 	out := tensor.NewMatrix(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		out.Data[i] = r.Format.Round(v)

@@ -97,6 +97,26 @@ func (s *Spec) Validate() error {
 	return err
 }
 
+// InferShapes statically computes the flattened output feature count of
+// a spec — the same chaining walk Validate performs — without building a
+// network or running any data through it. It errors if the spec is
+// invalid or if the output dimension cannot be determined statically
+// (e.g. an all-activation spec with unknown input). Serving uses this
+// (via Engine.OutputDim) instead of probing with a zero-sample forward.
+func InferShapes(s *Spec) (int, error) {
+	if s.InputDim < 0 {
+		return 0, fmt.Errorf("nn: spec %q: negative input dim %d", s.Name, s.InputDim)
+	}
+	out, err := validateLayers(s.Layers, s.InputDim, "layers")
+	if err != nil {
+		return 0, err
+	}
+	if out <= 0 {
+		return 0, fmt.Errorf("nn: spec %q: output dim cannot be determined statically", s.Name)
+	}
+	return out, nil
+}
+
 // validateLayers checks one layer sequence starting from inDim flattened
 // features (0 = unknown, adopted from the first layer that declares an
 // input geometry). It returns the sequence's output feature count (0 if

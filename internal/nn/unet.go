@@ -44,6 +44,7 @@ func (u *Upsample2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		u.inBatch = batch
 	}
 	oh, ow := 2*u.H, 2*u.W
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 	out := tensor.NewMatrix(u.C*oh*ow, batch)
 	for c := 0; c < u.C; c++ {
 		for y := 0; y < u.H; y++ {
@@ -131,6 +132,7 @@ func (s *SkipConcat) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: %s branch produced %d rows, want %d", s.name, b.Rows, s.BC*s.H*s.W))
 	}
 	batch := x.Cols
+	//lint:ignore hotalloc legacy per-call layer path; the compiled engine (infer.go) is the zero-alloc fast path
 	out := tensor.NewMatrix(s.OutDim(), batch)
 	copy(out.Data[:x.Rows*batch], x.Data)
 	copy(out.Data[x.Rows*batch:], b.Data)

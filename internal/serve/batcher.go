@@ -64,20 +64,25 @@ func (m *model) fillBatch(first *item, timer *time.Timer, maxBatch int, flush ti
 	return batch
 }
 
-// workLoop runs batches on this worker's private replica until the
-// batcher closes the work channel (drain).
-func (m *model) workLoop(replica *nn.Network) {
+// workLoop runs batches on this worker's private compiled inference
+// engine until the batcher closes the work channel (drain). The input
+// matrix is worker-owned and reused across batches (the pack loop
+// overwrites every entry), so the steady-state forward pass allocates
+// only the per-item result slices.
+func (m *model) workLoop(eng *nn.Engine) {
 	defer m.wg.Done()
+	var in *tensor.Matrix
 	for batch := range m.work {
-		m.runBatch(replica, batch)
+		in = m.runBatch(eng, in, batch)
 	}
 }
 
 // runBatch executes one micro-batch: expired items are skipped (their
-// waiters already gave up), the rest are packed into one
-// (features x batch) matrix for a single forward pass, and each result
-// column is delivered to its item.
-func (m *model) runBatch(replica *nn.Network, batch []*item) {
+// waiters already gave up), the rest are packed into the worker's
+// reusable (features x batch) matrix for a single engine forward pass,
+// and each result column is copied out to its item (the engine owns the
+// output matrix only until its next Forward).
+func (m *model) runBatch(eng *nn.Engine, in *tensor.Matrix, batch []*item) *tensor.Matrix {
 	live := make([]*item, 0, len(batch))
 	for _, it := range batch {
 		if it.ctx != nil && it.ctx.Err() != nil {
@@ -88,16 +93,16 @@ func (m *model) runBatch(replica *nn.Network, batch []*item) {
 		live = append(live, it)
 	}
 	if len(live) == 0 {
-		return
+		return in
 	}
 	k := len(live)
-	x := tensor.NewMatrix(m.inDim, k)
+	in = tensor.EnsureMatrix(in, m.inDim, k)
 	for i, it := range live {
 		for f := 0; f < m.inDim; f++ {
-			x.Data[f*k+i] = it.x[f]
+			in.Data[f*k+i] = it.x[f]
 		}
 	}
-	y := replica.Forward(x, false)
+	y := eng.Forward(in)
 	for i, it := range live {
 		out := make([]float64, y.Rows)
 		for f := 0; f < y.Rows; f++ {
@@ -109,4 +114,5 @@ func (m *model) runBatch(replica *nn.Network, batch []*item) {
 	m.srv.metrics.batches.Add(1)
 	m.srv.metrics.samples.Add(int64(k))
 	m.srv.metrics.batchSize.observe(float64(k))
+	return in
 }

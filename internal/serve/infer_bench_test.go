@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// The compiled-inference bench trajectory (BENCH_infer.json): raw kernel
+// timings of Network.Forward vs Engine.Forward on the paper's model
+// shapes, plus end-to-end served throughput at 64 clients now that the
+// worker pool runs on engines. The serve "before" number is the
+// committed BENCH_serve.json baseline (recorded when workers held
+// Network.Clone replicas), so the two files form one trajectory.
+
+// kernelStats is one model x batch timing pair.
+type kernelStats struct {
+	Model          string  `json:"model"`
+	Batch          int     `json:"batch"`
+	LegacyNsPerOp  float64 `json:"legacy_ns_per_op"`
+	LegacyAllocs   int64   `json:"legacy_allocs_per_op"`
+	EngineNsPerOp  float64 `json:"engine_ns_per_op"`
+	EngineAllocs   int64   `json:"engine_allocs_per_op"`
+	SpeedupVsLegcy float64 `json:"speedup"`
+}
+
+func inferBenchNet(t testing.TB, name string) *nn.Network {
+	t.Helper()
+	var spec *nn.Spec
+	switch name {
+	case "mlp":
+		spec = nn.MLPSpec("bench-mlp", []int{9, 64, 64, 9}, nn.ActTanh, true)
+	case "conv":
+		spec = nn.ResNetSpec("bench-conv", 1, 8, 8, 4, []int{1, 1}, []int{4, 8}, nn.ActReLU, true)
+	default:
+		t.Fatalf("unknown bench model %q", name)
+	}
+	net, err := spec.Build(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// timeKernel benchmarks one forward path via testing.Benchmark so the
+// iteration count self-calibrates.
+func timeKernel(f func()) (nsPerOp float64, allocsPerOp int64) {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	return float64(r.NsPerOp()), r.AllocsPerOp()
+}
+
+// TestWriteInferBenchJSON regenerates the committed inference baseline.
+// Run with:
+//
+//	ERRPROP_INFER_BENCH_OUT=BENCH_infer.json go test ./internal/serve -run TestWriteInferBenchJSON -count=1
+func TestWriteInferBenchJSON(t *testing.T) {
+	out := os.Getenv("ERRPROP_INFER_BENCH_OUT")
+	if out == "" {
+		t.Skip("set ERRPROP_INFER_BENCH_OUT to write the inference bench trajectory")
+	}
+
+	var kernels []kernelStats
+	for _, model := range []string{"mlp", "conv"} {
+		net := inferBenchNet(t, model)
+		eng, err := nn.CompileInference(net, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range []int{1, 16, 64} {
+			x := tensor.NewMatrix(net.InputDim, batch)
+			for i := range x.Data {
+				x.Data[i] = float64(i%13)/13 - 0.5
+			}
+			// Sanity anchor before timing: the engine must be bit-identical
+			// or its speed is meaningless.
+			want := net.Forward(x, false)
+			got := eng.Forward(x)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%s batch %d: engine output diverges from legacy forward", model, batch)
+				}
+			}
+			ks := kernelStats{Model: model, Batch: batch}
+			ks.LegacyNsPerOp, ks.LegacyAllocs = timeKernel(func() { net.Forward(x, false) })
+			ks.EngineNsPerOp, ks.EngineAllocs = timeKernel(func() { eng.Forward(x) })
+			if ks.EngineNsPerOp > 0 {
+				ks.SpeedupVsLegcy = ks.LegacyNsPerOp / ks.EngineNsPerOp
+			}
+			kernels = append(kernels, ks)
+			t.Logf("%s batch %d: legacy %.0f ns/op (%d allocs) engine %.0f ns/op (%d allocs)",
+				model, batch, ks.LegacyNsPerOp, ks.LegacyAllocs, ks.EngineNsPerOp, ks.EngineAllocs)
+		}
+	}
+
+	// Served throughput after the engine refactor, same load shape as the
+	// BENCH_serve baseline (64 clients, 150 requests each, batched at 64).
+	s := benchServer(t, 64)
+	after := runLoad(t, s, 64, 150)
+	after.Mode = "batched"
+	s.Close()
+
+	doc := map[string]any{
+		"bench":       "infer",
+		"description": "Network.Forward vs compiled Engine.Forward kernel timings (testing.Benchmark), plus served req/s at 64 clients on the engine-backed worker pool; serve_before is the committed BENCH_serve.json batched run at 64 clients (replica-based workers)",
+		"models": map[string]string{
+			"mlp":  "9-64-64-9 tanh (psn)",
+			"conv": "resnet 1x8x8 -> 4 classes, blocks [1 1], channels [4 8] (psn)",
+		},
+		"kernels":     kernels,
+		"serve_after": after,
+	}
+	if before, ok := serveBaselineAt64(t); ok {
+		doc["serve_before"] = before
+		if before.ReqPerSec > 0 {
+			doc["serve_speedup_at_64"] = after.ReqPerSec / before.ReqPerSec
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (served %.0f req/s at 64 clients)", out, after.ReqPerSec)
+}
+
+// serveBaselineAt64 reads the committed BENCH_serve.json (relative to
+// this package directory) and returns its batched 64-client run.
+func serveBaselineAt64(t *testing.T) (loadStats, bool) {
+	t.Helper()
+	raw, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Logf("no serve baseline: %v", err)
+		return loadStats{}, false
+	}
+	var doc struct {
+		Runs []loadStats `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Logf("unreadable serve baseline: %v", err)
+		return loadStats{}, false
+	}
+	for _, r := range doc.Runs {
+		if r.Clients == 64 && r.Mode == "batched" {
+			return r, true
+		}
+	}
+	return loadStats{}, false
+}
+
+// TestServeBenchHarnessSmoke keeps the bench harness compiling and
+// executable in the ordinary test run (tiny load, no JSON output).
+func TestServeBenchHarnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	s := New(Config{Workers: 1, MaxBatch: 8, FlushInterval: time.Millisecond,
+		QueueCap: 256, RequestTimeout: 30 * time.Second})
+	if err := s.Register("h2", h2Net(t), numfmt.FP32); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st := runLoad(t, s, 4, 5)
+	if st.OK != st.Requests {
+		t.Fatalf("smoke load dropped requests: %+v", st)
+	}
+}

@@ -5,14 +5,19 @@
 // Architecture (all stdlib):
 //
 //	handler -> bounded admission queue -> dynamic micro-batcher -> worker pool
-//	            (503 + Retry-After        (flush on max batch      (one Network
-//	             when full)                size or deadline)         replica each)
+//	            (503 + Retry-After        (flush on max batch      (one compiled
+//	             when full)                size or deadline)         Engine each)
 //
 // Each registered model owns one admission queue, one batcher goroutine
 // and Config.Workers worker goroutines. A worker holds a private
-// nn.Network replica (nn.Network.Clone) because a shared *nn.Network is
-// not goroutine-safe: Forward caches per-layer state for Backward and
-// lazily refreshes spectral estimates. The batcher gives the service its
+// compiled inference engine (nn.CompileInference) rather than a full
+// nn.Network clone: engines share the served network's weights as
+// read-only views — no per-worker weight duplication, no backward-cache
+// baggage — while each engine's private buffer arena gives the worker
+// the mutable per-call state a shared *nn.Network cannot (Forward on a
+// network caches per-layer state for Backward). Engine.Forward is
+// bit-identical to Network.Forward, so the model's error-flow analysis
+// applies to the served path verbatim. The batcher gives the service its
 // throughput: requests arriving within FlushInterval of each other are
 // coalesced into one (features x batch) forward pass, amortizing
 // per-call dispatch and allocation overhead across the batch.
@@ -41,7 +46,6 @@ import (
 	"github.com/scidata/errprop/internal/nn"
 	"github.com/scidata/errprop/internal/numfmt"
 	"github.com/scidata/errprop/internal/quant"
-	"github.com/scidata/errprop/internal/tensor"
 )
 
 // Config tunes the service. The zero value is usable; every field has a
@@ -56,7 +60,7 @@ type Config struct {
 	// QueueCap bounds the per-model admission queue (default 1024). A
 	// full queue rejects with 503 + Retry-After instead of blocking.
 	QueueCap int
-	// Workers is the number of network replicas serving each model
+	// Workers is the number of compiled inference engines serving each model
 	// (default 4).
 	Workers int
 	// RequestTimeout bounds each request's time in queue + execution
@@ -168,8 +172,11 @@ type item struct {
 
 // Register adds a named model served at weight format f. The network is
 // quantized once at registration (f != FP32), analyzed for its error
-// bounds, and cloned into Config.Workers replicas; net itself is kept
-// full-precision for /v1/plan. The network must carry its Spec.
+// bounds, and compiled into Config.Workers inference engines sharing the
+// serving network's weights (nn.CompileInference — no per-worker weight
+// copies); net itself is kept full-precision for /v1/plan. The output
+// dimension comes from the engine's static shape inference, not a data
+// probe. The network must carry its Spec.
 func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty model name")
@@ -197,13 +204,13 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 		return fmt.Errorf("serve: serializing %q for checksum: %w", name, err)
 	}
 	sum := integrity.ChecksumString(integrity.Checksum(serialized.Bytes()))
-	replicas := make([]*nn.Network, s.cfg.Workers)
-	for i := range replicas {
-		c, err := serving.Clone()
+	engines := make([]*nn.Engine, s.cfg.Workers)
+	for i := range engines {
+		eng, err := nn.CompileInference(serving, s.cfg.MaxBatch)
 		if err != nil {
-			return fmt.Errorf("serve: replicating %q: %w", name, err)
+			return fmt.Errorf("serve: compiling inference engine for %q: %w", name, err)
 		}
-		replicas[i] = c
+		engines[i] = eng
 	}
 	m := &model{
 		name:     name,
@@ -211,7 +218,7 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 		format:   f,
 		analysis: an,
 		inDim:    net.InputDim,
-		outDim:   probeOutputDim(replicas[0]),
+		outDim:   engines[0].OutputDim(),
 		checksum: sum,
 		queue:    make(chan *item, s.cfg.QueueCap),
 		work:     make(chan []*item),
@@ -230,19 +237,12 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 	}
 	s.models[name] = m
 
-	m.wg.Add(1 + len(replicas))
+	m.wg.Add(1 + len(engines))
 	go m.batchLoop(s.cfg.MaxBatch, s.cfg.FlushInterval)
-	for _, rep := range replicas {
-		go m.workLoop(rep)
+	for _, eng := range engines {
+		go m.workLoop(eng)
 	}
 	return nil
-}
-
-// probeOutputDim runs one zero sample through the network to learn its
-// output feature count.
-func probeOutputDim(net *nn.Network) int {
-	out := net.Forward(tensor.NewMatrix(net.InputDim, 1), false)
-	return out.Rows
 }
 
 // Models lists registered model names (sorted by map iteration — callers
