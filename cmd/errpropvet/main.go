@@ -3,16 +3,27 @@
 //
 //	go run ./cmd/errpropvet ./...
 //	go run ./cmd/errpropvet -json -only floatcompare,droppederr ./internal/core
+//	go run ./cmd/errpropvet -baseline errpropvet.baseline.json ./...
 //
 // It exits 0 when the tree is clean, 1 when findings were reported and
 // 2 on driver errors. Findings are suppressed per line with
 // //lint:ignore <analyzer> <reason>; see README "Static analysis".
+//
+// With -baseline, previously recorded findings are tolerated and only
+// NEW findings fail the run — the CI gate mode. -update-baseline
+// rewrites the baseline file from the current findings instead.
+//
+// The interprocedural analyzers (walltime, boundflow) propagate facts
+// seeded by //errprop:deterministic and //errprop:bound-source
+// annotations across every package loaded in one invocation; run over
+// ./... (as CI does) so cross-package call chains are visible.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,13 +34,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("errpropvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	pkgFilter := fs.String("pkg", "", "only analyze packages whose import path contains this substring")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	baseline := fs.String("baseline", "", "baseline file: tolerate recorded findings, fail only on new ones")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from current findings and exit 0")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: errpropvet [flags] <package patterns>\n\n")
 		fmt.Fprintf(stderr, "Runs the errprop static-analysis suite (see README \"Static analysis\").\n\n")
@@ -54,6 +67,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return 0
 	}
+	if *updateBaseline && *baseline == "" {
+		fmt.Fprintln(stderr, "errpropvet: -update-baseline requires -baseline <file>")
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		fs.Usage()
@@ -71,7 +88,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	var findings []analyze.Finding
+	// Load every selected package first: the interprocedural fact store
+	// and call graph span the whole loaded set.
+	var pkgs []*analyze.Package
 	for _, t := range targets {
 		if *pkgFilter != "" && !strings.Contains(t.Path, *pkgFilter) {
 			continue
@@ -81,8 +100,37 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	prog := analyze.NewProgram(pkgs)
+	var findings []analyze.Finding
+	findings = append(findings, prog.BadAnnotations...)
+	for _, pkg := range pkgs {
 		findings = append(findings, analyze.CheckDirectives(pkg)...)
-		findings = append(findings, analyze.Run(pkg, analyzers)...)
+	}
+	findings = append(findings, analyze.RunProgram(prog, analyzers)...)
+
+	if *baseline != "" {
+		if *updateBaseline {
+			b := analyze.NewBaseline(findings, loader.ModuleDir)
+			if err := analyze.WriteBaseline(*baseline, b); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "errpropvet: baseline %s updated (%d entries)\n", *baseline, len(b.Entries))
+			return 0
+		}
+		b, err := analyze.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		total := len(findings)
+		findings = analyze.FilterBaseline(findings, b, loader.ModuleDir)
+		if n := total - len(findings); n > 0 {
+			fmt.Fprintf(stderr, "errpropvet: %d baselined finding(s) tolerated\n", n)
+		}
 	}
 
 	if *jsonOut {

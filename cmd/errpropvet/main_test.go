@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/scidata/errprop/internal/analyze"
+)
+
+// dirtyFixture returns the absolute path of a fixture package that
+// carries known findings, used to drive the driver end to end.
+func dirtyFixture(t *testing.T) string {
+	t.Helper()
+	l, err := analyze.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(l.ModuleDir, "internal", "analyze", "testdata", "src", "maporder_dirty")
+}
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestBaselineGate walks the CI gate's life cycle: a dirty tree fails,
+// recording a baseline makes it pass, and a baseline that does not cover
+// the findings fails again — the "new finding" case.
+func TestBaselineGate(t *testing.T) {
+	fixture := dirtyFixture(t)
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+
+	// Without a baseline the dirty fixture fails outright.
+	code, stdout, _ := runVet(t, fixture)
+	if code != 1 {
+		t.Fatalf("dirty fixture: exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "maporder") {
+		t.Fatalf("dirty fixture produced no maporder findings:\n%s", stdout)
+	}
+
+	// -update-baseline records the current findings and exits 0.
+	code, _, stderr := runVet(t, "-baseline", baseline, "-update-baseline", fixture)
+	if code != 0 {
+		t.Fatalf("-update-baseline: exit %d\n%s", code, stderr)
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+
+	// With the recorded baseline the same tree passes.
+	code, stdout, stderr = runVet(t, "-baseline", baseline, fixture)
+	if code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "tolerated") {
+		t.Fatalf("baselined run did not report tolerated findings:\n%s", stderr)
+	}
+
+	// An empty baseline covers nothing: every finding is "new" and the
+	// gate fails — this is what a regression looks like in CI.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := analyze.WriteBaseline(empty, &analyze.Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runVet(t, "-baseline", empty, fixture)
+	if code != 1 {
+		t.Fatalf("empty baseline: exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "maporder") {
+		t.Fatalf("empty-baseline run hid the findings:\n%s", stdout)
+	}
+}
+
+func TestUpdateBaselineRequiresBaseline(t *testing.T) {
+	code, _, stderr := runVet(t, "-update-baseline", dirtyFixture(t))
+	if code != 2 {
+		t.Fatalf("-update-baseline without -baseline: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-baseline") {
+		t.Fatalf("unhelpful error: %s", stderr)
+	}
+}
+
+func TestListAndOnly(t *testing.T) {
+	code, stdout, _ := runVet(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, name := range []string{"maporder", "walltime", "gororder", "boundflow", "ignorestale"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list missing %s:\n%s", name, stdout)
+		}
+	}
+
+	// -only with a filtered suite: the maporder fixture stays dirty under
+	// -only maporder but is clean under -only floatcompare.
+	fixture := dirtyFixture(t)
+	if code, _, _ := runVet(t, "-only", "maporder", fixture); code != 1 {
+		t.Errorf("-only maporder on dirty fixture: exit %d, want 1", code)
+	}
+	if code, stdout, _ := runVet(t, "-only", "floatcompare", fixture); code != 0 {
+		t.Errorf("-only floatcompare on maporder fixture: exit %d, want 0\n%s", code, stdout)
+	}
+}

@@ -53,6 +53,10 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Path is the package import path (used by Match and findings).
 	Path string
+	// Prog is the whole-analysis view: module call graph plus the
+	// propagated fact store (see NewProgram). Interprocedural analyzers
+	// (walltime, boundflow) consult it; local analyzers ignore it.
+	Prog *Program
 
 	findings *[]Finding
 }
@@ -89,6 +93,11 @@ func All() []*Analyzer {
 		DroppedErr,
 		NonFinite,
 		Hotalloc,
+		MapOrder,
+		WallTime,
+		GoroOrder,
+		BoundFlow,
+		IgnoreStale,
 	}
 }
 
@@ -116,33 +125,81 @@ func ByName(names string) ([]*Analyzer, error) {
 }
 
 // Run executes the analyzers over one loaded package, drops suppressed
-// findings, and returns the rest sorted by position.
+// findings, and returns the rest sorted by position. Interprocedural
+// facts are computed from this package alone; multi-package analysis
+// goes through NewProgram + RunProgram (the CLI path).
 func Run(pkg *Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
+	return RunProgram(NewProgram([]*Package{pkg}), analyzers)
+}
+
+// RunProgram executes the analyzers over every package in the program,
+// sharing one call graph and fact store across packages. Suppressed
+// findings are dropped; when IgnoreStale is among the analyzers, every
+// //lint:ignore directive that (a) names only analyzers that actually
+// ran and (b) suppressed nothing is reported as stale.
+func RunProgram(prog *Program, analyzers []*Analyzer) []Finding {
+	active := map[string]bool{}
+	staleCheck := false
+	var real []*Analyzer
 	for _, a := range analyzers {
-		if a.Match != nil && !a.Match(pkg.Path) {
+		if a.Name == IgnoreStale.Name {
+			staleCheck = true
 			continue
 		}
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			Path:      pkg.Path,
-			findings:  &findings,
-		}
-		a.Run(pass)
+		active[a.Name] = true
+		real = append(real, a)
 	}
-	sup := collectSuppressions(pkg.Fset, pkg.Files)
-	kept := findings[:0]
-	for _, f := range findings {
-		if !sup.covers(f) {
-			kept = append(kept, f)
+	// "*" directives suppress every analyzer, so their staleness can only
+	// be judged when every real analyzer ran.
+	fullSuite := true
+	for _, a := range All() {
+		if a.Run != nil && !active[a.Name] {
+			fullSuite = false
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Position, kept[j].Position
+
+	var all []Finding
+	for _, pkg := range prog.Packages {
+		var findings []Finding
+		for _, a := range real {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+				Prog:      prog,
+				findings:  &findings,
+			}
+			a.Run(pass)
+		}
+		dirs, index := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, f := range findings {
+			if !index.covers(f) {
+				all = append(all, f)
+			}
+		}
+		if staleCheck {
+			for _, d := range dirs {
+				if d.used > 0 || !d.judgeable(active, fullSuite) {
+					continue
+				}
+				all = append(all, Finding{
+					Analyzer: IgnoreStale.Name,
+					Package:  pkg.Path,
+					Position: d.pos,
+					Message: fmt.Sprintf("stale //lint:ignore %s: no finding on this or the next line; delete the directive",
+						strings.Join(d.names, ",")),
+				})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Position, all[j].Position
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -152,25 +209,53 @@ func Run(pkg *Package, analyzers []*Analyzer) []Finding {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return kept[i].Analyzer < kept[j].Analyzer
+		return all[i].Analyzer < all[j].Analyzer
 	})
-	return kept
+	return all
 }
 
-// suppressions maps file -> line -> analyzer names suppressed on that
-// line ("*" suppresses every analyzer).
-type suppressions map[string]map[int]map[string]bool
+// directive is one parsed //lint:ignore with its suppression-use count.
+type directive struct {
+	pos   token.Position
+	names []string
+	used  int
+}
 
-func (s suppressions) covers(f Finding) bool {
-	lines := s[f.Position.Filename]
-	if lines == nil {
-		return false
+// judgeable reports whether staleness can be decided for this directive
+// given the set of analyzers that ran: every named analyzer must have
+// run, else "suppressed nothing" may just mean "its analyzer was off".
+func (d *directive) judgeable(active map[string]bool, fullSuite bool) bool {
+	for _, n := range d.names {
+		if n == "*" {
+			if !fullSuite {
+				return false
+			}
+			continue
+		}
+		if !active[n] {
+			return false
+		}
 	}
-	names := lines[f.Position.Line]
-	if names == nil {
-		return false
+	return true
+}
+
+// suppressionIndex maps file -> line -> directives covering that line.
+type suppressionIndex map[string]map[int][]*directive
+
+// covers reports whether a directive suppresses f, counting the use on
+// the directive so stale ones can be told apart.
+func (s suppressionIndex) covers(f Finding) bool {
+	hit := false
+	for _, d := range s[f.Position.Filename][f.Position.Line] {
+		for _, n := range d.names {
+			if n == f.Analyzer || n == "*" {
+				d.used++
+				hit = true
+				break
+			}
+		}
 	}
-	return names[f.Analyzer] || names["*"]
+	return hit
 }
 
 const ignoreDirective = "lint:ignore"
@@ -180,8 +265,9 @@ const ignoreDirective = "lint:ignore"
 // comment) and on the following line (comment above the statement). A
 // directive without a reason is itself surfaced as a malformed-directive
 // finding by the driver (see CheckDirectives).
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	sup := suppressions{}
+func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]*directive, suppressionIndex) {
+	var dirs []*directive
+	index := suppressionIndex{}
 	for _, file := range files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -190,23 +276,20 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				lines := sup[pos.Filename]
+				d := &directive{pos: pos, names: names}
+				dirs = append(dirs, d)
+				lines := index[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					sup[pos.Filename] = lines
+					lines = map[int][]*directive{}
+					index[pos.Filename] = lines
 				}
 				for _, ln := range []int{pos.Line, pos.Line + 1} {
-					if lines[ln] == nil {
-						lines[ln] = map[string]bool{}
-					}
-					for _, n := range names {
-						lines[ln][n] = true
-					}
+					lines[ln] = append(lines[ln], d)
 				}
 			}
 		}
 	}
-	return sup
+	return dirs, index
 }
 
 // parseIgnore parses "//lint:ignore name[,name] reason". It returns

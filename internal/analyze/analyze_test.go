@@ -87,6 +87,18 @@ func TestFixtures(t *testing.T) {
 		{"nonfinite_dirty", "fixture/internal/core/nonfinite_dirty"},
 		{"hotalloc_clean", "fixture/internal/nn/hotalloc_clean"},
 		{"hotalloc_dirty", "fixture/internal/serve/hotalloc_dirty"},
+		{"maporder_clean", "fixture/maporder_clean"},
+		{"maporder_dirty", "fixture/maporder_dirty"},
+		{"walltime_clean", "fixture/walltime_clean"},
+		{"walltime_dirty", "fixture/walltime_dirty"},
+		// The hpcio fixture's import path puts it in the simulated-time
+		// package family: walltime needs no annotation there.
+		{"walltime_hpcio_dirty", "fixture/internal/hpcio/walltime_dirty"},
+		{"gororder_clean", "fixture/gororder_clean"},
+		{"gororder_dirty", "fixture/gororder_dirty"},
+		{"boundflow_clean", "fixture/boundflow_clean"},
+		{"boundflow_dirty", "fixture/boundflow_dirty"},
+		{"ignorestale_mixed", "fixture/ignorestale_mixed"},
 		{"suppress", "fixture/suppress"},
 	}
 	for _, tc := range cases {

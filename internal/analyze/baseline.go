@@ -1,0 +1,111 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is a recorded set of accepted findings. The CI gate compares
+// a fresh run against it and fails only on findings the baseline does
+// not cover, so a new analyzer (or a newly annotated root) can land
+// without forcing a big-bang cleanup: record the current state, burn it
+// down incrementally, and still catch every regression from day one.
+//
+// Entries key on (analyzer, file, message) with an occurrence count —
+// deliberately NOT on line numbers, which churn with every unrelated
+// edit above the finding. Moving a baselined finding around a file does
+// not trip the gate; adding a second identical one does.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted (analyzer, file, message) with the
+// number of occurrences accepted.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is the module-relative path (slash-separated) of the finding.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// relFile renders a finding's file module-relative for stable baselines
+// across checkouts.
+func relFile(moduleDir, filename string) string {
+	if rel, err := filepath.Rel(moduleDir, filename); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// NewBaseline records findings as a baseline.
+func NewBaseline(findings []Finding, moduleDir string) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, f := range findings {
+		counts[baselineKey{f.Analyzer, relFile(moduleDir, f.Position.Filename), f.Message}]++
+	}
+	b := &Baseline{Entries: make([]BaselineEntry, 0, len(counts))}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline writes the baseline as indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analyze: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// FilterBaseline returns the findings not covered by the baseline: each
+// (analyzer, file, message) key absorbs up to its accepted count, in
+// the sorted order Run produces, and everything beyond that is new.
+func FilterBaseline(findings []Finding, b *Baseline, moduleDir string) []Finding {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	var fresh []Finding
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, relFile(moduleDir, f.Position.Filename), f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}

@@ -1,0 +1,131 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BoundFlow polices the thread from achieved codec error bounds into
+// the Inequality (3) accounting. Functions annotated
+// //errprop:bound-source (and, via fixed-point propagation, functions
+// that return a bound obtained from one) produce float results that ARE
+// the certificate: the measured reconstruction error, the predicted QoI
+// bound. Dropping one on the floor leaves downstream code certifying a
+// bound it never received.
+//
+// Two shapes are reported:
+//
+//   - a call whose float results are ALL discarded — every one assigned
+//     to the blank identifier, or a bare call statement;
+//   - a float result assigned to a local variable that is never read
+//     afterwards (the quiet version of the same bug).
+//
+// A call that keeps at least one float result is not flagged: using the
+// L2 bound and discarding the L-infinity one is a norm choice, not a
+// dropped certificate. This is an approximation of "flows into core
+// bound accounting": the analyzer demands the bound be *consumed
+// somewhere*, and the dynamic soundness sweep remains the oracle that
+// the consumption is correct.
+var BoundFlow = &Analyzer{
+	Name: "boundflow",
+	Doc:  "flags achieved error bounds (from //errprop:bound-source functions) discarded via _ or never used",
+	Run:  runBoundFlow,
+}
+
+func runBoundFlow(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if name, idx := boundSourceCall(p, call); len(idx) > 0 {
+						p.Reportf(call.Pos(), "achieved error bound from %s is discarded (call statement drops every result); thread it into the bound accounting", name)
+					}
+				case *ast.AssignStmt:
+					p.checkBoundAssign(file, st)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkBoundAssign flags blank or never-read destinations of a
+// bound-source call's float results.
+func (p *Pass) checkBoundAssign(file *ast.File, st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, idx := boundSourceCall(p, call)
+	if len(idx) == 0 {
+		return
+	}
+	allBlank := true
+	for _, i := range idx {
+		if i >= len(st.Lhs) {
+			allBlank = false
+			continue
+		}
+		id, ok := st.Lhs[i].(*ast.Ident)
+		if !ok {
+			allBlank = false
+			continue // field/element destination: stored, assume consumed
+		}
+		if id.Name == "_" {
+			continue
+		}
+		allBlank = false
+		if obj, isDef := p.TypesInfo.Defs[id]; isDef && obj != nil && !objectUsed(p.TypesInfo, obj) {
+			p.Reportf(id.Pos(), "achieved error bound from %s is assigned to %s but never read; thread it into the bound accounting", name, id.Name)
+		}
+	}
+	if allBlank {
+		p.Reportf(call.Pos(), "every achieved error bound from %s is assigned to _; thread one into the bound accounting", name)
+	}
+}
+
+// boundSourceCall resolves call to a bound-source function and returns
+// its display name plus the tuple indexes of its float results.
+func boundSourceCall(p *Pass, call *ast.CallExpr) (string, []int) {
+	f, ok := calleeFunc(p.TypesInfo, call)
+	if !ok {
+		return "", nil
+	}
+	if !p.Prog.Facts.IsBoundSource(funcSymbol(f)) {
+		return "", nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return "", nil
+	}
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isFloat(sig.Results().At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return f.Name(), idx
+}
+
+// objectUsed reports whether obj is read anywhere in the package after
+// its definition (any Uses entry).
+func objectUsed(info *types.Info, obj types.Object) bool {
+	for _, used := range info.Uses {
+		if used == obj {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Symbol identifies a function across the loaded package set. It is the
+// types.Func full name ("pkg/path.Func" or "(*pkg/path.Recv).Method"),
+// which is stable across independent type-check runs of the same source —
+// the source importer gives each directly loaded package its own
+// types.Package, so object identity cannot be used as a cross-package
+// key, but the rendered full name can.
+type Symbol string
+
+// FuncInfo is one function declaration found in a loaded package.
+type FuncInfo struct {
+	Sym  Symbol
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// CallGraph is the module-level call graph over every loaded package:
+// nodes are Symbols, edges are syntactically resolvable calls (direct
+// function calls and method calls on concrete receivers). Calls through
+// interface methods, function-typed values and reflection are not
+// resolved to their dynamic targets; the edge ends at the interface
+// method's own symbol. That keeps the graph an under-approximation —
+// fine for lint-grade fact propagation, wrong for soundness proofs, and
+// exactly why the dynamic golden/equivalence tests remain the oracle of
+// last resort (DESIGN.md).
+type CallGraph struct {
+	// Decls maps every function declared in the loaded packages.
+	Decls map[Symbol]*FuncInfo
+	// Callees maps caller -> set of callees.
+	Callees map[Symbol]map[Symbol]bool
+	// Callers is the reverse edge set.
+	Callers map[Symbol]map[Symbol]bool
+}
+
+func newCallGraph() *CallGraph {
+	return &CallGraph{
+		Decls:   map[Symbol]*FuncInfo{},
+		Callees: map[Symbol]map[Symbol]bool{},
+		Callers: map[Symbol]map[Symbol]bool{},
+	}
+}
+
+// addEdge records caller -> callee.
+func (g *CallGraph) addEdge(caller, callee Symbol) {
+	if g.Callees[caller] == nil {
+		g.Callees[caller] = map[Symbol]bool{}
+	}
+	g.Callees[caller][callee] = true
+	if g.Callers[callee] == nil {
+		g.Callers[callee] = map[Symbol]bool{}
+	}
+	g.Callers[callee][caller] = true
+}
+
+// CalleesOf returns the sorted callee list of sym (empty when none).
+func (g *CallGraph) CalleesOf(sym Symbol) []Symbol {
+	return sortedSymbols(g.Callees[sym])
+}
+
+// CallersOf returns the sorted caller list of sym (empty when none).
+func (g *CallGraph) CallersOf(sym Symbol) []Symbol {
+	return sortedSymbols(g.Callers[sym])
+}
+
+func sortedSymbols(set map[Symbol]bool) []Symbol {
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// funcSymbol renders the canonical symbol for a types.Func.
+func funcSymbol(f *types.Func) Symbol { return Symbol(f.FullName()) }
+
+// declSymbol resolves a FuncDecl to its symbol via the type info's Defs.
+func declSymbol(info *types.Info, fn *ast.FuncDecl) (Symbol, *types.Func, bool) {
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return "", nil, false
+	}
+	return funcSymbol(obj), obj, true
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or ok=false for calls the static graph cannot follow (function-typed
+// values, type conversions, builtins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f, true
+			}
+			return nil, false
+		}
+		// Package-qualified call: pkg.Func has no Selection entry; the
+		// Sel ident resolves directly.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// addPackage walks every function declaration in pkg, registering the
+// declaration and one edge per statically resolvable call in its body.
+// Calls inside function literals are attributed to the enclosing
+// declaration: the literal usually runs on behalf of its host (directly,
+// deferred, or as a spawned worker), and over-attributing keeps
+// downward-propagated facts like "runs in a deterministic context"
+// conservative rather than blind.
+func (g *CallGraph) addPackage(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			sym, obj, ok := declSymbol(pkg.Info, fn)
+			if !ok {
+				continue
+			}
+			g.Decls[sym] = &FuncInfo{Sym: sym, Pkg: pkg, Decl: fn, Obj: obj}
+			if fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee, ok := calleeFunc(pkg.Info, call); ok {
+					g.addEdge(sym, funcSymbol(callee))
+				}
+				return true
+			})
+		}
+	}
+}

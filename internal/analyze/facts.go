@@ -1,0 +1,308 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Annotation vocabulary. Annotations live in a function's doc comment
+// and seed the interprocedural fact store:
+//
+//	//errprop:deterministic [reason]
+//	//errprop:bound-source [reason]
+//
+// "deterministic" declares the function a root of a deterministic
+// context: its result must be a pure function of its inputs, with
+// fixed-order float computation and no wall-clock or iteration-order
+// dependence. The fact propagates DOWN the call graph — everything a
+// deterministic root (transitively) calls runs in a deterministic
+// context and is policed by the walltime analyzer.
+//
+// "bound-source" declares that the function's float results carry an
+// achieved error bound (e.g. a codec's measured reconstruction error)
+// that the caller must thread into the Inequality (3) accounting. The
+// fact propagates UP the call graph through return-wrappers: a function
+// that returns a value obtained from a bound-source is itself a
+// bound-source, so boundflow sees through thin forwarding helpers.
+const (
+	annotationPrefix = "//errprop:"
+	AnnDeterministic = "deterministic"
+	AnnBoundSource   = "bound-source"
+)
+
+// Facts is the per-function fact store computed by NewProgram.
+type Facts struct {
+	// Deterministic maps each function known to run in a deterministic
+	// context to a human-readable origin ("annotated" or the root it is
+	// reachable from).
+	Deterministic map[Symbol]string
+	// BoundSource maps each function whose float results carry an
+	// achieved error bound to its origin.
+	BoundSource map[Symbol]string
+}
+
+// DeterministicContext reports whether sym runs in a deterministic
+// context and, if so, why.
+func (f *Facts) DeterministicContext(sym Symbol) (string, bool) {
+	why, ok := f.Deterministic[sym]
+	return why, ok
+}
+
+// IsBoundSource reports whether sym's float results carry an achieved
+// error bound.
+func (f *Facts) IsBoundSource(sym Symbol) bool {
+	_, ok := f.BoundSource[sym]
+	return ok
+}
+
+// Program is the whole-analysis view over every loaded package: the
+// module call graph plus the propagated fact store. Analyzers reach it
+// through Pass.Prog. Facts are computed from the packages actually
+// loaded — running the driver on a subset of the module sees a subset
+// of the annotations, so the CI gate runs it over ./... .
+type Program struct {
+	Packages []*Package
+	Graph    *CallGraph
+	Facts    *Facts
+
+	// BadAnnotations are malformed //errprop: directives (unknown verb,
+	// not attached to a function); surfaced as driver findings so a typo
+	// cannot silently fail to seed a fact.
+	BadAnnotations []Finding
+}
+
+// NewProgram builds the call graph over pkgs, seeds facts from
+// annotations, and runs fixed-point propagation.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Packages: pkgs,
+		Graph:    newCallGraph(),
+		Facts: &Facts{
+			Deterministic: map[Symbol]string{},
+			BoundSource:   map[Symbol]string{},
+		},
+	}
+	for _, pkg := range pkgs {
+		prog.Graph.addPackage(pkg)
+	}
+	prog.seedFacts()
+	prog.propagateDeterministic()
+	prog.propagateBoundSources()
+	return prog
+}
+
+// parseAnnotation splits an //errprop: comment into its verb; ok=false
+// for comments that are not errprop annotations at all.
+func parseAnnotation(text string) (verb string, ok bool) {
+	rest, found := strings.CutPrefix(strings.TrimSpace(text), annotationPrefix)
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", true // bare "//errprop:" — malformed, caught by caller
+	}
+	return fields[0], true
+}
+
+// seedFacts scans every declaration's doc comment for annotations.
+// Annotations on non-function declarations or with unknown verbs are
+// recorded as BadAnnotations.
+func (p *Program) seedFacts() {
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					verb, isAnn := parseAnnotation(c.Text)
+					if !isAnn {
+						continue
+					}
+					fn := p.annotatedFunc(pkg, file, cg)
+					switch {
+					case fn == nil:
+						p.badAnnotation(pkg, c, "annotation is not attached to a function declaration")
+					case verb == AnnDeterministic:
+						sym, _, ok := declSymbol(pkg.Info, fn)
+						if ok {
+							p.Facts.Deterministic[sym] = "annotated //errprop:deterministic"
+						}
+					case verb == AnnBoundSource:
+						sym, obj, ok := declSymbol(pkg.Info, fn)
+						if !ok {
+							break
+						}
+						if countFloatResults(obj) == 0 {
+							p.badAnnotation(pkg, c, "bound-source %s has no float results to carry a bound", fn.Name.Name)
+							break
+						}
+						p.Facts.BoundSource[sym] = "annotated //errprop:bound-source"
+					default:
+						p.badAnnotation(pkg, c, "unknown annotation verb %q (want %s or %s)", verb, AnnDeterministic, AnnBoundSource)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (p *Program) badAnnotation(pkg *Package, c *ast.Comment, format string, args ...any) {
+	p.BadAnnotations = append(p.BadAnnotations, Finding{
+		Analyzer: "driver",
+		Package:  pkg.Path,
+		Position: pkg.Fset.Position(c.Pos()),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// annotatedFunc returns the function declaration whose doc comment group
+// cg is, or nil when cg is not a function doc comment.
+func (p *Program) annotatedFunc(pkg *Package, file *ast.File, cg *ast.CommentGroup) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc == cg {
+			return fn
+		}
+	}
+	return nil
+}
+
+// countFloatResults counts float32/float64 results in obj's signature.
+func countFloatResults(obj *types.Func) int {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isFloat(sig.Results().At(i).Type()) {
+			n++
+		}
+	}
+	return n
+}
+
+// propagateDeterministic pushes the deterministic fact down call edges
+// to a fixed point: everything reachable from an annotated root runs in
+// a deterministic context.
+func (p *Program) propagateDeterministic() {
+	// Visit in sorted order so the recorded origin ("reachable from X")
+	// does not depend on map iteration order — maporder caught the naive
+	// version of this loop.
+	work := make([]Symbol, 0, len(p.Facts.Deterministic))
+	for sym := range p.Facts.Deterministic {
+		work = append(work, sym)
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+	for len(work) > 0 {
+		sym := work[0]
+		work = work[1:]
+		for _, callee := range p.Graph.CalleesOf(sym) {
+			if _, seen := p.Facts.Deterministic[callee]; seen {
+				continue
+			}
+			p.Facts.Deterministic[callee] = fmt.Sprintf("reachable from deterministic %s", sym)
+			work = append(work, callee)
+		}
+	}
+}
+
+// propagateBoundSources lifts the bound-source fact up through
+// return-wrappers to a fixed point: a function returning a value that
+// came from a bound-source call is itself a bound-source.
+func (p *Program) propagateBoundSources() {
+	for changed := true; changed; {
+		changed = false
+		for sym, info := range p.Graph.Decls {
+			if _, have := p.Facts.BoundSource[sym]; have {
+				continue
+			}
+			if info.Decl.Body == nil || countFloatResults(info.Obj) == 0 {
+				continue
+			}
+			for _, src := range p.returnedCallSymbols(info) {
+				if _, ok := p.Facts.BoundSource[src]; ok {
+					p.Facts.BoundSource[sym] = fmt.Sprintf("returns bound from %s", src)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// returnedCallSymbols collects the symbols of calls whose results may
+// flow into info's return values: calls appearing directly in a return
+// expression, and calls assigned to a local that a return expression
+// names (including named results).
+func (p *Program) returnedCallSymbols(info *FuncInfo) []Symbol {
+	pkg := info.Pkg
+
+	// Objects that reach a return: named results plus idents in returns.
+	returned := map[types.Object]bool{}
+	if res := info.Decl.Type.Results; res != nil {
+		for _, field := range res.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+	}
+	var out []Symbol
+	addCallsIn := func(expr ast.Expr) {
+		ast.Inspect(expr, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee, ok := calleeFunc(pkg.Info, call); ok {
+					out = append(out, funcSymbol(callee))
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, expr := range ret.Results {
+			addCallsIn(expr)
+			if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Second walk: assignments whose LHS is a returned object and whose
+	// RHS contains a resolvable call.
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		feeds := false
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pkg.Info.Uses[id]
+			}
+			if obj != nil && returned[obj] {
+				feeds = true
+			}
+		}
+		if feeds {
+			for _, rhs := range as.Rhs {
+				addCallsIn(rhs)
+			}
+		}
+		return true
+	})
+	return out
+}

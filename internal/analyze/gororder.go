@@ -1,0 +1,199 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroOrder flags goroutines that accumulate into shared floating-point
+// state: a `go`-launched function literal (or a local function literal
+// it calls) compound-assigning to a float variable captured from the
+// enclosing function. Even with a mutex making the accesses safe, the
+// accumulation order follows the goroutine schedule, so the float sum
+// differs bit-for-bit run to run — breaking the trainer's invariant
+// that Workers=1 and Workers=N produce identical trajectories.
+//
+// The sanctioned idiom (nn.Trainer) is untouched: workers store into
+// per-shard slots (plain assignment, or element access indexed by a
+// goroutine-local variable) and a fixed pairwise reduction combines the
+// slots after the goroutines join.
+var GoroOrder = &Analyzer{
+	Name: "gororder",
+	Doc:  "flags shared float accumulation across goroutines without a fixed reduction order",
+	Run:  runGoroOrder,
+}
+
+func runGoroOrder(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			locals := localFuncLits(p.TypesInfo, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit := goTargetLit(p.TypesInfo, g.Call, locals); lit != nil {
+					checkGoroBody(p, lit, locals, map[*ast.FuncLit]bool{})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// localFuncLits maps local variables to the function literals assigned
+// to them (the `run := func(...) {...}; go func() { run(w) }()` idiom).
+func localFuncLits(info *types.Info, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lit, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = lit
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = lit
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// goTargetLit resolves the body a go statement will run, when it is a
+// function literal or a local variable bound to one.
+func goTargetLit(info *types.Info, call *ast.CallExpr, locals map[types.Object]*ast.FuncLit) *ast.FuncLit {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil {
+			return locals[obj]
+		}
+	}
+	return nil
+}
+
+// checkGoroBody walks one goroutine body, flagging float accumulation
+// into variables declared outside it; calls to other local function
+// literals are followed (they execute on this goroutine).
+func checkGoroBody(p *Pass, lit *ast.FuncLit, locals map[types.Object]*ast.FuncLit, seen map[*ast.FuncLit]bool) {
+	if seen[lit] {
+		return
+	}
+	seen[lit] = true
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range st.Lhs {
+					checkGoroAccum(p, lit, lhs)
+				}
+			case token.ASSIGN:
+				// x = x + v with captured x is the same accumulation.
+				for i, lhs := range st.Lhs {
+					if i < len(st.Rhs) && selfAccum(p.TypesInfo, lhs, st.Rhs[i]) {
+						checkGoroAccum(p, lit, lhs)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok {
+				if obj := p.TypesInfo.Uses[id]; obj != nil {
+					if inner := locals[obj]; inner != nil {
+						checkGoroBody(p, inner, locals, seen)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkGoroAccum reports lhs when it is float-typed, rooted outside the
+// goroutine, and not a per-slot element access indexed by a
+// goroutine-local variable.
+func checkGoroAccum(p *Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	t := p.TypesInfo.TypeOf(lhs)
+	if t == nil || !isFloat(t) {
+		return
+	}
+	obj := rootObject(p.TypesInfo, lhs)
+	if obj == nil || withinNode(lit, obj.Pos()) {
+		return // goroutine-local accumulator: joins via channel/slot later
+	}
+	// Per-slot idiom: s[i] += v with i local to the goroutine writes a
+	// slot no other goroutine touches; the cross-slot reduction happens
+	// after the join in a fixed order.
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && indexIsLocal(p.TypesInfo, lit, idx.Index) {
+		return
+	}
+	p.Reportf(lhs.Pos(), "goroutine accumulates into shared float %s: the schedule becomes the reduction order; use per-shard slots and a fixed pairwise reduction after the join (see nn.Trainer)", obj.Name())
+}
+
+// selfAccum reports whether rhs is an arithmetic expression mentioning
+// lhs's root object (x = x + v and friends).
+func selfAccum(info *types.Info, lhs, rhs ast.Expr) bool {
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	obj := rootObject(info, lhs)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// indexIsLocal reports whether every object the index expression reads
+// is declared inside the goroutine body (or its parameters), so each
+// goroutine addresses its own slot.
+func indexIsLocal(info *types.Info, lit *ast.FuncLit, index ast.Expr) bool {
+	local := true
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true // constants, funcs: position-independent
+		}
+		if !withinNode(lit, obj.Pos()) {
+			local = false
+		}
+		return local
+	})
+	return local
+}

@@ -1,0 +1,17 @@
+package analyze
+
+// IgnoreStale is the driver-level staleness check for //lint:ignore
+// directives: a directive that suppressed nothing, while every analyzer
+// it names actually ran, is dead weight — worse, it pre-authorizes a
+// future violation on that line to land silently. RunProgram implements
+// the check itself (Run is nil): it needs the suppression-use counts
+// the finding filter produces, not an AST walk of its own.
+//
+// A directive is only judged when it is judgeable: naming analyzers
+// that were filtered out with -only leaves it untouched, and the
+// wildcard "*" form is judged only when the full suite ran.
+var IgnoreStale = &Analyzer{
+	Name: "ignorestale",
+	Doc:  "flags //lint:ignore directives that no longer suppress any finding",
+	Run:  nil, // special-cased in RunProgram
+}

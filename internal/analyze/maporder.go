@@ -1,0 +1,215 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags ranging over a map where the loop body makes the
+// result depend on iteration order: appending to a slice, writing to a
+// stream/builder/hash, or accumulating into an outer variable with a
+// compound assignment. Go randomizes map iteration order per run, so
+// any such loop produces run-dependent output — fatal for the repo's
+// bit-identity contracts (serialized metrics, reduced float sums,
+// hashed manifests). Integer accumulations are flagged too: they are
+// value-stable but keep iteration order load-bearing in code reviewers
+// must reason about, and sorting keys first is always available.
+//
+// The one recognized escape hatch is append-then-sort: appending map
+// keys to a slice that is later passed to a sort.* call in the same
+// function is the canonical deterministic idiom and is not reported.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags order-dependent loop bodies (append/serialize/reduce/hash) ranging over a map",
+	Run:  runMapOrder,
+}
+
+// mapOrderSinkMethods are method names that serialize or hash their
+// arguments: calling one inside a map-range body commits the map's
+// iteration order to an output stream.
+var mapOrderSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+}
+
+// mapOrderSortFuncs are the sort entry points that legitimize the
+// append-then-sort idiom.
+var mapOrderSortFuncs = map[string]bool{
+	"Strings":        true,
+	"Ints":           true,
+	"Float64s":       true,
+	"Slice":          true,
+	"SliceStable":    true,
+	"Sort":           true,
+	"SortFunc":       true,
+	"SortStableFunc": true,
+}
+
+func runMapOrder(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sorted := sortedIdents(p.TypesInfo, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := p.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+					return true
+				}
+				reportMapOrderBody(p, rng, sorted)
+				return true
+			})
+		}
+	}
+}
+
+// sortedIdents collects objects passed to a sort.* call anywhere in the
+// function: a slice that is sorted after the loop is order-clean no
+// matter how it was filled.
+func sortedIdents(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !mapOrderSortFuncs[sel.Sel.Name] {
+			return true
+		}
+		// Only package-level sort/slices functions, not arbitrary methods.
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := info.Uses[pkgID].(*types.PkgName); !ok || (pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := rootObject(info, arg); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reportMapOrderBody inspects one map-range body for order-dependent
+// operations.
+func reportMapOrderBody(p *Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map-range gets its own visit from runMapOrder;
+			// skipping it here keeps each sink reported exactly once.
+			if _, isMap := p.TypesInfo.TypeOf(st.X).Underlying().(*types.Map); isMap {
+				return false
+			}
+		case *ast.AssignStmt:
+			// append(s, ...) assigned back to s.
+			if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+				for i, rhs := range st.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+						continue
+					}
+					if i < len(st.Lhs) {
+						if obj := rootObject(p.TypesInfo, st.Lhs[i]); obj != nil && sorted[obj] {
+							continue // append-then-sort idiom
+						}
+					}
+					p.Reportf(call.Pos(), "append inside a map-range commits iteration order to the slice; range over sorted keys (or sort the slice afterwards)")
+				}
+				return true
+			}
+			// Compound assignment accumulating into an outer variable.
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range st.Lhs {
+					obj := rootObject(p.TypesInfo, lhs)
+					if obj == nil || withinNode(rng, obj.Pos()) {
+						continue // loop-local accumulator resets every iteration
+					}
+					p.Reportf(st.Pos(), "%s reduces over map iteration order; range over sorted keys to fix the association", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			name := sinkCallName(p.TypesInfo, st)
+			if name == "" {
+				return true
+			}
+			p.Reportf(st.Pos(), "%s inside a map-range serializes in iteration order; range over sorted keys", name)
+			return false // don't descend into the call's own args again
+		}
+		return true
+	})
+}
+
+// sinkCallName reports a serializing callee's name: either a sink
+// method on any receiver (Write, Encode, ...) or an fmt printing
+// function; "" when the call is not a sink. A package-qualified call
+// only counts when the package is fmt — WriteString from some utility
+// package is not a stream method.
+func sinkCallName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !mapOrderSinkMethods[sel.Sel.Name] {
+		return ""
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			if pn.Imported().Path() == "fmt" {
+				return sel.Sel.Name
+			}
+			return ""
+		}
+	}
+	return sel.Sel.Name
+}
+
+// rootObject resolves the base identifier of an lvalue-ish expression
+// (x, x.f, x[i], *x) to its object.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// withinNode reports whether pos falls inside n's source range.
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}

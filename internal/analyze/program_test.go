@@ -1,0 +1,111 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadDiamond loads the diamond fixture (A calls B and C; both call D)
+// and builds its program.
+func loadDiamond(t *testing.T) *Program {
+	t.Helper()
+	l := newTestLoader(t)
+	pkg, err := l.LoadDir(fixtureDir(l, "diamond"), "fixture/diamond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProgram([]*Package{pkg})
+}
+
+func TestDiamondCallGraph(t *testing.T) {
+	prog := loadDiamond(t)
+	g := prog.Graph
+
+	sym := func(name string) Symbol { return Symbol("fixture/diamond." + name) }
+	for _, fn := range []string{"A", "B", "C", "D", "E"} {
+		if g.Decls[sym(fn)] == nil {
+			t.Errorf("Decls missing %s", sym(fn))
+		}
+	}
+	edges := map[Symbol][]Symbol{
+		sym("A"): {sym("B"), sym("C")},
+		sym("B"): {sym("D")},
+		sym("C"): {sym("D")},
+		sym("D"): nil,
+		sym("E"): nil,
+	}
+	for caller, want := range edges {
+		got := g.CalleesOf(caller)
+		if len(got) != len(want) {
+			t.Errorf("CalleesOf(%s) = %v, want %v", caller, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("CalleesOf(%s) = %v, want %v", caller, got, want)
+				break
+			}
+		}
+	}
+	callers := g.CallersOf(sym("D"))
+	if len(callers) != 2 || callers[0] != sym("B") || callers[1] != sym("C") {
+		t.Errorf("CallersOf(D) = %v, want [B C]", callers)
+	}
+}
+
+func TestDiamondFactPropagation(t *testing.T) {
+	prog := loadDiamond(t)
+	sym := func(name string) Symbol { return Symbol("fixture/diamond." + name) }
+
+	// Deterministic flows DOWN from the annotated root A to every
+	// function in the diamond.
+	for _, fn := range []string{"A", "B", "C", "D"} {
+		why, ok := prog.Facts.DeterministicContext(sym(fn))
+		if !ok {
+			t.Errorf("%s should be in a deterministic context", fn)
+			continue
+		}
+		if fn == "A" && !strings.Contains(why, "annotated") {
+			t.Errorf("A's origin = %q, want annotated", why)
+		}
+		if fn != "A" && !strings.Contains(why, "reachable from deterministic") {
+			t.Errorf("%s's origin = %q, want reachability", fn, why)
+		}
+	}
+	if _, ok := prog.Facts.DeterministicContext(sym("E")); ok {
+		t.Error("E is outside the diamond and must not inherit determinism")
+	}
+
+	// Bound-source flows UP from the annotated leaf D through both
+	// return-wrappers to A. B returns D() directly; C stores it in a
+	// local first — both shapes must propagate.
+	for _, fn := range []string{"D", "B", "C", "A"} {
+		if !prog.Facts.IsBoundSource(sym(fn)) {
+			t.Errorf("%s should be a bound-source (D's bound reaches its return)", fn)
+		}
+	}
+	if prog.Facts.IsBoundSource(sym("E")) {
+		t.Error("E returns no bound and must not become a bound-source")
+	}
+	if len(prog.BadAnnotations) != 0 {
+		t.Errorf("unexpected bad annotations: %v", prog.BadAnnotations)
+	}
+}
+
+func TestBadAnnotations(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.LoadDir(fixtureDir(l, "badannotation"), "fixture/badannotation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	if len(prog.BadAnnotations) != 3 {
+		t.Fatalf("want 3 bad annotations (unknown verb, non-function, floatless bound-source), got %d: %v",
+			len(prog.BadAnnotations), prog.BadAnnotations)
+	}
+	for _, f := range prog.BadAnnotations {
+		if f.Analyzer != "driver" {
+			t.Errorf("bad annotation attributed to %q, want driver", f.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package badannotation carries malformed //errprop: annotations, which
+// must surface as driver findings rather than silently seeding nothing.
+package badannotation
+
+// unknown verb
+//
+//errprop:determinstic typo must be caught
+func typoVerb() {}
+
+// annotation not attached to a function declaration
+//
+//errprop:deterministic
+var notAFunc = 1
+
+// bound-source with no float results cannot carry a bound
+//
+//errprop:bound-source
+func noFloats() (int, error) { return 0, nil }

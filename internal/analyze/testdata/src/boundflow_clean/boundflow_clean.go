@@ -1,0 +1,37 @@
+// Package boundflow_clean consumes every achieved bound it measures.
+package boundflow_clean
+
+// measure returns the achieved reconstruction error bounds.
+//
+//errprop:bound-source
+func measure(orig, recon []float64) (linf, l2 float64) {
+	for i := range orig {
+		d := orig[i] - recon[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > linf {
+			linf = d
+		}
+		l2 += d * d
+	}
+	return linf, l2
+}
+
+// measureLinf is a thin wrapper: propagation marks it bound-source too.
+func measureLinf(orig, recon []float64) float64 {
+	linf, _ := measure(orig, recon)
+	return linf
+}
+
+func account(orig, recon []float64, budget float64) bool {
+	linf, l2 := measure(orig, recon)
+	return linf <= budget && l2 <= budget*budget
+}
+
+// keepOne uses the L2 bound and discards the L-infinity one: a norm
+// choice, not a dropped certificate.
+func keepOne(orig, recon []float64, budget float64) bool {
+	_, l2 := measure(orig, recon)
+	return l2 <= budget
+}

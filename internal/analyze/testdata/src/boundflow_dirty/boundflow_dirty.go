@@ -1,0 +1,39 @@
+// Package boundflow_dirty drops achieved bounds on the floor.
+package boundflow_dirty
+
+// measure returns the achieved reconstruction error bounds.
+//
+//errprop:bound-source
+func measure(orig, recon []float64) (linf, l2 float64) {
+	for i := range orig {
+		d := orig[i] - recon[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > linf {
+			linf = d
+		}
+		l2 += d * d
+	}
+	return linf, l2
+}
+
+// wrap forwards the bound; propagation marks it bound-source too.
+func wrap(orig, recon []float64) float64 {
+	linf, _ := measure(orig, recon)
+	return linf
+}
+
+func bareCall(orig, recon []float64) {
+	measure(orig, recon) // want:boundflow
+}
+
+func allBlank(orig, recon []float64) {
+	_, _ = measure(orig, recon) // want:boundflow
+}
+
+// viaWrapper drops a bound that only interprocedural propagation knows
+// is one.
+func viaWrapper(orig, recon []float64) {
+	_ = wrap(orig, recon) // want:boundflow
+}

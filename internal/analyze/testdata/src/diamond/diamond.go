@@ -1,0 +1,31 @@
+// Package diamond is a diamond-shaped call graph (A calls B and C; both
+// call D) exercising fact propagation in both directions: deterministic
+// flows down from A to D along either path, bound-source flows up from
+// D to A through both wrappers.
+package diamond
+
+// A is the deterministic root.
+//
+//errprop:deterministic
+func A() float64 { return B() + C() }
+
+func B() float64 { return D() }
+
+func C() float64 {
+	v := D()
+	return v
+}
+
+// D carries the achieved bound.
+//
+//errprop:bound-source
+func D() float64 { return 0.5 }
+
+// E is outside the diamond: neither fact reaches it.
+func E() float64 {
+	var x float64
+	for i := 0; i < 4; i++ {
+		x += float64(i)
+	}
+	return x
+}

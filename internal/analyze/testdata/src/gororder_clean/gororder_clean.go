@@ -1,0 +1,65 @@
+// Package gororder_clean reduces across goroutines with the sanctioned
+// per-shard-slot idiom (see nn.Trainer).
+package gororder_clean
+
+import "sync"
+
+// shardedSum stores each worker's partial into its own slot — the index
+// is the goroutine-local parameter — and reduces in a fixed pairwise
+// order after the join.
+func shardedSum(xs []float64, workers int) float64 {
+	slots := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(xs); i += workers {
+				slots[w] += xs[i]
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range slots {
+		total += s
+	}
+	return total
+}
+
+// localThenChannel accumulates into a goroutine-local variable and
+// hands the partial over a channel: order never reaches a float sum.
+func localThenChannel(xs []float64) float64 {
+	ch := make(chan float64, 1)
+	go func() {
+		var local float64
+		for _, x := range xs {
+			local += x
+		}
+		ch <- local
+	}()
+	return <-ch
+}
+
+// viaLocalLiteral is the trainer's `run := func(w int)` shape with
+// per-slot writes: still clean through the one-level literal expansion.
+func viaLocalLiteral(xs []float64, workers int) float64 {
+	slots := make([]float64, workers)
+	var wg sync.WaitGroup
+	run := func(w int) {
+		defer wg.Done()
+		for i := w; i < len(xs); i += workers {
+			slots[w] += xs[i]
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go run(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range slots {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,69 @@
+// Package gororder_dirty accumulates into shared floats from
+// goroutines: the schedule becomes the reduction order.
+package gororder_dirty
+
+import "sync"
+
+func racySum(xs []float64, workers int) float64 {
+	var total float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(xs); i += workers {
+				mu.Lock()
+				total += xs[i] // want:gororder
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return total
+}
+
+func selfAssign(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			sum = sum + x // want:gororder
+		}(x)
+	}
+	wg.Wait()
+	return sum
+}
+
+// sharedIndex writes through an index captured from the enclosing
+// function: every goroutine hits the same slot.
+func sharedIndex(xs []float64, slots []float64, j int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			slots[j] += x // want:gororder
+		}(x)
+	}
+	wg.Wait()
+}
+
+// viaLocalLiteral hides the accumulation one literal away; the
+// one-level expansion still sees it.
+func viaLocalLiteral(xs []float64) float64 {
+	var total float64
+	var wg sync.WaitGroup
+	run := func(x float64) {
+		defer wg.Done()
+		total += x // want:gororder
+	}
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) { run(x) }(x)
+	}
+	wg.Wait()
+	return total
+}

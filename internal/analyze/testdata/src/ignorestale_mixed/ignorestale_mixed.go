@@ -1,0 +1,23 @@
+// Package ignorestale_mixed carries one live suppression and two stale
+// ones.
+package ignorestale_mixed
+
+import "math/rand"
+
+// Live: the directive suppresses a real floatcompare finding.
+func equalExact(a, b float64) bool {
+	return a == b //lint:ignore floatcompare exactness is the point here
+}
+
+// Stale: nothing on this line (or the next) trips floatcompare.
+func add(a, b float64) float64 {
+	//lint:ignore floatcompare no comparison here at all // want:ignorestale
+	return a + b
+}
+
+// Stale: the generator is seeded from the parameter now, so the
+// directive kept out of habit suppresses nothing.
+func seededRand(seed int64) float64 {
+	//lint:ignore unseededrand historical; the seed is a parameter today // want:ignorestale
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,56 @@
+// Package maporder_clean ranges over maps only in order-insensitive ways.
+package maporder_clean
+
+import (
+	"sort"
+	"strings"
+)
+
+// Append-then-sort: the canonical deterministic idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Ranging over a slice is always ordered; append is fine.
+func copySlice(in []string) []string {
+	var out []string
+	for _, s := range in {
+		out = append(out, s)
+	}
+	return out
+}
+
+// A loop-local accumulator resets every iteration: no cross-iteration
+// order dependence escapes the loop.
+func localAccum(m map[string][]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, vs := range m {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Keyed writes commute: the result map does not depend on visit order.
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Serializing AFTER sorting the keys is the fix maporder asks for.
+func render(m map[string]int, b *strings.Builder) {
+	for _, k := range sortedKeys(m) {
+		b.WriteString(k)
+	}
+}

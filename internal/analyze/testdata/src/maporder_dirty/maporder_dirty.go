@@ -1,0 +1,40 @@
+// Package maporder_dirty ranges over maps with order-dependent bodies.
+package maporder_dirty
+
+import (
+	"fmt"
+	"strings"
+)
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want:maporder
+	}
+	return out
+}
+
+func reduce(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want:maporder
+	}
+	return total
+}
+
+func serialize(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		b.WriteString(k)          // want:maporder
+		fmt.Fprintf(b, "=%d ", v) // want:maporder
+	}
+}
+
+func nested(outer map[string]map[string]int) []string {
+	var keys []string
+	for _, inner := range outer {
+		for k := range inner {
+			keys = append(keys, k) // want:maporder
+		}
+	}
+	return keys
+}

@@ -1,0 +1,28 @@
+// Package walltime_clean keeps wall-clock reads outside deterministic
+// contexts.
+package walltime_clean
+
+import "time"
+
+// step is a deterministic root; everything it reaches is clock-free.
+//
+//errprop:deterministic
+func step(xs []float64) float64 {
+	return reduce(xs)
+}
+
+func reduce(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// serveLatency is NOT in a deterministic context: measuring request
+// latency with the real clock is exactly what time.Since is for.
+func serveLatency() time.Duration {
+	start := time.Now()
+	reduce([]float64{1, 2, 3})
+	return time.Since(start)
+}

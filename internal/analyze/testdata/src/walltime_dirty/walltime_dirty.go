@@ -1,0 +1,29 @@
+// Package walltime_dirty reads the wall clock inside a deterministic
+// context, directly and transitively.
+package walltime_dirty
+
+import "time"
+
+// step is a deterministic root that reads the clock itself and through
+// two levels of helpers.
+//
+//errprop:deterministic
+func step(xs []float64) float64 {
+	t := time.Now() // want:walltime
+	return reduce(xs) + float64(t.Nanosecond())
+}
+
+func reduce(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s + jitter()
+}
+
+// jitter is two call-graph edges below the annotated root: only
+// interprocedural fact propagation can see it runs deterministically.
+func jitter() float64 {
+	time.Sleep(time.Millisecond)              // want:walltime
+	return float64(time.Now().UnixNano() % 2) // want:walltime
+}

@@ -1,0 +1,18 @@
+// Package walltime_hpcio_dirty stands in for internal/hpcio: the whole
+// package is a simulated-time context, so ANY real-clock read is a
+// finding — no annotation needed.
+package walltime_hpcio_dirty
+
+import "time"
+
+func readTime(n int64) time.Duration {
+	start := time.Now() // want:walltime
+	d := time.Duration(n) * time.Microsecond
+	return d + time.Since(start) // want:walltime
+}
+
+// Building durations arithmetically is the package's whole point and is
+// not a clock read.
+func decodeTime(bytes int64) time.Duration {
+	return time.Duration(bytes) * time.Nanosecond
+}

@@ -1,0 +1,80 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallTime flags wall-clock reads (time.Now, time.Since, time.Sleep)
+// inside functions that run in a deterministic context — annotated
+// //errprop:deterministic or transitively reachable from such a root in
+// the module call graph — and inside internal/hpcio, whose entire
+// contract is simulated time (storage and decode latencies are computed,
+// never measured; a real clock read there silently mixes wall time into
+// reproducible benchmark output).
+//
+// Wall-clock reads are the quietest way to break the bit-identity
+// contract: a timestamp that feeds a computation, a seed, or a
+// tie-break makes the result a function of when it ran, and no golden
+// test run at a single instant will catch it.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "flags time.Now/Since/Sleep reachable from deterministic or simulated-time (hpcio) contexts",
+	Run:  runWallTime,
+}
+
+// wallTimeFuncs are the time-package entry points that read or depend
+// on the real clock.
+var wallTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+	"After": true,
+	"Tick":  true,
+}
+
+func runWallTime(p *Pass) {
+	simulated := strings.Contains(p.Path, "internal/hpcio")
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			why := "simulated-time package internal/hpcio"
+			if !simulated {
+				sym, _, ok := declSymbol(p.TypesInfo, fn)
+				if !ok {
+					continue
+				}
+				w, det := p.Prog.Facts.DeterministicContext(sym)
+				if !det {
+					continue
+				}
+				why = w
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := wallClockCall(p.TypesInfo, call); ok {
+					p.Reportf(call.Pos(), "time.%s in deterministic context (%s): wall-clock reads make the result depend on when it ran", name, why)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// wallClockCall reports whether call invokes a real-clock function from
+// the time package.
+func wallClockCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f, ok := calleeFunc(info, call)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "time" {
+		return "", false
+	}
+	return f.Name(), wallTimeFuncs[f.Name()]
+}

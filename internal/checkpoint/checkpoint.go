@@ -63,12 +63,14 @@ const (
 )
 
 // Encode serializes st into the checksummed frame.
+//
+//errprop:deterministic the frame is a pure function of the state, so checksums are reproducible
 func Encode(st *State) ([]byte, error) {
 	if st == nil || st.Trainer == nil {
 		return nil, fmt.Errorf("checkpoint: nil state")
 	}
 	var b bytes.Buffer
-	w := func(v any) { binary.Write(&b, binary.LittleEndian, v) } //lint:ignore droppederr bytes.Buffer writes cannot fail
+	w := func(v any) { binary.Write(&b, binary.LittleEndian, v) }
 	vec := func(v []float64) {
 		w(uint32(len(v)))
 		for _, x := range v {
@@ -103,8 +105,8 @@ func Encode(st *State) ([]byte, error) {
 	body := b.Bytes()
 	out := bytes.NewBuffer(make([]byte, 0, len(magic)+12+len(body)))
 	out.WriteString(magic)
-	binary.Write(out, binary.LittleEndian, uint64(len(body)))        //lint:ignore droppederr bytes.Buffer writes cannot fail
-	binary.Write(out, binary.LittleEndian, integrity.Checksum(body)) //lint:ignore droppederr bytes.Buffer writes cannot fail
+	binary.Write(out, binary.LittleEndian, uint64(len(body)))
+	binary.Write(out, binary.LittleEndian, integrity.Checksum(body))
 	out.Write(body)
 	return out.Bytes(), nil
 }
@@ -112,6 +114,8 @@ func Encode(st *State) ([]byte, error) {
 // Decode parses a checkpoint frame. Damage surfaces as an error wrapping
 // ErrCorrupt or ErrTruncated; Decode never panics and never returns a
 // partially-filled state without an error.
+//
+//errprop:deterministic
 func Decode(raw []byte) (*State, error) {
 	if len(raw) < len(magic) {
 		return nil, fmt.Errorf("checkpoint: %w: %d bytes, shorter than magic", ErrTruncated, len(raw))
@@ -289,7 +293,7 @@ func Save(dir string, st *State) (string, error) {
 		return "", err
 	}
 	if d, err := os.Open(dir); err == nil {
-		d.Sync() //lint:ignore droppederr directory fsync is best-effort; rename already ordered the data
+		d.Sync()
 		d.Close()
 	}
 	return final, nil

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/scidata/errprop/internal/integrity"
 )
@@ -106,12 +107,7 @@ func Names() []string {
 	for n := range registry {
 		out = append(out, n)
 	}
-	// insertion sort; tiny slice
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 
@@ -153,6 +149,8 @@ type Blob struct {
 // container format. AbsTol resolves relative modes against the data before
 // the codec runs, so payloads always carry the absolute tolerance actually
 // enforced.
+//
+//errprop:deterministic the container byte stream is a pure function of (codec, data, mode, tol)
 func Encode(codecName string, data []float64, dims []int, mode Mode, tol float64) ([]byte, error) {
 	c, err := ByName(codecName)
 	if err != nil {
@@ -175,6 +173,8 @@ func Encode(codecName string, data []float64, dims []int, mode Mode, tol float64
 }
 
 // Decode decompresses a container produced by Encode.
+//
+//errprop:deterministic reconstruction depends only on the container bytes
 func Decode(blob []byte) ([]float64, *Blob, error) {
 	b, err := unmarshal(blob)
 	if err != nil {
@@ -193,6 +193,8 @@ func Decode(blob []byte) ([]float64, *Blob, error) {
 
 // AbsTol converts a (mode, tol) pair into the absolute tolerance implied
 // for the given data: pointwise for the Linf modes, whole-vector for L2.
+//
+//errprop:bound-source the result is the pointwise error bound the codec enforces
 func AbsTol(data []float64, mode Mode, tol float64) float64 {
 	switch mode {
 	case AbsLinf, L2:
@@ -212,6 +214,8 @@ func AbsTol(data []float64, mode Mode, tol float64) float64 {
 
 // MeasureError returns the achieved pointwise L-infinity error and the
 // whole-vector L2 error between original and reconstructed data.
+//
+//errprop:bound-source both results are achieved reconstruction error bounds
 func MeasureError(orig, recon []float64) (linf, l2 float64) {
 	if len(orig) != len(recon) {
 		panic("compress: MeasureError length mismatch")

@@ -76,6 +76,8 @@ func (g grid) levels() int {
 }
 
 // Compress implements compress.Codec.
+//
+//errprop:deterministic the payload is a pure function of (data, dims, mode, tol)
 func (c Codec) Compress(data []float64, dims []int, mode compress.Mode, tol float64) ([]byte, error) {
 	g := viewGrid(dims)
 	abs := compress.AbsTol(data, mode, tol)

@@ -40,6 +40,8 @@ const (
 )
 
 // Compress implements compress.Codec.
+//
+//errprop:deterministic the payload is a pure function of (data, dims, mode, tol)
 func (c Codec) Compress(data []float64, dims []int, mode compress.Mode, tol float64) ([]byte, error) {
 	eb := pointwiseBound(data, mode, tol)
 	if eb <= 0 {

@@ -40,6 +40,8 @@ func precisionBits(rank int) int { return 30 - 2*rank }
 const rawEmaxSentinel = 0xFFFF
 
 // Compress implements compress.Codec.
+//
+//errprop:deterministic the payload is a pure function of (data, dims, mode, tol)
 func (c Codec) Compress(data []float64, dims []int, mode compress.Mode, tol float64) ([]byte, error) {
 	if !c.SupportsMode(mode) {
 		return nil, compress.ErrUnsupportedMode

@@ -199,6 +199,8 @@ func (a *Analysis) SignalGain() float64 { return a.coeffs.Sig }
 
 // CompressionBound is the paper's Eq. (5): the L2 QoI perturbation caused
 // by an input perturbation of L2 norm deltaX2, with weights unchanged.
+//
+//errprop:bound-source predicted QoI L2 perturbation under Eq. (5)
 func (a *Analysis) CompressionBound(deltaX2 float64) float64 {
 	return a.coeffs.Lip * deltaX2
 }
@@ -208,6 +210,8 @@ func (a *Analysis) CompressionBound(deltaX2 float64) float64 {
 // initial signal bound is sqrt(n_0), as in the paper's derivation). The
 // AddC term carries the contribution sourced by activation signal
 // offsets (sigmoid networks); it is zero for phi(0) = 0 activations.
+//
+//errprop:bound-source predicted QoI L2 perturbation from weight quantization
 func (a *Analysis) QuantizationBound() float64 {
 	//lint:ignore nonfinite sqrt of the nonnegative input width n0 is always finite
 	return a.coeffs.Add*math.Sqrt(float64(a.n0)) + a.coeffs.AddC
@@ -215,6 +219,8 @@ func (a *Analysis) QuantizationBound() float64 {
 
 // Bound is the combined Inequality (3): QoI L2 error under both an input
 // perturbation of L2 norm deltaX2 and weight quantization.
+//
+//errprop:bound-source the combined Inequality (3) error bound
 func (a *Analysis) Bound(deltaX2 float64) float64 {
 	return a.CompressionBound(deltaX2) + a.QuantizationBound()
 }
@@ -222,12 +228,16 @@ func (a *Analysis) Bound(deltaX2 float64) float64 {
 // BoundLinf bounds the QoI L-infinity error given a *pointwise* input
 // bound einf, via the norm inequalities of Section III-A:
 // ||dx||_2 <= sqrt(n_0) einf and ||dy||_inf <= ||dy||_2.
+//
+//errprop:bound-source
 func (a *Analysis) BoundLinf(einf float64) float64 {
 	//lint:ignore nonfinite sqrt of the nonnegative input width n0 is always finite
 	return a.Bound(math.Sqrt(float64(a.n0)) * einf)
 }
 
 // CompressionBoundLinf is Eq. (5) stated for a pointwise input bound.
+//
+//errprop:bound-source
 func (a *Analysis) CompressionBoundLinf(einf float64) float64 {
 	//lint:ignore nonfinite sqrt of the nonnegative input width n0 is always finite
 	return a.CompressionBound(math.Sqrt(float64(a.n0)) * einf)
@@ -236,6 +246,8 @@ func (a *Analysis) CompressionBoundLinf(einf float64) float64 {
 // InputToleranceFor inverts the compression bound: the largest L2 input
 // perturbation whose predicted QoI contribution stays within qoiBudget.
 // Conservative mode (quantized=true) propagates through sigma~ products.
+//
+//errprop:bound-source the inverted bound is itself a tolerance the caller must enforce
 func (a *Analysis) InputToleranceFor(qoiBudget float64, quantized bool) float64 {
 	l := a.coeffs.Lip
 	if quantized {

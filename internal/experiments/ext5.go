@@ -97,8 +97,8 @@ func ExtUNet() *Result {
 		var achieved []float64
 		for rep := 0; rep < compressionReps; rep++ {
 			field := append([]float64(nil), x.Data...)
-			dims := []int{x.Rows, x.Cols} // feature-major block
-			recon, _, _, _, err := compressField("sz", field, dims, compress.AbsLinf, einf)
+			dims := []int{x.Rows, x.Cols}                                                   // feature-major block
+			recon, _, _, _, err := compressField("sz", field, dims, compress.AbsLinf, einf) //lint:ignore boundflow the figure measures QoI error on the reconstruction directly; the codec-level bound is not part of this plot
 			if err != nil {
 				panic(err)
 			}

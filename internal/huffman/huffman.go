@@ -47,7 +47,7 @@ func (h nodeHeap) Peek() *node   { return h[0] }
 func codeLengths(freq map[uint32]uint64) map[uint32]int {
 	h := make(nodeHeap, 0, len(freq))
 	for s, c := range freq {
-		h = append(h, &node{count: c, symbol: s})
+		h = append(h, &node{count: c, symbol: s}) //lint:ignore maporder heap pop order is total (count then symbol tie-break), so insertion order cannot reach the output
 	}
 	heap.Init(&h)
 	if h.Len() == 1 {

@@ -85,6 +85,8 @@ func CompileInference(net *Network, maxBatch int) (*Engine, error) {
 // The returned matrix is owned by the engine and valid only until the
 // next Forward call; clone it to retain. Output is bit-identical to
 // Network.Forward(x, false) on the source network.
+//
+//errprop:deterministic compiled plan replays the exact float schedule of the source network
 func (e *Engine) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Rows != e.inDim {
 		panic(fmt.Sprintf("nn: engine input rows %d != %d", x.Rows, e.inDim))

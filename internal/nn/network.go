@@ -27,6 +27,8 @@ type Network struct {
 }
 
 // Forward runs the network on a (features x batch) matrix.
+//
+//errprop:deterministic inference is a pure function of weights and input
 func (n *Network) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	h := x
 	for _, l := range n.Layers {

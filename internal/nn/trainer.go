@@ -230,6 +230,8 @@ func (t *Trainer) ensureShards(n int) {
 // batch columns) under the shard loss function, adding the PSN spectral
 // penalty when lambda > 0. It returns the batch training loss (including
 // the penalty term).
+//
+//errprop:deterministic same inputs + same seed give a bit-identical step on any worker count
 func (t *Trainer) Step(x *tensor.Matrix, loss LossFn, lambda float64) float64 {
 	if x.Cols == 0 {
 		return 0

@@ -8,7 +8,6 @@ import (
 	"io"
 	"math"
 	"net/http"
-	"sort"
 	"strconv"
 	"time"
 
@@ -119,9 +118,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	names := s.Models()
-	sort.Strings(names)
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": names})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.Models()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -305,6 +302,20 @@ func (s *Server) decodeBlobRequest(r *http.Request, req *PredictRequest) error {
 				return fmt.Errorf("query %s=%q: %w", p.key, raw, err)
 			}
 			*p.dst = v
+		}
+	}
+	// The container already certifies its reconstruction error: unless the
+	// caller overrides it, the codec's achieved bound becomes the
+	// request's input error, in the norm family of the blob's mode.
+	if q.Get("input_error") == "" {
+		req.InputError = compress.AbsTol(data, block.Mode, block.Tol)
+		if q.Get("norm") == "" {
+			switch block.Mode {
+			case compress.L2, compress.RelL2:
+				req.Norm = "l2"
+			default:
+				req.Norm = "linf"
+			}
 		}
 	}
 	req.Inputs = make([][]float64, n)

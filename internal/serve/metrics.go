@@ -164,7 +164,15 @@ func (s *Server) Metrics() Snapshot {
 		snap.BatchMean = float64(snap.Samples) / float64(snap.Batches)
 	}
 	s.mu.RLock()
-	for name, md := range s.models {
+	// Range in sorted order so the QueueDepth reduction and any future
+	// order-sensitive aggregation stay deterministic run to run.
+	names := make([]string, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		md := s.models[name]
 		depth := len(md.queue)
 		snap.QueueDepth += depth
 		snap.Models[name] = ModelStats{

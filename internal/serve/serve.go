@@ -37,6 +37,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -245,8 +246,8 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 	return nil
 }
 
-// Models lists registered model names (sorted by map iteration — callers
-// needing order sort themselves).
+// Models lists registered model names in sorted order, so the /v1/models
+// response is byte-identical across calls and processes.
 func (s *Server) Models() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -254,6 +255,7 @@ func (s *Server) Models() []string {
 	for name := range s.models {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -277,7 +279,7 @@ func (s *Server) Close() {
 		s.draining.Store(true)
 		models := make([]*model, 0, len(s.models))
 		for _, m := range s.models {
-			models = append(models, m)
+			models = append(models, m) //lint:ignore maporder shutdown order is observationally irrelevant: every queue is closed before any wait
 		}
 		s.mu.Unlock()
 		for _, m := range models {
