@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz-smoke lint vet-baseline-update serve-smoke bench-serve bench-train bench-infer bench-smoke ci
+.PHONY: all build vet fmt-check test race fuzz-smoke lint vet-baseline-update serve-smoke score-smoke bench-serve bench-train bench-infer bench-score bench-smoke ci
 
 all: build
 
@@ -43,7 +43,9 @@ FUZZ_TARGETS = \
 	./internal/compress:FuzzDecodeContainer \
 	./internal/compress:FuzzHuffmanDecode \
 	./internal/compress:FuzzSZRoundTrip \
-	./internal/checkpoint:FuzzDecodeCheckpoint
+	./internal/checkpoint:FuzzDecodeCheckpoint \
+	./internal/score:FuzzDecodeManifest \
+	./internal/score:FuzzDecodeCursor
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -83,6 +85,36 @@ serve-smoke:
 	wait $$pid || { echo "errpropd did not drain cleanly"; cat "$$tmp/log"; exit 1; }; \
 	echo "serve-smoke OK ($$addr)"
 
+# End-to-end bulk-scoring crash drill: write a tiny dataset, score it
+# once for reference, score it again with a cursor dir but crash (exit 7)
+# mid-run via -exit-after, resume, and require the result log and the
+# deterministic summary to be byte-identical to the reference run's.
+score-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/score" ./cmd/score; \
+	"$$tmp/score" -write "$$tmp/ds" -codec sz -tol 1e-3 -samples 1024 -chunk 64 2>/dev/null; \
+	"$$tmp/score" -manifest "$$tmp/ds/MANIFEST" -demo -format fp16 -budget 0.5 \
+	  -out "$$tmp/ref.jsonl" -summary "$$tmp/ref.json" 2>/dev/null; \
+	set +e; \
+	"$$tmp/score" -manifest "$$tmp/ds/MANIFEST" -demo -format fp16 -budget 0.5 \
+	  -out "$$tmp/res.jsonl" -summary "$$tmp/res.json" \
+	  -cursor-dir "$$tmp/cur" -checkpoint-every 3 -exit-after 9 2>/dev/null; \
+	code=$$?; set -e; \
+	[ $$code -eq 7 ] || { echo "crash drill: want exit 7, got $$code"; exit 1; }; \
+	ls "$$tmp/cur"/cursor-*.cur >/dev/null || { echo "crash run left no cursor"; exit 1; }; \
+	"$$tmp/score" -manifest "$$tmp/ds/MANIFEST" -demo -format fp16 -budget 0.5 -workers 2 \
+	  -out "$$tmp/res.jsonl" -summary "$$tmp/res.json" \
+	  -cursor-dir "$$tmp/cur" -checkpoint-every 3 2>/dev/null; \
+	cmp "$$tmp/ref.jsonl" "$$tmp/res.jsonl" || { echo "resumed result log differs from reference"; exit 1; }; \
+	cmp "$$tmp/ref.json" "$$tmp/res.json" || { echo "resumed summary differs from reference"; exit 1; }; \
+	echo "score-smoke OK (kill at chunk 9, resume bit-identical)"
+
+# Reproduce BENCH_score.json: simulated bulk-scoring throughput vs
+# compression tolerance for sz/zfp/mgard (see README "Bulk scoring").
+bench-score:
+	ERRPROP_SCORE_BENCH_OUT=$(CURDIR)/BENCH_score.json \
+	$(GO) test -run '^TestWriteScoreBenchJSON$$' -count=1 -v ./internal/score
+
 # Reproduce BENCH_serve.json: the batched-vs-unbatched load comparison
 # at 1/8/64 concurrent clients (see README "Serving").
 bench-serve:
@@ -109,4 +141,4 @@ bench-infer:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkForward(Legacy|Engine)' -benchtime 10x ./internal/nn
 
-ci: build vet fmt-check race fuzz-smoke lint serve-smoke bench-smoke
+ci: build vet fmt-check race fuzz-smoke lint serve-smoke score-smoke bench-smoke

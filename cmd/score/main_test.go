@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteThenScoreEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "ds")
+	if err := run([]string{"-write", ds, "-codec", "zfp", "-tol", "1e-2", "-samples", "512", "-chunk", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "res.jsonl")
+	sumPath := filepath.Join(dir, "sum.json")
+	err := run([]string{
+		"-manifest", filepath.Join(ds, "MANIFEST"), "-demo", "-format", "fp16",
+		"-budget", "0.5", "-workers", "3",
+		"-out", outPath, "-summary", sumPath, "-cursor-dir", filepath.Join(dir, "cur"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc summaryDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Samples != 512 || doc.Chunks != 8 || doc.Skipped != 0 {
+		t.Fatalf("summary counters off: %+v", doc)
+	}
+	if doc.QuantBound <= 0 || doc.MaxBound < doc.QuantBound || doc.OverBudget != 0 {
+		t.Fatalf("summary bound accounting off: %+v", doc)
+	}
+
+	lines, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(lines), "\n"); n != 8 {
+		t.Fatalf("result log has %d lines, want 8", n)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("accepted no mode")
+	}
+	if err := run([]string{"-manifest", "x"}); err == nil {
+		t.Fatal("accepted scoring without a model")
+	}
+	if err := run([]string{"-manifest", "x", "-demo", "-model", "y"}); err == nil {
+		t.Fatal("accepted -demo and -model together")
+	}
+	if err := run([]string{"-manifest", "x", "-demo", "-format", "fp13"}); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+	if err := run([]string{"-write", t.TempDir(), "-samples", "-1"}); err == nil {
+		t.Fatal("accepted negative sample count")
+	}
+	if err := run([]string{"-write", t.TempDir(), "-codec", "nope"}); err == nil {
+		t.Fatal("accepted unknown codec")
+	}
+}

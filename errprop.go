@@ -38,6 +38,7 @@ import (
 	"github.com/scidata/errprop/internal/numfmt"
 	"github.com/scidata/errprop/internal/pipeline"
 	"github.com/scidata/errprop/internal/quant"
+	"github.com/scidata/errprop/internal/score"
 	"github.com/scidata/errprop/internal/serve"
 	"github.com/scidata/errprop/internal/tensor"
 )
@@ -403,4 +404,62 @@ type AutotuneResult = autotune.Result
 // names as future work.
 func Autotune(net *Network, field []float64, dims []int, opt AutotuneOptions) (*AutotuneResult, error) {
 	return autotune.Optimize(net, field, dims, opt)
+}
+
+// ScoreConfig tunes a bulk scoring run (see internal/score.Config): only
+// Format and QoIBudget affect the numbers; Workers, batching, simulated
+// storage and cursor knobs affect speed, billing and durability, never a
+// result bit.
+type ScoreConfig = score.Config
+
+// ScoreResult reports one bulk scoring run: the deterministic aggregate,
+// per-chunk results with certified error bounds, and resume provenance.
+type ScoreResult = score.Result
+
+// ScoreChunkResult is one chunk's scored output: QoI statistics plus the
+// certified per-sample error bound from the chunk's achieved codec error
+// and the model's quantization bound (Inequality (3)).
+type ScoreChunkResult = score.ChunkResult
+
+// ScoreManifest is the ordered, checksummed chunk index of a scored
+// dataset.
+type ScoreManifest = score.Manifest
+
+// ScoreDatasetConfig tunes WriteScoreDataset.
+type ScoreDatasetConfig = score.DatasetConfig
+
+// ScoreResultLog durably streams per-chunk results as JSON lines in
+// commit order; paired with a cursor directory it makes scoring runs
+// crash-safe and bit-identically resumable.
+type ScoreResultLog = score.ResultLog
+
+// WriteScoreDataset compresses a feature-major field (features x samples)
+// into a chunked dataset under dir and writes its manifest. Each chunk's
+// *achieved* reconstruction error is measured against the original data
+// and recorded in the manifest — the certified input to later scoring.
+func WriteScoreDataset(dir string, field []float64, features int, cfg ScoreDatasetConfig) (*ScoreManifest, error) {
+	return score.WriteDataset(dir, field, features, cfg)
+}
+
+// ReadScoreManifest reads and verifies a dataset manifest.
+func ReadScoreManifest(path string) (*ScoreManifest, error) {
+	return score.ReadManifestFile(path)
+}
+
+// OpenScoreResultLog opens (or creates) a durable result log at path.
+func OpenScoreResultLog(path string) (*ScoreResultLog, error) {
+	return score.OpenResultLog(path)
+}
+
+// Score streams a dataset's chunks through net with per-chunk certified
+// error accounting: bounded memory, bit-identical results for any worker
+// count, and — with cfg.CursorDir set — crash-safe bit-identical resume.
+func Score(net *Network, man *ScoreManifest, cfg ScoreConfig) (*ScoreResult, error) {
+	return score.Score(net, man, cfg)
+}
+
+// ScoreFile is Score over an on-disk dataset directory: it reads the
+// manifest at path and scores the chunks beside it.
+func ScoreFile(net *Network, manifestPath string, cfg ScoreConfig) (*ScoreResult, error) {
+	return score.ScoreFile(net, manifestPath, cfg)
 }

@@ -345,3 +345,102 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 		}
 	})
 }
+
+// TestLoadLatestAndPruneMixedDir drives recovery and retention over a
+// realistic post-crash directory: intact checkpoints of several ages,
+// a torn newest file, a bit-rotted mid-age file, leftover temp files
+// from interrupted atomic saves, and unrelated files — LoadLatest must
+// land on the newest *intact* checkpoint and Prune must touch only
+// canonical checkpoint names.
+func TestLoadLatestAndPruneMixedDir(t *testing.T) {
+	h := newHarness(t, "adam")
+	dir := t.TempDir()
+
+	// Four real checkpoints at increasing steps.
+	var paths []string
+	var steps []int64
+	for i := 0; i < 4; i++ {
+		h.step()
+		p, err := checkpoint.Save(dir, captureState(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+		steps = append(steps, h.tr.Steps())
+	}
+	// Newest: torn mid-write (truncated). Second-oldest: bit rot.
+	raw, err := os.ReadFile(paths[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[3], raw[:len(raw)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rot, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot[len(rot)/3] ^= 0x08
+	if err := os.WriteFile(paths[1], rot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Clutter: an interrupted save's temp file, an unrelated file, a
+	// subdirectory shaped like a checkpoint name.
+	for _, name := range []string{checkpoint.FileName(99) + ".tmp123", "NOTES.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, checkpoint.FileName(1000)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// List sees exactly the canonical regular files, newest first.
+	listed, err := checkpoint.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 4 {
+		t.Fatalf("List found %d entries, want the 4 checkpoints: %v", len(listed), listed)
+	}
+
+	// LoadLatest skips the torn newest and lands on the intact third.
+	st, path, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step() != steps[2] || filepath.Base(path) != checkpoint.FileName(steps[2]) {
+		t.Fatalf("recovered step %d from %s, want step %d", st.Step(), path, steps[2])
+	}
+
+	// Prune to 2 removes the two oldest canonical files (damaged or not)
+	// and nothing else.
+	if err := checkpoint.Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	left, err := checkpoint.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Fatalf("prune kept %d, want 2: %v", len(left), left)
+	}
+	if filepath.Base(left[0]) != checkpoint.FileName(steps[3]) || filepath.Base(left[1]) != checkpoint.FileName(steps[2]) {
+		t.Fatalf("prune kept wrong files: %v", left)
+	}
+	for _, name := range []string{checkpoint.FileName(99) + ".tmp123", "NOTES.txt", checkpoint.FileName(1000)} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("prune touched non-checkpoint entry %s: %v", name, err)
+		}
+	}
+
+	// After pruning, recovery still works from what remains (the torn
+	// newest survives pruning but LoadLatest still skips it).
+	st2, _, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Step() != steps[2] {
+		t.Fatalf("post-prune recovery landed on step %d, want %d", st2.Step(), steps[2])
+	}
+}

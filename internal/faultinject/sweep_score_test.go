@@ -1,0 +1,111 @@
+package faultinject_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/scidata/errprop/internal/compress"
+	"github.com/scidata/errprop/internal/score"
+)
+
+// The bulk-scoring subsystem adds three durable artifact kinds to the
+// corruption sweep: the dataset manifest, the scoring progress cursor,
+// and a dataset chunk checked the way the scorer checks it (against its
+// manifest entry, not just its own container framing).
+
+func scoreManifestArtifact(t *testing.T) artifact {
+	t.Helper()
+	dir := t.TempDir()
+	field := make([]float64, 4*96)
+	for i := range field {
+		f, c := i/96, i%96
+		field[i] = math.Sin(2*math.Pi*float64(c)/96*float64(f+1)) * math.Exp(-float64(c)/96)
+	}
+	man, err := score.WriteDataset(dir, field, 4, score.DatasetConfig{
+		Codec: "sz", Mode: compress.AbsLinf, Tol: 1e-3, ChunkSamples: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := man.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifact{name: "score-manifest", raw: raw, check: func(mut []byte) (bool, error) {
+		got, err := score.DecodeManifest(mut)
+		if err != nil {
+			return false, err
+		}
+		return reflect.DeepEqual(got, man), nil
+	}}
+}
+
+func scoreCursorArtifact(t *testing.T) artifact {
+	t.Helper()
+	cur := &score.Cursor{
+		ManifestChecksum: 0x5EED5EED,
+		Committed:        5,
+		ResultBytes:      4321,
+		Agg: &score.Aggregate{
+			Chunks: 5, Samples: 160, Elems: 480, OverBudget: 1,
+			StoredBytes: 700, RawBytes: 5120,
+			SimRead: 2 * time.Millisecond, SimDecode: 3 * time.Millisecond, SimExec: 4 * time.Millisecond,
+			BoundWeighted: 0.25, MaxBound: 0.75,
+			Sum: []float64{1, 2, 3}, Min: []float64{-1, -2, -3}, Max: []float64{4, 5, 6},
+		},
+	}
+	raw, err := score.EncodeCursor(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifact{name: "score-cursor", raw: raw, check: func(mut []byte) (bool, error) {
+		got, err := score.DecodeCursor(mut)
+		if err != nil {
+			return false, err
+		}
+		return reflect.DeepEqual(got, cur), nil
+	}}
+}
+
+func scoreChunkArtifact(t *testing.T) artifact {
+	t.Helper()
+	dir := t.TempDir()
+	field := make([]float64, 3*64)
+	for i := range field {
+		field[i] = math.Cos(float64(i) / 17)
+	}
+	man, err := score.WriteDataset(dir, field, 3, score.DatasetConfig{
+		Codec: "sz", Mode: compress.AbsLinf, Tol: 1e-3, ChunkSamples: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := man.Chunks[0]
+	raw, err := os.ReadFile(filepath.Join(dir, c.File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := score.DecodeChunk(man, c, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifact{name: "score-chunk", raw: raw, check: func(mut []byte) (bool, error) {
+		got, err := score.DecodeChunk(man, c, mut)
+		if err != nil {
+			return false, err
+		}
+		if len(got) != len(ref) {
+			return false, nil
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}}
+}

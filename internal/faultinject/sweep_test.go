@@ -157,7 +157,10 @@ func checkpointArtifact(t *testing.T) artifact {
 // sweep. Well over 200 distinct corruptions run; every case is
 // reproducible from (artifact, injector, seed).
 func TestCorruptionSweep(t *testing.T) {
-	artifacts := []artifact{blobArtifact(t), modelArtifact(t), checkpointArtifact(t)}
+	artifacts := []artifact{
+		blobArtifact(t), modelArtifact(t), checkpointArtifact(t),
+		scoreManifestArtifact(t), scoreCursorArtifact(t), scoreChunkArtifact(t),
+	}
 	const seedsPerPair = 16
 	applied, detected, identical := 0, 0, 0
 	for _, art := range artifacts {

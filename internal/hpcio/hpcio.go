@@ -94,6 +94,13 @@ func (s *Storage) ReadTime(n int64) (time.Duration, error) {
 	return d, err
 }
 
+// ReadTimeRetries is ReadTime plus the number of transient-failure
+// retries the simulated read absorbed, for callers (like the bulk
+// scorer) that bill and report retry counts per read.
+func (s *Storage) ReadTimeRetries(n int64) (time.Duration, int, error) {
+	return s.readTime(n)
+}
+
 // readTime is ReadTime plus the number of retries consumed.
 func (s *Storage) readTime(n int64) (time.Duration, int, error) {
 	if n < 0 {

@@ -1,0 +1,340 @@
+package score
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/scidata/errprop/internal/integrity"
+)
+
+// Cursor is a scoring run's chunk-granular progress checkpoint: chunks
+// [0, Committed) are durably accounted for, Agg is the running aggregate
+// over exactly those chunks, and ResultBytes is the result-log offset
+// their JSON lines end at. A cursor is bound to one manifest via the
+// manifest frame's checksum, so a cursor can never resume a different
+// dataset.
+type Cursor struct {
+	// ManifestChecksum is the CRC32C of the manifest's encoded frame.
+	ManifestChecksum uint32
+	// Committed is the number of leading chunks committed.
+	Committed int64
+	// ResultBytes is the durable result-log length at Committed.
+	ResultBytes int64
+	// Agg is the running aggregate over the committed chunks.
+	Agg *Aggregate
+}
+
+const (
+	cursorMagic = "ERRPROPSC1"
+	// maxCursorBody caps the declared body length (a cursor is a few
+	// hundred bytes plus three outDim-length vectors).
+	maxCursorBody = 1 << 26
+	// maxCursorVec caps the declared aggregate vector length.
+	maxCursorVec = 1 << 22
+	// CursorExt is the cursor file extension.
+	CursorExt    = ".cur"
+	cursorPrefix = "cursor-"
+)
+
+// EncodeCursor serializes c into the checksummed frame (same framing
+// discipline as the manifest and internal/checkpoint).
+//
+//errprop:deterministic the frame is a pure function of the cursor state
+func EncodeCursor(c *Cursor) ([]byte, error) {
+	if c == nil || c.Agg == nil {
+		return nil, fmt.Errorf("score: nil cursor")
+	}
+	if c.Committed < 0 || c.ResultBytes < 0 {
+		return nil, fmt.Errorf("score: cursor committed %d / result bytes %d negative", c.Committed, c.ResultBytes)
+	}
+	if len(c.Agg.Sum) != len(c.Agg.Min) || len(c.Agg.Sum) != len(c.Agg.Max) {
+		return nil, fmt.Errorf("score: cursor aggregate vector lengths differ")
+	}
+	var b bytes.Buffer
+	w := func(v any) { binary.Write(&b, binary.LittleEndian, v) }
+	f := func(v float64) { w(math.Float64bits(v)) }
+	vec := func(v []float64) {
+		for _, x := range v {
+			f(x)
+		}
+	}
+	a := c.Agg
+	w(c.ManifestChecksum)
+	w(uint64(c.Committed))
+	w(uint64(c.ResultBytes))
+	w(uint64(a.Chunks))
+	w(uint64(a.Skipped))
+	w(uint64(a.Samples))
+	w(uint64(a.Elems))
+	w(uint64(a.OverBudget))
+	w(uint64(a.StoredBytes))
+	w(uint64(a.RawBytes))
+	w(uint64(a.SimRead))
+	w(uint64(a.SimDecode))
+	w(uint64(a.SimExec))
+	w(uint64(a.Retries))
+	f(a.BoundWeighted)
+	f(a.MaxBound)
+	w(uint32(len(a.Sum)))
+	vec(a.Sum)
+	vec(a.Min)
+	vec(a.Max)
+
+	body := b.Bytes()
+	out := bytes.NewBuffer(make([]byte, 0, len(cursorMagic)+12+len(body)))
+	out.WriteString(cursorMagic)
+	binary.Write(out, binary.LittleEndian, uint64(len(body)))
+	binary.Write(out, binary.LittleEndian, integrity.Checksum(body))
+	out.Write(body)
+	return out.Bytes(), nil
+}
+
+// DecodeCursor parses a cursor frame; damage surfaces as a typed
+// integrity error, never as silently wrong progress.
+//
+//errprop:deterministic
+func DecodeCursor(raw []byte) (*Cursor, error) {
+	if len(raw) < len(cursorMagic) {
+		return nil, fmt.Errorf("score: cursor: %w: %d bytes, shorter than magic", ErrTruncated, len(raw))
+	}
+	if string(raw[:len(cursorMagic)]) != cursorMagic {
+		return nil, fmt.Errorf("score: cursor: %w: bad magic %q", ErrCorrupt, raw[:len(cursorMagic)])
+	}
+	rest := raw[len(cursorMagic):]
+	if len(rest) < 12 {
+		return nil, fmt.Errorf("score: cursor: %w: missing frame header", ErrTruncated)
+	}
+	bodyLen := binary.LittleEndian.Uint64(rest)
+	crc := binary.LittleEndian.Uint32(rest[8:])
+	rest = rest[12:]
+	if bodyLen > maxCursorBody {
+		return nil, fmt.Errorf("score: cursor: %w: declared body length %d exceeds %d", ErrCorrupt, bodyLen, int64(maxCursorBody))
+	}
+	if uint64(len(rest)) < bodyLen {
+		return nil, fmt.Errorf("score: cursor: %w: body %d of declared %d bytes", ErrTruncated, len(rest), bodyLen)
+	}
+	if uint64(len(rest)) > bodyLen {
+		return nil, fmt.Errorf("score: cursor: %w: %d bytes beyond declared body", ErrCorrupt, uint64(len(rest))-bodyLen)
+	}
+	body := rest[:bodyLen]
+	if got := integrity.Checksum(body); got != crc {
+		return nil, fmt.Errorf("score: cursor: %w: body checksum %08x != stored %08x", ErrCorrupt, got, crc)
+	}
+
+	bad := func(what string) error {
+		return fmt.Errorf("score: cursor: %w: inconsistent %s", ErrCorrupt, what)
+	}
+	r := bytes.NewReader(body)
+	u64 := func() (uint64, bool) {
+		var v uint64
+		if binary.Read(r, binary.LittleEndian, &v) != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	i64 := func(what string) (int64, error) {
+		v, ok := u64()
+		if !ok || v > math.MaxInt64 {
+			return 0, bad(what)
+		}
+		return int64(v), nil
+	}
+	f64 := func(what string) (float64, error) {
+		v, ok := u64()
+		if !ok {
+			return 0, bad(what)
+		}
+		return math.Float64frombits(v), nil
+	}
+
+	c := &Cursor{Agg: &Aggregate{}}
+	var mc uint32
+	if binary.Read(r, binary.LittleEndian, &mc) != nil {
+		return nil, bad("manifest checksum")
+	}
+	c.ManifestChecksum = mc
+	a := c.Agg
+	var err error
+	for _, fld := range []struct {
+		what string
+		dst  *int64
+	}{
+		{"committed", &c.Committed},
+		{"result bytes", &c.ResultBytes},
+		{"chunk count", &a.Chunks},
+		{"skip count", &a.Skipped},
+		{"sample count", &a.Samples},
+		{"element count", &a.Elems},
+		{"over-budget count", &a.OverBudget},
+		{"stored bytes", &a.StoredBytes},
+		{"raw bytes", &a.RawBytes},
+	} {
+		if *fld.dst, err = i64(fld.what); err != nil {
+			return nil, err
+		}
+	}
+	for _, fld := range []struct {
+		what string
+		dst  *time.Duration
+	}{
+		{"read time", &a.SimRead},
+		{"decode time", &a.SimDecode},
+		{"exec time", &a.SimExec},
+	} {
+		v, err := i64(fld.what)
+		if err != nil {
+			return nil, err
+		}
+		*fld.dst = time.Duration(v)
+	}
+	if a.Retries, err = i64("retry count"); err != nil {
+		return nil, err
+	}
+	if a.BoundWeighted, err = f64("weighted bound"); err != nil {
+		return nil, err
+	}
+	if a.MaxBound, err = f64("max bound"); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if binary.Read(r, binary.LittleEndian, &n) != nil || n > maxCursorVec {
+		return nil, bad("aggregate width")
+	}
+	if uint64(n)*24 != uint64(r.Len()) {
+		return nil, bad("aggregate width (body length mismatch)")
+	}
+	for _, dst := range []*[]float64{&a.Sum, &a.Min, &a.Max} {
+		v := make([]float64, n)
+		for i := range v {
+			if v[i], err = f64("aggregate vector"); err != nil {
+				return nil, err
+			}
+		}
+		*dst = v
+	}
+	// The committer folds exactly one chunk per commit, so a cursor whose
+	// counters disagree was written wrong.
+	if c.Committed != a.Chunks {
+		return nil, bad("committed count != aggregate chunk count")
+	}
+	return c, nil
+}
+
+// cursorFileName returns the canonical cursor file name for a committed
+// count.
+func cursorFileName(committed int64) string {
+	return fmt.Sprintf("%s%012d%s", cursorPrefix, committed, CursorExt)
+}
+
+// committedFromName parses the committed count out of a canonical cursor
+// name.
+func committedFromName(name string) (int64, bool) {
+	var committed int64
+	var ext string
+	n, err := fmt.Sscanf(name, cursorPrefix+"%012d%s", &committed, &ext)
+	if n != 2 || err != nil || ext != CursorExt || committed < 0 {
+		return 0, false
+	}
+	return committed, true
+}
+
+// SaveCursor atomically writes c into dir under the canonical name for
+// its committed count (temp file + fsync + rename + directory fsync) and
+// returns the final path.
+func SaveCursor(dir string, c *Cursor) (string, error) {
+	raw, err := EncodeCursor(c)
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, cursorFileName(c.Committed))
+	if err := atomicWrite(final, raw); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// ListCursors returns the canonical cursor paths in dir, newest (highest
+// committed count) first. A missing dir is an empty list, not an error.
+func ListCursors(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		path      string
+		committed int64
+	}
+	var cs []cand
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if committed, ok := committedFromName(e.Name()); ok {
+			cs = append(cs, cand{filepath.Join(dir, e.Name()), committed})
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].committed > cs[j].committed })
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.path
+	}
+	return out, nil
+}
+
+// LoadLatestCursor loads the newest decodable cursor in dir, skipping
+// damaged files — crash safety must not depend on the last write
+// surviving. Returns os.ErrNotExist (wrapped) when dir holds no usable
+// cursor; damaged files encountered along the way are named in the
+// error.
+func LoadLatestCursor(dir string) (*Cursor, string, error) {
+	paths, err := ListCursors(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var skipped []string
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, "", err
+		}
+		c, err := DecodeCursor(raw)
+		if err == nil {
+			return c, p, nil
+		}
+		skipped = append(skipped, fmt.Sprintf("%s (%v)", filepath.Base(p), err))
+	}
+	if len(skipped) > 0 {
+		return nil, "", fmt.Errorf("score: no usable cursor in %s (damaged: %v): %w", dir, skipped, os.ErrNotExist)
+	}
+	return nil, "", fmt.Errorf("score: no cursor in %s: %w", dir, os.ErrNotExist)
+}
+
+// PruneCursors removes all but the keep newest cursors in dir. keep <= 0
+// keeps everything.
+func PruneCursors(dir string, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	paths, err := ListCursors(dir)
+	if err != nil {
+		return err
+	}
+	if keep > len(paths) {
+		keep = len(paths)
+	}
+	for _, p := range paths[keep:] {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package score
+
+import (
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+)
+
+// FuzzDecodeManifest hammers the manifest decoder with arbitrary bytes
+// and mutations of a valid encoding: it must never panic or over-allocate,
+// and everything it accepts must re-encode to the exact same bytes
+// (decode is a bijection onto valid encodings — no silent normalization).
+func FuzzDecodeManifest(f *testing.F) {
+	man := &Manifest{
+		Codec: "sz", Mode: compress.AbsLinf, Tol: 1e-3, Features: 6,
+		Chunks: []Chunk{
+			{File: "chunk-000000.blob", Bytes: 512, Checksum: 0xAB12CD34, Samples: 32, AchievedLinf: 9e-4, AchievedL2: 4e-4},
+			{File: "chunk-000001.blob", Bytes: 17, Checksum: 1, Samples: 1},
+		},
+	}
+	raw, err := man.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte(manifestMagic))
+	f.Add([]byte{})
+	for i := 0; i < len(raw); i += 7 {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x1D
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		re, err := m.Encode()
+		if err != nil {
+			t.Fatalf("accepted manifest fails to re-encode: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("decode/encode not a bijection:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeCursor does the same for the progress cursor: arbitrary
+// bytes never panic, and accepted cursors round-trip byte-exactly.
+func FuzzDecodeCursor(f *testing.F) {
+	c := sampleCursor()
+	raw, err := EncodeCursor(c)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)-4])
+	f.Add([]byte(cursorMagic))
+	for i := 0; i < len(raw); i += 5 {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x81
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cur, err := DecodeCursor(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeCursor(cur)
+		if err != nil {
+			t.Fatalf("accepted cursor fails to re-encode: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("decode/encode not a bijection:\n in  %x\n out %x", data, re)
+		}
+	})
+}

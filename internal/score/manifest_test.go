@@ -1,0 +1,185 @@
+package score
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/scidata/errprop/internal/compress"
+	_ "github.com/scidata/errprop/internal/compress/mgard"
+	_ "github.com/scidata/errprop/internal/compress/sz"
+	_ "github.com/scidata/errprop/internal/compress/zfp"
+	"github.com/scidata/errprop/internal/integrity"
+)
+
+// smoothField builds a feature-major features x samples block of smooth
+// per-feature signals (compressible, deterministic).
+func smoothField(features, samples int) []float64 {
+	out := make([]float64, features*samples)
+	for f := 0; f < features; f++ {
+		for c := 0; c < samples; c++ {
+			t := float64(c) / float64(samples)
+			out[f*samples+c] = math.Sin(2*math.Pi*t*float64(f+1)) * math.Exp(-t)
+		}
+	}
+	return out
+}
+
+func writeTestDataset(t *testing.T, codec string, tol float64, features, samples, chunkSamples int) (string, *Manifest) {
+	t.Helper()
+	dir := t.TempDir()
+	man, err := WriteDataset(dir, smoothField(features, samples), features, DatasetConfig{
+		Codec: codec, Mode: compress.AbsLinf, Tol: tol, ChunkSamples: chunkSamples,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, man
+}
+
+func TestWriteDatasetManifestRoundTrip(t *testing.T) {
+	const features, samples, chunkSamples = 6, 200, 32
+	dir, man := writeTestDataset(t, "sz", 1e-3, features, samples, chunkSamples)
+
+	if got, want := len(man.Chunks), (samples+chunkSamples-1)/chunkSamples; got != want {
+		t.Fatalf("chunk count %d, want %d", got, want)
+	}
+	if got := man.TotalSamples(); got != samples {
+		t.Fatalf("TotalSamples %d, want %d", got, samples)
+	}
+	for i, c := range man.Chunks {
+		if c.AchievedLinf > 1e-3 {
+			t.Errorf("chunk %d achieved linf %g exceeds requested tolerance", i, c.AchievedLinf)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, c.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(raw)) != c.Bytes {
+			t.Errorf("chunk %d file size %d != manifest %d", i, len(raw), c.Bytes)
+		}
+		if integrity.Checksum(raw) != c.Checksum {
+			t.Errorf("chunk %d checksum mismatch", i)
+		}
+	}
+
+	got, err := ReadManifestFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, man) {
+		t.Fatalf("manifest round trip differs:\n got %+v\nwant %+v", got, man)
+	}
+}
+
+func TestManifestDecodeTypedErrors(t *testing.T) {
+	_, man := writeTestDataset(t, "zfp", 1e-2, 4, 64, 16)
+	raw, err := man.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeManifest(raw); err != nil {
+		t.Fatalf("pristine manifest failed to decode: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"truncated-magic", func(b []byte) []byte { return b[:4] }, ErrTruncated},
+		{"truncated-body", func(b []byte) []byte { return b[:len(b)-3] }, ErrTruncated},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrCorrupt},
+		{"flipped-body", func(b []byte) []byte { b[len(b)-1] ^= 0x10; return b }, ErrCorrupt},
+		{"trailing", func(b []byte) []byte { return append(b, 0xAB) }, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := tc.mut(append([]byte(nil), raw...))
+			_, err := DecodeManifest(mut)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	// Trailing bytes fail the CRC (computed over declared body only when
+	// lengths agree) or the trailing check; either way typed.
+	if _, err := DecodeManifest(append(append([]byte(nil), raw...), 1, 2, 3)); !integrity.IsIntegrityError(err) {
+		t.Fatalf("trailing garbage: got %v, want integrity error", err)
+	}
+}
+
+func TestManifestRejectsPathEscapes(t *testing.T) {
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, "../../etc/passwd"} {
+		m := &Manifest{Codec: "sz", Features: 2, Chunks: []Chunk{{File: name, Bytes: 1, Samples: 1}}}
+		if _, err := m.Encode(); err == nil {
+			t.Errorf("Encode accepted chunk name %q", name)
+		}
+	}
+}
+
+func TestDecodeChunkDetectsDamage(t *testing.T) {
+	dir, man := writeTestDataset(t, "sz", 1e-3, 4, 96, 48)
+	c := man.Chunks[0]
+	raw, err := os.ReadFile(filepath.Join(dir, c.File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := DecodeChunk(man, c, raw)
+	if err != nil {
+		t.Fatalf("pristine chunk failed: %v", err)
+	}
+	if len(ref) != man.Features*c.Samples {
+		t.Fatalf("decoded %d values, want %d", len(ref), man.Features*c.Samples)
+	}
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x04
+	if _, err := DecodeChunk(man, c, flipped); !integrity.IsIntegrityError(err) {
+		t.Fatalf("bit flip: got %v, want integrity error", err)
+	}
+	if _, err := DecodeChunk(man, c, raw[:len(raw)-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncation: got %v, want ErrTruncated", err)
+	}
+	if _, err := DecodeChunk(man, c, append(append([]byte(nil), raw...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("size mismatch: got %v, want ErrCorrupt", err)
+	}
+
+	// A valid container that does not match its manifest entry (wrong
+	// codec / dims) must be rejected by the cross-checks.
+	other := man.Chunks[1]
+	otherRaw, err := os.ReadFile(filepath.Join(dir, other.File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := Chunk{File: c.File, Bytes: other.Bytes, Checksum: other.Checksum, Samples: c.Samples}
+	if c.Samples != other.Samples {
+		if _, err := DecodeChunk(man, swapped, otherRaw); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("sample-count mismatch: got %v, want ErrCorrupt", err)
+		}
+	}
+	wrongCodec := &Manifest{Codec: "mgard", Features: man.Features, Chunks: man.Chunks}
+	if _, err := DecodeChunk(wrongCodec, c, raw); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("codec mismatch: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteDatasetValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteDataset(dir, []float64{1, 2, 3}, 2, DatasetConfig{Codec: "sz", Mode: compress.AbsLinf, Tol: 1e-3}); err == nil {
+		t.Fatal("accepted field length not divisible by features")
+	}
+	if _, err := WriteDataset(dir, nil, 2, DatasetConfig{Codec: "sz", Mode: compress.AbsLinf, Tol: 1e-3}); err == nil {
+		t.Fatal("accepted empty field")
+	}
+	if _, err := WriteDataset(dir, []float64{1, 2}, 0, DatasetConfig{Codec: "sz", Mode: compress.AbsLinf, Tol: 1e-3}); err == nil {
+		t.Fatal("accepted zero features")
+	}
+	if _, err := WriteDataset(dir, smoothField(2, 8), 2, DatasetConfig{Codec: "nope", Mode: compress.AbsLinf, Tol: 1e-3}); err == nil {
+		t.Fatal("accepted unknown codec")
+	}
+}

@@ -1,0 +1,243 @@
+package score
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// ChunkResult is one chunk's scored output together with its certified
+// error accounting. All fields are deterministic: simulated times come
+// from the hpcio timing model (a pure function of byte counts), never
+// from a wall clock.
+type ChunkResult struct {
+	// Index is the chunk's position in the manifest.
+	Index int64 `json:"index"`
+	// File is the chunk's file name.
+	File string `json:"file"`
+	// Samples is the number of samples scored (0 when skipped).
+	Samples int `json:"samples"`
+
+	// Skipped is true when the chunk was detected as damaged and skipped
+	// under Config.SkipCorrupt; Detail carries the detection report. A
+	// skipped chunk contributes nothing to the aggregate QoI — it is
+	// reported, never silently wrong.
+	Skipped bool   `json:"skipped,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+
+	// AchievedLinf is the chunk's certified pointwise codec error from
+	// the manifest (measured at dataset write time).
+	AchievedLinf float64 `json:"achieved_linf"`
+	// InputL2 is the per-sample L2 input perturbation implied by the
+	// pointwise error: sqrt(features) * AchievedLinf.
+	InputL2 float64 `json:"input_l2"`
+	// QuantBound is the model's weight-quantization QoI bound (chunk
+	// independent, repeated per chunk so each result line is
+	// self-certifying).
+	QuantBound float64 `json:"quant_bound"`
+	// Bound is the chunk's certified per-sample QoI L-infinity bound
+	// under Inequality (3) with quantized-weight amplification:
+	// QuantBound + LipQ * InputL2.
+	Bound float64 `json:"bound"`
+	// WithinBudget reports Bound <= Config.QoIBudget; always true when
+	// no budget was configured.
+	WithinBudget bool `json:"within_budget"`
+
+	// Sum, Min and Max are the per-output-feature QoI aggregation over
+	// the chunk's samples, accumulated in fixed sample order.
+	Sum []float64 `json:"sum"`
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+
+	// StoredBytes / RawBytes are the compressed and uncompressed sizes.
+	StoredBytes int64 `json:"stored_bytes"`
+	RawBytes    int64 `json:"raw_bytes"`
+	// SimRead / SimDecode / SimExec are the simulated phase costs billed
+	// for this chunk (storage read incl. retry backoff, codec decode,
+	// device execution).
+	SimRead   time.Duration `json:"sim_read_ns"`
+	SimDecode time.Duration `json:"sim_decode_ns"`
+	SimExec   time.Duration `json:"sim_exec_ns"`
+	// Retries counts transient simulated-storage read failures absorbed
+	// by the bounded retry loop.
+	Retries int `json:"retries,omitempty"`
+}
+
+// Aggregate is the deterministic running reduction over committed
+// chunks, folded strictly in chunk-index order so worker count never
+// changes a bit of it. It is the state the cursor checkpoints.
+type Aggregate struct {
+	// Chunks counts committed chunks (scored + skipped); Skipped counts
+	// the subset that was detected as damaged and skipped.
+	Chunks  int64 `json:"chunks"`
+	Skipped int64 `json:"skipped"`
+	// Samples and Elems count scored samples and scored input elements
+	// (Samples x Features).
+	Samples int64 `json:"samples"`
+	Elems   int64 `json:"elems"`
+
+	// Sum, Min and Max aggregate the per-output-feature QoI across all
+	// scored samples.
+	Sum []float64 `json:"sum"`
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+
+	// BoundWeighted is sum_i(Samples_i * Bound_i) over scored chunks: a
+	// certified bound on the dataset-mean QoI error is
+	// BoundWeighted/Samples, since every sample's error is bounded by
+	// its chunk's certified bound. MaxBound is the worst per-chunk bound.
+	BoundWeighted float64 `json:"bound_weighted"`
+	MaxBound      float64 `json:"max_bound"`
+	// OverBudget counts scored chunks whose certified bound exceeded the
+	// configured QoI budget.
+	OverBudget int64 `json:"over_budget"`
+
+	// StoredBytes / RawBytes / Sim* total the per-chunk billing.
+	StoredBytes int64         `json:"stored_bytes"`
+	RawBytes    int64         `json:"raw_bytes"`
+	SimRead     time.Duration `json:"sim_read_ns"`
+	SimDecode   time.Duration `json:"sim_decode_ns"`
+	SimExec     time.Duration `json:"sim_exec_ns"`
+	Retries     int64         `json:"retries"`
+}
+
+// newAggregate returns an empty aggregate sized for outDim QoI features.
+func newAggregate(outDim int) *Aggregate {
+	return &Aggregate{
+		Sum: make([]float64, outDim),
+		Min: make([]float64, outDim),
+		Max: make([]float64, outDim),
+	}
+}
+
+// fold commits one chunk result into the aggregate. Called in strict
+// chunk-index order by the committer.
+func (a *Aggregate) fold(cr *ChunkResult) {
+	a.Chunks++
+	a.SimRead += cr.SimRead
+	a.SimDecode += cr.SimDecode
+	a.SimExec += cr.SimExec
+	a.Retries += int64(cr.Retries)
+	if cr.Skipped {
+		a.Skipped++
+		return
+	}
+	first := a.Samples == 0
+	a.Samples += int64(cr.Samples)
+	a.Elems += int64(cr.RawBytes / 8)
+	a.StoredBytes += cr.StoredBytes
+	a.RawBytes += cr.RawBytes
+	for f := range a.Sum {
+		a.Sum[f] += cr.Sum[f]
+		if first || cr.Min[f] < a.Min[f] {
+			a.Min[f] = cr.Min[f]
+		}
+		if first || cr.Max[f] > a.Max[f] {
+			a.Max[f] = cr.Max[f]
+		}
+	}
+	a.BoundWeighted += float64(cr.Samples) * cr.Bound
+	if cr.Bound > a.MaxBound {
+		a.MaxBound = cr.Bound
+	}
+	if !cr.WithinBudget {
+		a.OverBudget++
+	}
+}
+
+// Mean returns the dataset-mean QoI vector (Sum/Samples), nil when no
+// samples were scored.
+func (a *Aggregate) Mean() []float64 {
+	if a.Samples == 0 {
+		return nil
+	}
+	out := make([]float64, len(a.Sum))
+	for i, s := range a.Sum {
+		out[i] = s / float64(a.Samples)
+	}
+	return out
+}
+
+// MeanBound returns the certified bound on the dataset-mean QoI error
+// (the sample-weighted mean of the per-chunk certified bounds).
+func (a *Aggregate) MeanBound() float64 {
+	if a.Samples == 0 {
+		return 0
+	}
+	return a.BoundWeighted / float64(a.Samples)
+}
+
+// ResultLog is the durable per-chunk result stream: one deterministic
+// JSON line per committed chunk, appended in chunk-index order. Together
+// with the cursor it forms a write-ahead pair — results are appended and
+// synced *before* the cursor records their byte offset, and resume
+// truncates the log back to the last cursor's offset — so a crash at any
+// instant leaves a log that resume extends into exactly the bytes an
+// uninterrupted run would have produced.
+type ResultLog struct {
+	f   *os.File
+	off int64
+}
+
+// OpenResultLog opens (creating if needed) the result log at path.
+func OpenResultLog(path string) (*ResultLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	off, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &ResultLog{f: f, off: off}, nil
+}
+
+// Append writes one chunk result as a JSON line. encoding/json marshals
+// struct fields in declaration order, so the bytes are deterministic.
+func (l *ResultLog) Append(cr *ChunkResult) error {
+	raw, err := json.Marshal(cr)
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	n, err := l.f.Write(raw)
+	l.off += int64(n)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Offset returns the current end offset of the log in bytes.
+func (l *ResultLog) Offset() int64 { return l.off }
+
+// Sync flushes the log to stable storage.
+func (l *ResultLog) Sync() error { return l.f.Sync() }
+
+// Truncate cuts the log back to off bytes — used on resume to discard
+// lines written after the last durable cursor.
+func (l *ResultLog) Truncate(off int64) error {
+	if off < 0 || off > l.off {
+		return fmt.Errorf("score: result log truncate offset %d outside 0..%d", off, l.off)
+	}
+	if err := l.f.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	l.off = off
+	return nil
+}
+
+// Close syncs and closes the log.
+func (l *ResultLog) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
