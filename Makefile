@@ -34,18 +34,22 @@ test:
 race:
 	$(GO) test -race -shuffle=on -timeout=35m ./...
 
-# ~12s total fuzz smoke, 3s per target: enough to catch a freshly
+# ~24s total fuzz smoke, 3s per target: enough to catch a freshly
 # introduced panic without stalling CI. Targets are pkg:Fuzz pairs;
 # FuzzDecodeContainer exercises the checksummed v2 container framing
-# (with v1 seeds for the legacy path) and FuzzDecodeCheckpoint the
-# crash-safe checkpoint decoder.
+# (with v1 seeds for the legacy path), FuzzDecodeCheckpoint the
+# crash-safe checkpoint decoder, and the two tensor targets are the
+# differential kernel fuzzers: blocked/fused engine kernels must stay
+# byte-exact against the naive reference loops over random shapes.
 FUZZ_TARGETS = \
 	./internal/compress:FuzzDecodeContainer \
 	./internal/compress:FuzzHuffmanDecode \
 	./internal/compress:FuzzSZRoundTrip \
 	./internal/checkpoint:FuzzDecodeCheckpoint \
 	./internal/score:FuzzDecodeManifest \
-	./internal/score:FuzzDecodeCursor
+	./internal/score:FuzzDecodeCursor \
+	./internal/tensor:FuzzMulIntoBlocked \
+	./internal/tensor:FuzzIm2ColMatInto
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -128,16 +132,19 @@ bench-train:
 	ERRPROP_TRAIN_BENCH_OUT=$(CURDIR)/BENCH_train.json \
 	$(GO) test -run '^TestWriteTrainBenchJSON$$' -count=1 -v ./internal/nn
 
-# Reproduce BENCH_infer.json: Network.Forward vs compiled Engine.Forward
-# kernel timings plus served req/s on the engine-backed worker pool (see
-# README "Inference engine").
+# Reproduce BENCH_infer.json: Network.Forward vs the blocked/fused
+# engine vs a 2-way-sharded engine on MLP/conv/attention shapes, with
+# the PR 5 naive-kernel engine ratio as speedup anchor, plus served
+# req/s on the engine-backed worker pool (see README "Inference
+# engine").
 bench-infer:
 	ERRPROP_INFER_BENCH_OUT=$(CURDIR)/BENCH_infer.json \
 	$(GO) test -run '^TestWriteInferBenchJSON$$' -count=1 -v ./internal/serve
 
-# One-pass bench smoke: the legacy-vs-engine forward benchmarks must run
-# (10 iterations — correctness of the harness, not timing stability), so
-# a refactor cannot silently break the benchmark surface.
+# One-pass bench smoke: the legacy-vs-engine forward benchmarks — MLP,
+# conv, attention, and the sharded-engine variant — must run (10
+# iterations — correctness of the harness, not timing stability), so a
+# refactor cannot silently break the benchmark surface.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkForward(Legacy|Engine)' -benchtime 10x ./internal/nn
 

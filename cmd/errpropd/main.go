@@ -72,6 +72,7 @@ func run(args []string) error {
 		flush    = fs.Duration("flush", 2*time.Millisecond, "micro-batch flush deadline")
 		queueCap = fs.Int("queue", 1024, "admission queue capacity per model")
 		workers  = fs.Int("workers", 4, "inference engines per model")
+		shards   = fs.Int("engine-shards", 1, "goroutines each engine splits a batch across (bit-identical for any value)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	)
 	var models []modelFlag
@@ -110,6 +111,7 @@ func run(args []string) error {
 		FlushInterval:  *flush,
 		QueueCap:       *queueCap,
 		Workers:        *workers,
+		EngineShards:   *shards,
 		RequestTimeout: *timeout,
 	})
 	for _, m := range models {

@@ -55,6 +55,7 @@ func run(args []string) error {
 		budget    = fs.Float64("budget", 0, "per-sample QoI error budget (0 = report bounds without admission)")
 		workers   = fs.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS; never changes results)")
 		batch     = fs.Int("batch", 256, "forward-pass batch size")
+		shards    = fs.Int("engine-shards", 1, "goroutines each worker engine splits a batch across (never changes results)")
 
 		out       = fs.String("out", "", "durable per-chunk JSONL result log")
 		summary   = fs.String("summary", "", "write the deterministic aggregate summary JSON here")
@@ -88,6 +89,7 @@ func run(args []string) error {
 		QoIBudget:       *budget,
 		Workers:         *workers,
 		Batch:           *batch,
+		EngineShards:    *shards,
 		CursorDir:       *cursorDir,
 		CheckpointEvery: *ckptEvery,
 		SkipCorrupt:     *skip,

@@ -371,6 +371,14 @@ func CompileInference(net *Network, maxBatch int) (*Engine, error) {
 	return nn.CompileInference(net, maxBatch)
 }
 
+// CompileInferenceSharded is CompileInference with Forward splitting
+// each batch column-wise across up to shards goroutines. Outputs are
+// bit-identical for every shard count — sharding is a wall-clock knob,
+// never a numbers knob — so certified bounds transfer unchanged.
+func CompileInferenceSharded(net *Network, maxBatch, shards int) (*Engine, error) {
+	return nn.CompileInferenceSharded(net, maxBatch, shards)
+}
+
 // InferShapes statically infers a Spec's output dimension, validating
 // layer-geometry chaining along the way — no network build, no forward
 // pass.

@@ -59,6 +59,16 @@ func TestEngineBitIdenticalQuantized(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				// Sharded engines must hold the same quantized bit-identity:
+				// shard count is a wall-clock knob, never a numbers knob.
+				sharded := make([]*errprop.Engine, 0, 2)
+				for _, sc := range []int{3, 8} {
+					se, err := errprop.CompileInferenceSharded(qnet, 8, sc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sharded = append(sharded, se)
+				}
 				rng := rand.New(rand.NewSource(32))
 				for _, batch := range []int{1, 5, 8} {
 					x := randBatch(rng, net.InputDim, batch)
@@ -70,6 +80,12 @@ func TestEngineBitIdenticalQuantized(t *testing.T) {
 					}
 					if !bitEqual(got.Data, want.Data) {
 						t.Fatalf("batch %d: engine output not bit-identical to quantized Network.Forward", batch)
+					}
+					for _, se := range sharded {
+						if sgot := se.Forward(x); !bitEqual(sgot.Data, want.Data) {
+							t.Fatalf("batch %d shards=%d: sharded engine output not bit-identical to quantized Network.Forward",
+								batch, se.Shards())
+						}
 					}
 				}
 			})

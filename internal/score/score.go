@@ -42,6 +42,11 @@ type Config struct {
 	Workers int
 	// Batch is the forward-pass batch size (default 256).
 	Batch int
+	// EngineShards splits each worker engine's forward pass column-wise
+	// across this many goroutines (default 1 = unsharded). Bit-identical
+	// for any value (nn.CompileInferenceSharded), so it never appears in
+	// the exactness contract — only in wall-clock.
+	EngineShards int
 	// Dir is the chunk directory (default: the manifest's directory as
 	// passed to ScoreFile, or "." for Score on an in-memory manifest).
 	Dir string
@@ -85,6 +90,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Batch <= 0 {
 		c.Batch = 256
+	}
+	if c.EngineShards <= 0 {
+		c.EngineShards = 1
 	}
 	if c.Dir == "" {
 		c.Dir = "."
@@ -158,7 +166,7 @@ func Score(net *nn.Network, man *Manifest, cfg Config) (*Result, error) {
 	acct := newAccountant(an, man.Features, cfg.QoIBudget)
 	engines := make([]*nn.Engine, cfg.Workers)
 	for i := range engines {
-		if engines[i], err = nn.CompileInference(serving, cfg.Batch); err != nil {
+		if engines[i], err = nn.CompileInferenceSharded(serving, cfg.Batch, cfg.EngineShards); err != nil {
 			return nil, fmt.Errorf("score: compiling engine: %w", err)
 		}
 	}

@@ -83,6 +83,16 @@ func TestScoreWorkerInvariance(t *testing.T) {
 				}
 				assertSameResult(t, got, ref, codec)
 			}
+			// EngineShards is the same kind of knob as Workers: wall-clock
+			// only. Sharded worker engines must reproduce the reference run
+			// bit for bit.
+			for _, shards := range []int{2, 3} {
+				got, err := Score(net, man, Config{Format: numfmt.FP16, QoIBudget: 10, Workers: 2, Batch: 16, EngineShards: shards, Dir: dir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResult(t, got, ref, codec)
+			}
 		})
 	}
 }

@@ -110,10 +110,14 @@ type ModelStats struct {
 	// ("crc32c:xxxxxxxx"), computed at registration; operators compare it
 	// against a known-good model file to verify which weights a replica
 	// is actually serving.
-	Checksum   string `json:"checksum"`
-	Requests   int64  `json:"requests_total"`
-	Samples    int64  `json:"samples_total"`
-	QueueDepth int    `json:"queue_depth"`
+	Checksum string `json:"checksum"`
+	Requests int64  `json:"requests_total"`
+	Samples  int64  `json:"samples_total"`
+	// Admitted counts samples accepted into the queue, incremented at
+	// admission — unlike Samples, which counts at completion — so
+	// Admitted > Samples+QueueDepth exposes in-flight work.
+	Admitted   int64 `json:"admitted_total"`
+	QueueDepth int   `json:"queue_depth"`
 }
 
 // Snapshot is a point-in-time view of the metrics plane, also the JSON
@@ -183,6 +187,7 @@ func (s *Server) Metrics() Snapshot {
 			Checksum:   md.checksum,
 			Requests:   md.requests.Load(),
 			Samples:    md.samples.Load(),
+			Admitted:   md.admitted.Load(),
 			QueueDepth: depth,
 		}
 	}

@@ -64,6 +64,12 @@ type Config struct {
 	// Workers is the number of compiled inference engines serving each model
 	// (default 4).
 	Workers int
+	// EngineShards splits each engine's forward pass column-wise across
+	// this many goroutines (default 1 = unsharded). Outputs are
+	// bit-identical for any value (nn.CompileInferenceSharded); raise it
+	// when large batches on few models should use more cores than the
+	// worker count alone provides.
+	EngineShards int
 	// RequestTimeout bounds each request's time in queue + execution
 	// (default 5s); expiry returns 504.
 	RequestTimeout time.Duration
@@ -86,6 +92,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.EngineShards <= 0 {
+		c.EngineShards = 1
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
@@ -156,6 +165,7 @@ type model struct {
 
 	requests atomic.Int64
 	samples  atomic.Int64
+	admitted atomic.Int64 // samples accepted into queue (counted at admission, not completion)
 
 	srv *Server
 }
@@ -207,7 +217,7 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 	sum := integrity.ChecksumString(integrity.Checksum(serialized.Bytes()))
 	engines := make([]*nn.Engine, s.cfg.Workers)
 	for i := range engines {
-		eng, err := nn.CompileInference(serving, s.cfg.MaxBatch)
+		eng, err := nn.CompileInferenceSharded(serving, s.cfg.MaxBatch, s.cfg.EngineShards)
 		if err != nil {
 			return fmt.Errorf("serve: compiling inference engine for %q: %w", name, err)
 		}
@@ -305,6 +315,10 @@ func (m *model) enqueue(it *item) error {
 	}
 	select {
 	case m.queue <- it:
+		// Counted at admission (requests/samples count at completion), so
+		// observers — drain tests, operators watching a wedged model — can
+		// distinguish "accepted but stuck" from "never arrived".
+		m.admitted.Add(1)
 		return nil
 	default:
 		return ErrBusy

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -34,9 +35,13 @@ func h2Net(t testing.TB) *nn.Network {
 
 // slowNet is big enough that a single-sample forward takes milliseconds,
 // letting tests saturate queues deterministically.
+// slowNet is sized so one forward pass costs tens of milliseconds even
+// on the blocked engine kernels: the backpressure/timeout/drain tests
+// below need requests to observably pile up behind a busy worker, which
+// only holds when service time dwarfs goroutine-scheduling jitter.
 func slowNet(t testing.TB) *nn.Network {
 	t.Helper()
-	net, err := nn.MLPSpec("slow", []int{256, 2048, 2048, 8}, nn.ActReLU, false).Build(7)
+	net, err := nn.MLPSpec("slow", []int{256, 4096, 4096, 4096, 8}, nn.ActReLU, false).Build(7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +117,45 @@ func TestPredictMatchesDirectForward(t *testing.T) {
 	}
 	if pr.Bound == nil || pr.Bound.Format != "fp32" {
 		t.Fatalf("missing/wrong bound info: %+v", pr.Bound)
+	}
+}
+
+// TestShardedWorkersBitIdentical pins Config.EngineShards as a pure
+// wall-clock knob at the serving boundary: the same batch served by
+// 3-way-sharded worker engines must produce byte-identical response
+// outputs to an unsharded server.
+func TestShardedWorkersBitIdentical(t *testing.T) {
+	net := h2Net(t)
+	_, plain := newTestServer(t, Config{Workers: 1, MaxBatch: 16}, "h2", net, numfmt.FP16)
+	_, sharded := newTestServer(t, Config{Workers: 1, MaxBatch: 16, EngineShards: 3}, "h2", net, numfmt.FP16)
+
+	rng := rand.New(rand.NewSource(17))
+	inputs := make([][]float64, 8)
+	for i := range inputs {
+		row := make([]float64, 9)
+		for f := range row {
+			row[f] = rng.NormFloat64()
+		}
+		inputs[i] = row
+	}
+	req := PredictRequest{Model: "h2", Inputs: inputs}
+	resp, wantBody := postJSON(t, plain.Client(), plain.URL+"/v1/predict", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unsharded status %d: %s", resp.StatusCode, wantBody)
+	}
+	resp, gotBody := postJSON(t, sharded.Client(), sharded.URL+"/v1/predict", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded status %d: %s", resp.StatusCode, gotBody)
+	}
+	var want, got PredictResponse
+	if err := json.Unmarshal(wantBody, &want); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(gotBody, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+		t.Fatal("sharded worker outputs differ from unsharded")
 	}
 }
 
@@ -268,7 +312,20 @@ func TestGracefulDrain(t *testing.T) {
 			codes <- resp.StatusCode
 		}()
 	}
-	time.Sleep(20 * time.Millisecond) // let them enter the queue
+	// Wait until every request is observably admitted — the enqueue path
+	// counts admissions atomically — instead of hoping a fixed sleep was
+	// long enough for the HTTP handlers to reach the queue.
+	m, ok := s.model("slow")
+	if !ok {
+		t.Fatal("model not registered")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for m.admitted.Load() < inflight {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests admitted before deadline", m.admitted.Load(), inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
 	s.Close()
 
 	// After Close returns, new work is refused...

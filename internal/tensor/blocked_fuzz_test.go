@@ -1,0 +1,116 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential kernel fuzzing: the fuzzer drives shapes and a value
+// seed; the property is byte-exact agreement between the blocked/fused
+// kernels and the naive reference loops (or, for Im2ColMatInto, the
+// documented per-element placement formula). Wired into `make
+// fuzz-smoke` so a schedule change that breaks bit-identity fails CI
+// within seconds.
+
+// fuzzDim maps a raw fuzz byte to a dimension in [0, 17): small enough
+// to stay fast, large enough to cross the 4-row panel and 2x4 tile
+// boundaries with remainders.
+func fuzzDim(b byte) int { return int(b) % 17 }
+
+func FuzzMulIntoBlocked(f *testing.F) {
+	f.Add(int64(1), byte(4), byte(4), byte(4))
+	f.Add(int64(2), byte(1), byte(1), byte(1))
+	f.Add(int64(3), byte(5), byte(7), byte(3))
+	f.Add(int64(4), byte(0), byte(3), byte(2))
+	f.Add(int64(5), byte(9), byte(0), byte(8))
+	f.Add(int64(6), byte(13), byte(16), byte(11))
+	f.Fuzz(func(t *testing.T, seed int64, mb, kb, nb byte) {
+		m, k, n := fuzzDim(mb), fuzzDim(kb), fuzzDim(nb)
+		rng := rand.New(rand.NewSource(seed))
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		want := a.MulInto(b, nil)
+		got := a.MulIntoBlocked(b, nil)
+		diffFail(t, "MulIntoBlocked", got, want)
+
+		at := randMat(rng, k, m)
+		want = at.TMulInto(b, nil)
+		got = at.TMulIntoBlocked(b, nil)
+		diffFail(t, "TMulIntoBlocked", got, want)
+
+		bt := randMat(rng, n, k)
+		want = a.MulBTInto(bt, nil)
+		got = a.MulBTIntoBlocked(bt, nil)
+		diffFail(t, "MulBTIntoBlocked", got, want)
+	})
+}
+
+func diffFail(t *testing.T, label string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if !bitsMatch(got.Data[i], want.Data[i]) {
+			t.Fatalf("%s: element %d bits %#x, want %#x",
+				label, i, math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+func FuzzIm2ColMatInto(f *testing.F) {
+	f.Add(int64(1), byte(1), byte(4), byte(4), byte(3), byte(1), byte(1), byte(2))
+	f.Add(int64(2), byte(2), byte(5), byte(3), byte(2), byte(2), byte(0), byte(1))
+	f.Add(int64(3), byte(3), byte(1), byte(1), byte(1), byte(1), byte(0), byte(3))
+	f.Add(int64(4), byte(2), byte(6), byte(6), byte(3), byte(2), byte(2), byte(4))
+	f.Fuzz(func(t *testing.T, seed int64, cb, hb, wb, kb, sb, pb, nb byte) {
+		c := 1 + int(cb)%3
+		h := 1 + int(hb)%7
+		w := 1 + int(wb)%7
+		k := 1 + int(kb)%4
+		stride := 1 + int(sb)%3
+		pad := int(pb) % 3
+		batch := 1 + int(nb)%5
+		outH := ConvOutSize(h, k, stride, pad)
+		outW := ConvOutSize(w, k, stride, pad)
+		if outH <= 0 || outW <= 0 || k > h+2*pad || k > w+2*pad {
+			t.Skip("degenerate geometry")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := randMat(rng, c*h*w, batch)
+		got := Im2ColMatInto(x, c, h, w, k, k, stride, pad, nil)
+
+		// Independent reference: the documented placement formula, one
+		// element at a time — row (ch*k+ky)*k+kx, column
+		// n*outH*outW+oy*outW+ox, padded taps exactly zero.
+		if got.Rows != c*k*k || got.Cols != batch*outH*outW {
+			t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, c*k*k, batch*outH*outW)
+		}
+		for ch := 0; ch < c; ch++ {
+			for ky := 0; ky < k; ky++ {
+				for kx := 0; kx < k; kx++ {
+					row := (ch*k+ky)*k + kx
+					for n := 0; n < batch; n++ {
+						for oy := 0; oy < outH; oy++ {
+							for ox := 0; ox < outW; ox++ {
+								col := n*outH*outW + oy*outW + ox
+								iy := oy*stride - pad + ky
+								ix := ox*stride - pad + kx
+								want := 0.0
+								if iy >= 0 && iy < h && ix >= 0 && ix < w {
+									want = x.Data[((ch*h+iy)*w+ix)*batch+n]
+								}
+								g := got.Data[row*got.Cols+col]
+								if math.Float64bits(g) != math.Float64bits(want) {
+									t.Fatalf("element (%d,%d) bits %#x, want %#x",
+										row, col, math.Float64bits(g), math.Float64bits(want))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
