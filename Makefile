@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz-smoke lint vet-baseline-update serve-smoke score-smoke bench-serve bench-train bench-infer bench-score bench-smoke ci
+.PHONY: all build vet fmt-check test race fuzz-smoke lint vet-baseline-update serve-smoke score-smoke gateway-smoke bench-serve bench-train bench-infer bench-score bench-smoke ci
 
 all: build
 
@@ -48,6 +48,7 @@ FUZZ_TARGETS = \
 	./internal/checkpoint:FuzzDecodeCheckpoint \
 	./internal/score:FuzzDecodeManifest \
 	./internal/score:FuzzDecodeCursor \
+	./internal/gateway:FuzzDecodeRegistry \
 	./internal/tensor:FuzzMulIntoBlocked \
 	./internal/tensor:FuzzIm2ColMatInto
 fuzz-smoke:
@@ -113,6 +114,50 @@ score-smoke:
 	cmp "$$tmp/ref.json" "$$tmp/res.json" || { echo "resumed summary differs from reference"; exit 1; }; \
 	echo "score-smoke OK (kill at chunk 9, resume bit-identical)"
 
+# End-to-end fleet drill with real processes: boot errpropd -gateway
+# over 2 spawned backends, predict through the gateway, SIGKILL one
+# backend mid-fleet, keep predicting (every response must succeed — the
+# gateway retries around the corpse until the supervisor respawns it),
+# require /metrics to show the kill was seen (retries, probe failures,
+# or backend failures) and the fleet back at 2 ready backends with
+# breakers closed, then SIGTERM-drain the gateway and require exit 0.
+gateway-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/errpropd" ./cmd/errpropd; \
+	"$$tmp/errpropd" -gateway -spawn 2 -demo -format fp16 -probe 50ms \
+	  -addr 127.0.0.1:0 -portfile "$$tmp/port" >"$$tmp/log" 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 200); do [ -s "$$tmp/port" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/port" ] || { echo "gateway never wrote portfile"; cat "$$tmp/log"; exit 1; }; \
+	addr=$$(cat "$$tmp/port"); \
+	predict() { curl -fsS "http://$$addr/v1/predict" \
+	  -d "{\"model\":\"demo\",\"inputs\":[[0,0.1,0.2,0.3,0.4,$$1,0.6,0.7,0.8]],\"tolerance\":1e6}" \
+	  | grep -q '"outputs"'; }; \
+	for i in $$(seq 1 100); do \
+	  curl -fsS "http://$$addr/healthz" | grep -q '"ready":true' && break; sleep 0.1; done; \
+	predict 0.50 || { echo "pre-kill predict failed"; cat "$$tmp/log"; exit 1; }; \
+	victim=$$(pgrep -P $$pid | head -1); \
+	[ -n "$$victim" ] || { echo "no backend child found"; cat "$$tmp/log"; exit 1; }; \
+	kill -9 "$$victim"; \
+	for i in $$(seq 1 30); do \
+	  predict "0.$$i" || { echo "predict $$i after SIGKILL failed"; cat "$$tmp/log"; exit 1; }; done; \
+	evidence=0; recovered=0; \
+	for i in $$(seq 1 100); do \
+	  m=$$(curl -fsS "http://$$addr/metrics"); \
+	  e=$$(echo "$$m" | grep -o '"retries_total":[0-9]*\|"probe_failures_total":[0-9]*\|"failures_total":[0-9]*' \
+	    | awk -F: '{s+=$$2} END {print s+0}'); \
+	  [ "$$e" -gt 0 ] && evidence=1; \
+	  closed=$$(echo "$$m" | grep -o '"breaker":"closed"' | wc -l); \
+	  ready=$$(echo "$$m" | grep -o '"ready":true' | wc -l); \
+	  if [ "$$closed" -eq 2 ] && [ "$$ready" -ge 2 ] && [ "$$evidence" -eq 1 ]; then recovered=1; break; fi; \
+	  sleep 0.1; done; \
+	[ "$$recovered" -eq 1 ] || { echo "fleet never recovered with kill evidence (evidence=$$evidence)"; \
+	  curl -fsS "http://$$addr/metrics"; cat "$$tmp/log"; exit 1; }; \
+	predict 0.99 || { echo "post-recovery predict failed"; cat "$$tmp/log"; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "gateway did not drain cleanly"; cat "$$tmp/log"; exit 1; }; \
+	echo "gateway-smoke OK (SIGKILL absorbed, fleet recovered, drained)"
+
 # Reproduce BENCH_score.json: simulated bulk-scoring throughput vs
 # compression tolerance for sz/zfp/mgard (see README "Bulk scoring").
 bench-score:
@@ -148,4 +193,4 @@ bench-infer:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkForward(Legacy|Engine)' -benchtime 10x ./internal/nn
 
-ci: build vet fmt-check race fuzz-smoke lint serve-smoke score-smoke bench-smoke
+ci: build vet fmt-check race fuzz-smoke lint serve-smoke score-smoke gateway-smoke bench-smoke

@@ -74,6 +74,13 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 4, "inference engines per model")
 		shards   = fs.Int("engine-shards", 1, "goroutines each engine splits a batch across (bit-identical for any value)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+
+		gatewayMode = fs.Bool("gateway", false, "run as a routing gateway over a fleet of errpropd backends instead of serving models directly")
+		spawn       = fs.Int("spawn", 0, "gateway: spawn this many backend child processes (re-invoking this binary with the serving flags) and supervise them")
+		registry    = fs.String("registry", "", "gateway: checksummed fleet manifest to route to; SIGHUP re-reads it (corrupt manifests are refused, keeping the current fleet)")
+		probeEvery  = fs.Duration("probe", 250*time.Millisecond, "gateway: health-probe interval")
+		retries     = fs.Int("retries", 3, "gateway: total send attempts per request, first try included")
+		seed        = fs.Uint64("seed", 1, "gateway: retry-jitter seed (drills replay bit-identically for a fixed seed)")
 	)
 	var models []modelFlag
 	fs.Func("model", "register a model as name=path (repeatable)", func(arg string) error {
@@ -86,6 +93,25 @@ func run(args []string) error {
 	})
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *gatewayMode {
+		return runGateway(gatewayOpts{
+			addr:       *addr,
+			portfile:   *portfile,
+			spawn:      *spawn,
+			registry:   *registry,
+			probeEvery: *probeEvery,
+			retries:    *retries,
+			seed:       *seed,
+			backendArgs: backendArgs(backendFlags{
+				format: *format, demo: *demo, models: models,
+				maxBatch: *maxBatch, flush: *flush, queueCap: *queueCap,
+				workers: *workers, shards: *shards, timeout: *timeout,
+			}),
+		})
+	}
+	if *spawn > 0 || *registry != "" {
+		return fmt.Errorf("-spawn and -registry require -gateway")
 	}
 	if len(models) == 0 && !*demo {
 		return fmt.Errorf("nothing to serve: pass -model name=path and/or -demo")

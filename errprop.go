@@ -32,6 +32,7 @@ import (
 	_ "github.com/scidata/errprop/internal/compress/sz"
 	_ "github.com/scidata/errprop/internal/compress/zfp"
 	"github.com/scidata/errprop/internal/core"
+	"github.com/scidata/errprop/internal/gateway"
 	"github.com/scidata/errprop/internal/gpusim"
 	"github.com/scidata/errprop/internal/integrity"
 	"github.com/scidata/errprop/internal/nn"
@@ -399,6 +400,52 @@ type ServeMetrics = serve.Snapshot
 // NewServer builds an inference server; register models with
 // Server.Register and mount Server.Handler on any net/http server.
 func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Gateway routes inference requests across a fleet of errpropd
+// backends: consistent-hash routing on (model, request bytes), active
+// health probes with a liveness/readiness distinction, bounded retry
+// with deterministic backoff jitter, per-backend circuit breakers, and
+// a response cache for the deterministic /v1/plan and /v1/models
+// endpoints. Retries are safe because backend responses are
+// bit-identical for the same request bytes (see internal/gateway).
+type Gateway = gateway.Gateway
+
+// GatewayConfig tunes a Gateway; the zero value gets production
+// defaults.
+type GatewayConfig = gateway.Config
+
+// GatewayBackend names one routable errpropd process.
+type GatewayBackend = gateway.Backend
+
+// GatewayRegistry is a fleet manifest: the checksummed on-disk form is
+// written by WriteGatewayRegistry and hot-reloaded by a running
+// gateway on SIGHUP.
+type GatewayRegistry = gateway.Registry
+
+// GatewayBackendStatus is one backend's health/traffic slice of the
+// gateway's metrics.
+type GatewayBackendStatus = gateway.BackendStatus
+
+// GatewayMetrics is a point-in-time snapshot of a Gateway's metrics
+// plane (the GET /metrics body).
+type GatewayMetrics = gateway.Snapshot
+
+// NewGateway builds a gateway with no backends; install a fleet with
+// Gateway.SetBackends or Gateway.LoadRegistryFile and mount
+// Gateway.Handler.
+func NewGateway(cfg GatewayConfig) *Gateway { return gateway.New(cfg) }
+
+// WriteGatewayRegistry atomically writes a checksummed registry
+// manifest (temp file + fsync + rename).
+func WriteGatewayRegistry(path string, reg *GatewayRegistry) error {
+	return gateway.WriteRegistryFile(path, reg)
+}
+
+// ReadGatewayRegistry reads and verifies a registry manifest; corrupt
+// or truncated files are refused with a typed integrity error.
+func ReadGatewayRegistry(path string) (*GatewayRegistry, error) {
+	return gateway.ReadRegistryFile(path)
+}
 
 // AutotuneOptions configures the automated allocation search.
 type AutotuneOptions = autotune.Options

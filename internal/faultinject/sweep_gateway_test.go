@@ -1,0 +1,33 @@
+package faultinject_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/scidata/errprop/internal/gateway"
+)
+
+// gatewayRegistryArtifact puts the gateway's fleet manifest under the
+// corruption sweep: a mangled registry must be detected at decode —
+// the same decode path LoadRegistryFile runs on boot and on SIGHUP —
+// so a hot reload is either applied intact or refused, never applied
+// partially.
+func gatewayRegistryArtifact(t *testing.T) artifact {
+	t.Helper()
+	reg := &gateway.Registry{Backends: []gateway.Backend{
+		{Name: "backend-0", Addr: "127.0.0.1:9001", Weight: 1},
+		{Name: "backend-1", Addr: "127.0.0.1:9002", Weight: 2},
+		{Name: "backend-2", Addr: "10.1.2.3:8080", Weight: 1},
+	}}
+	raw, err := reg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifact{name: "gateway-registry", raw: raw, check: func(mut []byte) (bool, error) {
+		got, err := gateway.DecodeRegistry(mut)
+		if err != nil {
+			return false, err
+		}
+		return reflect.DeepEqual(got, reg), nil
+	}}
+}

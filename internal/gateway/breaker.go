@@ -1,0 +1,118 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int32
+
+const (
+	breakerClosed   breakerState = iota // routing normally
+	breakerOpen                         // tripped: no traffic until cooldown
+	breakerHalfOpen                     // cooldown elapsed: one trial in flight
+)
+
+// String names the state for /metrics and /healthz.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-backend circuit breaker: Threshold consecutive
+// failures trip it open; after Cooldown it admits exactly one trial
+// request (half-open) whose outcome closes or re-opens it. A successful
+// health probe also closes it, so a restarted backend re-enters the
+// ring within one probe interval even with no client traffic to act as
+// the trial.
+//
+// Every method takes the current time as a parameter instead of calling
+// time.Now, so the state machine is a pure function of its inputs and
+// unit tests drive it deterministically.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state    breakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+
+	trips atomic.Int64 // cumulative trips, for /metrics
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent to the backend now. In
+// the open state it returns false until cooldown has elapsed, then
+// transitions to half-open and admits exactly one trial; subsequent
+// calls see half-open and are refused until the trial reports back.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	case breakerHalfOpen:
+		return false
+	}
+	return false
+}
+
+// success records a successful request or health probe: the breaker
+// closes and the failure run resets, whatever state it was in.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// failure records a failed request or probe. A half-open trial failure
+// re-opens immediately; a closed breaker opens once the consecutive
+// run reaches the threshold.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.trips.Add(1)
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.trips.Add(1)
+		}
+	case breakerOpen:
+		// Already open: refresh nothing; the cooldown clock runs from the
+		// trip, so a stream of failures cannot hold the breaker open
+		// forever past its cooldown.
+	}
+}
+
+// snapshot reports (state, consecutive fails, cumulative trips).
+func (b *breaker) snapshot() (breakerState, int, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails, b.trips.Load()
+}

@@ -1,0 +1,87 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// The breaker's clock is injected, so every transition is pinned
+// deterministically — no sleeps, no flake.
+func TestBreakerStateMachine(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second)
+
+	if !b.allow(t0) {
+		t.Fatal("fresh breaker must be closed")
+	}
+	// Two failures: still closed (threshold 3).
+	b.failure(t0)
+	b.failure(t0)
+	if !b.allow(t0) {
+		t.Fatal("breaker opened below threshold")
+	}
+	// Third consecutive failure trips it.
+	b.failure(t0)
+	if b.allow(t0.Add(10 * time.Millisecond)) {
+		t.Fatal("breaker closed right after tripping")
+	}
+	if st, _, trips := b.snapshot(); st != breakerOpen || trips != 1 {
+		t.Fatalf("state %v trips %d, want open/1", st, trips)
+	}
+
+	// A success resets the run even mid-sequence.
+	b2 := newBreaker(3, time.Second)
+	b2.failure(t0)
+	b2.failure(t0)
+	b2.success()
+	b2.failure(t0)
+	b2.failure(t0)
+	if !b2.allow(t0) {
+		t.Fatal("success must reset the consecutive-failure run")
+	}
+
+	// Cooldown elapses: exactly one half-open trial is admitted.
+	t1 := t0.Add(1100 * time.Millisecond)
+	if !b.allow(t1) {
+		t.Fatal("cooldown elapsed but no trial admitted")
+	}
+	if b.allow(t1) {
+		t.Fatal("second concurrent trial admitted while half-open")
+	}
+	// Trial fails: re-open, cooldown restarts from now.
+	b.failure(t1)
+	if b.allow(t1.Add(500 * time.Millisecond)) {
+		t.Fatal("breaker closed during post-trial cooldown")
+	}
+	if _, _, trips := b.snapshot(); trips != 2 {
+		t.Fatalf("trips %d, want 2 after failed trial", trips)
+	}
+	// Next trial succeeds: closed for good.
+	t2 := t1.Add(1100 * time.Millisecond)
+	if !b.allow(t2) {
+		t.Fatal("second cooldown elapsed but no trial admitted")
+	}
+	b.success()
+	if st, fails, _ := b.snapshot(); st != breakerClosed || fails != 0 {
+		t.Fatalf("state %v fails %d, want closed/0 after successful trial", st, fails)
+	}
+	if !b.allow(t2) || !b.allow(t2) {
+		t.Fatal("closed breaker must admit freely")
+	}
+}
+
+// TestBreakerProbeCloses: a health-probe success closes an open breaker
+// directly — the path a restarted backend takes back into the ring
+// without waiting for a client request to volunteer as the trial.
+func TestBreakerProbeCloses(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	b := newBreaker(1, time.Hour) // hair trigger, cooldown longer than the test
+	b.failure(t0)
+	if b.allow(t0.Add(time.Minute)) {
+		t.Fatal("breaker should be open")
+	}
+	b.success() // the probe
+	if !b.allow(t0.Add(2 * time.Minute)) {
+		t.Fatal("probe success must close the breaker immediately")
+	}
+}

@@ -1,0 +1,71 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// respCache memoizes backend responses for the read-mostly control
+// endpoints (/v1/plan, /v1/models). Plan responses are a pure function
+// of (model weights, plan parameters) — the planner is deterministic
+// and every backend serves identical weights for a model — so a cached
+// body is exactly the body a backend would produce, and serving it
+// costs the fleet nothing. The cache is invalidated wholesale on every
+// registry change: a reload may swap model weights, which is the one
+// event that can change a plan.
+//
+// Only 2xx responses are cached; errors always re-consult a backend.
+type respCache struct {
+	cap    int
+	mu     sync.RWMutex
+	m      map[string]cachedResp
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cachedResp struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func newRespCache(capEntries int) *respCache {
+	return &respCache{cap: capEntries, m: make(map[string]cachedResp)}
+}
+
+func (c *respCache) get(key string) (cachedResp, bool) {
+	c.mu.RLock()
+	r, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+func (c *respCache) put(key string, r cachedResp) {
+	c.mu.Lock()
+	if len(c.m) >= c.cap {
+		// Over capacity: reset rather than evict. The cache exists to keep
+		// repeat plan lookups off the fleet, not to be an LRU; correctness
+		// never depends on a hit.
+		c.m = make(map[string]cachedResp)
+	}
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+func (c *respCache) invalidateAll() {
+	c.mu.Lock()
+	c.m = make(map[string]cachedResp)
+	c.mu.Unlock()
+}
+
+func (c *respCache) stats() (hits, misses int64, entries int) {
+	c.mu.RLock()
+	entries = len(c.m)
+	c.mu.RUnlock()
+	return c.hits.Load(), c.misses.Load(), entries
+}

@@ -1,0 +1,207 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestKillBackendDrill is the PR's acceptance drill, in-process: 32
+// concurrent clients hammer a gateway over three backends while one
+// backend is killed mid-load and later restarted on the same port.
+//
+// The contract under fire:
+//
+//   - Every response is either bit-identical to the single-daemon
+//     reference for that request, or a typed 5xx (JSON body, named
+//     source). ZERO silently-wrong answers — a gateway that returns 200
+//     with different bytes has broken the paper's error-bound story at
+//     the routing tier.
+//   - The killed backend's breaker trips, and after the restart a health
+//     probe re-closes it — recovery needs no client traffic.
+//   - The books balance: asserted through the same Metrics() surface
+//     /metrics serves.
+func TestKillBackendDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault drill is seconds long; skipped in -short")
+	}
+	procs := []*testProc{
+		startProc(t, "b0", "127.0.0.1:0"),
+		startProc(t, "b1", "127.0.0.1:0"),
+		startProc(t, "b2", "127.0.0.1:0"),
+	}
+	cfg := fastCfg()
+	g := newTestGateway(t, cfg, procs...)
+	base := gwServer(t, g)
+
+	// Reference answers from a single daemon: a pool of distinct request
+	// bodies, each resolved once against backend 0 directly. Engine
+	// exactness (PR 5/8) makes these THE answer any backend must give.
+	const poolSize = 48
+	pool := make([][]byte, poolSize)
+	refs := make([][]byte, poolSize)
+	for i := range pool {
+		pool[i] = predictBody(t, 0.5+float64(i)/7)
+		resp, raw := post(t, "http://"+procs[0].addr+"/v1/predict", pool[i])
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		refs[i] = raw
+	}
+
+	const (
+		clients   = 32
+		perClient = 30
+		killAfter = 5  // requests per client before the kill fires
+		reviveAt  = 15 // requests per client before the restart fires
+	)
+	var (
+		okIdentical atomic.Int64
+		typed5xx    atomic.Int64
+		wrong       atomic.Int64
+		firstWrong  sync.Once
+		wrongDetail atomic.Value
+	)
+	var killOnce, reviveOnce sync.Once
+	var progress atomic.Int64 // total requests completed, drives the kill/revive triggers
+
+	classify := func(i int, resp *http.Response, raw []byte) {
+		switch {
+		case resp.StatusCode == http.StatusOK && bytes.Equal(raw, refs[i]):
+			okIdentical.Add(1)
+		case resp.StatusCode >= 500:
+			// Typed failure: must be JSON with an error field — a bare 5xx
+			// is a contract violation too.
+			if resp.Header.Get("Content-Type") == "application/json" && bytes.Contains(raw, []byte(`"error"`)) {
+				typed5xx.Add(1)
+			} else {
+				wrong.Add(1)
+				firstWrong.Do(func() { wrongDetail.Store(fmt.Sprintf("untyped %d: %.200s", resp.StatusCode, raw)) })
+			}
+		default:
+			wrong.Add(1)
+			firstWrong.Do(func() {
+				wrongDetail.Store(fmt.Sprintf("status %d, bytes-match=%v: %.200s", resp.StatusCode, bytes.Equal(raw, refs[i]), raw))
+			})
+		}
+	}
+
+	client := &http.Client{Timeout: 15 * time.Second}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				done := progress.Add(1)
+				if done == clients*killAfter {
+					killOnce.Do(procs[1].kill) // SIGKILL stand-in, mid-storm
+				}
+				if done == clients*reviveAt {
+					reviveOnce.Do(func() {
+						p := startProc(t, "b1", procs[1].addr) // same name, same port
+						procs[1] = p
+					})
+				}
+				i := (c*7 + j) % poolSize
+				resp, err := client.Post(base+"/v1/predict", "application/json", bytes.NewReader(pool[i]))
+				if err != nil {
+					// The gateway itself refused the connection — it must never:
+					// the gateway process is not under attack in this drill.
+					wrong.Add(1)
+					firstWrong.Do(func() { wrongDetail.Store("gateway connection error: " + err.Error()) })
+					continue
+				}
+				raw, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					wrong.Add(1)
+					firstWrong.Do(func() { wrongDetail.Store("gateway response truncated: " + rerr.Error()) })
+					continue
+				}
+				classify(i, resp, raw)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	total := int64(clients * perClient)
+	if got := okIdentical.Load() + typed5xx.Load() + wrong.Load(); got != total {
+		t.Fatalf("classification books don't balance: %d classified, %d sent", got, total)
+	}
+	if w := wrong.Load(); w != 0 {
+		t.Fatalf("%d silently-wrong responses (first: %v) — ok=%d typed5xx=%d",
+			w, wrongDetail.Load(), okIdentical.Load(), typed5xx.Load())
+	}
+	if okIdentical.Load() < total*9/10 {
+		t.Fatalf("only %d/%d responses succeeded bit-identically; the fleet should absorb one kill, not shed 10%% of load",
+			okIdentical.Load(), total)
+	}
+	t.Logf("drill: %d bit-identical, %d typed 5xx, 0 wrong", okIdentical.Load(), typed5xx.Load())
+
+	// The killed backend's breaker must have tripped...
+	m := g.Metrics()
+	var b1 BackendStatus
+	for _, b := range m.Backends {
+		if b.Name == "b1" {
+			b1 = b
+		}
+	}
+	if b1.BreakerTrips == 0 && b1.Failures == 0 && m.ProbeFails == 0 {
+		t.Fatalf("the kill left no trace: %+v, probe_failures_total=%d", b1, m.ProbeFails)
+	}
+
+	// ...and after the restart, probes alone must re-close it and the
+	// backend must be routable again.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur BackendStatus
+		for _, b := range g.Metrics().Backends {
+			if b.Name == "b1" {
+				cur = b
+			}
+		}
+		if cur.Ready && cur.Breaker == "closed" && cur.ConsecFails == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted backend never recovered: %+v", cur)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Post-recovery traffic is clean: every key, bit-identical.
+	for i := 0; i < poolSize; i++ {
+		resp, raw := post(t, base+"/v1/predict", pool[i])
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(raw, refs[i]) {
+			t.Fatalf("post-recovery predict %d: status %d, identical=%v", i, resp.StatusCode, bytes.Equal(raw, refs[i]))
+		}
+	}
+}
+
+// TestDrillBackoffScheduleReplays pins the determinism that makes the
+// drill replayable: the jittered backoff schedule is a pure function of
+// (seed, key, attempt) — two gateways with the same seed compute the
+// same waits, and a different seed decorrelates them.
+func TestDrillBackoffScheduleReplays(t *testing.T) {
+	for attempt := 1; attempt <= 5; attempt++ {
+		for key := uint64(1); key < 100; key += 17 {
+			a := jitterFor(42, key, attempt)
+			b := jitterFor(42, key, attempt)
+			if a != b {
+				t.Fatalf("jitter(42, %d, %d) not deterministic: %v vs %v", key, attempt, a, b)
+			}
+			if a < 0 || a >= 1 {
+				t.Fatalf("jitter sample %v outside [0,1)", a)
+			}
+		}
+	}
+	if jitterFor(1, 7, 1) == jitterFor(2, 7, 1) {
+		t.Fatal("different seeds produced identical jitter — the seed is dead")
+	}
+}

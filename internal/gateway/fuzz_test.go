@@ -1,0 +1,39 @@
+package gateway
+
+import "testing"
+
+// FuzzDecodeRegistry hammers the registry-manifest decoder with
+// arbitrary bytes and mutations of a valid encoding: it must never
+// panic or over-allocate, and everything it accepts must re-encode to
+// the exact same bytes (decode is a bijection onto valid encodings — no
+// silent normalization a hot-reload could smuggle a different fleet
+// through).
+func FuzzDecodeRegistry(f *testing.F) {
+	raw, err := sampleRegistry().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte(registryMagic))
+	f.Add([]byte{})
+	for i := 0; i < len(raw); i += 5 {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x3B
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg, err := DecodeRegistry(data)
+		if err != nil {
+			return
+		}
+		re, err := reg.Encode()
+		if err != nil {
+			t.Fatalf("accepted registry fails to re-encode: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("decode/encode not a bijection:\n in  %x\n out %x", data, re)
+		}
+	})
+}

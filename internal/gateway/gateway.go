@@ -1,0 +1,360 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Gateway. The zero value is usable; every field has a
+// production-shaped default.
+type Config struct {
+	// ProbeInterval is how often each backend's /healthz is probed
+	// (default 250ms). A restarted backend re-enters routing — and its
+	// breaker re-closes — within one interval.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// backend's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker blocks traffic
+	// before admitting a half-open trial (default 2s).
+	BreakerCooldown time.Duration
+	// MaxAttempts bounds one request's total send attempts across
+	// backends, first try included (default 3).
+	MaxAttempts int
+	// BackoffBase is the first retry's backoff (default 25ms); attempt k
+	// waits Base<<k, jittered, capped at BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps one retry wait, including an honored Retry-After
+	// (default 2s).
+	BackoffMax time.Duration
+	// RequestTimeout bounds one client request end to end, retries and
+	// backoff included (default 15s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps accepted request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the client backoff hint on gateway-generated 503s
+	// (default 1s).
+	RetryAfter time.Duration
+	// VNodes is the consistent-hash virtual nodes per backend weight
+	// unit (default 64).
+	VNodes int
+	// Seed seeds the deterministic retry jitter (internal/detrand).
+	// Jitter is a pure function of (Seed, request key, attempt), so a
+	// fault drill replays with identical waits.
+	Seed uint64
+	// CacheCap bounds the /v1/plan + /v1/models response cache entry
+	// count (default 4096). Overflow resets the cache — crude, but the
+	// cache is repopulated by the next request and correctness never
+	// depends on it.
+	CacheCap int
+}
+
+func (c *Config) fillDefaults() {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 4096
+	}
+}
+
+// backend is one routable process and its health/traffic state.
+type backend struct {
+	name   string
+	addr   string
+	weight int
+
+	breaker *breaker
+
+	mu       sync.Mutex
+	alive    bool            // last probe reached the process
+	ready    bool            // last probe said ready (serving, not draining)
+	models   map[string]bool // model names the backend advertises
+	lastErr  string          // last probe failure, for /healthz detail
+	draining bool            // removed from the registry; no new traffic
+
+	requests  atomic.Int64 // proxied requests sent (attempts)
+	failures  atomic.Int64 // attempts that failed (conn error or 503)
+	proxiedOK atomic.Int64 // attempts answered with a non-503 response
+}
+
+// eligible reports whether the backend may receive a request for model
+// now: advertised, ready, not draining, breaker admitting. An empty
+// model means a model-agnostic endpoint (/v1/models) — any ready
+// backend qualifies.
+func (b *backend) eligible(model string, now time.Time) bool {
+	b.mu.Lock()
+	ok := b.ready && !b.draining && (model == "" || b.models[model])
+	b.mu.Unlock()
+	return ok && b.breaker.allow(now)
+}
+
+// setProbe records a probe outcome.
+func (b *backend) setProbe(alive, ready bool, models []string, errDetail string) {
+	b.mu.Lock()
+	b.alive, b.ready = alive, ready
+	b.lastErr = errDetail
+	if models != nil {
+		mm := make(map[string]bool, len(models))
+		for _, m := range models {
+			mm[m] = true
+		}
+		b.models = mm
+	}
+	b.mu.Unlock()
+}
+
+// Gateway routes inference requests across a fleet of errpropd
+// backends. Create with New, give it backends with SetBackends or
+// LoadRegistryFile, mount Handler, stop with Close.
+type Gateway struct {
+	cfg     Config
+	metrics *gwMetrics
+	cache   *respCache
+	client  *http.Client
+
+	mu       sync.RWMutex
+	backends map[string]*backend // by name
+	ring     *ring
+	reloads  atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New builds a gateway with no backends (everything routes to a typed
+// 503 until SetBackends or LoadRegistryFile installs a fleet).
+func New(cfg Config) *Gateway {
+	cfg.fillDefaults()
+	g := &Gateway{
+		cfg:     cfg,
+		metrics: newGWMetrics(),
+		cache:   newRespCache(cfg.CacheCap),
+		client: &http.Client{
+			// Per-attempt timeouts come from the request context; the
+			// client itself must not add a second clock.
+			Timeout: 0,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+		backends: make(map[string]*backend),
+		ring:     buildRing(nil, cfg.VNodes),
+		stop:     make(chan struct{}),
+	}
+	g.wg.Add(1)
+	go g.probeLoop()
+	return g
+}
+
+// Config reports the effective (defaults-filled) configuration.
+func (g *Gateway) Config() Config { return g.cfg }
+
+// SetBackends installs the desired backend set, diffing against the
+// current one: new backends are added (they start routing once a probe
+// reports them ready), vanished backends drain (no new traffic;
+// in-flight proxied requests complete because the proxy holds its own
+// reference), surviving backends keep their breaker and traffic state —
+// a reload is not an excuse to forget that a backend was misbehaving.
+// The /v1/plan and /v1/models caches are invalidated unconditionally:
+// a registry change is the explicit cache-invalidation event.
+func (g *Gateway) SetBackends(list []Backend) error {
+	reg := &Registry{Backends: list}
+	if err := reg.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	next := make(map[string]*backend, len(list))
+	for _, nb := range list {
+		if old, ok := g.backends[nb.Name]; ok && old.addr == nb.Addr {
+			old.weight = weightOr1(nb.Weight)
+			old.mu.Lock()
+			old.draining = false
+			old.mu.Unlock()
+			next[nb.Name] = old
+			continue
+		}
+		// New backend, or a known name on a new address (a restart): fresh
+		// state, probed before it takes traffic.
+		next[nb.Name] = &backend{
+			name:    nb.Name,
+			addr:    nb.Addr,
+			weight:  weightOr1(nb.Weight),
+			breaker: newBreaker(g.cfg.BreakerThreshold, g.cfg.BreakerCooldown),
+		}
+	}
+	for name, old := range g.backends {
+		if _, kept := next[name]; !kept {
+			old.mu.Lock()
+			old.draining = true
+			old.mu.Unlock()
+		}
+	}
+	g.backends = next
+	ordered := orderedBackends(next)
+	g.ring = buildRing(ordered, g.cfg.VNodes)
+	g.mu.Unlock()
+	g.cache.invalidateAll()
+	return nil
+}
+
+func weightOr1(w int) int {
+	if w <= 0 {
+		return 1
+	}
+	return w
+}
+
+// orderedBackends returns the map's values sorted by name, so ring
+// construction (and anything else that iterates the fleet) is
+// deterministic run to run.
+func orderedBackends(m map[string]*backend) []*backend {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*backend, len(names))
+	for i, name := range names {
+		out[i] = m[name]
+	}
+	return out
+}
+
+// LoadRegistryFile reads, verifies, and installs a registry manifest.
+// A corrupt or truncated file is refused with a typed integrity error
+// and the current fleet stays exactly as it was — a reload is applied
+// atomically or not at all.
+func (g *Gateway) LoadRegistryFile(path string) error {
+	reg, err := ReadRegistryFile(path)
+	if err != nil {
+		return err
+	}
+	if err := g.SetBackends(reg.Backends); err != nil {
+		return err
+	}
+	g.reloads.Add(1)
+	return nil
+}
+
+// Backends reports the current fleet's status, sorted by name.
+func (g *Gateway) Backends() []BackendStatus {
+	g.mu.RLock()
+	list := orderedBackends(g.backends)
+	g.mu.RUnlock()
+	out := make([]BackendStatus, 0, len(list))
+	for _, b := range list {
+		out = append(out, b.status())
+	}
+	return out
+}
+
+// ringOrder returns the ring-walk order for key against the current
+// fleet: primary owner first, then the deterministic fallback sequence.
+func (g *Gateway) ringOrder(key uint64) []*backend {
+	g.mu.RLock()
+	r := g.ring
+	g.mu.RUnlock()
+	return r.order(key)
+}
+
+// probeLoop drives the active health probes: every ProbeInterval it
+// snapshots the fleet and probes each backend concurrently.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		g.probeAll()
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (g *Gateway) probeAll() {
+	g.mu.RLock()
+	list := orderedBackends(g.backends)
+	g.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, b := range list {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// Close stops the prober. In-flight proxied requests complete; new
+// ones are refused by the HTTP server shutting down above us (the
+// gateway itself has no admission queue to drain).
+func (g *Gateway) Close() {
+	g.once.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// WaitReady blocks until some backend is ready to serve model (probe
+// cycle permitting) or the timeout elapses. Intended for tests and
+// boot sequencing, not the request path.
+func (g *Gateway) WaitReady(model string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		g.mu.RLock()
+		list := orderedBackends(g.backends)
+		g.mu.RUnlock()
+		for _, b := range list {
+			b.mu.Lock()
+			ok := b.ready && !b.draining && b.models[model]
+			b.mu.Unlock()
+			if ok {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gateway: no backend became ready for model %q within %s", model, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

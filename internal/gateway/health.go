@@ -1,0 +1,77 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// backendHealth is the wire shape of a backend's GET /healthz body
+// (internal/serve.Health, redeclared here so the gateway depends only
+// on the HTTP surface, not the serve package).
+type backendHealth struct {
+	Status     string   `json:"status"`
+	Ready      bool     `json:"ready"`
+	Draining   bool     `json:"draining"`
+	QueueDepth int      `json:"queue_depth"`
+	Models     []string `json:"models"`
+}
+
+// probe performs one active health check against a backend and folds
+// the outcome into its routing state:
+//
+//   - 200 + ready:true   -> alive, ready: routable.
+//   - 200 + ready:false  -> alive, not ready (no model registered yet):
+//     not routable, but not a failure — the breaker is untouched.
+//   - 503 (draining)     -> alive, not ready: the backend is going away
+//     gracefully; stop routing to it *before* requests start bouncing
+//     off its ErrDraining responses. Not a breaker failure.
+//   - anything else      -> dead or broken: not routable, and a breaker
+//     failure, so consecutive probe failures alone trip the breaker and
+//     a recovered backend's first good probe re-closes it within one
+//     probe interval — no client request needs to act as the trial.
+func (g *Gateway) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+b.addr+"/healthz", nil)
+	if err != nil {
+		b.setProbe(false, false, nil, err.Error())
+		b.breaker.failure(time.Now())
+		g.metrics.probeFails.Add(1)
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.setProbe(false, false, nil, err.Error())
+		b.breaker.failure(time.Now())
+		g.metrics.probeFails.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	var h backendHealth
+	// Bound the read: a broken backend must not feed the gateway an
+	// unbounded health body.
+	decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h)
+	switch {
+	case resp.StatusCode == http.StatusOK && decodeErr == nil:
+		b.setProbe(true, h.Ready, h.Models, "")
+		b.breaker.success()
+	case resp.StatusCode == http.StatusServiceUnavailable && decodeErr == nil:
+		// Graceful drain: alive but refusing new work. Keep the advertised
+		// model list (the drain response still carries it) so the backend
+		// re-enters routing instantly if the drain is a rolling restart.
+		b.setProbe(true, false, h.Models, "draining")
+		b.breaker.success()
+	default:
+		detail := fmt.Sprintf("healthz status %d", resp.StatusCode)
+		if decodeErr != nil {
+			detail = fmt.Sprintf("healthz status %d: undecodable body: %v", resp.StatusCode, decodeErr)
+		}
+		b.setProbe(false, false, nil, detail)
+		b.breaker.failure(time.Now())
+		g.metrics.probeFails.Add(1)
+	}
+}

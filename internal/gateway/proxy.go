@@ -1,0 +1,427 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/scidata/errprop/internal/detrand"
+)
+
+// blobContentType mirrors serve.BlobContentType (the gateway routes on
+// the header without importing the serve package).
+const blobContentType = "application/x-errprop-blob"
+
+// Handler returns the gateway's HTTP surface. It mirrors a backend's
+// surface — a client pointed at the gateway instead of a single daemon
+// needs no changes.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /v1/models", g.handleModels)
+	mux.HandleFunc("POST /v1/predict", g.handlePredict)
+	mux.HandleFunc("POST /v1/plan", g.handlePlan)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	//lint:ignore droppederr response-write failure, not a codec bound; the client is gone
+	_ = enc.Encode(v)
+}
+
+// writeError emits a gateway-generated error: always JSON, always
+// typed, with Retry-After on 503s. The fields name what failed so a
+// client (or the fault drill) can distinguish "the gateway broke" from
+// "the fleet is momentarily short a backend".
+func (g *Gateway) writeError(w http.ResponseWriter, status int, model, detail string) {
+	if status == http.StatusServiceUnavailable {
+		secs := int(math.Ceil(g.cfg.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	body := map[string]string{"error": detail, "source": "gateway"}
+	if model != "" {
+		body["model"] = model
+	}
+	writeJSON(w, status, body)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	backends := g.Backends()
+	ready := false
+	for _, b := range backends {
+		if b.Ready && !b.Draining {
+			ready = true
+		}
+	}
+	status := "ok"
+	if !ready {
+		status = "degraded"
+	}
+	// The gateway's /healthz is its *liveness*: 200 as long as the
+	// process can answer. Routability is the ready field, per backend
+	// and overall — a gateway over a dead fleet is alive and degraded.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"ready":    ready,
+		"backends": backends,
+	})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Metrics())
+}
+
+// handlePredict routes one inference request: extract the model name
+// (JSON body or, for blob bodies, the query string), consistent-hash
+// (model, body) to a backend, and relay with bounded retry.
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	g.metrics.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		g.metrics.failed.Add(1)
+		g.writeError(w, http.StatusBadRequest, "", fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	var model string
+	if r.Header.Get("Content-Type") == blobContentType {
+		model = r.URL.Query().Get("model")
+	} else {
+		var peek struct {
+			Model string `json:"model"`
+		}
+		if err := json.Unmarshal(body, &peek); err != nil {
+			g.metrics.failed.Add(1)
+			g.writeError(w, http.StatusBadRequest, "", fmt.Sprintf("decoding request: %v", err))
+			return
+		}
+		model = peek.Model
+	}
+	if model == "" {
+		g.metrics.failed.Add(1)
+		g.writeError(w, http.StatusBadRequest, "", "request names no model")
+		return
+	}
+	key := hashKey(model) ^ hashBytes(body)
+	g.relay(w, r, model, key, body, nil)
+}
+
+// handlePlan serves /v1/plan, preferring the gateway-side cache: plan
+// responses are deterministic per (model, plan parameters), so repeat
+// lookups never touch a backend until a registry reload invalidates
+// the cache.
+func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
+	g.metrics.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		g.metrics.failed.Add(1)
+		g.writeError(w, http.StatusBadRequest, "", fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	var peek struct {
+		Model string `json:"model"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		g.metrics.failed.Add(1)
+		g.writeError(w, http.StatusBadRequest, "", fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	if peek.Model == "" {
+		g.metrics.failed.Add(1)
+		g.writeError(w, http.StatusBadRequest, "", "request names no model")
+		return
+	}
+	// The cache key is the request's exact bytes: it subsumes (model,
+	// format, tolerance, norm, quant fraction) — any plan-relevant field
+	// change misses and re-consults a backend.
+	cacheKey := "plan\x00" + string(body)
+	if resp, ok := g.cache.get(cacheKey); ok {
+		serveCached(w, resp)
+		g.metrics.ok.Add(1)
+		return
+	}
+	key := hashKey(peek.Model) ^ hashBytes(body)
+	g.relay(w, r, peek.Model, key, body, func(resp cachedResp) {
+		g.cache.put(cacheKey, resp)
+	})
+}
+
+// handleModels serves /v1/models from cache when possible; the cached
+// body is one backend's response (identical static fields fleet-wide;
+// the per-model counters are a snapshot from fill time).
+func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
+	g.metrics.requests.Add(1)
+	const cacheKey = "models"
+	if resp, ok := g.cache.get(cacheKey); ok {
+		serveCached(w, resp)
+		g.metrics.ok.Add(1)
+		return
+	}
+	g.relay(w, r, "", hashKey(cacheKey), nil, func(resp cachedResp) {
+		g.cache.put(cacheKey, resp)
+	})
+}
+
+func serveCached(w http.ResponseWriter, resp cachedResp) {
+	if resp.contentType != "" {
+		w.Header().Set("Content-Type", resp.contentType)
+	}
+	w.Header().Set("X-Errprop-Cache", "hit")
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// relay sends the request to the fleet with bounded retry and copies
+// the chosen backend's response to the client verbatim. model may be
+// empty for model-agnostic endpoints (/v1/models). cacheFill, when
+// non-nil, receives successful (2xx) responses for caching.
+//
+// Retry policy: connection errors and 503s are retried — both mean "this
+// backend cannot answer right now" and both are safe to re-send because
+// backend responses are bit-identical for the same request bytes. Any
+// other response, including 4xx and non-503 5xx, is relayed as-is:
+// those are deterministic answers, and re-asking a different backend
+// would produce the same bytes.
+func (g *Gateway) relay(w http.ResponseWriter, r *http.Request, model string, key uint64, body []byte, cacheFill func(cachedResp)) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+
+	var lastDetail string
+	attempt := 0
+	for attempt < g.cfg.MaxAttempts {
+		b := g.pickBackend(model, key)
+		if b == nil {
+			// No eligible backend at all: classify and fail loudly now —
+			// waiting out retries cannot help routing when the ring has
+			// nothing to offer.
+			g.failNoBackend(w, model, lastDetail)
+			return
+		}
+		attempt++
+		b.requests.Add(1)
+		resp, err := g.send(ctx, b, r, body)
+		now := time.Now()
+		if err != nil {
+			// Connection-level failure: dial refused, reset mid-flight,
+			// timeout. The backend may be mid-SIGKILL; count it against the
+			// breaker and walk on.
+			b.failures.Add(1)
+			b.breaker.failure(now)
+			lastDetail = fmt.Sprintf("backend %s: %v", b.name, err)
+			if ctx.Err() != nil {
+				break
+			}
+			if attempt < g.cfg.MaxAttempts {
+				if !g.backoffWait(ctx, key, attempt, 0) {
+					break
+				}
+				g.metrics.retries.Add(1)
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Backend is shedding or draining; honor its Retry-After as the
+			// backoff floor (capped at BackoffMax) and try elsewhere.
+			retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			b.failures.Add(1)
+			b.breaker.failure(now)
+			lastDetail = fmt.Sprintf("backend %s: 503", b.name)
+			if attempt < g.cfg.MaxAttempts {
+				if !g.backoffWait(ctx, key, attempt, retryAfter) {
+					break
+				}
+				g.metrics.retries.Add(1)
+			}
+			continue
+		}
+		// An answer. Relay it byte for byte.
+		b.proxiedOK.Add(1)
+		b.breaker.success()
+		g.relayResponse(w, resp, cacheFill)
+		return
+	}
+	// Attempts exhausted (or the request deadline consumed them).
+	g.metrics.failed.Add(1)
+	if ctx.Err() != nil {
+		g.writeError(w, http.StatusGatewayTimeout, model,
+			fmt.Sprintf("request timed out after %s (%d attempts; last: %s)", g.cfg.RequestTimeout, attempt, lastDetail))
+		return
+	}
+	g.writeError(w, http.StatusBadGateway, model,
+		fmt.Sprintf("no backend answered after %d attempts; last: %s", attempt, lastDetail))
+}
+
+// pickBackend walks the ring from key and returns the first eligible
+// backend, or nil.
+func (g *Gateway) pickBackend(model string, key uint64) *backend {
+	now := time.Now()
+	for _, b := range g.ringOrder(key) {
+		if b.eligible(model, now) {
+			return b
+		}
+	}
+	return nil
+}
+
+// failNoBackend answers when routing found nothing eligible: a typed
+// 404 when the fleet is healthy but nobody serves the model, a typed
+// 503 naming the model otherwise. Never a hang, never a bare 500.
+func (g *Gateway) failNoBackend(w http.ResponseWriter, model, lastDetail string) {
+	g.metrics.failed.Add(1)
+	g.mu.RLock()
+	list := orderedBackends(g.backends)
+	g.mu.RUnlock()
+	if len(list) == 0 {
+		g.writeError(w, http.StatusServiceUnavailable, model, "no backends configured")
+		return
+	}
+	anyReady, advertised := false, false
+	for _, b := range list {
+		b.mu.Lock()
+		if b.ready && !b.draining {
+			anyReady = true
+		}
+		if b.models[model] {
+			advertised = true
+		}
+		b.mu.Unlock()
+	}
+	switch {
+	case model != "" && anyReady && !advertised:
+		g.writeError(w, http.StatusNotFound, model, fmt.Sprintf("unknown model %q: no backend advertises it", model))
+	case model != "":
+		detail := fmt.Sprintf("model %q: all backends unavailable", model)
+		if lastDetail != "" {
+			detail += "; last: " + lastDetail
+		}
+		g.writeError(w, http.StatusServiceUnavailable, model, detail)
+	default:
+		g.writeError(w, http.StatusServiceUnavailable, "", "all backends unavailable")
+	}
+}
+
+// send issues one proxied attempt.
+func (g *Gateway) send(ctx context.Context, b *backend, r *http.Request, body []byte) (*http.Response, error) {
+	u := "http://" + b.addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	return g.client.Do(req)
+}
+
+// relayResponse copies a backend response to the client verbatim —
+// status, content type, Retry-After, body bytes — so a gateway-fronted
+// fleet answers bit-identically to a single daemon.
+func (g *Gateway) relayResponse(w http.ResponseWriter, resp *http.Response, cacheFill func(cachedResp)) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		g.metrics.relayed5xx.Add(1)
+	} else {
+		g.metrics.ok.Add(1)
+	}
+	ct := resp.Header.Get("Content-Type")
+	if ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if cacheFill != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes))
+		if err != nil {
+			// The backend died mid-body on a cacheable endpoint: the partial
+			// body must be neither cached nor relayed as if complete.
+			g.writeError(w, http.StatusBadGateway, "", fmt.Sprintf("backend response truncated: %v", err))
+			return
+		}
+		cacheFill(cachedResp{status: resp.StatusCode, contentType: ct, body: raw})
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(raw)
+		return
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backoffWait sleeps the exponential backoff before retry `attempt`
+// (1-based: the wait before the second attempt is attempt 1), bounded
+// by BackoffMax and the request context. retryAfterFloor, when > 0, is
+// the backend's own Retry-After hint and raises the wait (still capped).
+//
+// The jitter is deterministic: a pure function of (Config.Seed, request
+// key, attempt) via detrand, so a replayed fault drill waits the exact
+// same schedule — reproducibility is part of the robustness contract.
+func (g *Gateway) backoffWait(ctx context.Context, key uint64, attempt int, retryAfterFloor time.Duration) bool {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := g.cfg.BackoffBase << shift
+	if d > g.cfg.BackoffMax || d <= 0 {
+		d = g.cfg.BackoffMax
+	}
+	// Jitter in [0.5, 1.0]x: decorrelates a thundering herd of retries
+	// without ever waiting longer than the undithered backoff.
+	j := jitterFor(g.cfg.Seed, key, attempt)
+	d = time.Duration(float64(d) * (0.5 + 0.5*j))
+	if retryAfterFloor > d {
+		d = retryAfterFloor
+	}
+	if d > g.cfg.BackoffMax {
+		d = g.cfg.BackoffMax
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// jitterFor draws the deterministic jitter sample for (seed, key,
+// attempt).
+func jitterFor(seed, key uint64, attempt int) float64 {
+	s := detrand.New(seed ^ (key * 0x9e3779b97f4a7c15) ^ (uint64(attempt) << 32))
+	return s.Float64()
+}

@@ -1,0 +1,279 @@
+// Package gateway is the fleet-scale routing tier over errpropd
+// backends: it consistent-hashes (model, request-key) across N backend
+// processes, health-probes each one with a liveness/readiness
+// distinction, retries connection errors and 503s with bounded
+// exponential backoff and deterministic jitter, trips a per-backend
+// circuit breaker on consecutive failures, and degrades gracefully —
+// a model whose backends are all down gets a typed 503 naming the
+// model, never a hang and never a silently wrong answer.
+//
+// The package deliberately does not import internal/serve: the gateway
+// speaks only the backends' HTTP wire surface (/healthz, /v1/predict,
+// /v1/plan, /v1/models), so any process implementing that surface can
+// sit behind it, and internal/serve's own tests can import this package
+// without a cycle.
+//
+// Why retries and hedged re-sends are safe here at all: backend predict
+// responses are bit-identical for the same request bytes (the compiled
+// engine's exactness discipline — see DESIGN.md), so re-sending a
+// request to a different backend can change which process answers but
+// never which bytes come back. A gateway over backends without that
+// property would need idempotency keys; this one needs only the
+// determinism the repo already certifies.
+package gateway
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+
+	"github.com/scidata/errprop/internal/integrity"
+)
+
+// Typed sentinels, aliased from the shared integrity vocabulary so
+// callers branch the same way they do for every other durable artifact.
+var (
+	// ErrCorrupt aliases integrity.ErrCorrupt.
+	ErrCorrupt = integrity.ErrCorrupt
+	// ErrTruncated aliases integrity.ErrTruncated.
+	ErrTruncated = integrity.ErrTruncated
+)
+
+// Backend is one routable errpropd process in a Registry.
+type Backend struct {
+	// Name is the backend's unique, stable identity. Consistent-hash ring
+	// positions derive from the name, not the address, so a backend that
+	// restarts on a new port keeps its slice of the keyspace.
+	Name string
+	// Addr is the backend's host:port.
+	Addr string
+	// Weight scales the backend's share of the ring (virtual-node
+	// multiplier). 0 means 1.
+	Weight int
+}
+
+// Registry is the manifest of backends a gateway routes across.
+type Registry struct {
+	Backends []Backend
+}
+
+const (
+	registryMagic = "ERRPROPGW1"
+	// maxRegistryBody caps the declared body length so a corrupt frame
+	// cannot size an absurd allocation.
+	maxRegistryBody = 1 << 24
+	// maxBackends caps the declared backend count.
+	maxBackends = 1 << 16
+	// maxWeight caps one backend's ring weight.
+	maxWeight = 1 << 10
+	// backendMinBytes is the smallest possible encoded backend entry
+	// (1-byte name, 1-byte addr, their length prefixes, u32 weight) —
+	// the allocation guard for untrusted counts.
+	backendMinBytes = 1 + 1 + 1 + 1 + 4
+)
+
+// validateBackend applies the structural rules shared by Encode and
+// DecodeRegistry, so everything the decoder accepts re-encodes (the
+// fuzz bijection) and everything the encoder writes decodes.
+func validateBackend(b Backend) error {
+	if b.Name == "" || len(b.Name) > 255 {
+		return fmt.Errorf("backend name length %d not in 1..255", len(b.Name))
+	}
+	if b.Addr == "" || len(b.Addr) > 255 {
+		return fmt.Errorf("backend %q: addr length %d not in 1..255", b.Name, len(b.Addr))
+	}
+	if _, _, err := net.SplitHostPort(b.Addr); err != nil {
+		return fmt.Errorf("backend %q: addr %q: %v", b.Name, b.Addr, err)
+	}
+	if b.Weight < 0 || b.Weight > maxWeight {
+		return fmt.Errorf("backend %q: weight %d not in 0..%d", b.Name, b.Weight, maxWeight)
+	}
+	return nil
+}
+
+// Validate checks the registry's structural rules: every backend valid,
+// names unique.
+func (r *Registry) Validate() error {
+	if len(r.Backends) > maxBackends {
+		return fmt.Errorf("gateway: registry backend count %d exceeds %d", len(r.Backends), maxBackends)
+	}
+	seen := make(map[string]bool, len(r.Backends))
+	for i, b := range r.Backends {
+		if err := validateBackend(b); err != nil {
+			return fmt.Errorf("gateway: registry backend %d: %w", i, err)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("gateway: registry backend %d: duplicate name %q", i, b.Name)
+		}
+		seen[b.Name] = true
+	}
+	return nil
+}
+
+// Encode serializes the registry into its checksummed frame:
+//
+//	magic | bodyLen(8) | bodyCRC(4) | body
+//
+// (the same framing discipline as the score manifest), so damaged
+// registry bytes decode to a typed integrity error, never to a silently
+// different fleet.
+//
+//errprop:deterministic the frame is a pure function of the registry
+func (r *Registry) Encode() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	binary.Write(&b, binary.LittleEndian, uint32(len(r.Backends)))
+	for _, be := range r.Backends {
+		b.WriteByte(byte(len(be.Name)))
+		b.WriteString(be.Name)
+		b.WriteByte(byte(len(be.Addr)))
+		b.WriteString(be.Addr)
+		binary.Write(&b, binary.LittleEndian, uint32(be.Weight))
+	}
+	body := b.Bytes()
+	out := bytes.NewBuffer(make([]byte, 0, len(registryMagic)+12+len(body)))
+	out.WriteString(registryMagic)
+	binary.Write(out, binary.LittleEndian, uint64(len(body)))
+	binary.Write(out, binary.LittleEndian, integrity.Checksum(body))
+	out.Write(body)
+	return out.Bytes(), nil
+}
+
+// DecodeRegistry parses a registry frame. Damage surfaces as an error
+// wrapping ErrCorrupt or ErrTruncated; DecodeRegistry never panics and
+// never returns a partially filled registry without an error.
+//
+//errprop:deterministic
+func DecodeRegistry(raw []byte) (*Registry, error) {
+	if len(raw) < len(registryMagic) {
+		return nil, fmt.Errorf("gateway: registry: %w: %d bytes, shorter than magic", ErrTruncated, len(raw))
+	}
+	if string(raw[:len(registryMagic)]) != registryMagic {
+		return nil, fmt.Errorf("gateway: registry: %w: bad magic %q", ErrCorrupt, raw[:len(registryMagic)])
+	}
+	rest := raw[len(registryMagic):]
+	if len(rest) < 12 {
+		return nil, fmt.Errorf("gateway: registry: %w: missing frame header", ErrTruncated)
+	}
+	bodyLen := binary.LittleEndian.Uint64(rest)
+	crc := binary.LittleEndian.Uint32(rest[8:])
+	rest = rest[12:]
+	if bodyLen > maxRegistryBody {
+		return nil, fmt.Errorf("gateway: registry: %w: declared body length %d exceeds %d", ErrCorrupt, bodyLen, int64(maxRegistryBody))
+	}
+	if uint64(len(rest)) < bodyLen {
+		return nil, fmt.Errorf("gateway: registry: %w: body %d of declared %d bytes", ErrTruncated, len(rest), bodyLen)
+	}
+	if uint64(len(rest)) > bodyLen {
+		return nil, fmt.Errorf("gateway: registry: %w: %d bytes beyond declared body", ErrCorrupt, uint64(len(rest))-bodyLen)
+	}
+	body := rest[:bodyLen]
+	if got := integrity.Checksum(body); got != crc {
+		return nil, fmt.Errorf("gateway: registry: %w: body checksum %08x != stored %08x", ErrCorrupt, got, crc)
+	}
+	return decodeRegistryBody(bytes.NewReader(body))
+}
+
+// decodeRegistryBody parses the checksum-verified body. Structural
+// inconsistency inside verified bytes means the registry was written
+// wrong — ErrCorrupt.
+func decodeRegistryBody(r *bytes.Reader) (*Registry, error) {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("gateway: registry: %w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+	var count uint32
+	if binary.Read(r, binary.LittleEndian, &count) != nil {
+		return nil, bad("missing backend count")
+	}
+	if count > maxBackends {
+		return nil, bad("backend count %d exceeds %d", count, maxBackends)
+	}
+	// Guard the allocation against a checksummed-but-absurd count.
+	if uint64(count)*backendMinBytes > uint64(r.Len()) {
+		return nil, bad("backend count %d exceeds body", count)
+	}
+	reg := &Registry{Backends: make([]Backend, count)}
+	str := func(what string, i int) (string, error) {
+		l, err := r.ReadByte()
+		if err != nil {
+			return "", bad("backend %d: missing %s length", i, what)
+		}
+		s := make([]byte, l)
+		if _, err := io.ReadFull(r, s); err != nil {
+			return "", bad("backend %d: short %s", i, what)
+		}
+		return string(s), nil
+	}
+	for i := range reg.Backends {
+		be := &reg.Backends[i]
+		var err error
+		if be.Name, err = str("name", i); err != nil {
+			return nil, err
+		}
+		if be.Addr, err = str("addr", i); err != nil {
+			return nil, err
+		}
+		var w uint32
+		if binary.Read(r, binary.LittleEndian, &w) != nil {
+			return nil, bad("backend %d: missing weight", i)
+		}
+		be.Weight = int(w)
+	}
+	if r.Len() != 0 {
+		return nil, bad("%d trailing bytes", r.Len())
+	}
+	if err := reg.Validate(); err != nil {
+		return nil, fmt.Errorf("gateway: registry: %w: %v", ErrCorrupt, err)
+	}
+	return reg, nil
+}
+
+// WriteRegistryFile atomically writes the registry under path (temp
+// file in the same directory + fsync + rename), so a crash mid-write
+// never leaves a half manifest under the final name.
+func WriteRegistryFile(path string, r *Registry) error {
+	raw, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadRegistryFile reads and decodes a registry manifest file.
+func ReadRegistryFile(path string) (*Registry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := DecodeRegistry(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,143 @@
+package gateway
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/scidata/errprop/internal/integrity"
+)
+
+func sampleRegistry() *Registry {
+	return &Registry{Backends: []Backend{
+		{Name: "b0", Addr: "127.0.0.1:9001", Weight: 1},
+		{Name: "b1", Addr: "127.0.0.1:9002", Weight: 2},
+		{Name: "b2", Addr: "10.0.0.7:80"},
+	}}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	reg := sampleRegistry()
+	raw, err := reg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRegistry(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, reg) {
+		t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got, reg)
+	}
+	// And byte-exactly back again (the fuzz bijection, pinned here too).
+	re, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(raw) {
+		t.Fatal("re-encode differs from original encoding")
+	}
+}
+
+func TestRegistryFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.reg")
+	reg := sampleRegistry()
+	if err := WriteRegistryFile(path, reg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRegistryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, reg) {
+		t.Fatalf("file round trip mismatch: %+v", got)
+	}
+	// No temp clutter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("registry dir has %d entries, want just the manifest", len(entries))
+	}
+}
+
+func TestRegistryEncodeRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		reg  Registry
+	}{
+		{"empty name", Registry{Backends: []Backend{{Name: "", Addr: "127.0.0.1:1"}}}},
+		{"empty addr", Registry{Backends: []Backend{{Name: "b", Addr: ""}}}},
+		{"portless addr", Registry{Backends: []Backend{{Name: "b", Addr: "127.0.0.1"}}}},
+		{"duplicate names", Registry{Backends: []Backend{
+			{Name: "b", Addr: "127.0.0.1:1"}, {Name: "b", Addr: "127.0.0.1:2"},
+		}}},
+		{"absurd weight", Registry{Backends: []Backend{{Name: "b", Addr: "127.0.0.1:1", Weight: 1 << 20}}}},
+		{"long name", Registry{Backends: []Backend{{Name: strings.Repeat("x", 300), Addr: "127.0.0.1:1"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.reg.Encode(); err == nil {
+			t.Errorf("%s: Encode accepted an invalid registry", tc.name)
+		}
+	}
+}
+
+func TestRegistryDecodeTypedErrors(t *testing.T) {
+	raw, err := sampleRegistry().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func() []byte
+		want error
+	}{
+		{"empty", func() []byte { return nil }, ErrTruncated},
+		{"bad magic", func() []byte {
+			m := append([]byte(nil), raw...)
+			m[0] ^= 0xFF
+			return m
+		}, ErrCorrupt},
+		{"truncated body", func() []byte { return raw[:len(raw)-3] }, ErrTruncated},
+		{"trailing bytes", func() []byte { return append(append([]byte(nil), raw...), 0xAA) }, ErrCorrupt},
+		{"flipped body bit", func() []byte {
+			m := append([]byte(nil), raw...)
+			m[len(m)-1] ^= 0x10
+			return m
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		_, err := DecodeRegistry(tc.mut())
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+		if err != nil && !integrity.IsIntegrityError(err) {
+			t.Errorf("%s: err %v is not a typed integrity error", tc.name, err)
+		}
+	}
+}
+
+// TestRegistryDecodeAllocationGuard: a syntactically valid frame whose
+// checksummed body declares an absurd backend count must be refused
+// before the count sizes an allocation.
+func TestRegistryDecodeAllocationGuard(t *testing.T) {
+	// Hand-build a frame: valid magic/len/crc, body = count 2^16 with no
+	// backend data behind it.
+	body := []byte{0, 0, 1, 0} // count = 65536, little endian
+	raw := make([]byte, 0, 64)
+	raw = append(raw, registryMagic...)
+	raw = append(raw,
+		byte(len(body)), 0, 0, 0, 0, 0, 0, 0)
+	crc := integrity.Checksum(body)
+	raw = append(raw, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	raw = append(raw, body...)
+	_, err := DecodeRegistry(raw)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("absurd count decoded to %v, want ErrCorrupt", err)
+	}
+}

@@ -102,23 +102,72 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// setRetryAfter stamps the client backoff hint every 503 this server
+// emits must carry — queue-full, drain-rejected predicts, and the
+// draining /healthz alike — so a gateway or client never has to guess
+// whether backing off is wanted.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	if status == http.StatusServiceUnavailable {
-		secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.setRetryAfter(w)
 	}
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// Health is the GET /healthz body. Liveness and readiness are distinct:
+// any well-formed response means the process is alive, while Ready
+// means it will accept a predict right now — false while draining and
+// before the first model registers. A routing tier stops sending
+// traffic the moment Ready goes false, *before* requests start
+// bouncing off ErrDraining.
+type Health struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// Ready means requests routed here now will be admitted.
+	Ready bool `json:"ready"`
+	// Draining means Close has started: alive, finishing in-flight work,
+	// accepting nothing new.
+	Draining bool `json:"draining"`
+	// QueueDepth is the summed admission-queue depth across models — a
+	// load signal for probes that want to route around a backlogged
+	// backend before it starts shedding.
+	QueueDepth int `json:"queue_depth"`
+	// Models lists registered model names, sorted.
+	Models []string `json:"models"`
+}
+
+// Health snapshots the server's liveness/readiness state.
+func (s *Server) Health() Health {
+	models := s.Models()
+	draining := s.draining.Load()
+	h := Health{
+		Status:     "ok",
+		Ready:      !draining && len(models) > 0,
+		Draining:   draining,
+		QueueDepth: s.QueueDepth(),
+		Models:     models,
+	}
+	if draining {
+		h.Status = "draining"
+	}
+	return h
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.writeError(w, http.StatusServiceUnavailable, "draining")
+	h := s.Health()
+	if h.Draining {
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.Models()})
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -279,6 +279,18 @@ func (s *Server) model(name string) (*model, bool) {
 // Draining reports whether Close has started.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// QueueDepth reports the summed admission-queue depth across models —
+// the backlog a request admitted right now would sit behind.
+func (s *Server) QueueDepth() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	depth := 0
+	for _, m := range s.models {
+		depth += len(m.queue) //lint:ignore maporder integer addition commutes; the sum is order-independent
+	}
+	return depth
+}
+
 // Close drains the server: new requests are rejected with 503, every
 // already-admitted request is executed to completion, and all batcher
 // and worker goroutines exit before Close returns. Safe to call more

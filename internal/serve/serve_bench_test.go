@@ -3,7 +3,9 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -12,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/scidata/errprop/internal/gateway"
 	"github.com/scidata/errprop/internal/nn"
 	"github.com/scidata/errprop/internal/numfmt"
 )
@@ -44,11 +47,23 @@ func runLoad(tb testing.TB, s *Server, clients, perClient int) loadStats {
 	tb.Helper()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	before := s.Metrics()
+	st := runLoadURL(tb, ts.URL, clients, perClient)
+	after := s.Metrics()
+	if batches := after.Batches - before.Batches; batches > 0 {
+		st.MeanBatch = float64(after.Samples-before.Samples) / float64(batches)
+	}
+	return st
+}
+
+// runLoadURL is runLoad against an arbitrary /v1/predict base URL — the
+// same generator pointed at a gateway instead of a single server (no
+// batch accounting: the gateway has no batcher of its own).
+func runLoadURL(tb testing.TB, base string, clients, perClient int) loadStats {
+	tb.Helper()
 	transport := &http.Transport{MaxIdleConns: clients * 2, MaxIdleConnsPerHost: clients * 2}
 	client := &http.Client{Transport: transport}
 	defer transport.CloseIdleConnections()
-
-	before := s.Metrics()
 	type outcome struct {
 		code int
 		dur  time.Duration
@@ -73,7 +88,7 @@ func runLoad(tb testing.TB, s *Server, clients, perClient int) loadStats {
 					return
 				}
 				t0 := time.Now()
-				resp, err := client.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
 				if err != nil {
 					tb.Error(err)
 					return
@@ -88,7 +103,6 @@ func runLoad(tb testing.TB, s *Server, clients, perClient int) loadStats {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	after := s.Metrics()
 
 	st := loadStats{Clients: clients, Seconds: elapsed.Seconds()}
 	var durs []time.Duration
@@ -116,10 +130,48 @@ func runLoad(tb testing.TB, s *Server, clients, perClient int) loadStats {
 		return float64(durs[idx]) / float64(time.Millisecond)
 	}
 	st.P50ms, st.P95ms, st.P99ms = pct(0.50), pct(0.95), pct(0.99)
-	if batches := after.Batches - before.Batches; batches > 0 {
-		st.MeanBatch = float64(after.Samples-before.Samples) / float64(batches)
-	}
 	return st
+}
+
+// benchFleet boots n benchServer backends on real listeners behind a
+// gateway and returns the gateway's base URL.
+func benchFleet(tb testing.TB, n, maxBatch int) string {
+	tb.Helper()
+	list := make([]gateway.Backend, n)
+	for i := 0; i < n; i++ {
+		s := benchServer(tb, maxBatch)
+		tb.Cleanup(s.Close)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		hsrv := &http.Server{Handler: s.Handler()}
+		go hsrv.Serve(ln) //lint:ignore droppederr Serve returns ErrServerClosed on Close; the bench owns the lifecycle
+		tb.Cleanup(func() {
+			//lint:ignore droppederr shutdown of a bench server
+			_ = hsrv.Close()
+		})
+		list[i] = gateway.Backend{Name: fmt.Sprintf("bench-%d", i), Addr: ln.Addr().String(), Weight: 1}
+	}
+	g := gateway.New(gateway.Config{ProbeInterval: 20 * time.Millisecond, Seed: 1})
+	tb.Cleanup(g.Close)
+	if err := g.SetBackends(list); err != nil {
+		tb.Fatal(err)
+	}
+	if err := g.WaitReady("h2", 10*time.Second); err != nil {
+		tb.Fatal(err)
+	}
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ghsrv := &http.Server{Handler: g.Handler()}
+	go ghsrv.Serve(gln) //lint:ignore droppederr Serve returns ErrServerClosed on Close; the bench owns the lifecycle
+	tb.Cleanup(func() {
+		//lint:ignore droppederr shutdown of a bench server
+		_ = ghsrv.Close()
+	})
+	return "http://" + gln.Addr().String()
 }
 
 func benchServer(tb testing.TB, maxBatch int) *Server {
@@ -222,10 +274,22 @@ func TestWriteServeBenchJSON(t *testing.T) {
 	sSingle.Close()
 	runs = append(runs, stSingle)
 
+	// Gateway-fronted fleets at the same 64-client load. The interesting
+	// number is the ratio against the direct batched server: it prices
+	// the routing hop (and, on this single-CPU container, the fact that
+	// N backends and the gateway all share one core — fleet rows here
+	// measure overhead, not scaling; scaling needs cores to scale onto).
+	for _, n := range []int{2, 4} {
+		base := benchFleet(t, n, 64)
+		st := runLoadURL(t, base, 64, perClient)
+		st.Mode = fmt.Sprintf("gateway-%d-backends", n)
+		runs = append(runs, st)
+	}
+
 	doc := map[string]any{
 		"bench":       "serve",
 		"model":       "h2-mlp 9-50-50-9 tanh (untrained, fp32)",
-		"description": "HTTP load generator against the internal/serve micro-batching service; req_per_sec counts 200s, latencies are client-side per request",
+		"description": "HTTP load generator against the internal/serve micro-batching service; req_per_sec counts 200s, latencies are client-side per request; gateway-N rows route the same load through errpropd -gateway over N backends sharing this container's single CPU, so their ratio prices the routing hop, not horizontal scaling",
 		"config": map[string]any{
 			"workers":   2,
 			"max_batch": 64,
@@ -235,6 +299,8 @@ func TestWriteServeBenchJSON(t *testing.T) {
 		"requests_per_client":             perClient,
 		"runs":                            runs,
 		"speedup_batched_vs_single_at_64": runs[2].ReqPerSec / stSingle.ReqPerSec,
+		"gateway_2_vs_direct_ratio_at_64": runs[4].ReqPerSec / runs[2].ReqPerSec,
+		"gateway_4_vs_direct_ratio_at_64": runs[5].ReqPerSec / runs[2].ReqPerSec,
 	}
 	f, err := os.Create(out)
 	if err != nil {
