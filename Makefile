@@ -49,6 +49,7 @@ FUZZ_TARGETS = \
 	./internal/score:FuzzDecodeManifest \
 	./internal/score:FuzzDecodeCursor \
 	./internal/gateway:FuzzDecodeRegistry \
+	./internal/artifact:FuzzDecodeArtifact \
 	./internal/tensor:FuzzMulIntoBlocked \
 	./internal/tensor:FuzzIm2ColMatInto
 fuzz-smoke:

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -60,6 +62,45 @@ func main() {
 	}
 }
 
+// runCompile is -compile: the single blessed producer of ahead-of-time
+// artifacts. Each -model (and -demo) is loaded, compiled at format f —
+// quantization, op-program compilation, error-flow analysis, certified
+// bound — and written to <out>/<name>.aot.
+func runCompile(outDir string, f errprop.Format, models []modelFlag, demo bool) error {
+	if demo {
+		models = append(models, modelFlag{name: "demo"})
+	}
+	for _, m := range models {
+		var net *errprop.Network
+		var err error
+		if m.path == "" {
+			net, err = demoNetwork()
+		} else {
+			var raw []byte
+			if raw, err = os.ReadFile(m.path); err != nil {
+				return err
+			}
+			if errprop.IsArtifact(raw) {
+				return fmt.Errorf("%s is already a compiled artifact", m.path)
+			}
+			net, err = errprop.LoadNetwork(bytes.NewReader(raw))
+		}
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", m.path, err)
+		}
+		art, err := errprop.BuildArtifact(net, f)
+		if err != nil {
+			return fmt.Errorf("compiling %q: %w", m.name, err)
+		}
+		path := filepath.Join(outDir, m.name+".aot")
+		if err := errprop.WriteArtifactFile(path, art); err != nil {
+			return err
+		}
+		log.Printf("compiled %q -> %s (format %s, certified bound %g, %s)", m.name, path, art.Format, art.QuantBound, art.Checksum)
+	}
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("errpropd", flag.ExitOnError)
 	var (
@@ -74,6 +115,9 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 4, "inference engines per model")
 		shards   = fs.Int("engine-shards", 1, "goroutines each engine splits a batch across (bit-identical for any value)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+
+		compileMode = fs.Bool("compile", false, "compile each -model (and -demo) into an ahead-of-time artifact at -format instead of serving, then exit")
+		outDir      = fs.String("out", ".", "compile: directory artifacts are written to, one <name>.aot per model")
 
 		gatewayMode = fs.Bool("gateway", false, "run as a routing gateway over a fleet of errpropd backends instead of serving models directly")
 		spawn       = fs.Int("spawn", 0, "gateway: spawn this many backend child processes (re-invoking this binary with the serving flags) and supervise them")
@@ -114,6 +158,9 @@ func run(args []string) error {
 		return fmt.Errorf("-spawn and -registry require -gateway")
 	}
 	if len(models) == 0 && !*demo {
+		if *compileMode {
+			return fmt.Errorf("nothing to compile: pass -model name=path and/or -demo")
+		}
 		return fmt.Errorf("nothing to serve: pass -model name=path and/or -demo")
 	}
 	var f errprop.Format
@@ -131,6 +178,9 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	if *compileMode {
+		return runCompile(*outDir, f, models, *demo)
+	}
 
 	srv := errprop.NewServer(errprop.ServeConfig{
 		MaxBatch:       *maxBatch,
@@ -141,12 +191,26 @@ func run(args []string) error {
 		RequestTimeout: *timeout,
 	})
 	for _, m := range models {
-		file, err := os.Open(m.path)
+		raw, err := os.ReadFile(m.path)
 		if err != nil {
 			return err
 		}
-		net, err := errprop.LoadNetwork(file)
-		file.Close()
+		if errprop.IsArtifact(raw) {
+			// Ahead-of-time artifact: bind the shipped program to the
+			// shipped weights; no recompilation, no re-analysis. The
+			// artifact's baked-in format wins over -format. A corrupt
+			// artifact is a boot refusal naming the file.
+			art, err := errprop.DecodeArtifact(raw)
+			if err != nil {
+				return fmt.Errorf("refusing to boot: artifact %s: %w", m.path, err)
+			}
+			if err := srv.RegisterArtifact(m.name, art); err != nil {
+				return err
+			}
+			log.Printf("registered %q from artifact %s (format %s, %s)", m.name, m.path, art.Format, art.Checksum)
+			continue
+		}
+		net, err := errprop.LoadNetwork(bytes.NewReader(raw))
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", m.path, err)
 		}

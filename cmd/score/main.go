@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -79,7 +80,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	net, err := loadModel(*demo, *modelPath)
+	net, art, err := loadModel(*demo, *modelPath)
 	if err != nil {
 		return err
 	}
@@ -120,7 +121,14 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	res, err := errprop.ScoreFile(net, *manifest, cfg)
+	var res *errprop.ScoreResult
+	if art != nil {
+		// Cold-start from the compiled artifact: no quantization, no
+		// compilation, no re-analysis; its baked-in format wins over -format.
+		res, err = errprop.ScoreArtifactFile(art, *manifest, cfg)
+	} else {
+		res, err = errprop.ScoreFile(net, *manifest, cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -185,21 +193,33 @@ func parseFormat(s string) (errprop.Format, error) {
 	}
 }
 
-func loadModel(demo bool, path string) (*errprop.Network, error) {
+// loadModel resolves -demo/-model into either a network or, when the
+// file carries the artifact magic, a fully verified compiled artifact
+// (a damaged artifact is a typed refusal naming the file, never a
+// silently scored model).
+func loadModel(demo bool, path string) (*errprop.Network, *errprop.Artifact, error) {
 	switch {
 	case demo && path != "":
-		return nil, fmt.Errorf("pass -demo or -model, not both")
+		return nil, nil, fmt.Errorf("pass -demo or -model, not both")
 	case demo:
-		return errprop.MLPSpec("demo", []int{9, 50, 50, 9}, errprop.ActTanh, false).Build(1)
+		net, err := errprop.MLPSpec("demo", []int{9, 50, 50, 9}, errprop.ActTanh, false).Build(1)
+		return net, nil, err
 	case path != "":
-		file, err := os.Open(path)
+		raw, err := os.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		defer file.Close()
-		return errprop.LoadNetwork(file)
+		if errprop.IsArtifact(raw) {
+			art, err := errprop.DecodeArtifact(raw)
+			if err != nil {
+				return nil, nil, fmt.Errorf("refusing to score: artifact %s: %w", path, err)
+			}
+			return nil, art, nil
+		}
+		net, err := errprop.LoadNetwork(bytes.NewReader(raw))
+		return net, nil, err
 	default:
-		return nil, fmt.Errorf("pass -demo or -model path")
+		return nil, nil, fmt.Errorf("pass -demo or -model path")
 	}
 }
 

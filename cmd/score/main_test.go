@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	errprop "github.com/scidata/errprop"
 )
 
 func TestWriteThenScoreEndToEnd(t *testing.T) {
@@ -46,6 +48,87 @@ func TestWriteThenScoreEndToEnd(t *testing.T) {
 	}
 	if n := strings.Count(string(lines), "\n"); n != 8 {
 		t.Fatalf("result log has %d lines, want 8", n)
+	}
+}
+
+// TestScoreFromArtifactByteIdenticalSummary: -model pointed at a
+// compiled artifact cold-starts the scorer and writes a summary and
+// result log byte-identical to scoring the saved network at the
+// artifact's format — even when -format disagrees (the artifact wins).
+func TestScoreFromArtifactByteIdenticalSummary(t *testing.T) {
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "ds")
+	if err := run([]string{"-write", ds, "-codec", "sz", "-tol", "1e-2", "-samples", "256", "-chunk", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	net, err := errprop.MLPSpec("demo", []int{9, 50, 50, 9}, errprop.ActTanh, false).Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "demo.model")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	art, err := errprop.BuildArtifact(net, errprop.INT8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aotPath := filepath.Join(dir, "demo.aot")
+	if err := errprop.WriteArtifactFile(aotPath, art); err != nil {
+		t.Fatal(err)
+	}
+
+	score := func(model, format, tag string) ([]byte, []byte) {
+		outPath := filepath.Join(dir, tag+".jsonl")
+		sumPath := filepath.Join(dir, tag+".json")
+		err := run([]string{
+			"-manifest", filepath.Join(ds, "MANIFEST"), "-model", model, "-format", format,
+			"-budget", "0.5", "-workers", "2", "-out", outPath, "-summary", sumPath,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		sum, err := os.ReadFile(sumPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum, lines
+	}
+	refSum, refLines := score(modelPath, "int8", "spec")
+	gotSum, gotLines := score(aotPath, "fp16", "artifact") // -format contradicts; artifact's int8 wins
+	if string(gotSum) != string(refSum) {
+		t.Fatalf("artifact summary not byte-identical:\n got %s\n ref %s", gotSum, refSum)
+	}
+	if string(gotLines) != string(refLines) {
+		t.Fatal("artifact result log not byte-identical to spec path")
+	}
+
+	// A corrupt artifact is a typed refusal naming the file.
+	raw, err := os.ReadFile(aotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(aotPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-manifest", filepath.Join(ds, "MANIFEST"), "-model", aotPath})
+	if err == nil {
+		t.Fatal("scored a corrupt artifact")
+	}
+	if !strings.Contains(err.Error(), aotPath) {
+		t.Fatalf("refusal does not name the artifact: %v", err)
 	}
 }
 

@@ -25,6 +25,7 @@ package errprop
 import (
 	"io"
 
+	"github.com/scidata/errprop/internal/artifact"
 	"github.com/scidata/errprop/internal/autotune"
 	"github.com/scidata/errprop/internal/checkpoint"
 	"github.com/scidata/errprop/internal/compress"
@@ -77,6 +78,12 @@ func MLPSpec(name string, dims []int, act string, psn bool) *Spec {
 // ResNetSpec builds a ResNet-style architecture of basic residual blocks.
 func ResNetSpec(name string, inC, h, w, numClasses int, blocks, channels []int, act string, psn bool) *Spec {
 	return nn.ResNetSpec(name, inC, h, w, numClasses, blocks, channels, act, psn)
+}
+
+// UNetSpec builds a U-Net-style encoder/decoder architecture with skip
+// concatenations.
+func UNetSpec(name string, inC, h, w, outC, base int, act string, psn bool) *Spec {
+	return nn.UNetSpec(name, inC, h, w, outC, base, act, psn)
 }
 
 // LoadNetwork reads a network serialized with Network.Save.
@@ -401,6 +408,35 @@ type ServeMetrics = serve.Snapshot
 // Server.Register and mount Server.Handler on any net/http server.
 func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
+// Artifact is an ahead-of-time compiled model bundle: quantized
+// weights, the compiled op program, the error-flow graph with
+// build-time quantization step tables, and the certified bound — one
+// checksummed file that cold-starts anywhere with no recompilation
+// (see internal/artifact). Register one with Server.RegisterArtifact.
+type Artifact = artifact.Artifact
+
+// BuildArtifact compiles net into an artifact serving weight format f:
+// quantization, program compilation, error-flow analysis, and the
+// certified bound all happen once, here, at build time.
+func BuildArtifact(net *Network, f Format) (*Artifact, error) { return artifact.Build(net, f) }
+
+// DecodeArtifact parses and fully verifies an artifact's bytes: frame
+// checksum, canonical form, program-vs-model consistency, and a
+// bit-exact recomputation of the stored certified bound. Damage is a
+// typed integrity error (IsIntegrityError), never a partially trusted
+// artifact.
+func DecodeArtifact(raw []byte) (*Artifact, error) { return artifact.Decode(raw) }
+
+// WriteArtifactFile writes an artifact atomically (temp, fsync, rename).
+func WriteArtifactFile(path string, a *Artifact) error { return artifact.WriteFile(path, a) }
+
+// ReadArtifactFile reads and fully verifies an artifact file.
+func ReadArtifactFile(path string) (*Artifact, error) { return artifact.ReadFile(path) }
+
+// IsArtifact reports whether raw begins with the artifact container
+// magic — how loaders auto-detect artifact files vs legacy model files.
+func IsArtifact(raw []byte) bool { return artifact.SniffMagic(raw) }
+
 // Gateway routes inference requests across a fleet of errpropd
 // backends: consistent-hash routing on (model, request bytes), active
 // health probes with a liveness/readiness distinction, bounded retry
@@ -421,6 +457,13 @@ type GatewayBackend = gateway.Backend
 // written by WriteGatewayRegistry and hot-reloaded by a running
 // gateway on SIGHUP.
 type GatewayRegistry = gateway.Registry
+
+// GatewayArtifactRef pins one model's compiled artifact in a registry
+// manifest by path and checksum: the gateway verifies the file at
+// load/reload (a mismatch is a typed refusal that leaves the running
+// fleet untouched) and then answers /v1/plan and /v1/models for that
+// model from the artifact itself, with zero backend round-trips.
+type GatewayArtifactRef = gateway.ArtifactRef
 
 // GatewayBackendStatus is one backend's health/traffic slice of the
 // gateway's metrics.
@@ -517,4 +560,18 @@ func Score(net *Network, man *ScoreManifest, cfg ScoreConfig) (*ScoreResult, err
 // manifest at path and scores the chunks beside it.
 func ScoreFile(net *Network, manifestPath string, cfg ScoreConfig) (*ScoreResult, error) {
 	return score.ScoreFile(net, manifestPath, cfg)
+}
+
+// ScoreArtifact is Score cold-started from a compiled artifact: the
+// shipped program binds to the shipped quantized weights and the
+// certified accounting comes from the artifact's error-flow graph —
+// results are bit-identical to scoring the original network at the
+// artifact's format.
+func ScoreArtifact(art *Artifact, man *ScoreManifest, cfg ScoreConfig) (*ScoreResult, error) {
+	return score.ScoreArtifact(art, man, cfg)
+}
+
+// ScoreArtifactFile is ScoreArtifact over an on-disk dataset directory.
+func ScoreArtifactFile(art *Artifact, manifestPath string, cfg ScoreConfig) (*ScoreResult, error) {
+	return score.ScoreArtifactFile(art, manifestPath, cfg)
 }

@@ -1,0 +1,76 @@
+package artifact
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// The golden artifact pins the on-disk byte format: building the same
+// seeded network at the same format must reproduce the checked-in file
+// exactly, and the checked-in file must decode and re-encode to itself
+// byte for byte. Any layout change — field order, section framing, step
+// table order — fails loudly here and means a magic bump, not a silent
+// drift. Regenerate deliberately with
+//
+//	go test ./internal/artifact -run TestGoldenArtifact -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden artifact fixture")
+
+func goldenArtifact(t testing.TB) *Artifact {
+	t.Helper()
+	// A PSN residual conv net at INT8 exercises every section: quantized
+	// weights, conv/residual program ops, a graph with residual nodes,
+	// and nontrivial step tables.
+	net := buildNet(t, nn.ResNetSpec("golden", 1, 8, 8, 4, []int{1, 1}, []int{4, 8}, nn.ActReLU, true))
+	art, err := Build(net, numfmt.INT8)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return art
+}
+
+func TestGoldenArtifact(t *testing.T) {
+	art := goldenArtifact(t)
+	raw, err := art.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	path := filepath.Join("testdata", "golden.aot")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("artifact bytes drifted from golden: got %d bytes, want %d. A layout change needs a new magic, not a regenerated fixture.", len(raw), len(want))
+	}
+
+	// Decode -> encode bijection on the checked-in bytes themselves.
+	dec, err := Decode(want)
+	if err != nil {
+		t.Fatalf("golden fixture does not decode: %v", err)
+	}
+	re, err := dec.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(re, want) {
+		t.Fatal("golden fixture decode -> encode is not byte-identical")
+	}
+	if dec.Checksum != art.Checksum {
+		t.Fatalf("golden checksum %s != rebuilt %s", dec.Checksum, art.Checksum)
+	}
+}

@@ -90,8 +90,20 @@ func PlanNetwork(net *nn.Network, req PlanRequest) (*Plan, error) {
 	return PlanGraph(root, req)
 }
 
-// PlanGraph runs the planner against a pre-built error-flow graph.
+// PlanGraph runs the planner against a pre-built error-flow graph,
+// deriving each candidate format's step sizes from the graph's own
+// weights (Table I).
 func PlanGraph(root *Node, req PlanRequest) (*Plan, error) {
+	return PlanGraphSteps(root, func(f numfmt.Format) (StepFunc, error) {
+		return StepsForFormat(f), nil
+	}, req)
+}
+
+// PlanGraphSteps is PlanGraph with the format -> step-size derivation
+// supplied by the caller. An ahead-of-time artifact uses this to plan
+// from its build-time step tables without carrying the weights; passing
+// StepsForFormat-backed closures reproduces PlanGraph exactly.
+func PlanGraphSteps(root *Node, stepsFor func(numfmt.Format) (StepFunc, error), req PlanRequest) (*Plan, error) {
 	if req.Tol <= 0 || math.IsNaN(req.Tol) || math.IsInf(req.Tol, 0) {
 		return nil, fmt.Errorf("core: invalid tolerance %v", req.Tol)
 	}
@@ -112,14 +124,22 @@ func PlanGraph(root *Node, req PlanRequest) (*Plan, error) {
 	bestBound := 0.0
 	bestRank := -1
 	for _, f := range formats {
-		an := Analyze(root, StepsForFormat(f))
+		steps, err := stepsFor(f)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning format %s: %w", f, err)
+		}
+		an := Analyze(root, steps)
 		qb := an.QuantizationBound()
 		if qb <= quantAlloc && speedRank(f) > bestRank {
 			best, bestBound, bestRank = f, qb, speedRank(f)
 		}
 	}
 
-	an := Analyze(root, StepsForFormat(best))
+	bestSteps, err := stepsFor(best)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning format %s: %w", best, err)
+	}
+	an := Analyze(root, bestSteps)
 	remaining := req.Tol - bestBound
 	lip := an.Lipschitz()
 	if req.Conservative {

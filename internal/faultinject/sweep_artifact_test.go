@@ -1,0 +1,44 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"testing"
+
+	aot "github.com/scidata/errprop/internal/artifact"
+	"github.com/scidata/errprop/internal/nn"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// aotArtifact feeds the sweep an ahead-of-time compiled model artifact
+// (internal/artifact): the container a cold-starting daemon trusts for
+// weights, program, and certified bound, so a corruption that decoded
+// silently here would serve wrong numbers fleet-wide.
+func aotArtifact(t *testing.T) artifact {
+	t.Helper()
+	net, err := nn.MLPSpec("sweep-aot", []int{4, 9, 3}, nn.ActTanh, true).Build(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := aot.Build(net, numfmt.INT8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifact{name: "aot", raw: raw, check: func(mut []byte) (bool, error) {
+		got, err := aot.Decode(mut)
+		if err != nil {
+			return false, err
+		}
+		// Decode enforces canonical re-encoding, so accepted bytes ARE the
+		// artifact's identity: bit-identical means the same frame and the
+		// same checksum as the pristine build.
+		re, err := got.Encode()
+		if err != nil {
+			return false, err
+		}
+		return bytes.Equal(re, raw) && got.Checksum == art.Checksum, nil
+	}}
+}

@@ -160,7 +160,7 @@ func TestCorruptionSweep(t *testing.T) {
 	artifacts := []artifact{
 		blobArtifact(t), modelArtifact(t), checkpointArtifact(t),
 		scoreManifestArtifact(t), scoreCursorArtifact(t), scoreChunkArtifact(t),
-		gatewayRegistryArtifact(t),
+		gatewayRegistryArtifact(t), aotArtifact(t),
 	}
 	const seedsPerPair = 16
 	applied, detected, identical := 0, 0, 0

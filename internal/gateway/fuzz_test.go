@@ -22,6 +22,24 @@ func FuzzDecodeRegistry(f *testing.F) {
 		mut[i] ^= 0x3B
 		f.Add(mut)
 	}
+	// A v2 manifest (artifact refs pinned) seeds the artifact-section
+	// decode paths and their bijection too.
+	v2 := sampleRegistry()
+	v2.Artifacts = []ArtifactRef{
+		{Model: "h2", Path: "models/h2.aot", Checksum: "crc32c:0123abcd"},
+		{Model: "flame", Path: "flame.aot", Checksum: "crc32c:deadbeef"},
+	}
+	raw2, err := v2.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw2)
+	f.Add([]byte(registryMagicV2))
+	for i := 0; i < len(raw2); i += 7 {
+		mut := append([]byte(nil), raw2...)
+		mut[i] ^= 0x5C
+		f.Add(mut)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		reg, err := DecodeRegistry(data)

@@ -1,12 +1,16 @@
 package gateway
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/scidata/errprop/internal/artifact"
 )
 
 // Config tunes a Gateway. The zero value is usable; every field has a
@@ -152,7 +156,12 @@ type Gateway struct {
 	mu       sync.RWMutex
 	backends map[string]*backend // by name
 	ring     *ring
-	reloads  atomic.Int64
+	// artifacts holds the verified ahead-of-time artifacts pinned by the
+	// last loaded registry, by model name. Models present here get their
+	// /v1/plan and /v1/models answers computed gateway-side, with zero
+	// backend round-trips.
+	artifacts map[string]*artifact.Artifact
+	reloads   atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -259,20 +268,82 @@ func orderedBackends(m map[string]*backend) []*backend {
 	return out
 }
 
+// ErrArtifactMismatch means a registry-pinned artifact file decodes to
+// a different checksum identity than the manifest declares — the file
+// under the path is not the artifact the operator pinned.
+var ErrArtifactMismatch = errors.New("gateway: artifact does not match manifest checksum")
+
 // LoadRegistryFile reads, verifies, and installs a registry manifest.
 // A corrupt or truncated file is refused with a typed integrity error
 // and the current fleet stays exactly as it was — a reload is applied
-// atomically or not at all.
+// atomically or not at all. Artifact references are verified before
+// anything is installed: every referenced file must decode (full
+// integrity + consistency checks, see internal/artifact) and match its
+// pinned checksum, or the whole reload is refused.
 func (g *Gateway) LoadRegistryFile(path string) error {
 	reg, err := ReadRegistryFile(path)
+	if err != nil {
+		return err
+	}
+	arts, err := verifyArtifacts(reg.Artifacts, filepath.Dir(path))
 	if err != nil {
 		return err
 	}
 	if err := g.SetBackends(reg.Backends); err != nil {
 		return err
 	}
+	g.mu.Lock()
+	g.artifacts = arts
+	g.mu.Unlock()
 	g.reloads.Add(1)
 	return nil
+}
+
+// verifyArtifacts loads every referenced artifact and checks it against
+// its pinned checksum. Relative paths resolve against baseDir (the
+// registry file's directory).
+func verifyArtifacts(refs []ArtifactRef, baseDir string) (map[string]*artifact.Artifact, error) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	arts := make(map[string]*artifact.Artifact, len(refs))
+	for _, ref := range refs {
+		p := ref.Path
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(baseDir, p)
+		}
+		a, err := artifact.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: artifact %s for model %q: %w", p, ref.Model, err)
+		}
+		if a.Checksum != ref.Checksum {
+			return nil, fmt.Errorf("gateway: artifact %s for model %q: %w: file is %s, manifest pins %s", p, ref.Model, ErrArtifactMismatch, a.Checksum, ref.Checksum)
+		}
+		arts[ref.Model] = a
+	}
+	return arts, nil
+}
+
+// artifactFor returns the verified artifact pinned for model, if any.
+func (g *Gateway) artifactFor(model string) (*artifact.Artifact, bool) {
+	g.mu.RLock()
+	a, ok := g.artifacts[model]
+	g.mu.RUnlock()
+	return a, ok
+}
+
+// artifactModels returns the pinned model names in sorted order, with
+// their artifacts.
+func (g *Gateway) artifactModels() ([]string, map[string]*artifact.Artifact) {
+	g.mu.RLock()
+	arts := g.artifacts
+	g.mu.RUnlock()
+	names := make([]string, 0, len(arts))
+	for name := range arts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, arts
 }
 
 // Backends reports the current fleet's status, sorted by name.

@@ -11,7 +11,10 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/scidata/errprop/internal/artifact"
+	"github.com/scidata/errprop/internal/core"
 	"github.com/scidata/errprop/internal/detrand"
+	"github.com/scidata/errprop/internal/numfmt"
 )
 
 // blobContentType mirrors serve.BlobContentType (the gateway routes on
@@ -145,6 +148,14 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusBadRequest, "", "request names no model")
 		return
 	}
+	// A model pinned to a verified artifact is planned gateway-side: the
+	// artifact carries the error-flow graph and build-time step tables,
+	// so the answer is computed here, byte-identical to a backend's, with
+	// zero backend round-trips.
+	if art, ok := g.artifactFor(peek.Model); ok {
+		g.planFromArtifact(w, art, peek.Model, body)
+		return
+	}
 	// The cache key is the request's exact bytes: it subsumes (model,
 	// format, tolerance, norm, quant fraction) — any plan-relevant field
 	// change misses and re-consults a backend.
@@ -160,11 +171,150 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleModels serves /v1/models from cache when possible; the cached
-// body is one backend's response (identical static fields fleet-wide;
-// the per-model counters are a snapshot from fill time).
+// gwPlanRequest and gwPlanResponse mirror the backend's /v1/plan wire
+// structs field for field (the gateway deliberately does not import
+// internal/serve): an artifact-computed plan response must be
+// byte-identical to the answer a backend would have produced.
+type gwPlanRequest struct {
+	Model         string   `json:"model"`
+	Tol           float64  `json:"tol"`
+	Norm          string   `json:"norm,omitempty"`
+	QuantFraction float64  `json:"quant_fraction,omitempty"`
+	Conservative  bool     `json:"conservative,omitempty"`
+	Formats       []string `json:"formats,omitempty"`
+}
+
+type gwPlanResponse struct {
+	Model          string   `json:"model"`
+	Norm           string   `json:"norm"`
+	Format         string   `json:"format"`
+	QuantBound     float64  `json:"quant_bound"`
+	CompressBudget float64  `json:"compress_budget"`
+	InputTolL2     *float64 `json:"input_tol_l2"`
+	InputTolLinf   *float64 `json:"input_tol_linf"`
+	TotalBound     float64  `json:"total_bound"`
+}
+
+// localError mirrors a backend's error body shape ({"error": ...}, no
+// gateway source marker) so artifact-local answers stay byte-compatible
+// with relayed ones on every path.
+func localError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// planFromArtifact answers /v1/plan from a pinned artifact's error-flow
+// graph and build-time step tables, mirroring the backend handler's
+// semantics — defaults, error texts, status codes — exactly.
+func (g *Gateway) planFromArtifact(w http.ResponseWriter, art *artifact.Artifact, model string, body []byte) {
+	var req gwPlanRequest
+	if err := json.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+		g.metrics.failed.Add(1)
+		localError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	norm, err := parseGWNorm(req.Norm)
+	if err != nil {
+		g.metrics.failed.Add(1)
+		localError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.QuantFraction == 0 {
+		req.QuantFraction = 0.5
+	}
+	var formats []numfmt.Format
+	for _, name := range req.Formats {
+		f, err := numfmt.ParseFormat(name)
+		if err != nil {
+			g.metrics.failed.Add(1)
+			localError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		formats = append(formats, f)
+	}
+	plan, err := core.PlanGraphSteps(art.Root, art.StepsFor, core.PlanRequest{
+		Tol:           req.Tol,
+		Norm:          norm,
+		QuantFraction: req.QuantFraction,
+		Formats:       formats,
+		Conservative:  req.Conservative,
+	})
+	if err != nil {
+		g.metrics.failed.Add(1)
+		localError(w, http.StatusBadRequest, "planning: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, gwPlanResponse{
+		Model:          model,
+		Norm:           norm.String(),
+		Format:         plan.Format.String(),
+		QuantBound:     plan.QuantBound,
+		CompressBudget: plan.CompressBudget,
+		InputTolL2:     gwFiniteOrNil(plan.InputTolL2),
+		InputTolLinf:   gwFiniteOrNil(plan.InputTolLinf),
+		TotalBound:     plan.TotalBound,
+	})
+	g.metrics.ok.Add(1)
+}
+
+// parseGWNorm mirrors the backend's norm parsing ("" defaults to linf).
+func parseGWNorm(name string) (core.Norm, error) {
+	switch name {
+	case "", "linf":
+		return core.NormLinf, nil
+	case "l2":
+		return core.NormL2, nil
+	}
+	return 0, fmt.Errorf("unknown norm %q (want \"linf\" or \"l2\")", name)
+}
+
+// gwFiniteOrNil mirrors the backend's null encoding of non-finite
+// tolerances.
+func gwFiniteOrNil(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// gwModelStats mirrors the backend's per-model /v1/models entry. An
+// artifact-derived entry carries the static contract fields — format,
+// dims, certified bound, checksum identity — with zeroed traffic
+// counters (the gateway answers without consulting any backend).
+type gwModelStats struct {
+	Format     string  `json:"format"`
+	InDim      int     `json:"in_dim"`
+	OutDim     int     `json:"out_dim"`
+	QuantBound float64 `json:"quant_bound"`
+	Checksum   string  `json:"checksum"`
+	Requests   int64   `json:"requests_total"`
+	Samples    int64   `json:"samples_total"`
+	Admitted   int64   `json:"admitted_total"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
+// handleModels serves /v1/models. A registry with pinned artifacts
+// answers entirely gateway-side from their static contract fields;
+// otherwise the response comes from cache or one backend (identical
+// static fields fleet-wide; the per-model counters are a snapshot from
+// fill time).
 func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
 	g.metrics.requests.Add(1)
+	if names, arts := g.artifactModels(); len(names) > 0 {
+		out := make(map[string]gwModelStats, len(names))
+		for _, name := range names {
+			a := arts[name]
+			out[name] = gwModelStats{
+				Format:     a.Format.String(),
+				InDim:      a.Net.InputDim,
+				OutDim:     a.Program.OutDim,
+				QuantBound: a.QuantBound,
+				Checksum:   a.Checksum,
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+		g.metrics.ok.Add(1)
+		return
+	}
 	const cacheKey = "models"
 	if resp, ok := g.cache.get(cacheKey); ok {
 		serveCached(w, resp)

@@ -56,13 +56,35 @@ type Backend struct {
 	Weight int
 }
 
-// Registry is the manifest of backends a gateway routes across.
+// ArtifactRef pins one model's ahead-of-time compiled artifact
+// (internal/artifact) in the manifest: the gateway verifies the file
+// against the pinned checksum at load and then answers /v1/plan and
+// /v1/models for the model from the artifact itself, with zero backend
+// round-trips.
+type ArtifactRef struct {
+	// Model is the model name the artifact serves.
+	Model string
+	// Path locates the artifact file; relative paths resolve against
+	// the registry file's directory.
+	Path string
+	// Checksum is the artifact body's CRC32C ("crc32c:xxxxxxxx"); a file
+	// that decodes to any other identity is a typed load refusal.
+	Checksum string
+}
+
+// Registry is the manifest of backends a gateway routes across, plus
+// optional pinned model artifacts.
 type Registry struct {
-	Backends []Backend
+	Backends  []Backend
+	Artifacts []ArtifactRef
 }
 
 const (
 	registryMagic = "ERRPROPGW1"
+	// registryMagicV2 frames a manifest carrying artifact references; a
+	// v2 frame with zero references is refused so every registry has
+	// exactly one canonical encoding (v1 without refs, v2 with).
+	registryMagicV2 = "ERRPROPGW2"
 	// maxRegistryBody caps the declared body length so a corrupt frame
 	// cannot size an absurd allocation.
 	maxRegistryBody = 1 << 24
@@ -74,7 +96,44 @@ const (
 	// (1-byte name, 1-byte addr, their length prefixes, u32 weight) —
 	// the allocation guard for untrusted counts.
 	backendMinBytes = 1 + 1 + 1 + 1 + 4
+	// maxArtifactRefs caps the declared artifact-reference count.
+	maxArtifactRefs = 1 << 16
+	// maxArtifactPath caps one reference's path length.
+	maxArtifactPath = 1 << 12
+	// artifactRefMinBytes guards the refs allocation: 1-byte model,
+	// 1-byte path, the fixed 15-byte checksum, and the length prefixes.
+	artifactRefMinBytes = 1 + 1 + 2 + 1 + 1 + 15
 )
+
+// validArtifactChecksum reports whether s has the exact
+// integrity.ChecksumString shape: "crc32c:" + 8 lowercase hex digits.
+func validArtifactChecksum(s string) bool {
+	const prefix = "crc32c:"
+	if len(s) != len(prefix)+8 || s[:len(prefix)] != prefix {
+		return false
+	}
+	for _, c := range s[len(prefix):] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validateArtifactRef applies the structural rules shared by Encode and
+// DecodeRegistry.
+func validateArtifactRef(a ArtifactRef) error {
+	if a.Model == "" || len(a.Model) > 255 {
+		return fmt.Errorf("artifact model name length %d not in 1..255", len(a.Model))
+	}
+	if a.Path == "" || len(a.Path) > maxArtifactPath {
+		return fmt.Errorf("artifact %q: path length %d not in 1..%d", a.Model, len(a.Path), maxArtifactPath)
+	}
+	if !validArtifactChecksum(a.Checksum) {
+		return fmt.Errorf("artifact %q: checksum %q is not crc32c:xxxxxxxx", a.Model, a.Checksum)
+	}
+	return nil
+}
 
 // validateBackend applies the structural rules shared by Encode and
 // DecodeRegistry, so everything the decoder accepts re-encodes (the
@@ -111,6 +170,19 @@ func (r *Registry) Validate() error {
 		}
 		seen[b.Name] = true
 	}
+	if len(r.Artifacts) > maxArtifactRefs {
+		return fmt.Errorf("gateway: registry artifact count %d exceeds %d", len(r.Artifacts), maxArtifactRefs)
+	}
+	seenModel := make(map[string]bool, len(r.Artifacts))
+	for i, a := range r.Artifacts {
+		if err := validateArtifactRef(a); err != nil {
+			return fmt.Errorf("gateway: registry artifact %d: %w", i, err)
+		}
+		if seenModel[a.Model] {
+			return fmt.Errorf("gateway: registry artifact %d: duplicate model %q", i, a.Model)
+		}
+		seenModel[a.Model] = true
+	}
 	return nil
 }
 
@@ -136,9 +208,26 @@ func (r *Registry) Encode() ([]byte, error) {
 		b.WriteString(be.Addr)
 		binary.Write(&b, binary.LittleEndian, uint32(be.Weight))
 	}
+	// A manifest without artifact references keeps the original v1
+	// framing byte for byte; one with references gets the v2 magic and
+	// an appended artifact section. Each registry value has exactly one
+	// encoding either way, preserving the decode/encode bijection.
+	magic := registryMagic
+	if len(r.Artifacts) > 0 {
+		magic = registryMagicV2
+		binary.Write(&b, binary.LittleEndian, uint32(len(r.Artifacts)))
+		for _, a := range r.Artifacts {
+			b.WriteByte(byte(len(a.Model)))
+			b.WriteString(a.Model)
+			binary.Write(&b, binary.LittleEndian, uint16(len(a.Path)))
+			b.WriteString(a.Path)
+			b.WriteByte(byte(len(a.Checksum)))
+			b.WriteString(a.Checksum)
+		}
+	}
 	body := b.Bytes()
-	out := bytes.NewBuffer(make([]byte, 0, len(registryMagic)+12+len(body)))
-	out.WriteString(registryMagic)
+	out := bytes.NewBuffer(make([]byte, 0, len(magic)+12+len(body)))
+	out.WriteString(magic)
 	binary.Write(out, binary.LittleEndian, uint64(len(body)))
 	binary.Write(out, binary.LittleEndian, integrity.Checksum(body))
 	out.Write(body)
@@ -154,9 +243,11 @@ func DecodeRegistry(raw []byte) (*Registry, error) {
 	if len(raw) < len(registryMagic) {
 		return nil, fmt.Errorf("gateway: registry: %w: %d bytes, shorter than magic", ErrTruncated, len(raw))
 	}
-	if string(raw[:len(registryMagic)]) != registryMagic {
+	magic := string(raw[:len(registryMagic)])
+	if magic != registryMagic && magic != registryMagicV2 {
 		return nil, fmt.Errorf("gateway: registry: %w: bad magic %q", ErrCorrupt, raw[:len(registryMagic)])
 	}
+	withArtifacts := magic == registryMagicV2
 	rest := raw[len(registryMagic):]
 	if len(rest) < 12 {
 		return nil, fmt.Errorf("gateway: registry: %w: missing frame header", ErrTruncated)
@@ -177,13 +268,13 @@ func DecodeRegistry(raw []byte) (*Registry, error) {
 	if got := integrity.Checksum(body); got != crc {
 		return nil, fmt.Errorf("gateway: registry: %w: body checksum %08x != stored %08x", ErrCorrupt, got, crc)
 	}
-	return decodeRegistryBody(bytes.NewReader(body))
+	return decodeRegistryBody(bytes.NewReader(body), withArtifacts)
 }
 
 // decodeRegistryBody parses the checksum-verified body. Structural
 // inconsistency inside verified bytes means the registry was written
 // wrong — ErrCorrupt.
-func decodeRegistryBody(r *bytes.Reader) (*Registry, error) {
+func decodeRegistryBody(r *bytes.Reader, withArtifacts bool) (*Registry, error) {
 	bad := func(format string, args ...any) error {
 		return fmt.Errorf("gateway: registry: %w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 	}
@@ -202,21 +293,21 @@ func decodeRegistryBody(r *bytes.Reader) (*Registry, error) {
 	str := func(what string, i int) (string, error) {
 		l, err := r.ReadByte()
 		if err != nil {
-			return "", bad("backend %d: missing %s length", i, what)
+			return "", bad("entry %d: missing %s length", i, what)
 		}
 		s := make([]byte, l)
 		if _, err := io.ReadFull(r, s); err != nil {
-			return "", bad("backend %d: short %s", i, what)
+			return "", bad("entry %d: short %s", i, what)
 		}
 		return string(s), nil
 	}
 	for i := range reg.Backends {
 		be := &reg.Backends[i]
 		var err error
-		if be.Name, err = str("name", i); err != nil {
+		if be.Name, err = str("backend name", i); err != nil {
 			return nil, err
 		}
-		if be.Addr, err = str("addr", i); err != nil {
+		if be.Addr, err = str("backend addr", i); err != nil {
 			return nil, err
 		}
 		var w uint32
@@ -224,6 +315,44 @@ func decodeRegistryBody(r *bytes.Reader) (*Registry, error) {
 			return nil, bad("backend %d: missing weight", i)
 		}
 		be.Weight = int(w)
+	}
+	if withArtifacts {
+		var acount uint32
+		if binary.Read(r, binary.LittleEndian, &acount) != nil {
+			return nil, bad("missing artifact count")
+		}
+		// A v2 frame with zero refs would be a second encoding of a
+		// v1-encodable registry; refuse it so decode/encode stays a
+		// bijection.
+		if acount == 0 {
+			return nil, bad("v2 registry declares no artifacts")
+		}
+		if acount > maxArtifactRefs {
+			return nil, bad("artifact count %d exceeds %d", acount, maxArtifactRefs)
+		}
+		if uint64(acount)*artifactRefMinBytes > uint64(r.Len()) {
+			return nil, bad("artifact count %d exceeds body", acount)
+		}
+		reg.Artifacts = make([]ArtifactRef, acount)
+		for i := range reg.Artifacts {
+			a := &reg.Artifacts[i]
+			var err error
+			if a.Model, err = str("artifact model", i); err != nil {
+				return nil, err
+			}
+			var plen uint16
+			if binary.Read(r, binary.LittleEndian, &plen) != nil {
+				return nil, bad("artifact %d: missing path length", i)
+			}
+			p := make([]byte, plen)
+			if _, err := io.ReadFull(r, p); err != nil {
+				return nil, bad("artifact %d: short path", i)
+			}
+			a.Path = string(p)
+			if a.Checksum, err = str("artifact checksum", i); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if r.Len() != 0 {
 		return nil, bad("%d trailing bytes", r.Len())

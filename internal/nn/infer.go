@@ -115,44 +115,11 @@ func CompileInferenceSharded(net *Network, maxBatch, shards int) (*Engine, error
 	if net.InputDim <= 0 {
 		return nil, fmt.Errorf("nn: CompileInference: network input dim %d is not statically known", net.InputDim)
 	}
-	if shards > maxBatch {
-		shards = maxBatch
+	p, err := CompileProgram(net)
+	if err != nil {
+		return nil, err
 	}
-	laneWidth := (maxBatch + shards - 1) / shards
-	e := &Engine{inDim: net.InputDim, maxBatch: maxBatch}
-	for l := 0; l < shards; l++ {
-		b := &engineBuilder{maxBatch: laneWidth}
-		b.slotRows = append(b.slotRows, net.InputDim) // slot 0: the lane's input
-		out, rows, err := b.compileSeq(net.Layers, 0, net.InputDim, "layers")
-		if err != nil {
-			return nil, err
-		}
-		e.outDim = rows
-		ln := &lane{eng: e, ops: b.ops, out: out}
-		// One slab per worker; every arena slot is a capped slice of it,
-		// so slot growth can never silently overlap a neighbor.
-		total := 0
-		for _, r := range b.slotRows {
-			total += r * laneWidth
-		}
-		slab := make([]float64, total)
-		off := 0
-		for _, r := range b.slotRows {
-			sz := r * laneWidth
-			ln.bufs = append(ln.bufs, tensor.NewMatrixFrom(r, laneWidth, slab[off:off+sz:off+sz]))
-			off += sz
-		}
-		ln.in0 = ln.bufs[0]
-		ln.start = func() {
-			ln.exec()
-			e.wg.Done()
-		}
-		e.lanes = append(e.lanes, ln)
-	}
-	if shards > 1 {
-		e.outM = tensor.NewMatrix(e.outDim, maxBatch)
-	}
-	return e, nil
+	return p.Bind(net, maxBatch, shards)
 }
 
 // Forward executes the compiled program on a (features x batch) matrix.
@@ -248,22 +215,7 @@ func (e *Engine) Program() []string {
 	return out
 }
 
-// engineBuilder accumulates the op program and arena slot shapes during
-// compilation of one lane.
-type engineBuilder struct {
-	maxBatch int
-	slotRows []int
-	ops      []inferOp
-}
-
-// alloc reserves an arena slot of the given feature count; slots are
-// materialized from one slab after compilation.
-func (b *engineBuilder) alloc(rows int) int {
-	b.slotRows = append(b.slotRows, rows)
-	return len(b.slotRows) - 1
-}
-
-// fusableWithAct reports whether compileLayer can fold a following
+// fusableWithAct reports whether the compiler can fold a following
 // Activation into the op it emits for l. Folding is safe exactly when
 // the op applies the activation to each output element after that
 // element's full sum (and bias) — the same value the standalone
@@ -275,173 +227,6 @@ func fusableWithAct(l Layer) bool {
 		return true
 	}
 	return false
-}
-
-// compileSeq compiles a layer sequence reading from arena slot in with
-// rows features; it returns the slot and feature count of the sequence
-// output. path annotates errors like Spec.Validate does. Activation
-// layers that directly follow a fusable op are folded into it (the
-// peephole the golden program dumps make reviewable).
-func (b *engineBuilder) compileSeq(layers []Layer, in, rows int, path string) (int, int, error) {
-	cur, curRows := in, rows
-	for i := 0; i < len(layers); i++ {
-		l := layers[i]
-		var fuse *Activation
-		if i+1 < len(layers) && fusableWithAct(l) {
-			if act, ok := layers[i+1].(*Activation); ok {
-				fuse = act
-			}
-		}
-		var err error
-		cur, curRows, err = b.compileLayer(l, cur, curRows, fmt.Sprintf("%s[%d]", path, i), fuse)
-		if err != nil {
-			return 0, 0, err
-		}
-		if fuse != nil {
-			i++ // the activation was folded into l's op
-		}
-	}
-	return cur, curRows, nil
-}
-
-func (b *engineBuilder) compileLayer(l Layer, in, rows int, path string, fuse *Activation) (int, int, error) {
-	mismatch := func(name string, want int) error {
-		return fmt.Errorf("nn: CompileInference: %s (%s): input dim %d does not chain, layer wants %d", path, name, rows, want)
-	}
-	switch t := l.(type) {
-	case *Dense:
-		if rows != t.In {
-			return 0, 0, mismatch(t.name, t.In)
-		}
-		op := &opDense{l: t, in: in, out: b.alloc(t.Out), act: fuse}
-		if t.PSN {
-			t.ensureSigma()
-			op.w = tensor.NewMatrix(t.Out, t.In)
-		} else {
-			op.w = t.rawMatrix() // shared view of live weights
-		}
-		b.ops = append(b.ops, op)
-		return op.out, t.Out, nil
-	case *Conv2D:
-		if rows != t.InDim() {
-			return 0, 0, mismatch(t.name, t.InDim())
-		}
-		spatial := t.OutH() * t.OutW()
-		op := &opConv{
-			l:       t,
-			in:      in,
-			out:     b.alloc(t.OutC * spatial),
-			act:     fuse,
-			outC:    t.OutC,
-			spatial: spatial,
-			k2c:     t.InC * t.K * t.K,
-			offs:    convTapOffsets(t),
-			zeros:   make([]float64, b.maxBatch),
-		}
-		if t.PSN {
-			t.ensureSigma()
-			op.kw = tensor.NewMatrix(t.OutC, t.InC*t.K*t.K)
-		} else {
-			op.kw = t.rawMatrix()
-		}
-		b.ops = append(b.ops, op)
-		return op.out, t.OutC * spatial, nil
-	case *Activation:
-		op := &opAct{l: t, in: in, out: b.alloc(rows)}
-		b.ops = append(b.ops, op)
-		return op.out, rows, nil
-	case *RoundLayer:
-		op := &opRound{l: t, in: in, out: b.alloc(rows)}
-		b.ops = append(b.ops, op)
-		return op.out, rows, nil
-	case *MaxPool2D:
-		if rows != t.InDim() {
-			return 0, 0, mismatch(t.name, t.InDim())
-		}
-		op := &opMaxPool{l: t, in: in, out: b.alloc(t.OutDim())}
-		b.ops = append(b.ops, op)
-		return op.out, t.OutDim(), nil
-	case *AvgPool2D:
-		if rows != t.InDim() {
-			return 0, 0, mismatch(t.name, t.InDim())
-		}
-		op := &opAvgPool{l: t, in: in, out: b.alloc(t.OutDim())}
-		b.ops = append(b.ops, op)
-		return op.out, t.OutDim(), nil
-	case *GlobalAvgPool:
-		if rows != t.InDim() {
-			return 0, 0, mismatch(t.name, t.InDim())
-		}
-		op := &opGAP{l: t, in: in, out: b.alloc(t.OutDim())}
-		b.ops = append(b.ops, op)
-		return op.out, t.OutDim(), nil
-	case *Upsample2D:
-		if rows != t.InDim() {
-			return 0, 0, mismatch(t.name, t.InDim())
-		}
-		op := &opUpsample{l: t, in: in, out: b.alloc(t.OutDim())}
-		b.ops = append(b.ops, op)
-		return op.out, t.OutDim(), nil
-	case *BatchNorm2D:
-		if rows != t.InDim() {
-			return 0, 0, mismatch(t.name, t.InDim())
-		}
-		op := &opBatchNorm{l: t, in: in, out: b.alloc(rows), act: fuse}
-		b.ops = append(b.ops, op)
-		return op.out, rows, nil
-	case *SelfAttention:
-		if rows != t.InDim() {
-			return 0, 0, mismatch(t.name, t.InDim())
-		}
-		op := &opAttention{
-			l: t, in: in, out: b.alloc(t.InDim()), act: fuse,
-			// Shared views of the live projection weights.
-			wq: tensor.NewMatrixFrom(t.D, t.D, t.Wq.Data),
-			wk: tensor.NewMatrixFrom(t.D, t.D, t.Wk.Data),
-			wv: tensor.NewMatrixFrom(t.D, t.D, t.Wv.Data),
-			// Per-sample scratch; sizes are batch-independent.
-			xs: tensor.NewMatrix(t.T, t.D), q: tensor.NewMatrix(t.T, t.D),
-			k: tensor.NewMatrix(t.T, t.D), v: tensor.NewMatrix(t.T, t.D),
-			kt: tensor.NewMatrix(t.D, t.T), scores: tensor.NewMatrix(t.T, t.T),
-			scoresT: tensor.NewMatrix(t.T, t.T), aT: tensor.NewMatrix(t.T, t.T),
-			a: tensor.NewMatrix(t.T, t.T), y: tensor.NewMatrix(t.T, t.D),
-		}
-		b.ops = append(b.ops, op)
-		return op.out, t.InDim(), nil
-	case *Residual:
-		fOut, fRows, err := b.compileSeq(t.Branch, in, rows, path+".branch")
-		if err != nil {
-			return 0, 0, err
-		}
-		sOut, sRows := in, rows
-		if len(t.Shortcut) > 0 {
-			sOut, sRows, err = b.compileSeq(t.Shortcut, in, rows, path+".shortcut")
-			if err != nil {
-				return 0, 0, err
-			}
-		}
-		if fRows != sRows {
-			return 0, 0, fmt.Errorf("nn: CompileInference: %s (%s): branch output %d != shortcut output %d", path, t.name, fRows, sRows)
-		}
-		op := &opAdd{a: fOut, b: sOut, out: b.alloc(fRows), act: fuse}
-		b.ops = append(b.ops, op)
-		return op.out, fRows, nil
-	case *SkipConcat:
-		if rows != t.InDim() {
-			return 0, 0, mismatch(t.name, t.InDim())
-		}
-		bOut, bRows, err := b.compileSeq(t.Branch, in, rows, path+".branch")
-		if err != nil {
-			return 0, 0, err
-		}
-		if want := t.BC * t.H * t.W; bRows != want {
-			return 0, 0, fmt.Errorf("nn: CompileInference: %s (%s): branch produced %d rows, want %d", path, t.name, bRows, want)
-		}
-		op := &opConcat{xRows: rows, in: in, branch: bOut, out: b.alloc(t.OutDim())}
-		b.ops = append(b.ops, op)
-		return op.out, t.OutDim(), nil
-	}
-	return 0, 0, fmt.Errorf("nn: CompileInference: %s: unsupported layer type %T (%s)", path, l, l.Name())
 }
 
 // ensure resizes arena slot i to rows x batch (reusing the preallocated

@@ -1,0 +1,724 @@
+package nn
+
+// program.go is the pure, serializable half of the inference compiler.
+//
+// CompileInference historically walked the layer graph and built runnable
+// ops in one pass. That pass is now split in two:
+//
+//   - CompileProgram performs the structural walk — static shape
+//     inference, the activation-fusion peephole, arena-slot allocation —
+//     and emits a Program: a flat, batch-independent, byte-serializable
+//     description of the op sequence. Compiling the same network always
+//     yields the same Program, byte for byte.
+//   - Program.Bind resolves a Program against a live network: it
+//     validates every op against the layer it references, allocates the
+//     per-lane buffer arenas for a (maxBatch, shards) geometry, and
+//     produces a runnable Engine.
+//
+// The split is what makes ahead-of-time artifacts possible: a Program
+// round-trips through EncodeBinary/DecodeProgram, travels inside an
+// artifact next to the serialized network, and Bind reconstructs exactly
+// the engine a from-spec compile would have produced. CompileInference
+// itself is now CompileProgram + Bind — one compiler, two entry points.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/scidata/errprop/internal/tensor"
+)
+
+// OpKind discriminates Program ops. The numeric values are part of the
+// serialized program format; add new kinds at the end only.
+type OpKind uint8
+
+const (
+	OpDense OpKind = iota
+	OpConv
+	OpAct
+	OpRound
+	OpMaxPool
+	OpAvgPool
+	OpGAP
+	OpUpsample
+	OpBatchNorm
+	OpAttention
+	OpAdd
+	OpConcat
+	opKindCount
+)
+
+// opKindNames labels kinds in Bind/decode errors.
+var opKindNames = [...]string{
+	"dense", "conv", "act", "round", "maxpool", "avgpool", "gap",
+	"upsample", "batchnorm", "attention", "add", "concat",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// ProgOp is one step of a Program. Slot indices refer to
+// Program.SlotRows; layer indices refer to the network's pre-order layer
+// flattening (each layer of a sequence in order, then for a Residual its
+// Branch then Shortcut sublayers, for a SkipConcat its Branch sublayers).
+type ProgOp struct {
+	Kind OpKind
+	// Layer is the pre-order flatten index of the layer this op executes.
+	Layer int32
+	// Act is the flatten index of the activation fused into this op's
+	// write loop, or -1 when none was fused.
+	Act int32
+	// In is the primary input slot (for OpAdd, the branch operand).
+	In int32
+	// Aux is the secondary input slot — OpAdd's shortcut operand,
+	// OpConcat's branch — or -1 for ops with a single input.
+	Aux int32
+	// Out is the output slot.
+	Out int32
+}
+
+// Program is a compiled inference plan in pure data form: no layer
+// pointers, no scratch buffers, nothing batch-dependent. It is the
+// deterministic, encodable vocabulary the golden *.program dumps render
+// (Engine.Program), and the form an ahead-of-time artifact embeds.
+type Program struct {
+	// InDim and OutDim are the flattened input/output feature counts
+	// (static shape inference; no data probe).
+	InDim, OutDim int
+	// Out is the arena slot holding the network output after the last op.
+	Out int
+	// SlotRows is each arena slot's feature count; slot 0 is the input.
+	SlotRows []int
+	// Ops is the op sequence, executed in order.
+	Ops []ProgOp
+}
+
+// flattenLayers appends the layer tree in pre-order: each layer, then a
+// Residual's Branch and Shortcut sublayers, then a SkipConcat's Branch
+// sublayers. CompileProgram assigns ProgOp.Layer indices in exactly this
+// order, so Bind can resolve them against any structurally identical
+// network.
+func flattenLayers(layers []Layer, out []Layer) []Layer {
+	for _, l := range layers {
+		out = append(out, l)
+		switch t := l.(type) {
+		case *Residual:
+			out = flattenLayers(t.Branch, out)
+			out = flattenLayers(t.Shortcut, out)
+		case *SkipConcat:
+			out = flattenLayers(t.Branch, out)
+		}
+	}
+	return out
+}
+
+// programBuilder accumulates ops and arena slot shapes during the
+// structural compile walk, assigning pre-order layer indices as it goes.
+type programBuilder struct {
+	slotRows  []int
+	ops       []ProgOp
+	nextLayer int32
+}
+
+// alloc reserves an arena slot of the given feature count.
+func (b *programBuilder) alloc(rows int) int {
+	b.slotRows = append(b.slotRows, rows)
+	return len(b.slotRows) - 1
+}
+
+// layerIdx consumes the next pre-order layer index; calls must mirror
+// flattenLayers' append order exactly.
+func (b *programBuilder) layerIdx() int32 {
+	i := b.nextLayer
+	b.nextLayer++
+	return i
+}
+
+func (b *programBuilder) emit(op ProgOp) { b.ops = append(b.ops, op) }
+
+// CompileProgram runs the structural half of the inference compiler:
+// shape inference, activation fusion, and slot allocation, with the same
+// failure modes (and error text) as CompileInference. The resulting
+// Program is independent of batch geometry; Bind turns it into an Engine.
+func CompileProgram(net *Network) (*Program, error) {
+	if net == nil {
+		return nil, fmt.Errorf("nn: CompileInference: nil network")
+	}
+	if net.InputDim <= 0 {
+		return nil, fmt.Errorf("nn: CompileInference: network input dim %d is not statically known", net.InputDim)
+	}
+	b := &programBuilder{}
+	b.slotRows = append(b.slotRows, net.InputDim) // slot 0: the input
+	out, rows, err := b.seq(net.Layers, 0, net.InputDim, "layers")
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		InDim:    net.InputDim,
+		OutDim:   rows,
+		Out:      out,
+		SlotRows: b.slotRows,
+		Ops:      b.ops,
+	}, nil
+}
+
+// seq compiles a layer sequence reading from arena slot in with rows
+// features; it returns the slot and feature count of the sequence output.
+// path annotates errors like Spec.Validate does. An Activation directly
+// following a fusable op is folded into that op's write loop (the
+// peephole the golden program dumps make reviewable); the folded
+// activation still consumes its pre-order layer index.
+func (b *programBuilder) seq(layers []Layer, in, rows int, path string) (int, int, error) {
+	cur, curRows := in, rows
+	for i := 0; i < len(layers); i++ {
+		l := layers[i]
+		fuse := false
+		if i+1 < len(layers) && fusableWithAct(l) {
+			if _, ok := layers[i+1].(*Activation); ok {
+				fuse = true
+			}
+		}
+		var err error
+		cur, curRows, err = b.layer(l, cur, curRows, fmt.Sprintf("%s[%d]", path, i))
+		if err != nil {
+			return 0, 0, err
+		}
+		if fuse {
+			// The fused activation is layers[i+1], appended to the flatten
+			// order after l's entire subtree — which b.layer just consumed —
+			// so its index is simply the next one.
+			b.ops[len(b.ops)-1].Act = b.layerIdx()
+			i++
+		}
+	}
+	return cur, curRows, nil
+}
+
+func (b *programBuilder) layer(l Layer, in, rows int, path string) (int, int, error) {
+	idx := b.layerIdx()
+	mismatch := func(name string, want int) error {
+		return fmt.Errorf("nn: CompileInference: %s (%s): input dim %d does not chain, layer wants %d", path, name, rows, want)
+	}
+	simple := func(kind OpKind, outRows int) (int, int, error) {
+		out := b.alloc(outRows)
+		b.emit(ProgOp{Kind: kind, Layer: idx, Act: -1, In: int32(in), Aux: -1, Out: int32(out)})
+		return out, outRows, nil
+	}
+	switch t := l.(type) {
+	case *Dense:
+		if rows != t.In {
+			return 0, 0, mismatch(t.name, t.In)
+		}
+		return simple(OpDense, t.Out)
+	case *Conv2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		return simple(OpConv, t.OutC*t.OutH()*t.OutW())
+	case *Activation:
+		return simple(OpAct, rows)
+	case *RoundLayer:
+		return simple(OpRound, rows)
+	case *MaxPool2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		return simple(OpMaxPool, t.OutDim())
+	case *AvgPool2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		return simple(OpAvgPool, t.OutDim())
+	case *GlobalAvgPool:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		return simple(OpGAP, t.OutDim())
+	case *Upsample2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		return simple(OpUpsample, t.OutDim())
+	case *BatchNorm2D:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		return simple(OpBatchNorm, rows)
+	case *SelfAttention:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		return simple(OpAttention, t.InDim())
+	case *Residual:
+		fOut, fRows, err := b.seq(t.Branch, in, rows, path+".branch")
+		if err != nil {
+			return 0, 0, err
+		}
+		sOut, sRows := in, rows
+		if len(t.Shortcut) > 0 {
+			sOut, sRows, err = b.seq(t.Shortcut, in, rows, path+".shortcut")
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		if fRows != sRows {
+			return 0, 0, fmt.Errorf("nn: CompileInference: %s (%s): branch output %d != shortcut output %d", path, t.name, fRows, sRows)
+		}
+		out := b.alloc(fRows)
+		b.emit(ProgOp{Kind: OpAdd, Layer: idx, Act: -1, In: int32(fOut), Aux: int32(sOut), Out: int32(out)})
+		return out, fRows, nil
+	case *SkipConcat:
+		if rows != t.InDim() {
+			return 0, 0, mismatch(t.name, t.InDim())
+		}
+		bOut, bRows, err := b.seq(t.Branch, in, rows, path+".branch")
+		if err != nil {
+			return 0, 0, err
+		}
+		if want := t.BC * t.H * t.W; bRows != want {
+			return 0, 0, fmt.Errorf("nn: CompileInference: %s (%s): branch produced %d rows, want %d", path, t.name, bRows, want)
+		}
+		out := b.alloc(t.OutDim())
+		b.emit(ProgOp{Kind: OpConcat, Layer: idx, Act: -1, In: int32(in), Aux: int32(bOut), Out: int32(out)})
+		return out, t.OutDim(), nil
+	}
+	return 0, 0, fmt.Errorf("nn: CompileInference: %s: unsupported layer type %T (%s)", path, l, l.Name())
+}
+
+// Bind resolves the program against net and materializes a runnable
+// Engine with buffers for maxBatch-column inputs split across shards
+// lanes. Every op is validated against the layer it references — index
+// range, layer type, slot shapes — so a program decoded from an artifact
+// cannot silently bind to a structurally different network; a mismatch
+// is a typed error, never a wrong answer.
+func (p *Program) Bind(net *Network, maxBatch, shards int) (*Engine, error) {
+	if net == nil {
+		return nil, fmt.Errorf("nn: Program.Bind: nil network")
+	}
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("nn: Program.Bind: maxBatch %d must be positive", maxBatch)
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("nn: Program.Bind: shards %d must be positive", shards)
+	}
+	if p.InDim != net.InputDim {
+		return nil, fmt.Errorf("nn: Program.Bind: program input dim %d != network input dim %d", p.InDim, net.InputDim)
+	}
+	if len(p.SlotRows) == 0 || p.SlotRows[0] != p.InDim {
+		return nil, fmt.Errorf("nn: Program.Bind: slot 0 must hold the %d-feature input", p.InDim)
+	}
+	for i, r := range p.SlotRows {
+		if r <= 0 {
+			return nil, fmt.Errorf("nn: Program.Bind: slot %d has non-positive row count %d", i, r)
+		}
+	}
+	if p.Out < 0 || p.Out >= len(p.SlotRows) || p.SlotRows[p.Out] != p.OutDim {
+		return nil, fmt.Errorf("nn: Program.Bind: output slot %d inconsistent with output dim %d", p.Out, p.OutDim)
+	}
+	flat := flattenLayers(net.Layers, nil)
+	if shards > maxBatch {
+		shards = maxBatch
+	}
+	laneWidth := (maxBatch + shards - 1) / shards
+	e := &Engine{inDim: p.InDim, outDim: p.OutDim, maxBatch: maxBatch}
+	for l := 0; l < shards; l++ {
+		ops, err := p.bindOps(flat, laneWidth)
+		if err != nil {
+			return nil, err
+		}
+		ln := &lane{eng: e, ops: ops, out: p.Out}
+		// One slab per lane; every arena slot is a capped slice of it, so
+		// slot growth can never silently overlap a neighbor.
+		total := 0
+		for _, r := range p.SlotRows {
+			total += r * laneWidth
+		}
+		slab := make([]float64, total)
+		off := 0
+		for _, r := range p.SlotRows {
+			sz := r * laneWidth
+			ln.bufs = append(ln.bufs, tensor.NewMatrixFrom(r, laneWidth, slab[off:off+sz:off+sz]))
+			off += sz
+		}
+		ln.in0 = ln.bufs[0]
+		ln.start = func() {
+			ln.exec()
+			e.wg.Done()
+		}
+		e.lanes = append(e.lanes, ln)
+	}
+	if shards > 1 {
+		e.outM = tensor.NewMatrix(e.outDim, maxBatch)
+	}
+	return e, nil
+}
+
+// bindOps builds one lane's runnable op list (ops carry per-call scratch
+// such as PSN effective weights and attention workspaces, so they cannot
+// be shared across lanes), validating every program reference against
+// the flattened layer list.
+func (p *Program) bindOps(flat []Layer, laneWidth int) ([]inferOp, error) {
+	nSlots := len(p.SlotRows)
+	ops := make([]inferOp, 0, len(p.Ops))
+	for i := range p.Ops {
+		po := &p.Ops[i]
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("nn: Program.Bind: op %d (%s): %s", i, po.Kind, fmt.Sprintf(format, args...))
+		}
+		slot := func(s int32, what string) (int, error) {
+			if s < 0 || int(s) >= nSlots {
+				return 0, fail("%s slot %d out of range (%d slots)", what, s, nSlots)
+			}
+			return int(s), nil
+		}
+		in, err := slot(po.In, "input")
+		if err != nil {
+			return nil, err
+		}
+		out, err := slot(po.Out, "output")
+		if err != nil {
+			return nil, err
+		}
+		aux := -1
+		if po.Kind == OpAdd || po.Kind == OpConcat {
+			if aux, err = slot(po.Aux, "aux input"); err != nil {
+				return nil, err
+			}
+		}
+		if po.Layer < 0 || int(po.Layer) >= len(flat) {
+			return nil, fail("layer index %d out of range (%d layers)", po.Layer, len(flat))
+		}
+		l := flat[po.Layer]
+		var act *Activation
+		if po.Act >= 0 {
+			if int(po.Act) >= len(flat) {
+				return nil, fail("fused-activation index %d out of range (%d layers)", po.Act, len(flat))
+			}
+			a, ok := flat[po.Act].(*Activation)
+			if !ok {
+				return nil, fail("fused-activation index %d names a %T, not an activation", po.Act, flat[po.Act])
+			}
+			if !fusableWithAct(l) {
+				return nil, fail("layer %T cannot carry a fused activation", l)
+			}
+			act = a
+		}
+		rowsOK := func(slotIdx, want int, what string) error {
+			if p.SlotRows[slotIdx] != want {
+				return fail("%s slot %d holds %d rows, layer %q wants %d", what, slotIdx, p.SlotRows[slotIdx], l.Name(), want)
+			}
+			return nil
+		}
+		mistyped := func(want string) error {
+			return fail("layer index %d names a %T, want %s", po.Layer, l, want)
+		}
+
+		switch po.Kind {
+		case OpDense:
+			t, ok := l.(*Dense)
+			if !ok {
+				return nil, mistyped("*nn.Dense")
+			}
+			if err := rowsOK(in, t.In, "input"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(out, t.Out, "output"); err != nil {
+				return nil, err
+			}
+			op := &opDense{l: t, in: in, out: out, act: act}
+			if t.PSN {
+				t.ensureSigma()
+				op.w = tensor.NewMatrix(t.Out, t.In)
+			} else {
+				op.w = t.rawMatrix() // shared view of live weights
+			}
+			ops = append(ops, op)
+		case OpConv:
+			t, ok := l.(*Conv2D)
+			if !ok {
+				return nil, mistyped("*nn.Conv2D")
+			}
+			spatial := t.OutH() * t.OutW()
+			if err := rowsOK(in, t.InDim(), "input"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(out, t.OutC*spatial, "output"); err != nil {
+				return nil, err
+			}
+			op := &opConv{
+				l:       t,
+				in:      in,
+				out:     out,
+				act:     act,
+				outC:    t.OutC,
+				spatial: spatial,
+				k2c:     t.InC * t.K * t.K,
+				offs:    convTapOffsets(t),
+				zeros:   make([]float64, laneWidth),
+			}
+			if t.PSN {
+				t.ensureSigma()
+				op.kw = tensor.NewMatrix(t.OutC, t.InC*t.K*t.K)
+			} else {
+				op.kw = t.rawMatrix()
+			}
+			ops = append(ops, op)
+		case OpAct:
+			t, ok := l.(*Activation)
+			if !ok {
+				return nil, mistyped("*nn.Activation")
+			}
+			if err := rowsOK(out, p.SlotRows[in], "output"); err != nil {
+				return nil, err
+			}
+			ops = append(ops, &opAct{l: t, in: in, out: out})
+		case OpRound:
+			t, ok := l.(*RoundLayer)
+			if !ok {
+				return nil, mistyped("*nn.RoundLayer")
+			}
+			if err := rowsOK(out, p.SlotRows[in], "output"); err != nil {
+				return nil, err
+			}
+			ops = append(ops, &opRound{l: t, in: in, out: out})
+		case OpMaxPool:
+			t, ok := l.(*MaxPool2D)
+			if !ok {
+				return nil, mistyped("*nn.MaxPool2D")
+			}
+			if err := rowsOK(in, t.InDim(), "input"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(out, t.OutDim(), "output"); err != nil {
+				return nil, err
+			}
+			ops = append(ops, &opMaxPool{l: t, in: in, out: out})
+		case OpAvgPool:
+			t, ok := l.(*AvgPool2D)
+			if !ok {
+				return nil, mistyped("*nn.AvgPool2D")
+			}
+			if err := rowsOK(in, t.InDim(), "input"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(out, t.OutDim(), "output"); err != nil {
+				return nil, err
+			}
+			ops = append(ops, &opAvgPool{l: t, in: in, out: out})
+		case OpGAP:
+			t, ok := l.(*GlobalAvgPool)
+			if !ok {
+				return nil, mistyped("*nn.GlobalAvgPool")
+			}
+			if err := rowsOK(in, t.InDim(), "input"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(out, t.OutDim(), "output"); err != nil {
+				return nil, err
+			}
+			ops = append(ops, &opGAP{l: t, in: in, out: out})
+		case OpUpsample:
+			t, ok := l.(*Upsample2D)
+			if !ok {
+				return nil, mistyped("*nn.Upsample2D")
+			}
+			if err := rowsOK(in, t.InDim(), "input"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(out, t.OutDim(), "output"); err != nil {
+				return nil, err
+			}
+			ops = append(ops, &opUpsample{l: t, in: in, out: out})
+		case OpBatchNorm:
+			t, ok := l.(*BatchNorm2D)
+			if !ok {
+				return nil, mistyped("*nn.BatchNorm2D")
+			}
+			if err := rowsOK(in, t.InDim(), "input"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(out, t.InDim(), "output"); err != nil {
+				return nil, err
+			}
+			ops = append(ops, &opBatchNorm{l: t, in: in, out: out, act: act})
+		case OpAttention:
+			t, ok := l.(*SelfAttention)
+			if !ok {
+				return nil, mistyped("*nn.SelfAttention")
+			}
+			if err := rowsOK(in, t.InDim(), "input"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(out, t.InDim(), "output"); err != nil {
+				return nil, err
+			}
+			ops = append(ops, &opAttention{
+				l: t, in: in, out: out, act: act,
+				// Shared views of the live projection weights.
+				wq: tensor.NewMatrixFrom(t.D, t.D, t.Wq.Data),
+				wk: tensor.NewMatrixFrom(t.D, t.D, t.Wk.Data),
+				wv: tensor.NewMatrixFrom(t.D, t.D, t.Wv.Data),
+				// Per-sample scratch; sizes are batch-independent.
+				xs: tensor.NewMatrix(t.T, t.D), q: tensor.NewMatrix(t.T, t.D),
+				k: tensor.NewMatrix(t.T, t.D), v: tensor.NewMatrix(t.T, t.D),
+				kt: tensor.NewMatrix(t.D, t.T), scores: tensor.NewMatrix(t.T, t.T),
+				scoresT: tensor.NewMatrix(t.T, t.T), aT: tensor.NewMatrix(t.T, t.T),
+				a: tensor.NewMatrix(t.T, t.T), y: tensor.NewMatrix(t.T, t.D),
+			})
+		case OpAdd:
+			if _, ok := l.(*Residual); !ok {
+				return nil, mistyped("*nn.Residual")
+			}
+			if p.SlotRows[in] != p.SlotRows[aux] || p.SlotRows[in] != p.SlotRows[out] {
+				return nil, fail("add over mismatched slot shapes %d + %d -> %d",
+					p.SlotRows[in], p.SlotRows[aux], p.SlotRows[out])
+			}
+			ops = append(ops, &opAdd{a: in, b: aux, out: out, act: act})
+		case OpConcat:
+			t, ok := l.(*SkipConcat)
+			if !ok {
+				return nil, mistyped("*nn.SkipConcat")
+			}
+			if err := rowsOK(in, t.InDim(), "input"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(aux, t.BC*t.H*t.W, "branch"); err != nil {
+				return nil, err
+			}
+			if err := rowsOK(out, t.OutDim(), "output"); err != nil {
+				return nil, err
+			}
+			ops = append(ops, &opConcat{xRows: t.InDim(), in: in, branch: aux, out: out})
+		default:
+			return nil, fail("unknown op kind")
+		}
+	}
+	return ops, nil
+}
+
+// Program serialization: a canonical fixed-width little-endian encoding.
+// Every field is a u32 (signed fields use two's complement), so any
+// decodable byte string re-encodes to itself — the byte-bijection
+// property the artifact container and its fuzz target rely on.
+const (
+	maxProgramSlots = 1 << 20
+	maxProgramOps   = 1 << 20
+)
+
+// AppendBinary appends the program's canonical encoding to dst.
+func (p *Program) AppendBinary(dst []byte) []byte {
+	var u [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u[:], v)
+		dst = append(dst, u[:]...)
+	}
+	put(uint32(p.InDim))
+	put(uint32(p.OutDim))
+	put(uint32(p.Out))
+	put(uint32(len(p.SlotRows)))
+	for _, r := range p.SlotRows {
+		put(uint32(r))
+	}
+	put(uint32(len(p.Ops)))
+	for _, op := range p.Ops {
+		dst = append(dst, byte(op.Kind))
+		put(uint32(op.Layer))
+		put(uint32(op.Act))
+		put(uint32(op.In))
+		put(uint32(op.Aux))
+		put(uint32(op.Out))
+	}
+	return dst
+}
+
+// EncodeBinary returns the program's canonical encoding.
+func (p *Program) EncodeBinary() []byte { return p.AppendBinary(nil) }
+
+// progReader is a little cursor over a program encoding.
+type progReader struct {
+	raw []byte
+	off int
+	err error
+}
+
+func (r *progReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.raw) {
+		r.err = fmt.Errorf("nn: DecodeProgram: truncated at byte %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.raw[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *progReader) i32() int32 { return int32(r.u32()) }
+
+func (r *progReader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.raw) {
+		r.err = fmt.Errorf("nn: DecodeProgram: truncated at byte %d", r.off)
+		return 0
+	}
+	v := r.raw[r.off]
+	r.off++
+	return v
+}
+
+// DecodeProgram parses a canonical program encoding. It rejects unknown
+// op kinds, oversized tables, truncation, and trailing bytes; semantic
+// validation against a concrete network happens in Bind.
+func DecodeProgram(raw []byte) (*Program, error) {
+	r := &progReader{raw: raw}
+	p := &Program{
+		InDim:  int(r.u32()),
+		OutDim: int(r.u32()),
+		Out:    int(r.u32()),
+	}
+	nSlots := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nSlots > maxProgramSlots {
+		return nil, fmt.Errorf("nn: DecodeProgram: %d slots exceeds cap %d", nSlots, maxProgramSlots)
+	}
+	p.SlotRows = make([]int, nSlots)
+	for i := range p.SlotRows {
+		p.SlotRows[i] = int(r.u32())
+	}
+	nOps := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nOps > maxProgramOps {
+		return nil, fmt.Errorf("nn: DecodeProgram: %d ops exceeds cap %d", nOps, maxProgramOps)
+	}
+	p.Ops = make([]ProgOp, nOps)
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		op.Kind = OpKind(r.u8())
+		if op.Kind >= opKindCount {
+			return nil, fmt.Errorf("nn: DecodeProgram: op %d has unknown kind %d", i, op.Kind)
+		}
+		op.Layer = r.i32()
+		op.Act = r.i32()
+		op.In = r.i32()
+		op.Aux = r.i32()
+		op.Out = r.i32()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(raw) {
+		return nil, fmt.Errorf("nn: DecodeProgram: %d trailing bytes after program", len(raw)-r.off)
+	}
+	return p, nil
+}

@@ -1,0 +1,73 @@
+package score
+
+import (
+	"testing"
+
+	"github.com/scidata/errprop/internal/artifact"
+	"github.com/scidata/errprop/internal/numfmt"
+)
+
+// TestScoreArtifactMatchesSpecPath: scoring cold-started from a
+// compiled artifact — shipped quantized weights, shipped program,
+// shipped error-flow graph with build-time step tables — is
+// bit-identical to scoring the original network at the same format,
+// per chunk and in aggregate, across worker counts and shardings.
+func TestScoreArtifactMatchesSpecPath(t *testing.T) {
+	const features = 6
+	net := testNet(t, features)
+	dir, man := writeTestDataset(t, "sz", 1e-3, features, 200, 32)
+	for _, f := range []numfmt.Format{numfmt.FP32, numfmt.INT8, numfmt.BF16} {
+		t.Run(f.String(), func(t *testing.T) {
+			art, err := artifact.Build(net, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Round-trip through the wire format first: the scored artifact
+			// is the decoded one, exactly what a cold-starting process sees.
+			raw, err := art.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := artifact.Decode(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Format: f, QoIBudget: 10, Workers: 2, Batch: 16, Dir: dir}
+			ref, err := Score(net, man, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The artifact's baked-in format wins; hand ScoreArtifact a
+			// contradictory cfg.Format to prove it is ignored.
+			acfg := cfg
+			acfg.Format = numfmt.FP16
+			got, err := ScoreArtifact(dec, man, acfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, got, ref, "artifact vs spec")
+			if got.QuantBound != ref.QuantBound || got.InputTolL2 != ref.InputTolL2 {
+				t.Fatalf("certified accounting differs: bound %v vs %v, tol %v vs %v",
+					got.QuantBound, ref.QuantBound, got.InputTolL2, ref.InputTolL2)
+			}
+			// Worker count and engine sharding stay wall-clock-only knobs on
+			// the artifact path too.
+			sharded := acfg
+			sharded.Workers, sharded.EngineShards = 5, 3
+			again, err := ScoreArtifact(dec, man, sharded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, again, ref, "sharded artifact vs spec")
+		})
+	}
+
+	// A manifest the artifact's model cannot read is a typed refusal.
+	art, err := artifact.Build(testNet(t, features+1), numfmt.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScoreArtifact(art, man, Config{Dir: dir}); err == nil {
+		t.Fatal("dimension-mismatched artifact scored")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/scidata/errprop/internal/artifact"
 	"github.com/scidata/errprop/internal/core"
 	"github.com/scidata/errprop/internal/detrand"
 	"github.com/scidata/errprop/internal/gpusim"
@@ -143,11 +144,8 @@ type Result struct {
 //errprop:deterministic results are a pure function of (net, manifest, chunk bytes, semantic config)
 func Score(net *nn.Network, man *Manifest, cfg Config) (*Result, error) {
 	cfg.fillDefaults()
-	if man == nil || len(man.Chunks) == 0 {
-		return nil, fmt.Errorf("score: empty manifest")
-	}
-	if net.InputDim != man.Features {
-		return nil, fmt.Errorf("score: network input dim %d != manifest features %d", net.InputDim, man.Features)
+	if err := checkManifest(man, net.InputDim); err != nil {
+		return nil, err
 	}
 
 	// Plan once: quantize, analyze, compile one engine per worker.
@@ -163,15 +161,76 @@ func Score(net *nn.Network, man *Manifest, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("score: analyzing: %w", err)
 	}
-	acct := newAccountant(an, man.Features, cfg.QoIBudget)
 	engines := make([]*nn.Engine, cfg.Workers)
 	for i := range engines {
 		if engines[i], err = nn.CompileInferenceSharded(serving, cfg.Batch, cfg.EngineShards); err != nil {
 			return nil, fmt.Errorf("score: compiling engine: %w", err)
 		}
 	}
+	return scoreCompiled(serving, an, engines, man, cfg)
+}
 
+// ScoreArtifact is Score cold-started from an ahead-of-time artifact
+// (internal/artifact): the shipped program binds to the shipped
+// already-quantized weights and the shipped error-flow graph with its
+// build-time step tables replaces re-analysis — no quantization, no
+// compilation, no recomputation of the certified bound. The artifact's
+// baked-in format overrides cfg.Format.
+//
+//errprop:deterministic results are a pure function of (artifact, manifest, chunk bytes, semantic config)
+func ScoreArtifact(art *artifact.Artifact, man *Manifest, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	cfg.Format = art.Format
+	if err := checkManifest(man, art.Net.InputDim); err != nil {
+		return nil, err
+	}
+	steps, err := art.StepsFor(art.Format)
+	if err != nil {
+		return nil, fmt.Errorf("score: %w", err)
+	}
+	an := core.Analyze(art.Root, steps)
+	engines := make([]*nn.Engine, cfg.Workers)
+	for i := range engines {
+		if engines[i], err = art.Program.Bind(art.Net, cfg.Batch, cfg.EngineShards); err != nil {
+			return nil, fmt.Errorf("score: binding artifact program: %w", err)
+		}
+	}
+	return scoreCompiled(art.Net, an, engines, man, cfg)
+}
+
+// ScoreArtifactFile is ScoreArtifact over an on-disk dataset, mirroring
+// ScoreFile.
+func ScoreArtifactFile(art *artifact.Artifact, manifestPath string, cfg Config) (*Result, error) {
+	man, err := ReadManifestFile(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = filepath.Dir(manifestPath)
+	}
+	return ScoreArtifact(art, man, cfg)
+}
+
+// checkManifest applies the shared manifest/model compatibility rules.
+func checkManifest(man *Manifest, inputDim int) error {
+	if man == nil || len(man.Chunks) == 0 {
+		return fmt.Errorf("score: empty manifest")
+	}
+	if inputDim != man.Features {
+		return fmt.Errorf("score: network input dim %d != manifest features %d", inputDim, man.Features)
+	}
+	return nil
+}
+
+// scoreCompiled runs the scoring pipeline over pre-built state: the
+// serving-weight network (for execution billing), its error-flow
+// analysis, and one compiled engine per worker — whichever door they
+// came through (Score's quantize/analyze/compile or ScoreArtifact's
+// decode/bind).
+func scoreCompiled(serving *nn.Network, an *core.Analysis, engines []*nn.Engine, man *Manifest, cfg Config) (*Result, error) {
+	acct := newAccountant(an, man.Features, cfg.QoIBudget)
 	r := &runner{cfg: cfg, man: man, acct: acct, serving: serving, engines: engines}
+	var err error
 	r.manChecksum, err = manifestChecksum(man)
 	if err != nil {
 		return nil, err

@@ -407,7 +407,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		formats = append(formats, f)
 	}
-	plan, err := core.PlanNetwork(m.orig, core.PlanRequest{
+	plan, err := core.PlanGraphSteps(m.planRoot, m.stepsFor, core.PlanRequest{
 		Tol:           req.Tol,
 		Norm:          norm,
 		QuantFraction: req.QuantFraction,

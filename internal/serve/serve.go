@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/scidata/errprop/internal/artifact"
 	"github.com/scidata/errprop/internal/core"
 	"github.com/scidata/errprop/internal/integrity"
 	"github.com/scidata/errprop/internal/nn"
@@ -129,16 +130,24 @@ type Server struct {
 	draining atomic.Bool
 	closed   chan struct{}
 	once     sync.Once
+
+	// planMu guards the per-weights error-flow graph cache: registering
+	// the same serialized network under several names (or formats) builds
+	// and analyzes its graph once, keyed by the weights checksum.
+	planMu      sync.Mutex
+	planGraphs  map[string]*core.Node
+	graphBuilds atomic.Int64 // graph constructions, for the dedupe regression test
 }
 
 // New builds a server (no listening socket; mount Server.Handler).
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	return &Server{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		models:  make(map[string]*model),
-		closed:  make(chan struct{}),
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		models:     make(map[string]*model),
+		closed:     make(chan struct{}),
+		planGraphs: make(map[string]*core.Node),
 	}
 }
 
@@ -148,12 +157,19 @@ func (s *Server) Config() Config { return s.cfg }
 // model is one registered network with its serving machinery.
 type model struct {
 	name     string
-	orig     *nn.Network // as registered, full precision (planner input)
+	orig     *nn.Network // as registered, full precision (nil when cold-started from an artifact)
 	format   numfmt.Format
 	analysis *core.Analysis // error-flow analysis at the serving format
+	// planRoot and stepsFor are the planner's inputs: the error-flow
+	// graph of the original network plus the format -> step-size
+	// derivation. Spec-registered models derive steps from live weights
+	// (core.StepsForFormat); artifact models use the build-time tables
+	// shipped inside the artifact.
+	planRoot *core.Node
+	stepsFor func(numfmt.Format) (core.StepFunc, error)
 	inDim    int
 	outDim   int
-	checksum string // CRC32C of the registered network's serialized form
+	checksum string // CRC32C identity: serialized network (spec path) or artifact body (artifact path)
 
 	queue chan *item   // admission queue (bounded)
 	work  chan []*item // batcher -> workers (unbuffered: backpressure)
@@ -203,10 +219,6 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 		}
 		serving = q
 	}
-	an, err := core.AnalyzeNetwork(net, f)
-	if err != nil {
-		return fmt.Errorf("serve: analyzing %q: %w", name, err)
-	}
 	// Checksum the model's serialized form so /v1/models can report which
 	// exact weights are being served — operators diffing a fleet against
 	// a known-good model file compare this string.
@@ -215,6 +227,12 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 		return fmt.Errorf("serve: serializing %q for checksum: %w", name, err)
 	}
 	sum := integrity.ChecksumString(integrity.Checksum(serialized.Bytes()))
+	root, err := s.graphFor(sum, net)
+	if err != nil {
+		return fmt.Errorf("serve: analyzing %q: %w", name, err)
+	}
+	stepsFor := func(f numfmt.Format) (core.StepFunc, error) { return core.StepsForFormat(f), nil }
+	an := core.Analyze(root, core.StepsForFormat(f))
 	engines := make([]*nn.Engine, s.cfg.Workers)
 	for i := range engines {
 		eng, err := nn.CompileInferenceSharded(serving, s.cfg.MaxBatch, s.cfg.EngineShards)
@@ -228,6 +246,8 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 		orig:     net,
 		format:   f,
 		analysis: an,
+		planRoot: root,
+		stepsFor: stepsFor,
 		inDim:    net.InputDim,
 		outDim:   engines[0].OutputDim(),
 		checksum: sum,
@@ -236,6 +256,75 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 		srv:      s,
 	}
 
+	return s.install(m, engines)
+}
+
+// RegisterArtifact adds a model cold-started from an ahead-of-time
+// compiled artifact (internal/artifact). Nothing is recompiled or
+// re-derived: the shipped program is bound to the shipped (already
+// quantized) weights, the planner runs against the shipped error-flow
+// graph and build-time step tables, and the model's reported checksum is
+// the artifact body's — the identity a gateway registry pins. The
+// artifact must come from artifact.Decode/ReadFile, which has already
+// verified its frame, canonical form, program, and certified bound.
+func (s *Server) RegisterArtifact(name string, art *artifact.Artifact) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty model name")
+	}
+	if art == nil {
+		return fmt.Errorf("serve: nil artifact for %q", name)
+	}
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	steps, err := art.StepsFor(art.Format)
+	if err != nil {
+		return fmt.Errorf("serve: artifact %q: %w", name, err)
+	}
+	engines := make([]*nn.Engine, s.cfg.Workers)
+	for i := range engines {
+		eng, err := art.Program.Bind(art.Net, s.cfg.MaxBatch, s.cfg.EngineShards)
+		if err != nil {
+			return fmt.Errorf("serve: binding artifact engine for %q: %w", name, err)
+		}
+		engines[i] = eng
+	}
+	m := &model{
+		name:     name,
+		format:   art.Format,
+		analysis: core.Analyze(art.Root, steps),
+		planRoot: art.Root,
+		stepsFor: art.StepsFor,
+		inDim:    art.Net.InputDim,
+		outDim:   engines[0].OutputDim(),
+		checksum: art.Checksum,
+		queue:    make(chan *item, s.cfg.QueueCap),
+		work:     make(chan []*item),
+		srv:      s,
+	}
+	return s.install(m, engines)
+}
+
+// graphFor returns the error-flow graph for a network, cached by its
+// serialized-weights checksum: the same weights registered under many
+// names (or formats) translate once.
+func (s *Server) graphFor(sum string, net *nn.Network) (*core.Node, error) {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if root, ok := s.planGraphs[sum]; ok {
+		return root, nil
+	}
+	root, err := core.FromNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	s.planGraphs[sum] = root
+	s.graphBuilds.Add(1)
+	return root, nil
+}
+
+// install publishes a fully-built model and starts its goroutines.
+func (s *Server) install(m *model, engines []*nn.Engine) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Re-check under the lock: Close snapshots s.models while holding it,
@@ -243,10 +332,10 @@ func (s *Server) Register(name string, net *nn.Network, f numfmt.Format) error {
 	if s.draining.Load() {
 		return ErrDraining
 	}
-	if _, dup := s.models[name]; dup {
-		return fmt.Errorf("serve: model %q already registered", name)
+	if _, dup := s.models[m.name]; dup {
+		return fmt.Errorf("serve: model %q already registered", m.name)
 	}
-	s.models[name] = m
+	s.models[m.name] = m
 
 	m.wg.Add(1 + len(engines))
 	go m.batchLoop(s.cfg.MaxBatch, s.cfg.FlushInterval)

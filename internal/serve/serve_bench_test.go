@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/scidata/errprop/internal/artifact"
 	"github.com/scidata/errprop/internal/gateway"
 	"github.com/scidata/errprop/internal/nn"
 	"github.com/scidata/errprop/internal/numfmt"
@@ -247,6 +248,131 @@ func TestMicroBatchingBeatsSingleAt64Clients(t *testing.T) {
 	}
 }
 
+// coldStartStat is one cold-start measurement row: boot a server with
+// three models from durable bytes and time until the first /v1/predict
+// 200 comes back.
+type coldStartStat struct {
+	Mode             string  `json:"mode"`
+	Models           int     `json:"models"`
+	Format           string  `json:"format"`
+	TimeToFirst200Ms float64 `json:"time_to_first_200_ms"`
+}
+
+// coldStartModels builds the three-model inventory the cold-start rows
+// boot: realistic widths so compile-from-spec has visible work to do.
+func coldStartModels(tb testing.TB) map[string]*nn.Network {
+	tb.Helper()
+	nets := map[string]*nn.Network{}
+	for name, dims := range map[string][]int{
+		"m0": {9, 50, 50, 9},
+		"m1": {9, 256, 256, 9},
+		"m2": {16, 512, 256, 4},
+	} {
+		net, err := nn.MLPSpec(name, dims, nn.ActTanh, false).Build(7)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		nets[name] = net
+	}
+	return nets
+}
+
+// timeToFirst200 measures one cold start: from file bytes on disk to
+// the first successful prediction, via either the artifact path
+// (decode + bind, no recompilation) or the spec path (load + quantize +
+// analyze + compile). The median of three runs smooths scheduler noise.
+func timeToFirst200(tb testing.TB, files map[string]string, fromArtifact bool, f numfmt.Format) float64 {
+	tb.Helper()
+	one := func() float64 {
+		start := time.Now()
+		s := New(Config{Workers: 2, MaxBatch: 64, FlushInterval: time.Millisecond,
+			QueueCap: 4096, RequestTimeout: 30 * time.Second})
+		defer s.Close()
+		for name, path := range files {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if fromArtifact {
+				art, err := artifact.Decode(raw)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				if err := s.RegisterArtifact(name, art); err != nil {
+					tb.Fatal(err)
+				}
+			} else {
+				net, err := nn.Load(bytes.NewReader(raw))
+				if err != nil {
+					tb.Fatal(err)
+				}
+				if err := s.Register(name, net, f); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		body, err := json.Marshal(PredictRequest{Model: "m0", Inputs: [][]float64{make([]float64, 9)}})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var sink bytes.Buffer
+		_, _ = sink.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			tb.Fatalf("cold-start predict: status %d", resp.StatusCode)
+		}
+		return float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	runs := []float64{one(), one(), one()}
+	sort.Float64s(runs)
+	return runs[1]
+}
+
+// coldStartRows prices what the artifact format buys at boot: the same
+// three models served from .aot files versus from saved-spec files.
+func coldStartRows(tb testing.TB, f numfmt.Format) []coldStartStat {
+	tb.Helper()
+	dir := tb.TempDir()
+	nets := coldStartModels(tb)
+	specFiles := map[string]string{}
+	aotFiles := map[string]string{}
+	for name, net := range nets {
+		specPath := dir + "/" + name + ".model"
+		fh, err := os.Create(specPath)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := net.Save(fh); err != nil {
+			tb.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			tb.Fatal(err)
+		}
+		specFiles[name] = specPath
+		art, err := artifact.Build(net, f)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		aotPath := dir + "/" + name + ".aot"
+		if err := artifact.WriteFile(aotPath, art); err != nil {
+			tb.Fatal(err)
+		}
+		aotFiles[name] = aotPath
+	}
+	return []coldStartStat{
+		{Mode: "compile-from-spec", Models: len(nets), Format: f.String(),
+			TimeToFirst200Ms: timeToFirst200(tb, specFiles, false, f)},
+		{Mode: "artifact-load", Models: len(nets), Format: f.String(),
+			TimeToFirst200Ms: timeToFirst200(tb, aotFiles, true, f)},
+	}
+}
+
 // TestWriteServeBenchJSON regenerates the committed serving baseline.
 // Run with:
 //
@@ -286,10 +412,12 @@ func TestWriteServeBenchJSON(t *testing.T) {
 		runs = append(runs, st)
 	}
 
+	coldStart := coldStartRows(t, numfmt.INT8)
+
 	doc := map[string]any{
 		"bench":       "serve",
 		"model":       "h2-mlp 9-50-50-9 tanh (untrained, fp32)",
-		"description": "HTTP load generator against the internal/serve micro-batching service; req_per_sec counts 200s, latencies are client-side per request; gateway-N rows route the same load through errpropd -gateway over N backends sharing this container's single CPU, so their ratio prices the routing hop, not horizontal scaling",
+		"description": "HTTP load generator against the internal/serve micro-batching service; req_per_sec counts 200s, latencies are client-side per request; gateway-N rows route the same load through errpropd -gateway over N backends sharing this container's single CPU, so their ratio prices the routing hop, not horizontal scaling; cold_start rows time boot-to-first-200 with three models served from compiled .aot artifacts versus saved specs",
 		"config": map[string]any{
 			"workers":   2,
 			"max_batch": 64,
@@ -298,9 +426,11 @@ func TestWriteServeBenchJSON(t *testing.T) {
 		},
 		"requests_per_client":             perClient,
 		"runs":                            runs,
+		"cold_start":                      coldStart,
 		"speedup_batched_vs_single_at_64": runs[2].ReqPerSec / stSingle.ReqPerSec,
 		"gateway_2_vs_direct_ratio_at_64": runs[4].ReqPerSec / runs[2].ReqPerSec,
 		"gateway_4_vs_direct_ratio_at_64": runs[5].ReqPerSec / runs[2].ReqPerSec,
+		"cold_start_artifact_speedup":     coldStart[0].TimeToFirst200Ms / coldStart[1].TimeToFirst200Ms,
 	}
 	f, err := os.Create(out)
 	if err != nil {
